@@ -1,0 +1,177 @@
+//! Trap coordinates on the square SLM lattice.
+//!
+//! Following the paper we assume all static traps lie on a regular square
+//! lattice with lattice constant `d`. A [`Site`] stores integer lattice
+//! coordinates; all geometric quantities (distances, radii) are expressed
+//! in units of `d` so that the Table 1c radii (`r_int = 2, 2.5, 4.5`)
+//! can be used directly. Conversion to physical micrometres only happens
+//! when computing shuttle times (see [`crate::params::HardwareParams`]).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An integer coordinate on the square trap lattice, in units of the
+/// lattice constant `d`.
+///
+/// Signed coordinates are used so that displacement arithmetic
+/// (`b - a`) cannot underflow; the [`crate::Lattice`] validates bounds.
+///
+/// # Example
+///
+/// ```
+/// use na_arch::Site;
+/// let a = Site::new(1, 1);
+/// let b = Site::new(4, 5);
+/// assert_eq!(a.distance(b), 5.0); // 3-4-5 triangle, in units of d
+/// assert_eq!(a.rectilinear_distance(b), 7.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Site {
+    /// Column coordinate (x), in units of `d`.
+    pub x: i32,
+    /// Row coordinate (y), in units of `d`.
+    pub y: i32,
+}
+
+impl Site {
+    /// Creates a site at lattice coordinates `(x, y)`.
+    #[inline]
+    pub const fn new(x: i32, y: i32) -> Self {
+        Site { x, y }
+    }
+
+    /// Squared Euclidean distance to `other`, in units of `d²`.
+    ///
+    /// Exact integer arithmetic; prefer this over [`Site::distance`] for
+    /// comparisons against a radius (compare with `r * r`).
+    #[inline]
+    pub fn distance_sq(self, other: Site) -> i64 {
+        let dx = i64::from(self.x - other.x);
+        let dy = i64::from(self.y - other.y);
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`, in units of `d`.
+    #[inline]
+    pub fn distance(self, other: Site) -> f64 {
+        (self.distance_sq(other) as f64).sqrt()
+    }
+
+    /// Rectangular (Manhattan) distance to `other`, in units of `d`.
+    ///
+    /// This is the shuttling distance `s(M)` of the paper's Eq. (5): AOD
+    /// moves decompose into an x-sweep and a y-sweep of the deflector
+    /// coordinates.
+    #[inline]
+    pub fn rectilinear_distance(self, other: Site) -> f64 {
+        (i64::from((self.x - other.x).abs()) + i64::from((self.y - other.y).abs())) as f64
+    }
+
+    /// Chebyshev (max-axis) distance to `other`, in units of `d`.
+    #[inline]
+    pub fn chebyshev_distance(self, other: Site) -> i32 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// Returns `true` if `other` is within Euclidean radius `r` (units of
+    /// `d`) of `self`.
+    ///
+    /// Uses a small epsilon so that radii specified exactly at a lattice
+    /// distance (e.g. `r_int = 2` covering sites two steps away) include
+    /// the boundary despite floating-point rounding.
+    #[inline]
+    pub fn within(self, other: Site, r: f64) -> bool {
+        const EPS: f64 = 1e-9;
+        (self.distance_sq(other) as f64) <= r * r + EPS
+    }
+
+    /// Component-wise displacement `other - self`.
+    #[inline]
+    pub fn delta(self, other: Site) -> (i32, i32) {
+        (other.x - self.x, other.y - self.y)
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(i32, i32)> for Site {
+    fn from((x, y): (i32, i32)) -> Self {
+        Site::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Site::new(0, 0);
+        assert_eq!(a.distance(Site::new(3, 4)), 5.0);
+        assert_eq!(a.distance(Site::new(0, 0)), 0.0);
+        assert!((a.distance(Site::new(1, 1)) - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn within_includes_boundary() {
+        let a = Site::new(0, 0);
+        // r_int = 2d must include the site exactly 2 steps away (Fig. 1a).
+        assert!(a.within(Site::new(2, 0), 2.0));
+        assert!(a.within(Site::new(1, 1), std::f64::consts::SQRT_2));
+        assert!(!a.within(Site::new(2, 1), 2.0));
+    }
+
+    #[test]
+    fn rectilinear_distance_matches_manhattan() {
+        let a = Site::new(-1, 2);
+        let b = Site::new(3, -1);
+        assert_eq!(a.rectilinear_distance(b), 7.0);
+    }
+
+    #[test]
+    fn delta_roundtrip() {
+        let a = Site::new(2, 5);
+        let b = Site::new(-1, 7);
+        let (dx, dy) = a.delta(b);
+        assert_eq!(Site::new(a.x + dx, a.y + dy), b);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Site::new(3, -2).to_string(), "(3, -2)");
+    }
+
+    proptest! {
+        #[test]
+        fn distance_symmetric(ax in -100i32..100, ay in -100i32..100,
+                              bx in -100i32..100, by in -100i32..100) {
+            let a = Site::new(ax, ay);
+            let b = Site::new(bx, by);
+            prop_assert_eq!(a.distance_sq(b), b.distance_sq(a));
+        }
+
+        #[test]
+        fn triangle_inequality(ax in -50i32..50, ay in -50i32..50,
+                               bx in -50i32..50, by in -50i32..50,
+                               cx in -50i32..50, cy in -50i32..50) {
+            let a = Site::new(ax, ay);
+            let b = Site::new(bx, by);
+            let c = Site::new(cx, cy);
+            prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+        }
+
+        #[test]
+        fn chebyshev_lower_bounds_euclidean(ax in -50i32..50, ay in -50i32..50,
+                                            bx in -50i32..50, by in -50i32..50) {
+            let a = Site::new(ax, ay);
+            let b = Site::new(bx, by);
+            prop_assert!(f64::from(a.chebyshev_distance(b)) <= a.distance(b) + 1e-9);
+            prop_assert!(a.distance(b) <= a.rectilinear_distance(b) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types for architecture construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::coord::Site;
+
+/// Errors raised when constructing or validating architecture objects.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// A hardware parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A site lies outside the lattice bounds.
+    SiteOutOfBounds {
+        /// The offending site.
+        site: Site,
+        /// Side length of the lattice that rejected it.
+        side: u32,
+    },
+    /// More atoms were requested than the lattice can hold (the paper
+    /// requires at least one unoccupied coordinate, `μ = l² − 1 ≥ m`).
+    TooManyAtoms {
+        /// Requested atom count.
+        atoms: u32,
+        /// Number of available trap coordinates (`l²`).
+        sites: u32,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::InvalidParameter { name, reason } => {
+                write!(f, "invalid hardware parameter `{name}`: {reason}")
+            }
+            ArchError::SiteOutOfBounds { site, side } => {
+                write!(f, "site {site} outside {side}x{side} lattice")
+            }
+            ArchError::TooManyAtoms { atoms, sites } => {
+                write!(
+                    f,
+                    "cannot place {atoms} atoms on {sites} traps; at least one \
+                     trap must remain free"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = ArchError::InvalidParameter {
+            name: "r_int",
+            reason: "must be positive".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("r_int"));
+        assert!(text.starts_with("invalid"));
+    }
+
+    #[test]
+    fn out_of_bounds_mentions_site() {
+        let err = ArchError::SiteOutOfBounds {
+            site: Site::new(20, 3),
+            side: 15,
+        };
+        assert!(err.to_string().contains("(20, 3)"));
+    }
+
+    #[test]
+    fn too_many_atoms_mentions_counts() {
+        let err = ArchError::TooManyAtoms {
+            atoms: 225,
+            sites: 225,
+        };
+        let text = err.to_string();
+        assert!(text.contains("225"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArchError>();
+    }
+}

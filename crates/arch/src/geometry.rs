@@ -1,0 +1,301 @@
+//! Interaction geometry: precomputed neighbourhoods and mutual-interaction
+//! checks for multi-qubit gates.
+//!
+//! A multi-qubit `CᵐZ` gate is executable when **all** participating atoms
+//! are pairwise within the interaction radius `r_int` of each other
+//! (paper §2.1). During parallel execution, atoms belonging to different
+//! simultaneous gates must keep at least the restriction radius
+//! `r_restr ≥ r_int` from one another (the *restricted volume* of
+//! Fig. 1a).
+
+use crate::coord::Site;
+
+/// Precomputed disc of lattice offsets within a Euclidean radius.
+///
+/// Enumerating every lattice site within `r_int` of a moving center is the
+/// innermost loop of both routers, so the offsets `(dx, dy)` with
+/// `dx² + dy² ≤ r²` are computed once and reused, sorted by increasing
+/// distance (nearest sites first — a useful property for greedy target
+/// selection).
+///
+/// # Example
+///
+/// ```
+/// use na_arch::{Neighborhood, Site};
+/// let hood = Neighborhood::new(2.0);
+/// assert_eq!(hood.len(), 12); // the r = 2d disc of Fig. 1a
+/// let around: Vec<Site> = hood.around(Site::new(5, 5)).collect();
+/// assert_eq!(around.len(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Neighborhood {
+    radius: f64,
+    offsets: Vec<(i32, i32)>,
+}
+
+impl Neighborhood {
+    /// Builds the offset disc for Euclidean radius `r` (units of `d`),
+    /// excluding the zero offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not finite and positive.
+    pub fn new(r: f64) -> Self {
+        assert!(r.is_finite() && r > 0.0, "radius must be positive");
+        let reach = r.floor() as i32 + 1;
+        let mut offsets = Vec::new();
+        let origin = Site::new(0, 0);
+        for dy in -reach..=reach {
+            for dx in -reach..=reach {
+                if (dx, dy) == (0, 0) {
+                    continue;
+                }
+                if origin.within(Site::new(dx, dy), r) {
+                    offsets.push((dx, dy));
+                }
+            }
+        }
+        offsets.sort_by_key(|&(dx, dy)| {
+            (
+                i64::from(dx) * i64::from(dx) + i64::from(dy) * i64::from(dy),
+                dy,
+                dx,
+            )
+        });
+        Neighborhood { radius: r, offsets }
+    }
+
+    /// The radius this disc was built for, in units of `d`.
+    #[inline]
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Number of offsets in the disc.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Returns `true` if the disc is empty (radius < 1).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// The raw offsets, sorted by increasing distance from the origin.
+    #[inline]
+    pub fn offsets(&self) -> &[(i32, i32)] {
+        &self.offsets
+    }
+
+    /// Iterates the disc translated to `center` (bounds **not** checked;
+    /// filter with [`crate::Lattice::contains`] as needed).
+    pub fn around(&self, center: Site) -> impl Iterator<Item = Site> + '_ {
+        self.offsets
+            .iter()
+            .map(move |&(dx, dy)| Site::new(center.x + dx, center.y + dy))
+    }
+}
+
+/// Returns `true` if all sites are pairwise within radius `r` of each
+/// other — the executability condition for a multi-qubit gate whose atoms
+/// sit at `sites` (paper §2.1).
+///
+/// An empty or single-element slice is trivially compatible.
+pub fn mutually_within(sites: &[Site], r: f64) -> bool {
+    for (i, &a) in sites.iter().enumerate() {
+        for &b in &sites[i + 1..] {
+            if !a.within(b, r) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Returns `true` if every site in `a` keeps at least distance `r` from
+/// every site in `b` — the parallel-execution restriction between two
+/// simultaneous Rydberg gates (paper §2.1).
+pub fn sets_clear_of(a: &[Site], b: &[Site], r: f64) -> bool {
+    for &s in a {
+        for &t in b {
+            if s.within(t, r) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Returns `true` if `m` lattice sites pairwise within radius `r` exist —
+/// i.e. whether a `CᵐZ`-family gate on `m` qubits is geometrically
+/// realizable at all for interaction radius `r`.
+///
+/// For example, at `r = 1` no three lattice sites are pairwise within
+/// range (the best pair of neighbours of a site is `√2` apart), so
+/// three-qubit gates are infeasible; at `r = √2` an L-shaped triple works.
+///
+/// Runs a depth-first search over the offset disc with simple pruning;
+/// evaluated once per mapping call, not in hot loops.
+pub fn cluster_exists(m: usize, r: f64) -> bool {
+    if m <= 1 {
+        return true;
+    }
+    if m == 2 {
+        return r >= 1.0;
+    }
+    let hood = Neighborhood::new(r);
+    // Anchor the cluster at the origin; remaining members come from the
+    // disc around it.
+    let candidates: Vec<Site> = hood.around(Site::new(0, 0)).collect();
+    fn extend(chosen: &mut Vec<Site>, rest: &[Site], need: usize, r: f64) -> bool {
+        if need == 0 {
+            return true;
+        }
+        if rest.len() < need {
+            return false;
+        }
+        for (i, &s) in rest.iter().enumerate() {
+            if chosen.iter().all(|&c| c.within(s, r)) {
+                chosen.push(s);
+                if extend(chosen, &rest[i + 1..], need - 1, r) {
+                    return true;
+                }
+                chosen.pop();
+            }
+        }
+        false
+    }
+    let mut chosen = vec![Site::new(0, 0)];
+    extend(&mut chosen, &candidates, m - 1, r)
+}
+
+/// The largest `m` for which [`cluster_exists`] holds, capped at `cap`.
+pub fn max_cluster_size(r: f64, cap: usize) -> usize {
+    let mut m = 1;
+    while m < cap && cluster_exists(m + 1, r) {
+        m += 1;
+    }
+    m
+}
+
+/// Minimum pairwise distance between two site sets, in units of `d`.
+///
+/// Returns `f64::INFINITY` if either set is empty.
+pub fn min_distance(a: &[Site], b: &[Site]) -> f64 {
+    let mut best = i64::MAX;
+    for &s in a {
+        for &t in b {
+            best = best.min(s.distance_sq(t));
+        }
+    }
+    if best == i64::MAX {
+        f64::INFINITY
+    } else {
+        (best as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn disc_sizes_match_known_values() {
+        // Gauss circle problem values minus the center.
+        assert_eq!(Neighborhood::new(1.0).len(), 4);
+        assert_eq!(Neighborhood::new(std::f64::consts::SQRT_2).len(), 8);
+        assert_eq!(Neighborhood::new(2.0).len(), 12);
+        assert_eq!(Neighborhood::new(2.5).len(), 20);
+        assert_eq!(Neighborhood::new(4.5).len(), 68);
+    }
+
+    #[test]
+    fn offsets_sorted_by_distance() {
+        let hood = Neighborhood::new(3.0);
+        let origin = Site::new(0, 0);
+        let dists: Vec<i64> = hood
+            .offsets()
+            .iter()
+            .map(|&(dx, dy)| origin.distance_sq(Site::new(dx, dy)))
+            .collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Example 7 of the paper: with r_int = √2 d, qubits on a unit square
+    /// are mutually compatible (max pairwise distance √2), but three
+    /// collinear qubits are not.
+    #[test]
+    fn rectangle_compatible_at_sqrt2() {
+        let r = std::f64::consts::SQRT_2;
+        let square = [Site::new(0, 0), Site::new(1, 0), Site::new(0, 1)];
+        assert!(mutually_within(&square, r));
+        let line = [Site::new(0, 0), Site::new(1, 0), Site::new(2, 0)];
+        assert!(!mutually_within(&line, r));
+    }
+
+    #[test]
+    fn mutually_within_trivial_cases() {
+        assert!(mutually_within(&[], 1.0));
+        assert!(mutually_within(&[Site::new(3, 3)], 0.5));
+    }
+
+    /// Fig. 1a: atoms of two parallel gates must be separated by r_restr.
+    #[test]
+    fn restriction_between_gate_sets() {
+        let g1 = [Site::new(0, 0), Site::new(1, 0)];
+        let g2_near = [Site::new(2, 0), Site::new(3, 0)];
+        let g2_far = [Site::new(5, 0), Site::new(6, 0)];
+        assert!(!sets_clear_of(&g1, &g2_near, 2.0));
+        assert!(sets_clear_of(&g1, &g2_far, 2.0));
+    }
+
+    #[test]
+    fn cluster_existence_by_radius() {
+        // r = 1: pairs only.
+        assert!(cluster_exists(2, 1.0));
+        assert!(!cluster_exists(3, 1.0));
+        // r = √2: up to a 2x2 block (4 sites, max pairwise √2).
+        assert!(cluster_exists(4, std::f64::consts::SQRT_2));
+        assert!(!cluster_exists(5, std::f64::consts::SQRT_2));
+        // r = 2: comfortably fits 4+.
+        assert!(cluster_exists(5, 2.0));
+    }
+
+    #[test]
+    fn max_cluster_size_matches_existence() {
+        assert_eq!(max_cluster_size(1.0, 10), 2);
+        assert_eq!(max_cluster_size(std::f64::consts::SQRT_2, 10), 4);
+        // The cap bounds the search: Table 1's largest gate is a C3Z.
+        assert_eq!(max_cluster_size(4.5, 8), 8);
+    }
+
+    #[test]
+    fn min_distance_basics() {
+        let a = [Site::new(0, 0)];
+        let b = [Site::new(3, 4), Site::new(10, 10)];
+        assert_eq!(min_distance(&a, &b), 5.0);
+        assert_eq!(min_distance(&a, &[]), f64::INFINITY);
+    }
+
+    proptest! {
+        #[test]
+        fn around_preserves_offsets(cx in -20i32..20, cy in -20i32..20, r in 1.0f64..4.0) {
+            let hood = Neighborhood::new(r);
+            let center = Site::new(cx, cy);
+            for s in hood.around(center) {
+                prop_assert!(center.within(s, r));
+            }
+            prop_assert_eq!(hood.around(center).count(), hood.len());
+        }
+
+        #[test]
+        fn clear_of_symmetric(shift in 0i32..10) {
+            let a = [Site::new(0, 0), Site::new(1, 1)];
+            let b = [Site::new(shift, 0), Site::new(shift, 1)];
+            prop_assert_eq!(sets_clear_of(&a, &b, 2.5), sets_clear_of(&b, &a, 2.5));
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! The square lattice of SLM trap coordinates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::coord::Site;
+use crate::error::ArchError;
+
+/// A regular `l × l` square lattice of optical trap coordinates.
+///
+/// Sites are addressed by [`Site`] lattice coordinates with
+/// `0 ≤ x, y < l`. The lattice also provides a dense index
+/// (`idx = y·l + x`) used by the mapper for O(1) occupancy lookups.
+///
+/// # Example
+///
+/// ```
+/// use na_arch::{Lattice, Site};
+/// let lattice = Lattice::new(15);
+/// assert_eq!(lattice.num_sites(), 225);
+/// let s = Site::new(14, 14);
+/// assert!(lattice.contains(s));
+/// assert_eq!(lattice.site(lattice.index(s)), s);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Lattice {
+    side: u32,
+}
+
+impl Lattice {
+    /// Creates an `side × side` lattice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is zero.
+    pub fn new(side: u32) -> Self {
+        assert!(side > 0, "lattice side must be positive");
+        Lattice { side }
+    }
+
+    /// Side length `l` of the lattice.
+    #[inline]
+    pub fn side(&self) -> u32 {
+        self.side
+    }
+
+    /// Total number of trap coordinates, `l²`.
+    #[inline]
+    pub fn num_sites(&self) -> usize {
+        (self.side as usize) * (self.side as usize)
+    }
+
+    /// Returns `true` if `site` lies within the lattice bounds.
+    #[inline]
+    pub fn contains(&self, site: Site) -> bool {
+        site.x >= 0
+            && site.y >= 0
+            && (site.x as u32) < self.side
+            && (site.y as u32) < self.side
+    }
+
+    /// Validates that `site` is in bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::SiteOutOfBounds`] if the site lies outside the
+    /// lattice.
+    pub fn check(&self, site: Site) -> Result<(), ArchError> {
+        if self.contains(site) {
+            Ok(())
+        } else {
+            Err(ArchError::SiteOutOfBounds {
+                site,
+                side: self.side,
+            })
+        }
+    }
+
+    /// Dense index of `site` (`y·l + x`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site is out of bounds (use [`Lattice::contains`] to
+    /// check first when handling untrusted coordinates).
+    #[inline]
+    pub fn index(&self, site: Site) -> usize {
+        debug_assert!(self.contains(site), "site {site} out of bounds");
+        (site.y as usize) * (self.side as usize) + (site.x as usize)
+    }
+
+    /// The site at dense index `idx` (inverse of [`Lattice::index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx ≥ l²`.
+    #[inline]
+    pub fn site(&self, idx: usize) -> Site {
+        assert!(idx < self.num_sites(), "site index {idx} out of bounds");
+        let l = self.side as usize;
+        Site::new((idx % l) as i32, (idx / l) as i32)
+    }
+
+    /// Iterates over all sites in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = Site> + '_ {
+        let l = self.side as i32;
+        (0..l).flat_map(move |y| (0..l).map(move |x| Site::new(x, y)))
+    }
+
+    /// All in-bounds sites within Euclidean radius `r` (units of `d`) of
+    /// `center`, excluding `center` itself, in order of increasing
+    /// distance.
+    ///
+    /// For hot paths prefer precomputing a
+    /// [`Neighborhood`](crate::geometry::Neighborhood) and offsetting it.
+    pub fn sites_within(&self, center: Site, r: f64) -> Vec<Site> {
+        let reach = r.floor() as i32 + 1;
+        let mut out: Vec<Site> = Vec::new();
+        for dy in -reach..=reach {
+            for dx in -reach..=reach {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let s = Site::new(center.x + dx, center.y + dy);
+                if self.contains(s) && center.within(s, r) {
+                    out.push(s);
+                }
+            }
+        }
+        out.sort_by(|a, b| {
+            center
+                .distance_sq(*a)
+                .cmp(&center.distance_sq(*b))
+                .then(a.cmp(b))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let lat = Lattice::new(15);
+        for idx in 0..lat.num_sites() {
+            assert_eq!(lat.index(lat.site(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn contains_bounds() {
+        let lat = Lattice::new(3);
+        assert!(lat.contains(Site::new(0, 0)));
+        assert!(lat.contains(Site::new(2, 2)));
+        assert!(!lat.contains(Site::new(3, 0)));
+        assert!(!lat.contains(Site::new(0, -1)));
+    }
+
+    #[test]
+    fn check_returns_error_out_of_bounds() {
+        let lat = Lattice::new(3);
+        assert!(lat.check(Site::new(1, 1)).is_ok());
+        assert!(matches!(
+            lat.check(Site::new(5, 1)),
+            Err(ArchError::SiteOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn iter_visits_all_sites_once() {
+        let lat = Lattice::new(4);
+        let sites: Vec<_> = lat.iter().collect();
+        assert_eq!(sites.len(), 16);
+        let mut dedup = sites.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 16);
+    }
+
+    /// Fig. 1a of the paper: for r_int = 2d the interaction candidates of a
+    /// central site are the 12 sites of the radius-2 disc (excluding the
+    /// center).
+    #[test]
+    fn vicinity_radius_two_has_twelve_sites() {
+        let lat = Lattice::new(9);
+        let center = Site::new(4, 4);
+        let v = lat.sites_within(center, 2.0);
+        assert_eq!(v.len(), 12);
+        // Nearest neighbours come first.
+        assert_eq!(center.distance_sq(v[0]), 1);
+    }
+
+    #[test]
+    fn vicinity_radius_sqrt2_is_eight_neighbourhood() {
+        let lat = Lattice::new(9);
+        let v = lat.sites_within(Site::new(4, 4), std::f64::consts::SQRT_2);
+        assert_eq!(v.len(), 8);
+    }
+
+    #[test]
+    fn vicinity_clipped_at_border() {
+        let lat = Lattice::new(9);
+        let v = lat.sites_within(Site::new(0, 0), 2.0);
+        // Quarter of the disc: (1,0),(0,1),(1,1),(2,0),(0,2)
+        assert_eq!(v.len(), 5);
+    }
+
+    proptest! {
+        #[test]
+        fn sites_within_respects_radius(cx in 0i32..9, cy in 0i32..9, r in 0.5f64..4.0) {
+            let lat = Lattice::new(9);
+            let center = Site::new(cx, cy);
+            for s in lat.sites_within(center, r) {
+                prop_assert!(center.within(s, r));
+                prop_assert!(lat.contains(s));
+                prop_assert!(s != center);
+            }
+        }
+    }
+}

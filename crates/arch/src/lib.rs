@@ -1,0 +1,44 @@
+//! Neutral-atom (NA) hardware architecture model.
+//!
+//! This crate models the computational substrate assumed by the hybrid
+//! mapping paper (Schmid et al., DAC 2024):
+//!
+//! * a regular square lattice of SLM trap coordinates with lattice constant
+//!   `d` ([`Lattice`], [`Site`]),
+//! * long-range Rydberg interactions parameterized by an *interaction
+//!   radius* `r_int` and a *restriction radius* `r_restr` ([`geometry`]),
+//! * 2D acousto-optic deflector (AOD) shuttling of atom arrays with
+//!   row/column ordering constraints ([`aod`]),
+//! * hardware parameter sets (gate fidelities, operation times, coherence
+//!   times) with the three presets of the paper's Table 1c ([`HardwareParams`]).
+//!
+//! # Example
+//!
+//! ```
+//! use na_arch::{HardwareParams, Lattice, Site};
+//!
+//! let params = HardwareParams::mixed();
+//! let lattice = Lattice::new(params.lattice_side);
+//! let a = Site::new(0, 0);
+//! let b = Site::new(2, 1);
+//! assert!(lattice.contains(a) && lattice.contains(b));
+//! // With r_int = 2.5 d, sites at distance sqrt(5) d can interact.
+//! assert!(a.distance(b) <= params.r_int);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aod;
+pub mod coord;
+pub mod error;
+pub mod geometry;
+pub mod lattice;
+pub mod params;
+
+pub use aod::{AodColumn, AodRow, Move, MoveBatch};
+pub use coord::Site;
+pub use error::ArchError;
+pub use geometry::Neighborhood;
+pub use lattice::Lattice;
+pub use params::{HardwareParams, HardwareParamsBuilder};

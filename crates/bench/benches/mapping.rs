@@ -1,0 +1,84 @@
+//! Criterion benchmarks: end-to-end mapping throughput per compiler mode
+//! and hardware preset (the performance side of the Table 1a RT column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use na_arch::HardwareParams;
+use na_bench::scaled_preset;
+use na_circuit::generators::{GraphState, Qft, Reversible};
+use na_circuit::{decompose_to_native, Circuit};
+use na_mapper::{HybridMapper, MapperConfig};
+use na_schedule::Scheduler;
+
+fn bench_suite() -> Vec<(&'static str, Circuit)> {
+    vec![
+        ("graph-50", GraphState::new(50).edges(54).seed(7).build()),
+        ("qft-50", Qft::new(50).build()),
+        (
+            "bn-24",
+            decompose_to_native(
+                &Reversible::new(24).counts(&[(2, 33), (3, 22)]).seed(11).build(),
+            ),
+        ),
+    ]
+}
+
+fn bench_mapping_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map");
+    group.sample_size(10);
+    let params = scaled_preset(HardwareParams::mixed(), 0.35);
+    for (name, circuit) in bench_suite() {
+        for (mode, config) in [
+            ("shuttle", MapperConfig::shuttle_only()),
+            ("gate", MapperConfig::gate_only()),
+            ("hybrid", MapperConfig::hybrid(1.0)),
+        ] {
+            let mapper = HybridMapper::new(params.clone(), config).expect("valid");
+            group.bench_with_input(
+                BenchmarkId::new(mode, name),
+                &circuit,
+                |b, circuit| b.iter(|| mapper.map(circuit).expect("mappable")),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_hardware_presets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map_hw");
+    group.sample_size(10);
+    let circuit = Qft::new(50).build();
+    for preset in HardwareParams::table1_presets() {
+        let name = preset.name.clone();
+        let params = scaled_preset(preset, 0.35);
+        let mapper =
+            HybridMapper::new(params, MapperConfig::hybrid(1.0)).expect("valid");
+        group.bench_function(BenchmarkId::new("hybrid", name), |b| {
+            b.iter(|| mapper.map(&circuit).expect("mappable"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule");
+    let params = scaled_preset(HardwareParams::mixed(), 0.35);
+    let circuit = Qft::new(50).build();
+    let mapper = HybridMapper::new(params.clone(), MapperConfig::hybrid(1.0)).expect("valid");
+    let mapped = mapper.map(&circuit).expect("mappable").mapped;
+    let scheduler = Scheduler::new(params);
+    group.bench_function("mapped_qft50", |b| {
+        b.iter(|| scheduler.schedule_mapped(&mapped))
+    });
+    group.bench_function("original_qft50", |b| {
+        b.iter(|| scheduler.schedule_original(&circuit))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mapping_modes,
+    bench_hardware_presets,
+    bench_scheduling
+);
+criterion_main!(benches);

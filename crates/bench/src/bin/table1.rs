@@ -1,0 +1,148 @@
+//! Reproduces the paper's Table 1: mapping results for three NA hardware
+//! settings under three compilation strategies (Table 1a), the benchmark
+//! gate profiles (Table 1b) and the hardware settings (Table 1c).
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run -p na-bench --release --bin table1              # 25% scale (fast)
+//! cargo run -p na-bench --release --bin table1 -- --full    # paper scale (200 qubits)
+//! cargo run -p na-bench --release --bin table1 -- --scale 0.5
+//! cargo run -p na-bench --release --bin table1 -- --profiles  # Table 1b/1c only
+//! ```
+
+use na_arch::HardwareParams;
+use na_bench::{
+    default_alpha_grid, run_experiment, run_hybrid_alpha_sweep, scaled_preset, scaled_suite, secs,
+};
+use na_mapper::MapperConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.25f64;
+    let mut profiles_only = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => scale = 1.0,
+            "--profiles" => profiles_only = true,
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--scale takes a number in (0, 1]");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: table1 [--full | --scale X | --profiles]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    print_table_1c();
+    print_table_1b(scale);
+    if profiles_only {
+        return;
+    }
+    print_table_1a(scale);
+}
+
+fn print_table_1c() {
+    println!("Table 1c: hardware settings");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "parameter", "shuttling", "gate", "mixed"
+    );
+    let presets = HardwareParams::table1_presets();
+    let row = |name: &str, f: &dyn Fn(&HardwareParams) -> String| {
+        println!(
+            "{:<22} {:>10} {:>10} {:>10}",
+            name,
+            f(&presets[0]),
+            f(&presets[1]),
+            f(&presets[2])
+        );
+    };
+    row("r_int = r_restr [d]", &|p| format!("{}", p.r_int));
+    row("F_CZ", &|p| format!("{}", p.f_cz));
+    row("F_H", &|p| format!("{}", p.f_single));
+    row("F_shuttling", &|p| format!("{}", p.f_shuttle));
+    row("t_U3 [us]", &|p| format!("{}", p.t_single_us));
+    row("t_CZ [us]", &|p| format!("{}", p.t_cz_us));
+    row("t_CCZ [us]", &|p| format!("{}", p.t_ccz_us));
+    row("t_CCCZ [us]", &|p| format!("{}", p.t_cccz_us));
+    row("v [um/us]", &|p| format!("{}", p.shuttle_speed_um_per_us));
+    row("t_act/deact [us]", &|p| format!("{}", p.t_act_us));
+    row("T1 [us]", &|p| format!("{:.0e}", p.t1_us));
+    row("T2 [us]", &|p| format!("{:.1e}", p.t2_us));
+    println!();
+}
+
+fn print_table_1b(scale: f64) {
+    println!("Table 1b: benchmark profiles (scale = {scale})");
+    println!(
+        "{:<8} {:>6} {:>8} {:>8} {:>8}",
+        "name", "n", "nCZ", "nC2Z", "nC3Z"
+    );
+    for (name, circuit) in na_circuit::generators::table1b_suite(scale) {
+        let s = circuit.stats();
+        println!(
+            "{:<8} {:>6} {:>8} {:>8} {:>8}",
+            name,
+            s.num_qubits,
+            s.cz_family_count(2),
+            s.cz_family_count(3),
+            s.cz_family_count(4)
+        );
+    }
+    println!();
+}
+
+fn print_table_1a(scale: f64) {
+    println!("Table 1a: mapping results (scale = {scale})");
+    println!(
+        "{:<19} | {:^35} | {:^35} | {:^42}",
+        "", "(A) shuttling-only", "(B) gate-only", "(C) hybrid (best alpha)"
+    );
+    println!(
+        "{:<10} {:<8} | {:>7} {:>10} {:>8} {:>7} | {:>7} {:>10} {:>8} {:>7} | {:>7} {:>10} {:>8} {:>7} {:>6}",
+        "hardware", "circuit",
+        "dCZ", "dT[us]", "dF", "RT[s]",
+        "dCZ", "dT[us]", "dF", "RT[s]",
+        "dCZ", "dT[us]", "dF", "RT[s]", "alpha",
+    );
+
+    let alphas = default_alpha_grid();
+    for preset in HardwareParams::table1_presets() {
+        let params = scaled_preset(preset, scale);
+        let suite = scaled_suite(scale, params.num_atoms);
+        for (name, circuit) in &suite {
+            let shuttle = run_experiment(&params, circuit, MapperConfig::shuttle_only());
+            let gate = run_experiment(&params, circuit, MapperConfig::gate_only());
+            let hybrid = run_hybrid_alpha_sweep(&params, circuit, &alphas);
+            match (shuttle, gate, hybrid) {
+                (Ok(s), Ok(g), Ok(h)) => {
+                    println!(
+                        "{:<10} {:<8} | {:>7} {:>10.1} {:>8.3} {:>7} | {:>7} {:>10.1} {:>8.3} {:>7} | {:>7} {:>10.1} {:>8.3} {:>7} {:>6.2}",
+                        params.name, name,
+                        s.delta_cz, s.delta_t_us, s.delta_f, secs(s.runtime),
+                        g.delta_cz, g.delta_t_us, g.delta_f, secs(g.runtime),
+                        h.delta_cz, h.delta_t_us, h.delta_f, secs(h.runtime),
+                        h.alpha.unwrap_or(f64::NAN),
+                    );
+                }
+                (s, g, h) => {
+                    let err = s.err().or(g.err()).or(h.err()).expect("some error");
+                    println!("{:<10} {:<8} | error: {err}", params.name, name);
+                }
+            }
+        }
+        println!();
+    }
+    println!("dF = -log10(P_mapped / P_original); smaller is better.");
+    println!("Expected shape: shuttling hw -> (A) wins; gate hw -> (B) wins;");
+    println!("mixed hw -> (C) at least ties the better pure mode per circuit.");
+}

@@ -1,0 +1,237 @@
+//! Structural circuit metrics.
+//!
+//! The paper closes by observing that "the optimal ratio α between gate-
+//! and shuttling-mapping varies for different circuits, indicating a
+//! connection between circuit structure and preferred mapping capability"
+//! and leaves the systematic study as future work (§4.2). This module
+//! provides the structural quantities such a study needs; see
+//! `examples/structure_study.rs` for the study itself.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::circuit::Circuit;
+use crate::dag::CircuitDag;
+
+/// Structural metrics of a circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StructureMetrics {
+    /// Circuit width.
+    pub num_qubits: u32,
+    /// Total operation count.
+    pub num_ops: usize,
+    /// Dependency depth (longest path in the commutation-aware DAG).
+    pub depth: usize,
+    /// Dependency depth counting only entangling operations.
+    pub entangling_depth: usize,
+    /// Average available parallelism: `num_ops / depth`.
+    pub parallelism: f64,
+    /// Number of distinct interacting qubit pairs.
+    pub interaction_pairs: usize,
+    /// Average degree of the interaction graph.
+    pub interaction_degree_avg: f64,
+    /// Maximum degree of the interaction graph.
+    pub interaction_degree_max: usize,
+    /// Mean qubit-index distance of entangling gates — a proxy for how
+    /// far apart partners start under the identity layout.
+    pub index_locality_avg: f64,
+    /// Fraction of entangling gates with three or more operands.
+    pub multi_qubit_fraction: f64,
+}
+
+impl StructureMetrics {
+    /// Computes all metrics for `circuit`.
+    pub fn of(circuit: &Circuit) -> Self {
+        let dag = CircuitDag::new(circuit);
+        let ops = circuit.ops();
+
+        // Longest paths over the DAG (overall and entangling-only).
+        let order = dag.topological_order();
+        let mut level = vec![0usize; ops.len()];
+        let mut ent_level = vec![0usize; ops.len()];
+        let mut depth = 0usize;
+        let mut entangling_depth = 0usize;
+        for &i in &order {
+            let own = 1;
+            let ent_own = usize::from(ops[i].is_entangling());
+            let (mut best, mut ent_best) = (0, 0);
+            for &p in dag.predecessors(i) {
+                best = best.max(level[p]);
+                ent_best = ent_best.max(ent_level[p]);
+            }
+            level[i] = best + own;
+            ent_level[i] = ent_best + ent_own;
+            depth = depth.max(level[i]);
+            entangling_depth = entangling_depth.max(ent_level[i]);
+        }
+
+        // Interaction graph over qubit pairs.
+        let mut degree: HashMap<u32, usize> = HashMap::new();
+        let mut pairs: HashMap<(u32, u32), usize> = HashMap::new();
+        let mut index_dist_sum = 0.0;
+        let mut entangling = 0usize;
+        let mut multi = 0usize;
+        for op in ops {
+            if !op.is_entangling() {
+                continue;
+            }
+            entangling += 1;
+            if op.arity() >= 3 {
+                multi += 1;
+            }
+            let qs = op.qubits();
+            let mut op_dist = 0.0;
+            let mut op_pairs = 0usize;
+            for (i, a) in qs.iter().enumerate() {
+                for b in &qs[i + 1..] {
+                    let key = (a.0.min(b.0), a.0.max(b.0));
+                    if *pairs.entry(key).or_insert(0) == 0 {
+                        *degree.entry(key.0).or_insert(0) += 1;
+                        *degree.entry(key.1).or_insert(0) += 1;
+                    }
+                    *pairs.get_mut(&key).expect("just inserted") += 1;
+                    op_dist += f64::from(key.1 - key.0);
+                    op_pairs += 1;
+                }
+            }
+            if op_pairs > 0 {
+                index_dist_sum += op_dist / op_pairs as f64;
+            }
+        }
+
+        let degree_max = degree.values().copied().max().unwrap_or(0);
+        let degree_avg = if circuit.num_qubits() > 0 {
+            2.0 * pairs.len() as f64 / f64::from(circuit.num_qubits())
+        } else {
+            0.0
+        };
+
+        StructureMetrics {
+            num_qubits: circuit.num_qubits(),
+            num_ops: ops.len(),
+            depth,
+            entangling_depth,
+            parallelism: if depth > 0 {
+                ops.len() as f64 / depth as f64
+            } else {
+                0.0
+            },
+            interaction_pairs: pairs.len(),
+            interaction_degree_avg: degree_avg,
+            interaction_degree_max: degree_max,
+            index_locality_avg: if entangling > 0 {
+                index_dist_sum / entangling as f64
+            } else {
+                0.0
+            },
+            multi_qubit_fraction: if entangling > 0 {
+                multi as f64 / entangling as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for StructureMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} ops={} depth={} (2q-depth {}) par={:.2} pairs={} deg(avg/max)={:.2}/{} \
+             idx-dist={:.1} multiq={:.0}%",
+            self.num_qubits,
+            self.num_ops,
+            self.depth,
+            self.entangling_depth,
+            self.parallelism,
+            self.interaction_pairs,
+            self.interaction_degree_avg,
+            self.interaction_degree_max,
+            self.index_locality_avg,
+            100.0 * self.multi_qubit_fraction
+        )
+    }
+}
+
+/// The interaction multigraph of a circuit: edge `(a, b) → count` of
+/// entangling gate pairs coupling qubits `a < b`.
+pub fn interaction_graph(circuit: &Circuit) -> HashMap<(u32, u32), usize> {
+    let mut pairs = HashMap::new();
+    for op in circuit.iter().filter(|op| op.is_entangling()) {
+        let qs = op.qubits();
+        for (i, a) in qs.iter().enumerate() {
+            for b in &qs[i + 1..] {
+                *pairs.entry((a.0.min(b.0), a.0.max(b.0))).or_insert(0) += 1;
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{ghz, GraphState, Qft};
+
+    #[test]
+    fn ghz_is_deep_and_serial() {
+        let m = StructureMetrics::of(&ghz(8));
+        // CNOT chain: every gate depends on the previous one.
+        assert_eq!(m.depth, 8); // h + 7 cx
+        assert!(m.parallelism < 1.5);
+        assert_eq!(m.interaction_pairs, 7);
+        assert!((m.index_locality_avg - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qft_ladder_is_wide() {
+        let m = StructureMetrics::of(&Qft::new(10).build());
+        // Commuting CPs expose large frontiers: parallelism well above 1.
+        assert!(m.parallelism > 2.0, "parallelism = {}", m.parallelism);
+        assert_eq!(m.interaction_pairs, 45); // all-to-all
+        assert_eq!(m.interaction_degree_max, 9);
+    }
+
+    #[test]
+    fn graph_state_is_shallow() {
+        let m = StructureMetrics::of(&GraphState::new(30).edges(35).seed(1).build());
+        assert!(m.depth < 35);
+        assert_eq!(m.multi_qubit_fraction, 0.0);
+        assert_eq!(m.interaction_pairs, 35);
+    }
+
+    #[test]
+    fn multi_qubit_fraction_counts_ccz() {
+        let mut c = Circuit::new(4);
+        c.cz(0, 1).ccz(1, 2, 3);
+        let m = StructureMetrics::of(&c);
+        assert!((m.multi_qubit_fraction - 0.5).abs() < 1e-12);
+        // CCZ contributes 3 pairs.
+        assert_eq!(m.interaction_pairs, 4);
+    }
+
+    #[test]
+    fn interaction_graph_counts_multiplicity() {
+        let mut c = Circuit::new(3);
+        c.cz(0, 1).cz(1, 0).cz(1, 2);
+        let g = interaction_graph(&c);
+        assert_eq!(g[&(0, 1)], 2);
+        assert_eq!(g[&(1, 2)], 1);
+    }
+
+    #[test]
+    fn empty_circuit_has_zero_metrics() {
+        let m = StructureMetrics::of(&Circuit::new(5));
+        assert_eq!(m.depth, 0);
+        assert_eq!(m.interaction_pairs, 0);
+        assert_eq!(m.parallelism, 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = StructureMetrics::of(&ghz(4)).to_string();
+        assert!(text.contains("n=4"));
+        assert!(text.contains("depth="));
+    }
+}

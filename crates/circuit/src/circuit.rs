@@ -1,0 +1,381 @@
+//! The [`Circuit`] container and gate statistics.
+
+use na_arch::HardwareParams;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::CircuitError;
+use crate::gate::{GateKind, Operation, Qubit};
+
+/// An ordered list of operations on `num_qubits` circuit qubits.
+///
+/// Convenience gate methods panic on invalid operands (they are intended
+/// for statically-known indices in generators and tests); use
+/// [`Circuit::push`] for fallible insertion of untrusted input.
+///
+/// # Example
+///
+/// ```
+/// use na_circuit::Circuit;
+/// let mut c = Circuit::new(3);
+/// c.h(0).cz(0, 1).ccz(0, 1, 2);
+/// assert_eq!(c.len(), 3);
+/// assert_eq!(c.stats().cz_family_count(3), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    num_qubits: u32,
+    ops: Vec<Operation>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit on `num_qubits` qubits.
+    pub fn new(num_qubits: u32) -> Self {
+        Circuit {
+            num_qubits,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Circuit width.
+    #[inline]
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Number of operations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the circuit has no operations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations in program order.
+    #[inline]
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Iterates over the operations.
+    pub fn iter(&self) -> std::slice::Iter<'_, Operation> {
+        self.ops.iter()
+    }
+
+    /// Appends a validated operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::QubitOutOfRange`] when an operand exceeds
+    /// the circuit width.
+    pub fn push(&mut self, op: Operation) -> Result<(), CircuitError> {
+        for q in op.qubits() {
+            if q.0 >= self.num_qubits {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q.0,
+                    num_qubits: self.num_qubits,
+                });
+            }
+        }
+        self.ops.push(op);
+        Ok(())
+    }
+
+    fn push_unchecked(&mut self, kind: GateKind, qubits: Vec<Qubit>) -> &mut Self {
+        let op = Operation::new(kind, qubits).expect("valid gate operands");
+        self.push(op).expect("qubit indices in range");
+        self
+    }
+
+    /// Appends a Hadamard on `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range (also applies to the other
+    /// convenience gate methods below).
+    pub fn h(&mut self, q: u32) -> &mut Self {
+        self.push_unchecked(GateKind::H, vec![Qubit(q)])
+    }
+
+    /// Appends a Pauli-X on `q`.
+    pub fn x(&mut self, q: u32) -> &mut Self {
+        self.push_unchecked(GateKind::X, vec![Qubit(q)])
+    }
+
+    /// Appends a Pauli-Z on `q`.
+    pub fn z(&mut self, q: u32) -> &mut Self {
+        self.push_unchecked(GateKind::Z, vec![Qubit(q)])
+    }
+
+    /// Appends `RZ(theta)` on `q`.
+    pub fn rz(&mut self, theta: f64, q: u32) -> &mut Self {
+        self.push_unchecked(GateKind::Rz(theta), vec![Qubit(q)])
+    }
+
+    /// Appends `U3(theta, phi, lambda)` on `q`.
+    pub fn u3(&mut self, theta: f64, phi: f64, lambda: f64, q: u32) -> &mut Self {
+        self.push_unchecked(GateKind::U3(theta, phi, lambda), vec![Qubit(q)])
+    }
+
+    /// Appends a CZ between `a` and `b`.
+    pub fn cz(&mut self, a: u32, b: u32) -> &mut Self {
+        self.push_unchecked(GateKind::Cz, vec![Qubit(a), Qubit(b)])
+    }
+
+    /// Appends a controlled-phase `CP(theta)` between `a` and `b`.
+    pub fn cp(&mut self, theta: f64, a: u32, b: u32) -> &mut Self {
+        self.push_unchecked(GateKind::Cp(theta), vec![Qubit(a), Qubit(b)])
+    }
+
+    /// Appends a CCZ on three qubits.
+    pub fn ccz(&mut self, a: u32, b: u32, c: u32) -> &mut Self {
+        self.push_unchecked(GateKind::Mcz, vec![Qubit(a), Qubit(b), Qubit(c)])
+    }
+
+    /// Appends a `CᵐZ` on the given qubits (3 ≤ qubits ≤ hardware limit).
+    pub fn mcz(&mut self, qubits: &[u32]) -> &mut Self {
+        self.push_unchecked(GateKind::Mcz, qubits.iter().map(|&q| Qubit(q)).collect())
+    }
+
+    /// Appends a CNOT with control `c` and target `t` (a 2-qubit `Mcx`).
+    pub fn cx(&mut self, c: u32, t: u32) -> &mut Self {
+        self.push_unchecked(GateKind::Mcx, vec![Qubit(c), Qubit(t)])
+    }
+
+    /// Appends a `CᵐX`; the last element of `qubits` is the target.
+    pub fn mcx(&mut self, qubits: &[u32]) -> &mut Self {
+        self.push_unchecked(GateKind::Mcx, qubits.iter().map(|&q| Qubit(q)).collect())
+    }
+
+    /// Appends a SWAP between `a` and `b`.
+    pub fn swap(&mut self, a: u32, b: u32) -> &mut Self {
+        self.push_unchecked(GateKind::Swap, vec![Qubit(a), Qubit(b)])
+    }
+
+    /// Appends all operations of `other` (must have the same width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is wider than `self`.
+    pub fn extend_from(&mut self, other: &Circuit) -> &mut Self {
+        assert!(
+            other.num_qubits <= self.num_qubits,
+            "cannot append a wider circuit"
+        );
+        self.ops.extend(other.ops.iter().cloned());
+        self
+    }
+
+    /// Gate statistics in the shape of the paper's Table 1b.
+    pub fn stats(&self) -> GateStats {
+        let mut stats = GateStats::new(self.num_qubits);
+        for op in &self.ops {
+            stats.total += 1;
+            if op.arity() == 1 {
+                stats.single_qubit += 1;
+            } else if op.kind().is_cz_family() {
+                let a = op.arity();
+                if a < GateStats::MAX_ARITY {
+                    stats.cz_family[a] += 1;
+                } else {
+                    stats.cz_family_overflow += 1;
+                }
+            } else {
+                stats.other_multi += 1;
+            }
+        }
+        stats
+    }
+
+    /// Count of native CZ-family entangling operations (any arity) — the
+    /// paper's `nCZ`-style accounting after decomposition.
+    pub fn entangling_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| op.kind().is_cz_family())
+            .count()
+    }
+
+    /// Returns `true` if every operation is NA-native.
+    pub fn is_native(&self) -> bool {
+        self.ops.iter().all(|op| op.kind().is_native())
+    }
+
+    /// Sum of individual operation durations (no parallelism), in µs.
+    /// Useful as a normalization baseline for schedules.
+    pub fn serial_duration_us(&self, params: &HardwareParams) -> f64 {
+        self.ops.iter().map(|op| op.duration_us(params)).sum()
+    }
+
+    /// Product of operation log-fidelities: `Σ ln F_O` over all gates.
+    pub fn log_fidelity(&self, params: &HardwareParams) -> f64 {
+        self.ops.iter().map(|op| op.fidelity(params).ln()).sum()
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit on {} qubits:", self.num_qubits)?;
+        for op in &self.ops {
+            writeln!(f, "  {op}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Gate counts in the shape of the paper's Table 1b.
+///
+/// `cz_family[a]` counts CZ-class gates of arity `a` (so `cz_family[2]` is
+/// `nCZ`, `cz_family[3]` is `nC2Z`, `cz_family[4]` is `nC3Z`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GateStats {
+    /// Circuit width.
+    pub num_qubits: u32,
+    /// Total operation count.
+    pub total: usize,
+    /// Single-qubit gate count.
+    pub single_qubit: usize,
+    /// CZ-family counts indexed by arity (index 0 and 1 unused).
+    pub cz_family: [usize; GateStats::MAX_ARITY],
+    /// CZ-family gates of arity ≥ `MAX_ARITY`.
+    pub cz_family_overflow: usize,
+    /// Non-native multi-qubit gates (`Mcx`, `Swap`) still present.
+    pub other_multi: usize,
+}
+
+impl GateStats {
+    /// Largest tracked arity (exclusive).
+    pub const MAX_ARITY: usize = 8;
+
+    fn new(num_qubits: u32) -> Self {
+        GateStats {
+            num_qubits,
+            total: 0,
+            single_qubit: 0,
+            cz_family: [0; GateStats::MAX_ARITY],
+            cz_family_overflow: 0,
+            other_multi: 0,
+        }
+    }
+
+    /// CZ-family gates of exactly `arity` qubits.
+    pub fn cz_family_count(&self, arity: usize) -> usize {
+        if arity < GateStats::MAX_ARITY {
+            self.cz_family[arity]
+        } else {
+            0
+        }
+    }
+
+    /// All CZ-family entangling gates regardless of arity.
+    pub fn entangling_total(&self) -> usize {
+        self.cz_family.iter().sum::<usize>() + self.cz_family_overflow
+    }
+}
+
+impl fmt::Display for GateStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} nCZ={} nC2Z={} nC3Z={} (1q={}, total={})",
+            self.num_qubits,
+            self.cz_family[2],
+            self.cz_family[3],
+            self.cz_family[4],
+            self.single_qubit,
+            self.total
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let mut c = Circuit::new(4);
+        c.h(0).cz(0, 1).ccz(1, 2, 3).mcx(&[0, 1, 2, 3]).swap(0, 3);
+        assert_eq!(c.len(), 5);
+        assert!(!c.is_native());
+    }
+
+    #[test]
+    fn push_rejects_out_of_range() {
+        let mut c = Circuit::new(2);
+        let op = Operation::new(GateKind::Cz, vec![Qubit(0), Qubit(5)]).unwrap();
+        assert_eq!(
+            c.push(op),
+            Err(CircuitError::QubitOutOfRange {
+                qubit: 5,
+                num_qubits: 2
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "range")]
+    fn convenience_method_panics_out_of_range() {
+        Circuit::new(2).h(7);
+    }
+
+    #[test]
+    fn stats_match_gate_mix() {
+        let mut c = Circuit::new(5);
+        c.h(0).h(1).cz(0, 1).cp(0.3, 1, 2).ccz(0, 1, 2).mcz(&[0, 1, 2, 3]);
+        let s = c.stats();
+        assert_eq!(s.single_qubit, 2);
+        assert_eq!(s.cz_family_count(2), 2); // cz + cp
+        assert_eq!(s.cz_family_count(3), 1);
+        assert_eq!(s.cz_family_count(4), 1);
+        assert_eq!(s.entangling_total(), 4);
+        assert_eq!(s.total, 6);
+    }
+
+    #[test]
+    fn entangling_count_ignores_single_qubit() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).cz(0, 1);
+        assert_eq!(c.entangling_count(), 1);
+    }
+
+    #[test]
+    fn serial_duration_sums_ops() {
+        let p = HardwareParams::mixed();
+        let mut c = Circuit::new(2);
+        c.h(0).cz(0, 1);
+        assert!((c.serial_duration_us(&p) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_fidelity_is_negative_for_imperfect_gates() {
+        let p = HardwareParams::mixed();
+        let mut c = Circuit::new(2);
+        c.cz(0, 1);
+        assert!(c.log_fidelity(&p) < 0.0);
+        assert!((c.log_fidelity(&p) - p.f_cz.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_from_appends() {
+        let mut a = Circuit::new(3);
+        a.h(0);
+        let mut b = Circuit::new(3);
+        b.cz(1, 2);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn display_lists_gates() {
+        let mut c = Circuit::new(2);
+        c.h(0).cz(0, 1);
+        let text = c.to_string();
+        assert!(text.contains("h q0"));
+        assert!(text.contains("cz q0, q1"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Decomposition of non-native gates to the NA-native set.
+//!
+//! Neutral atoms natively support arbitrary single-qubit rotations and the
+//! Rydberg `CᵐZ` family (paper §2.1). The paper's benchmarks use `CᵐX`
+//! gates which "have been decomposed to natively supported CᵐZ gates"
+//! (§4.1), and every routing SWAP is ultimately realized as 3 CZ plus
+//! single-qubit rotations (§2.2, §3.2 (5)).
+
+use crate::circuit::Circuit;
+use crate::gate::{GateKind, Operation, Qubit};
+
+/// Rewrites `circuit` so that every operation is NA-native.
+///
+/// * `CᵐX(controls…, target)` → `H(target) · CᵐZ(all) · H(target)`
+/// * `SWAP(a, b)` → `CNOT(a,b)·CNOT(b,a)·CNOT(a,b)` with each CNOT
+///   expanded to `H(t) · CZ · H(t)`: 3 CZ + 6 H in total.
+/// * Native gates pass through unchanged.
+///
+/// # Example
+///
+/// ```
+/// use na_circuit::{Circuit, decompose_to_native};
+/// let mut c = Circuit::new(3);
+/// c.mcx(&[0, 1, 2]); // Toffoli
+/// let native = decompose_to_native(&c);
+/// assert!(native.is_native());
+/// assert_eq!(native.len(), 3); // H, CCZ, H
+/// ```
+pub fn decompose_to_native(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits());
+    for op in circuit.iter() {
+        match op.kind() {
+            GateKind::Mcx => {
+                let qubits = op.qubits();
+                let target = *qubits.last().expect("mcx has operands");
+                push(&mut out, GateKind::H, vec![target]);
+                if qubits.len() == 2 {
+                    push(&mut out, GateKind::Cz, qubits.to_vec());
+                } else {
+                    push(&mut out, GateKind::Mcz, qubits.to_vec());
+                }
+                push(&mut out, GateKind::H, vec![target]);
+            }
+            GateKind::Swap => {
+                let (a, b) = (op.qubits()[0], op.qubits()[1]);
+                for target in [b, a, b] {
+                    push(&mut out, GateKind::H, vec![target]);
+                    push(&mut out, GateKind::Cz, vec![a, b]);
+                    push(&mut out, GateKind::H, vec![target]);
+                }
+            }
+            _ => {
+                out.push(op.clone()).expect("same width");
+            }
+        }
+    }
+    out
+}
+
+fn push(circuit: &mut Circuit, kind: GateKind, qubits: Vec<Qubit>) {
+    let op = Operation::new(kind, qubits).expect("decomposition emits valid gates");
+    circuit.push(op).expect("decomposition stays in range");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use na_arch::HardwareParams;
+
+    #[test]
+    fn cx_becomes_h_cz_h() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let native = decompose_to_native(&c);
+        let names: Vec<_> = native.iter().map(|op| op.kind().name()).collect();
+        assert_eq!(names, ["h", "cz", "h"]);
+        // H applied on the target qubit.
+        assert_eq!(native.ops()[0].qubits(), &[Qubit(1)]);
+    }
+
+    #[test]
+    fn toffoli_keeps_arity() {
+        let mut c = Circuit::new(4);
+        c.mcx(&[0, 1, 2, 3]);
+        let native = decompose_to_native(&c);
+        let stats = native.stats();
+        assert_eq!(stats.cz_family_count(4), 1);
+        assert_eq!(stats.single_qubit, 2);
+    }
+
+    #[test]
+    fn swap_costs_three_cz_six_h() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        let native = decompose_to_native(&c);
+        let stats = native.stats();
+        assert_eq!(stats.cz_family_count(2), 3);
+        assert_eq!(stats.single_qubit, 6);
+        assert!(native.is_native());
+    }
+
+    #[test]
+    fn swap_decomposition_fidelity_matches_params_model() {
+        let p = HardwareParams::mixed();
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        let native = decompose_to_native(&c);
+        let log_f: f64 = native.log_fidelity(&p);
+        assert!((log_f.exp() - p.swap_fidelity()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn native_ops_unchanged() {
+        let mut c = Circuit::new(3);
+        c.h(0).cz(0, 1).ccz(0, 1, 2).cp(0.2, 1, 2).rz(0.4, 0);
+        let native = decompose_to_native(&c);
+        assert_eq!(&c, &native);
+    }
+
+    #[test]
+    fn mixed_circuit_fully_native() {
+        let mut c = Circuit::new(5);
+        c.h(0).cx(0, 1).mcx(&[1, 2, 3]).swap(3, 4).ccz(0, 2, 4);
+        let native = decompose_to_native(&c);
+        assert!(native.is_native());
+        // Entangling count: cx→1, mcx→1, swap→3, ccz→1.
+        assert_eq!(native.entangling_count(), 6);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error types for circuit construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or validating circuits.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A gate referenced a qubit index beyond the circuit width.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: u32,
+        /// The circuit width.
+        num_qubits: u32,
+    },
+    /// A gate listed the same qubit more than once.
+    DuplicateQubit {
+        /// The repeated qubit index.
+        qubit: u32,
+    },
+    /// A gate was constructed with the wrong number of qubits.
+    ArityMismatch {
+        /// Gate name.
+        gate: &'static str,
+        /// Expected qubit count (minimum for variadic gates).
+        expected: usize,
+        /// Provided qubit count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+            }
+            CircuitError::DuplicateQubit { qubit } => {
+                write!(f, "qubit {qubit} listed more than once in one gate")
+            }
+            CircuitError::ArityMismatch { gate, expected, got } => {
+                write!(f, "gate {gate} expects {expected} qubits, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = CircuitError::QubitOutOfRange { qubit: 9, num_qubits: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+        let e = CircuitError::ArityMismatch { gate: "cz", expected: 2, got: 3 };
+        assert!(e.to_string().contains("cz"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

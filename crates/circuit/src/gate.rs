@@ -1,0 +1,398 @@
+//! Gates and operations.
+//!
+//! The NA-native gate set consists of arbitrary single-qubit rotations
+//! (addressed laser pulses) and the `CᵐZ` family realized through the
+//! Rydberg blockade (paper §2.1). Controlled-phase `CP(θ)` is counted as a
+//! CZ-class entangling operation, matching the paper's `nCZ` accounting.
+//! Non-native gates (`CᵐX`, `SWAP`) carry decompositions in
+//! [`crate::decompose`].
+
+use na_arch::HardwareParams;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::CircuitError;
+
+/// A circuit (logical) qubit index.
+///
+/// Circuit qubits `q_i` are distinct from hardware atoms and from trap
+/// coordinates; the mapper maintains the assignments between the three
+/// (paper §2.2).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct Qubit(pub u32);
+
+impl Qubit {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u32> for Qubit {
+    fn from(i: u32) -> Self {
+        Qubit(i)
+    }
+}
+
+/// The kind of a gate, excluding its qubit operands.
+///
+/// Rotation angles are in radians.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum GateKind {
+    /// Hadamard.
+    H,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z (diagonal).
+    Z,
+    /// X rotation.
+    Rx(f64),
+    /// Y rotation.
+    Ry(f64),
+    /// Z rotation (diagonal).
+    Rz(f64),
+    /// General single-qubit rotation `U3(θ, φ, λ)`.
+    U3(f64, f64, f64),
+    /// Controlled-Z (diagonal, 2 qubits, native).
+    Cz,
+    /// Controlled-phase `CP(θ)` (diagonal, 2 qubits, native CZ-class).
+    Cp(f64),
+    /// Multi-controlled Z, `Cᵐ⁻¹Z` on `m ≥ 3` qubits (diagonal, native).
+    Mcz,
+    /// Multi-controlled X (Toffoli family); last operand is the target.
+    /// Non-native: decomposes to `H · CᵐZ · H`.
+    Mcx,
+    /// SWAP; non-native: decomposes to 3 CZ + 6 H (paper §2.2).
+    Swap,
+}
+
+impl GateKind {
+    /// Short lowercase mnemonic (e.g. `"cz"`, `"u3"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            GateKind::H => "h",
+            GateKind::X => "x",
+            GateKind::Y => "y",
+            GateKind::Z => "z",
+            GateKind::Rx(_) => "rx",
+            GateKind::Ry(_) => "ry",
+            GateKind::Rz(_) => "rz",
+            GateKind::U3(..) => "u3",
+            GateKind::Cz => "cz",
+            GateKind::Cp(_) => "cp",
+            GateKind::Mcz => "mcz",
+            GateKind::Mcx => "mcx",
+            GateKind::Swap => "swap",
+        }
+    }
+
+    /// Returns `true` if the gate is diagonal in the computational basis.
+    ///
+    /// Diagonal gates mutually commute — the property exploited by the
+    /// commutation-aware layer construction (paper §3.2 (1)).
+    pub fn is_diagonal(&self) -> bool {
+        matches!(
+            self,
+            GateKind::Z | GateKind::Rz(_) | GateKind::Cz | GateKind::Cp(_) | GateKind::Mcz
+        )
+    }
+
+    /// Returns `true` if the gate is an X-axis rotation (these mutually
+    /// commute on the same qubit).
+    pub fn is_x_axis(&self) -> bool {
+        matches!(self, GateKind::X | GateKind::Rx(_))
+    }
+
+    /// Returns `true` if the gate belongs to the NA-native set
+    /// (single-qubit rotations and the CZ family).
+    pub fn is_native(&self) -> bool {
+        !matches!(self, GateKind::Mcx | GateKind::Swap)
+    }
+
+    /// Returns `true` for CZ-family entangling gates (`CZ`, `CP`, `CᵐZ`).
+    pub fn is_cz_family(&self) -> bool {
+        matches!(self, GateKind::Cz | GateKind::Cp(_) | GateKind::Mcz)
+    }
+
+    /// Expected operand count: `None` for variadic gates (`Mcz`, `Mcx`),
+    /// otherwise the exact arity.
+    pub fn fixed_arity(&self) -> Option<usize> {
+        match self {
+            GateKind::H
+            | GateKind::X
+            | GateKind::Y
+            | GateKind::Z
+            | GateKind::Rx(_)
+            | GateKind::Ry(_)
+            | GateKind::Rz(_)
+            | GateKind::U3(..) => Some(1),
+            GateKind::Cz | GateKind::Cp(_) | GateKind::Swap => Some(2),
+            GateKind::Mcz | GateKind::Mcx => None,
+        }
+    }
+}
+
+/// A gate applied to a concrete list of qubits.
+///
+/// # Example
+///
+/// ```
+/// use na_circuit::{GateKind, Operation, Qubit};
+/// let op = Operation::new(GateKind::Cz, vec![Qubit(0), Qubit(1)])?;
+/// assert!(op.is_entangling());
+/// assert_eq!(op.arity(), 2);
+/// # Ok::<(), na_circuit::CircuitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Operation {
+    kind: GateKind,
+    qubits: Vec<Qubit>,
+}
+
+impl Operation {
+    /// Creates a validated operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::ArityMismatch`] if the operand count does
+    /// not match the gate kind (for `Mcz`/`Mcx` at least 2 and 3 qubits
+    /// respectively are required — use [`GateKind::Cz`] for the 2-qubit
+    /// case), or [`CircuitError::DuplicateQubit`] if a qubit repeats.
+    pub fn new(kind: GateKind, qubits: Vec<Qubit>) -> Result<Self, CircuitError> {
+        match kind.fixed_arity() {
+            Some(n) if qubits.len() != n => {
+                return Err(CircuitError::ArityMismatch {
+                    gate: kind.name(),
+                    expected: n,
+                    got: qubits.len(),
+                })
+            }
+            None => {
+                let min = match kind {
+                    GateKind::Mcz => 3,
+                    _ => 2,
+                };
+                if qubits.len() < min {
+                    return Err(CircuitError::ArityMismatch {
+                        gate: kind.name(),
+                        expected: min,
+                        got: qubits.len(),
+                    });
+                }
+            }
+            _ => {}
+        }
+        let mut seen = qubits.clone();
+        seen.sort_unstable();
+        for w in seen.windows(2) {
+            if w[0] == w[1] {
+                return Err(CircuitError::DuplicateQubit { qubit: w[0].0 });
+            }
+        }
+        Ok(Operation { kind, qubits })
+    }
+
+    /// The gate kind.
+    #[inline]
+    pub fn kind(&self) -> &GateKind {
+        &self.kind
+    }
+
+    /// The operand qubits in gate order (for `Mcx` the target is last).
+    #[inline]
+    pub fn qubits(&self) -> &[Qubit] {
+        &self.qubits
+    }
+
+    /// Number of operand qubits.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// Returns `true` for gates on two or more qubits.
+    #[inline]
+    pub fn is_entangling(&self) -> bool {
+        self.arity() >= 2
+    }
+
+    /// Returns `true` if the operation acts on `q`.
+    #[inline]
+    pub fn acts_on(&self, q: Qubit) -> bool {
+        self.qubits.contains(&q)
+    }
+
+    /// Returns `true` if the two operations share at least one qubit.
+    pub fn overlaps(&self, other: &Operation) -> bool {
+        self.qubits.iter().any(|q| other.acts_on(*q))
+    }
+
+    /// Commutation test used for dependency construction.
+    ///
+    /// Two operations commute when they act on disjoint qubits, when both
+    /// are diagonal in the computational basis, or when both are X-axis
+    /// rotations on the same single qubit. This is conservative: gates
+    /// that commute for subtler reasons are treated as ordered.
+    pub fn commutes_with(&self, other: &Operation) -> bool {
+        if !self.overlaps(other) {
+            return true;
+        }
+        if self.kind.is_diagonal() && other.kind.is_diagonal() {
+            return true;
+        }
+        self.arity() == 1
+            && other.arity() == 1
+            && self.kind.is_x_axis()
+            && other.kind.is_x_axis()
+    }
+
+    /// Execution time on the given hardware, in µs.
+    ///
+    /// Native single-qubit gates take `t_U3`; the CZ family follows the
+    /// Table 1c arity progression. Non-native gates report the duration of
+    /// their native decomposition (critical path).
+    pub fn duration_us(&self, params: &HardwareParams) -> f64 {
+        match self.kind {
+            GateKind::Mcx => {
+                2.0 * params.t_single_us + params.cz_family_time_us(self.arity())
+            }
+            GateKind::Swap => params.swap_time_us(),
+            _ if self.kind.is_cz_family() => params.cz_family_time_us(self.arity()),
+            _ => params.t_single_us,
+        }
+    }
+
+    /// Average fidelity on the given hardware.
+    ///
+    /// Non-native gates report the product fidelity of their
+    /// decomposition.
+    pub fn fidelity(&self, params: &HardwareParams) -> f64 {
+        match self.kind {
+            GateKind::Mcx => {
+                params.f_single.powi(2) * params.cz_family_fidelity(self.arity())
+            }
+            GateKind::Swap => params.swap_fidelity(),
+            _ if self.kind.is_cz_family() => params.cz_family_fidelity(self.arity()),
+            _ => params.f_single,
+        }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind.name())?;
+        for (i, q) in self.qubits.iter().enumerate() {
+            write!(f, "{}{q}", if i == 0 { " " } else { ", " })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cz(a: u32, b: u32) -> Operation {
+        Operation::new(GateKind::Cz, vec![Qubit(a), Qubit(b)]).unwrap()
+    }
+
+    fn h(q: u32) -> Operation {
+        Operation::new(GateKind::H, vec![Qubit(q)]).unwrap()
+    }
+
+    #[test]
+    fn arity_validation() {
+        assert!(Operation::new(GateKind::Cz, vec![Qubit(0)]).is_err());
+        assert!(Operation::new(GateKind::H, vec![Qubit(0), Qubit(1)]).is_err());
+        assert!(Operation::new(GateKind::Mcz, vec![Qubit(0), Qubit(1)]).is_err());
+        assert!(Operation::new(GateKind::Mcz, vec![Qubit(0), Qubit(1), Qubit(2)]).is_ok());
+    }
+
+    #[test]
+    fn duplicate_qubits_rejected() {
+        let err = Operation::new(GateKind::Cz, vec![Qubit(3), Qubit(3)]).unwrap_err();
+        assert_eq!(err, CircuitError::DuplicateQubit { qubit: 3 });
+    }
+
+    #[test]
+    fn diagonal_gates_commute() {
+        let a = cz(0, 1);
+        let b = cz(1, 2);
+        assert!(a.commutes_with(&b));
+        let rz = Operation::new(GateKind::Rz(0.3), vec![Qubit(1)]).unwrap();
+        assert!(a.commutes_with(&rz));
+    }
+
+    #[test]
+    fn h_blocks_cz() {
+        assert!(!cz(0, 1).commutes_with(&h(1)));
+        assert!(cz(0, 1).commutes_with(&h(2)));
+    }
+
+    #[test]
+    fn x_axis_rotations_commute() {
+        let x = Operation::new(GateKind::X, vec![Qubit(0)]).unwrap();
+        let rx = Operation::new(GateKind::Rx(0.7), vec![Qubit(0)]).unwrap();
+        assert!(x.commutes_with(&rx));
+        let ry = Operation::new(GateKind::Ry(0.7), vec![Qubit(0)]).unwrap();
+        assert!(!x.commutes_with(&ry));
+    }
+
+    #[test]
+    fn commutation_is_symmetric() {
+        let ops = [
+            cz(0, 1),
+            h(0),
+            Operation::new(GateKind::Rz(1.0), vec![Qubit(0)]).unwrap(),
+            Operation::new(GateKind::Mcz, vec![Qubit(0), Qubit(1), Qubit(2)]).unwrap(),
+        ];
+        for a in &ops {
+            for b in &ops {
+                assert_eq!(a.commutes_with(b), b.commutes_with(a), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn durations_follow_table1c() {
+        let p = HardwareParams::mixed();
+        assert_eq!(h(0).duration_us(&p), 0.5);
+        assert_eq!(cz(0, 1).duration_us(&p), 0.2);
+        let ccz = Operation::new(GateKind::Mcz, vec![Qubit(0), Qubit(1), Qubit(2)]).unwrap();
+        assert_eq!(ccz.duration_us(&p), 0.4);
+        let swap = Operation::new(GateKind::Swap, vec![Qubit(0), Qubit(1)]).unwrap();
+        assert_eq!(swap.duration_us(&p), p.swap_time_us());
+    }
+
+    #[test]
+    fn fidelity_of_swap_matches_decomposition() {
+        let p = HardwareParams::gate_based();
+        let swap = Operation::new(GateKind::Swap, vec![Qubit(0), Qubit(1)]).unwrap();
+        assert!((swap.fidelity(&p) - p.f_cz.powi(3) * p.f_single.powi(6)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_contains_operands() {
+        assert_eq!(cz(0, 5).to_string(), "cz q0, q5");
+    }
+
+    #[test]
+    fn cp_is_cz_family_and_diagonal() {
+        let cp = Operation::new(GateKind::Cp(0.4), vec![Qubit(0), Qubit(1)]).unwrap();
+        assert!(cp.kind().is_cz_family());
+        assert!(cp.kind().is_diagonal());
+        assert!(cp.kind().is_native());
+    }
+}

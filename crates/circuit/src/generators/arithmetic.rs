@@ -1,0 +1,160 @@
+//! Arithmetic circuits: GHZ ladders and the Cuccaro ripple-carry adder.
+//!
+//! Both exercise mapper behaviours the random benchmarks do not: GHZ is a
+//! pure nearest-neighbour chain (the easiest possible routing), while the
+//! Cuccaro adder is a deep Toffoli ladder whose `CCX` gates stress the
+//! multi-qubit position finding of §3.1.3.
+
+use crate::circuit::Circuit;
+
+/// Builds an `n`-qubit GHZ preparation: `H(0)` followed by a CNOT chain.
+///
+/// # Example
+///
+/// ```
+/// use na_circuit::generators::ghz;
+/// let c = ghz(5);
+/// assert_eq!(c.len(), 5); // 1 H + 4 CX
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn ghz(n: u32) -> Circuit {
+    assert!(n >= 2, "GHZ needs at least 2 qubits");
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for i in 0..n - 1 {
+        c.cx(i, i + 1);
+    }
+    c
+}
+
+/// Builds a Cuccaro ripple-carry adder computing `b += a` on two
+/// `bits`-bit registers with one ancilla carry qubit (`2·bits + 2`
+/// qubits total: `cin, a₀, b₀, a₁, b₁, …, cout`).
+///
+/// Layout follows Cuccaro et al. (quant-ph/0410184): a MAJ ladder, the
+/// carry-out CNOT, and the UMA ladder.
+///
+/// # Example
+///
+/// ```
+/// use na_circuit::generators::cuccaro_adder;
+/// let c = cuccaro_adder(4);
+/// assert_eq!(c.num_qubits(), 10);
+/// assert!(c.iter().any(|op| op.arity() == 3)); // Toffolis
+/// ```
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn cuccaro_adder(bits: u32) -> Circuit {
+    assert!(bits > 0, "adder needs at least one bit");
+    let n = 2 * bits + 2;
+    let mut c = Circuit::new(n);
+    // Qubit roles: 0 = cin; a_i = 1 + 2i; b_i = 2 + 2i; cout = n - 1.
+    let a = |i: u32| 1 + 2 * i;
+    let b = |i: u32| 2 + 2 * i;
+    let cin = 0u32;
+    let cout = n - 1;
+
+    let maj = |c: &mut Circuit, x: u32, y: u32, z: u32| {
+        c.cx(z, y);
+        c.cx(z, x);
+        c.mcx(&[x, y, z]);
+    };
+    let uma = |c: &mut Circuit, x: u32, y: u32, z: u32| {
+        c.mcx(&[x, y, z]);
+        c.cx(z, x);
+        c.cx(x, y);
+    };
+
+    maj(&mut c, cin, b(0), a(0));
+    for i in 1..bits {
+        maj(&mut c, a(i - 1), b(i), a(i));
+    }
+    c.cx(a(bits - 1), cout);
+    for i in (1..bits).rev() {
+        uma(&mut c, a(i - 1), b(i), a(i));
+    }
+    uma(&mut c, cin, b(0), a(0));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Statevector;
+
+    #[test]
+    fn ghz_entangles_all_qubits() {
+        let psi = Statevector::simulate(&ghz(5));
+        assert!((psi.probability(0) - 0.5).abs() < 1e-10);
+        assert!((psi.probability((1 << 5) - 1) - 0.5).abs() < 1e-10);
+    }
+
+    /// Exhaustive functional check of the 2-bit adder: for all inputs
+    /// a, b ∈ {0..3}, the b register must end as (a + b) mod 4 and the
+    /// carry-out must hold the overflow bit.
+    #[test]
+    fn two_bit_adder_truth_table() {
+        let bits = 2u32;
+        for a_val in 0u32..4 {
+            for b_val in 0u32..4 {
+                let mut c = Circuit::new(2 * bits + 2);
+                // Prepare inputs: a_i at qubit 1+2i, b_i at 2+2i.
+                for i in 0..bits {
+                    if a_val >> i & 1 == 1 {
+                        c.x(1 + 2 * i);
+                    }
+                    if b_val >> i & 1 == 1 {
+                        c.x(2 + 2 * i);
+                    }
+                }
+                c.extend_from(&cuccaro_adder(bits));
+                let psi = Statevector::simulate(&c);
+                // Find the (unique) basis state with probability 1.
+                let idx = psi
+                    .amplitudes()
+                    .iter()
+                    .position(|amp| amp.norm_sq() > 0.99)
+                    .expect("classical output");
+                let sum = a_val + b_val;
+                // Decode: b bits at 2+2i, carry at the last qubit.
+                let mut b_out = 0u32;
+                for i in 0..bits {
+                    if idx >> (2 + 2 * i) & 1 == 1 {
+                        b_out |= 1 << i;
+                    }
+                }
+                let carry = (idx >> (2 * bits + 1)) & 1;
+                assert_eq!(b_out, sum % 4, "a={a_val} b={b_val}");
+                assert_eq!(carry as u32, sum / 4, "a={a_val} b={b_val}");
+                // The a register must be restored.
+                let mut a_out = 0u32;
+                for i in 0..bits {
+                    if idx >> (1 + 2 * i) & 1 == 1 {
+                        a_out |= 1 << i;
+                    }
+                }
+                assert_eq!(a_out, a_val, "a register not restored");
+            }
+        }
+    }
+
+    #[test]
+    fn adder_gate_counts_scale_linearly() {
+        let small = cuccaro_adder(2).len();
+        let large = cuccaro_adder(4).len();
+        assert!(large > small);
+        let toffolis = |c: &Circuit| c.iter().filter(|op| op.arity() == 3).count();
+        assert_eq!(toffolis(&cuccaro_adder(3)), 2 * 3); // MAJ + UMA per bit
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn ghz_rejects_single_qubit() {
+        ghz(1);
+    }
+}

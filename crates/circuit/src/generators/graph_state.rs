@@ -1,0 +1,149 @@
+//! Graph-state preparation circuit generator.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::circuit::Circuit;
+
+/// Builds a graph-state preparation circuit: one Hadamard per qubit
+/// followed by a CZ for every edge of a seeded random simple graph.
+///
+/// The paper's `graph` benchmark uses 200 qubits and 215 CZ gates — a
+/// sparse graph with average degree ≈ 2.15. The generated graph is a
+/// Hamiltonian-path backbone (guaranteeing connectivity) plus random
+/// chords up to the requested edge count.
+///
+/// # Example
+///
+/// ```
+/// use na_circuit::generators::GraphState;
+/// let c = GraphState::new(20).edges(25).seed(1).build();
+/// assert_eq!(c.stats().cz_family_count(2), 25);
+/// assert_eq!(c.stats().single_qubit, 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphState {
+    num_qubits: u32,
+    edges: usize,
+    seed: u64,
+}
+
+impl GraphState {
+    /// A graph state on `num_qubits` qubits (≥ 2) with a default edge
+    /// count scaled like the paper's benchmark (≈ 1.075 edges per qubit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits < 2`.
+    pub fn new(num_qubits: u32) -> Self {
+        assert!(num_qubits >= 2, "graph state needs at least 2 qubits");
+        GraphState {
+            num_qubits,
+            edges: ((f64::from(num_qubits) * 215.0 / 200.0).round() as usize)
+                .max(num_qubits as usize - 1),
+            seed: 0,
+        }
+    }
+
+    /// Sets the exact number of edges (clamped to the simple-graph
+    /// maximum `n(n−1)/2`, and at least `n − 1` to keep the backbone).
+    pub fn edges(mut self, edges: usize) -> Self {
+        self.edges = edges;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the circuit.
+    pub fn build(&self) -> Circuit {
+        let n = self.num_qubits;
+        let max_edges = (n as usize) * (n as usize - 1) / 2;
+        let target = self.edges.min(max_edges).max(n as usize - 1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let mut chosen: Vec<(u32, u32)> = Vec::with_capacity(target);
+        let mut used = std::collections::HashSet::new();
+        // Backbone path.
+        for i in 0..n - 1 {
+            chosen.push((i, i + 1));
+            used.insert((i, i + 1));
+        }
+        // Random chords.
+        while chosen.len() < target {
+            let a = rng.random_range(0..n);
+            let b = rng.random_range(0..n);
+            if a == b {
+                continue;
+            }
+            let e = (a.min(b), a.max(b));
+            if used.insert(e) {
+                chosen.push(e);
+            }
+        }
+
+        let mut c = Circuit::new(n);
+        for i in 0..n {
+            c.h(i);
+        }
+        for (a, b) in chosen {
+            c.cz(a, b);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_profile() {
+        let c = GraphState::new(200).edges(215).seed(7).build();
+        let s = c.stats();
+        assert_eq!(s.num_qubits, 200);
+        assert_eq!(s.cz_family_count(2), 215);
+        assert_eq!(s.single_qubit, 200);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = GraphState::new(30).edges(40).seed(5).build();
+        let b = GraphState::new(30).edges(40).seed(5).build();
+        assert_eq!(a, b);
+        let c = GraphState::new(30).edges(40).seed(6).build();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn edges_are_unique_pairs() {
+        let c = GraphState::new(25).edges(60).seed(3).build();
+        let mut seen = std::collections::HashSet::new();
+        for op in c.iter().filter(|op| op.is_entangling()) {
+            let q = op.qubits();
+            let e = (q[0].0.min(q[1].0), q[0].0.max(q[1].0));
+            assert!(seen.insert(e), "duplicate edge {e:?}");
+        }
+    }
+
+    #[test]
+    fn edge_count_clamped_to_simple_graph() {
+        let c = GraphState::new(5).edges(1000).seed(0).build();
+        assert_eq!(c.stats().cz_family_count(2), 10);
+    }
+
+    #[test]
+    fn backbone_guarantees_minimum_edges() {
+        let c = GraphState::new(10).edges(0).seed(0).build();
+        assert_eq!(c.stats().cz_family_count(2), 9);
+    }
+
+    #[test]
+    fn default_density_near_paper() {
+        let g = GraphState::new(200);
+        assert_eq!(g.edges, 215);
+    }
+}

@@ -1,0 +1,153 @@
+//! Quantum Fourier Transform generator.
+
+use std::f64::consts::PI;
+
+use crate::circuit::Circuit;
+
+/// Builds the textbook QFT: for each qubit `i` a Hadamard followed by
+/// controlled-phase gates `CP(π/2^{j−i})` from every later qubit `j`.
+///
+/// The optional [`Qft::approximate`] cutoff drops rotations with
+/// `j − i > k` (the *approximate QFT*), which both reduces gate count and
+/// matches how toolchains prune numerically irrelevant small-angle
+/// rotations on large instances (the paper's 200-qubit QFT reports
+/// ~10k entangling gates rather than the full 19 900).
+///
+/// # Example
+///
+/// ```
+/// use na_circuit::generators::Qft;
+/// let full = Qft::new(10).build();
+/// assert_eq!(full.stats().cz_family_count(2), 45);
+/// let approx = Qft::new(10).approximate(3).build();
+/// assert_eq!(approx.stats().cz_family_count(2), 3 * 10 - 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qft {
+    num_qubits: u32,
+    cutoff: Option<u32>,
+    final_swaps: bool,
+}
+
+impl Qft {
+    /// A full QFT on `num_qubits` qubits.
+    pub fn new(num_qubits: u32) -> Self {
+        Qft {
+            num_qubits,
+            cutoff: None,
+            final_swaps: false,
+        }
+    }
+
+    /// Keeps only controlled-phase gates between qubits at distance
+    /// ≤ `k` (approximate QFT).
+    pub fn approximate(mut self, k: u32) -> Self {
+        self.cutoff = Some(k);
+        self
+    }
+
+    /// Appends the bit-reversal SWAP network (off by default — most
+    /// mapping studies treat the reversal as a relabeling).
+    pub fn with_final_swaps(mut self) -> Self {
+        self.final_swaps = true;
+        self
+    }
+
+    /// Generates the circuit.
+    pub fn build(&self) -> Circuit {
+        let n = self.num_qubits;
+        let mut c = Circuit::new(n);
+        for i in 0..n {
+            c.h(i);
+            for j in (i + 1)..n {
+                let dist = j - i;
+                if let Some(k) = self.cutoff {
+                    if dist > k {
+                        break;
+                    }
+                }
+                let theta = PI / f64::from(1u32 << dist.min(30));
+                c.cp(theta, j, i);
+            }
+        }
+        if self.final_swaps {
+            for i in 0..n / 2 {
+                c.swap(i, n - 1 - i);
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_qft_gate_count() {
+        let c = Qft::new(8).build();
+        let s = c.stats();
+        assert_eq!(s.single_qubit, 8);
+        assert_eq!(s.cz_family_count(2), 28);
+        assert_eq!(c.num_qubits(), 8);
+    }
+
+    #[test]
+    fn approximate_cutoff_reduces_count() {
+        let full = Qft::new(16).build().len();
+        let approx = Qft::new(16).approximate(4).build().len();
+        assert!(approx < full);
+    }
+
+    #[test]
+    fn cutoff_count_formula() {
+        // k·n − k(k+1)/2 CP gates for cutoff k ≤ n.
+        let (n, k) = (20u32, 5u32);
+        let c = Qft::new(n).approximate(k).build();
+        let expect = (k * n - k * (k + 1) / 2) as usize;
+        assert_eq!(c.stats().cz_family_count(2), expect);
+    }
+
+    #[test]
+    fn angles_halve_with_distance() {
+        let c = Qft::new(3).build();
+        // Ops: h0, cp(pi/2, 1, 0), cp(pi/4, 2, 0), h1, cp(pi/2, 2, 1), h2
+        use crate::gate::GateKind;
+        let angles: Vec<f64> = c
+            .iter()
+            .filter_map(|op| match op.kind() {
+                GateKind::Cp(t) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(angles.len(), 3);
+        assert!((angles[0] - PI / 2.0).abs() < 1e-12);
+        assert!((angles[1] - PI / 4.0).abs() < 1e-12);
+        assert!((angles[2] - PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn final_swaps_added_when_requested() {
+        let c = Qft::new(6).with_final_swaps().build();
+        let swaps = c
+            .iter()
+            .filter(|op| matches!(op.kind(), crate::gate::GateKind::Swap))
+            .count();
+        assert_eq!(swaps, 3);
+    }
+
+    #[test]
+    fn all_cp_gates_commute_pairwise() {
+        // Structural property behind the DAG's wide QFT frontier.
+        let c = Qft::new(5).build();
+        let cps: Vec<_> = c
+            .iter()
+            .filter(|op| op.kind().is_cz_family())
+            .collect();
+        for a in &cps {
+            for b in &cps {
+                assert!(a.commutes_with(b));
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Quantum Phase Estimation generator.
+
+use std::f64::consts::PI;
+
+use crate::circuit::Circuit;
+
+/// Builds a Quantum Phase Estimation circuit on `n` qubits: `n − 1`
+/// counting qubits estimating the phase of a diagonal unitary applied to
+/// one target qubit (the last).
+///
+/// Structure: Hadamards on the counting register, controlled phase
+/// rotations `CP(φ·2^j)` from counting qubit `j` to the target, then the
+/// inverse QFT on the counting register. The eigenphase `φ` defaults to
+/// `2π·(1/3)` (an intentionally non-dyadic value).
+///
+/// # Example
+///
+/// ```
+/// use na_circuit::generators::Qpe;
+/// let c = Qpe::new(6).build();
+/// assert_eq!(c.num_qubits(), 6);
+/// // 5 controlled powers + inverse QFT ladder on 5 qubits.
+/// assert_eq!(c.stats().cz_family_count(2), 5 + 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qpe {
+    num_qubits: u32,
+    phase: f64,
+    cutoff: Option<u32>,
+}
+
+impl Qpe {
+    /// A QPE circuit on `num_qubits` total qubits (≥ 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits < 2`.
+    pub fn new(num_qubits: u32) -> Self {
+        assert!(num_qubits >= 2, "QPE needs at least 2 qubits");
+        Qpe {
+            num_qubits,
+            phase: 2.0 * PI / 3.0,
+            cutoff: None,
+        }
+    }
+
+    /// Keeps only inverse-QFT rotations between counting qubits at
+    /// distance ≤ `k` (approximate QPE — mirrors
+    /// [`Qft::approximate`](crate::generators::Qft::approximate)).
+    pub fn approximate(mut self, k: u32) -> Self {
+        self.cutoff = Some(k);
+        self
+    }
+
+    /// Sets the eigenphase of the estimated unitary (radians).
+    pub fn phase(mut self, phase: f64) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Generates the circuit.
+    pub fn build(&self) -> Circuit {
+        let n = self.num_qubits;
+        let counting = n - 1;
+        let target = n - 1;
+        let mut c = Circuit::new(n);
+
+        // Superposition over the counting register.
+        for i in 0..counting {
+            c.h(i);
+        }
+        // Controlled-U^(2^j): U diagonal, so each is a single CP.
+        for j in 0..counting {
+            let pow = f64::from(1u32 << j.min(30));
+            let theta = (self.phase * pow) % (2.0 * PI);
+            c.cp(theta, j, target);
+        }
+        // Inverse QFT on the counting register.
+        for i in (0..counting).rev() {
+            for j in (i + 1..counting).rev() {
+                let dist = j - i;
+                if let Some(k) = self.cutoff {
+                    if dist > k {
+                        continue;
+                    }
+                }
+                let theta = -PI / f64::from(1u32 << dist.min(30));
+                c.cp(theta, j, i);
+            }
+            c.h(i);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_counts_scale_quadratically() {
+        let c = Qpe::new(10).build();
+        let s = c.stats();
+        let counting = 9usize;
+        assert_eq!(s.single_qubit, 2 * counting); // H layers before and inside iQFT
+        assert_eq!(
+            s.cz_family_count(2),
+            counting + counting * (counting - 1) / 2
+        );
+    }
+
+    #[test]
+    fn target_participates_in_controlled_powers() {
+        let c = Qpe::new(5).build();
+        use crate::gate::Qubit;
+        let target = Qubit(4);
+        let on_target = c.iter().filter(|op| op.acts_on(target)).count();
+        assert_eq!(on_target, 4); // one CP per counting qubit
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_single_qubit() {
+        Qpe::new(1);
+    }
+
+    #[test]
+    fn custom_phase_changes_angles() {
+        use crate::gate::GateKind;
+        let a = Qpe::new(4).phase(0.1).build();
+        let b = Qpe::new(4).phase(0.2).build();
+        let angle = |c: &Circuit| -> f64 {
+            c.iter()
+                .find_map(|op| match op.kind() {
+                    GateKind::Cp(t) => Some(*t),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert!((2.0 * angle(&a) - angle(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qpe_structure_ends_with_h() {
+        let c = Qpe::new(4).build();
+        let last = c.ops().last().unwrap();
+        assert_eq!(last.kind().name(), "h");
+    }
+}

@@ -1,0 +1,163 @@
+//! Layered random circuits for tests, fuzzing and micro-benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::circuit::Circuit;
+
+/// Builds layered random circuits: each layer pairs up random disjoint
+/// qubits with entangling gates and fills the rest with random
+/// single-qubit gates.
+///
+/// # Example
+///
+/// ```
+/// use na_circuit::generators::RandomCircuit;
+/// let c = RandomCircuit::new(10).layers(4).seed(42).build();
+/// assert_eq!(c.num_qubits(), 10);
+/// assert!(c.is_native());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomCircuit {
+    num_qubits: u32,
+    layers: usize,
+    two_qubit_fraction: f64,
+    multi_qubit_fraction: f64,
+    seed: u64,
+}
+
+impl RandomCircuit {
+    /// A random circuit on `num_qubits` qubits (≥ 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits < 2`.
+    pub fn new(num_qubits: u32) -> Self {
+        assert!(num_qubits >= 2, "random circuits need at least 2 qubits");
+        RandomCircuit {
+            num_qubits,
+            layers: 10,
+            two_qubit_fraction: 0.5,
+            multi_qubit_fraction: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Sets the number of layers.
+    pub fn layers(mut self, layers: usize) -> Self {
+        self.layers = layers;
+        self
+    }
+
+    /// Fraction of qubits per layer participating in CZ gates (clamped to
+    /// `[0, 1]`).
+    pub fn two_qubit_fraction(mut self, f: f64) -> Self {
+        self.two_qubit_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fraction of entangling gates upgraded to CCZ (requires ≥ 3 qubits;
+    /// clamped to `[0, 1]`).
+    pub fn multi_qubit_fraction(mut self, f: f64) -> Self {
+        self.multi_qubit_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the circuit.
+    pub fn build(&self) -> Circuit {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = self.num_qubits;
+        let mut c = Circuit::new(n);
+        for _ in 0..self.layers {
+            // Random permutation of qubits.
+            let mut perm: Vec<u32> = (0..n).collect();
+            for i in (1..perm.len()).rev() {
+                let j = rng.random_range(0..=i);
+                perm.swap(i, j);
+            }
+            let paired = ((f64::from(n) * self.two_qubit_fraction) as usize / 2) * 2;
+            let mut i = 0;
+            while i < paired {
+                let want_ccz = n >= 3
+                    && i + 3 <= paired
+                    && rng.random_range(0.0..1.0) < self.multi_qubit_fraction;
+                if want_ccz {
+                    c.ccz(perm[i], perm[i + 1], perm[i + 2]);
+                    i += 3;
+                } else if i + 2 <= paired {
+                    c.cz(perm[i], perm[i + 1]);
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            for &q in &perm[paired..] {
+                match rng.random_range(0..3) {
+                    0 => c.h(q),
+                    1 => c.x(q),
+                    _ => c.rz(rng.random_range(0.0..std::f64::consts::TAU), q),
+                };
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = RandomCircuit::new(8).layers(5).seed(1).build();
+        let b = RandomCircuit::new(8).layers(5).seed(1).build();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn qubits_in_range() {
+        let c = RandomCircuit::new(6).layers(20).seed(3).build();
+        for op in c.iter() {
+            for q in op.qubits() {
+                assert!(q.0 < 6);
+            }
+        }
+    }
+
+    #[test]
+    fn two_qubit_fraction_controls_density() {
+        let sparse = RandomCircuit::new(20)
+            .layers(10)
+            .two_qubit_fraction(0.2)
+            .seed(5)
+            .build();
+        let dense = RandomCircuit::new(20)
+            .layers(10)
+            .two_qubit_fraction(1.0)
+            .seed(5)
+            .build();
+        assert!(dense.entangling_count() > sparse.entangling_count());
+    }
+
+    #[test]
+    fn multi_qubit_fraction_emits_ccz() {
+        let c = RandomCircuit::new(12)
+            .layers(10)
+            .multi_qubit_fraction(0.8)
+            .seed(2)
+            .build();
+        assert!(c.stats().cz_family_count(3) > 0);
+    }
+
+    #[test]
+    fn zero_layers_empty() {
+        let c = RandomCircuit::new(4).layers(0).build();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! Quantum circuit intermediate representation for neutral-atom mapping.
+//!
+//! The crate provides:
+//!
+//! * a gate set covering the NA-native operations (arbitrary single-qubit
+//!   rotations, `CZ`/`CP`, multi-controlled `CᵐZ`) plus common
+//!   non-native gates (`CᵐX`, `SWAP`) with [`decompose`] passes to the
+//!   native set,
+//! * a [`Circuit`] container with validation and gate statistics,
+//! * a commutation-aware dependency [`dag`] producing the *front layer*
+//!   and *lookahead layer* that drive the hybrid mapper (paper §3.2 (1)),
+//! * seeded benchmark [`generators`] reproducing the workloads of the
+//!   paper's Table 1b (QFT, QPE, graph state, reversible-function
+//!   circuits).
+//!
+//! # Example
+//!
+//! ```
+//! use na_circuit::generators::Qft;
+//!
+//! let qft = Qft::new(8).build();
+//! assert_eq!(qft.num_qubits(), 8);
+//! let stats = qft.stats();
+//! assert_eq!(stats.cz_family_count(2), 8 * 7 / 2); // full CP ladder
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod circuit;
+pub mod dag;
+pub mod decompose;
+pub mod error;
+pub mod gate;
+pub mod generators;
+pub mod qasm;
+pub mod sim;
+
+pub use analysis::StructureMetrics;
+pub use circuit::{Circuit, GateStats};
+pub use dag::{CircuitDag, LayerTracker};
+pub use decompose::decompose_to_native;
+pub use error::CircuitError;
+pub use gate::{GateKind, Operation, Qubit};

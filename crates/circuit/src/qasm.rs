@@ -1,0 +1,395 @@
+//! OpenQASM 2.0 subset import/export.
+//!
+//! Supports the gate vocabulary of this workspace: `h x y z rx ry rz u3
+//! cx cz cp/cu1 ccx swap` plus the non-standard extensions `mcz`/`mcx`
+//! for the NA-native multi-qubit gates (emitted with a defining comment
+//! so other tools can ignore them). `creg`, `measure` and `barrier` lines
+//! are accepted on import and skipped; a single quantum register is
+//! assumed.
+//!
+//! # Example
+//!
+//! ```
+//! use na_circuit::{qasm, Circuit};
+//! let mut c = Circuit::new(3);
+//! c.h(0).cz(0, 1).ccz(0, 1, 2);
+//! let text = qasm::to_qasm(&c);
+//! let back = qasm::from_qasm(&text)?;
+//! assert_eq!(c, back);
+//! # Ok::<(), na_circuit::qasm::QasmError>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::circuit::Circuit;
+use crate::gate::{GateKind, Operation, Qubit};
+
+/// Errors raised while parsing QASM text.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QasmError {
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// A gate name outside the supported subset.
+    UnsupportedGate {
+        /// 1-based line number.
+        line: usize,
+        /// The gate name.
+        gate: String,
+    },
+    /// No `qreg` declaration before the first gate.
+    MissingRegister,
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QasmError::Syntax { line, reason } => write!(f, "line {line}: {reason}"),
+            QasmError::UnsupportedGate { line, gate } => {
+                write!(f, "line {line}: unsupported gate `{gate}`")
+            }
+            QasmError::MissingRegister => write!(f, "no qreg declared before first gate"),
+        }
+    }
+}
+
+impl Error for QasmError {}
+
+/// Serializes a circuit as OpenQASM 2.0 text.
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    out.push_str("// mcz/mcx: multi-controlled Z/X (neutral-atom native extension)\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    for op in circuit.iter() {
+        let operands = op
+            .qubits()
+            .iter()
+            .map(|q| format!("q[{}]", q.0))
+            .collect::<Vec<_>>()
+            .join(",");
+        let line = match *op.kind() {
+            GateKind::H => format!("h {operands};"),
+            GateKind::X => format!("x {operands};"),
+            GateKind::Y => format!("y {operands};"),
+            GateKind::Z => format!("z {operands};"),
+            GateKind::Rx(t) => format!("rx({t}) {operands};"),
+            GateKind::Ry(t) => format!("ry({t}) {operands};"),
+            GateKind::Rz(t) => format!("rz({t}) {operands};"),
+            GateKind::U3(a, b, c) => format!("u3({a},{b},{c}) {operands};"),
+            GateKind::Cz => format!("cz {operands};"),
+            GateKind::Cp(t) => format!("cp({t}) {operands};"),
+            GateKind::Mcz => format!("mcz {operands};"),
+            GateKind::Mcx => {
+                if op.arity() == 2 {
+                    format!("cx {operands};")
+                } else if op.arity() == 3 {
+                    format!("ccx {operands};")
+                } else {
+                    format!("mcx {operands};")
+                }
+            }
+            GateKind::Swap => format!("swap {operands};"),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses OpenQASM 2.0 text (the subset documented at module level).
+///
+/// # Errors
+///
+/// Returns [`QasmError`] for malformed lines, unsupported gates, missing
+/// registers, or operand problems.
+pub fn from_qasm(text: &str) -> Result<Circuit, QasmError> {
+    let mut circuit: Option<Circuit> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let stmt = raw.split("//").next().unwrap_or("").trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        for part in stmt.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            parse_statement(part, line, &mut circuit)?;
+        }
+    }
+    circuit.ok_or(QasmError::MissingRegister)
+}
+
+fn parse_statement(
+    stmt: &str,
+    line: usize,
+    circuit: &mut Option<Circuit>,
+) -> Result<(), QasmError> {
+    let lower = stmt.to_ascii_lowercase();
+    if lower.starts_with("openqasm") || lower.starts_with("include") {
+        return Ok(());
+    }
+    if let Some(rest) = lower.strip_prefix("qreg") {
+        let size = rest
+            .trim()
+            .split('[')
+            .nth(1)
+            .and_then(|s| s.split(']').next())
+            .and_then(|s| s.trim().parse::<u32>().ok())
+            .ok_or_else(|| QasmError::Syntax {
+                line,
+                reason: "malformed qreg declaration".into(),
+            })?;
+        match circuit {
+            Some(_) => {
+                return Err(QasmError::Syntax {
+                    line,
+                    reason: "multiple qreg declarations are not supported".into(),
+                })
+            }
+            None => *circuit = Some(Circuit::new(size)),
+        }
+        return Ok(());
+    }
+    if lower.starts_with("creg") || lower.starts_with("barrier") || lower.starts_with("measure") {
+        return Ok(());
+    }
+
+    // Gate application: name[(params)] operand[,operand...]
+    let (head, operands_text) = match stmt.find(char::is_whitespace) {
+        Some(pos) => stmt.split_at(pos),
+        None => {
+            return Err(QasmError::Syntax {
+                line,
+                reason: format!("cannot parse statement `{stmt}`"),
+            })
+        }
+    };
+    let (name, params) = parse_head(head.trim(), line)?;
+    let qubits = parse_operands(operands_text.trim(), line)?;
+    let circuit = circuit.as_mut().ok_or(QasmError::MissingRegister)?;
+
+    let kind = match (name.as_str(), params.as_slice()) {
+        ("h", []) => GateKind::H,
+        ("x", []) => GateKind::X,
+        ("y", []) => GateKind::Y,
+        ("z", []) => GateKind::Z,
+        ("rx", [t]) => GateKind::Rx(*t),
+        ("ry", [t]) => GateKind::Ry(*t),
+        ("rz", [t]) | ("u1", [t]) | ("p", [t]) => GateKind::Rz(*t),
+        ("u3", [a, b, c]) | ("u", [a, b, c]) => GateKind::U3(*a, *b, *c),
+        ("cz", []) => GateKind::Cz,
+        ("cp", [t]) | ("cu1", [t]) => GateKind::Cp(*t),
+        ("cx", []) | ("cnot", []) | ("ccx", []) | ("mcx", []) => GateKind::Mcx,
+        ("mcz", []) if qubits.len() == 2 => GateKind::Cz,
+        ("mcz", []) => GateKind::Mcz,
+        ("swap", []) => GateKind::Swap,
+        _ => {
+            return Err(QasmError::UnsupportedGate {
+                line,
+                gate: name.clone(),
+            })
+        }
+    };
+    let op = Operation::new(kind, qubits).map_err(|e| QasmError::Syntax {
+        line,
+        reason: e.to_string(),
+    })?;
+    circuit.push(op).map_err(|e| QasmError::Syntax {
+        line,
+        reason: e.to_string(),
+    })
+}
+
+fn parse_head(head: &str, line: usize) -> Result<(String, Vec<f64>), QasmError> {
+    match head.find('(') {
+        None => Ok((head.to_ascii_lowercase(), Vec::new())),
+        Some(open) => {
+            let name = head[..open].to_ascii_lowercase();
+            let inner = head[open + 1..]
+                .strip_suffix(')')
+                .ok_or_else(|| QasmError::Syntax {
+                    line,
+                    reason: "unbalanced parentheses".into(),
+                })?;
+            let params = inner
+                .split(',')
+                .map(|p| parse_angle(p.trim()))
+                .collect::<Option<Vec<f64>>>()
+                .ok_or_else(|| QasmError::Syntax {
+                    line,
+                    reason: format!("cannot parse parameters `{inner}`"),
+                })?;
+            Ok((name, params))
+        }
+    }
+}
+
+/// Parses an angle expression: a float, `pi`, `-pi`, `pi/k`, `-pi/k`,
+/// `k*pi`, `k*pi/m`.
+fn parse_angle(text: &str) -> Option<f64> {
+    if let Ok(v) = text.parse::<f64>() {
+        return Some(v);
+    }
+    let (sign, rest) = match text.strip_prefix('-') {
+        Some(r) => (-1.0, r.trim()),
+        None => (1.0, text),
+    };
+    let (num, den) = match rest.split_once('/') {
+        Some((n, d)) => (n.trim(), d.trim().parse::<f64>().ok()?),
+        None => (rest, 1.0),
+    };
+    let numerator = if num.eq_ignore_ascii_case("pi") {
+        std::f64::consts::PI
+    } else if let Some((k, p)) = num.split_once('*') {
+        if !p.trim().eq_ignore_ascii_case("pi") {
+            return None;
+        }
+        k.trim().parse::<f64>().ok()? * std::f64::consts::PI
+    } else {
+        return None;
+    };
+    Some(sign * numerator / den)
+}
+
+fn parse_operands(text: &str, line: usize) -> Result<Vec<Qubit>, QasmError> {
+    text.split(',')
+        .map(|operand| {
+            operand
+                .trim()
+                .split('[')
+                .nth(1)
+                .and_then(|s| s.split(']').next())
+                .and_then(|s| s.trim().parse::<u32>().ok())
+                .map(Qubit)
+                .ok_or_else(|| QasmError::Syntax {
+                    line,
+                    reason: format!("cannot parse operand `{operand}`"),
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{Qft, RandomCircuit, Reversible};
+
+    #[test]
+    fn roundtrip_simple_circuit() {
+        let mut c = Circuit::new(4);
+        c.h(0)
+            .x(1)
+            .rz(0.5, 2)
+            .u3(0.1, 0.2, 0.3, 3)
+            .cz(0, 1)
+            .cp(1.25, 1, 2)
+            .ccz(0, 1, 2)
+            .mcx(&[0, 1, 2, 3])
+            .swap(0, 3);
+        let text = to_qasm(&c);
+        let back = from_qasm(&text).expect("parses");
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn roundtrip_generators() {
+        for circuit in [
+            Qft::new(6).build(),
+            Reversible::new(8).counts(&[(2, 5), (3, 4)]).seed(1).build(),
+            RandomCircuit::new(6).layers(4).seed(2).build(),
+        ] {
+            let back = from_qasm(&to_qasm(&circuit)).expect("parses");
+            assert_eq!(circuit, back);
+        }
+    }
+
+    #[test]
+    fn parses_external_style_qasm() {
+        let text = r#"
+            OPENQASM 2.0;
+            include "qelib1.inc";
+            qreg q[3];
+            creg c[3];
+            h q[0];
+            cx q[0], q[1];
+            cu1(pi/2) q[1], q[2];
+            rz(-pi/4) q[0];
+            u1(3.14) q[2];
+            barrier q;
+            measure q[0] -> c[0];
+        "#;
+        let c = from_qasm(text).expect("parses");
+        assert_eq!(c.num_qubits(), 3);
+        assert_eq!(c.len(), 5); // barrier and measure skipped
+        assert!(matches!(c.ops()[2].kind(), GateKind::Cp(t) if (t - std::f64::consts::FRAC_PI_2).abs() < 1e-12));
+        assert!(matches!(c.ops()[3].kind(), GateKind::Rz(t) if (t + std::f64::consts::FRAC_PI_4).abs() < 1e-12));
+    }
+
+    #[test]
+    fn angle_expressions() {
+        assert_eq!(parse_angle("1.5"), Some(1.5));
+        assert!((parse_angle("pi").unwrap() - std::f64::consts::PI).abs() < 1e-12);
+        assert!((parse_angle("pi/2").unwrap() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((parse_angle("-pi/4").unwrap() + std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+        assert!((parse_angle("3*pi/2").unwrap() - 3.0 * std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert_eq!(parse_angle("two"), None);
+    }
+
+    #[test]
+    fn error_on_unknown_gate() {
+        let text = "qreg q[2];\nfredkin q[0],q[1];";
+        assert!(matches!(
+            from_qasm(text),
+            Err(QasmError::UnsupportedGate { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn error_on_missing_register() {
+        assert_eq!(from_qasm("h q[0];"), Err(QasmError::MissingRegister));
+        assert_eq!(from_qasm(""), Err(QasmError::MissingRegister));
+    }
+
+    #[test]
+    fn error_on_out_of_range_operand() {
+        let text = "qreg q[2];\ncz q[0],q[5];";
+        assert!(matches!(from_qasm(text), Err(QasmError::Syntax { line: 2, .. })));
+    }
+
+    #[test]
+    fn multiple_statements_per_line() {
+        let c = from_qasm("qreg q[2]; h q[0]; cz q[0],q[1];").expect("parses");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let c = from_qasm("qreg q[1]; // register\nh q[0]; // hadamard").expect("parses");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn unitary_preserved_through_roundtrip() {
+        use crate::sim::Statevector;
+        let c = RandomCircuit::new(5)
+            .layers(5)
+            .multi_qubit_fraction(0.3)
+            .seed(7)
+            .build();
+        let back = from_qasm(&to_qasm(&c)).expect("parses");
+        let pa = Statevector::simulate(&c);
+        let pb = Statevector::simulate(&back);
+        assert!((pa.fidelity_with(&pb) - 1.0).abs() < 1e-9);
+    }
+}

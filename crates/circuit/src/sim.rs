@@ -1,0 +1,495 @@
+//! A small dense statevector simulator.
+//!
+//! Used as the strongest test oracle in the workspace: a mapped circuit
+//! (original gates + routing SWAPs) must implement exactly the same
+//! unitary as the input circuit up to the final qubit permutation. The
+//! simulator is deliberately simple — dense `2ⁿ` amplitudes, no
+//! parallelism — and intended for circuits up to ~20 qubits in tests.
+
+use std::fmt;
+
+use crate::circuit::Circuit;
+use crate::gate::{GateKind, Operation};
+
+/// A complex amplitude (no external dependency needed for the test
+/// oracle).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The complex number `re + i·im`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Zero.
+    pub const ZERO: Complex = Complex::new(0.0, 0.0);
+    /// One.
+    pub const ONE: Complex = Complex::new(1.0, 0.0);
+
+    /// `e^{iθ}`.
+    pub fn from_phase(theta: f64) -> Self {
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl std::ops::Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.4}{:+.4}i", self.re, self.im)
+    }
+}
+
+/// A dense statevector over `n` qubits (little-endian: qubit 0 is the
+/// least significant bit of the basis index).
+///
+/// # Example
+///
+/// ```
+/// use na_circuit::{sim::Statevector, Circuit};
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1); // Bell pair
+/// let psi = Statevector::simulate(&c);
+/// assert!((psi.probability(0b00) - 0.5).abs() < 1e-12);
+/// assert!((psi.probability(0b11) - 0.5).abs() < 1e-12);
+/// assert!(psi.probability(0b01) < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statevector {
+    num_qubits: u32,
+    amps: Vec<Complex>,
+}
+
+impl Statevector {
+    /// The all-zeros state `|0…0⟩` on `num_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics for more than 24 qubits (the dense vector would exceed
+    /// testing-scale memory).
+    pub fn zero(num_qubits: u32) -> Self {
+        assert!(num_qubits <= 24, "dense simulation capped at 24 qubits");
+        let mut amps = vec![Complex::ZERO; 1usize << num_qubits];
+        amps[0] = Complex::ONE;
+        Statevector { num_qubits, amps }
+    }
+
+    /// Simulates `circuit` from `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is too wide (see [`Statevector::zero`]).
+    pub fn simulate(circuit: &Circuit) -> Self {
+        let mut psi = Statevector::zero(circuit.num_qubits());
+        for op in circuit.iter() {
+            psi.apply(op);
+        }
+        psi
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// The raw amplitudes (little-endian basis order).
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// Probability of basis state `index`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sq()
+    }
+
+    /// Applies one operation in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range qubits.
+    pub fn apply(&mut self, op: &Operation) {
+        let qs: Vec<usize> = op.qubits().iter().map(|q| q.index()).collect();
+        for &q in &qs {
+            assert!((q as u32) < self.num_qubits, "qubit {q} out of range");
+        }
+        match *op.kind() {
+            GateKind::H => {
+                let s = std::f64::consts::FRAC_1_SQRT_2;
+                self.apply_1q(qs[0], [
+                    [Complex::new(s, 0.0), Complex::new(s, 0.0)],
+                    [Complex::new(s, 0.0), Complex::new(-s, 0.0)],
+                ]);
+            }
+            GateKind::X => self.apply_1q(qs[0], [
+                [Complex::ZERO, Complex::ONE],
+                [Complex::ONE, Complex::ZERO],
+            ]),
+            GateKind::Y => self.apply_1q(qs[0], [
+                [Complex::ZERO, Complex::new(0.0, -1.0)],
+                [Complex::new(0.0, 1.0), Complex::ZERO],
+            ]),
+            GateKind::Z => self.apply_1q(qs[0], [
+                [Complex::ONE, Complex::ZERO],
+                [Complex::ZERO, Complex::new(-1.0, 0.0)],
+            ]),
+            GateKind::Rx(t) => {
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                self.apply_1q(qs[0], [
+                    [Complex::new(c, 0.0), Complex::new(0.0, -s)],
+                    [Complex::new(0.0, -s), Complex::new(c, 0.0)],
+                ]);
+            }
+            GateKind::Ry(t) => {
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                self.apply_1q(qs[0], [
+                    [Complex::new(c, 0.0), Complex::new(-s, 0.0)],
+                    [Complex::new(s, 0.0), Complex::new(c, 0.0)],
+                ]);
+            }
+            GateKind::Rz(t) => {
+                let m = Complex::from_phase(-t / 2.0);
+                let p = Complex::from_phase(t / 2.0);
+                self.apply_1q(qs[0], [
+                    [m, Complex::ZERO],
+                    [Complex::ZERO, p],
+                ]);
+            }
+            GateKind::U3(theta, phi, lam) => {
+                let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+                self.apply_1q(qs[0], [
+                    [Complex::new(c, 0.0), Complex::from_phase(lam) * (-s)],
+                    [
+                        Complex::from_phase(phi) * s,
+                        Complex::from_phase(phi + lam) * c,
+                    ],
+                ]);
+            }
+            GateKind::Cz | GateKind::Mcz => {
+                self.apply_phase_on_all_ones(&qs, Complex::new(-1.0, 0.0));
+            }
+            GateKind::Cp(t) => {
+                self.apply_phase_on_all_ones(&qs, Complex::from_phase(t));
+            }
+            GateKind::Mcx => {
+                let (controls, target) = qs.split_at(qs.len() - 1);
+                let mask: usize = controls.iter().map(|&q| 1usize << q).sum();
+                let tbit = 1usize << target[0];
+                for i in 0..self.amps.len() {
+                    if i & mask == mask && i & tbit == 0 {
+                        self.amps.swap(i, i | tbit);
+                    }
+                }
+            }
+            GateKind::Swap => {
+                let (a, b) = (1usize << qs[0], 1usize << qs[1]);
+                for i in 0..self.amps.len() {
+                    if i & a != 0 && i & b == 0 {
+                        self.amps.swap(i, (i & !a) | b);
+                    }
+                }
+            }
+            #[allow(unreachable_patterns)] // future GateKind variants
+            _ => unimplemented!("gate {} not simulated", op.kind().name()),
+        }
+    }
+
+    fn apply_1q(&mut self, q: usize, u: [[Complex; 2]; 2]) {
+        let bit = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                let j = i | bit;
+                let (a0, a1) = (self.amps[i], self.amps[j]);
+                self.amps[i] = u[0][0] * a0 + u[0][1] * a1;
+                self.amps[j] = u[1][0] * a0 + u[1][1] * a1;
+            }
+        }
+    }
+
+    fn apply_phase_on_all_ones(&mut self, qs: &[usize], phase: Complex) {
+        let mask: usize = qs.iter().map(|&q| 1usize << q).sum();
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            if i & mask == mask {
+                *amp = *amp * phase;
+            }
+        }
+    }
+
+    /// Embeds this state into a wider register: the added qubits
+    /// (indices `n..num_qubits`) are `|0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is smaller than the current width or
+    /// exceeds the simulation cap.
+    pub fn embed_into(&self, num_qubits: u32) -> Statevector {
+        assert!(num_qubits >= self.num_qubits, "cannot shrink a state");
+        let mut out = Statevector::zero(num_qubits);
+        out.amps[0] = Complex::ZERO;
+        for (i, &amp) in self.amps.iter().enumerate() {
+            out.amps[i] = amp;
+        }
+        out
+    }
+
+    /// Permutes qubit labels: qubit `i` of `self` becomes qubit `perm[i]`
+    /// of the result. `perm` must be a permutation of `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a valid permutation.
+    pub fn permute_qubits(&self, perm: &[u32]) -> Statevector {
+        assert_eq!(perm.len(), self.num_qubits as usize, "permutation length");
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            assert!(
+                (p as usize) < perm.len() && !seen[p as usize],
+                "invalid permutation"
+            );
+            seen[p as usize] = true;
+        }
+        let mut out = vec![Complex::ZERO; self.amps.len()];
+        for (i, &amp) in self.amps.iter().enumerate() {
+            let mut j = 0usize;
+            for (src, &dst) in perm.iter().enumerate() {
+                if i & (1 << src) != 0 {
+                    j |= 1 << dst;
+                }
+            }
+            out[j] = amp;
+        }
+        Statevector {
+            num_qubits: self.num_qubits,
+            amps: out,
+        }
+    }
+
+    /// `|⟨self|other⟩|²` — 1.0 iff the states are identical up to global
+    /// phase.
+    pub fn fidelity_with(&self, other: &Statevector) -> f64 {
+        assert_eq!(self.num_qubits, other.num_qubits, "qubit count mismatch");
+        let mut overlap = Complex::ZERO;
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            overlap = overlap + a.conj() * *b;
+        }
+        overlap.norm_sq()
+    }
+
+    /// Total probability (should be 1 for any unitary circuit).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sq()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::decompose_to_native;
+    use crate::generators::{Qft, RandomCircuit};
+    use proptest::prelude::*;
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn bell_pair() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let psi = Statevector::simulate(&c);
+        assert!((psi.probability(0) - 0.5).abs() < EPS);
+        assert!((psi.probability(3) - 0.5).abs() < EPS);
+        assert!(psi.norm() - 1.0 < EPS);
+    }
+
+    #[test]
+    fn ghz_state() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+        let psi = Statevector::simulate(&c);
+        assert!((psi.probability(0b0000) - 0.5).abs() < EPS);
+        assert!((psi.probability(0b1111) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        // |110⟩ -> |111⟩ (controls = qubits 0, 1; target = 2).
+        let mut c = Circuit::new(3);
+        c.x(0).x(1).mcx(&[0, 1, 2]);
+        let psi = Statevector::simulate(&c);
+        assert!((psi.probability(0b111) - 1.0).abs() < EPS);
+        // |100⟩ stays |100⟩.
+        let mut c = Circuit::new(3);
+        c.x(0).mcx(&[0, 1, 2]);
+        let psi = Statevector::simulate(&c);
+        assert!((psi.probability(0b001) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn swap_exchanges_basis_states() {
+        let mut c = Circuit::new(2);
+        c.x(0).swap(0, 1);
+        let psi = Statevector::simulate(&c);
+        assert!((psi.probability(0b10) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn cz_is_symmetric_phase() {
+        let mut a = Circuit::new(2);
+        a.h(0).h(1).cz(0, 1);
+        let mut b = Circuit::new(2);
+        b.h(0).h(1).cz(1, 0);
+        let pa = Statevector::simulate(&a);
+        let pb = Statevector::simulate(&b);
+        assert!((pa.fidelity_with(&pb) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn cp_pi_equals_cz() {
+        let mut a = Circuit::new(2);
+        a.h(0).h(1).cz(0, 1);
+        let mut b = Circuit::new(2);
+        b.h(0).h(1).cp(std::f64::consts::PI, 0, 1);
+        let pa = Statevector::simulate(&a);
+        let pb = Statevector::simulate(&b);
+        assert!((pa.fidelity_with(&pb) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn decomposition_preserves_unitary() {
+        for seed in 0..5 {
+            let c = RandomCircuit::new(6)
+                .layers(6)
+                .multi_qubit_fraction(0.3)
+                .seed(seed)
+                .build();
+            let mut with_nonnative = Circuit::new(6);
+            with_nonnative.extend_from(&c);
+            with_nonnative.mcx(&[0, 2, 4]).swap(1, 5);
+            let native = decompose_to_native(&with_nonnative);
+            let pa = Statevector::simulate(&with_nonnative);
+            let pb = Statevector::simulate(&native);
+            assert!(
+                (pa.fidelity_with(&pb) - 1.0).abs() < 1e-9,
+                "seed {seed}: decomposition changed the unitary"
+            );
+        }
+    }
+
+    #[test]
+    fn qft_on_basis_state_is_uniform() {
+        let c = Qft::new(4).build();
+        let psi = Statevector::simulate(&c);
+        for i in 0..16 {
+            assert!((psi.probability(i) - 1.0 / 16.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn permute_qubits_roundtrip() {
+        let c = RandomCircuit::new(5).layers(4).seed(9).build();
+        let psi = Statevector::simulate(&c);
+        let perm = [2u32, 0, 4, 1, 3];
+        let mut inverse = [0u32; 5];
+        for (i, &p) in perm.iter().enumerate() {
+            inverse[p as usize] = i as u32;
+        }
+        let back = psi.permute_qubits(&perm).permute_qubits(&inverse);
+        assert!((psi.fidelity_with(&back) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn swap_equals_relabeling() {
+        // SWAP(a, b) followed by nothing == permuting the labels.
+        let mut c = Circuit::new(3);
+        c.h(0).x(1).rz(0.7, 2).cz(0, 2);
+        let base = Statevector::simulate(&c);
+        let mut swapped = Circuit::new(3);
+        swapped.extend_from(&c);
+        swapped.swap(0, 2);
+        let via_gate = Statevector::simulate(&swapped);
+        let via_perm = base.permute_qubits(&[2, 1, 0]);
+        assert!((via_gate.fidelity_with(&via_perm) - 1.0).abs() < EPS);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn norm_preserved_by_random_circuits(seed in 0u64..500, layers in 1usize..6) {
+            let c = RandomCircuit::new(6)
+                .layers(layers)
+                .multi_qubit_fraction(0.25)
+                .seed(seed)
+                .build();
+            let psi = Statevector::simulate(&c);
+            prop_assert!((psi.norm() - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn diagonal_gates_commute_in_simulation(seed in 0u64..100) {
+            use rand::{RngExt, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            // Build two circuits with the same diagonal gates in
+            // different orders; states must match.
+            let mut gates = vec![];
+            for _ in 0..6 {
+                let a = rng.random_range(0..5u32);
+                let b = rng.random_range(0..5u32);
+                if a != b {
+                    gates.push((a, b, rng.random_range(0.0..std::f64::consts::TAU)));
+                }
+            }
+            let mut fwd = Circuit::new(5);
+            let mut rev = Circuit::new(5);
+            for q in 0..5 { fwd.h(q); rev.h(q); }
+            for &(a, b, t) in &gates { fwd.cp(t, a, b); }
+            for &(a, b, t) in gates.iter().rev() { rev.cp(t, a, b); }
+            let pf = Statevector::simulate(&fwd);
+            let pr = Statevector::simulate(&rev);
+            prop_assert!((pf.fidelity_with(&pr) - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Mapper configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layout::InitialLayout;
+
+/// Tuning knobs of the hybrid mapping process.
+///
+/// Defaults reproduce the paper's evaluation settings (§4.1):
+/// `λ_t = 0`, `w_l = 0.1`, `w_t = 0.1`, recency window `t = 4`.
+///
+/// The capability weights `α_g` (gate-based) and `α_s` (shuttling-based)
+/// select the operating mode:
+///
+/// * `α_s = 0` — gate-based only (paper mode with pure SWAP insertion),
+/// * `α_g = 0` — shuttling-based only,
+/// * both positive — hybrid; only the ratio `α = α_g/α_s` matters.
+///
+/// # Example
+///
+/// ```
+/// use na_mapper::MapperConfig;
+/// let cfg = MapperConfig::hybrid(1.05);
+/// assert!((cfg.alpha_ratio().unwrap() - 1.05).abs() < 1e-12);
+/// assert!(MapperConfig::gate_only().is_gate_only());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapperConfig {
+    /// Weight `α_g` of the gate-based success-probability estimate.
+    pub alpha_gate: f64,
+    /// Weight `α_s` of the shuttling-based success-probability estimate.
+    pub alpha_shuttle: f64,
+    /// Lookahead weight `w_l` in both cost functions (Eq. 2 and Eq. 4).
+    pub lookahead_weight: f64,
+    /// Time/parallelism weight `w_t` in the shuttle cost (Eq. 4).
+    pub time_weight: f64,
+    /// Decay rate `λ_t` of the SWAP recency factor (Eq. 2). `0` disables
+    /// the parallelism preference, minimizing plain cost.
+    pub decay_rate: f64,
+    /// Recency window `t`: how many recent SWAPs/moves the parallelism
+    /// terms look back on.
+    pub recency_window: usize,
+    /// Lookahead depth in dependency steps.
+    pub lookahead_depth: usize,
+    /// Maximum number of gates in the lookahead layer.
+    pub lookahead_max_gates: usize,
+    /// Safety bound on routing operations per gate (SWAPs + moves); the
+    /// mapper aborts with [`crate::MapError::RoutingStuck`] beyond
+    /// `max_ops_per_gate × gate count + 1000` total operations.
+    pub max_ops_per_gate: usize,
+    /// Initial atom placement (the paper uses the identity layout).
+    pub initial_layout: InitialLayout,
+}
+
+impl MapperConfig {
+    fn base() -> Self {
+        MapperConfig {
+            alpha_gate: 1.0,
+            alpha_shuttle: 1.0,
+            lookahead_weight: 0.1,
+            time_weight: 0.1,
+            decay_rate: 0.0,
+            recency_window: 4,
+            lookahead_depth: 2,
+            lookahead_max_gates: 20,
+            max_ops_per_gate: 64,
+            initial_layout: InitialLayout::Identity,
+        }
+    }
+
+    /// Hybrid mode with decision ratio `α = α_g/α_s` (paper mode (C)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha_ratio` is not finite and positive.
+    pub fn hybrid(alpha_ratio: f64) -> Self {
+        assert!(
+            alpha_ratio.is_finite() && alpha_ratio > 0.0,
+            "alpha ratio must be positive"
+        );
+        MapperConfig {
+            alpha_gate: alpha_ratio,
+            alpha_shuttle: 1.0,
+            ..MapperConfig::base()
+        }
+    }
+
+    /// Gate-based-only mode, `α_s = 0` (paper mode (B)).
+    pub fn gate_only() -> Self {
+        MapperConfig {
+            alpha_gate: 1.0,
+            alpha_shuttle: 0.0,
+            ..MapperConfig::base()
+        }
+    }
+
+    /// Shuttling-only mode, `α_g = 0` (paper mode (A)).
+    pub fn shuttle_only() -> Self {
+        MapperConfig {
+            alpha_gate: 0.0,
+            alpha_shuttle: 1.0,
+            ..MapperConfig::base()
+        }
+    }
+
+    /// The decision ratio `α = α_g/α_s`, or `None` in a single-capability
+    /// mode.
+    pub fn alpha_ratio(&self) -> Option<f64> {
+        if self.alpha_gate > 0.0 && self.alpha_shuttle > 0.0 {
+            Some(self.alpha_gate / self.alpha_shuttle)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` when shuttling is disabled (`α_s = 0`).
+    pub fn is_gate_only(&self) -> bool {
+        self.alpha_shuttle == 0.0
+    }
+
+    /// Returns `true` when SWAP insertion is disabled (`α_g = 0`).
+    pub fn is_shuttle_only(&self) -> bool {
+        self.alpha_gate == 0.0
+    }
+
+    /// Sets the lookahead weight `w_l`.
+    pub fn with_lookahead_weight(mut self, w: f64) -> Self {
+        self.lookahead_weight = w;
+        self
+    }
+
+    /// Sets the time weight `w_t`.
+    pub fn with_time_weight(mut self, w: f64) -> Self {
+        self.time_weight = w;
+        self
+    }
+
+    /// Sets the decay rate `λ_t`.
+    pub fn with_decay_rate(mut self, lambda: f64) -> Self {
+        self.decay_rate = lambda;
+        self
+    }
+
+    /// Sets the recency window `t`.
+    pub fn with_recency_window(mut self, t: usize) -> Self {
+        self.recency_window = t;
+        self
+    }
+
+    /// Sets the lookahead depth and gate cap.
+    pub fn with_lookahead(mut self, depth: usize, max_gates: usize) -> Self {
+        self.lookahead_depth = depth;
+        self.lookahead_max_gates = max_gates;
+        self
+    }
+
+    /// Sets the initial atom placement.
+    pub fn with_initial_layout(mut self, layout: InitialLayout) -> Self {
+        self.initial_layout = layout;
+        self
+    }
+}
+
+impl Default for MapperConfig {
+    /// Hybrid mode with `α = 1`.
+    fn default() -> Self {
+        MapperConfig::base()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let cfg = MapperConfig::default();
+        assert_eq!(cfg.decay_rate, 0.0);
+        assert_eq!(cfg.lookahead_weight, 0.1);
+        assert_eq!(cfg.time_weight, 0.1);
+        assert_eq!(cfg.recency_window, 4);
+    }
+
+    #[test]
+    fn mode_predicates() {
+        assert!(MapperConfig::gate_only().is_gate_only());
+        assert!(!MapperConfig::gate_only().is_shuttle_only());
+        assert!(MapperConfig::shuttle_only().is_shuttle_only());
+        assert!(MapperConfig::hybrid(2.0).alpha_ratio().is_some());
+        assert!(MapperConfig::gate_only().alpha_ratio().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn hybrid_rejects_zero_ratio() {
+        MapperConfig::hybrid(0.0);
+    }
+
+    #[test]
+    fn builder_setters_chain() {
+        let cfg = MapperConfig::hybrid(1.0)
+            .with_lookahead_weight(0.3)
+            .with_time_weight(0.2)
+            .with_decay_rate(0.5)
+            .with_recency_window(8)
+            .with_lookahead(3, 40);
+        assert_eq!(cfg.lookahead_weight, 0.3);
+        assert_eq!(cfg.time_weight, 0.2);
+        assert_eq!(cfg.decay_rate, 0.5);
+        assert_eq!(cfg.recency_window, 8);
+        assert_eq!((cfg.lookahead_depth, cfg.lookahead_max_gates), (3, 40));
+    }
+}

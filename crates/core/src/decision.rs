@@ -1,0 +1,271 @@
+//! Capability decision: estimating, per gate, whether SWAP insertion or
+//! shuttling preserves more success probability (paper §3.2 (2)).
+//!
+//! For every frontier gate the decider estimates the routing overhead of
+//! both capabilities and converts it into the approximate success
+//! probability of Eq. (1):
+//!
+//! * **gate-based**: `n_swap` SWAPs, each costing the decomposed SWAP
+//!   fidelity `F_CZ³·F_1q⁶` and `t_swap` of idle time for every spectator
+//!   atom,
+//! * **shuttling-based**: `n_move` shuttles, each costing `F_shuttle` and
+//!   its transaction time (`t_act + s/v + t_deact`) of spectator idle
+//!   time.
+//!
+//! The spectator-idle coupling is what makes slow shuttles expensive on
+//! large circuits even when `F_shuttle ≈ 1`, producing the crossovers of
+//! the paper's mixed hardware row. Working in log-space keeps the
+//! comparison `α_g·P_g ≥ α_s·P_s` exact for long circuits.
+
+use na_arch::{HardwareParams, Site};
+use na_circuit::Qubit;
+
+use crate::config::MapperConfig;
+use crate::connectivity::swap_count_estimate;
+use crate::state::MappingState;
+
+/// Which capability routes a gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Capability {
+    /// Route by SWAP insertion.
+    GateBased,
+    /// Route by atom shuttling.
+    Shuttling,
+}
+
+/// Estimates of the two routing options for one gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionEstimate {
+    /// Estimated number of SWAPs.
+    pub n_swaps: usize,
+    /// Estimated number of shuttle moves.
+    pub n_moves: usize,
+    /// Log success probability of the gate-based route.
+    pub log_p_gate: f64,
+    /// Log success probability of the shuttling route.
+    pub log_p_shuttle: f64,
+}
+
+/// The capability decider (step (2) of the mapping process).
+#[derive(Debug, Clone)]
+pub struct Decider {
+    r_int: f64,
+    ln_f_swap: f64,
+    ln_f_shuttle: f64,
+    t_swap_us: f64,
+    t_act_deact_us: f64,
+    lattice_constant_um: f64,
+    speed_um_per_us: f64,
+    t_eff_us: f64,
+    alpha_gate: f64,
+    alpha_shuttle: f64,
+}
+
+impl Decider {
+    /// Creates a decider for the given hardware and configuration.
+    pub fn new(params: &HardwareParams, config: &MapperConfig) -> Self {
+        Decider {
+            r_int: params.r_int,
+            ln_f_swap: params.swap_fidelity().ln(),
+            ln_f_shuttle: params.f_shuttle.max(f64::MIN_POSITIVE).ln(),
+            t_swap_us: params.swap_time_us(),
+            t_act_deact_us: params.t_act_us + params.t_deact_us,
+            lattice_constant_um: params.lattice_constant_um,
+            speed_um_per_us: params.shuttle_speed_um_per_us,
+            t_eff_us: params.t_eff_us(),
+            alpha_gate: config.alpha_gate,
+            alpha_shuttle: config.alpha_shuttle,
+        }
+    }
+
+    /// Estimates both routing options for a gate on `qubits`.
+    pub fn estimate(&self, state: &MappingState, qubits: &[Qubit]) -> DecisionEstimate {
+        let sites: Vec<Site> = qubits.iter().map(|&q| state.site_of_qubit(q)).collect();
+        let spectators = (state.num_qubits().saturating_sub(qubits.len())) as f64;
+
+        // Gate-based: sum of pairwise SWAP-count estimates towards the
+        // gate centroid pair structure. For 2-qubit gates this is the
+        // plain pair estimate; for CᵐZ we gather everyone at the qubit
+        // minimizing the total.
+        let n_swaps = if sites.len() == 2 {
+            swap_count_estimate(sites[0], sites[1], self.r_int)
+        } else {
+            sites
+                .iter()
+                .map(|&center| {
+                    sites
+                        .iter()
+                        .map(|&s| swap_count_estimate(s, center, self.r_int))
+                        .sum::<usize>()
+                })
+                .min()
+                .unwrap_or(0)
+        };
+
+        // Shuttling: every qubit outside the best center's vicinity moves
+        // once; in a crowded region a fraction of moves needs a move-away
+        // partner. We estimate distances to the chosen center.
+        let (n_moves, move_dist_units) = sites
+            .iter()
+            .map(|&center| {
+                let mut count = 0usize;
+                let mut dist = 0.0f64;
+                for &s in &sites {
+                    if s != center && !s.within(center, self.r_int) {
+                        count += 1;
+                        dist += s.rectilinear_distance(center);
+                    }
+                }
+                (count, dist)
+            })
+            .min_by(|a, b| {
+                (a.0, a.1)
+                    .partial_cmp(&(b.0, b.1))
+                    .expect("finite distances")
+            })
+            .unwrap_or((0, 0.0));
+
+        let t_gate_route = n_swaps as f64 * self.t_swap_us;
+        let t_shuttle_route = n_moves as f64 * self.t_act_deact_us
+            + move_dist_units * self.lattice_constant_um / self.speed_um_per_us;
+
+        let log_p_gate =
+            n_swaps as f64 * self.ln_f_swap - t_gate_route * spectators / self.t_eff_us;
+        let log_p_shuttle =
+            n_moves as f64 * self.ln_f_shuttle - t_shuttle_route * spectators / self.t_eff_us;
+
+        DecisionEstimate {
+            n_swaps,
+            n_moves,
+            log_p_gate,
+            log_p_shuttle,
+        }
+    }
+
+    /// Decides the capability for a gate: compares `α_g·P_g` with
+    /// `α_s·P_s` in log-space. Single-capability modes short-circuit.
+    pub fn decide(&self, state: &MappingState, qubits: &[Qubit]) -> Capability {
+        if self.alpha_shuttle == 0.0 {
+            return Capability::GateBased;
+        }
+        if self.alpha_gate == 0.0 {
+            return Capability::Shuttling;
+        }
+        let est = self.estimate(state, qubits);
+        let gate_score = self.alpha_gate.ln() + est.log_p_gate;
+        let shuttle_score = self.alpha_shuttle.ln() + est.log_p_shuttle;
+        if gate_score >= shuttle_score {
+            Capability::GateBased
+        } else {
+            Capability::Shuttling
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_with(params: &HardwareParams, qubits: u32) -> MappingState {
+        MappingState::identity(params, qubits).expect("fits")
+    }
+
+    fn scaled(preset: HardwareParams) -> HardwareParams {
+        preset
+            .to_builder()
+            .lattice(8, 3.0)
+            .num_atoms(60)
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn executable_gate_costs_nothing() {
+        let p = scaled(HardwareParams::mixed());
+        let s = state_with(&p, 60);
+        let d = Decider::new(&p, &MapperConfig::hybrid(1.0));
+        let est = d.estimate(&s, &[Qubit(0), Qubit(1)]);
+        assert_eq!(est.n_swaps, 0);
+        assert_eq!(est.n_moves, 0);
+        assert_eq!(est.log_p_gate, 0.0);
+        assert_eq!(est.log_p_shuttle, 0.0);
+    }
+
+    #[test]
+    fn gate_hardware_prefers_swaps() {
+        let p = scaled(HardwareParams::gate_based());
+        let s = state_with(&p, 60);
+        let d = Decider::new(&p, &MapperConfig::hybrid(1.0));
+        // A distant pair on the gate-optimized preset.
+        assert_eq!(d.decide(&s, &[Qubit(0), Qubit(59)]), Capability::GateBased);
+    }
+
+    #[test]
+    fn shuttling_hardware_prefers_moves() {
+        let p = scaled(HardwareParams::shuttling());
+        let s = state_with(&p, 60);
+        let d = Decider::new(&p, &MapperConfig::hybrid(1.0));
+        assert_eq!(d.decide(&s, &[Qubit(0), Qubit(59)]), Capability::Shuttling);
+    }
+
+    #[test]
+    fn forced_modes_short_circuit() {
+        let p = scaled(HardwareParams::mixed());
+        let s = state_with(&p, 60);
+        let gate_only = Decider::new(&p, &MapperConfig::gate_only());
+        assert_eq!(
+            gate_only.decide(&s, &[Qubit(0), Qubit(59)]),
+            Capability::GateBased
+        );
+        let shuttle_only = Decider::new(&p, &MapperConfig::shuttle_only());
+        assert_eq!(
+            shuttle_only.decide(&s, &[Qubit(0), Qubit(59)]),
+            Capability::Shuttling
+        );
+    }
+
+    #[test]
+    fn alpha_ratio_biases_the_decision() {
+        let p = scaled(HardwareParams::mixed());
+        let s = state_with(&p, 60);
+        let d = Decider::new(&p, &MapperConfig::hybrid(1.0));
+        let pair = [Qubit(0), Qubit(59)];
+        let est = d.estimate(&s, &pair);
+        // Pick an alpha ratio that flips whichever side is losing.
+        let gap = est.log_p_shuttle - est.log_p_gate;
+        assert!(gap.abs() > 0.0, "estimates should differ for a far pair");
+        let flip = (gap.abs() * 2.0).exp();
+        let biased = if gap > 0.0 {
+            // Shuttling wins at alpha = 1; bias towards gates.
+            MapperConfig::hybrid(flip)
+        } else {
+            MapperConfig::hybrid(1.0 / flip)
+        };
+        let d2 = Decider::new(&p, &biased);
+        let base = d.decide(&s, &pair);
+        let flipped = d2.decide(&s, &pair);
+        assert_ne!(base, flipped);
+    }
+
+    #[test]
+    fn estimates_scale_with_distance() {
+        let p = scaled(HardwareParams::mixed());
+        let s = state_with(&p, 60);
+        let d = Decider::new(&p, &MapperConfig::hybrid(1.0));
+        let near = d.estimate(&s, &[Qubit(0), Qubit(8)]);
+        let far = d.estimate(&s, &[Qubit(0), Qubit(59)]);
+        assert!(far.n_swaps >= near.n_swaps);
+        assert!(far.log_p_gate <= near.log_p_gate);
+    }
+
+    #[test]
+    fn multiqubit_estimate_counts_outlying_qubits() {
+        let p = scaled(HardwareParams::mixed());
+        let s = state_with(&p, 60);
+        let d = Decider::new(&p, &MapperConfig::hybrid(1.0));
+        // q0 (0,0), q1 (1,0) adjacent; q59 far away: one move expected.
+        let est = d.estimate(&s, &[Qubit(0), Qubit(1), Qubit(59)]);
+        assert_eq!(est.n_moves, 1);
+        assert!(est.n_swaps >= 1);
+    }
+}

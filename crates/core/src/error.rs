@@ -1,0 +1,118 @@
+//! Mapper error types.
+
+use std::error::Error;
+use std::fmt;
+
+use na_arch::ArchError;
+
+/// Errors raised during circuit mapping.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MapError {
+    /// The hardware description is inconsistent.
+    Arch(ArchError),
+    /// The circuit needs more qubits than the hardware provides atoms.
+    CircuitTooWide {
+        /// Circuit width.
+        circuit_qubits: u32,
+        /// Available atoms.
+        atoms: u32,
+    },
+    /// Routing made no progress within the safety budget — usually a sign
+    /// of a hardware configuration whose interaction radius cannot realize
+    /// a required multi-qubit gate geometry.
+    RoutingStuck {
+        /// Index of the circuit operation that could not be routed.
+        op_index: usize,
+        /// Routing operations spent before giving up.
+        ops_spent: usize,
+    },
+    /// A multi-qubit gate has more operands than any geometric arrangement
+    /// within `r_int` can accommodate.
+    GateTooLarge {
+        /// Index of the circuit operation.
+        op_index: usize,
+        /// Operand count.
+        arity: usize,
+        /// Sites available within a mutual-interaction disc.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Arch(e) => write!(f, "invalid architecture: {e}"),
+            MapError::CircuitTooWide {
+                circuit_qubits,
+                atoms,
+            } => write!(
+                f,
+                "circuit needs {circuit_qubits} qubits but hardware has {atoms} atoms"
+            ),
+            MapError::RoutingStuck { op_index, ops_spent } => write!(
+                f,
+                "routing stuck on operation {op_index} after {ops_spent} routing operations"
+            ),
+            MapError::GateTooLarge {
+                op_index,
+                arity,
+                capacity,
+            } => write!(
+                f,
+                "operation {op_index} acts on {arity} qubits but at most {capacity} \
+                 sites fit within the interaction radius"
+            ),
+        }
+    }
+}
+
+impl Error for MapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MapError::Arch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArchError> for MapError {
+    fn from(e: ArchError) -> Self {
+        MapError::Arch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_context() {
+        let e = MapError::CircuitTooWide {
+            circuit_qubits: 300,
+            atoms: 200,
+        };
+        assert!(e.to_string().contains("300"));
+        let e = MapError::RoutingStuck {
+            op_index: 17,
+            ops_spent: 4000,
+        };
+        assert!(e.to_string().contains("17"));
+    }
+
+    #[test]
+    fn arch_error_wraps_with_source() {
+        let inner = ArchError::InvalidParameter {
+            name: "r_int",
+            reason: "must be positive".into(),
+        };
+        let e = MapError::from(inner);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MapError>();
+    }
+}

@@ -1,0 +1,641 @@
+//! Gate-based routing: SWAP candidate generation, the cost function of
+//! the paper's Eq. (2)–(3), and multi-qubit *position finding*.
+//!
+//! Two-qubit gates are swapped towards each other; gates on `m ≥ 3`
+//! qubits first need a geometric *position* — a set of `m` occupied sites
+//! pairwise within `r_int` — found by breadth-first search starting from
+//! all gate qubits simultaneously (paper §3.1.3 and Example 7). If no
+//! position exists the gate falls back to shuttling-based mapping.
+//!
+//! # Cost function
+//!
+//! For a SWAP candidate `S` the router evaluates
+//!
+//! ```text
+//! C_g(S) = [ C_f(S) + w_l·C_l(S) ] + λ_t·(t_max − t(S))
+//! ```
+//!
+//! where `C_f`/`C_l` sum the *post-SWAP* routing distances of the frontier
+//! and lookahead gates (for the argmin this is equivalent to the paper's
+//! difference form `Δd_SWAP`, since the pre-SWAP sum is a constant).
+//! `t(S)` counts routing steps since either atom of `S` was last involved
+//! in a SWAP, where "involved" includes atoms within the restriction
+//! radius `r_restr` of the swapped pair (the NA-specific extension noted
+//! in §3.3.1). The recency term penalizes *freshly used* pairs so larger
+//! `λ_t` spreads SWAPs across the array (the paper's parallelism dial).
+//! We use an additive penalty rather than the paper's
+//! `exp(−λ_t·t(S))` prefactor: multiplying the full distance sum lets a
+//! stale-but-useless SWAP undercut a fresh improving one once λ_t grows,
+//! which livelocks the router; the additive form keeps the improvement
+//! ordering intact and is identical at the paper's evaluated `λ_t = 0`.
+
+use std::collections::HashMap;
+
+use na_arch::{HardwareParams, Neighborhood, Site};
+use na_circuit::Qubit;
+
+use crate::config::MapperConfig;
+use crate::connectivity::{bfs_occupied, swap_distance, UNREACHABLE};
+use crate::ops::AtomId;
+use crate::state::MappingState;
+
+/// A geometric realization target for a multi-qubit gate: slot `i` is the
+/// site where gate qubit `i` should end up; all slots are pairwise within
+/// `r_int`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatePosition {
+    /// Target site per gate qubit (operand order).
+    pub slots: Vec<Site>,
+    /// Total BFS hop cost of gathering the qubits at the slots.
+    pub cost: u32,
+}
+
+/// A frontier or lookahead gate prepared for gate-based routing.
+#[derive(Debug, Clone)]
+pub struct RoutedGate {
+    /// Index of the operation in the input circuit.
+    pub op_index: usize,
+    /// The gate's circuit qubits.
+    pub qubits: Vec<Qubit>,
+    /// Target position for `m ≥ 3` gates (`None` for two-qubit gates).
+    pub position: Option<GatePosition>,
+}
+
+impl RoutedGate {
+    /// Post-SWAP routing distance of this gate, with `site_of` resolving
+    /// qubit locations (allowing hypothetical SWAP overrides).
+    fn distance_with(&self, site_of: &dyn Fn(Qubit) -> Site, r_int: f64) -> f64 {
+        match &self.position {
+            Some(pos) => self
+                .qubits
+                .iter()
+                .zip(&pos.slots)
+                .map(|(&q, &slot)| {
+                    let s = site_of(q);
+                    // Count slot distance in SWAP steps.
+                    if s == slot {
+                        0.0
+                    } else {
+                        (s.distance(slot) / r_int).max(1.0)
+                    }
+                })
+                .sum(),
+            None => {
+                let a = site_of(self.qubits[0]);
+                let b = site_of(self.qubits[1]);
+                swap_distance(a, b, r_int)
+            }
+        }
+    }
+}
+
+/// The gate-based router. Owns the recency bookkeeping for `t(S)` and the
+/// tabu window preventing immediate SWAP reversal.
+#[derive(Debug)]
+pub struct GateRouter {
+    r_int: f64,
+    hood_int: Neighborhood,
+    hood_restr: Neighborhood,
+    lookahead_weight: f64,
+    decay_rate: f64,
+    recency_window: usize,
+    /// Routing step at which each atom was last "used" by a SWAP.
+    last_used: Vec<u64>,
+    /// Monotone step counter.
+    step: u64,
+    /// Recently applied swaps (tabu against immediate reversal).
+    recent_swaps: std::collections::VecDeque<(AtomId, AtomId)>,
+}
+
+impl GateRouter {
+    /// Creates a router for the given hardware and configuration.
+    pub fn new(params: &HardwareParams, config: &MapperConfig) -> Self {
+        GateRouter {
+            r_int: params.r_int,
+            hood_int: Neighborhood::new(params.r_int),
+            hood_restr: Neighborhood::new(params.r_restr),
+            lookahead_weight: config.lookahead_weight,
+            decay_rate: config.decay_rate,
+            recency_window: config.recency_window,
+            last_used: vec![0; params.num_atoms as usize],
+            step: 0,
+            recent_swaps: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// The interaction neighborhood used by this router.
+    pub fn interaction_neighborhood(&self) -> &Neighborhood {
+        &self.hood_int
+    }
+
+    /// Finds a geometric position for a multi-qubit gate: a set of
+    /// occupied sites, pairwise within `r_int`, reachable by SWAPs from
+    /// the gate qubits, minimizing the total BFS hop cost.
+    ///
+    /// Returns `None` when no feasible position exists (the mapper then
+    /// reroutes the gate through shuttling, paper §3.2 (3)).
+    pub fn find_position(&self, state: &MappingState, qubits: &[Qubit]) -> Option<GatePosition> {
+        let m = qubits.len();
+        debug_assert!(m >= 3, "positions are for multi-qubit gates");
+        let lattice = state.lattice();
+
+        // Per-qubit BFS distance fields through the occupied graph.
+        let dists: Vec<Vec<u32>> = qubits
+            .iter()
+            .map(|&q| bfs_occupied(state, &[state.site_of_qubit(q)], &self.hood_int))
+            .collect();
+
+        // Anchor candidates: occupied sites reachable by every qubit,
+        // ordered by total gathering cost.
+        let mut anchors: Vec<(u64, Site)> = Vec::new();
+        for site in lattice.iter() {
+            if state.is_free(site) {
+                continue;
+            }
+            let idx = lattice.index(site);
+            let mut total = 0u64;
+            let mut reachable = true;
+            for d in &dists {
+                if d[idx] == UNREACHABLE {
+                    reachable = false;
+                    break;
+                }
+                total += u64::from(d[idx]);
+            }
+            if reachable {
+                anchors.push((total, site));
+            }
+        }
+        anchors.sort_unstable_by_key(|&(c, s)| (c, s));
+
+        const ANCHOR_MARGIN: usize = 24;
+        let mut best: Option<GatePosition> = None;
+        let mut examined_since_best = 0usize;
+        for &(anchor_cost, anchor) in &anchors {
+            if let Some(b) = &best {
+                if anchor_cost >= u64::from(b.cost) || examined_since_best >= ANCHOR_MARGIN {
+                    break;
+                }
+                examined_since_best += 1;
+            }
+            if let Some(pos) = self.position_at_anchor(state, anchor, &dists, m) {
+                if best.as_ref().is_none_or(|b| pos.cost < b.cost) {
+                    best = Some(pos);
+                    examined_since_best = 0;
+                }
+            }
+        }
+        best
+    }
+
+    /// Greedily grows a mutually-compatible slot set around `anchor` and
+    /// assigns gate qubits to slots with minimal total BFS cost.
+    fn position_at_anchor(
+        &self,
+        state: &MappingState,
+        anchor: Site,
+        dists: &[Vec<u32>],
+        m: usize,
+    ) -> Option<GatePosition> {
+        let lattice = state.lattice();
+        // Occupied sites around (and including) the anchor, cheapest first.
+        let mut candidates: Vec<(u64, Site)> = std::iter::once(anchor)
+            .chain(
+                self.hood_int
+                    .around(anchor)
+                    .filter(|s| lattice.contains(*s) && !state.is_free(*s)),
+            )
+            .filter_map(|s| {
+                let idx = lattice.index(s);
+                let mut total = 0u64;
+                for d in dists {
+                    if d[idx] == UNREACHABLE {
+                        return None;
+                    }
+                    total += u64::from(d[idx]);
+                }
+                Some((total, s))
+            })
+            .collect();
+        candidates.sort_unstable_by_key(|&(c, s)| (c, s));
+
+        let mut slots: Vec<Site> = Vec::with_capacity(m);
+        for &(_, s) in &candidates {
+            if slots.iter().all(|&t| t.within(s, self.r_int)) {
+                slots.push(s);
+                if slots.len() == m {
+                    break;
+                }
+            }
+        }
+        if slots.len() < m {
+            return None;
+        }
+        let (assignment, cost) = best_assignment(dists, &slots, state.lattice())?;
+        let ordered: Vec<Site> = assignment.iter().map(|&j| slots[j]).collect();
+        Some(GatePosition {
+            slots: ordered,
+            cost,
+        })
+    }
+
+    /// Chooses the cheapest SWAP according to Eq. (2)–(3). Returns `None`
+    /// when no candidate exists (e.g. every frontier atom is isolated).
+    pub fn best_swap(
+        &self,
+        state: &MappingState,
+        front: &[RoutedGate],
+        lookahead: &[RoutedGate],
+    ) -> Option<(AtomId, AtomId)> {
+        let lattice = state.lattice();
+
+        // Atom → gates index over both layers (front weight 1, lookahead w_l).
+        let mut touching: HashMap<AtomId, Vec<(usize, bool)>> = HashMap::new();
+        for (gi, g) in front.iter().enumerate() {
+            for &q in &g.qubits {
+                touching.entry(state.atom_of_qubit(q)).or_default().push((gi, true));
+            }
+        }
+        for (gi, g) in lookahead.iter().enumerate() {
+            for &q in &g.qubits {
+                touching.entry(state.atom_of_qubit(q)).or_default().push((gi, false));
+            }
+        }
+
+        // Pre-SWAP distances (constant part of the cost).
+        let site_now = |q: Qubit| state.site_of_qubit(q);
+        let d_before_front: Vec<f64> = front
+            .iter()
+            .map(|g| g.distance_with(&site_now, self.r_int))
+            .collect();
+        let d_before_la: Vec<f64> = lookahead
+            .iter()
+            .map(|g| g.distance_with(&site_now, self.r_int))
+            .collect();
+        let baseline: f64 = d_before_front.iter().sum::<f64>()
+            + self.lookahead_weight * d_before_la.iter().sum::<f64>();
+
+        // Candidate SWAPs: frontier gate atoms × occupied interaction
+        // neighbours.
+        let mut seen = std::collections::HashSet::new();
+        let mut best: Option<((AtomId, AtomId), f64)> = None;
+        for g in front {
+            for &q in &g.qubits {
+                let a = state.atom_of_qubit(q);
+                let sa = state.site_of_atom(a);
+                for sb in self.hood_int.around(sa) {
+                    if !lattice.contains(sb) {
+                        continue;
+                    }
+                    let Some(b) = state.atom_at_site(sb) else {
+                        continue;
+                    };
+                    let pair = if a.0 < b.0 { (a, b) } else { (b, a) };
+                    if !seen.insert(pair) {
+                        continue;
+                    }
+                    let delta = self.swap_delta(
+                        state, pair, front, lookahead, &touching, &d_before_front, &d_before_la,
+                    );
+                    // Tabu: never undo a recent SWAP unless it improves.
+                    if self.recent_swaps.contains(&pair) && delta >= 0.0 {
+                        continue;
+                    }
+                    let freshness = self.recency_window as f64 - self.staleness(pair);
+                    let cost = (baseline + delta) + self.decay_rate * freshness;
+                    let better = match &best {
+                        None => true,
+                        Some((bp, bc)) => {
+                            cost < *bc - 1e-12 || ((cost - *bc).abs() <= 1e-12 && pair < *bp)
+                        }
+                    };
+                    if better {
+                        best = Some((pair, cost));
+                    }
+                }
+            }
+        }
+        best.map(|(pair, _)| pair)
+    }
+
+    /// Cost delta of swapping `pair`, restricted to gates touching either
+    /// atom (all other terms cancel).
+    #[allow(clippy::too_many_arguments)]
+    fn swap_delta(
+        &self,
+        state: &MappingState,
+        pair: (AtomId, AtomId),
+        front: &[RoutedGate],
+        lookahead: &[RoutedGate],
+        touching: &HashMap<AtomId, Vec<(usize, bool)>>,
+        d_before_front: &[f64],
+        d_before_la: &[f64],
+    ) -> f64 {
+        let (a, b) = pair;
+        let (site_a, site_b) = (state.site_of_atom(a), state.site_of_atom(b));
+        let site_after = |q: Qubit| -> Site {
+            let atom = state.atom_of_qubit(q);
+            if atom == a {
+                site_b
+            } else if atom == b {
+                site_a
+            } else {
+                state.site_of_atom(atom)
+            }
+        };
+        let mut delta = 0.0;
+        let mut handled = std::collections::HashSet::new();
+        for atom in [a, b] {
+            if let Some(list) = touching.get(&atom) {
+                for &(gi, is_front) in list {
+                    if !handled.insert((gi, is_front)) {
+                        continue;
+                    }
+                    let (gate, before, weight) = if is_front {
+                        (&front[gi], d_before_front[gi], 1.0)
+                    } else {
+                        (&lookahead[gi], d_before_la[gi], self.lookahead_weight)
+                    };
+                    let after = gate.distance_with(&site_after, self.r_int);
+                    delta += weight * (after - before);
+                }
+            }
+        }
+        delta
+    }
+
+    /// Steps since either atom of `pair` was last used, capped at the
+    /// recency window.
+    fn staleness(&self, pair: (AtomId, AtomId)) -> f64 {
+        let last = self.last_used[pair.0.index()].max(self.last_used[pair.1.index()]);
+        let t = self.step.saturating_sub(last);
+        (t.min(self.recency_window as u64)) as f64
+    }
+
+    /// Records an applied SWAP: advances the step counter, marks the
+    /// swapped atoms (and those within `r_restr` of them — the restricted
+    /// volume) as recently used, and updates the tabu window.
+    pub fn note_swap_applied(&mut self, state: &MappingState, a: AtomId, b: AtomId) {
+        self.step += 1;
+        for atom in [a, b] {
+            self.last_used[atom.index()] = self.step;
+            let site = state.site_of_atom(atom);
+            for s in self.hood_restr.around(site) {
+                if state.lattice().contains(s) {
+                    if let Some(other) = state.atom_at_site(s) {
+                        self.last_used[other.index()] = self.step;
+                    }
+                }
+            }
+        }
+        let pair = if a.0 < b.0 { (a, b) } else { (b, a) };
+        self.recent_swaps.push_back(pair);
+        while self.recent_swaps.len() > self.recency_window {
+            self.recent_swaps.pop_front();
+        }
+    }
+}
+
+/// Minimal-cost assignment of gate qubits to slots. Exact for up to four
+/// qubits (permutation search), greedy beyond. Returns `(assignment,
+/// cost)` with `assignment[i]` the slot index for qubit `i`.
+fn best_assignment(
+    dists: &[Vec<u32>],
+    slots: &[Site],
+    lattice: &na_arch::Lattice,
+) -> Option<(Vec<usize>, u32)> {
+    let m = dists.len();
+    debug_assert_eq!(m, slots.len());
+    let cost = |qi: usize, sj: usize| -> Option<u32> {
+        let d = dists[qi][lattice.index(slots[sj])];
+        (d != UNREACHABLE).then_some(d)
+    };
+    if m <= 4 {
+        let mut perm: Vec<usize> = (0..m).collect();
+        let mut best: Option<(Vec<usize>, u32)> = None;
+        permute(&mut perm, 0, &mut |p| {
+            let mut total = 0u32;
+            for (qi, &sj) in p.iter().enumerate() {
+                match cost(qi, sj) {
+                    Some(c) => total += c,
+                    None => return,
+                }
+            }
+            if best.as_ref().is_none_or(|(_, bc)| total < *bc) {
+                best = Some((p.to_vec(), total));
+            }
+        });
+        best
+    } else {
+        // Greedy: repeatedly match the globally cheapest (qubit, slot) pair.
+        let mut assignment = vec![usize::MAX; m];
+        let mut used = vec![false; m];
+        let mut total = 0u32;
+        for _ in 0..m {
+            let mut pick: Option<(u32, usize, usize)> = None;
+            #[allow(clippy::needless_range_loop)] // indices feed `cost(qi, sj)`
+            for qi in 0..m {
+                if assignment[qi] != usize::MAX {
+                    continue;
+                }
+                for sj in 0..m {
+                    if used[sj] {
+                        continue;
+                    }
+                    if let Some(c) = cost(qi, sj) {
+                        if pick.is_none_or(|(pc, ..)| c < pc) {
+                            pick = Some((c, qi, sj));
+                        }
+                    }
+                }
+            }
+            let (c, qi, sj) = pick?;
+            assignment[qi] = sj;
+            used[sj] = true;
+            total += c;
+        }
+        Some((assignment, total))
+    }
+}
+
+fn permute(perm: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == perm.len() {
+        visit(perm);
+        return;
+    }
+    for i in k..perm.len() {
+        perm.swap(k, i);
+        permute(perm, k + 1, visit);
+        perm.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use na_arch::HardwareParams;
+
+    fn params(side: u32, atoms: u32, r: f64) -> HardwareParams {
+        HardwareParams::mixed()
+            .to_builder()
+            .lattice(side, 3.0)
+            .num_atoms(atoms)
+            .radius(r)
+            .build()
+            .expect("valid")
+    }
+
+    fn routed(qubits: &[u32]) -> RoutedGate {
+        RoutedGate {
+            op_index: 0,
+            qubits: qubits.iter().map(|&q| Qubit(q)).collect(),
+            position: None,
+        }
+    }
+
+    #[test]
+    fn best_swap_moves_qubits_closer() {
+        // 5x5 dense row-major layout, r_int = 1: qubit 0 at (0,0), qubit 12
+        // at (2,2). Any useful SWAP reduces their separation.
+        let p = params(5, 24, 1.0);
+        let mut state = MappingState::identity(&p, 24).expect("fits");
+        let cfg = MapperConfig::gate_only();
+        let router = GateRouter::new(&p, &cfg);
+        let front = [routed(&[0, 12])];
+        let before = state
+            .site_of_qubit(Qubit(0))
+            .distance(state.site_of_qubit(Qubit(12)));
+        let (a, b) = router.best_swap(&state, &front, &[]).expect("candidates");
+        state.apply_swap(a, b);
+        let after = state
+            .site_of_qubit(Qubit(0))
+            .distance(state.site_of_qubit(Qubit(12)));
+        assert!(after < before, "swap must reduce distance: {before} -> {after}");
+    }
+
+    #[test]
+    fn routing_converges_to_executable() {
+        let p = params(5, 24, 1.0);
+        let mut state = MappingState::identity(&p, 24).expect("fits");
+        let cfg = MapperConfig::gate_only();
+        let mut router = GateRouter::new(&p, &cfg);
+        let front = [routed(&[0, 23])];
+        let qubits = [Qubit(0), Qubit(23)];
+        let mut swaps = 0;
+        while !state.qubits_mutually_connected(&qubits, p.r_int) {
+            let (a, b) = router.best_swap(&state, &front, &[]).expect("progress");
+            state.apply_swap(a, b);
+            router.note_swap_applied(&state, a, b);
+            swaps += 1;
+            assert!(swaps < 50, "routing must converge");
+        }
+        // Manhattan-ish corner-to-corner on a 5x5 with r_int = 1 needs at
+        // least 7 swaps; heuristic should stay close.
+        assert!((6..=16).contains(&swaps), "swaps = {swaps}");
+    }
+
+    #[test]
+    fn lookahead_breaks_ties_towards_future_gates() {
+        let p = params(5, 24, 1.0);
+        let state = MappingState::identity(&p, 24).expect("fits");
+        let cfg = MapperConfig::gate_only();
+        let router = GateRouter::new(&p, &cfg);
+        // Frontier gate between q0 (0,0) and q2 (2,0); lookahead wants q0
+        // near q10 at (0,2). Moving q0 right helps the front; the
+        // lookahead prefers candidates that do not hurt q10's gate.
+        let front = [routed(&[0, 2])];
+        let la = [routed(&[0, 10])];
+        let (a, b) = router.best_swap(&state, &front, &la).expect("candidates");
+        // Either way the front distance shrinks.
+        let mut s2 = state.clone();
+        s2.apply_swap(a, b);
+        let d_front_before = state
+            .site_of_qubit(Qubit(0))
+            .distance(state.site_of_qubit(Qubit(2)));
+        let d_front_after = s2
+            .site_of_qubit(Qubit(0))
+            .distance(s2.site_of_qubit(Qubit(2)));
+        assert!(d_front_after < d_front_before);
+    }
+
+    #[test]
+    fn find_position_rectangle_at_sqrt2() {
+        // Example 7: r_int = √2 requires an L-shaped/rectangular cluster.
+        let p = params(5, 24, std::f64::consts::SQRT_2);
+        let state = MappingState::identity(&p, 24).expect("fits");
+        let cfg = MapperConfig::gate_only();
+        let router = GateRouter::new(&p, &cfg);
+        let qubits = [Qubit(0), Qubit(1), Qubit(5)]; // already L-shaped
+        let pos = router.find_position(&state, &qubits).expect("position exists");
+        assert_eq!(pos.cost, 0, "qubits already form a valid position");
+        // All slots pairwise within r_int.
+        for (i, &a) in pos.slots.iter().enumerate() {
+            for &b in &pos.slots[i + 1..] {
+                assert!(a.within(b, p.r_int));
+            }
+        }
+    }
+
+    #[test]
+    fn find_position_gathers_distant_qubits() {
+        let p = params(6, 35, std::f64::consts::SQRT_2);
+        let state = MappingState::identity(&p, 35).expect("fits");
+        let cfg = MapperConfig::gate_only();
+        let router = GateRouter::new(&p, &cfg);
+        // Qubits at three corners of the lattice.
+        let qubits = [Qubit(0), Qubit(5), Qubit(30)];
+        let pos = router.find_position(&state, &qubits).expect("position exists");
+        assert!(pos.cost > 0);
+        for (i, &a) in pos.slots.iter().enumerate() {
+            for &b in &pos.slots[i + 1..] {
+                assert!(a.within(b, p.r_int));
+            }
+        }
+    }
+
+    #[test]
+    fn position_none_when_graph_disconnected() {
+        // 2 atoms in opposite corners of a 9x9 lattice with r_int = 1:
+        // no third atom exists, and they cannot even reach each other.
+        let p = params(9, 3, 1.0);
+        let mut state = MappingState::identity(&p, 3).expect("fits");
+        state.apply_move(AtomId(0), Site::new(8, 8));
+        state.apply_move(AtomId(1), Site::new(0, 8));
+        // Atom 2 stays at (2,0); all three are isolated.
+        let cfg = MapperConfig::gate_only();
+        let router = GateRouter::new(&p, &cfg);
+        let pos = router.find_position(&state, &[Qubit(0), Qubit(1), Qubit(2)]);
+        assert!(pos.is_none());
+    }
+
+    #[test]
+    fn note_swap_marks_restricted_atoms() {
+        let p = params(5, 24, 1.0);
+        let state = MappingState::identity(&p, 24).expect("fits");
+        let cfg = MapperConfig::gate_only().with_decay_rate(0.5);
+        let mut router = GateRouter::new(&p, &cfg);
+        router.note_swap_applied(&state, AtomId(12), AtomId(13));
+        // Direct participants and neighbours within r_restr are fresh.
+        assert_eq!(router.staleness((AtomId(12), AtomId(13))), 0.0);
+        assert_eq!(router.staleness((AtomId(11), AtomId(7))), 0.0);
+        // A far-away pair is stale.
+        assert!(router.staleness((AtomId(0), AtomId(23))) > 0.0);
+    }
+
+    #[test]
+    fn assignment_exact_for_small_gates() {
+        let p = params(4, 15, 2.0);
+        let state = MappingState::identity(&p, 15).expect("fits");
+        let hood = Neighborhood::new(2.0);
+        let sites = [Site::new(0, 0), Site::new(1, 0), Site::new(2, 0)];
+        let dists: Vec<Vec<u32>> = sites
+            .iter()
+            .map(|&s| bfs_occupied(&state, &[s], &hood))
+            .collect();
+        // Slots identical to sources: zero-cost identity assignment.
+        let (assignment, cost) =
+            best_assignment(&dists, &sites, state.lattice()).expect("feasible");
+        assert_eq!(cost, 0);
+        assert_eq!(assignment, vec![0, 1, 2]);
+    }
+}

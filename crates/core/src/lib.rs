@@ -1,0 +1,63 @@
+//! Hybrid gate/shuttling circuit mapper for neutral-atom quantum
+//! computers.
+//!
+//! This crate implements the core contribution of *"Hybrid Circuit
+//! Mapping: Leveraging the Full Spectrum of Computational Capabilities of
+//! Neutral Atom Quantum Computers"* (Schmid et al., DAC 2024): a compiler
+//! that routes each gate of a quantum circuit either by **SWAP insertion**
+//! (modifying the qubit mapping `f_q`) or by **atom shuttling** (modifying
+//! the atom mapping `f_a`), choosing per gate via success-probability
+//! estimates derived from the hardware parameters.
+//!
+//! The mapping process follows the five building blocks of the paper's
+//! Fig. 4:
+//!
+//! 1. layer creation (commutation-aware frontier + lookahead, from
+//!    [`na_circuit::dag`]),
+//! 2. capability decision ([`decision`]),
+//! 3. gate-based mapping ([`gate_router`], cost Eq. (2)–(3)),
+//! 4. shuttling-based mapping ([`shuttle_router`], cost Eq. (4)–(5)),
+//! 5. processing to hardware operations ([`ops`], consumed by
+//!    `na-schedule`).
+//!
+//! # Example
+//!
+//! ```
+//! use na_arch::HardwareParams;
+//! use na_circuit::generators::Qft;
+//! use na_mapper::{HybridMapper, MapperConfig};
+//!
+//! let params = HardwareParams::mixed()
+//!     .to_builder()
+//!     .lattice(6, 3.0)
+//!     .num_atoms(16)
+//!     .build()?;
+//! let mapper = HybridMapper::new(params, MapperConfig::hybrid(1.0))?;
+//! let outcome = mapper.map(&Qft::new(8).build())?;
+//! assert!(outcome.stats.swaps_inserted + outcome.stats.shuttle_moves > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod connectivity;
+pub mod decision;
+pub mod error;
+pub mod gate_router;
+pub mod layout;
+pub mod mapper;
+pub mod ops;
+pub mod render;
+pub mod shuttle_router;
+pub mod state;
+pub mod verify;
+
+pub use config::MapperConfig;
+pub use layout::InitialLayout;
+pub use error::MapError;
+pub use mapper::{HybridMapper, MapStats, MappingOutcome};
+pub use ops::{AtomId, MappedCircuit, MappedOp};
+pub use state::MappingState;
+pub use verify::{verify_mapping, VerifyError};

@@ -1,0 +1,575 @@
+//! The hybrid mapping process (paper Fig. 4).
+//!
+//! [`HybridMapper::map`] consumes a circuit and produces a stream of
+//! hardware operations by iterating the five building blocks:
+//!
+//! 1. **Layer creation** — commutation-aware frontier and lookahead from
+//!    [`na_circuit::dag`].
+//! 2. **Capability decision** — each frontier gate is assigned to
+//!    gate-based (`f_g`) or shuttling-based (`f_s`) routing by comparing
+//!    weighted success-probability estimates ([`crate::decision`]).
+//! 3. **Gate-based mapping** — the cheapest SWAP according to Eq. (2)–(3)
+//!    is inserted until a gate becomes executable; multi-qubit gates
+//!    first acquire a geometric position (falling back to shuttling when
+//!    none exists).
+//! 4. **Shuttling-based mapping** — move chains per Eq. (4)–(5); only
+//!    considered once `f_g` is empty, so SWAPs and shuttles do not
+//!    interfere (paper §3.2 (4)).
+//! 5. **Processing to hardware operations** — the emitted
+//!    [`MappedOp`] stream (SWAP decomposition and AOD batching happen in
+//!    `na-schedule`).
+
+use std::time::{Duration, Instant};
+
+use na_arch::HardwareParams;
+use na_circuit::{decompose_to_native, Circuit, CircuitDag, LayerTracker, Operation};
+
+use crate::config::MapperConfig;
+use crate::decision::{Capability, Decider};
+use crate::error::MapError;
+use crate::gate_router::{GateRouter, RoutedGate};
+use crate::ops::{MappedCircuit, MappedOp};
+use crate::shuttle_router::{ShuttleGate, ShuttleRouter};
+use crate::state::MappingState;
+
+/// Statistics of one mapping run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MapStats {
+    /// Routing SWAPs inserted (each decomposes to 3 CZ downstream).
+    pub swaps_inserted: usize,
+    /// Shuttle moves inserted.
+    pub shuttle_moves: usize,
+    /// Entangling gates first assigned to gate-based routing.
+    pub gates_gate_routed: usize,
+    /// Entangling gates first assigned to shuttling-based routing.
+    pub gates_shuttle_routed: usize,
+}
+
+/// Result of a mapping run: the hardware op stream plus statistics and
+/// wall-clock runtime.
+#[derive(Debug, Clone)]
+pub struct MappingOutcome {
+    /// The mapped circuit.
+    pub mapped: MappedCircuit,
+    /// Routing statistics.
+    pub stats: MapStats,
+    /// Wall-clock mapping time (the paper's RT column).
+    pub runtime: Duration,
+}
+
+/// The hybrid gate/shuttling mapper.
+///
+/// # Example
+///
+/// ```
+/// use na_arch::HardwareParams;
+/// use na_circuit::generators::GraphState;
+/// use na_mapper::{HybridMapper, MapperConfig};
+///
+/// let params = HardwareParams::mixed()
+///     .to_builder()
+///     .lattice(5, 3.0)
+///     .num_atoms(12)
+///     .build()?;
+/// let mapper = HybridMapper::new(params, MapperConfig::default())?;
+/// let outcome = mapper.map(&GraphState::new(10).edges(14).seed(1).build())?;
+/// assert_eq!(outcome.mapped.gate_count(), 10 + 14); // all gates executed
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HybridMapper {
+    params: HardwareParams,
+    config: MapperConfig,
+}
+
+impl HybridMapper {
+    /// Creates a mapper after validating the hardware description.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`na_arch::ArchError`] from parameter validation.
+    pub fn new(params: HardwareParams, config: MapperConfig) -> Result<Self, MapError> {
+        params.validate()?;
+        Ok(HybridMapper { params, config })
+    }
+
+    /// The hardware parameters.
+    pub fn params(&self) -> &HardwareParams {
+        &self.params
+    }
+
+    /// The mapper configuration.
+    pub fn config(&self) -> &MapperConfig {
+        &self.config
+    }
+
+    /// Maps `circuit` to the hardware, inserting SWAPs and shuttle moves.
+    ///
+    /// Non-native gates (`CᵐX`, `SWAP`) are decomposed first; `op_index`
+    /// values in the output refer to the decomposed circuit, available via
+    /// [`decompose_to_native`].
+    ///
+    /// # Errors
+    ///
+    /// * [`MapError::CircuitTooWide`] — more circuit qubits than atoms.
+    /// * [`MapError::GateTooLarge`] — a gate's operands cannot fit any
+    ///   mutual-interaction arrangement.
+    /// * [`MapError::RoutingStuck`] — no routing progress within the
+    ///   safety budget.
+    pub fn map(&self, circuit: &Circuit) -> Result<MappingOutcome, MapError> {
+        let start = Instant::now();
+        let native = if circuit.is_native() {
+            circuit.clone()
+        } else {
+            decompose_to_native(circuit)
+        };
+
+        // Feasibility: a CᵐZ needs m sites pairwise within r_int.
+        let max_arity = native.iter().map(Operation::arity).max().unwrap_or(0);
+        let capacity = na_arch::geometry::max_cluster_size(self.params.r_int, max_arity.max(1));
+        for (i, op) in native.iter().enumerate() {
+            if op.arity() > capacity {
+                return Err(MapError::GateTooLarge {
+                    op_index: i,
+                    arity: op.arity(),
+                    capacity,
+                });
+            }
+        }
+
+        let mut state = MappingState::with_layout(
+            &self.params,
+            native.num_qubits(),
+            self.config.initial_layout,
+        )?;
+        let dag = CircuitDag::new(&native);
+        let mut layers = LayerTracker::new(&dag);
+        let decider = Decider::new(&self.params, &self.config);
+        let mut gate_router = GateRouter::new(&self.params, &self.config);
+        let mut shuttle_router = ShuttleRouter::new(&self.params, &self.config);
+
+        let mut out = MappedCircuit::with_layout(
+            native.num_qubits(),
+            self.params.num_atoms,
+            self.config.initial_layout,
+        );
+        let mut stats = MapStats::default();
+        // Sticky capability assignment: a gate keeps its first decision
+        // until executed (re-deciding every iteration lets borderline
+        // gates oscillate between capabilities and livelock the routers;
+        // only the position-not-found fallback may override to shuttling).
+        let mut assigned: Vec<Option<Capability>> = vec![None; native.len()];
+
+        let budget = self
+            .config
+            .max_ops_per_gate
+            .saturating_mul(native.len())
+            .saturating_add(1000);
+        let mut routing_ops = 0usize;
+        // Stall breaker: routing ops applied since the last gate executed.
+        let mut ops_since_progress = 0usize;
+
+        while !layers.is_done() {
+            // (1) Execute everything currently executable.
+            if self.execute_ready(&native, &dag, &mut layers, &mut state, &mut out) {
+                ops_since_progress = 0;
+                continue;
+            }
+            if layers.is_done() {
+                break;
+            }
+
+            // (2) Partition frontier and lookahead by capability.
+            let (mut f_g, mut f_s) = self.partition(
+                &native,
+                layers.front(),
+                &state,
+                &decider,
+                &gate_router,
+                &mut assigned,
+                &mut stats,
+            );
+
+            // Stall breaker: if routing churns without executing anything,
+            // force the lowest-index frontier gate through a shuttle chain
+            // (chains guarantee executability by construction).
+            let stall_limit = 64 + 8 * (f_g.len() + f_s.len());
+            if ops_since_progress > stall_limit && self.config.alpha_shuttle > 0.0 {
+                let forced: Vec<ShuttleGate> = f_g
+                    .drain(..)
+                    .map(|g| ShuttleGate {
+                        op_index: g.op_index,
+                        qubits: g.qubits,
+                    })
+                    .chain(f_s.drain(..))
+                    .take(1)
+                    .collect();
+                f_s = forced;
+            }
+            let la = layers.lookahead(
+                &dag,
+                self.config.lookahead_depth,
+                self.config.lookahead_max_gates,
+            );
+            let (l_g, l_s) = self.partition_lookahead(&native, &la, &state, &decider);
+
+            // In hybrid mode, gates whose SWAP routing cannot start
+            // (isolated atoms, no position) flow to the shuttle router.
+            if !f_g.is_empty() {
+                // (3) Gate-based mapping: insert the best SWAP.
+                if let Some((a, b)) = gate_router.best_swap(&state, &f_g, &l_g) {
+                    out.ops.push(MappedOp::Swap {
+                        a,
+                        b,
+                        site_a: state.site_of_atom(a),
+                        site_b: state.site_of_atom(b),
+                    });
+                    state.apply_swap(a, b);
+                    gate_router.note_swap_applied(&state, a, b);
+                    stats.swaps_inserted += 1;
+                    routing_ops += 1;
+                    ops_since_progress += 1;
+                } else if self.config.alpha_shuttle > 0.0 {
+                    // No SWAP candidate at all: reroute via shuttling.
+                    f_s.extend(f_g.drain(..).map(|g| ShuttleGate {
+                        op_index: g.op_index,
+                        qubits: g.qubits,
+                    }));
+                } else {
+                    return Err(MapError::RoutingStuck {
+                        op_index: f_g[0].op_index,
+                        ops_spent: routing_ops,
+                    });
+                }
+            }
+
+            if f_g.is_empty() && !f_s.is_empty() {
+                // (4) Shuttling-based mapping: apply the best move chain.
+                // (Applying one chain per round and re-deciding keeps
+                // chains short; merging moves of *independent* chains into
+                // shared AOD transactions happens downstream in the
+                // scheduler's batch aggregation.)
+                match shuttle_router.best_chain(&state, &f_s, &l_s) {
+                    Some(chain) => {
+                        for mv in &chain.moves {
+                            out.ops.push(MappedOp::Shuttle {
+                                atom: mv.atom,
+                                from: mv.from,
+                                to: mv.to,
+                            });
+                            state.apply_move(mv.atom, mv.to);
+                        }
+                        shuttle_router.note_moves_applied(&chain.moves);
+                        stats.shuttle_moves += chain.moves.len();
+                        routing_ops += chain.moves.len();
+                        ops_since_progress += chain.moves.len();
+                    }
+                    None => {
+                        return Err(MapError::RoutingStuck {
+                            op_index: f_s[0].op_index,
+                            ops_spent: routing_ops,
+                        })
+                    }
+                }
+            }
+
+            if routing_ops > budget {
+                let blocked = layers.front().first().copied().unwrap_or(0);
+                return Err(MapError::RoutingStuck {
+                    op_index: blocked,
+                    ops_spent: routing_ops,
+                });
+            }
+        }
+
+        Ok(MappingOutcome {
+            mapped: out,
+            stats,
+            runtime: start.elapsed(),
+        })
+    }
+
+    /// Executes every frontier gate that is currently executable
+    /// (single-qubit gates always; entangling gates when their atoms are
+    /// mutually within `r_int`). Returns `true` if anything executed.
+    fn execute_ready(
+        &self,
+        native: &Circuit,
+        dag: &CircuitDag,
+        layers: &mut LayerTracker,
+        state: &mut MappingState,
+        out: &mut MappedCircuit,
+    ) -> bool {
+        let mut any = false;
+        loop {
+            let ready: Vec<usize> = layers
+                .front()
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let op = &native.ops()[i];
+                    op.arity() == 1
+                        || state.qubits_mutually_connected(op.qubits(), self.params.r_int)
+                })
+                .collect();
+            if ready.is_empty() {
+                return any;
+            }
+            for i in ready {
+                let op = &native.ops()[i];
+                let atoms: Vec<_> = op
+                    .qubits()
+                    .iter()
+                    .map(|&q| state.atom_of_qubit(q))
+                    .collect();
+                let sites: Vec<_> = atoms.iter().map(|&a| state.site_of_atom(a)).collect();
+                out.ops.push(MappedOp::Gate {
+                    op_index: i,
+                    op: op.clone(),
+                    atoms,
+                    sites,
+                });
+                layers.mark_executed(dag, i);
+                any = true;
+            }
+        }
+    }
+
+    /// Splits the frontier's entangling gates into gate-based and
+    /// shuttling-based lists, resolving multi-qubit positions.
+    #[allow(clippy::too_many_arguments)]
+    fn partition(
+        &self,
+        native: &Circuit,
+        front: &[usize],
+        state: &MappingState,
+        decider: &Decider,
+        gate_router: &GateRouter,
+        assigned: &mut [Option<Capability>],
+        stats: &mut MapStats,
+    ) -> (Vec<RoutedGate>, Vec<ShuttleGate>) {
+        let mut f_g = Vec::new();
+        let mut f_s = Vec::new();
+        for &i in front {
+            let op: &Operation = &native.ops()[i];
+            if op.arity() < 2 {
+                continue; // executes directly
+            }
+            let qubits = op.qubits().to_vec();
+            let mut cap = match assigned[i] {
+                Some(cap) => cap,
+                None => {
+                    let cap = decider.decide(state, &qubits);
+                    match cap {
+                        Capability::GateBased => stats.gates_gate_routed += 1,
+                        Capability::Shuttling => stats.gates_shuttle_routed += 1,
+                    }
+                    cap
+                }
+            };
+            let mut position = None;
+            if cap == Capability::GateBased && op.arity() >= 3 {
+                position = gate_router.find_position(state, &qubits);
+                if position.is_none() && self.config.alpha_shuttle > 0.0 {
+                    // Paper §3.2 (3): no position found -> use shuttling.
+                    cap = Capability::Shuttling;
+                }
+            }
+            assigned[i] = Some(cap);
+            match cap {
+                Capability::GateBased => f_g.push(RoutedGate {
+                    op_index: i,
+                    qubits,
+                    position,
+                }),
+                Capability::Shuttling => f_s.push(ShuttleGate {
+                    op_index: i,
+                    qubits,
+                }),
+            }
+        }
+        (f_g, f_s)
+    }
+
+    /// Splits lookahead gates by capability (positions are not resolved
+    /// for lookahead gates — only their pull direction matters).
+    fn partition_lookahead(
+        &self,
+        native: &Circuit,
+        lookahead: &[usize],
+        state: &MappingState,
+        decider: &Decider,
+    ) -> (Vec<RoutedGate>, Vec<ShuttleGate>) {
+        let mut l_g = Vec::new();
+        let mut l_s = Vec::new();
+        for &i in lookahead {
+            let op = &native.ops()[i];
+            if op.arity() < 2 {
+                continue;
+            }
+            let qubits = op.qubits().to_vec();
+            match decider.decide(state, &qubits) {
+                Capability::GateBased => l_g.push(RoutedGate {
+                    op_index: i,
+                    qubits,
+                    position: None,
+                }),
+                Capability::Shuttling => l_s.push(ShuttleGate {
+                    op_index: i,
+                    qubits,
+                }),
+            }
+        }
+        (l_g, l_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_mapping;
+    use na_circuit::generators::{GraphState, Qft, RandomCircuit, Reversible};
+
+    fn small(preset: HardwareParams, side: u32, atoms: u32) -> HardwareParams {
+        preset
+            .to_builder()
+            .lattice(side, 3.0)
+            .num_atoms(atoms)
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn maps_trivial_circuit_without_routing() {
+        let p = small(HardwareParams::mixed(), 4, 8);
+        let mapper = HybridMapper::new(p, MapperConfig::default()).unwrap();
+        let mut c = Circuit::new(4);
+        c.h(0).cz(0, 1).cz(2, 3);
+        let outcome = mapper.map(&c).unwrap();
+        assert_eq!(outcome.mapped.gate_count(), 3);
+        assert_eq!(outcome.stats.swaps_inserted, 0);
+        assert_eq!(outcome.stats.shuttle_moves, 0);
+    }
+
+    #[test]
+    fn shuttle_only_inserts_no_swaps() {
+        let p = small(HardwareParams::shuttling(), 6, 20);
+        let mapper = HybridMapper::new(p, MapperConfig::shuttle_only()).unwrap();
+        let c = Qft::new(12).build();
+        let outcome = mapper.map(&c).unwrap();
+        assert_eq!(outcome.mapped.swap_count(), 0, "mode (A): ΔCZ = 0");
+        assert!(outcome.mapped.shuttle_count() > 0);
+        assert_eq!(outcome.mapped.gate_count(), c.len());
+    }
+
+    #[test]
+    fn gate_only_inserts_no_shuttles() {
+        let p = small(HardwareParams::gate_based(), 6, 20);
+        let mapper = HybridMapper::new(p, MapperConfig::gate_only()).unwrap();
+        let c = Qft::new(12).build();
+        let outcome = mapper.map(&c).unwrap();
+        assert_eq!(outcome.mapped.shuttle_count(), 0, "mode (B): no moves");
+        assert!(outcome.mapped.swap_count() > 0);
+        assert_eq!(outcome.mapped.gate_count(), c.len());
+    }
+
+    #[test]
+    fn hybrid_mapping_verifies_on_random_circuits() {
+        let p = small(HardwareParams::mixed(), 6, 25);
+        let mapper = HybridMapper::new(p.clone(), MapperConfig::hybrid(1.0)).unwrap();
+        for seed in 0..5 {
+            let c = RandomCircuit::new(20)
+                .layers(6)
+                .multi_qubit_fraction(0.2)
+                .seed(seed)
+                .build();
+            let outcome = mapper.map(&c).unwrap();
+            verify_mapping(&c, &outcome.mapped, &p).unwrap();
+        }
+    }
+
+    #[test]
+    fn multiqubit_reversible_circuit_maps() {
+        let p = small(HardwareParams::mixed(), 6, 20);
+        let mapper = HybridMapper::new(p.clone(), MapperConfig::hybrid(1.0)).unwrap();
+        let c = Reversible::new(16)
+            .counts(&[(3, 20), (4, 6)])
+            .seed(3)
+            .build();
+        let outcome = mapper.map(&c).unwrap();
+        let native = decompose_to_native(&c);
+        assert_eq!(outcome.mapped.gate_count(), native.len());
+        verify_mapping(&c, &outcome.mapped, &p).unwrap();
+    }
+
+    #[test]
+    fn graph_state_maps_on_all_presets() {
+        for preset in [
+            HardwareParams::shuttling(),
+            HardwareParams::gate_based(),
+            HardwareParams::mixed(),
+        ] {
+            let p = small(preset, 6, 25);
+            let mapper = HybridMapper::new(p.clone(), MapperConfig::hybrid(1.0)).unwrap();
+            let c = GraphState::new(20).edges(26).seed(9).build();
+            let outcome = mapper.map(&c).unwrap();
+            verify_mapping(&c, &outcome.mapped, &p)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn rejects_circuit_wider_than_atom_count() {
+        let p = small(HardwareParams::mixed(), 4, 8);
+        let mapper = HybridMapper::new(p, MapperConfig::default()).unwrap();
+        let c = Circuit::new(9);
+        assert!(matches!(
+            mapper.map(&c),
+            Err(MapError::CircuitTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_gate_exceeding_interaction_capacity() {
+        // r_int = 1: at most 5 sites mutually... the disc has 4 + center,
+        // but a CᵐZ on 6 qubits cannot fit.
+        let p = small(HardwareParams::mixed(), 6, 20)
+            .to_builder()
+            .radius(1.0)
+            .build()
+            .unwrap();
+        let mapper = HybridMapper::new(p, MapperConfig::default()).unwrap();
+        let mut c = Circuit::new(8);
+        c.mcz(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert!(matches!(mapper.map(&c), Err(MapError::GateTooLarge { .. })));
+    }
+
+    #[test]
+    fn decisions_recorded_in_stats() {
+        let p = small(HardwareParams::mixed(), 6, 25);
+        let mapper = HybridMapper::new(p, MapperConfig::hybrid(1.0)).unwrap();
+        let c = Qft::new(16).build();
+        let outcome = mapper.map(&c).unwrap();
+        let routed = outcome.stats.gates_gate_routed + outcome.stats.gates_shuttle_routed;
+        assert!(routed > 0);
+        assert!(routed <= c.entangling_count());
+    }
+
+    #[test]
+    fn op_indices_cover_native_circuit() {
+        let p = small(HardwareParams::mixed(), 6, 20);
+        let mapper = HybridMapper::new(p, MapperConfig::default()).unwrap();
+        let mut c = Circuit::new(10);
+        c.cx(0, 9).mcx(&[1, 2, 3]).h(5);
+        let native = decompose_to_native(&c);
+        let outcome = mapper.map(&c).unwrap();
+        let mut seen = vec![false; native.len()];
+        for op in outcome.mapped.iter() {
+            if let MappedOp::Gate { op_index, .. } = op {
+                assert!(!seen[*op_index], "op {op_index} executed twice");
+                seen[*op_index] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every native op executed");
+    }
+}

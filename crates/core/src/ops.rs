@@ -1,0 +1,274 @@
+//! Mapped hardware operations — the mapper's output format.
+//!
+//! The mapper emits a linear stream of [`MappedOp`]s: original circuit
+//! gates bound to concrete atoms/sites, routing SWAPs, and shuttle moves.
+//! `na-schedule` consumes this stream, decomposes SWAPs to native gates,
+//! batches compatible moves into AOD transactions and computes the
+//! schedule metrics of the paper's Eq. (1).
+
+use na_arch::Site;
+use na_circuit::Operation;
+
+use crate::layout::InitialLayout;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a physical hardware qubit (a trapped atom).
+///
+/// Distinct from circuit [`na_circuit::Qubit`]s and from trap [`Site`]s:
+/// the mapping `f_q` assigns circuit qubits to atoms and the mapping `f_a`
+/// assigns atoms to sites (paper §2.2, Fig. 2).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct AtomId(pub u32);
+
+impl AtomId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AtomId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// One operation of the mapped circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum MappedOp {
+    /// An original circuit operation executed on concrete atoms.
+    Gate {
+        /// Index of the operation in the input circuit.
+        op_index: usize,
+        /// The operation itself.
+        op: Operation,
+        /// Atoms carrying the operands, in operand order.
+        atoms: Vec<AtomId>,
+        /// Trap sites of those atoms at execution time.
+        sites: Vec<Site>,
+    },
+    /// A routing SWAP inserted by gate-based mapping (decomposes to
+    /// 3 CZ + 6 H downstream).
+    Swap {
+        /// First atom.
+        a: AtomId,
+        /// Second atom.
+        b: AtomId,
+        /// Site of `a`.
+        site_a: Site,
+        /// Site of `b`.
+        site_b: Site,
+    },
+    /// A shuttle move inserted by shuttling-based mapping.
+    Shuttle {
+        /// The moved atom.
+        atom: AtomId,
+        /// Source site.
+        from: Site,
+        /// Target site (free at move time).
+        to: Site,
+    },
+}
+
+impl MappedOp {
+    /// Atoms touched by this operation.
+    pub fn atoms(&self) -> Vec<AtomId> {
+        match self {
+            MappedOp::Gate { atoms, .. } => atoms.clone(),
+            MappedOp::Swap { a, b, .. } => vec![*a, *b],
+            MappedOp::Shuttle { atom, .. } => vec![*atom],
+        }
+    }
+
+    /// Returns `true` for routing overhead (SWAPs and shuttles) as opposed
+    /// to original circuit gates.
+    pub fn is_overhead(&self) -> bool {
+        !matches!(self, MappedOp::Gate { .. })
+    }
+}
+
+impl fmt::Display for MappedOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappedOp::Gate { op, atoms, .. } => {
+                write!(f, "{op} @")?;
+                for a in atoms {
+                    write!(f, " {a}")?;
+                }
+                Ok(())
+            }
+            MappedOp::Swap { a, b, site_a, site_b } => {
+                write!(f, "swap {a}{site_a} <-> {b}{site_b}")
+            }
+            MappedOp::Shuttle { atom, from, to } => {
+                write!(f, "shuttle {atom} {from} -> {to}")
+            }
+        }
+    }
+}
+
+/// The mapped circuit: hardware operation stream plus context.
+///
+/// # Example
+///
+/// ```
+/// use na_arch::HardwareParams;
+/// use na_circuit::generators::GraphState;
+/// use na_mapper::{HybridMapper, MapperConfig};
+///
+/// let params = HardwareParams::shuttling()
+///     .to_builder()
+///     .lattice(5, 3.0)
+///     .num_atoms(10)
+///     .build()?;
+/// let mapper = HybridMapper::new(params, MapperConfig::shuttle_only())?;
+/// let outcome = mapper.map(&GraphState::new(8).edges(10).seed(3).build())?;
+/// // Shuttling-only mapping inserts no SWAPs (ΔCZ = 0 in Table 1a).
+/// assert_eq!(outcome.mapped.swap_count(), 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappedCircuit {
+    /// Circuit width (logical qubits).
+    pub num_qubits: u32,
+    /// Number of hardware atoms.
+    pub num_atoms: u32,
+    /// The initial layout the stream starts from (needed to replay it).
+    pub layout: InitialLayout,
+    /// The operation stream in execution order.
+    pub ops: Vec<MappedOp>,
+}
+
+impl MappedCircuit {
+    /// Creates an empty mapped circuit starting from the identity layout.
+    pub fn new(num_qubits: u32, num_atoms: u32) -> Self {
+        MappedCircuit::with_layout(num_qubits, num_atoms, InitialLayout::Identity)
+    }
+
+    /// Creates an empty mapped circuit with an explicit initial layout.
+    pub fn with_layout(num_qubits: u32, num_atoms: u32, layout: InitialLayout) -> Self {
+        MappedCircuit {
+            num_qubits,
+            num_atoms,
+            layout,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Number of operations in the stream.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` for an empty stream.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of inserted routing SWAPs.
+    pub fn swap_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, MappedOp::Swap { .. }))
+            .count()
+    }
+
+    /// Number of shuttle moves.
+    pub fn shuttle_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, MappedOp::Shuttle { .. }))
+            .count()
+    }
+
+    /// Number of executed circuit gates.
+    pub fn gate_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, MappedOp::Gate { .. }))
+            .count()
+    }
+
+    /// Additional CZ gates introduced by routing: each SWAP decomposes to
+    /// 3 CZ (the paper's ΔCZ metric).
+    pub fn delta_cz(&self) -> usize {
+        3 * self.swap_count()
+    }
+
+    /// Iterates over the operation stream.
+    pub fn iter(&self) -> std::slice::Iter<'_, MappedOp> {
+        self.ops.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use na_circuit::{GateKind, Qubit};
+
+    fn gate_op() -> MappedOp {
+        MappedOp::Gate {
+            op_index: 0,
+            op: Operation::new(GateKind::Cz, vec![Qubit(0), Qubit(1)]).unwrap(),
+            atoms: vec![AtomId(0), AtomId(1)],
+            sites: vec![Site::new(0, 0), Site::new(1, 0)],
+        }
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let mut mc = MappedCircuit::new(2, 4);
+        mc.ops.push(gate_op());
+        mc.ops.push(MappedOp::Swap {
+            a: AtomId(0),
+            b: AtomId(2),
+            site_a: Site::new(0, 0),
+            site_b: Site::new(0, 1),
+        });
+        mc.ops.push(MappedOp::Shuttle {
+            atom: AtomId(1),
+            from: Site::new(1, 0),
+            to: Site::new(3, 3),
+        });
+        assert_eq!(mc.gate_count(), 1);
+        assert_eq!(mc.swap_count(), 1);
+        assert_eq!(mc.shuttle_count(), 1);
+        assert_eq!(mc.delta_cz(), 3);
+        assert_eq!(mc.len(), 3);
+    }
+
+    #[test]
+    fn overhead_classification() {
+        assert!(!gate_op().is_overhead());
+        let swap = MappedOp::Swap {
+            a: AtomId(0),
+            b: AtomId(1),
+            site_a: Site::new(0, 0),
+            site_b: Site::new(1, 0),
+        };
+        assert!(swap.is_overhead());
+    }
+
+    #[test]
+    fn atoms_listed_per_kind() {
+        assert_eq!(gate_op().atoms(), vec![AtomId(0), AtomId(1)]);
+        let shuttle = MappedOp::Shuttle {
+            atom: AtomId(7),
+            from: Site::new(0, 0),
+            to: Site::new(1, 1),
+        };
+        assert_eq!(shuttle.atoms(), vec![AtomId(7)]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let text = gate_op().to_string();
+        assert!(text.contains("cz"));
+        assert!(text.contains("A0"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Plain-text rendering of mapping states — a debugging aid for routing
+//! decisions (and the closest thing to the paper's Fig. 2 in a terminal).
+
+use na_circuit::Qubit;
+
+use crate::state::MappingState;
+
+/// Renders the lattice occupancy as an ASCII grid.
+///
+/// Cells show `.` for a free trap, `o` for a spare atom (no circuit
+/// qubit) and the qubit index in base-36 (`0-9a-z`, `#` beyond 35; pass
+/// `wide = true` for full decimal indices) for qubit-carrying atoms.
+/// Row 0 is printed at the top.
+///
+/// # Example
+///
+/// ```
+/// use na_arch::HardwareParams;
+/// use na_mapper::{render::render_state, MappingState};
+/// let params = HardwareParams::mixed()
+///     .to_builder()
+///     .lattice(3, 3.0)
+///     .num_atoms(4)
+///     .build()?;
+/// let state = MappingState::identity(&params, 3)?;
+/// let text = render_state(&state, false);
+/// assert_eq!(text.lines().count(), 3);
+/// assert!(text.starts_with("0 1 2"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn render_state(state: &MappingState, wide: bool) -> String {
+    let lattice = state.lattice();
+    let side = lattice.side() as i32;
+    let cell_width = if wide {
+        (state.num_qubits().max(2) - 1).to_string().len()
+    } else {
+        1
+    };
+    let mut out = String::new();
+    for y in 0..side {
+        for x in 0..side {
+            if x > 0 {
+                out.push(' ');
+            }
+            let site = na_arch::Site::new(x, y);
+            let cell = match state.atom_at_site(site) {
+                None => ".".to_string(),
+                Some(atom) => match state.qubit_of_atom(atom) {
+                    None => "o".to_string(),
+                    Some(q) => format_qubit(q, wide),
+                },
+            };
+            out.push_str(&format!("{cell:>cell_width$}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn format_qubit(q: Qubit, wide: bool) -> String {
+    match q.0 {
+        i if wide || i < 10 => i.to_string(),
+        i if i < 36 => char::from(b'a' + (i - 10) as u8).to_string(),
+        _ => "#".to_string(),
+    }
+}
+
+/// Renders the interaction vicinity of one qubit: the qubit as `Q`,
+/// interaction partners (within `r_int`) as `+`, everything else as in
+/// [`render_state`].
+pub fn render_vicinity(state: &MappingState, q: Qubit, r_int: f64) -> String {
+    let lattice = state.lattice();
+    let side = lattice.side() as i32;
+    let center = state.site_of_qubit(q);
+    let mut out = String::new();
+    for y in 0..side {
+        for x in 0..side {
+            if x > 0 {
+                out.push(' ');
+            }
+            let site = na_arch::Site::new(x, y);
+            let symbol = if site == center {
+                'Q'
+            } else if state.atom_at_site(site).is_some() && center.within(site, r_int) {
+                '+'
+            } else if state.atom_at_site(site).is_some() {
+                'o'
+            } else {
+                '.'
+            };
+            out.push(symbol);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use na_arch::HardwareParams;
+
+    fn state() -> MappingState {
+        let params = HardwareParams::mixed()
+            .to_builder()
+            .lattice(4, 3.0)
+            .num_atoms(12)
+            .build()
+            .expect("valid");
+        MappingState::identity(&params, 11).expect("fits")
+    }
+
+    #[test]
+    fn grid_dimensions_match_lattice() {
+        let text = render_state(&state(), false);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in lines {
+            assert_eq!(line.split(' ').count(), 4);
+        }
+    }
+
+    #[test]
+    fn symbols_reflect_occupancy() {
+        let text = render_state(&state(), false);
+        // 11 qubits (0-9, a), one spare atom, four free sites.
+        assert_eq!(text.matches('o').count(), 1);
+        assert_eq!(text.matches('.').count(), 4);
+        assert!(text.contains('a')); // qubit 10 in base 36
+    }
+
+    #[test]
+    fn wide_mode_uses_decimal() {
+        let text = render_state(&state(), true);
+        assert!(text.contains("10"));
+        assert!(!text.contains('a'));
+    }
+
+    #[test]
+    fn vicinity_marks_partners() {
+        let s = state();
+        let text = render_vicinity(&s, Qubit(5), 2.0);
+        assert_eq!(text.matches('Q').count(), 1);
+        // Qubit 5 at (1, 1) on a dense 4x4 top-3-rows layout: the r = 2
+        // disc holds many partners.
+        assert!(text.matches('+').count() >= 8);
+    }
+
+    #[test]
+    fn rendering_tracks_moves() {
+        let mut s = state();
+        let before = render_state(&s, false);
+        let free = s.nearest_free_site(na_arch::Site::new(0, 0), &[]).unwrap();
+        s.apply_move(crate::ops::AtomId(0), free);
+        let after = render_state(&s, false);
+        assert_ne!(before, after);
+    }
+}

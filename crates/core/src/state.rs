@@ -1,0 +1,417 @@
+//! Mapping state: the two assignments `f_q` (qubit → atom) and `f_a`
+//! (atom → site) plus fast occupancy lookups.
+//!
+//! Gate-based routing permutes `f_q` via [`MappingState::apply_swap`];
+//! shuttling-based routing permutes `f_a` via [`MappingState::apply_move`]
+//! (paper §2.2 and Example 4).
+
+use na_arch::{HardwareParams, Lattice, Neighborhood, Site};
+use na_circuit::Qubit;
+
+use crate::error::MapError;
+use crate::layout::InitialLayout;
+use crate::ops::AtomId;
+
+/// The joint qubit/atom mapping maintained during routing.
+///
+/// Invariants (checked in debug builds and by
+/// [`MappingState::check_invariants`]):
+///
+/// * every atom occupies exactly one in-bounds site; no two atoms share a
+///   site,
+/// * `atom_of_qubit` and `qubit_of_atom` are mutually inverse on assigned
+///   atoms.
+///
+/// # Example
+///
+/// ```
+/// use na_arch::HardwareParams;
+/// use na_circuit::Qubit;
+/// use na_mapper::MappingState;
+///
+/// let params = HardwareParams::mixed()
+///     .to_builder()
+///     .lattice(4, 3.0)
+///     .num_atoms(8)
+///     .build()?;
+/// let state = MappingState::identity(&params, 6)?;
+/// // Identity layout: qubit i on atom i at site index i.
+/// assert_eq!(state.site_of_qubit(Qubit(5)).x, 1);
+/// assert_eq!(state.site_of_qubit(Qubit(5)).y, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingState {
+    lattice: Lattice,
+    site_of_atom: Vec<Site>,
+    atom_at_site: Vec<Option<AtomId>>,
+    qubit_of_atom: Vec<Option<Qubit>>,
+    atom_of_qubit: Vec<AtomId>,
+}
+
+impl MappingState {
+    /// Builds the trivial identity layout of the paper's §4.1:
+    /// `q_i ↔ Q_i ↔ C_i` with the remaining atoms parked on the next
+    /// sites in row-major order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::CircuitTooWide`] if `num_qubits` exceeds the
+    /// atom count, and propagates architecture validation errors.
+    pub fn identity(params: &HardwareParams, num_qubits: u32) -> Result<Self, MapError> {
+        MappingState::with_layout(params, num_qubits, InitialLayout::Identity)
+    }
+
+    /// Builds a mapping state with an explicit [`InitialLayout`]: atom
+    /// `i` sits on `layout.place(..)[i]`, circuit qubit `i` starts on
+    /// atom `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::CircuitTooWide`] if `num_qubits` exceeds the
+    /// atom count, and propagates architecture validation errors.
+    pub fn with_layout(
+        params: &HardwareParams,
+        num_qubits: u32,
+        layout: InitialLayout,
+    ) -> Result<Self, MapError> {
+        params.validate()?;
+        if num_qubits > params.num_atoms {
+            return Err(MapError::CircuitTooWide {
+                circuit_qubits: num_qubits,
+                atoms: params.num_atoms,
+            });
+        }
+        let lattice = Lattice::new(params.lattice_side);
+        let num_atoms = params.num_atoms as usize;
+        let site_of_atom = layout.place(&lattice, params.num_atoms);
+        let mut atom_at_site = vec![None; lattice.num_sites()];
+        for (a, site) in site_of_atom.iter().enumerate() {
+            atom_at_site[lattice.index(*site)] = Some(AtomId(a as u32));
+        }
+        let qubit_of_atom = (0..num_atoms)
+            .map(|a| {
+                if (a as u32) < num_qubits {
+                    Some(Qubit(a as u32))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let atom_of_qubit = (0..num_qubits).map(AtomId).collect();
+        Ok(MappingState {
+            lattice,
+            site_of_atom,
+            atom_at_site,
+            qubit_of_atom,
+            atom_of_qubit,
+        })
+    }
+
+    /// The underlying lattice.
+    #[inline]
+    pub fn lattice(&self) -> &Lattice {
+        &self.lattice
+    }
+
+    /// Number of atoms.
+    #[inline]
+    pub fn num_atoms(&self) -> usize {
+        self.site_of_atom.len()
+    }
+
+    /// Number of mapped circuit qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.atom_of_qubit.len()
+    }
+
+    /// The atom currently carrying circuit qubit `q`.
+    #[inline]
+    pub fn atom_of_qubit(&self, q: Qubit) -> AtomId {
+        self.atom_of_qubit[q.index()]
+    }
+
+    /// The circuit qubit carried by `atom`, if any.
+    #[inline]
+    pub fn qubit_of_atom(&self, atom: AtomId) -> Option<Qubit> {
+        self.qubit_of_atom[atom.index()]
+    }
+
+    /// The trap site of `atom`.
+    #[inline]
+    pub fn site_of_atom(&self, atom: AtomId) -> Site {
+        self.site_of_atom[atom.index()]
+    }
+
+    /// The trap site of the atom carrying qubit `q`.
+    #[inline]
+    pub fn site_of_qubit(&self, q: Qubit) -> Site {
+        self.site_of_atom(self.atom_of_qubit(q))
+    }
+
+    /// The atom trapped at `site`, if any.
+    #[inline]
+    pub fn atom_at_site(&self, site: Site) -> Option<AtomId> {
+        self.atom_at_site[self.lattice.index(site)]
+    }
+
+    /// Returns `true` if `site` holds no atom.
+    #[inline]
+    pub fn is_free(&self, site: Site) -> bool {
+        self.atom_at_site(site).is_none()
+    }
+
+    /// Exchanges the circuit qubits of two atoms — the effect of a SWAP
+    /// gate on `f_q`. Atoms without an assigned qubit participate as
+    /// `|0⟩`-state partners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn apply_swap(&mut self, a: AtomId, b: AtomId) {
+        assert_ne!(a, b, "cannot swap an atom with itself");
+        let qa = self.qubit_of_atom[a.index()];
+        let qb = self.qubit_of_atom[b.index()];
+        self.qubit_of_atom[a.index()] = qb;
+        self.qubit_of_atom[b.index()] = qa;
+        if let Some(q) = qa {
+            self.atom_of_qubit[q.index()] = b;
+        }
+        if let Some(q) = qb {
+            self.atom_of_qubit[q.index()] = a;
+        }
+    }
+
+    /// Moves `atom` to the free site `to` — the effect of a shuttle on
+    /// `f_a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of bounds or occupied.
+    pub fn apply_move(&mut self, atom: AtomId, to: Site) {
+        assert!(self.lattice.contains(to), "move target {to} out of bounds");
+        assert!(self.is_free(to), "move target {to} is occupied");
+        let from = self.site_of_atom[atom.index()];
+        self.atom_at_site[self.lattice.index(from)] = None;
+        self.atom_at_site[self.lattice.index(to)] = Some(atom);
+        self.site_of_atom[atom.index()] = to;
+    }
+
+    /// Occupied sites within `hood` of `center` (excluding `center`).
+    pub fn occupied_within(&self, center: Site, hood: &Neighborhood) -> Vec<Site> {
+        hood.around(center)
+            .filter(|s| self.lattice.contains(*s) && !self.is_free(*s))
+            .collect()
+    }
+
+    /// Free sites within `hood` of `center`.
+    pub fn free_within(&self, center: Site, hood: &Neighborhood) -> Vec<Site> {
+        hood.around(center)
+            .filter(|s| self.lattice.contains(*s) && self.is_free(*s))
+            .collect()
+    }
+
+    /// The nearest free site to `from` (Euclidean, ties by site order),
+    /// excluding the sites in `excluded`. Returns `None` when the lattice
+    /// has no free site outside `excluded`.
+    pub fn nearest_free_site(&self, from: Site, excluded: &[Site]) -> Option<Site> {
+        self.lattice
+            .iter()
+            .filter(|s| self.is_free(*s) && !excluded.contains(s))
+            .min_by(|a, b| {
+                from.distance_sq(*a)
+                    .cmp(&from.distance_sq(*b))
+                    .then(a.cmp(b))
+            })
+    }
+
+    /// Returns `true` if all listed qubits sit on sites that are pairwise
+    /// within `r_int` — the gate executability condition.
+    pub fn qubits_mutually_connected(&self, qubits: &[Qubit], r_int: f64) -> bool {
+        for (i, &a) in qubits.iter().enumerate() {
+            let sa = self.site_of_qubit(a);
+            for &b in &qubits[i + 1..] {
+                if !sa.within(self.site_of_qubit(b), r_int) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Validates the mutual-inverse and occupancy invariants.
+    ///
+    /// Intended for tests and debug assertions; the public mutators
+    /// preserve these invariants.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen = vec![false; self.lattice.num_sites()];
+        for (a, site) in self.site_of_atom.iter().enumerate() {
+            if !self.lattice.contains(*site) {
+                return Err(format!("atom {a} at out-of-bounds site {site}"));
+            }
+            let idx = self.lattice.index(*site);
+            if seen[idx] {
+                return Err(format!("two atoms share site {site}"));
+            }
+            seen[idx] = true;
+            if self.atom_at_site[idx] != Some(AtomId(a as u32)) {
+                return Err(format!("occupancy map out of sync at {site}"));
+            }
+        }
+        let occupied = self.atom_at_site.iter().flatten().count();
+        if occupied != self.num_atoms() {
+            return Err(format!(
+                "occupancy map lists {occupied} atoms, expected {}",
+                self.num_atoms()
+            ));
+        }
+        for (qi, atom) in self.atom_of_qubit.iter().enumerate() {
+            if self.qubit_of_atom[atom.index()] != Some(Qubit(qi as u32)) {
+                return Err(format!("qubit {qi} and atom {atom} maps out of sync"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_params() -> HardwareParams {
+        HardwareParams::mixed()
+            .to_builder()
+            .lattice(4, 3.0)
+            .num_atoms(10)
+            .build()
+            .expect("valid")
+    }
+
+    fn state() -> MappingState {
+        MappingState::identity(&small_params(), 6).expect("fits")
+    }
+
+    #[test]
+    fn identity_layout_matches_paper() {
+        let s = state();
+        for i in 0..6u32 {
+            assert_eq!(s.atom_of_qubit(Qubit(i)), AtomId(i));
+            assert_eq!(s.site_of_atom(AtomId(i)), s.lattice().site(i as usize));
+        }
+        // Unassigned atoms park after the qubit-carrying ones.
+        assert_eq!(s.qubit_of_atom(AtomId(7)), None);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn too_wide_circuit_rejected() {
+        let err = MappingState::identity(&small_params(), 11).unwrap_err();
+        assert!(matches!(err, MapError::CircuitTooWide { .. }));
+    }
+
+    #[test]
+    fn swap_exchanges_qubits_not_sites() {
+        let mut s = state();
+        let (a, b) = (AtomId(0), AtomId(1));
+        let (sa, sb) = (s.site_of_atom(a), s.site_of_atom(b));
+        s.apply_swap(a, b);
+        assert_eq!(s.site_of_atom(a), sa);
+        assert_eq!(s.site_of_atom(b), sb);
+        assert_eq!(s.qubit_of_atom(a), Some(Qubit(1)));
+        assert_eq!(s.qubit_of_atom(b), Some(Qubit(0)));
+        assert_eq!(s.atom_of_qubit(Qubit(0)), b);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn swap_with_unassigned_atom() {
+        let mut s = state();
+        s.apply_swap(AtomId(0), AtomId(9));
+        assert_eq!(s.qubit_of_atom(AtomId(0)), None);
+        assert_eq!(s.qubit_of_atom(AtomId(9)), Some(Qubit(0)));
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn move_changes_site_not_qubit() {
+        let mut s = state();
+        let target = Site::new(3, 3); // free in the 4x4 lattice with 10 atoms
+        assert!(s.is_free(target));
+        s.apply_move(AtomId(2), target);
+        assert_eq!(s.site_of_atom(AtomId(2)), target);
+        assert_eq!(s.qubit_of_atom(AtomId(2)), Some(Qubit(2)));
+        assert_eq!(s.atom_at_site(target), Some(AtomId(2)));
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "occupied")]
+    fn move_to_occupied_site_panics() {
+        let mut s = state();
+        s.apply_move(AtomId(0), s.site_of_atom(AtomId(1)));
+    }
+
+    /// Example 4 of the paper: shuttling modifies connectivity without
+    /// touching the qubit assignment.
+    #[test]
+    fn example4_shuttle_changes_connectivity() {
+        let mut s = state();
+        let q2 = Qubit(2);
+        let q5 = Qubit(5);
+        // q2 at (2,0), q5 at (1,1): distance √2 > r_int for r_int = 1.
+        assert!(!s.qubits_mutually_connected(&[q2, q5], 1.0));
+        s.apply_move(s.atom_of_qubit(q2), Site::new(2, 2));
+        s.apply_move(s.atom_of_qubit(q5), Site::new(2, 3));
+        assert!(s.qubits_mutually_connected(&[q2, q5], 1.0));
+    }
+
+    #[test]
+    fn nearest_free_site_respects_exclusions() {
+        let s = state();
+        // Free sites: indices 10..16 => (2,2),(3,2),(0,3),(1,3),(2,3),(3,3)
+        let from = Site::new(2, 1);
+        let nearest = s.nearest_free_site(from, &[]).unwrap();
+        assert_eq!(nearest, Site::new(2, 2));
+        let second = s.nearest_free_site(from, &[nearest]).unwrap();
+        assert_eq!(second, Site::new(3, 2));
+    }
+
+    #[test]
+    fn occupied_and_free_partition_vicinity() {
+        let s = state();
+        let hood = Neighborhood::new(2.0);
+        let center = Site::new(1, 1);
+        let occ = s.occupied_within(center, &hood);
+        let free = s.free_within(center, &hood);
+        let total = hood
+            .around(center)
+            .filter(|x| s.lattice().contains(*x))
+            .count();
+        assert_eq!(occ.len() + free.len(), total);
+    }
+
+    proptest! {
+        /// Random swap/move sequences preserve all invariants.
+        #[test]
+        fn invariants_under_random_ops(ops in proptest::collection::vec(
+            (0u32..10, 0u32..10, 0i32..4, 0i32..4, proptest::bool::ANY), 0..60)
+        ) {
+            let mut s = state();
+            for (a, b, x, y, is_swap) in ops {
+                if is_swap {
+                    if a != b {
+                        s.apply_swap(AtomId(a), AtomId(b));
+                    }
+                } else {
+                    let target = Site::new(x, y);
+                    if s.is_free(target) {
+                        s.apply_move(AtomId(a), target);
+                    }
+                }
+                prop_assert!(s.check_invariants().is_ok());
+            }
+        }
+    }
+}

@@ -1,0 +1,545 @@
+//! Independent verification of mapped circuits.
+//!
+//! [`verify_mapping`] replays a [`MappedCircuit`] against a fresh identity
+//! layout and checks every hardware-level invariant:
+//!
+//! * gates execute on the atoms that actually carry their circuit qubits,
+//!   with all operands pairwise within `r_int`,
+//! * SWAPs act on interaction-connected atoms,
+//! * shuttles move real atoms onto free, in-bounds sites,
+//! * every operation of the (native-decomposed) input circuit executes
+//!   exactly once, in an order consistent with the dependency DAG.
+//!
+//! This is the test oracle for the whole mapper: any routing bug that
+//! produces a physically impossible schedule is caught here.
+
+use std::error::Error;
+use std::fmt;
+
+use na_arch::HardwareParams;
+use na_circuit::{decompose_to_native, Circuit, CircuitDag};
+
+use crate::ops::{MappedCircuit, MappedOp};
+use crate::state::MappingState;
+
+/// Violations detected while replaying a mapped circuit.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// A gate was executed on atoms that do not carry its qubits.
+    WrongAtoms {
+        /// Index of the mapped op in the stream.
+        stream_index: usize,
+    },
+    /// A gate executed while its operands were not mutually connected.
+    NotConnected {
+        /// Index of the mapped op in the stream.
+        stream_index: usize,
+    },
+    /// A SWAP between atoms outside the interaction radius.
+    SwapOutOfRange {
+        /// Index of the mapped op in the stream.
+        stream_index: usize,
+    },
+    /// A shuttle with an inconsistent source or an occupied target.
+    BadShuttle {
+        /// Index of the mapped op in the stream.
+        stream_index: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// An operation executed before one of its DAG predecessors.
+    OrderViolation {
+        /// Index of the offending circuit operation.
+        op_index: usize,
+    },
+    /// An operation executed more than once.
+    DuplicateExecution {
+        /// Index of the offending circuit operation.
+        op_index: usize,
+    },
+    /// Some circuit operations never executed.
+    MissingOps {
+        /// Number of unexecuted operations.
+        missing: usize,
+    },
+    /// Gate content mismatch between the stream and the circuit.
+    GateMismatch {
+        /// Index of the mapped op in the stream.
+        stream_index: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::WrongAtoms { stream_index } => {
+                write!(f, "stream op {stream_index}: atoms do not carry the gate qubits")
+            }
+            VerifyError::NotConnected { stream_index } => {
+                write!(f, "stream op {stream_index}: operands not mutually within r_int")
+            }
+            VerifyError::SwapOutOfRange { stream_index } => {
+                write!(f, "stream op {stream_index}: swap partners outside r_int")
+            }
+            VerifyError::BadShuttle {
+                stream_index,
+                reason,
+            } => write!(f, "stream op {stream_index}: invalid shuttle: {reason}"),
+            VerifyError::OrderViolation { op_index } => {
+                write!(f, "operation {op_index} executed before a dependency")
+            }
+            VerifyError::DuplicateExecution { op_index } => {
+                write!(f, "operation {op_index} executed twice")
+            }
+            VerifyError::MissingOps { missing } => {
+                write!(f, "{missing} operations never executed")
+            }
+            VerifyError::GateMismatch { stream_index } => {
+                write!(f, "stream op {stream_index}: gate differs from the circuit")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Replays `mapped` against `circuit` (decomposed to native gates) on the
+/// given hardware and checks all physical and logical invariants.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] encountered.
+///
+/// # Example
+///
+/// ```
+/// use na_arch::HardwareParams;
+/// use na_circuit::generators::Qft;
+/// use na_mapper::{verify_mapping, HybridMapper, MapperConfig};
+///
+/// let params = HardwareParams::mixed()
+///     .to_builder()
+///     .lattice(5, 3.0)
+///     .num_atoms(12)
+///     .build()?;
+/// let circuit = Qft::new(10).build();
+/// let mapper = HybridMapper::new(params.clone(), MapperConfig::default())?;
+/// let outcome = mapper.map(&circuit)?;
+/// verify_mapping(&circuit, &outcome.mapped, &params)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn verify_mapping(
+    circuit: &Circuit,
+    mapped: &MappedCircuit,
+    params: &HardwareParams,
+) -> Result<(), VerifyError> {
+    let native = if circuit.is_native() {
+        circuit.clone()
+    } else {
+        decompose_to_native(circuit)
+    };
+    let dag = CircuitDag::new(&native);
+    let mut executed = vec![false; native.len()];
+    let mut state = MappingState::with_layout(params, native.num_qubits(), mapped.layout)
+        .expect("verified by mapper");
+
+    for (si, mop) in mapped.iter().enumerate() {
+        match mop {
+            MappedOp::Gate {
+                op_index,
+                op,
+                atoms,
+                sites,
+            } => {
+                if *op_index >= native.len() || &native.ops()[*op_index] != op {
+                    return Err(VerifyError::GateMismatch { stream_index: si });
+                }
+                if executed[*op_index] {
+                    return Err(VerifyError::DuplicateExecution { op_index: *op_index });
+                }
+                for &p in dag.predecessors(*op_index) {
+                    if !executed[p] {
+                        return Err(VerifyError::OrderViolation { op_index: *op_index });
+                    }
+                }
+                if atoms.len() != op.arity() || sites.len() != op.arity() {
+                    return Err(VerifyError::WrongAtoms { stream_index: si });
+                }
+                for ((q, a), s) in op.qubits().iter().zip(atoms).zip(sites) {
+                    if state.atom_of_qubit(*q) != *a || state.site_of_atom(*a) != *s {
+                        return Err(VerifyError::WrongAtoms { stream_index: si });
+                    }
+                }
+                if op.arity() >= 2
+                    && !state.qubits_mutually_connected(op.qubits(), params.r_int)
+                {
+                    return Err(VerifyError::NotConnected { stream_index: si });
+                }
+                executed[*op_index] = true;
+            }
+            MappedOp::Swap { a, b, site_a, site_b } => {
+                if state.site_of_atom(*a) != *site_a || state.site_of_atom(*b) != *site_b {
+                    return Err(VerifyError::SwapOutOfRange { stream_index: si });
+                }
+                if !site_a.within(*site_b, params.r_int) {
+                    return Err(VerifyError::SwapOutOfRange { stream_index: si });
+                }
+                state.apply_swap(*a, *b);
+            }
+            MappedOp::Shuttle { atom, from, to } => {
+                if state.site_of_atom(*atom) != *from {
+                    return Err(VerifyError::BadShuttle {
+                        stream_index: si,
+                        reason: format!("atom {atom} is not at {from}"),
+                    });
+                }
+                if !state.lattice().contains(*to) {
+                    return Err(VerifyError::BadShuttle {
+                        stream_index: si,
+                        reason: format!("target {to} out of bounds"),
+                    });
+                }
+                if !state.is_free(*to) {
+                    return Err(VerifyError::BadShuttle {
+                        stream_index: si,
+                        reason: format!("target {to} occupied"),
+                    });
+                }
+                state.apply_move(*atom, *to);
+            }
+        }
+    }
+
+    let missing = executed.iter().filter(|&&e| !e).count();
+    if missing > 0 {
+        return Err(VerifyError::MissingOps { missing });
+    }
+    Ok(())
+}
+
+/// Verifies that the mapped stream implements *exactly the same unitary*
+/// as the input circuit, up to the final qubit→atom permutation, by dense
+/// statevector simulation.
+///
+/// This is the strongest (and most expensive) oracle in the workspace:
+/// the original circuit and the "atom circuit" (gates on atom indices,
+/// routing SWAPs as real SWAP gates, shuttles dropped — they do not touch
+/// the quantum state) are both simulated and compared.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::GateMismatch`] with `stream_index = usize::MAX`
+/// when the states differ.
+///
+/// # Panics
+///
+/// Panics when the hardware has more than 24 atoms (dense simulation
+/// cap) — use [`verify_mapping`] for larger instances.
+///
+/// # Example
+///
+/// ```
+/// use na_arch::HardwareParams;
+/// use na_circuit::generators::Qft;
+/// use na_mapper::{verify::verify_unitary_equivalence, HybridMapper, MapperConfig};
+///
+/// let params = HardwareParams::mixed()
+///     .to_builder()
+///     .lattice(4, 3.0)
+///     .num_atoms(12)
+///     .build()?;
+/// let circuit = Qft::new(8).build();
+/// let outcome = HybridMapper::new(params.clone(), MapperConfig::default())?
+///     .map(&circuit)?;
+/// verify_unitary_equivalence(&circuit, &outcome.mapped, &params)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn verify_unitary_equivalence(
+    circuit: &Circuit,
+    mapped: &MappedCircuit,
+    params: &HardwareParams,
+) -> Result<(), VerifyError> {
+    use na_circuit::sim::Statevector;
+    use na_circuit::{GateKind, Operation, Qubit};
+
+    let native = if circuit.is_native() {
+        circuit.clone()
+    } else {
+        decompose_to_native(circuit)
+    };
+    let num_atoms = mapped.num_atoms;
+
+    // Build the atom-level circuit: original gates on their atoms plus
+    // explicit SWAP gates; shuttles only change geometry, not the state.
+    let mut atom_circuit = Circuit::new(num_atoms);
+    let mut state = MappingState::with_layout(params, native.num_qubits(), mapped.layout)
+        .expect("verified by mapper");
+    for mop in mapped.iter() {
+        match mop {
+            MappedOp::Gate { op, atoms, .. } => {
+                let operands: Vec<Qubit> = atoms.iter().map(|a| Qubit(a.0)).collect();
+                let atom_op =
+                    Operation::new(*op.kind(), operands).expect("mapped gate is valid");
+                atom_circuit.push(atom_op).expect("atoms in range");
+            }
+            MappedOp::Swap { a, b, .. } => {
+                let op = Operation::new(GateKind::Swap, vec![Qubit(a.0), Qubit(b.0)])
+                    .expect("two distinct atoms");
+                atom_circuit.push(op).expect("atoms in range");
+                state.apply_swap(*a, *b);
+            }
+            MappedOp::Shuttle { atom, to, .. } => state.apply_move(*atom, *to),
+        }
+    }
+
+    // Reference: the original circuit embedded into the atom register,
+    // with each qubit relocated to its final atom.
+    let psi_orig = Statevector::simulate(&native).embed_into(num_atoms);
+    let mut perm: Vec<u32> = vec![u32::MAX; num_atoms as usize];
+    let mut taken = vec![false; num_atoms as usize];
+    for q in 0..native.num_qubits() {
+        let atom = state.atom_of_qubit(Qubit(q));
+        perm[q as usize] = atom.0;
+        taken[atom.index()] = true;
+    }
+    // Complete the permutation over |0⟩ positions (any bijection works).
+    let mut free = (0..num_atoms).filter(|&a| !taken[a as usize]);
+    for slot in perm.iter_mut() {
+        if *slot == u32::MAX {
+            *slot = free.next().expect("bijection completes");
+        }
+    }
+    let reference = psi_orig.permute_qubits(&perm);
+    let actual = Statevector::simulate(&atom_circuit);
+
+    let fidelity = reference.fidelity_with(&actual);
+    if (fidelity - 1.0).abs() > 1e-7 {
+        return Err(VerifyError::GateMismatch {
+            stream_index: usize::MAX,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::AtomId;
+    use na_arch::Site;
+    use na_circuit::{GateKind, Operation, Qubit};
+
+    fn params() -> HardwareParams {
+        HardwareParams::mixed()
+            .to_builder()
+            .lattice(4, 3.0)
+            .num_atoms(10)
+            .radius(1.0)
+            .build()
+            .expect("valid")
+    }
+
+    fn cz_circuit() -> Circuit {
+        let mut c = Circuit::new(4);
+        c.cz(0, 1);
+        c
+    }
+
+    fn gate_mop(op_index: usize, atoms: &[u32], sites: &[(i32, i32)]) -> MappedOp {
+        MappedOp::Gate {
+            op_index,
+            op: Operation::new(GateKind::Cz, vec![Qubit(0), Qubit(1)]).unwrap(),
+            atoms: atoms.iter().map(|&a| AtomId(a)).collect(),
+            sites: sites.iter().map(|&(x, y)| Site::new(x, y)).collect(),
+        }
+    }
+
+    #[test]
+    fn accepts_direct_execution() {
+        let c = cz_circuit();
+        let mut mc = MappedCircuit::new(4, 10);
+        mc.ops.push(gate_mop(0, &[0, 1], &[(0, 0), (1, 0)]));
+        verify_mapping(&c, &mc, &params()).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_atoms() {
+        let c = cz_circuit();
+        let mut mc = MappedCircuit::new(4, 10);
+        mc.ops.push(gate_mop(0, &[2, 1], &[(2, 0), (1, 0)]));
+        assert!(matches!(
+            verify_mapping(&c, &mc, &params()),
+            Err(VerifyError::WrongAtoms { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_disconnected_gate() {
+        let mut c = Circuit::new(4);
+        c.cz(0, 3);
+        let mut mc = MappedCircuit::new(4, 10);
+        mc.ops.push(MappedOp::Gate {
+            op_index: 0,
+            op: Operation::new(GateKind::Cz, vec![Qubit(0), Qubit(3)]).unwrap(),
+            atoms: vec![AtomId(0), AtomId(3)],
+            sites: vec![Site::new(0, 0), Site::new(3, 0)],
+        });
+        assert!(matches!(
+            verify_mapping(&c, &mc, &params()),
+            Err(VerifyError::NotConnected { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_ops() {
+        let c = cz_circuit();
+        let mc = MappedCircuit::new(4, 10);
+        assert_eq!(
+            verify_mapping(&c, &mc, &params()),
+            Err(VerifyError::MissingOps { missing: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_execution() {
+        let c = cz_circuit();
+        let mut mc = MappedCircuit::new(4, 10);
+        mc.ops.push(gate_mop(0, &[0, 1], &[(0, 0), (1, 0)]));
+        mc.ops.push(gate_mop(0, &[0, 1], &[(0, 0), (1, 0)]));
+        assert!(matches!(
+            verify_mapping(&c, &mc, &params()),
+            Err(VerifyError::DuplicateExecution { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_order_violation() {
+        let mut c = Circuit::new(4);
+        c.h(0).cz(0, 1); // cz depends on h
+        let mut mc = MappedCircuit::new(4, 10);
+        mc.ops.push(gate_mop(1, &[0, 1], &[(0, 0), (1, 0)]));
+        assert!(matches!(
+            verify_mapping(&c, &mc, &params()),
+            Err(VerifyError::OrderViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_swap() {
+        let c = cz_circuit();
+        let mut mc = MappedCircuit::new(4, 10);
+        mc.ops.push(MappedOp::Swap {
+            a: AtomId(0),
+            b: AtomId(8),
+            site_a: Site::new(0, 0),
+            site_b: Site::new(0, 2),
+        });
+        assert!(matches!(
+            verify_mapping(&c, &mc, &params()),
+            Err(VerifyError::SwapOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_shuttle_to_occupied_site() {
+        let c = cz_circuit();
+        let mut mc = MappedCircuit::new(4, 10);
+        mc.ops.push(MappedOp::Shuttle {
+            atom: AtomId(0),
+            from: Site::new(0, 0),
+            to: Site::new(1, 0),
+        });
+        assert!(matches!(
+            verify_mapping(&c, &mc, &params()),
+            Err(VerifyError::BadShuttle { .. })
+        ));
+    }
+
+    #[test]
+    fn unitary_equivalence_across_modes() {
+        use crate::config::MapperConfig;
+        use crate::mapper::HybridMapper;
+        use na_circuit::generators::RandomCircuit;
+        let p = HardwareParams::mixed()
+            .to_builder()
+            .lattice(4, 3.0)
+            .num_atoms(12)
+            .build()
+            .expect("valid");
+        for config in [
+            MapperConfig::shuttle_only(),
+            MapperConfig::gate_only(),
+            MapperConfig::hybrid(1.0),
+        ] {
+            for seed in 0..4 {
+                let c = RandomCircuit::new(10)
+                    .layers(5)
+                    .multi_qubit_fraction(0.2)
+                    .seed(seed)
+                    .build();
+                let outcome = HybridMapper::new(p.clone(), config.clone())
+                    .unwrap()
+                    .map(&c)
+                    .unwrap();
+                verify_unitary_equivalence(&c, &outcome.mapped, &p)
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn unitary_equivalence_catches_corruption() {
+        use crate::config::MapperConfig;
+        use crate::mapper::HybridMapper;
+        let p = HardwareParams::mixed()
+            .to_builder()
+            .lattice(4, 3.0)
+            .num_atoms(10)
+            .radius(1.0) // force SWAP insertion
+            .build()
+            .expect("valid");
+        // Hadamards on every qubit so each CZ acts non-trivially (a CZ
+        // with a |0⟩ partner is a no-op and would mask the corruption).
+        let mut c = Circuit::new(6);
+        for q in 0..6 {
+            c.h(q);
+        }
+        c.cz(0, 5).cz(1, 4).h(3);
+        let outcome = HybridMapper::new(p.clone(), MapperConfig::gate_only())
+            .unwrap()
+            .map(&c)
+            .unwrap();
+        let mut corrupted = outcome.mapped.clone();
+        let pos = corrupted
+            .ops
+            .iter()
+            .position(|o| matches!(o, MappedOp::Swap { .. }))
+            .expect("routing at r_int = 1 must insert a SWAP");
+        corrupted.ops.remove(pos);
+        assert!(verify_unitary_equivalence(&c, &corrupted, &p).is_err());
+    }
+
+    #[test]
+    fn accepts_swap_then_gate() {
+        // Swap q1's atom away, bring q0 next to... simpler: swap atoms 1
+        // and 2, so qubit 1 sits at (2,0); then cz(0,1) is not executable
+        // at r=1; instead swap back and execute.
+        let c = cz_circuit();
+        let mut mc = MappedCircuit::new(4, 10);
+        mc.ops.push(MappedOp::Swap {
+            a: AtomId(1),
+            b: AtomId(2),
+            site_a: Site::new(1, 0),
+            site_b: Site::new(2, 0),
+        });
+        // Now qubit 1 is on atom 2 at (2,0): too far from qubit 0 at (0,0).
+        mc.ops.push(MappedOp::Swap {
+            a: AtomId(1),
+            b: AtomId(2),
+            site_a: Site::new(1, 0),
+            site_b: Site::new(2, 0),
+        });
+        mc.ops.push(gate_mop(0, &[0, 1], &[(0, 0), (1, 0)]));
+        verify_mapping(&c, &mc, &params()).unwrap();
+    }
+}

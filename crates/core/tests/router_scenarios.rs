@@ -1,0 +1,224 @@
+//! Scenario tests for the two routers: concrete geometric situations
+//! from the paper's challenge discussion (§3.1) replayed end to end.
+
+use na_arch::{HardwareParams, Site};
+use na_circuit::{Circuit, Qubit};
+use na_mapper::{
+    verify_mapping, AtomId, HybridMapper, MapError, MappedOp, MapperConfig, MappingState,
+};
+
+fn params(side: u32, atoms: u32, r: f64) -> HardwareParams {
+    HardwareParams::mixed()
+        .to_builder()
+        .lattice(side, 3.0)
+        .num_atoms(atoms)
+        .radius(r)
+        .build()
+        .expect("valid")
+}
+
+/// §3.1.3 / Example 7: with r_int = √2 a three-qubit gate needs an
+/// L-shaped arrangement; a pure "move together" strategy dead-ends, the
+/// position finder must succeed anyway.
+#[test]
+fn example7_rectangle_arrangement_found() {
+    let p = params(5, 24, std::f64::consts::SQRT_2);
+    let mut c = Circuit::new(24);
+    c.ccz(0, 2, 12); // spread over the lattice
+    let outcome = HybridMapper::new(p.clone(), MapperConfig::gate_only())
+        .unwrap()
+        .map(&c)
+        .unwrap();
+    verify_mapping(&c, &outcome.mapped, &p).unwrap();
+    // The CCZ executed on three pairwise-compatible sites.
+    let gate = outcome
+        .mapped
+        .iter()
+        .find_map(|op| match op {
+            MappedOp::Gate { sites, .. } if sites.len() == 3 => Some(sites.clone()),
+            _ => None,
+        })
+        .expect("ccz executed");
+    for (i, &a) in gate.iter().enumerate() {
+        for &b in &gate[i + 1..] {
+            assert!(a.within(b, p.r_int));
+        }
+    }
+}
+
+/// §3.1.1 / Example 5: in a crowded region the shuttle router needs a
+/// move-away before the direct move; the mapped stream must contain the
+/// two-step pattern.
+#[test]
+fn move_away_pattern_in_crowded_lattice() {
+    let p = HardwareParams::shuttling()
+        .to_builder()
+        .lattice(4, 3.0)
+        .num_atoms(15)
+        .radius(1.0)
+        .build()
+        .unwrap();
+    let mut c = Circuit::new(15);
+    c.cz(0, 10);
+    let outcome = HybridMapper::new(p.clone(), MapperConfig::shuttle_only())
+        .unwrap()
+        .map(&c)
+        .unwrap();
+    verify_mapping(&c, &outcome.mapped, &p).unwrap();
+    assert!(
+        outcome.mapped.shuttle_count() >= 2,
+        "crowded routing needs a move-away: {:?}",
+        outcome.mapped.ops
+    );
+}
+
+/// Gate-based routing around the lattice boundary: qubits in opposite
+/// corners still meet.
+#[test]
+fn corner_to_corner_gate_routing() {
+    let p = params(6, 35, 1.0);
+    let mut c = Circuit::new(35);
+    c.cz(0, 34);
+    let outcome = HybridMapper::new(p.clone(), MapperConfig::gate_only())
+        .unwrap()
+        .map(&c)
+        .unwrap();
+    verify_mapping(&c, &outcome.mapped, &p).unwrap();
+    assert!(outcome.mapped.swap_count() >= 5);
+}
+
+/// Gate-only mode must refuse gates that are geometrically impossible
+/// instead of looping.
+#[test]
+fn infeasible_multiqubit_gate_rejected_quickly() {
+    let p = params(5, 20, 1.0); // max mutual cluster at r=1 is a pair
+    let mut c = Circuit::new(20);
+    c.ccz(0, 1, 2);
+    let start = std::time::Instant::now();
+    let err = HybridMapper::new(p, MapperConfig::gate_only())
+        .unwrap()
+        .map(&c)
+        .unwrap_err();
+    assert!(matches!(err, MapError::GateTooLarge { arity: 3, .. }));
+    assert!(start.elapsed().as_secs() < 2);
+}
+
+/// The same gate succeeds in hybrid mode? No — geometry is impossible for
+/// shuttling too; the feasibility check fires for every mode.
+#[test]
+fn infeasible_gate_rejected_in_all_modes() {
+    let p = params(5, 20, 1.0);
+    let mut c = Circuit::new(20);
+    c.ccz(0, 1, 2);
+    for config in [
+        MapperConfig::shuttle_only(),
+        MapperConfig::hybrid(1.0),
+    ] {
+        let err = HybridMapper::new(p.clone(), config).unwrap().map(&c).unwrap_err();
+        assert!(matches!(err, MapError::GateTooLarge { .. }));
+    }
+}
+
+/// A chain of dependent CZs on one qubit line routes without the budget
+/// safety net tripping (regression guard for the sticky-decision fix).
+#[test]
+fn hub_qubit_workload_terminates() {
+    // Star topology: qubit 0 interacts with everyone (QPE-like hub).
+    let p = params(6, 30, 2.0);
+    let mut c = Circuit::new(30);
+    for q in 1..30 {
+        c.cp(0.3, q, 0);
+    }
+    for alpha in [0.5, 0.95, 1.0, 1.05, 2.0] {
+        let outcome = HybridMapper::new(p.clone(), MapperConfig::hybrid(alpha))
+            .unwrap()
+            .map(&c)
+            .unwrap_or_else(|e| panic!("alpha {alpha}: {e}"));
+        verify_mapping(&c, &outcome.mapped, &p).unwrap();
+    }
+}
+
+/// Routing SWAPs may park qubits on spare (qubit-free) atoms: the |0⟩
+/// partner semantics must replay correctly.
+#[test]
+fn swaps_with_spare_atoms_verify() {
+    let p = params(5, 24, 1.0);
+    let mut c = Circuit::new(12); // half the atoms are spares
+    c.cz(0, 11).cz(3, 8);
+    let outcome = HybridMapper::new(p.clone(), MapperConfig::gate_only())
+        .unwrap()
+        .map(&c)
+        .unwrap();
+    verify_mapping(&c, &outcome.mapped, &p).unwrap();
+    // At least one swap partner should be a spare atom (ids >= 12).
+    let uses_spare = outcome.mapped.iter().any(|op| match op {
+        MappedOp::Swap { a, b, .. } => a.0 >= 12 || b.0 >= 12,
+        _ => false,
+    });
+    // Not guaranteed by the heuristic, but the replay above must hold
+    // either way; record the observation for context.
+    let _ = uses_spare;
+}
+
+/// Shuttle-only mapping leaves the qubit->atom assignment untouched: the
+/// final mapping equals the initial one (only f_a changed).
+#[test]
+fn shuttling_preserves_qubit_assignment() {
+    let p = HardwareParams::shuttling()
+        .to_builder()
+        .lattice(6, 3.0)
+        .num_atoms(20)
+        .build()
+        .unwrap();
+    let mut c = Circuit::new(20);
+    c.cz(0, 19).cz(5, 14);
+    let outcome = HybridMapper::new(p.clone(), MapperConfig::shuttle_only())
+        .unwrap()
+        .map(&c)
+        .unwrap();
+    let mut state = MappingState::identity(&p, 20).unwrap();
+    for op in outcome.mapped.iter() {
+        match op {
+            MappedOp::Shuttle { atom, to, .. } => state.apply_move(*atom, *to),
+            MappedOp::Swap { .. } => panic!("shuttle-only emitted a swap"),
+            _ => {}
+        }
+    }
+    for q in 0..20u32 {
+        assert_eq!(state.atom_of_qubit(Qubit(q)), AtomId(q));
+    }
+}
+
+/// The stream records sites consistently with the motion history: the
+/// final site of every atom matches an independent replay.
+#[test]
+fn site_bookkeeping_matches_replay() {
+    let p = params(6, 25, 2.0);
+    let mut c = Circuit::new(25);
+    c.cz(0, 24).ccz(1, 12, 23).cz(4, 20);
+    let outcome = HybridMapper::new(p.clone(), MapperConfig::hybrid(1.0))
+        .unwrap()
+        .map(&c)
+        .unwrap();
+    let mut site_of: Vec<Site> = (0..25)
+        .map(|i| MappingState::identity(&p, 25).unwrap().site_of_atom(AtomId(i)))
+        .collect();
+    for op in outcome.mapped.iter() {
+        match op {
+            MappedOp::Shuttle { atom, from, to } => {
+                assert_eq!(site_of[atom.index()], *from);
+                site_of[atom.index()] = *to;
+            }
+            MappedOp::Swap { a, b, site_a, site_b } => {
+                assert_eq!(site_of[a.index()], *site_a);
+                assert_eq!(site_of[b.index()], *site_b);
+            }
+            MappedOp::Gate { atoms, sites, .. } => {
+                for (atom, site) in atoms.iter().zip(sites) {
+                    assert_eq!(site_of[atom.index()], *site);
+                }
+            }
+            _ => {}
+        }
+    }
+}

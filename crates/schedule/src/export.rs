@@ -1,0 +1,186 @@
+//! Schedule export and utilization statistics.
+//!
+//! [`to_csv`] serializes a schedule as Gantt-style event rows for
+//! external plotting; [`Utilization`] summarizes per-atom busy fractions
+//! (the physical counterpart of the idle time entering Eq. (1)).
+
+use std::fmt::Write as _;
+
+use na_mapper::AtomId;
+use serde::{Deserialize, Serialize};
+
+use crate::items::{Schedule, ScheduledItem};
+
+/// Serializes the schedule as CSV with one row per scheduled item:
+/// `kind,start_us,duration_us,atoms,detail`.
+///
+/// # Example
+///
+/// ```
+/// use na_arch::HardwareParams;
+/// use na_circuit::Circuit;
+/// use na_schedule::{export::to_csv, Scheduler};
+/// let params = HardwareParams::mixed()
+///     .to_builder().lattice(4, 3.0).num_atoms(8).build()?;
+/// let mut c = Circuit::new(2);
+/// c.h(0).cz(0, 1);
+/// let csv = to_csv(&Scheduler::new(params).schedule_original(&c));
+/// assert!(csv.starts_with("kind,start_us,duration_us,atoms,detail"));
+/// assert_eq!(csv.lines().count(), 3); // header + 2 items
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn to_csv(schedule: &Schedule) -> String {
+    let mut out = String::from("kind,start_us,duration_us,atoms,detail\n");
+    for item in &schedule.items {
+        let atoms = item
+            .atoms()
+            .iter()
+            .map(|a| a.0.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let (kind, detail) = match item {
+            ScheduledItem::SingleQubit { op_index, .. } => {
+                ("single", op_index.map_or(String::new(), |i| i.to_string()))
+            }
+            ScheduledItem::Rydberg { op_index, atoms, .. } => (
+                "rydberg",
+                format!(
+                    "arity={}{}",
+                    atoms.len(),
+                    op_index.map_or(String::new(), |i| format!(" op={i}"))
+                ),
+            ),
+            ScheduledItem::SwapComposite { .. } => ("swap", String::new()),
+            ScheduledItem::AodBatch { moves, .. } => {
+                ("aod", format!("moves={}", moves.len()))
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{kind},{:.3},{:.3},{atoms},{detail}",
+            item.start_us(),
+            item.duration_us()
+        );
+    }
+    out
+}
+
+/// Per-atom utilization of a schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Utilization {
+    /// Makespan in µs.
+    pub makespan_us: f64,
+    /// Busy time per atom in µs, indexed by atom id.
+    pub busy_us: Vec<f64>,
+}
+
+impl Utilization {
+    /// Computes per-atom busy times from a schedule.
+    pub fn of(schedule: &Schedule) -> Self {
+        let mut busy = vec![0.0f64; schedule.num_atoms as usize];
+        for item in &schedule.items {
+            for atom in item.atoms() {
+                busy[atom.index()] += item.duration_us();
+            }
+        }
+        Utilization {
+            makespan_us: schedule.makespan_us,
+            busy_us: busy,
+        }
+    }
+
+    /// Busy fraction of one atom in `[0, 1]`.
+    pub fn fraction(&self, atom: AtomId) -> f64 {
+        if self.makespan_us > 0.0 {
+            (self.busy_us[atom.index()] / self.makespan_us).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean busy fraction over all atoms.
+    pub fn mean_fraction(&self) -> f64 {
+        if self.busy_us.is_empty() || self.makespan_us <= 0.0 {
+            return 0.0;
+        }
+        self.busy_us.iter().sum::<f64>() / (self.busy_us.len() as f64 * self.makespan_us)
+    }
+
+    /// The busiest atom and its fraction.
+    pub fn busiest(&self) -> Option<(AtomId, f64)> {
+        self.busy_us
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| {
+                let atom = AtomId(i as u32);
+                (atom, self.fraction(atom))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use na_arch::HardwareParams;
+    use na_circuit::generators::GraphState;
+    use na_mapper::{HybridMapper, MapperConfig};
+    use crate::scheduler::Scheduler;
+
+    fn sample_schedule() -> (Schedule, HardwareParams) {
+        let params = HardwareParams::mixed()
+            .to_builder()
+            .lattice(5, 3.0)
+            .num_atoms(14)
+            .build()
+            .expect("valid");
+        let circuit = GraphState::new(12).edges(16).seed(4).build();
+        let mapped = HybridMapper::new(params.clone(), MapperConfig::hybrid(1.0))
+            .expect("valid")
+            .map(&circuit)
+            .expect("mappable")
+            .mapped;
+        (Scheduler::new(params.clone()).schedule_mapped(&mapped), params)
+    }
+
+    #[test]
+    fn csv_has_row_per_item() {
+        let (schedule, _) = sample_schedule();
+        let csv = to_csv(&schedule);
+        assert_eq!(csv.lines().count(), schedule.len() + 1);
+        assert!(csv.contains("rydberg"));
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let (schedule, _) = sample_schedule();
+        let util = Utilization::of(&schedule);
+        for i in 0..schedule.num_atoms {
+            let f = util.fraction(AtomId(i));
+            assert!((0.0..=1.0).contains(&f));
+        }
+        assert!(util.mean_fraction() > 0.0);
+        assert!(util.mean_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn busiest_atom_exists() {
+        let (schedule, _) = sample_schedule();
+        let util = Utilization::of(&schedule);
+        let (atom, f) = util.busiest().expect("non-empty");
+        assert!(f > 0.0);
+        assert!(atom.0 < schedule.num_atoms);
+    }
+
+    #[test]
+    fn empty_schedule_zero_utilization() {
+        let schedule = Schedule {
+            items: vec![],
+            makespan_us: 0.0,
+            num_qubits: 2,
+            num_atoms: 4,
+        };
+        let util = Utilization::of(&schedule);
+        assert_eq!(util.mean_fraction(), 0.0);
+    }
+}

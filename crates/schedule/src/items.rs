@@ -1,0 +1,237 @@
+//! Scheduled hardware operations with absolute start times.
+
+use na_arch::Site;
+use na_mapper::AtomId;
+use serde::{Deserialize, Serialize};
+
+/// One shuttle move inside an AOD batch, bound to its atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchedMove {
+    /// The moved atom.
+    pub atom: AtomId,
+    /// Source site.
+    pub from: Site,
+    /// Target site.
+    pub to: Site,
+}
+
+/// A scheduled hardware operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ScheduledItem {
+    /// A single-qubit gate.
+    SingleQubit {
+        /// The addressed atom.
+        atom: AtomId,
+        /// Its trap site.
+        site: Site,
+        /// Start time in µs.
+        start_us: f64,
+        /// Duration in µs.
+        duration_us: f64,
+        /// Index of the originating circuit op, if any.
+        op_index: Option<usize>,
+    },
+    /// A Rydberg `CᵐZ`-family gate (subject to the restriction radius).
+    Rydberg {
+        /// Participating atoms.
+        atoms: Vec<AtomId>,
+        /// Their trap sites at execution time.
+        sites: Vec<Site>,
+        /// Start time in µs.
+        start_us: f64,
+        /// Duration in µs.
+        duration_us: f64,
+        /// Index of the originating circuit op, if any.
+        op_index: Option<usize>,
+    },
+    /// A routing SWAP as a composite block (3 CZ + 6 H on two atoms),
+    /// subject to the restriction radius like any Rydberg operation.
+    SwapComposite {
+        /// The two swapped atoms.
+        atoms: [AtomId; 2],
+        /// Their trap sites.
+        sites: [Site; 2],
+        /// Start time in µs.
+        start_us: f64,
+        /// Duration in µs.
+        duration_us: f64,
+    },
+    /// One AOD transaction: activation, simultaneous translation of all
+    /// batched moves, deactivation.
+    AodBatch {
+        /// The batched moves.
+        moves: Vec<BatchedMove>,
+        /// Start time in µs.
+        start_us: f64,
+        /// Duration in µs.
+        duration_us: f64,
+    },
+}
+
+impl ScheduledItem {
+    /// Start time in µs.
+    pub fn start_us(&self) -> f64 {
+        match self {
+            ScheduledItem::SingleQubit { start_us, .. }
+            | ScheduledItem::Rydberg { start_us, .. }
+            | ScheduledItem::SwapComposite { start_us, .. }
+            | ScheduledItem::AodBatch { start_us, .. } => *start_us,
+        }
+    }
+
+    /// Duration in µs.
+    pub fn duration_us(&self) -> f64 {
+        match self {
+            ScheduledItem::SingleQubit { duration_us, .. }
+            | ScheduledItem::Rydberg { duration_us, .. }
+            | ScheduledItem::SwapComposite { duration_us, .. }
+            | ScheduledItem::AodBatch { duration_us, .. } => *duration_us,
+        }
+    }
+
+    /// End time in µs.
+    pub fn end_us(&self) -> f64 {
+        self.start_us() + self.duration_us()
+    }
+
+    /// Participating atoms.
+    pub fn atoms(&self) -> Vec<AtomId> {
+        match self {
+            ScheduledItem::SingleQubit { atom, .. } => vec![*atom],
+            ScheduledItem::Rydberg { atoms, .. } => atoms.clone(),
+            ScheduledItem::SwapComposite { atoms, .. } => atoms.to_vec(),
+            ScheduledItem::AodBatch { moves, .. } => moves.iter().map(|m| m.atom).collect(),
+        }
+    }
+
+    /// Returns `true` for Rydberg-type items (CZ family and SWAP
+    /// composites) subject to the restriction constraint.
+    pub fn is_rydberg(&self) -> bool {
+        matches!(
+            self,
+            ScheduledItem::Rydberg { .. } | ScheduledItem::SwapComposite { .. }
+        )
+    }
+}
+
+/// A complete schedule: items with absolute times plus aggregates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Scheduled items in start-time order of creation.
+    pub items: Vec<ScheduledItem>,
+    /// Total circuit execution time `T` in µs.
+    pub makespan_us: f64,
+    /// Circuit width (logical qubits).
+    pub num_qubits: u32,
+    /// Hardware atom count.
+    pub num_atoms: u32,
+}
+
+impl Schedule {
+    /// Number of scheduled items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` for an empty schedule.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of CZ-family entangling gates, counting each SWAP composite
+    /// as 3 CZ (the paper's CZ accounting).
+    pub fn cz_count(&self) -> usize {
+        self.items
+            .iter()
+            .map(|item| match item {
+                ScheduledItem::Rydberg { .. } => 1,
+                ScheduledItem::SwapComposite { .. } => 3,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of AOD transactions.
+    pub fn batch_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|i| matches!(i, ScheduledItem::AodBatch { .. }))
+            .count()
+    }
+
+    /// Total number of individual shuttle moves.
+    pub fn move_count(&self) -> usize {
+        self.items
+            .iter()
+            .map(|i| match i {
+                ScheduledItem::AodBatch { moves, .. } => moves.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rydberg(start: f64, dur: f64) -> ScheduledItem {
+        ScheduledItem::Rydberg {
+            atoms: vec![AtomId(0), AtomId(1)],
+            sites: vec![Site::new(0, 0), Site::new(1, 0)],
+            start_us: start,
+            duration_us: dur,
+            op_index: Some(0),
+        }
+    }
+
+    #[test]
+    fn timing_accessors() {
+        let item = rydberg(3.0, 0.2);
+        assert_eq!(item.start_us(), 3.0);
+        assert_eq!(item.end_us(), 3.2);
+        assert!(item.is_rydberg());
+    }
+
+    #[test]
+    fn cz_counting_includes_swaps() {
+        let schedule = Schedule {
+            items: vec![
+                rydberg(0.0, 0.2),
+                ScheduledItem::SwapComposite {
+                    atoms: [AtomId(0), AtomId(1)],
+                    sites: [Site::new(0, 0), Site::new(1, 0)],
+                    start_us: 1.0,
+                    duration_us: 2.6,
+                },
+            ],
+            makespan_us: 3.6,
+            num_qubits: 2,
+            num_atoms: 4,
+        };
+        assert_eq!(schedule.cz_count(), 4);
+    }
+
+    #[test]
+    fn batch_atoms_listed() {
+        let item = ScheduledItem::AodBatch {
+            moves: vec![
+                BatchedMove {
+                    atom: AtomId(3),
+                    from: Site::new(0, 0),
+                    to: Site::new(0, 2),
+                },
+                BatchedMove {
+                    atom: AtomId(5),
+                    from: Site::new(2, 0),
+                    to: Site::new(2, 2),
+                },
+            ],
+            start_us: 0.0,
+            duration_us: 50.0,
+        };
+        assert_eq!(item.atoms(), vec![AtomId(3), AtomId(5)]);
+        assert!(!item.is_rydberg());
+    }
+}

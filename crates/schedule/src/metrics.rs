@@ -1,0 +1,219 @@
+//! Fidelity metrics: the approximate success probability of Eq. (1) and
+//! the Table 1a comparison quantities.
+//!
+//! Eq. (1) of the paper:
+//!
+//! ```text
+//! P = exp(−t_idle / T_eff) · Π_O F_O,     T_eff = T1·T2 / (T1 + T2)
+//! t_idle = n·T − Σ_O t_O
+//! ```
+//!
+//! Everything is computed in log₁₀ space: a 200-qubit QFT accumulates
+//! thousands of sub-unity factors and `P` underflows `f64` long before the
+//! ratio `P_mapped/P_original` stops being meaningful. The paper's
+//! `δF = −log(P_mapped/P_original)` is then a plain difference of
+//! log-probabilities (base 10, matching the magnitudes reported in
+//! Table 1a).
+
+use na_arch::HardwareParams;
+use serde::{Deserialize, Serialize};
+
+use crate::items::{Schedule, ScheduledItem};
+
+/// Aggregate metrics of one schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleMetrics {
+    /// Total execution time `T` in µs.
+    pub makespan_us: f64,
+    /// Total idle time `t_idle = n·T − Σ_O t_O` (clamped at 0), µs.
+    pub idle_us: f64,
+    /// `log₁₀ Π F_O` — the gate-fidelity part of Eq. (1).
+    pub log10_gate_fidelity: f64,
+    /// `log₁₀ P` — the full approximate success probability.
+    pub log10_success: f64,
+    /// CZ-family gate count (SWAPs counted as 3).
+    pub cz_count: usize,
+    /// Individual shuttle move count.
+    pub move_count: usize,
+}
+
+impl ScheduleMetrics {
+    /// Computes the metrics of `schedule` under `params`.
+    pub fn of(schedule: &Schedule, params: &HardwareParams) -> Self {
+        let mut ln_fidelity = 0.0f64;
+        let mut busy_us = 0.0f64;
+        for item in &schedule.items {
+            busy_us += item.duration_us();
+            ln_fidelity += match item {
+                ScheduledItem::SingleQubit { .. } => params.f_single.ln(),
+                ScheduledItem::Rydberg { atoms, .. } => {
+                    params.cz_family_fidelity(atoms.len()).ln()
+                }
+                ScheduledItem::SwapComposite { .. } => params.swap_fidelity().ln(),
+                ScheduledItem::AodBatch { moves, .. } => {
+                    moves.len() as f64 * params.f_shuttle.max(f64::MIN_POSITIVE).ln()
+                }
+            };
+        }
+        let n = f64::from(schedule.num_qubits);
+        let idle_us = (n * schedule.makespan_us - busy_us).max(0.0);
+        let ln10 = std::f64::consts::LN_10;
+        let log10_gate_fidelity = ln_fidelity / ln10;
+        let log10_success = log10_gate_fidelity - idle_us / params.t_eff_us() / ln10;
+        ScheduleMetrics {
+            makespan_us: schedule.makespan_us,
+            idle_us,
+            log10_gate_fidelity,
+            log10_success,
+            cz_count: schedule.cz_count(),
+            move_count: schedule.move_count(),
+        }
+    }
+
+    /// The approximate success probability `P` (may underflow to 0 for
+    /// large circuits — prefer [`ScheduleMetrics::log10_success`]).
+    pub fn success_probability(&self) -> f64 {
+        10f64.powf(self.log10_success)
+    }
+}
+
+/// The Table 1a comparison between an original and a mapped schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonReport {
+    /// Additional CZ gates introduced by routing (`ΔCZ`).
+    pub delta_cz: isize,
+    /// Execution time overhead in µs (`ΔT`).
+    pub delta_t_us: f64,
+    /// Fidelity decrease `δF = −log₁₀(P_mapped/P_original)`; smaller is
+    /// better, 0 means the mapping is free.
+    pub delta_f: f64,
+    /// Shuttle moves in the mapped schedule.
+    pub moves: usize,
+    /// Metrics of the original schedule.
+    pub original: ScheduleMetrics,
+    /// Metrics of the mapped schedule.
+    pub mapped: ScheduleMetrics,
+}
+
+impl ComparisonReport {
+    /// Builds the report from the two metric sets.
+    pub fn between(original: &ScheduleMetrics, mapped: &ScheduleMetrics) -> Self {
+        ComparisonReport {
+            delta_cz: mapped.cz_count as isize - original.cz_count as isize,
+            delta_t_us: mapped.makespan_us - original.makespan_us,
+            delta_f: original.log10_success - mapped.log10_success,
+            moves: mapped.move_count,
+            original: *original,
+            mapped: *mapped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use na_arch::Site;
+    use na_mapper::AtomId;
+
+    fn single(atom: u32, start: f64) -> ScheduledItem {
+        ScheduledItem::SingleQubit {
+            atom: AtomId(atom),
+            site: Site::new(atom as i32, 0),
+            start_us: start,
+            duration_us: 0.5,
+            op_index: None,
+        }
+    }
+
+    fn schedule_of(items: Vec<ScheduledItem>, n: u32) -> Schedule {
+        let makespan = items.iter().map(|i| i.end_us()).fold(0.0, f64::max);
+        Schedule {
+            items,
+            makespan_us: makespan,
+            num_qubits: n,
+            num_atoms: n + 2,
+        }
+    }
+
+    #[test]
+    fn idle_time_formula() {
+        let p = HardwareParams::mixed();
+        // Two sequential single-qubit gates on different qubits:
+        // T = 1.0, Σt_O = 1.0, n = 2 → idle = 2·1.0 − 1.0 = 1.0.
+        let s = schedule_of(vec![single(0, 0.0), single(1, 0.5)], 2);
+        let m = ScheduleMetrics::of(&s, &p);
+        assert!((m.idle_us - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_accumulates_in_log_space() {
+        let p = HardwareParams::mixed();
+        let s = schedule_of(vec![single(0, 0.0), single(1, 0.0)], 2);
+        let m = ScheduleMetrics::of(&s, &p);
+        let expect = 2.0 * p.f_single.log10();
+        assert!((m.log10_gate_fidelity - expect).abs() < 1e-12);
+        assert!(m.log10_success <= m.log10_gate_fidelity);
+    }
+
+    #[test]
+    fn shuttle_fidelity_counts_per_move_not_per_batch() {
+        let p = HardwareParams::gate_based(); // f_shuttle = 0.999
+        let batch = ScheduledItem::AodBatch {
+            moves: vec![
+                crate::items::BatchedMove {
+                    atom: AtomId(0),
+                    from: Site::new(0, 0),
+                    to: Site::new(0, 2),
+                },
+                crate::items::BatchedMove {
+                    atom: AtomId(1),
+                    from: Site::new(1, 0),
+                    to: Site::new(1, 2),
+                },
+            ],
+            start_us: 0.0,
+            duration_us: 100.0,
+        };
+        let s = schedule_of(vec![batch], 2);
+        let m = ScheduleMetrics::of(&s, &p);
+        let expect = 2.0 * p.f_shuttle.log10();
+        assert!((m.log10_gate_fidelity - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparison_is_zero_for_identical_schedules() {
+        let p = HardwareParams::mixed();
+        let s = schedule_of(vec![single(0, 0.0)], 1);
+        let m = ScheduleMetrics::of(&s, &p);
+        let r = ComparisonReport::between(&m, &m);
+        assert_eq!(r.delta_cz, 0);
+        assert_eq!(r.delta_t_us, 0.0);
+        assert_eq!(r.delta_f, 0.0);
+    }
+
+    #[test]
+    fn perfect_shuttles_cost_only_idle_time() {
+        let p = HardwareParams::shuttling(); // f_shuttle = 1
+        let batch = ScheduledItem::AodBatch {
+            moves: vec![crate::items::BatchedMove {
+                atom: AtomId(0),
+                from: Site::new(0, 0),
+                to: Site::new(0, 2),
+            }],
+            start_us: 0.0,
+            duration_us: 50.0,
+        };
+        let s = schedule_of(vec![batch], 2);
+        let m = ScheduleMetrics::of(&s, &p);
+        assert_eq!(m.log10_gate_fidelity, 0.0);
+        assert!(m.log10_success < 0.0, "idle time still decays success");
+    }
+
+    #[test]
+    fn success_probability_roundtrip() {
+        let p = HardwareParams::mixed();
+        let s = schedule_of(vec![single(0, 0.0)], 1);
+        let m = ScheduleMetrics::of(&s, &p);
+        assert!((m.success_probability().log10() - m.log10_success).abs() < 1e-9);
+    }
+}

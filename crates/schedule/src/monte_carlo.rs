@@ -1,0 +1,171 @@
+//! Monte-Carlo cross-validation of the Eq. (1) success probability.
+//!
+//! [`ScheduleMetrics`](crate::metrics::ScheduleMetrics) computes
+//! `P = exp(−t_idle/T_eff)·Π F_O` analytically in log₁₀ space. This
+//! module estimates the same quantity by sampling: each operation
+//! succeeds with probability `F_O` and the idle decoherence survives with
+//! probability `exp(−t_idle/T_eff)`; a run succeeds when everything does.
+//! Agreement between the estimator and the closed form validates the
+//! metric bookkeeping (fidelity attribution per item kind, per-move
+//! shuttle costs, idle accounting) end to end.
+//!
+//! Only meaningful when `P` is large enough to sample (small circuits);
+//! for 200-qubit workloads `P` underflows any feasible trial count and
+//! the analytic log-space value is the only usable form.
+
+use na_arch::HardwareParams;
+
+use crate::items::{Schedule, ScheduledItem};
+
+/// A tiny deterministic PRNG (splitmix64) so the crate stays free of a
+/// `rand` dependency outside dev-tests.
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Estimates the approximate success probability of a schedule by
+/// sampling `trials` runs with the given `seed`.
+///
+/// # Example
+///
+/// ```
+/// use na_arch::HardwareParams;
+/// use na_circuit::Circuit;
+/// use na_schedule::{monte_carlo::estimate_success, ScheduleMetrics, Scheduler};
+/// let params = HardwareParams::shuttling()
+///     .to_builder().lattice(4, 3.0).num_atoms(8).build()?;
+/// let mut c = Circuit::new(3);
+/// c.h(0).cz(0, 1).cz(1, 2);
+/// let schedule = Scheduler::new(params.clone()).schedule_original(&c);
+/// let analytic = ScheduleMetrics::of(&schedule, &params).success_probability();
+/// let sampled = estimate_success(&schedule, &params, 20_000, 1);
+/// assert!((analytic - sampled).abs() < 0.02);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn estimate_success(
+    schedule: &Schedule,
+    params: &HardwareParams,
+    trials: u32,
+    seed: u64,
+) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    // Per-item success probabilities (mirrors ScheduleMetrics::of).
+    let mut probs: Vec<f64> = Vec::with_capacity(schedule.len() + 1);
+    let mut busy_us = 0.0;
+    for item in &schedule.items {
+        busy_us += item.duration_us();
+        probs.push(match item {
+            ScheduledItem::SingleQubit { .. } => params.f_single,
+            ScheduledItem::Rydberg { atoms, .. } => params.cz_family_fidelity(atoms.len()),
+            ScheduledItem::SwapComposite { .. } => params.swap_fidelity(),
+            ScheduledItem::AodBatch { moves, .. } => {
+                params.f_shuttle.powi(moves.len() as i32)
+            }
+        });
+    }
+    let idle_us = (f64::from(schedule.num_qubits) * schedule.makespan_us - busy_us).max(0.0);
+    probs.push((-idle_us / params.t_eff_us()).exp());
+
+    let mut rng = SplitMix64(seed.wrapping_add(0x5851_F42D_4C95_7F2D));
+    let mut successes = 0u32;
+    'trial: for _ in 0..trials {
+        for &p in &probs {
+            if rng.next_f64() >= p {
+                continue 'trial;
+            }
+        }
+        successes += 1;
+    }
+    f64::from(successes) / f64::from(trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ScheduleMetrics;
+    use crate::scheduler::Scheduler;
+    use na_circuit::generators::GraphState;
+    use na_mapper::{HybridMapper, MapperConfig};
+
+    #[test]
+    fn matches_analytic_value_on_mapped_circuit() {
+        let params = HardwareParams::shuttling()
+            .to_builder()
+            .lattice(5, 3.0)
+            .num_atoms(14)
+            .build()
+            .expect("valid");
+        let circuit = GraphState::new(12).edges(15).seed(9).build();
+        let mapped = HybridMapper::new(params.clone(), MapperConfig::shuttle_only())
+            .expect("valid")
+            .map(&circuit)
+            .expect("mappable")
+            .mapped;
+        let schedule = Scheduler::new(params.clone()).schedule_mapped(&mapped);
+        let analytic = ScheduleMetrics::of(&schedule, &params).success_probability();
+        let sampled = estimate_success(&schedule, &params, 40_000, 7);
+        // Bernoulli std-dev at 40k trials is below 0.003.
+        assert!(
+            (analytic - sampled).abs() < 0.02,
+            "analytic {analytic} vs sampled {sampled}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let params = HardwareParams::mixed()
+            .to_builder()
+            .lattice(4, 3.0)
+            .num_atoms(8)
+            .build()
+            .expect("valid");
+        let mut c = na_circuit::Circuit::new(3);
+        c.h(0).cz(0, 1).cz(1, 2);
+        let schedule = Scheduler::new(params.clone()).schedule_original(&c);
+        let a = estimate_success(&schedule, &params, 5_000, 3);
+        let b = estimate_success(&schedule, &params, 5_000, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn perfect_hardware_always_succeeds() {
+        let params = HardwareParams::mixed()
+            .to_builder()
+            .lattice(4, 3.0)
+            .num_atoms(8)
+            .f_cz(1.0)
+            .f_single(1.0)
+            .f_shuttle(1.0)
+            .coherence(1e30, 1e30)
+            .build()
+            .expect("valid");
+        let mut c = na_circuit::Circuit::new(2);
+        c.h(0).cz(0, 1);
+        let schedule = Scheduler::new(params.clone()).schedule_original(&c);
+        assert_eq!(estimate_success(&schedule, &params, 1_000, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let params = HardwareParams::mixed()
+            .to_builder()
+            .lattice(4, 3.0)
+            .num_atoms(8)
+            .build()
+            .expect("valid");
+        let schedule = Scheduler::new(params.clone())
+            .schedule_original(&na_circuit::Circuit::new(1));
+        estimate_success(&schedule, &params, 0, 0);
+    }
+}

@@ -1,0 +1,552 @@
+//! ASAP scheduling with restriction constraints and AOD batching.
+
+use na_arch::{aod, geometry, HardwareParams, Move, Site};
+use na_circuit::{decompose_to_native, Circuit};
+use na_mapper::{AtomId, MappedCircuit, MappedOp};
+
+use crate::items::{BatchedMove, Schedule, ScheduledItem};
+use crate::metrics::{ComparisonReport, ScheduleMetrics};
+
+/// Schedules mapped circuits and original (unrouted) circuits under the
+/// hardware timing model.
+///
+/// Scheduling is as-soon-as-possible in stream order with two NA-specific
+/// rules (paper §2.1, §3.2 (5)):
+///
+/// * two Rydberg operations may overlap in time only if every pair of
+///   atoms from different gates keeps at least `r_restr` distance,
+/// * consecutive shuttle moves merge into one AOD transaction when their
+///   row/column orders are consistent (no crossing) and no move targets a
+///   site another batched move is still vacating.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    params: HardwareParams,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for the given hardware.
+    pub fn new(params: HardwareParams) -> Self {
+        Scheduler { params }
+    }
+
+    /// The hardware parameters.
+    pub fn params(&self) -> &HardwareParams {
+        &self.params
+    }
+
+    /// Schedules a mapped operation stream.
+    ///
+    /// Runs of consecutive shuttle moves (no gate in between) are
+    /// repartitioned into as few AOD transactions as the constraints
+    /// allow: a move may join any open batch of its run that is
+    /// AOD-compatible, provided every earlier move it conflicts with
+    /// (vacate-before-fill on a shared site, or the same atom moving
+    /// twice) sits in a strictly earlier batch. This mirrors the paper's
+    /// aggressive parallel scheduling of independent rearrangements.
+    pub fn schedule_mapped(&self, mapped: &MappedCircuit) -> Schedule {
+        let mut builder = ScheduleBuilder::new(&self.params, mapped.num_atoms, mapped.layout);
+        let mut run = BatchRun::new();
+
+        for op in mapped.iter() {
+            match op {
+                MappedOp::Shuttle { atom, from, to } => {
+                    run.push(BatchedMove {
+                        atom: *atom,
+                        from: *from,
+                        to: *to,
+                    });
+                }
+                _ => {
+                    run.flush_into(&mut builder);
+                    match op {
+                        MappedOp::Gate {
+                            op_index,
+                            op,
+                            atoms,
+                            sites,
+                        } => {
+                            if op.arity() == 1 {
+                                builder.push_single(
+                                    atoms[0],
+                                    sites[0],
+                                    self.params.t_single_us,
+                                    Some(*op_index),
+                                );
+                            } else {
+                                builder.push_rydberg(
+                                    atoms.clone(),
+                                    sites.clone(),
+                                    self.params.cz_family_time_us(op.arity()),
+                                    Some(*op_index),
+                                );
+                            }
+                        }
+                        MappedOp::Swap { a, b, site_a, site_b } => {
+                            builder.push_swap([*a, *b], [*site_a, *site_b]);
+                        }
+                        // `MappedOp` is non-exhaustive; shuttles are
+                        // handled in the outer match.
+                        other => unreachable!("unhandled mapped op {other:?}"),
+                    }
+                }
+            }
+        }
+        run.flush_into(&mut builder);
+        builder.finish(mapped.num_qubits)
+    }
+
+    /// Schedules the *original* circuit assuming ideal all-to-all
+    /// connectivity (no routing, no restriction): the baseline of the
+    /// paper's `Δ` metrics. Non-native gates are decomposed first and
+    /// operations are ordered by the commutation-aware DAG so the
+    /// baseline enjoys the same reordering freedom as the mapped stream.
+    pub fn schedule_original(&self, circuit: &Circuit) -> Schedule {
+        let native = if circuit.is_native() {
+            circuit.clone()
+        } else {
+            decompose_to_native(circuit)
+        };
+        let order = na_circuit::CircuitDag::new(&native).topological_order();
+        let n = native.num_qubits() as usize;
+        let mut avail = vec![0.0f64; n];
+        let mut items = Vec::with_capacity(native.len());
+        let mut makespan = 0.0f64;
+        for i in order {
+            let op = &native.ops()[i];
+            let start = op
+                .qubits()
+                .iter()
+                .map(|q| avail[q.index()])
+                .fold(0.0, f64::max);
+            let dur = op.duration_us(&self.params);
+            for q in op.qubits() {
+                avail[q.index()] = start + dur;
+            }
+            makespan = makespan.max(start + dur);
+            // Atom/site identifiers mirror the identity layout.
+            let atoms: Vec<AtomId> = op.qubits().iter().map(|q| AtomId(q.0)).collect();
+            let sites: Vec<Site> = atoms
+                .iter()
+                .map(|a| {
+                    let side = self.params.lattice_side as i32;
+                    Site::new(a.0 as i32 % side, a.0 as i32 / side)
+                })
+                .collect();
+            if op.arity() == 1 {
+                items.push(ScheduledItem::SingleQubit {
+                    atom: atoms[0],
+                    site: sites[0],
+                    start_us: start,
+                    duration_us: dur,
+                    op_index: Some(i),
+                });
+            } else {
+                items.push(ScheduledItem::Rydberg {
+                    atoms,
+                    sites,
+                    start_us: start,
+                    duration_us: dur,
+                    op_index: Some(i),
+                });
+            }
+        }
+        Schedule {
+            items,
+            makespan_us: makespan,
+            num_qubits: native.num_qubits(),
+            num_atoms: self.params.num_atoms,
+        }
+    }
+
+    /// Convenience: schedules both versions and produces the Table 1a
+    /// comparison (`ΔCZ`, `ΔT`, `δF`).
+    pub fn compare(&self, circuit: &Circuit, mapped: &MappedCircuit) -> ComparisonReport {
+        let original = ScheduleMetrics::of(&self.schedule_original(circuit), &self.params);
+        let routed = ScheduleMetrics::of(&self.schedule_mapped(mapped), &self.params);
+        ComparisonReport::between(&original, &routed)
+    }
+}
+
+/// Returns `true` if `mv` can join the pending batch: AOD-compatible with
+/// every member and not touching a site another member vacates or fills.
+fn batch_accepts(batch: &[BatchedMove], mv: &BatchedMove) -> bool {
+    batch.iter().all(|b| {
+        aod::moves_fully_parallel(&Move::new(b.from, b.to), &Move::new(mv.from, mv.to))
+            && b.to != mv.from
+            && b.from != mv.to
+    })
+}
+
+/// Open batches of the current shuttle run: moves are placed into the
+/// earliest batch their dependencies and the AOD constraints permit.
+#[derive(Debug, Default)]
+struct BatchRun {
+    batches: Vec<Vec<BatchedMove>>,
+}
+
+impl BatchRun {
+    fn new() -> Self {
+        BatchRun::default()
+    }
+
+    fn push(&mut self, mv: BatchedMove) {
+        // Moves conflicting with `mv` force it into a strictly later
+        // batch: vacate-before-fill on shared sites, or the same atom
+        // shuttling twice.
+        let mut earliest = 0usize;
+        for (bi, batch) in self.batches.iter().enumerate() {
+            let conflicts = batch.iter().any(|b| {
+                b.to == mv.from || b.from == mv.to || b.atom == mv.atom
+            });
+            if conflicts {
+                earliest = bi + 1;
+            }
+        }
+        for batch in self.batches.iter_mut().skip(earliest) {
+            if batch_accepts(batch, &mv) {
+                batch.push(mv);
+                return;
+            }
+        }
+        self.batches.push(vec![mv]);
+    }
+
+    fn flush_into(&mut self, builder: &mut ScheduleBuilder<'_>) {
+        for mut batch in self.batches.drain(..) {
+            builder.flush_batch(&mut batch);
+        }
+    }
+}
+
+struct ScheduleBuilder<'p> {
+    params: &'p HardwareParams,
+    avail: Vec<f64>,
+    /// Per trap site: the time from which the site is free (∞ while
+    /// occupied). Starts from the identity layout.
+    site_free_at: Vec<f64>,
+    lattice: na_arch::Lattice,
+    /// Rydberg intervals still relevant for restriction checks.
+    active_rydberg: Vec<(f64, f64, Vec<Site>)>,
+    items: Vec<ScheduledItem>,
+    makespan: f64,
+}
+
+impl<'p> ScheduleBuilder<'p> {
+    fn new(
+        params: &'p HardwareParams,
+        num_atoms: u32,
+        layout: na_mapper::InitialLayout,
+    ) -> Self {
+        let lattice = na_arch::Lattice::new(params.lattice_side);
+        let mut site_free_at = vec![0.0; lattice.num_sites()];
+        for site in layout.place(&lattice, num_atoms) {
+            site_free_at[lattice.index(site)] = f64::INFINITY;
+        }
+        ScheduleBuilder {
+            params,
+            avail: vec![0.0; num_atoms as usize],
+            site_free_at,
+            lattice,
+            active_rydberg: Vec::new(),
+            items: Vec::new(),
+            makespan: 0.0,
+        }
+    }
+
+    fn earliest(&self, atoms: &[AtomId]) -> f64 {
+        atoms
+            .iter()
+            .map(|a| self.avail[a.index()])
+            .fold(0.0, f64::max)
+    }
+
+    fn occupy(&mut self, atoms: &[AtomId], start: f64, dur: f64) {
+        for a in atoms {
+            self.avail[a.index()] = start + dur;
+        }
+        self.makespan = self.makespan.max(start + dur);
+    }
+
+    /// Delays `t0` until no active Rydberg interval within `r_restr`
+    /// overlaps `[t0, t0 + dur)`.
+    fn respect_restriction(&mut self, sites: &[Site], mut t0: f64, dur: f64) -> f64 {
+        let r = self.params.r_restr;
+        // Prune intervals that ended before any possible overlap.
+        self.active_rydberg.retain(|(_, end, _)| *end > t0);
+        loop {
+            let mut moved = false;
+            for (start, end, other) in &self.active_rydberg {
+                let overlaps = *start < t0 + dur && *end > t0;
+                if overlaps && !geometry::sets_clear_of(sites, other, r) {
+                    t0 = *end;
+                    moved = true;
+                }
+            }
+            if !moved {
+                return t0;
+            }
+        }
+    }
+
+    fn push_single(&mut self, atom: AtomId, site: Site, dur: f64, op_index: Option<usize>) {
+        let start = self.earliest(&[atom]);
+        self.occupy(&[atom], start, dur);
+        self.items.push(ScheduledItem::SingleQubit {
+            atom,
+            site,
+            start_us: start,
+            duration_us: dur,
+            op_index,
+        });
+    }
+
+    fn push_rydberg(
+        &mut self,
+        atoms: Vec<AtomId>,
+        sites: Vec<Site>,
+        dur: f64,
+        op_index: Option<usize>,
+    ) {
+        let t0 = self.earliest(&atoms);
+        let start = self.respect_restriction(&sites, t0, dur);
+        self.occupy(&atoms, start, dur);
+        self.active_rydberg.push((start, start + dur, sites.clone()));
+        self.items.push(ScheduledItem::Rydberg {
+            atoms,
+            sites,
+            start_us: start,
+            duration_us: dur,
+            op_index,
+        });
+    }
+
+    fn push_swap(&mut self, atoms: [AtomId; 2], sites: [Site; 2]) {
+        let dur = self.params.swap_time_us();
+        let t0 = self.earliest(&atoms);
+        let start = self.respect_restriction(&sites, t0, dur);
+        self.occupy(&atoms, start, dur);
+        self.active_rydberg.push((start, start + dur, sites.to_vec()));
+        self.items.push(ScheduledItem::SwapComposite {
+            atoms,
+            sites,
+            start_us: start,
+            duration_us: dur,
+        });
+    }
+
+    fn flush_batch(&mut self, batch: &mut Vec<BatchedMove>) {
+        if batch.is_empty() {
+            return;
+        }
+        let moves = std::mem::take(batch);
+        let atoms: Vec<AtomId> = moves.iter().map(|m| m.atom).collect();
+        // Besides atom availability, every target site must have been
+        // vacated (chains move a blocker away before reusing its trap).
+        let start = moves
+            .iter()
+            .map(|m| self.site_free_at[self.lattice.index(m.to)])
+            .fold(self.earliest(&atoms), f64::max);
+        debug_assert!(start.is_finite(), "move into a never-vacated site");
+        let max_dist = moves
+            .iter()
+            .map(|m| m.from.rectilinear_distance(m.to))
+            .fold(0.0, f64::max);
+        let dur = self.params.shuttle_time_us(max_dist);
+        self.occupy(&atoms, start, dur);
+        for m in &moves {
+            self.site_free_at[self.lattice.index(m.from)] = start + dur;
+            self.site_free_at[self.lattice.index(m.to)] = f64::INFINITY;
+        }
+        self.items.push(ScheduledItem::AodBatch {
+            moves,
+            start_us: start,
+            duration_us: dur,
+        });
+    }
+
+    fn finish(self, num_qubits: u32) -> Schedule {
+        Schedule {
+            items: self.items,
+            makespan_us: self.makespan,
+            num_qubits,
+            num_atoms: self.avail.len() as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use na_circuit::generators::{GraphState, Qft};
+    use na_mapper::{HybridMapper, MapperConfig};
+
+    fn params(preset: HardwareParams, side: u32, atoms: u32) -> HardwareParams {
+        preset
+            .to_builder()
+            .lattice(side, 3.0)
+            .num_atoms(atoms)
+            .build()
+            .expect("valid")
+    }
+
+    fn map_with(
+        p: &HardwareParams,
+        cfg: MapperConfig,
+        circuit: &Circuit,
+    ) -> MappedCircuit {
+        HybridMapper::new(p.clone(), cfg)
+            .expect("valid")
+            .map(circuit)
+            .expect("mappable")
+            .mapped
+    }
+
+    #[test]
+    fn original_schedule_respects_dependencies() {
+        let p = params(HardwareParams::mixed(), 5, 12);
+        let s = Scheduler::new(p);
+        let mut c = Circuit::new(3);
+        c.h(0).cz(0, 1).h(1);
+        let schedule = s.schedule_original(&c);
+        assert_eq!(schedule.len(), 3);
+        // h(0) at 0, cz after it, h(1) after cz.
+        assert_eq!(schedule.items[0].start_us(), 0.0);
+        assert!(schedule.items[1].start_us() >= 0.5);
+        assert!(schedule.items[2].start_us() >= schedule.items[1].end_us() - 1e-9);
+        assert!((schedule.makespan_us - (0.5 + 0.2 + 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_gates_overlap_in_original() {
+        let p = params(HardwareParams::mixed(), 5, 12);
+        let s = Scheduler::new(p);
+        let mut c = Circuit::new(4);
+        c.cz(0, 1).cz(2, 3);
+        let schedule = s.schedule_original(&c);
+        assert_eq!(schedule.items[0].start_us(), 0.0);
+        assert_eq!(schedule.items[1].start_us(), 0.0);
+        assert!((schedule.makespan_us - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restriction_serializes_nearby_rydberg_gates() {
+        // Two CZ gates on disjoint atom pairs that sit within r_restr of
+        // each other must not overlap in the mapped schedule.
+        let p = params(HardwareParams::mixed(), 5, 12); // r_restr = 2.5
+        let s = Scheduler::new(p.clone());
+        let mut c = Circuit::new(4);
+        c.cz(0, 1).cz(2, 3); // atoms at (0,0),(1,0),(2,0),(3,0): within 2.5
+        let mapped = map_with(&p, MapperConfig::gate_only(), &c);
+        let schedule = s.schedule_mapped(&mapped);
+        let rydberg: Vec<_> = schedule.items.iter().filter(|i| i.is_rydberg()).collect();
+        assert_eq!(rydberg.len(), 2);
+        let (a, b) = (&rydberg[0], &rydberg[1]);
+        let disjoint_in_time = a.end_us() <= b.start_us() + 1e-9
+            || b.end_us() <= a.start_us() + 1e-9;
+        assert!(disjoint_in_time, "restricted gates must serialize");
+    }
+
+    #[test]
+    fn distant_rydberg_gates_parallelize() {
+        let p = params(HardwareParams::mixed(), 8, 40); // r_restr = 2.5
+        let s = Scheduler::new(p.clone());
+        let mut c = Circuit::new(40);
+        // Atoms (0,0),(1,0) and (0,4),(1,4): distance 4 > 2.5.
+        c.cz(0, 1).cz(32, 33);
+        let mapped = map_with(&p, MapperConfig::gate_only(), &c);
+        let schedule = s.schedule_mapped(&mapped);
+        let rydberg: Vec<_> = schedule.items.iter().filter(|i| i.is_rydberg()).collect();
+        assert_eq!(rydberg.len(), 2);
+        assert_eq!(rydberg[0].start_us(), rydberg[1].start_us());
+    }
+
+    #[test]
+    fn compatible_moves_batch_together() {
+        let p = params(HardwareParams::shuttling(), 6, 12);
+        let s = Scheduler::new(p.clone());
+        let qft = Qft::new(10).build();
+        let mapped = map_with(&p, MapperConfig::shuttle_only(), &qft);
+        let schedule = s.schedule_mapped(&mapped);
+        assert_eq!(schedule.move_count(), mapped.shuttle_count());
+        // Batching never increases the transaction count.
+        assert!(schedule.batch_count() <= schedule.move_count());
+    }
+
+    #[test]
+    fn chain_dependent_moves_do_not_batch() {
+        // A move-away followed by a move into the vacated site must be in
+        // different AOD transactions.
+        let p = params(HardwareParams::shuttling(), 4, 10);
+        let s = Scheduler::new(p.clone());
+        let mut mapped = MappedCircuit::new(2, 10);
+        mapped.ops.push(MappedOp::Shuttle {
+            atom: AtomId(5),
+            from: Site::new(1, 1),
+            to: Site::new(3, 3),
+        });
+        mapped.ops.push(MappedOp::Shuttle {
+            atom: AtomId(0),
+            from: Site::new(0, 0),
+            to: Site::new(1, 1),
+        });
+        let schedule = s.schedule_mapped(&mapped);
+        assert_eq!(schedule.batch_count(), 2);
+        let ends: Vec<f64> = schedule.items.iter().map(|i| i.end_us()).collect();
+        let starts: Vec<f64> = schedule.items.iter().map(|i| i.start_us()).collect();
+        assert!(starts[1] >= ends[0] - 1e-9, "second batch waits for the first");
+    }
+
+    #[test]
+    fn mapped_makespan_at_least_original() {
+        let p = params(HardwareParams::mixed(), 6, 25);
+        let s = Scheduler::new(p.clone());
+        let c = GraphState::new(20).edges(28).seed(2).build();
+        let mapped = map_with(&p, MapperConfig::hybrid(1.0), &c);
+        let t_orig = s.schedule_original(&c).makespan_us;
+        let t_mapped = s.schedule_mapped(&mapped).makespan_us;
+        assert!(t_mapped >= t_orig - 1e-6);
+    }
+
+    #[test]
+    fn cz_accounting_matches_mapper() {
+        let p = params(HardwareParams::gate_based(), 6, 25);
+        let s = Scheduler::new(p.clone());
+        let c = Qft::new(14).build();
+        let mapped = map_with(&p, MapperConfig::gate_only(), &c);
+        let schedule = s.schedule_mapped(&mapped);
+        let original = s.schedule_original(&c);
+        assert_eq!(
+            schedule.cz_count() - original.cz_count(),
+            mapped.delta_cz()
+        );
+    }
+
+    #[test]
+    fn atoms_never_overlap_in_time() {
+        let p = params(HardwareParams::mixed(), 6, 25);
+        let s = Scheduler::new(p.clone());
+        let c = GraphState::new(18).edges(30).seed(8).build();
+        let mapped = map_with(&p, MapperConfig::hybrid(1.0), &c);
+        let schedule = s.schedule_mapped(&mapped);
+        // Per-atom intervals must be disjoint.
+        let mut per_atom: std::collections::HashMap<AtomId, Vec<(f64, f64)>> =
+            std::collections::HashMap::new();
+        for item in &schedule.items {
+            for a in item.atoms() {
+                per_atom
+                    .entry(a)
+                    .or_default()
+                    .push((item.start_us(), item.end_us()));
+            }
+        }
+        for (atom, mut intervals) in per_atom {
+            intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in intervals.windows(2) {
+                assert!(
+                    w[0].1 <= w[1].0 + 1e-9,
+                    "atom {atom} double-booked: {w:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Hardware comparison: a miniature of the paper's Table 1a.
+//!
+//! Maps a small benchmark suite onto the three hardware presets of
+//! Table 1c under all three compiler modes and prints the ΔCZ / ΔT / δF
+//! comparison. The full-scale reproduction lives in the `na-bench` crate
+//! (`cargo run -p na-bench --release --bin table1`).
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example hardware_comparison
+//! ```
+
+use hybrid_na::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Quarter-scale hardware: 8x8 lattice, 50 atoms.
+    let presets: Vec<HardwareParams> = HardwareParams::table1_presets()
+        .into_iter()
+        .map(|p| {
+            p.to_builder()
+                .lattice(8, 3.0)
+                .num_atoms(50)
+                .build()
+                .expect("valid preset")
+        })
+        .collect();
+
+    let suite: Vec<(&str, Circuit)> = vec![
+        ("graph", GraphState::new(48).edges(52).seed(7).build().clone()),
+        ("qft", Qft::new(48).build()),
+        (
+            "bn",
+            decompose_to_native(
+                &Reversible::new(48).counts(&[(2, 33), (3, 22)]).seed(11).build(),
+            ),
+        ),
+    ];
+
+    for params in &presets {
+        println!("=== hardware: {} (r_int = {}d) ===", params.name, params.r_int);
+        println!(
+            "{:<8} {:<16} {:>8} {:>12} {:>10}",
+            "circuit", "mode", "ΔCZ", "ΔT [µs]", "δF"
+        );
+        let scheduler = Scheduler::new(params.clone());
+        for (name, circuit) in &suite {
+            for (mode, config) in [
+                ("shuttling-only", MapperConfig::shuttle_only()),
+                ("gate-only", MapperConfig::gate_only()),
+                ("hybrid α=1", MapperConfig::hybrid(1.0)),
+            ] {
+                let mapper = HybridMapper::new(params.clone(), config)?;
+                let outcome = mapper.map(circuit)?;
+                verify_mapping(circuit, &outcome.mapped, params)?;
+                let report = scheduler.compare(circuit, &outcome.mapped);
+                println!(
+                    "{:<8} {:<16} {:>8} {:>12.1} {:>10.3}",
+                    name, mode, report.delta_cz, report.delta_t_us, report.delta_f
+                );
+            }
+        }
+        println!();
+    }
+
+    println!("expected shape (paper §4.2):");
+    println!("  shuttling hardware -> shuttling-only wins, hybrid matches it");
+    println!("  gate hardware      -> gate-only wins, hybrid matches it");
+    println!("  mixed hardware     -> hybrid at least ties the best pure mode");
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! A complete tool-style workflow: import an OpenQASM 2.0 circuit, map it
+//! under different initial layouts, render the atom array, and check the
+//! result against the statevector oracle.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example qasm_workflow
+//! ```
+
+use hybrid_na::mapper::render::render_state;
+use hybrid_na::mapper::verify::verify_unitary_equivalence;
+use hybrid_na::mapper::MappingState;
+use hybrid_na::prelude::*;
+
+const INPUT: &str = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[8];
+// 8-qubit hidden-shift-style kernel
+h q[0]; h q[1]; h q[2]; h q[3]; h q[4]; h q[5]; h q[6]; h q[7];
+cz q[0],q[7];
+cz q[1],q[6];
+cz q[2],q[5];
+cz q[3],q[4];
+ccx q[0],q[4],q[2];
+cu1(pi/2) q[5],q[3];
+h q[0]; h q[2]; h q[4]; h q[6];
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = qasm::from_qasm(INPUT)?;
+    println!(
+        "imported {} ops on {} qubits; native after decomposition: {} ops\n",
+        circuit.len(),
+        circuit.num_qubits(),
+        decompose_to_native(&circuit).len()
+    );
+
+    let params = HardwareParams::mixed()
+        .to_builder()
+        .lattice(4, 3.0)
+        .num_atoms(12)
+        .build()?;
+
+    println!("initial atom array (identity layout, digits = qubits, o = spare):");
+    let state = MappingState::identity(&params, circuit.num_qubits())?;
+    println!("{}", render_state(&state, false));
+
+    println!(
+        "{:<16} {:>8} {:>8} {:>10}",
+        "layout", "swaps", "moves", "δF"
+    );
+    let scheduler = Scheduler::new(params.clone());
+    for (name, layout) in [
+        ("identity", InitialLayout::Identity),
+        ("center-compact", InitialLayout::CenterCompact),
+        ("random(3)", InitialLayout::Random(3)),
+    ] {
+        let config = MapperConfig::hybrid(1.0).with_initial_layout(layout);
+        let mapper = HybridMapper::new(params.clone(), config)?;
+        let outcome = mapper.map(&circuit)?;
+
+        // Physics replay + full unitary equivalence (12 atoms -> exact).
+        verify_mapping(&circuit, &outcome.mapped, &params)?;
+        verify_unitary_equivalence(&circuit, &outcome.mapped, &params)?;
+
+        let report = scheduler.compare(&circuit, &outcome.mapped);
+        println!(
+            "{:<16} {:>8} {:>8} {:>10.4}",
+            name,
+            outcome.mapped.swap_count(),
+            outcome.mapped.shuttle_count(),
+            report.delta_f
+        );
+    }
+
+    println!("\nexported back to QASM:");
+    let text = qasm::to_qasm(&circuit);
+    for line in text.lines().take(6) {
+        println!("  {line}");
+    }
+    println!("  ...");
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Hybrid gate/shuttling circuit mapping for neutral-atom quantum
+//! computers — a Rust reproduction of Schmid et al., DAC 2024
+//! (arXiv:2311.14164).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`arch`] — hardware model: lattice, interaction geometry, AOD
+//!   shuttling constraints, Table 1c parameter presets,
+//! * [`circuit`] — circuit IR, commutation-aware DAG, benchmark
+//!   generators, native-gate decomposition,
+//! * [`mapper`] — the hybrid mapper (the paper's contribution),
+//! * [`schedule`] — ASAP scheduler with restriction constraints, AOD
+//!   batching, and the Eq. (1) fidelity metrics.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hybrid_na::prelude::*;
+//!
+//! // Mixed hardware (Table 1c) scaled down to a 6x6 lattice.
+//! let params = HardwareParams::mixed()
+//!     .to_builder()
+//!     .lattice(6, 3.0)
+//!     .num_atoms(30)
+//!     .build()?;
+//!
+//! // A 24-qubit QFT, mapped in hybrid mode.
+//! let circuit = Qft::new(24).build();
+//! let mapper = HybridMapper::new(params.clone(), MapperConfig::hybrid(1.0))?;
+//! let outcome = mapper.map(&circuit)?;
+//!
+//! // Schedule both versions and read off the Table 1a quantities.
+//! let report = Scheduler::new(params).compare(&circuit, &outcome.mapped);
+//! println!(
+//!     "ΔCZ = {}, ΔT = {:.1} µs, δF = {:.3}",
+//!     report.delta_cz, report.delta_t_us, report.delta_f
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use na_arch as arch;
+pub use na_circuit as circuit;
+pub use na_mapper as mapper;
+pub use na_schedule as schedule;
+
+/// Convenient single-import surface for applications.
+pub mod prelude {
+    pub use na_arch::{HardwareParams, Lattice, Move, Neighborhood, Site};
+    pub use na_circuit::generators::{
+        cuccaro_adder, ghz, GraphState, Qaoa, Qft, Qpe, RandomCircuit, Reversible,
+    };
+    pub use na_circuit::sim::Statevector;
+    pub use na_circuit::{decompose_to_native, qasm, Circuit, GateKind, Operation, Qubit};
+    pub use na_mapper::{
+        verify_mapping, HybridMapper, InitialLayout, MapError, MappedCircuit, MappedOp,
+        MapperConfig, MappingOutcome,
+    };
+    pub use na_schedule::{ComparisonReport, Schedule, ScheduleMetrics, Scheduler};
+}

@@ -1,0 +1,174 @@
+//! End-to-end integration tests: circuit generation → hybrid mapping →
+//! verification → scheduling → metrics, across hardware presets and
+//! compiler modes.
+
+use hybrid_na::prelude::*;
+
+fn scaled(preset: HardwareParams, side: u32, atoms: u32) -> HardwareParams {
+    preset
+        .to_builder()
+        .lattice(side, 3.0)
+        .num_atoms(atoms)
+        .build()
+        .expect("valid preset")
+}
+
+fn all_modes() -> Vec<(&'static str, MapperConfig)> {
+    vec![
+        ("shuttle-only", MapperConfig::shuttle_only()),
+        ("gate-only", MapperConfig::gate_only()),
+        ("hybrid", MapperConfig::hybrid(1.0)),
+    ]
+}
+
+fn suite() -> Vec<(&'static str, Circuit)> {
+    vec![
+        ("graph", GraphState::new(30).edges(36).seed(7).build()),
+        ("qft", Qft::new(24).build()),
+        ("qpe", Qpe::new(20).build()),
+        (
+            "reversible",
+            Reversible::new(20).counts(&[(2, 20), (3, 15), (4, 5)]).seed(3).build(),
+        ),
+        (
+            "random",
+            RandomCircuit::new(25)
+                .layers(8)
+                .multi_qubit_fraction(0.25)
+                .seed(99)
+                .build(),
+        ),
+    ]
+}
+
+#[test]
+fn every_mode_maps_and_verifies_every_benchmark() {
+    for preset in HardwareParams::table1_presets() {
+        let params = scaled(preset, 7, 35);
+        let scheduler = Scheduler::new(params.clone());
+        for (mode, config) in all_modes() {
+            for (name, circuit) in suite() {
+                let mapper =
+                    HybridMapper::new(params.clone(), config.clone()).expect("valid params");
+                let outcome = mapper
+                    .map(&circuit)
+                    .unwrap_or_else(|e| panic!("{}/{mode}/{name}: {e}", params.name));
+                verify_mapping(&circuit, &outcome.mapped, &params)
+                    .unwrap_or_else(|e| panic!("{}/{mode}/{name}: {e}", params.name));
+                let report = scheduler.compare(&circuit, &outcome.mapped);
+                // Tiny negative slack: mapped emission order and the
+                // baseline's topological order may pack marginally
+                // differently.
+                assert!(
+                    report.delta_t_us >= -1.0,
+                    "{}/{mode}/{name}: mapped circuit faster than original?",
+                    params.name
+                );
+                assert!(
+                    report.delta_f >= -0.01,
+                    "{}/{mode}/{name}: mapping gained fidelity?",
+                    params.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shuttle_only_never_adds_cz() {
+    let params = scaled(HardwareParams::shuttling(), 7, 35);
+    let scheduler = Scheduler::new(params.clone());
+    for (name, circuit) in suite() {
+        let mapper = HybridMapper::new(params.clone(), MapperConfig::shuttle_only()).unwrap();
+        let outcome = mapper.map(&circuit).unwrap();
+        let report = scheduler.compare(&circuit, &outcome.mapped);
+        assert_eq!(report.delta_cz, 0, "{name}: shuttle-only must keep ΔCZ = 0");
+        assert_eq!(outcome.mapped.swap_count(), 0);
+    }
+}
+
+#[test]
+fn gate_only_never_moves_atoms() {
+    let params = scaled(HardwareParams::gate_based(), 7, 35);
+    for (name, circuit) in suite() {
+        let mapper = HybridMapper::new(params.clone(), MapperConfig::gate_only()).unwrap();
+        let outcome = mapper.map(&circuit).unwrap();
+        assert_eq!(
+            outcome.mapped.shuttle_count(),
+            0,
+            "{name}: gate-only must not shuttle"
+        );
+    }
+}
+
+#[test]
+fn hybrid_tracks_the_better_pure_mode_on_biased_hardware() {
+    // On strongly biased hardware the hybrid mapper must identify the
+    // preferred capability (paper §4.2, rows (1) and (2)).
+    for (preset, best_mode) in [
+        (HardwareParams::shuttling(), "shuttle-only"),
+        (HardwareParams::gate_based(), "gate-only"),
+    ] {
+        let params = scaled(preset, 7, 35);
+        let scheduler = Scheduler::new(params.clone());
+        let circuit = Qft::new(24).build();
+        let mut results = std::collections::HashMap::new();
+        for (mode, config) in all_modes() {
+            let mapper = HybridMapper::new(params.clone(), config).unwrap();
+            let outcome = mapper.map(&circuit).unwrap();
+            let report = scheduler.compare(&circuit, &outcome.mapped);
+            results.insert(mode, report.delta_f);
+        }
+        let hybrid = results["hybrid"];
+        let best_pure = results[best_mode];
+        assert!(
+            hybrid <= best_pure * 1.2 + 1e-9,
+            "{}: hybrid δF {hybrid} should track {best_mode} δF {best_pure}",
+            params.name
+        );
+    }
+}
+
+#[test]
+fn decomposed_gates_preserve_counts_through_pipeline() {
+    let params = scaled(HardwareParams::mixed(), 7, 30);
+    let circuit = Reversible::new(24)
+        .counts(&[(2, 12), (3, 18), (4, 4)])
+        .seed(5)
+        .build();
+    let native = decompose_to_native(&circuit);
+    let mapper = HybridMapper::new(params.clone(), MapperConfig::hybrid(1.0)).unwrap();
+    let outcome = mapper.map(&circuit).unwrap();
+    assert_eq!(outcome.mapped.gate_count(), native.len());
+
+    // ΔCZ reported by the scheduler equals 3x the inserted SWAP count.
+    let scheduler = Scheduler::new(params);
+    let report = scheduler.compare(&circuit, &outcome.mapped);
+    assert_eq!(report.delta_cz as usize, 3 * outcome.mapped.swap_count());
+}
+
+#[test]
+fn runtime_is_reported() {
+    let params = scaled(HardwareParams::mixed(), 6, 20);
+    let mapper = HybridMapper::new(params, MapperConfig::hybrid(1.0)).unwrap();
+    let outcome = mapper.map(&Qft::new(16).build()).unwrap();
+    assert!(outcome.runtime.as_nanos() > 0);
+}
+
+#[test]
+fn facade_prelude_covers_whole_pipeline() {
+    // Compile-time check that the prelude exposes everything a user needs.
+    let params = HardwareParams::default()
+        .to_builder()
+        .lattice(5, 3.0)
+        .num_atoms(12)
+        .build()
+        .unwrap();
+    let circuit = GraphState::new(10).edges(12).seed(0).build();
+    let outcome = HybridMapper::new(params.clone(), MapperConfig::default())
+        .unwrap()
+        .map(&circuit)
+        .unwrap();
+    verify_mapping(&circuit, &outcome.mapped, &params).unwrap();
+    let _report: ComparisonReport = Scheduler::new(params).compare(&circuit, &outcome.mapped);
+}

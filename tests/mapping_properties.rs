@@ -1,0 +1,89 @@
+//! Property-based integration tests: random circuits and random hardware
+//! shapes must always produce verifiable mappings.
+
+use hybrid_na::prelude::*;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = MapperConfig> {
+    prop_oneof![
+        Just(MapperConfig::shuttle_only()),
+        Just(MapperConfig::gate_only()),
+        (0.1f64..10.0).prop_map(MapperConfig::hybrid),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random circuit on any mode maps to a stream that replays
+    /// cleanly against the physics model.
+    #[test]
+    fn random_circuits_always_verify(
+        seed in 0u64..1000,
+        layers in 1usize..8,
+        config in arb_config(),
+    ) {
+        let params = HardwareParams::mixed()
+            .to_builder()
+            .lattice(6, 3.0)
+            .num_atoms(24)
+            .build()
+            .expect("valid");
+        let circuit = RandomCircuit::new(18)
+            .layers(layers)
+            .multi_qubit_fraction(0.2)
+            .seed(seed)
+            .build();
+        let mapper = HybridMapper::new(params.clone(), config).expect("valid");
+        let outcome = mapper.map(&circuit).expect("mappable");
+        verify_mapping(&circuit, &outcome.mapped, &params).expect("verified");
+    }
+
+    /// The scheduler never reorders atom usage: makespan bounds every
+    /// item and idle time is non-negative.
+    #[test]
+    fn schedule_invariants_hold(seed in 0u64..1000) {
+        let params = HardwareParams::shuttling()
+            .to_builder()
+            .lattice(6, 3.0)
+            .num_atoms(24)
+            .build()
+            .expect("valid");
+        let circuit = RandomCircuit::new(18).layers(5).seed(seed).build();
+        let mapper = HybridMapper::new(params.clone(), MapperConfig::hybrid(1.0))
+            .expect("valid");
+        let outcome = mapper.map(&circuit).expect("mappable");
+        let schedule = Scheduler::new(params.clone()).schedule_mapped(&outcome.mapped);
+        for item in &schedule.items {
+            prop_assert!(item.start_us() >= 0.0);
+            prop_assert!(item.end_us() <= schedule.makespan_us + 1e-9);
+        }
+        let metrics = ScheduleMetrics::of(&schedule, &params);
+        prop_assert!(metrics.idle_us >= 0.0);
+        prop_assert!(metrics.log10_success <= 0.0);
+    }
+
+    /// Radius monotonicity: a larger interaction radius never increases
+    /// the number of SWAPs needed by the gate-only router.
+    #[test]
+    fn larger_radius_routes_with_fewer_swaps(seed in 0u64..200) {
+        let circuit = GraphState::new(16).edges(24).seed(seed).build();
+        let mut last = usize::MAX;
+        for r in [2.0, 3.0, 4.5] {
+            let params = HardwareParams::gate_based()
+                .to_builder()
+                .lattice(6, 3.0)
+                .num_atoms(20)
+                .radius(r)
+                .build()
+                .expect("valid");
+            let mapper = HybridMapper::new(params, MapperConfig::gate_only())
+                .expect("valid");
+            let swaps = mapper.map(&circuit).expect("mappable").mapped.swap_count();
+            // Heuristic, so allow slack; the trend must be clear.
+            prop_assert!(swaps <= last.saturating_add(2),
+                "r={r}: {swaps} swaps, previous {last}");
+            last = swaps;
+        }
+    }
+}
