@@ -167,7 +167,9 @@ impl MoveBatch {
     /// Returns `true` if `m` is compatible with every move already in the
     /// batch.
     pub fn accepts(&self, m: &Move) -> bool {
-        self.moves.iter().all(|existing| moves_fully_parallel(existing, m))
+        self.moves
+            .iter()
+            .all(|existing| moves_fully_parallel(existing, m))
     }
 
     /// Adds `m` if compatible with the whole batch; returns whether the

@@ -52,10 +52,7 @@ impl Lattice {
     /// Returns `true` if `site` lies within the lattice bounds.
     #[inline]
     pub fn contains(&self, site: Site) -> bool {
-        site.x >= 0
-            && site.y >= 0
-            && (site.x as u32) < self.side
-            && (site.y as u32) < self.side
+        site.x >= 0 && site.y >= 0 && (site.x as u32) < self.side && (site.y as u32) < self.side
     }
 
     /// Validates that `site` is in bounds.

@@ -415,15 +415,24 @@ mod tests {
     #[test]
     fn presets_match_table1c() {
         let s = HardwareParams::shuttling();
-        assert_eq!((s.r_int, s.f_cz, s.f_single, s.f_shuttle), (2.0, 0.994, 0.995, 1.0));
+        assert_eq!(
+            (s.r_int, s.f_cz, s.f_single, s.f_shuttle),
+            (2.0, 0.994, 0.995, 1.0)
+        );
         assert_eq!((s.shuttle_speed_um_per_us, s.t_act_us), (0.55, 20.0));
 
         let g = HardwareParams::gate_based();
-        assert_eq!((g.r_int, g.f_cz, g.f_single, g.f_shuttle), (4.5, 0.9995, 0.9999, 0.999));
+        assert_eq!(
+            (g.r_int, g.f_cz, g.f_single, g.f_shuttle),
+            (4.5, 0.9995, 0.9999, 0.999)
+        );
         assert_eq!((g.shuttle_speed_um_per_us, g.t_act_us), (0.2, 50.0));
 
         let m = HardwareParams::mixed();
-        assert_eq!((m.r_int, m.f_cz, m.f_single, m.f_shuttle), (2.5, 0.995, 0.999, 0.9999));
+        assert_eq!(
+            (m.r_int, m.f_cz, m.f_single, m.f_shuttle),
+            (2.5, 0.995, 0.999, 0.9999)
+        );
         assert_eq!((m.shuttle_speed_um_per_us, m.t_act_us), (0.3, 40.0));
 
         for p in [&s, &g, &m] {
@@ -474,8 +483,16 @@ mod tests {
 
     #[test]
     fn builder_rejects_bad_values() {
-        assert!(HardwareParams::mixed().to_builder().f_cz(1.2).build().is_err());
-        assert!(HardwareParams::mixed().to_builder().radius(-1.0).build().is_err());
+        assert!(HardwareParams::mixed()
+            .to_builder()
+            .f_cz(1.2)
+            .build()
+            .is_err());
+        assert!(HardwareParams::mixed()
+            .to_builder()
+            .radius(-1.0)
+            .build()
+            .is_err());
         assert!(HardwareParams::mixed()
             .to_builder()
             .r_int(3.0)

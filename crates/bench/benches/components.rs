@@ -6,10 +6,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use na_arch::{HardwareParams, Neighborhood, Site};
 use na_circuit::generators::Qft;
 use na_circuit::{CircuitDag, Qubit};
-use na_mapper::connectivity::bfs_occupied;
-use na_mapper::gate_router::{GateRouter, RoutedGate};
-use na_mapper::shuttle_router::{ShuttleGate, ShuttleRouter};
-use na_mapper::{MapperConfig, MappingState};
+use na_mapper::decision::Capability;
+use na_mapper::route::distance::bfs_occupied;
+use na_mapper::route::gate::RoutedGate;
+use na_mapper::{
+    DistanceCache, FrontierGate, GateRouter, MapperConfig, MappingState, RoutingContext,
+    ShuttleRouter,
+};
 
 fn paper_state() -> (HardwareParams, MappingState) {
     let params = HardwareParams::mixed();
@@ -27,6 +30,9 @@ fn bench_bfs(c: &mut Criterion) {
 
 fn bench_best_swap(c: &mut Criterion) {
     let (params, state) = paper_state();
+    let hood = Neighborhood::new(params.r_int);
+    let cache = DistanceCache::new();
+    let ctx = RoutingContext::new(&state, &hood, params.r_int, &cache);
     let router = GateRouter::new(&params, &MapperConfig::gate_only());
     // A frontier of 8 distant 2-qubit gates.
     let front: Vec<RoutedGate> = (0..8)
@@ -37,30 +43,38 @@ fn bench_best_swap(c: &mut Criterion) {
         })
         .collect();
     c.bench_function("best_swap_front8", |b| {
-        b.iter(|| router.best_swap(&state, &front, &[]))
+        b.iter(|| router.best_swap(&ctx, &front, &[]))
     });
 }
 
 fn bench_find_position(c: &mut Criterion) {
     let (params, state) = paper_state();
+    let hood = Neighborhood::new(params.r_int);
+    let cache = DistanceCache::new();
+    let ctx = RoutingContext::new(&state, &hood, params.r_int, &cache);
     let router = GateRouter::new(&params, &MapperConfig::gate_only());
     let qubits = [Qubit(0), Qubit(100), Qubit(199)];
     c.bench_function("find_position_c2z", |b| {
-        b.iter(|| router.find_position(&state, &qubits))
+        b.iter(|| router.find_position(&ctx, &qubits))
     });
 }
 
 fn bench_move_chains(c: &mut Criterion) {
     let (params, state) = paper_state();
+    let hood = Neighborhood::new(params.r_int);
+    let cache = DistanceCache::new();
+    let ctx = RoutingContext::new(&state, &hood, params.r_int, &cache);
     let router = ShuttleRouter::new(&params, &MapperConfig::shuttle_only());
-    let front: Vec<ShuttleGate> = (0..8)
-        .map(|i| ShuttleGate {
+    let front: Vec<FrontierGate> = (0..8)
+        .map(|i| FrontierGate {
             op_index: i,
             qubits: vec![Qubit(i as u32), Qubit(199 - i as u32)],
+            capability: Capability::Shuttling,
         })
         .collect();
+    let front_refs: Vec<&FrontierGate> = front.iter().collect();
     c.bench_function("best_chain_front8", |b| {
-        b.iter(|| router.best_chain(&state, &front, &[]))
+        b.iter(|| router.best_chains(&ctx, &front_refs, &[]))
     });
 }
 

@@ -16,7 +16,10 @@ fn bench_suite() -> Vec<(&'static str, Circuit)> {
         (
             "bn-24",
             decompose_to_native(
-                &Reversible::new(24).counts(&[(2, 33), (3, 22)]).seed(11).build(),
+                &Reversible::new(24)
+                    .counts(&[(2, 33), (3, 22)])
+                    .seed(11)
+                    .build(),
             ),
         ),
     ]
@@ -33,11 +36,9 @@ fn bench_mapping_modes(c: &mut Criterion) {
             ("hybrid", MapperConfig::hybrid(1.0)),
         ] {
             let mapper = HybridMapper::new(params.clone(), config).expect("valid");
-            group.bench_with_input(
-                BenchmarkId::new(mode, name),
-                &circuit,
-                |b, circuit| b.iter(|| mapper.map(circuit).expect("mappable")),
-            );
+            group.bench_with_input(BenchmarkId::new(mode, name), &circuit, |b, circuit| {
+                b.iter(|| mapper.map(circuit).expect("mappable"))
+            });
         }
     }
     group.finish();
@@ -50,8 +51,7 @@ fn bench_hardware_presets(c: &mut Criterion) {
     for preset in HardwareParams::table1_presets() {
         let name = preset.name.clone();
         let params = scaled_preset(preset, 0.35);
-        let mapper =
-            HybridMapper::new(params, MapperConfig::hybrid(1.0)).expect("valid");
+        let mapper = HybridMapper::new(params, MapperConfig::hybrid(1.0)).expect("valid");
         group.bench_function(BenchmarkId::new("hybrid", name), |b| {
             b.iter(|| mapper.map(&circuit).expect("mappable"))
         });

@@ -1,0 +1,161 @@
+//! Routing-engine benchmarks: cold vs. cached `RoutingContext` distance
+//! queries, and end-to-end `HybridMapper::map` on QFT-24/QAOA-24 over a
+//! 6×6 lattice.
+//!
+//! Besides the criterion output, this bench writes a machine-readable
+//! baseline to `BENCH_routing.json` at the workspace root so future PRs
+//! can compare against it.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use na_arch::{HardwareParams, Neighborhood};
+use na_circuit::generators::{Qaoa, Qft};
+use na_circuit::Circuit;
+use na_mapper::{DistanceCache, HybridMapper, MapperConfig, MappingState, RoutingContext};
+
+/// 6×6-lattice scaled mixed hardware, 30 atoms (QFT-24 fits).
+fn small_mixed() -> HardwareParams {
+    HardwareParams::mixed()
+        .to_builder()
+        .lattice(6, 3.0)
+        .num_atoms(30)
+        .build()
+        .expect("valid")
+}
+
+fn qft24() -> Circuit {
+    Qft::new(24).build()
+}
+
+fn qaoa24() -> Circuit {
+    Qaoa::new(24).edges(30).layers(2).seed(5).build()
+}
+
+/// One pass of distance queries from every occupied site through
+/// `cache` — the identical workload for the cold and cached variants.
+fn query_pass(state: &MappingState, hood: &Neighborhood, r_int: f64, cache: &DistanceCache) -> u64 {
+    let ctx = RoutingContext::new(state, hood, r_int, cache);
+    let mut acc = 0u64;
+    for site in state.lattice().iter().filter(|s| !state.is_free(*s)) {
+        acc += u64::from(ctx.distances_from(site)[0]);
+    }
+    acc
+}
+
+/// One pass with a fresh cache per query = the old per-call BFS
+/// recomputation.
+fn query_cold(state: &MappingState, hood: &Neighborhood, r_int: f64) -> u64 {
+    let mut acc = 0u64;
+    for site in state.lattice().iter().filter(|s| !state.is_free(*s)) {
+        let cache = DistanceCache::new();
+        let ctx = RoutingContext::new(state, hood, r_int, &cache);
+        acc += u64::from(ctx.distances_from(site)[0]);
+    }
+    acc
+}
+
+/// The same pass through a pre-warmed shared cache — the steady state
+/// of consecutive SWAP rounds, which never invalidate.
+fn query_cached(
+    state: &MappingState,
+    hood: &Neighborhood,
+    r_int: f64,
+    warm: &DistanceCache,
+) -> u64 {
+    query_pass(state, hood, r_int, warm)
+}
+
+fn bench_distance_cache(c: &mut Criterion) {
+    let params = small_mixed();
+    let state = MappingState::identity(&params, 24).expect("fits");
+    let hood = Neighborhood::new(params.r_int);
+    let warm = DistanceCache::new();
+    query_pass(&state, &hood, params.r_int, &warm); // fill the cache
+    let mut group = c.benchmark_group("distance_queries");
+    group.bench_function("cold", |b| {
+        b.iter(|| query_cold(&state, &hood, params.r_int))
+    });
+    group.bench_function("cached", |b| {
+        b.iter(|| query_cached(&state, &hood, params.r_int, &warm))
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let params = small_mixed();
+    let mut group = c.benchmark_group("map_engine");
+    group.sample_size(10);
+    for (name, circuit) in [("qft-24", qft24()), ("qaoa-24", qaoa24())] {
+        for (mode, config) in [
+            ("hybrid", MapperConfig::hybrid(1.0)),
+            ("gate", MapperConfig::gate_only()),
+            ("shuttle", MapperConfig::shuttle_only()),
+        ] {
+            let mapper = HybridMapper::new(params.clone(), config).expect("valid");
+            group.bench_function(format!("{mode}/{name}"), |b| {
+                b.iter(|| mapper.map(&circuit).expect("mappable"))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Mean wall-clock seconds of `f` over `n` runs (after one warm-up).
+fn mean_secs<T>(n: u32, mut f: impl FnMut() -> T) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    start.elapsed().as_secs_f64() / f64::from(n)
+}
+
+/// Writes the machine-readable baseline consumed by future PRs.
+fn write_baseline() {
+    let params = small_mixed();
+    let state = MappingState::identity(&params, 24).expect("fits");
+    let hood = Neighborhood::new(params.r_int);
+
+    let cold = mean_secs(20, || query_cold(&state, &hood, params.r_int));
+    let warm = DistanceCache::new();
+    query_pass(&state, &hood, params.r_int, &warm);
+    let cached = mean_secs(20, || query_cached(&state, &hood, params.r_int, &warm));
+
+    let hybrid = HybridMapper::new(params.clone(), MapperConfig::hybrid(1.0)).expect("valid");
+    let map_qft = mean_secs(10, || hybrid.map(&qft24()).expect("mappable"));
+    let map_qaoa = mean_secs(10, || hybrid.map(&qaoa24()).expect("mappable"));
+
+    let json = format!(
+        "{{\n  \"bench\": \"routing\",\n  \"lattice\": \"6x6\",\n  \
+         \"distance_query_cold_us\": {:.3},\n  \
+         \"distance_query_cached_us\": {:.3},\n  \
+         \"cache_speedup\": {:.2},\n  \
+         \"map_hybrid_qft24_ms\": {:.3},\n  \
+         \"map_hybrid_qaoa24_ms\": {:.3}\n}}\n",
+        cold * 1e6,
+        cached * 1e6,
+        cold / cached,
+        map_qft * 1e3,
+        map_qaoa * 1e3,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_routing.json");
+    std::fs::write(path, &json).expect("write BENCH_routing.json");
+    println!("wrote {path}:\n{json}");
+    assert!(
+        cold > cached,
+        "cached distance queries must beat per-call BFS (cold {cold:.2e}s vs cached {cached:.2e}s)"
+    );
+}
+
+fn bench_baseline(_c: &mut Criterion) {
+    write_baseline();
+}
+
+criterion_group!(
+    benches,
+    bench_distance_cache,
+    bench_end_to_end,
+    bench_baseline
+);
+criterion_main!(benches);

@@ -41,9 +41,7 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!(
-                    "usage: ablation [lambda|lookahead|alpha|timeweight|layout] [--scale X]"
-                );
+                eprintln!("usage: ablation [lambda|lookahead|alpha|timeweight|layout] [--scale X]");
                 std::process::exit(2);
             }
         }
@@ -80,7 +78,10 @@ fn ablate_layout(scale: f64) {
         ("qft", Qft::new(n).build()),
         (
             "graph",
-            GraphState::new(n).edges((n as usize * 215) / 200).seed(7).build(),
+            GraphState::new(n)
+                .edges((n as usize * 215) / 200)
+                .seed(7)
+                .build(),
         ),
     ];
     for (lname, layout) in [
@@ -168,7 +169,10 @@ fn ablate_alpha(scale: f64) {
         ("qft", Qft::new(n).build()),
         (
             "graph",
-            GraphState::new(n).edges((n as usize * 215) / 200).seed(7).build(),
+            GraphState::new(n)
+                .edges((n as usize * 215) / 200)
+                .seed(7)
+                .build(),
         ),
         (
             "bn",

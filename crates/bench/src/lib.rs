@@ -93,8 +93,7 @@ pub fn scaled_preset(preset: HardwareParams, scale: f64) -> HardwareParams {
     }
     let side = ((f64::from(preset.lattice_side) * scale.sqrt()).round() as u32).max(4);
     let max_atoms = side * side - 1;
-    let atoms = ((f64::from(preset.num_atoms) * scale).round() as u32)
-        .clamp(4, max_atoms);
+    let atoms = ((f64::from(preset.num_atoms) * scale).round() as u32).clamp(4, max_atoms);
     preset
         .to_builder()
         .lattice(side, 3.0)

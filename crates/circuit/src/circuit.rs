@@ -326,7 +326,12 @@ mod tests {
     #[test]
     fn stats_match_gate_mix() {
         let mut c = Circuit::new(5);
-        c.h(0).h(1).cz(0, 1).cp(0.3, 1, 2).ccz(0, 1, 2).mcz(&[0, 1, 2, 3]);
+        c.h(0)
+            .h(1)
+            .cz(0, 1)
+            .cp(0.3, 1, 2)
+            .ccz(0, 1, 2)
+            .mcz(&[0, 1, 2, 3]);
         let s = c.stats();
         assert_eq!(s.single_qubit, 2);
         assert_eq!(s.cz_family_count(2), 2); // cz + cp

@@ -60,9 +60,7 @@ impl CircuitDag {
         for (i, op) in ops.iter().enumerate() {
             for q in op.qubits() {
                 let qi = q.index();
-                let commutes_with_group = cur_group[qi]
-                    .iter()
-                    .all(|&j| ops[j].commutes_with(op));
+                let commutes_with_group = cur_group[qi].iter().all(|&j| ops[j].commutes_with(op));
                 if commutes_with_group {
                     for &j in &prev_group[qi] {
                         preds[i].push(j);

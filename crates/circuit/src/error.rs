@@ -34,12 +34,19 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {num_qubits}-qubit circuit"
+                )
             }
             CircuitError::DuplicateQubit { qubit } => {
                 write!(f, "qubit {qubit} listed more than once in one gate")
             }
-            CircuitError::ArityMismatch { gate, expected, got } => {
+            CircuitError::ArityMismatch {
+                gate,
+                expected,
+                got,
+            } => {
                 write!(f, "gate {gate} expects {expected} qubits, got {got}")
             }
         }
@@ -54,10 +61,17 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = CircuitError::QubitOutOfRange { qubit: 9, num_qubits: 4 };
+        let e = CircuitError::QubitOutOfRange {
+            qubit: 9,
+            num_qubits: 4,
+        };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('4'));
-        let e = CircuitError::ArityMismatch { gate: "cz", expected: 2, got: 3 };
+        let e = CircuitError::ArityMismatch {
+            gate: "cz",
+            expected: 2,
+            got: 3,
+        };
         assert!(e.to_string().contains("cz"));
     }
 

@@ -18,9 +18,7 @@ use crate::error::CircuitError;
 /// Circuit qubits `q_i` are distinct from hardware atoms and from trap
 /// coordinates; the mapper maintains the assignments between the three
 /// (paper §2.2).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Qubit(pub u32);
 
 impl Qubit {
@@ -252,10 +250,7 @@ impl Operation {
         if self.kind.is_diagonal() && other.kind.is_diagonal() {
             return true;
         }
-        self.arity() == 1
-            && other.arity() == 1
-            && self.kind.is_x_axis()
-            && other.kind.is_x_axis()
+        self.arity() == 1 && other.arity() == 1 && self.kind.is_x_axis() && other.kind.is_x_axis()
     }
 
     /// Execution time on the given hardware, in µs.
@@ -265,9 +260,7 @@ impl Operation {
     /// their native decomposition (critical path).
     pub fn duration_us(&self, params: &HardwareParams) -> f64 {
         match self.kind {
-            GateKind::Mcx => {
-                2.0 * params.t_single_us + params.cz_family_time_us(self.arity())
-            }
+            GateKind::Mcx => 2.0 * params.t_single_us + params.cz_family_time_us(self.arity()),
             GateKind::Swap => params.swap_time_us(),
             _ if self.kind.is_cz_family() => params.cz_family_time_us(self.arity()),
             _ => params.t_single_us,
@@ -280,9 +273,7 @@ impl Operation {
     /// decomposition.
     pub fn fidelity(&self, params: &HardwareParams) -> f64 {
         match self.kind {
-            GateKind::Mcx => {
-                params.f_single.powi(2) * params.cz_family_fidelity(self.arity())
-            }
+            GateKind::Mcx => params.f_single.powi(2) * params.cz_family_fidelity(self.arity()),
             GateKind::Swap => params.swap_fidelity(),
             _ if self.kind.is_cz_family() => params.cz_family_fidelity(self.arity()),
             _ => params.f_single,

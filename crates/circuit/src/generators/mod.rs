@@ -64,7 +64,10 @@ pub fn table1b_suite(scale: f64) -> Vec<(&'static str, Circuit)> {
         .counts(&[(3, c(192)), (4, c(56))])
         .seed(13)
         .build();
-    let gray = Reversible::new(n(33)).counts(&[(3, c(62))]).seed(17).build();
+    let gray = Reversible::new(n(33))
+        .counts(&[(3, c(62))])
+        .seed(17)
+        .build();
 
     vec![
         ("graph", decompose_to_native(&graph)),
@@ -95,10 +98,8 @@ mod tests {
     #[test]
     fn full_scale_matches_table1b_profiles() {
         let suite = table1b_suite(1.0);
-        let by_name: std::collections::HashMap<_, _> = suite
-            .iter()
-            .map(|(n, c)| (*n, c.stats()))
-            .collect();
+        let by_name: std::collections::HashMap<_, _> =
+            suite.iter().map(|(n, c)| (*n, c.stats())).collect();
         assert_eq!(by_name["graph"].num_qubits, 200);
         assert_eq!(by_name["graph"].cz_family_count(2), 215);
         // Approximate QFT/QPE match the paper's ~10k entangling gates

@@ -140,10 +140,7 @@ mod tests {
     fn all_cp_gates_commute_pairwise() {
         // Structural property behind the DAG's wide QFT frontier.
         let c = Qft::new(5).build();
-        let cps: Vec<_> = c
-            .iter()
-            .filter(|op| op.kind().is_cz_family())
-            .collect();
+        let cps: Vec<_> = c.iter().filter(|op| op.kind().is_cz_family()).collect();
         for a in &cps {
             for b in &cps {
                 assert!(a.commutes_with(b));

@@ -114,7 +114,7 @@ impl Reversible {
             if rng.random_range(0..100) < 15 {
                 center = rng.random_range(0..n);
             } else {
-                let drift = rng.random_range(0..=2);
+                let drift: u32 = rng.random_range(0..=2);
                 center = (center + drift).min(n - 1);
             }
             let lo = center.saturating_sub(w / 2);

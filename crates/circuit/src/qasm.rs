@@ -332,8 +332,12 @@ mod tests {
         let c = from_qasm(text).expect("parses");
         assert_eq!(c.num_qubits(), 3);
         assert_eq!(c.len(), 5); // barrier and measure skipped
-        assert!(matches!(c.ops()[2].kind(), GateKind::Cp(t) if (t - std::f64::consts::FRAC_PI_2).abs() < 1e-12));
-        assert!(matches!(c.ops()[3].kind(), GateKind::Rz(t) if (t + std::f64::consts::FRAC_PI_4).abs() < 1e-12));
+        assert!(
+            matches!(c.ops()[2].kind(), GateKind::Cp(t) if (t - std::f64::consts::FRAC_PI_2).abs() < 1e-12)
+        );
+        assert!(
+            matches!(c.ops()[3].kind(), GateKind::Rz(t) if (t + std::f64::consts::FRAC_PI_4).abs() < 1e-12)
+        );
     }
 
     #[test]
@@ -364,7 +368,10 @@ mod tests {
     #[test]
     fn error_on_out_of_range_operand() {
         let text = "qreg q[2];\ncz q[0],q[5];";
-        assert!(matches!(from_qasm(text), Err(QasmError::Syntax { line: 2, .. })));
+        assert!(matches!(
+            from_qasm(text),
+            Err(QasmError::Syntax { line: 2, .. })
+        ));
     }
 
     #[test]

@@ -160,54 +160,69 @@ impl Statevector {
         match *op.kind() {
             GateKind::H => {
                 let s = std::f64::consts::FRAC_1_SQRT_2;
-                self.apply_1q(qs[0], [
-                    [Complex::new(s, 0.0), Complex::new(s, 0.0)],
-                    [Complex::new(s, 0.0), Complex::new(-s, 0.0)],
-                ]);
+                self.apply_1q(
+                    qs[0],
+                    [
+                        [Complex::new(s, 0.0), Complex::new(s, 0.0)],
+                        [Complex::new(s, 0.0), Complex::new(-s, 0.0)],
+                    ],
+                );
             }
-            GateKind::X => self.apply_1q(qs[0], [
-                [Complex::ZERO, Complex::ONE],
-                [Complex::ONE, Complex::ZERO],
-            ]),
-            GateKind::Y => self.apply_1q(qs[0], [
-                [Complex::ZERO, Complex::new(0.0, -1.0)],
-                [Complex::new(0.0, 1.0), Complex::ZERO],
-            ]),
-            GateKind::Z => self.apply_1q(qs[0], [
-                [Complex::ONE, Complex::ZERO],
-                [Complex::ZERO, Complex::new(-1.0, 0.0)],
-            ]),
+            GateKind::X => self.apply_1q(
+                qs[0],
+                [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]],
+            ),
+            GateKind::Y => self.apply_1q(
+                qs[0],
+                [
+                    [Complex::ZERO, Complex::new(0.0, -1.0)],
+                    [Complex::new(0.0, 1.0), Complex::ZERO],
+                ],
+            ),
+            GateKind::Z => self.apply_1q(
+                qs[0],
+                [
+                    [Complex::ONE, Complex::ZERO],
+                    [Complex::ZERO, Complex::new(-1.0, 0.0)],
+                ],
+            ),
             GateKind::Rx(t) => {
                 let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
-                self.apply_1q(qs[0], [
-                    [Complex::new(c, 0.0), Complex::new(0.0, -s)],
-                    [Complex::new(0.0, -s), Complex::new(c, 0.0)],
-                ]);
+                self.apply_1q(
+                    qs[0],
+                    [
+                        [Complex::new(c, 0.0), Complex::new(0.0, -s)],
+                        [Complex::new(0.0, -s), Complex::new(c, 0.0)],
+                    ],
+                );
             }
             GateKind::Ry(t) => {
                 let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
-                self.apply_1q(qs[0], [
-                    [Complex::new(c, 0.0), Complex::new(-s, 0.0)],
-                    [Complex::new(s, 0.0), Complex::new(c, 0.0)],
-                ]);
+                self.apply_1q(
+                    qs[0],
+                    [
+                        [Complex::new(c, 0.0), Complex::new(-s, 0.0)],
+                        [Complex::new(s, 0.0), Complex::new(c, 0.0)],
+                    ],
+                );
             }
             GateKind::Rz(t) => {
                 let m = Complex::from_phase(-t / 2.0);
                 let p = Complex::from_phase(t / 2.0);
-                self.apply_1q(qs[0], [
-                    [m, Complex::ZERO],
-                    [Complex::ZERO, p],
-                ]);
+                self.apply_1q(qs[0], [[m, Complex::ZERO], [Complex::ZERO, p]]);
             }
             GateKind::U3(theta, phi, lam) => {
                 let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
-                self.apply_1q(qs[0], [
-                    [Complex::new(c, 0.0), Complex::from_phase(lam) * (-s)],
+                self.apply_1q(
+                    qs[0],
                     [
-                        Complex::from_phase(phi) * s,
-                        Complex::from_phase(phi + lam) * c,
+                        [Complex::new(c, 0.0), Complex::from_phase(lam) * (-s)],
+                        [
+                            Complex::from_phase(phi) * s,
+                            Complex::from_phase(phi + lam) * c,
+                        ],
                     ],
-                ]);
+                );
             }
             GateKind::Cz | GateKind::Mcz => {
                 self.apply_phase_on_all_ones(&qs, Complex::new(-1.0, 0.0));

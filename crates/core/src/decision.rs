@@ -21,7 +21,8 @@ use na_arch::{HardwareParams, Site};
 use na_circuit::Qubit;
 
 use crate::config::MapperConfig;
-use crate::connectivity::swap_count_estimate;
+use crate::route::distance::swap_count_estimate;
+use crate::route::CostModel;
 use crate::state::MappingState;
 
 /// Which capability routes a gate.
@@ -46,17 +47,11 @@ pub struct DecisionEstimate {
     pub log_p_shuttle: f64,
 }
 
-/// The capability decider (step (2) of the mapping process).
+/// The capability decider (step (2) of the mapping process). All
+/// fidelity/timing terms come from the shared [`CostModel`].
 #[derive(Debug, Clone)]
 pub struct Decider {
-    r_int: f64,
-    ln_f_swap: f64,
-    ln_f_shuttle: f64,
-    t_swap_us: f64,
-    t_act_deact_us: f64,
-    lattice_constant_um: f64,
-    speed_um_per_us: f64,
-    t_eff_us: f64,
+    cost: CostModel,
     alpha_gate: f64,
     alpha_shuttle: f64,
 }
@@ -65,14 +60,7 @@ impl Decider {
     /// Creates a decider for the given hardware and configuration.
     pub fn new(params: &HardwareParams, config: &MapperConfig) -> Self {
         Decider {
-            r_int: params.r_int,
-            ln_f_swap: params.swap_fidelity().ln(),
-            ln_f_shuttle: params.f_shuttle.max(f64::MIN_POSITIVE).ln(),
-            t_swap_us: params.swap_time_us(),
-            t_act_deact_us: params.t_act_us + params.t_deact_us,
-            lattice_constant_um: params.lattice_constant_um,
-            speed_um_per_us: params.shuttle_speed_um_per_us,
-            t_eff_us: params.t_eff_us(),
+            cost: CostModel::new(params, config),
             alpha_gate: config.alpha_gate,
             alpha_shuttle: config.alpha_shuttle,
         }
@@ -87,15 +75,16 @@ impl Decider {
         // gate centroid pair structure. For 2-qubit gates this is the
         // plain pair estimate; for CᵐZ we gather everyone at the qubit
         // minimizing the total.
+        let r_int = self.cost.r_int;
         let n_swaps = if sites.len() == 2 {
-            swap_count_estimate(sites[0], sites[1], self.r_int)
+            swap_count_estimate(sites[0], sites[1], r_int)
         } else {
             sites
                 .iter()
                 .map(|&center| {
                     sites
                         .iter()
-                        .map(|&s| swap_count_estimate(s, center, self.r_int))
+                        .map(|&s| swap_count_estimate(s, center, r_int))
                         .sum::<usize>()
                 })
                 .min()
@@ -111,7 +100,7 @@ impl Decider {
                 let mut count = 0usize;
                 let mut dist = 0.0f64;
                 for &s in &sites {
-                    if s != center && !s.within(center, self.r_int) {
+                    if s != center && !s.within(center, r_int) {
                         count += 1;
                         dist += s.rectilinear_distance(center);
                     }
@@ -125,14 +114,10 @@ impl Decider {
             })
             .unwrap_or((0, 0.0));
 
-        let t_gate_route = n_swaps as f64 * self.t_swap_us;
-        let t_shuttle_route = n_moves as f64 * self.t_act_deact_us
-            + move_dist_units * self.lattice_constant_um / self.speed_um_per_us;
-
-        let log_p_gate =
-            n_swaps as f64 * self.ln_f_swap - t_gate_route * spectators / self.t_eff_us;
-        let log_p_shuttle =
-            n_moves as f64 * self.ln_f_shuttle - t_shuttle_route * spectators / self.t_eff_us;
+        let log_p_gate = self.cost.swap_log_success(n_swaps, spectators);
+        let log_p_shuttle = self
+            .cost
+            .shuttle_log_success(n_moves, move_dist_units, spectators);
 
         DecisionEstimate {
             n_swaps,

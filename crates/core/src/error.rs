@@ -50,7 +50,10 @@ impl fmt::Display for MapError {
                 f,
                 "circuit needs {circuit_qubits} qubits but hardware has {atoms} atoms"
             ),
-            MapError::RoutingStuck { op_index, ops_spent } => write!(
+            MapError::RoutingStuck {
+                op_index,
+                ops_spent,
+            } => write!(
                 f,
                 "routing stuck on operation {op_index} after {ops_spent} routing operations"
             ),

@@ -39,9 +39,7 @@ impl InitialLayout {
             "cannot place {num_atoms} atoms on {total} sites"
         );
         match self {
-            InitialLayout::Identity => {
-                (0..num_atoms as usize).map(|i| lattice.site(i)).collect()
-            }
+            InitialLayout::Identity => (0..num_atoms as usize).map(|i| lattice.site(i)).collect(),
             InitialLayout::CenterCompact => {
                 let c = (f64::from(lattice.side()) - 1.0) / 2.0;
                 let mut sites: Vec<Site> = lattice.iter().collect();

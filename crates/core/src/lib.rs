@@ -15,10 +15,16 @@
 //! 1. layer creation (commutation-aware frontier + lookahead, from
 //!    [`na_circuit::dag`]),
 //! 2. capability decision ([`decision`]),
-//! 3. gate-based mapping ([`gate_router`], cost Eq. (2)–(3)),
-//! 4. shuttling-based mapping ([`shuttle_router`], cost Eq. (4)–(5)),
+//! 3. gate-based mapping ([`route::gate`], cost Eq. (2)–(3)),
+//! 4. shuttling-based mapping ([`route::shuttle`], cost Eq. (4)–(5)),
 //! 5. processing to hardware operations ([`ops`], consumed by
 //!    `na-schedule`).
+//!
+//! Steps 3 and 4 run inside the unified [`route::RoutingEngine`]: both
+//! routers implement the [`route::Router`] trait, share one
+//! [`route::CostModel`] (Eq. 1–5) and one cached distance layer
+//! ([`route::RoutingContext`]), and compete through a single candidate
+//! comparator.
 //!
 //! # Example
 //!
@@ -42,22 +48,25 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
-pub mod connectivity;
 pub mod decision;
 pub mod error;
-pub mod gate_router;
 pub mod layout;
 pub mod mapper;
 pub mod ops;
 pub mod render;
-pub mod shuttle_router;
+pub mod route;
 pub mod state;
 pub mod verify;
 
 pub use config::MapperConfig;
-pub use layout::InitialLayout;
+pub use decision::Capability;
 pub use error::MapError;
+pub use layout::InitialLayout;
 pub use mapper::{HybridMapper, MapStats, MappingOutcome};
 pub use ops::{AtomId, MappedCircuit, MappedOp};
+pub use route::{
+    Candidate, CostModel, DistanceCache, FrontierGate, GateRouter, Router, RoutingContext,
+    RoutingEngine, RoutingOp, ShuttleRouter,
+};
 pub use state::MappingState;
 pub use verify::{verify_mapping, VerifyError};

@@ -5,19 +5,24 @@
 //!
 //! 1. **Layer creation** — commutation-aware frontier and lookahead from
 //!    [`na_circuit::dag`].
-//! 2. **Capability decision** — each frontier gate is assigned to
-//!    gate-based (`f_g`) or shuttling-based (`f_s`) routing by comparing
-//!    weighted success-probability estimates ([`crate::decision`]).
-//! 3. **Gate-based mapping** — the cheapest SWAP according to Eq. (2)–(3)
-//!    is inserted until a gate becomes executable; multi-qubit gates
-//!    first acquire a geometric position (falling back to shuttling when
-//!    none exists).
-//! 4. **Shuttling-based mapping** — move chains per Eq. (4)–(5); only
-//!    considered once `f_g` is empty, so SWAPs and shuttles do not
-//!    interfere (paper §3.2 (4)).
+//! 2. **Capability decision** — each frontier gate is assigned to a
+//!    routing capability by comparing weighted success-probability
+//!    estimates ([`crate::decision`]); the assignment is sticky until the
+//!    gate executes.
+//! 3. **Routing (with 4.)** — the unified
+//!    [`crate::route::RoutingEngine`] lets every registered router
+//!    propose candidates for its gates and applies the best one per
+//!    round through a single comparator. Gate-based mapping (Eq. 2–3)
+//!    and shuttling-based mapping (Eq. 4–5) are the two built-in
+//!    routers; their priority ordering (SWAPs before shuttles, paper
+//!    §3.2 (4)) is a property of the engine, not of this loop.
 //! 5. **Processing to hardware operations** — the emitted
 //!    [`MappedOp`] stream (SWAP decomposition and AOD batching happen in
 //!    `na-schedule`).
+//!
+//! The mapper itself is strategy-agnostic: it never names a concrete
+//! router, it only partitions gates by [`Capability`] and persists the
+//! engine's reassignment reports.
 
 use std::time::{Duration, Instant};
 
@@ -27,9 +32,8 @@ use na_circuit::{decompose_to_native, Circuit, CircuitDag, LayerTracker, Operati
 use crate::config::MapperConfig;
 use crate::decision::{Capability, Decider};
 use crate::error::MapError;
-use crate::gate_router::{GateRouter, RoutedGate};
 use crate::ops::{MappedCircuit, MappedOp};
-use crate::shuttle_router::{ShuttleGate, ShuttleRouter};
+use crate::route::{FrontierGate, RoutingEngine};
 use crate::state::MappingState;
 
 /// Statistics of one mapping run.
@@ -145,8 +149,7 @@ impl HybridMapper {
         let dag = CircuitDag::new(&native);
         let mut layers = LayerTracker::new(&dag);
         let decider = Decider::new(&self.params, &self.config);
-        let mut gate_router = GateRouter::new(&self.params, &self.config);
-        let mut shuttle_router = ShuttleRouter::new(&self.params, &self.config);
+        let mut engine = RoutingEngine::from_config(&self.params, &self.config);
 
         let mut out = MappedCircuit::with_layout(
             native.num_qubits(),
@@ -157,7 +160,7 @@ impl HybridMapper {
         // Sticky capability assignment: a gate keeps its first decision
         // until executed (re-deciding every iteration lets borderline
         // gates oscillate between capabilities and livelock the routers;
-        // only the position-not-found fallback may override to shuttling).
+        // only the engine's handoff reports may override it).
         let mut assigned: Vec<Option<Capability>> = vec![None; native.len()];
 
         let budget = self
@@ -179,97 +182,56 @@ impl HybridMapper {
                 break;
             }
 
-            // (2) Partition frontier and lookahead by capability.
-            let (mut f_g, mut f_s) = self.partition(
+            // (2) Assign frontier gates to capabilities (sticky).
+            let mut frontier = self.frontier_gates(
                 &native,
                 layers.front(),
                 &state,
                 &decider,
-                &gate_router,
                 &mut assigned,
                 &mut stats,
             );
 
             // Stall breaker: if routing churns without executing anything,
-            // force the lowest-index frontier gate through a shuttle chain
-            // (chains guarantee executability by construction).
-            let stall_limit = 64 + 8 * (f_g.len() + f_s.len());
-            if ops_since_progress > stall_limit && self.config.alpha_shuttle > 0.0 {
-                let forced: Vec<ShuttleGate> = f_g
-                    .drain(..)
-                    .map(|g| ShuttleGate {
-                        op_index: g.op_index,
-                        qubits: g.qubits,
-                    })
-                    .chain(f_s.drain(..))
-                    .take(1)
-                    .collect();
-                f_s = forced;
+            // force the first non-fallback frontier gate through the
+            // fallback router alone (its chains guarantee executability
+            // by construction).
+            let stall_limit = 64 + 8 * frontier.len();
+            if ops_since_progress > stall_limit {
+                if let Some(fallback) = engine.fallback_capability() {
+                    let idx = frontier
+                        .iter()
+                        .position(|g| g.capability != fallback)
+                        .unwrap_or(0);
+                    let mut forced = frontier.swap_remove(idx);
+                    forced.capability = fallback;
+                    frontier = vec![forced];
+                }
             }
             let la = layers.lookahead(
                 &dag,
                 self.config.lookahead_depth,
                 self.config.lookahead_max_gates,
             );
-            let (l_g, l_s) = self.partition_lookahead(&native, &la, &state, &decider);
+            let lookahead = self.lookahead_gates(&native, &la, &state, &decider);
 
-            // In hybrid mode, gates whose SWAP routing cannot start
-            // (isolated atoms, no position) flow to the shuttle router.
-            if !f_g.is_empty() {
-                // (3) Gate-based mapping: insert the best SWAP.
-                if let Some((a, b)) = gate_router.best_swap(&state, &f_g, &l_g) {
-                    out.ops.push(MappedOp::Swap {
-                        a,
-                        b,
-                        site_a: state.site_of_atom(a),
-                        site_b: state.site_of_atom(b),
-                    });
-                    state.apply_swap(a, b);
-                    gate_router.note_swap_applied(&state, a, b);
-                    stats.swaps_inserted += 1;
-                    routing_ops += 1;
-                    ops_since_progress += 1;
-                } else if self.config.alpha_shuttle > 0.0 {
-                    // No SWAP candidate at all: reroute via shuttling.
-                    f_s.extend(f_g.drain(..).map(|g| ShuttleGate {
-                        op_index: g.op_index,
-                        qubits: g.qubits,
-                    }));
-                } else {
-                    return Err(MapError::RoutingStuck {
-                        op_index: f_g[0].op_index,
-                        ops_spent: routing_ops,
-                    });
+            // (3)/(4) One engine round: propose, rank, apply.
+            match engine.step(&mut state, &frontier, &lookahead, &mut out) {
+                Ok(report) => {
+                    for (op_index, capability) in report.reassigned {
+                        assigned[op_index] = Some(capability);
+                    }
+                    stats.swaps_inserted += report.swaps;
+                    stats.shuttle_moves += report.moves;
+                    let applied = report.swaps + report.moves;
+                    routing_ops += applied;
+                    ops_since_progress += applied;
                 }
-            }
-
-            if f_g.is_empty() && !f_s.is_empty() {
-                // (4) Shuttling-based mapping: apply the best move chain.
-                // (Applying one chain per round and re-deciding keeps
-                // chains short; merging moves of *independent* chains into
-                // shared AOD transactions happens downstream in the
-                // scheduler's batch aggregation.)
-                match shuttle_router.best_chain(&state, &f_s, &l_s) {
-                    Some(chain) => {
-                        for mv in &chain.moves {
-                            out.ops.push(MappedOp::Shuttle {
-                                atom: mv.atom,
-                                from: mv.from,
-                                to: mv.to,
-                            });
-                            state.apply_move(mv.atom, mv.to);
-                        }
-                        shuttle_router.note_moves_applied(&chain.moves);
-                        stats.shuttle_moves += chain.moves.len();
-                        routing_ops += chain.moves.len();
-                        ops_since_progress += chain.moves.len();
-                    }
-                    None => {
-                        return Err(MapError::RoutingStuck {
-                            op_index: f_s[0].op_index,
-                            ops_spent: routing_ops,
-                        })
-                    }
+                Err(op_index) => {
+                    return Err(MapError::RoutingStuck {
+                        op_index,
+                        ops_spent: routing_ops,
+                    })
                 }
             }
 
@@ -335,92 +297,70 @@ impl HybridMapper {
         }
     }
 
-    /// Splits the frontier's entangling gates into gate-based and
-    /// shuttling-based lists, resolving multi-qubit positions.
-    #[allow(clippy::too_many_arguments)]
-    fn partition(
+    /// Annotates the frontier's entangling gates with their (sticky)
+    /// capability assignment, recording first-time decisions in `stats`.
+    fn frontier_gates(
         &self,
         native: &Circuit,
         front: &[usize],
         state: &MappingState,
         decider: &Decider,
-        gate_router: &GateRouter,
         assigned: &mut [Option<Capability>],
         stats: &mut MapStats,
-    ) -> (Vec<RoutedGate>, Vec<ShuttleGate>) {
-        let mut f_g = Vec::new();
-        let mut f_s = Vec::new();
+    ) -> Vec<FrontierGate> {
+        let mut gates = Vec::new();
         for &i in front {
             let op: &Operation = &native.ops()[i];
             if op.arity() < 2 {
                 continue; // executes directly
             }
             let qubits = op.qubits().to_vec();
-            let mut cap = match assigned[i] {
-                Some(cap) => cap,
+            let capability = match assigned[i] {
+                Some(capability) => capability,
                 None => {
-                    let cap = decider.decide(state, &qubits);
-                    match cap {
+                    let capability = decider.decide(state, &qubits);
+                    match capability {
                         Capability::GateBased => stats.gates_gate_routed += 1,
                         Capability::Shuttling => stats.gates_shuttle_routed += 1,
                     }
-                    cap
+                    assigned[i] = Some(capability);
+                    capability
                 }
             };
-            let mut position = None;
-            if cap == Capability::GateBased && op.arity() >= 3 {
-                position = gate_router.find_position(state, &qubits);
-                if position.is_none() && self.config.alpha_shuttle > 0.0 {
-                    // Paper §3.2 (3): no position found -> use shuttling.
-                    cap = Capability::Shuttling;
-                }
-            }
-            assigned[i] = Some(cap);
-            match cap {
-                Capability::GateBased => f_g.push(RoutedGate {
-                    op_index: i,
-                    qubits,
-                    position,
-                }),
-                Capability::Shuttling => f_s.push(ShuttleGate {
-                    op_index: i,
-                    qubits,
-                }),
-            }
+            gates.push(FrontierGate {
+                op_index: i,
+                qubits,
+                capability,
+            });
         }
-        (f_g, f_s)
+        gates
     }
 
-    /// Splits lookahead gates by capability (positions are not resolved
-    /// for lookahead gates — only their pull direction matters).
-    fn partition_lookahead(
+    /// Annotates lookahead gates with a (non-sticky) capability — only
+    /// their pull direction matters, so decisions are re-made per round
+    /// and not recorded.
+    fn lookahead_gates(
         &self,
         native: &Circuit,
         lookahead: &[usize],
         state: &MappingState,
         decider: &Decider,
-    ) -> (Vec<RoutedGate>, Vec<ShuttleGate>) {
-        let mut l_g = Vec::new();
-        let mut l_s = Vec::new();
+    ) -> Vec<FrontierGate> {
+        let mut gates = Vec::new();
         for &i in lookahead {
             let op = &native.ops()[i];
             if op.arity() < 2 {
                 continue;
             }
             let qubits = op.qubits().to_vec();
-            match decider.decide(state, &qubits) {
-                Capability::GateBased => l_g.push(RoutedGate {
-                    op_index: i,
-                    qubits,
-                    position: None,
-                }),
-                Capability::Shuttling => l_s.push(ShuttleGate {
-                    op_index: i,
-                    qubits,
-                }),
-            }
+            let capability = decider.decide(state, &qubits);
+            gates.push(FrontierGate {
+                op_index: i,
+                qubits,
+                capability,
+            });
         }
-        (l_g, l_s)
+        gates
     }
 }
 
@@ -513,8 +453,7 @@ mod tests {
             let mapper = HybridMapper::new(p.clone(), MapperConfig::hybrid(1.0)).unwrap();
             let c = GraphState::new(20).edges(26).seed(9).build();
             let outcome = mapper.map(&c).unwrap();
-            verify_mapping(&c, &outcome.mapped, &p)
-                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            verify_mapping(&c, &outcome.mapped, &p).unwrap_or_else(|e| panic!("{}: {e}", p.name));
         }
     }
 
@@ -571,5 +510,15 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s), "every native op executed");
+    }
+
+    #[test]
+    fn stats_match_stream_counts() {
+        let p = small(HardwareParams::mixed(), 6, 25);
+        let mapper = HybridMapper::new(p, MapperConfig::hybrid(1.0)).unwrap();
+        let c = Qft::new(14).build();
+        let outcome = mapper.map(&c).unwrap();
+        assert_eq!(outcome.stats.swaps_inserted, outcome.mapped.swap_count());
+        assert_eq!(outcome.stats.shuttle_moves, outcome.mapped.shuttle_count());
     }
 }

@@ -18,9 +18,7 @@ use std::fmt;
 /// Distinct from circuit [`na_circuit::Qubit`]s and from trap [`Site`]s:
 /// the mapping `f_q` assigns circuit qubits to atoms and the mapping `f_a`
 /// assigns atoms to sites (paper §2.2, Fig. 2).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct AtomId(pub u32);
 
 impl AtomId {
@@ -102,7 +100,12 @@ impl fmt::Display for MappedOp {
                 }
                 Ok(())
             }
-            MappedOp::Swap { a, b, site_a, site_b } => {
+            MappedOp::Swap {
+                a,
+                b,
+                site_a,
+                site_b,
+            } => {
                 write!(f, "swap {a}{site_a} <-> {b}{site_b}")
             }
             MappedOp::Shuttle { atom, from, to } => {

@@ -1,0 +1,286 @@
+//! Per-round routing context with cached distance infrastructure.
+//!
+//! Both routers repeatedly need BFS distance fields through the occupied
+//! interaction graph (multi-qubit position finding queries one field per
+//! gate qubit, every routing round). Recomputing them ad hoc was the
+//! hottest redundant work in the mapper: a SWAP permutes the qubit
+//! mapping `f_q` but *never changes trap occupancy*, so every distance
+//! field stays valid across arbitrarily many consecutive SWAP rounds.
+//!
+//! [`DistanceCache`] exploits exactly that invariant: fields are keyed by
+//! start site and invalidated wholesale when
+//! [`MappingState::occupancy_stamp`] changes (i.e. after shuttle moves —
+//! and stamps are process-unique per state, so querying with a
+//! *different* state can never alias another state's fields).
+//! [`RoutingContext`] bundles the cache with the state and interaction
+//! geometry and is handed to every [`crate::route::Router::propose`]
+//! call.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use na_arch::{Neighborhood, Site};
+use na_circuit::Qubit;
+
+use crate::route::distance::{bfs_occupied, gate_remaining_distance, swap_distance};
+use crate::state::MappingState;
+
+/// Cache of single-source BFS distance fields over the occupied
+/// interaction graph, invalidated by occupancy stamp.
+///
+/// `Send + Sync` by construction (`Arc` fields behind a `Mutex`, atomic
+/// counters): parallel candidate evaluation can share one cache, and
+/// the lock is held only for map lookups/inserts, never during a BFS.
+#[derive(Debug, Default)]
+pub struct DistanceCache {
+    /// Fields plus the occupancy stamp they were computed at.
+    fields: Mutex<StampedFields>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Start-site index → distance field, tagged with the occupancy stamp
+/// the fields were computed at (0 = nothing cached yet; real stamps are
+/// never zero).
+#[derive(Debug, Default)]
+struct StampedFields {
+    stamp: u64,
+    by_start: HashMap<usize, Arc<Vec<u32>>>,
+}
+
+impl DistanceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        DistanceCache::default()
+    }
+
+    /// The BFS distance field from `start` through occupied sites of
+    /// `state`, computing and caching it on first use per occupancy
+    /// stamp.
+    pub fn field(&self, state: &MappingState, hood: &Neighborhood, start: Site) -> Arc<Vec<u32>> {
+        let key = state.lattice().index(start);
+        {
+            let mut guard = self.fields.lock().expect("cache lock");
+            if guard.stamp != state.occupancy_stamp() {
+                guard.by_start.clear();
+                guard.stamp = state.occupancy_stamp();
+            } else if let Some(field) = guard.by_start.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(field);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let field = Arc::new(bfs_occupied(state, &[start], hood));
+        let mut guard = self.fields.lock().expect("cache lock");
+        // Another thread may have advanced the stamp while we computed;
+        // only publish a field for the stamp it belongs to.
+        if guard.stamp == state.occupancy_stamp() {
+            guard.by_start.insert(key, Arc::clone(&field));
+        }
+        field
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of fields currently cached.
+    pub fn len(&self) -> usize {
+        self.fields.lock().expect("cache lock").by_start.len()
+    }
+
+    /// Returns `true` when no field is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Everything a [`crate::route::Router`] may consult while proposing
+/// candidates: the mapping state, the interaction geometry, and the
+/// shared distance cache.
+#[derive(Debug)]
+pub struct RoutingContext<'a> {
+    state: &'a MappingState,
+    hood_int: &'a Neighborhood,
+    r_int: f64,
+    cache: &'a DistanceCache,
+}
+
+impl<'a> RoutingContext<'a> {
+    /// Bundles `state` with the engine's geometry and cache.
+    pub fn new(
+        state: &'a MappingState,
+        hood_int: &'a Neighborhood,
+        r_int: f64,
+        cache: &'a DistanceCache,
+    ) -> Self {
+        RoutingContext {
+            state,
+            hood_int,
+            r_int,
+            cache,
+        }
+    }
+
+    /// The current mapping state.
+    #[inline]
+    pub fn state(&self) -> &MappingState {
+        self.state
+    }
+
+    /// The interaction neighborhood (offsets within `r_int`).
+    #[inline]
+    pub fn interaction_neighborhood(&self) -> &Neighborhood {
+        self.hood_int
+    }
+
+    /// The interaction radius.
+    #[inline]
+    pub fn r_int(&self) -> f64 {
+        self.r_int
+    }
+
+    /// Cached BFS distance field from `start` (must be occupied) through
+    /// the occupied interaction graph.
+    pub fn distances_from(&self, start: Site) -> Arc<Vec<u32>> {
+        self.cache.field(self.state, self.hood_int, start)
+    }
+
+    /// Cached BFS distance field from the atom carrying `q`.
+    pub fn distances_from_qubit(&self, q: Qubit) -> Arc<Vec<u32>> {
+        self.distances_from(self.state.site_of_qubit(q))
+    }
+
+    /// Fractional SWAP distance between the sites of two qubits.
+    pub fn qubit_swap_distance(&self, a: Qubit, b: Qubit) -> f64 {
+        swap_distance(
+            self.state.site_of_qubit(a),
+            self.state.site_of_qubit(b),
+            self.r_int,
+        )
+    }
+
+    /// Remaining routing distance of a gate on `qubits` (zero iff
+    /// executable).
+    pub fn gate_remaining_distance(&self, qubits: &[Qubit]) -> f64 {
+        gate_remaining_distance(self.state, qubits, self.r_int)
+    }
+
+    /// Euclidean centroid of the sites carrying `qubits` (fractional
+    /// lattice coordinates).
+    pub fn centroid_of(&self, qubits: &[Qubit]) -> (f64, f64) {
+        let mut x = 0.0;
+        let mut y = 0.0;
+        for &q in qubits {
+            let s = self.state.site_of_qubit(q);
+            x += f64::from(s.x);
+            y += f64::from(s.y);
+        }
+        let n = qubits.len() as f64;
+        (x / n, y / n)
+    }
+
+    /// Squared Euclidean distance from a fractional point to a site.
+    pub fn dist_sq_to(point: (f64, f64), s: Site) -> f64 {
+        let dx = f64::from(s.x) - point.0;
+        let dy = f64::from(s.y) - point.1;
+        dx * dx + dy * dy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::AtomId;
+    use na_arch::HardwareParams;
+
+    fn setup() -> (MappingState, Neighborhood) {
+        let params = HardwareParams::mixed()
+            .to_builder()
+            .lattice(5, 3.0)
+            .num_atoms(20)
+            .build()
+            .expect("valid");
+        let state = MappingState::identity(&params, 20).expect("fits");
+        (state, Neighborhood::new(params.r_int))
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let (state, hood) = setup();
+        let cache = DistanceCache::new();
+        let a = cache.field(&state, &hood, Site::new(0, 0));
+        let b = cache.field(&state, &hood, Site::new(0, 0));
+        assert_eq!(a, b);
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn swaps_do_not_invalidate() {
+        let (mut state, hood) = setup();
+        let cache = DistanceCache::new();
+        cache.field(&state, &hood, Site::new(0, 0));
+        state.apply_swap(AtomId(0), AtomId(5));
+        cache.field(&state, &hood, Site::new(0, 0));
+        assert_eq!(cache.stats(), (1, 1), "swap must not clear the cache");
+    }
+
+    #[test]
+    fn moves_invalidate() {
+        let (mut state, hood) = setup();
+        let cache = DistanceCache::new();
+        let before = cache.field(&state, &hood, Site::new(0, 0));
+        // Break the occupied path along row 0: move (1,0) far away.
+        let target = Site::new(4, 4);
+        assert!(state.is_free(target));
+        state.apply_move(AtomId(1), target);
+        let after = cache.field(&state, &hood, Site::new(0, 0));
+        assert_eq!(cache.stats(), (0, 2), "move must recompute");
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn distinct_states_never_alias() {
+        // Two states that happen to have seen the same number of moves
+        // must not share cached fields (stamps are process-unique).
+        let (state_a, hood) = setup();
+        let mut state_b = setup().0;
+        state_b.apply_move(AtomId(1), Site::new(4, 4));
+        let cache = DistanceCache::new();
+        let from_a = cache.field(&state_a, &hood, Site::new(0, 0));
+        let from_b = cache.field(&state_b, &hood, Site::new(0, 0));
+        assert_eq!(cache.stats(), (0, 2), "state switch must recompute");
+        assert_ne!(from_a, from_b);
+        // Clones diverge independently, so they get fresh stamps too.
+        let clone = state_a.clone();
+        assert_ne!(state_a.occupancy_stamp(), clone.occupancy_stamp());
+    }
+
+    #[test]
+    fn cached_field_matches_direct_bfs() {
+        let (state, hood) = setup();
+        let cache = DistanceCache::new();
+        let ctx = RoutingContext::new(&state, &hood, 1.0, &cache);
+        for start in [Site::new(0, 0), Site::new(2, 1), Site::new(3, 3)] {
+            let cached = ctx.distances_from(start);
+            let direct = bfs_occupied(&state, &[start], &hood);
+            assert_eq!(*cached, direct);
+        }
+    }
+
+    #[test]
+    fn centroid_is_mean_of_sites() {
+        let (state, hood) = setup();
+        let cache = DistanceCache::new();
+        let ctx = RoutingContext::new(&state, &hood, 1.0, &cache);
+        // Qubits 0 (0,0) and 2 (2,0).
+        let (cx, cy) = ctx.centroid_of(&[Qubit(0), Qubit(2)]);
+        assert_eq!((cx, cy), (1.0, 0.0));
+    }
+}

@@ -1,0 +1,176 @@
+//! The shared cost model: every fidelity and timing term of the paper's
+//! Eq. (1)–(5) in one place.
+//!
+//! Before the unified routing engine, these terms were re-derived
+//! independently by the capability decider, the gate-based router and the
+//! shuttling-based router. [`CostModel`] is now the single source of
+//! truth consumed by all three:
+//!
+//! * **Eq. (1)** — approximate success probability: per-operation
+//!   fidelities times the decoherence of idling spectator atoms
+//!   ([`CostModel::swap_log_success`], [`CostModel::shuttle_log_success`]),
+//! * **Eq. (2)–(3)** — SWAP cost weights: lookahead weight `w_l` and the
+//!   recency/parallelism dial `λ_t`
+//!   ([`CostModel::swap_recency_penalty`]),
+//! * **Eq. (4)–(5)** — shuttle cost weights: `w_l`, the time weight `w_t`
+//!   and the AOD parallelism model `ΔT(M, M_t)`
+//!   ([`CostModel::shuttle_delta_t`]).
+
+use na_arch::{aod, HardwareParams, Move};
+
+use crate::config::MapperConfig;
+
+/// Fidelity, timing and weighting terms shared by the capability decider
+/// and every registered [`crate::route::Router`].
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Interaction radius `r_int` (lattice-constant units).
+    pub r_int: f64,
+    /// `ln` of the decomposed SWAP fidelity `F_CZ³ · F_1q⁶`.
+    pub ln_f_swap: f64,
+    /// `ln` of the single-move shuttle fidelity `F_shuttle`.
+    pub ln_f_shuttle: f64,
+    /// Duration of a decomposed SWAP (3 CZ + 6 single-qubit gates), µs.
+    pub t_swap_us: f64,
+    /// AOD pickup time `t_act`, µs.
+    pub t_act_us: f64,
+    /// AOD drop-off time `t_deact`, µs.
+    pub t_deact_us: f64,
+    /// Shuttle speed, µm/µs.
+    pub speed_um_per_us: f64,
+    /// Lattice constant `d`, µm.
+    pub lattice_constant_um: f64,
+    /// Effective decoherence time `T_eff`, µs (Eq. 1 idle term).
+    pub t_eff_us: f64,
+    /// Lookahead weight `w_l` (Eq. 2 and Eq. 4).
+    pub lookahead_weight: f64,
+    /// Time/parallelism weight `w_t` (Eq. 4).
+    pub time_weight: f64,
+    /// Recency decay rate `λ_t` (Eq. 2).
+    pub decay_rate: f64,
+    /// Recency window `t`: how many recent SWAPs/moves the parallelism
+    /// terms look back on.
+    pub recency_window: usize,
+}
+
+impl CostModel {
+    /// Extracts the model from the hardware description and the mapper
+    /// configuration.
+    pub fn new(params: &HardwareParams, config: &MapperConfig) -> Self {
+        CostModel {
+            r_int: params.r_int,
+            ln_f_swap: params.swap_fidelity().ln(),
+            ln_f_shuttle: params.f_shuttle.max(f64::MIN_POSITIVE).ln(),
+            t_swap_us: params.swap_time_us(),
+            t_act_us: params.t_act_us,
+            t_deact_us: params.t_deact_us,
+            speed_um_per_us: params.shuttle_speed_um_per_us,
+            lattice_constant_um: params.lattice_constant_um,
+            t_eff_us: params.t_eff_us(),
+            lookahead_weight: config.lookahead_weight,
+            time_weight: config.time_weight,
+            decay_rate: config.decay_rate,
+            recency_window: config.recency_window,
+        }
+    }
+
+    /// Travel-plus-transaction time of one shuttle move spanning
+    /// `dist_units` lattice constants, µs.
+    pub fn move_time_us(&self, dist_units: f64) -> f64 {
+        self.t_act_us
+            + dist_units * self.lattice_constant_um / self.speed_um_per_us
+            + self.t_deact_us
+    }
+
+    /// Log success probability of routing a gate with `n_swaps` SWAPs
+    /// while `spectators` atoms idle (gate-based side of Eq. 1).
+    pub fn swap_log_success(&self, n_swaps: usize, spectators: f64) -> f64 {
+        let t_route = n_swaps as f64 * self.t_swap_us;
+        n_swaps as f64 * self.ln_f_swap - t_route * spectators / self.t_eff_us
+    }
+
+    /// Log success probability of routing a gate with `n_moves` shuttle
+    /// moves covering `dist_units` lattice constants in total while
+    /// `spectators` atoms idle (shuttling side of Eq. 1).
+    pub fn shuttle_log_success(&self, n_moves: usize, dist_units: f64, spectators: f64) -> f64 {
+        let t_route = n_moves as f64 * (self.t_act_us + self.t_deact_us)
+            + dist_units * self.lattice_constant_um / self.speed_um_per_us;
+        n_moves as f64 * self.ln_f_shuttle - t_route * spectators / self.t_eff_us
+    }
+
+    /// Additive recency penalty of a SWAP whose pair was last used
+    /// `staleness` routing steps ago (Eq. 2's `λ_t` term).
+    ///
+    /// Penalizes *freshly used* pairs so larger `λ_t` spreads SWAPs
+    /// across the array. The additive form (instead of the paper's
+    /// `exp(−λ_t·t)` prefactor) keeps the improvement ordering intact —
+    /// multiplying the full distance sum lets a stale-but-useless SWAP
+    /// undercut a fresh improving one once `λ_t` grows, which livelocks
+    /// the router; both forms agree at the paper's evaluated `λ_t = 0`.
+    pub fn swap_recency_penalty(&self, staleness: f64) -> f64 {
+        self.decay_rate * (self.recency_window as f64 - staleness)
+    }
+
+    /// The `ΔT(M, M_t)` model of §3.3.2: zero when `m` is fully
+    /// parallelizable with the recent move, activation overhead when only
+    /// loading parallelizes, full standalone time otherwise.
+    pub fn shuttle_delta_t(&self, m: &Move, recent: &Move) -> f64 {
+        if aod::moves_fully_parallel(m, recent) {
+            0.0
+        } else if aod::loads_parallel(m, recent) {
+            self.t_act_us + self.t_deact_us
+        } else {
+            self.move_time_us(m.rectilinear_distance())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(preset: HardwareParams) -> CostModel {
+        CostModel::new(&preset, &MapperConfig::hybrid(1.0))
+    }
+
+    #[test]
+    fn log_success_is_nonpositive_and_monotone() {
+        let m = model(HardwareParams::mixed());
+        assert_eq!(m.swap_log_success(0, 100.0), 0.0);
+        assert_eq!(m.shuttle_log_success(0, 0.0, 100.0), 0.0);
+        assert!(m.swap_log_success(1, 100.0) < 0.0);
+        assert!(m.swap_log_success(2, 100.0) < m.swap_log_success(1, 100.0));
+        assert!(m.shuttle_log_success(2, 4.0, 100.0) < m.shuttle_log_success(1, 2.0, 100.0));
+    }
+
+    #[test]
+    fn recency_penalty_prefers_stale_pairs() {
+        let p = HardwareParams::mixed();
+        let cfg = MapperConfig::hybrid(1.0).with_decay_rate(0.5);
+        let m = CostModel::new(&p, &cfg);
+        // Fresh pair (staleness 0) costs more than a stale one.
+        assert!(m.swap_recency_penalty(0.0) > m.swap_recency_penalty(m.recency_window as f64));
+        assert_eq!(m.swap_recency_penalty(m.recency_window as f64), 0.0);
+    }
+
+    #[test]
+    fn delta_t_ordering_matches_parallelizability() {
+        let m = model(HardwareParams::shuttling());
+        let base = Move::new(na_arch::Site::new(0, 0), na_arch::Site::new(0, 2));
+        let parallel = Move::new(na_arch::Site::new(2, 0), na_arch::Site::new(2, 2));
+        let load_only = Move::new(na_arch::Site::new(3, 4), na_arch::Site::new(3, 1));
+        assert_eq!(m.shuttle_delta_t(&parallel, &base), 0.0);
+        let partial = m.shuttle_delta_t(&load_only, &base);
+        assert_eq!(partial, m.t_act_us + m.t_deact_us);
+        let full = m.shuttle_delta_t(&base, &base);
+        assert!(full > partial);
+    }
+
+    #[test]
+    fn move_time_includes_transaction_overhead() {
+        let m = model(HardwareParams::shuttling());
+        let t0 = m.move_time_us(0.0);
+        assert_eq!(t0, m.t_act_us + m.t_deact_us);
+        assert!(m.move_time_us(3.0) > t0);
+    }
+}

@@ -13,6 +13,10 @@
 //!   spanning Euclidean distance `d` needs about `d/r_int − 1` SWAPs.
 //!   On the paper's near-full lattices (200 atoms on 225 traps) the
 //!   estimate tracks the exact hop distance closely.
+//!
+//! These are the raw primitives; routers normally consume them through
+//! the caching [`crate::route::RoutingContext`], which reuses BFS fields
+//! across every round that leaves trap occupancy unchanged.
 
 use na_arch::{Neighborhood, Site};
 use na_circuit::Qubit;

@@ -1,0 +1,371 @@
+//! The routing engine: registered routers, the shared comparator, and
+//! candidate application.
+//!
+//! One routing round ([`RoutingEngine::step`]) is: build a
+//! [`RoutingContext`] over the shared [`DistanceCache`], let each
+//! registered [`Router`] propose candidates for its frontier slice, rank
+//! everything through the [`Candidate::improves_on`] comparator, apply
+//! the winner's operations, and notify the proposing router.
+//!
+//! Router priority (registration order) maps to the candidate `tier`.
+//! Because the comparator is tier-dominant, lower tiers cannot win while
+//! a higher tier produced any candidate — so the engine skips evaluating
+//! them entirely (the paper's §3.2 (4): shuttling only acts once the
+//! gate-based frontier is exhausted). A tier that *has* gates but yields
+//! no candidate passes its gates down to the next tier for this round
+//! (starvation fallback), and gates a router permanently refuses
+//! ([`super::Proposal::handoff`]) are reported back so the mapper can
+//! persist the reassignment.
+
+use na_arch::{HardwareParams, Neighborhood};
+
+use crate::config::MapperConfig;
+use crate::decision::Capability;
+use crate::ops::{MappedCircuit, MappedOp};
+use crate::route::{
+    Candidate, DistanceCache, FrontierGate, GateRouter, Router, RoutingContext, RoutingOp,
+    ShuttleRouter,
+};
+use crate::state::MappingState;
+
+/// What one routing round did: operation counts plus capability
+/// reassignments to persist.
+#[derive(Debug, Clone, Default)]
+pub struct StepReport {
+    /// SWAPs applied this round.
+    pub swaps: usize,
+    /// Shuttle moves applied this round.
+    pub moves: usize,
+    /// `(op_index, new_capability)` pairs for gates permanently handed
+    /// to another router (e.g. multi-qubit gates without a geometric
+    /// position, paper §3.2 (3)).
+    pub reassigned: Vec<(usize, Capability)>,
+}
+
+/// The unified routing engine owning the registered routers and the
+/// shared distance cache.
+#[derive(Debug)]
+pub struct RoutingEngine {
+    routers: Vec<Box<dyn Router>>,
+    hood_int: Neighborhood,
+    r_int: f64,
+    cache: DistanceCache,
+}
+
+impl RoutingEngine {
+    /// Registers the paper's two routers according to the configured
+    /// capability weights: gate-based (tier 0) when `α_g > 0`, shuttling
+    /// (tier 1) when `α_s > 0`. A config with both weights zero (only
+    /// constructible by hand — the named constructors forbid it) gets
+    /// the gate-based router, matching the decider's `GateBased`
+    /// short-circuit for that degenerate case.
+    pub fn from_config(params: &HardwareParams, config: &MapperConfig) -> Self {
+        let mut routers: Vec<Box<dyn Router>> = Vec::new();
+        if config.alpha_gate > 0.0 || config.alpha_shuttle <= 0.0 {
+            routers.push(Box::new(GateRouter::new(params, config)));
+        }
+        if config.alpha_shuttle > 0.0 {
+            routers.push(Box::new(ShuttleRouter::new(params, config)));
+        }
+        RoutingEngine::with_routers(params, routers)
+    }
+
+    /// Builds an engine over an explicit router list (priority order =
+    /// tier order). This is the extension point for additional
+    /// strategies: implement [`Router`] and register it here.
+    pub fn with_routers(params: &HardwareParams, routers: Vec<Box<dyn Router>>) -> Self {
+        RoutingEngine {
+            routers,
+            hood_int: Neighborhood::new(params.r_int),
+            r_int: params.r_int,
+            cache: DistanceCache::new(),
+        }
+    }
+
+    /// The registered routers, in tier order.
+    pub fn routers(&self) -> &[Box<dyn Router>] {
+        &self.routers
+    }
+
+    /// The shared distance cache (exposed for benchmarks/diagnostics).
+    pub fn distance_cache(&self) -> &DistanceCache {
+        &self.cache
+    }
+
+    /// A routing context over `state` using the engine's geometry and
+    /// cache.
+    pub fn context<'a>(&'a self, state: &'a MappingState) -> RoutingContext<'a> {
+        RoutingContext::new(state, &self.hood_int, self.r_int, &self.cache)
+    }
+
+    /// The capability gates fall back to when their assigned router
+    /// cannot serve them: the lowest-priority router's capability, if
+    /// the engine has more than one router.
+    pub fn fallback_capability(&self) -> Option<Capability> {
+        if self.routers.len() > 1 {
+            self.routers.last().map(|r| r.capability())
+        } else {
+            None
+        }
+    }
+
+    /// Runs one routing round: propose, rank, apply the winning
+    /// candidate's operations to `state` and `out`.
+    ///
+    /// Returns `Err(op_index)` of the first unroutable gate when no
+    /// router produced a candidate.
+    pub fn step(
+        &mut self,
+        state: &mut MappingState,
+        frontier: &[FrontierGate],
+        lookahead: &[FrontierGate],
+        out: &mut MappedCircuit,
+    ) -> Result<StepReport, usize> {
+        let mut report = StepReport::default();
+        let (winner, tier) = self.best_candidate(state, frontier, lookahead, &mut report)?;
+        self.apply(winner, tier, state, out, &mut report);
+        Ok(report)
+    }
+
+    /// Propose-and-rank without applying. Fills `report.reassigned`.
+    fn best_candidate(
+        &self,
+        state: &MappingState,
+        frontier: &[FrontierGate],
+        lookahead: &[FrontierGate],
+        report: &mut StepReport,
+    ) -> Result<(Candidate, usize), usize> {
+        let ctx = self.context(state);
+        // Gates flowing down from starved or refusing higher tiers
+        // (borrows only — the hot loop copies no gate data; a carried
+        // gate's stale `capability` field is irrelevant because routers
+        // serve whatever the engine hands them).
+        let mut carried: Vec<&FrontierGate> = Vec::new();
+        let mut first_pending: Option<usize> = None;
+
+        for (tier, router) in self.routers.iter().enumerate() {
+            let cap = router.capability();
+            let mut gates: Vec<&FrontierGate> =
+                frontier.iter().filter(|g| g.capability == cap).collect();
+            gates.append(&mut carried);
+            if gates.is_empty() {
+                continue;
+            }
+            first_pending.get_or_insert(gates[0].op_index);
+
+            let la: Vec<&FrontierGate> = lookahead.iter().filter(|g| g.capability == cap).collect();
+            let has_next = tier + 1 < self.routers.len();
+            let proposal = router.propose(&ctx, &gates, &la, has_next);
+
+            if has_next && !proposal.handoff.is_empty() {
+                let next_cap = self.routers[tier + 1].capability();
+                for &op_index in &proposal.handoff {
+                    report.reassigned.push((op_index, next_cap));
+                    if let Some(pos) = gates.iter().position(|g| g.op_index == op_index) {
+                        carried.push(gates.remove(pos));
+                    }
+                }
+            }
+
+            // Rank this tier's candidates through the shared comparator
+            // (earlier-proposed candidates win ties). Tier dominance
+            // makes evaluating lower tiers unnecessary once any
+            // candidate exists here.
+            let mut best: Option<Candidate> = None;
+            for mut cand in proposal.candidates {
+                cand.tier = tier as u8;
+                if best.as_ref().is_none_or(|b| cand.improves_on(b)) {
+                    best = Some(cand);
+                }
+            }
+            if let Some(best) = best {
+                return Ok((best, tier));
+            }
+            // Starved: every remaining gate of this tier flows down.
+            carried.append(&mut gates);
+        }
+
+        Err(carried
+            .first()
+            .map(|g| g.op_index)
+            .or(first_pending)
+            .unwrap_or(0))
+    }
+
+    /// Applies a winning candidate: emits [`MappedOp`]s, mutates the
+    /// state, and notifies the proposing router.
+    fn apply(
+        &mut self,
+        candidate: Candidate,
+        tier: usize,
+        state: &mut MappingState,
+        out: &mut MappedCircuit,
+        report: &mut StepReport,
+    ) {
+        for op in &candidate.ops {
+            match *op {
+                RoutingOp::Swap {
+                    a,
+                    b,
+                    site_a,
+                    site_b,
+                } => {
+                    out.ops.push(MappedOp::Swap {
+                        a,
+                        b,
+                        site_a,
+                        site_b,
+                    });
+                    state.apply_swap(a, b);
+                    report.swaps += 1;
+                }
+                RoutingOp::Move { atom, from, to } => {
+                    out.ops.push(MappedOp::Shuttle { atom, from, to });
+                    state.apply_move(atom, to);
+                    report.moves += 1;
+                }
+            }
+        }
+        self.routers[tier].note_applied(state, &candidate);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use na_circuit::Qubit;
+
+    fn params(side: u32, atoms: u32, r: f64) -> HardwareParams {
+        HardwareParams::mixed()
+            .to_builder()
+            .lattice(side, 3.0)
+            .num_atoms(atoms)
+            .radius(r)
+            .build()
+            .expect("valid")
+    }
+
+    fn gate(op_index: usize, qubits: &[u32], capability: Capability) -> FrontierGate {
+        FrontierGate {
+            op_index,
+            qubits: qubits.iter().map(|&q| Qubit(q)).collect(),
+            capability,
+        }
+    }
+
+    #[test]
+    fn from_config_registers_by_alphas() {
+        let p = params(5, 20, 1.0);
+        assert_eq!(
+            RoutingEngine::from_config(&p, &MapperConfig::hybrid(1.0))
+                .routers()
+                .len(),
+            2
+        );
+        let gate_only = RoutingEngine::from_config(&p, &MapperConfig::gate_only());
+        assert_eq!(gate_only.routers().len(), 1);
+        assert_eq!(gate_only.fallback_capability(), None);
+        let hybrid = RoutingEngine::from_config(&p, &MapperConfig::hybrid(1.0));
+        assert_eq!(hybrid.fallback_capability(), Some(Capability::Shuttling));
+    }
+
+    #[test]
+    fn degenerate_zero_alpha_config_still_routes() {
+        // Both weights zero is only constructible by hand; the decider
+        // short-circuits to GateBased, so the engine must register the
+        // gate router rather than end up empty.
+        let p = params(5, 24, 1.0);
+        let config = MapperConfig {
+            alpha_gate: 0.0,
+            alpha_shuttle: 0.0,
+            ..MapperConfig::default()
+        };
+        let mut engine = RoutingEngine::from_config(&p, &config);
+        assert_eq!(engine.routers().len(), 1);
+        let mut state = MappingState::identity(&p, 24).expect("fits");
+        let frontier = [gate(0, &[0, 12], Capability::GateBased)];
+        let mut out = MappedCircuit::new(24, 24);
+        let report = engine.step(&mut state, &frontier, &[], &mut out).unwrap();
+        assert_eq!(report.swaps, 1);
+    }
+
+    #[test]
+    fn gate_tier_wins_while_it_has_candidates() {
+        let p = params(5, 24, 1.0);
+        let mut state = MappingState::identity(&p, 24).expect("fits");
+        let mut engine = RoutingEngine::from_config(&p, &MapperConfig::hybrid(1.0));
+        let frontier = [
+            gate(0, &[0, 12], Capability::GateBased),
+            gate(1, &[3, 20], Capability::Shuttling),
+        ];
+        let mut out = MappedCircuit::new(24, 24);
+        let report = engine.step(&mut state, &frontier, &[], &mut out).unwrap();
+        assert_eq!(report.swaps, 1, "tier 0 must act first");
+        assert_eq!(report.moves, 0);
+    }
+
+    #[test]
+    fn shuttle_tier_acts_when_gate_frontier_empty() {
+        let p = params(5, 20, 1.0);
+        let mut state = MappingState::identity(&p, 20).expect("fits");
+        let mut engine = RoutingEngine::from_config(&p, &MapperConfig::hybrid(1.0));
+        let frontier = [gate(0, &[0, 19], Capability::Shuttling)];
+        let mut out = MappedCircuit::new(20, 20);
+        let report = engine.step(&mut state, &frontier, &[], &mut out).unwrap();
+        assert_eq!(report.swaps, 0);
+        assert!(report.moves >= 1);
+        assert_eq!(out.shuttle_count(), report.moves);
+    }
+
+    /// Isolates the first two atoms (no occupied interaction neighbour),
+    /// so the gate-based router has no SWAP candidate at all.
+    fn isolated_pair_state(p: &HardwareParams) -> MappingState {
+        let mut state = MappingState::identity(p, 4).expect("fits");
+        state.apply_move(crate::ops::AtomId(0), na_arch::Site::new(6, 6));
+        state.apply_move(crate::ops::AtomId(1), na_arch::Site::new(4, 3));
+        state
+    }
+
+    #[test]
+    fn starved_gate_tier_falls_through_to_shuttling() {
+        // Both gate atoms are isolated: no SWAP partner exists, so the
+        // gate-based tier starves and shuttling takes over.
+        let p = params(7, 4, 1.0);
+        let mut state = isolated_pair_state(&p);
+        let mut engine = RoutingEngine::from_config(&p, &MapperConfig::hybrid(1.0));
+        let frontier = [gate(0, &[0, 1], Capability::GateBased)];
+        let mut out = MappedCircuit::new(4, 4);
+        let report = engine.step(&mut state, &frontier, &[], &mut out).unwrap();
+        assert_eq!(report.swaps, 0);
+        assert!(report.moves >= 1, "shuttle fallback must route the gate");
+    }
+
+    #[test]
+    fn single_router_engine_reports_stuck_gate() {
+        let p = params(7, 4, 1.0);
+        let mut state = isolated_pair_state(&p);
+        let mut engine = RoutingEngine::from_config(&p, &MapperConfig::gate_only());
+        let frontier = [gate(9, &[0, 1], Capability::GateBased)];
+        let mut out = MappedCircuit::new(4, 4);
+        let err = engine
+            .step(&mut state, &frontier, &[], &mut out)
+            .unwrap_err();
+        assert_eq!(err, 9);
+    }
+
+    #[test]
+    fn step_notifies_router_and_survives_repeats() {
+        let p = params(5, 24, 1.0);
+        let mut state = MappingState::identity(&p, 24).expect("fits");
+        let mut engine = RoutingEngine::from_config(&p, &MapperConfig::hybrid(1.0));
+        let frontier = [gate(0, &[0, 23], Capability::GateBased)];
+        let mut out = MappedCircuit::new(24, 24);
+        let mut swaps = 0;
+        while !state.qubits_mutually_connected(&[Qubit(0), Qubit(23)], p.r_int) {
+            let report = engine.step(&mut state, &frontier, &[], &mut out).unwrap();
+            swaps += report.swaps + report.moves;
+            assert!(swaps < 60, "engine must converge");
+        }
+        assert!(swaps >= 1);
+    }
+}

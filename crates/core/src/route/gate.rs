@@ -4,8 +4,11 @@
 //! Two-qubit gates are swapped towards each other; gates on `m ≥ 3`
 //! qubits first need a geometric *position* — a set of `m` occupied sites
 //! pairwise within `r_int` — found by breadth-first search starting from
-//! all gate qubits simultaneously (paper §3.1.3 and Example 7). If no
-//! position exists the gate falls back to shuttling-based mapping.
+//! all gate qubits simultaneously (paper §3.1.3 and Example 7). The BFS
+//! distance fields come from the shared [`RoutingContext`] cache, so
+//! consecutive SWAP rounds (which never change occupancy) reuse them for
+//! free. If no position exists the gate is handed off to the next tier
+//! (shuttling-based mapping) via [`Proposal::handoff`].
 //!
 //! # Cost function
 //!
@@ -21,22 +24,22 @@
 //! `t(S)` counts routing steps since either atom of `S` was last involved
 //! in a SWAP, where "involved" includes atoms within the restriction
 //! radius `r_restr` of the swapped pair (the NA-specific extension noted
-//! in §3.3.1). The recency term penalizes *freshly used* pairs so larger
-//! `λ_t` spreads SWAPs across the array (the paper's parallelism dial).
-//! We use an additive penalty rather than the paper's
-//! `exp(−λ_t·t(S))` prefactor: multiplying the full distance sum lets a
-//! stale-but-useless SWAP undercut a fresh improving one once λ_t grows,
-//! which livelocks the router; the additive form keeps the improvement
-//! ordering intact and is identical at the paper's evaluated `λ_t = 0`.
+//! in §3.3.1). The recency term is the shared
+//! [`CostModel::swap_recency_penalty`].
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use na_arch::{HardwareParams, Neighborhood, Site};
 use na_circuit::Qubit;
 
 use crate::config::MapperConfig;
-use crate::connectivity::{bfs_occupied, swap_distance, UNREACHABLE};
+use crate::decision::Capability;
 use crate::ops::AtomId;
+use crate::route::distance::{swap_distance, UNREACHABLE};
+use crate::route::{
+    Candidate, CostModel, FrontierGate, Proposal, Router, RoutingContext, RoutingOp,
+};
 use crate::state::MappingState;
 
 /// A geometric realization target for a multi-qubit gate: slot `i` is the
@@ -50,7 +53,8 @@ pub struct GatePosition {
     pub cost: u32,
 }
 
-/// A frontier or lookahead gate prepared for gate-based routing.
+/// A gate prepared for gate-based routing: qubits plus the resolved
+/// position for `m ≥ 3` gates.
 #[derive(Debug, Clone)]
 pub struct RoutedGate {
     /// Index of the operation in the input circuit.
@@ -90,15 +94,12 @@ impl RoutedGate {
 }
 
 /// The gate-based router. Owns the recency bookkeeping for `t(S)` and the
-/// tabu window preventing immediate SWAP reversal.
+/// tabu window preventing immediate SWAP reversal; distance and cost
+/// terms come from the shared routing layer.
 #[derive(Debug)]
 pub struct GateRouter {
-    r_int: f64,
-    hood_int: Neighborhood,
+    cost: CostModel,
     hood_restr: Neighborhood,
-    lookahead_weight: f64,
-    decay_rate: f64,
-    recency_window: usize,
     /// Routing step at which each atom was last "used" by a SWAP.
     last_used: Vec<u64>,
     /// Monotone step counter.
@@ -111,38 +112,35 @@ impl GateRouter {
     /// Creates a router for the given hardware and configuration.
     pub fn new(params: &HardwareParams, config: &MapperConfig) -> Self {
         GateRouter {
-            r_int: params.r_int,
-            hood_int: Neighborhood::new(params.r_int),
+            cost: CostModel::new(params, config),
             hood_restr: Neighborhood::new(params.r_restr),
-            lookahead_weight: config.lookahead_weight,
-            decay_rate: config.decay_rate,
-            recency_window: config.recency_window,
             last_used: vec![0; params.num_atoms as usize],
             step: 0,
             recent_swaps: std::collections::VecDeque::new(),
         }
     }
 
-    /// The interaction neighborhood used by this router.
-    pub fn interaction_neighborhood(&self) -> &Neighborhood {
-        &self.hood_int
-    }
-
     /// Finds a geometric position for a multi-qubit gate: a set of
     /// occupied sites, pairwise within `r_int`, reachable by SWAPs from
     /// the gate qubits, minimizing the total BFS hop cost.
     ///
-    /// Returns `None` when no feasible position exists (the mapper then
-    /// reroutes the gate through shuttling, paper §3.2 (3)).
-    pub fn find_position(&self, state: &MappingState, qubits: &[Qubit]) -> Option<GatePosition> {
+    /// Returns `None` when no feasible position exists (the engine then
+    /// hands the gate to the next routing tier, paper §3.2 (3)).
+    pub fn find_position(
+        &self,
+        ctx: &RoutingContext<'_>,
+        qubits: &[Qubit],
+    ) -> Option<GatePosition> {
         let m = qubits.len();
         debug_assert!(m >= 3, "positions are for multi-qubit gates");
+        let state = ctx.state();
         let lattice = state.lattice();
 
-        // Per-qubit BFS distance fields through the occupied graph.
-        let dists: Vec<Vec<u32>> = qubits
+        // Per-qubit BFS distance fields through the occupied graph,
+        // served from the shared cache.
+        let dists: Vec<Arc<Vec<u32>>> = qubits
             .iter()
-            .map(|&q| bfs_occupied(state, &[state.site_of_qubit(q)], &self.hood_int))
+            .map(|&q| ctx.distances_from_qubit(q))
             .collect();
 
         // Anchor candidates: occupied sites reachable by every qubit,
@@ -178,7 +176,7 @@ impl GateRouter {
                 }
                 examined_since_best += 1;
             }
-            if let Some(pos) = self.position_at_anchor(state, anchor, &dists, m) {
+            if let Some(pos) = self.position_at_anchor(ctx, anchor, &dists, m) {
                 if best.as_ref().is_none_or(|b| pos.cost < b.cost) {
                     best = Some(pos);
                     examined_since_best = 0;
@@ -192,16 +190,17 @@ impl GateRouter {
     /// assigns gate qubits to slots with minimal total BFS cost.
     fn position_at_anchor(
         &self,
-        state: &MappingState,
+        ctx: &RoutingContext<'_>,
         anchor: Site,
-        dists: &[Vec<u32>],
+        dists: &[Arc<Vec<u32>>],
         m: usize,
     ) -> Option<GatePosition> {
+        let state = ctx.state();
         let lattice = state.lattice();
         // Occupied sites around (and including) the anchor, cheapest first.
         let mut candidates: Vec<(u64, Site)> = std::iter::once(anchor)
             .chain(
-                self.hood_int
+                ctx.interaction_neighborhood()
                     .around(anchor)
                     .filter(|s| lattice.contains(*s) && !state.is_free(*s)),
             )
@@ -221,7 +220,7 @@ impl GateRouter {
 
         let mut slots: Vec<Site> = Vec::with_capacity(m);
         for &(_, s) in &candidates {
-            if slots.iter().all(|&t| t.within(s, self.r_int)) {
+            if slots.iter().all(|&t| t.within(s, self.cost.r_int)) {
                 slots.push(s);
                 if slots.len() == m {
                     break;
@@ -231,7 +230,7 @@ impl GateRouter {
         if slots.len() < m {
             return None;
         }
-        let (assignment, cost) = best_assignment(dists, &slots, state.lattice())?;
+        let (assignment, cost) = best_assignment(dists, &slots, lattice)?;
         let ordered: Vec<Site> = assignment.iter().map(|&j| slots[j]).collect();
         Some(GatePosition {
             slots: ordered,
@@ -239,26 +238,35 @@ impl GateRouter {
         })
     }
 
-    /// Chooses the cheapest SWAP according to Eq. (2)–(3). Returns `None`
-    /// when no candidate exists (e.g. every frontier atom is isolated).
+    /// Chooses the cheapest SWAP according to Eq. (2)–(3). Returns the
+    /// winning pair and its cost, or `None` when no candidate exists
+    /// (e.g. every frontier atom is isolated).
     pub fn best_swap(
         &self,
-        state: &MappingState,
+        ctx: &RoutingContext<'_>,
         front: &[RoutedGate],
         lookahead: &[RoutedGate],
-    ) -> Option<(AtomId, AtomId)> {
+    ) -> Option<((AtomId, AtomId), f64)> {
+        let state = ctx.state();
         let lattice = state.lattice();
+        let r_int = self.cost.r_int;
 
         // Atom → gates index over both layers (front weight 1, lookahead w_l).
         let mut touching: HashMap<AtomId, Vec<(usize, bool)>> = HashMap::new();
         for (gi, g) in front.iter().enumerate() {
             for &q in &g.qubits {
-                touching.entry(state.atom_of_qubit(q)).or_default().push((gi, true));
+                touching
+                    .entry(state.atom_of_qubit(q))
+                    .or_default()
+                    .push((gi, true));
             }
         }
         for (gi, g) in lookahead.iter().enumerate() {
             for &q in &g.qubits {
-                touching.entry(state.atom_of_qubit(q)).or_default().push((gi, false));
+                touching
+                    .entry(state.atom_of_qubit(q))
+                    .or_default()
+                    .push((gi, false));
             }
         }
 
@@ -266,14 +274,14 @@ impl GateRouter {
         let site_now = |q: Qubit| state.site_of_qubit(q);
         let d_before_front: Vec<f64> = front
             .iter()
-            .map(|g| g.distance_with(&site_now, self.r_int))
+            .map(|g| g.distance_with(&site_now, r_int))
             .collect();
         let d_before_la: Vec<f64> = lookahead
             .iter()
-            .map(|g| g.distance_with(&site_now, self.r_int))
+            .map(|g| g.distance_with(&site_now, r_int))
             .collect();
         let baseline: f64 = d_before_front.iter().sum::<f64>()
-            + self.lookahead_weight * d_before_la.iter().sum::<f64>();
+            + self.cost.lookahead_weight * d_before_la.iter().sum::<f64>();
 
         // Candidate SWAPs: frontier gate atoms × occupied interaction
         // neighbours.
@@ -283,7 +291,7 @@ impl GateRouter {
             for &q in &g.qubits {
                 let a = state.atom_of_qubit(q);
                 let sa = state.site_of_atom(a);
-                for sb in self.hood_int.around(sa) {
+                for sb in ctx.interaction_neighborhood().around(sa) {
                     if !lattice.contains(sb) {
                         continue;
                     }
@@ -295,14 +303,20 @@ impl GateRouter {
                         continue;
                     }
                     let delta = self.swap_delta(
-                        state, pair, front, lookahead, &touching, &d_before_front, &d_before_la,
+                        state,
+                        pair,
+                        front,
+                        lookahead,
+                        &touching,
+                        &d_before_front,
+                        &d_before_la,
                     );
                     // Tabu: never undo a recent SWAP unless it improves.
                     if self.recent_swaps.contains(&pair) && delta >= 0.0 {
                         continue;
                     }
-                    let freshness = self.recency_window as f64 - self.staleness(pair);
-                    let cost = (baseline + delta) + self.decay_rate * freshness;
+                    let cost =
+                        (baseline + delta) + self.cost.swap_recency_penalty(self.staleness(pair));
                     let better = match &best {
                         None => true,
                         Some((bp, bc)) => {
@@ -315,7 +329,7 @@ impl GateRouter {
                 }
             }
         }
-        best.map(|(pair, _)| pair)
+        best
     }
 
     /// Cost delta of swapping `pair`, restricted to gates touching either
@@ -354,9 +368,9 @@ impl GateRouter {
                     let (gate, before, weight) = if is_front {
                         (&front[gi], d_before_front[gi], 1.0)
                     } else {
-                        (&lookahead[gi], d_before_la[gi], self.lookahead_weight)
+                        (&lookahead[gi], d_before_la[gi], self.cost.lookahead_weight)
                     };
-                    let after = gate.distance_with(&site_after, self.r_int);
+                    let after = gate.distance_with(&site_after, self.cost.r_int);
                     delta += weight * (after - before);
                 }
             }
@@ -366,16 +380,16 @@ impl GateRouter {
 
     /// Steps since either atom of `pair` was last used, capped at the
     /// recency window.
-    fn staleness(&self, pair: (AtomId, AtomId)) -> f64 {
+    pub fn staleness(&self, pair: (AtomId, AtomId)) -> f64 {
         let last = self.last_used[pair.0.index()].max(self.last_used[pair.1.index()]);
         let t = self.step.saturating_sub(last);
-        (t.min(self.recency_window as u64)) as f64
+        (t.min(self.cost.recency_window as u64)) as f64
     }
 
     /// Records an applied SWAP: advances the step counter, marks the
     /// swapped atoms (and those within `r_restr` of them — the restricted
     /// volume) as recently used, and updates the tabu window.
-    pub fn note_swap_applied(&mut self, state: &MappingState, a: AtomId, b: AtomId) {
+    fn note_swap_applied(&mut self, state: &MappingState, a: AtomId, b: AtomId) {
         self.step += 1;
         for atom in [a, b] {
             self.last_used[atom.index()] = self.step;
@@ -390,8 +404,84 @@ impl GateRouter {
         }
         let pair = if a.0 < b.0 { (a, b) } else { (b, a) };
         self.recent_swaps.push_back(pair);
-        while self.recent_swaps.len() > self.recency_window {
+        while self.recent_swaps.len() > self.cost.recency_window {
             self.recent_swaps.pop_front();
+        }
+    }
+}
+
+impl Router for GateRouter {
+    fn capability(&self) -> Capability {
+        Capability::GateBased
+    }
+
+    /// Resolves positions for `m ≥ 3` gates (handing off position-less
+    /// ones when a fallback tier exists), then proposes the single best
+    /// SWAP over the remaining frontier.
+    fn propose(
+        &self,
+        ctx: &RoutingContext<'_>,
+        frontier: &[&FrontierGate],
+        lookahead: &[&FrontierGate],
+        fallback: bool,
+    ) -> Proposal {
+        let mut routed: Vec<RoutedGate> = Vec::with_capacity(frontier.len());
+        let mut handoff = Vec::new();
+        for g in frontier {
+            let position = if g.qubits.len() >= 3 {
+                let pos = self.find_position(ctx, &g.qubits);
+                if pos.is_none() && fallback {
+                    // Paper §3.2 (3): no position found -> use shuttling.
+                    handoff.push(g.op_index);
+                    continue;
+                }
+                pos
+            } else {
+                None
+            };
+            routed.push(RoutedGate {
+                op_index: g.op_index,
+                qubits: g.qubits.clone(),
+                position,
+            });
+        }
+        let la: Vec<RoutedGate> = lookahead
+            .iter()
+            .map(|g| RoutedGate {
+                op_index: g.op_index,
+                qubits: g.qubits.clone(),
+                position: None,
+            })
+            .collect();
+
+        let mut candidates = Vec::new();
+        if !routed.is_empty() {
+            if let Some(((a, b), cost)) = self.best_swap(ctx, &routed, &la) {
+                let state = ctx.state();
+                candidates.push(Candidate {
+                    tier: 0, // reassigned by the engine
+                    cost,
+                    op_index: routed[0].op_index,
+                    ops: vec![RoutingOp::Swap {
+                        a,
+                        b,
+                        site_a: state.site_of_atom(a),
+                        site_b: state.site_of_atom(b),
+                    }],
+                });
+            }
+        }
+        Proposal {
+            candidates,
+            handoff,
+        }
+    }
+
+    fn note_applied(&mut self, state: &MappingState, candidate: &Candidate) {
+        for op in &candidate.ops {
+            if let RoutingOp::Swap { a, b, .. } = op {
+                self.note_swap_applied(state, *a, *b);
+            }
         }
     }
 }
@@ -400,7 +490,7 @@ impl GateRouter {
 /// qubits (permutation search), greedy beyond. Returns `(assignment,
 /// cost)` with `assignment[i]` the slot index for qubit `i`.
 fn best_assignment(
-    dists: &[Vec<u32>],
+    dists: &[Arc<Vec<u32>>],
     slots: &[Site],
     lattice: &na_arch::Lattice,
 ) -> Option<(Vec<usize>, u32)> {
@@ -473,6 +563,8 @@ fn permute(perm: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::route::distance::bfs_occupied;
+    use crate::route::DistanceCache;
     use na_arch::HardwareParams;
 
     fn params(side: u32, atoms: u32, r: f64) -> HardwareParams {
@@ -493,39 +585,68 @@ mod tests {
         }
     }
 
+    struct Fixture {
+        state: MappingState,
+        hood: Neighborhood,
+        r_int: f64,
+        cache: DistanceCache,
+    }
+
+    impl Fixture {
+        fn new(p: &HardwareParams, qubits: u32) -> Self {
+            Fixture {
+                state: MappingState::identity(p, qubits).expect("fits"),
+                hood: Neighborhood::new(p.r_int),
+                r_int: p.r_int,
+                cache: DistanceCache::new(),
+            }
+        }
+
+        fn ctx(&self) -> RoutingContext<'_> {
+            RoutingContext::new(&self.state, &self.hood, self.r_int, &self.cache)
+        }
+    }
+
     #[test]
     fn best_swap_moves_qubits_closer() {
         // 5x5 dense row-major layout, r_int = 1: qubit 0 at (0,0), qubit 12
         // at (2,2). Any useful SWAP reduces their separation.
         let p = params(5, 24, 1.0);
-        let mut state = MappingState::identity(&p, 24).expect("fits");
+        let mut fx = Fixture::new(&p, 24);
         let cfg = MapperConfig::gate_only();
         let router = GateRouter::new(&p, &cfg);
         let front = [routed(&[0, 12])];
-        let before = state
+        let before = fx
+            .state
             .site_of_qubit(Qubit(0))
-            .distance(state.site_of_qubit(Qubit(12)));
-        let (a, b) = router.best_swap(&state, &front, &[]).expect("candidates");
-        state.apply_swap(a, b);
-        let after = state
+            .distance(fx.state.site_of_qubit(Qubit(12)));
+        let ((a, b), _) = router
+            .best_swap(&fx.ctx(), &front, &[])
+            .expect("candidates");
+        fx.state.apply_swap(a, b);
+        let after = fx
+            .state
             .site_of_qubit(Qubit(0))
-            .distance(state.site_of_qubit(Qubit(12)));
-        assert!(after < before, "swap must reduce distance: {before} -> {after}");
+            .distance(fx.state.site_of_qubit(Qubit(12)));
+        assert!(
+            after < before,
+            "swap must reduce distance: {before} -> {after}"
+        );
     }
 
     #[test]
     fn routing_converges_to_executable() {
         let p = params(5, 24, 1.0);
-        let mut state = MappingState::identity(&p, 24).expect("fits");
+        let mut fx = Fixture::new(&p, 24);
         let cfg = MapperConfig::gate_only();
         let mut router = GateRouter::new(&p, &cfg);
         let front = [routed(&[0, 23])];
         let qubits = [Qubit(0), Qubit(23)];
         let mut swaps = 0;
-        while !state.qubits_mutually_connected(&qubits, p.r_int) {
-            let (a, b) = router.best_swap(&state, &front, &[]).expect("progress");
-            state.apply_swap(a, b);
-            router.note_swap_applied(&state, a, b);
+        while !fx.state.qubits_mutually_connected(&qubits, p.r_int) {
+            let ((a, b), _) = router.best_swap(&fx.ctx(), &front, &[]).expect("progress");
+            fx.state.apply_swap(a, b);
+            router.note_swap_applied(&fx.state, a, b);
             swaps += 1;
             assert!(swaps < 50, "routing must converge");
         }
@@ -537,7 +658,7 @@ mod tests {
     #[test]
     fn lookahead_breaks_ties_towards_future_gates() {
         let p = params(5, 24, 1.0);
-        let state = MappingState::identity(&p, 24).expect("fits");
+        let fx = Fixture::new(&p, 24);
         let cfg = MapperConfig::gate_only();
         let router = GateRouter::new(&p, &cfg);
         // Frontier gate between q0 (0,0) and q2 (2,0); lookahead wants q0
@@ -545,13 +666,16 @@ mod tests {
         // lookahead prefers candidates that do not hurt q10's gate.
         let front = [routed(&[0, 2])];
         let la = [routed(&[0, 10])];
-        let (a, b) = router.best_swap(&state, &front, &la).expect("candidates");
+        let ((a, b), _) = router
+            .best_swap(&fx.ctx(), &front, &la)
+            .expect("candidates");
         // Either way the front distance shrinks.
-        let mut s2 = state.clone();
+        let mut s2 = fx.state.clone();
         s2.apply_swap(a, b);
-        let d_front_before = state
+        let d_front_before = fx
+            .state
             .site_of_qubit(Qubit(0))
-            .distance(state.site_of_qubit(Qubit(2)));
+            .distance(fx.state.site_of_qubit(Qubit(2)));
         let d_front_after = s2
             .site_of_qubit(Qubit(0))
             .distance(s2.site_of_qubit(Qubit(2)));
@@ -562,11 +686,13 @@ mod tests {
     fn find_position_rectangle_at_sqrt2() {
         // Example 7: r_int = √2 requires an L-shaped/rectangular cluster.
         let p = params(5, 24, std::f64::consts::SQRT_2);
-        let state = MappingState::identity(&p, 24).expect("fits");
+        let fx = Fixture::new(&p, 24);
         let cfg = MapperConfig::gate_only();
         let router = GateRouter::new(&p, &cfg);
         let qubits = [Qubit(0), Qubit(1), Qubit(5)]; // already L-shaped
-        let pos = router.find_position(&state, &qubits).expect("position exists");
+        let pos = router
+            .find_position(&fx.ctx(), &qubits)
+            .expect("position exists");
         assert_eq!(pos.cost, 0, "qubits already form a valid position");
         // All slots pairwise within r_int.
         for (i, &a) in pos.slots.iter().enumerate() {
@@ -579,12 +705,14 @@ mod tests {
     #[test]
     fn find_position_gathers_distant_qubits() {
         let p = params(6, 35, std::f64::consts::SQRT_2);
-        let state = MappingState::identity(&p, 35).expect("fits");
+        let fx = Fixture::new(&p, 35);
         let cfg = MapperConfig::gate_only();
         let router = GateRouter::new(&p, &cfg);
         // Qubits at three corners of the lattice.
         let qubits = [Qubit(0), Qubit(5), Qubit(30)];
-        let pos = router.find_position(&state, &qubits).expect("position exists");
+        let pos = router
+            .find_position(&fx.ctx(), &qubits)
+            .expect("position exists");
         assert!(pos.cost > 0);
         for (i, &a) in pos.slots.iter().enumerate() {
             for &b in &pos.slots[i + 1..] {
@@ -598,13 +726,13 @@ mod tests {
         // 2 atoms in opposite corners of a 9x9 lattice with r_int = 1:
         // no third atom exists, and they cannot even reach each other.
         let p = params(9, 3, 1.0);
-        let mut state = MappingState::identity(&p, 3).expect("fits");
-        state.apply_move(AtomId(0), Site::new(8, 8));
-        state.apply_move(AtomId(1), Site::new(0, 8));
+        let mut fx = Fixture::new(&p, 3);
+        fx.state.apply_move(AtomId(0), Site::new(8, 8));
+        fx.state.apply_move(AtomId(1), Site::new(0, 8));
         // Atom 2 stays at (2,0); all three are isolated.
         let cfg = MapperConfig::gate_only();
         let router = GateRouter::new(&p, &cfg);
-        let pos = router.find_position(&state, &[Qubit(0), Qubit(1), Qubit(2)]);
+        let pos = router.find_position(&fx.ctx(), &[Qubit(0), Qubit(1), Qubit(2)]);
         assert!(pos.is_none());
     }
 
@@ -628,14 +756,36 @@ mod tests {
         let state = MappingState::identity(&p, 15).expect("fits");
         let hood = Neighborhood::new(2.0);
         let sites = [Site::new(0, 0), Site::new(1, 0), Site::new(2, 0)];
-        let dists: Vec<Vec<u32>> = sites
+        let dists: Vec<Arc<Vec<u32>>> = sites
             .iter()
-            .map(|&s| bfs_occupied(&state, &[s], &hood))
+            .map(|&s| Arc::new(bfs_occupied(&state, &[s], &hood)))
             .collect();
         // Slots identical to sources: zero-cost identity assignment.
         let (assignment, cost) =
             best_assignment(&dists, &sites, state.lattice()).expect("feasible");
         assert_eq!(cost, 0);
         assert_eq!(assignment, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn propose_hands_off_positionless_gates_only_with_fallback() {
+        let p = params(9, 3, 1.0);
+        let mut fx = Fixture::new(&p, 3);
+        fx.state.apply_move(AtomId(0), Site::new(8, 8));
+        fx.state.apply_move(AtomId(1), Site::new(0, 8));
+        let router = GateRouter::new(&p, &MapperConfig::hybrid(1.0));
+        let gate = FrontierGate {
+            op_index: 7,
+            qubits: vec![Qubit(0), Qubit(1), Qubit(2)],
+            capability: Capability::GateBased,
+        };
+        let with_fb = router.propose(&fx.ctx(), &[&gate], &[], true);
+        assert_eq!(with_fb.handoff, vec![7]);
+        assert!(with_fb.candidates.is_empty());
+        // Without a fallback tier the gate stays (and, with every atom
+        // isolated, yields no SWAP candidate either).
+        let without_fb = router.propose(&fx.ctx(), &[&gate], &[], false);
+        assert!(without_fb.handoff.is_empty());
+        assert!(without_fb.candidates.is_empty());
     }
 }

@@ -1,0 +1,234 @@
+//! The unified routing engine.
+//!
+//! This subsystem factors gate-based and shuttling-based mapping onto one
+//! abstraction (the hybrid decision of the paper becomes a property of
+//! the *engine*, not an if/else in the mapper):
+//!
+//! ```text
+//!                 ┌─────────────────────────────────┐
+//!                 │          RoutingEngine          │
+//!                 │  tier 0        tier 1     ...   │
+//!  frontier ───▶  │ GateRouter  ShuttleRouter (+N)  │ ──▶ best Candidate
+//!  lookahead ──▶  │     └── propose(ctx) ──┘        │      (one comparator)
+//!                 └───────────────┬─────────────────┘
+//!                                 │ RoutingContext
+//!                 ┌───────────────▼─────────────────┐
+//!                 │ shared layer: CostModel (Eq.1–5)│
+//!                 │ DistanceCache (BFS, occupancy-  │
+//!                 │ epoch invalidation), distance   │
+//!                 └─────────────────────────────────┘
+//! ```
+//!
+//! * [`Router`] — one routing strategy: proposes [`Candidate`]s for the
+//!   frontier gates assigned to its [`Capability`] and is notified when
+//!   one of its candidates is applied.
+//! * [`Candidate`] — a scored sequence of primitive routing operations
+//!   ([`RoutingOp`]); candidates from *all* registered routers are ranked
+//!   by one lexicographic comparator (`tier`, then `cost`).
+//! * [`CostModel`] — the paper's Eq. (1)–(5) fidelity/timing terms,
+//!   shared by the capability decider and every router.
+//! * [`RoutingContext`] / [`DistanceCache`] — cached per-layer BFS
+//!   distance fields (invalidated only when trap occupancy changes).
+//! * [`RoutingEngine`] — registers routers in priority order, runs the
+//!   propose → rank → apply round, and reports capability handoffs.
+//!
+//! Adding a third strategy (e.g. the combined SWAP+shuttle chains of the
+//! paper's §V outlook) is one new file implementing [`Router`] plus a
+//! registration call — the mapper is strategy-agnostic.
+
+pub mod context;
+pub mod cost;
+pub mod distance;
+pub mod engine;
+pub mod gate;
+pub mod shuttle;
+
+pub use context::{DistanceCache, RoutingContext};
+pub use cost::CostModel;
+pub use engine::{RoutingEngine, StepReport};
+pub use gate::{GatePosition, GateRouter};
+pub use shuttle::{ChainMove, MoveChain, ShuttleRouter};
+
+use na_arch::Site;
+use na_circuit::Qubit;
+
+use crate::decision::Capability;
+use crate::ops::AtomId;
+use crate::state::MappingState;
+
+/// A frontier or lookahead gate annotated with its assigned capability —
+/// the unit of work handed to the engine each routing round.
+#[derive(Debug, Clone)]
+pub struct FrontierGate {
+    /// Index of the operation in the (native-decomposed) input circuit.
+    pub op_index: usize,
+    /// The gate's circuit qubits.
+    pub qubits: Vec<Qubit>,
+    /// The capability this gate is currently assigned to.
+    pub capability: Capability,
+}
+
+/// One primitive routing operation inside a [`Candidate`]. Mirrors the
+/// routing variants of [`crate::ops::MappedOp`], with sites captured at
+/// proposal time (sequentially consistent within the candidate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoutingOp {
+    /// Exchange the circuit qubits of two atoms.
+    Swap {
+        /// First atom.
+        a: AtomId,
+        /// Second atom.
+        b: AtomId,
+        /// Site of `a` when the swap executes.
+        site_a: Site,
+        /// Site of `b` when the swap executes.
+        site_b: Site,
+    },
+    /// Shuttle an atom to a free site.
+    Move {
+        /// The moved atom.
+        atom: AtomId,
+        /// Source site when the move executes.
+        from: Site,
+        /// Target site (free when the move executes).
+        to: Site,
+    },
+}
+
+/// A scored routing proposal: the primitive operations to apply this
+/// round, plus the comparator keys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Priority tier of the proposing router (assigned by the engine;
+    /// lower is ranked first). Tier dominance encodes the paper's
+    /// §3.2 (4): shuttling candidates are only considered once the
+    /// gate-based frontier produced none, so SWAPs and shuttles do not
+    /// interfere.
+    pub tier: u8,
+    /// Router-native cost (Eq. 2–3 for SWAPs, Eq. 4–5 for chains).
+    /// Compared only within a tier.
+    pub cost: f64,
+    /// `op_index` of the frontier gate this candidate primarily serves.
+    pub op_index: usize,
+    /// Operations in execution order (move-aways precede dependent
+    /// moves).
+    pub ops: Vec<RoutingOp>,
+}
+
+impl Candidate {
+    /// The unified comparator: lexicographic `(tier, cost)` with the same
+    /// strict-improvement tolerance both routers historically used.
+    /// Earlier-proposed candidates win ties, keeping routing
+    /// deterministic.
+    pub fn improves_on(&self, other: &Candidate) -> bool {
+        self.tier < other.tier || (self.tier == other.tier && self.cost < other.cost - 1e-12)
+    }
+
+    /// Number of SWAP operations in this candidate.
+    pub fn swap_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, RoutingOp::Swap { .. }))
+            .count()
+    }
+
+    /// Number of shuttle moves in this candidate.
+    pub fn move_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, RoutingOp::Move { .. }))
+            .count()
+    }
+}
+
+/// A router's answer to one propose call.
+#[derive(Debug, Clone, Default)]
+pub struct Proposal {
+    /// Scored candidates (the engine assigns their tier).
+    pub candidates: Vec<Candidate>,
+    /// `op_index`es of gates this router cannot serve and hands off to
+    /// the next tier *permanently* (e.g. a multi-qubit gate without a
+    /// geometric position, paper §3.2 (3)). Only honored when a
+    /// lower-priority router exists.
+    pub handoff: Vec<usize>,
+}
+
+/// One routing strategy: proposes candidates for the gates assigned to
+/// its capability.
+///
+/// Implementations may keep internal recency/tabu bookkeeping; the
+/// engine calls [`Router::note_applied`] exactly once per applied
+/// candidate, after the state mutation.
+pub trait Router: std::fmt::Debug {
+    /// The capability whose gates this router serves.
+    fn capability(&self) -> Capability;
+
+    /// Proposes candidates for `frontier` (the engine passes only gates
+    /// assigned to this router, as borrows — the per-round hot loop
+    /// copies no gate data). `lookahead` carries the lookahead gates of
+    /// the same capability; `fallback` is `true` when a lower-priority
+    /// router exists to take over gates listed in [`Proposal::handoff`].
+    fn propose(
+        &self,
+        ctx: &RoutingContext<'_>,
+        frontier: &[&FrontierGate],
+        lookahead: &[&FrontierGate],
+        fallback: bool,
+    ) -> Proposal;
+
+    /// Notifies the router that `candidate` (one of its own proposals)
+    /// was applied; `state` reflects the post-application mapping.
+    fn note_applied(&mut self, state: &MappingState, candidate: &Candidate);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(tier: u8, cost: f64) -> Candidate {
+        Candidate {
+            tier,
+            cost,
+            op_index: 0,
+            ops: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn comparator_is_tier_dominant() {
+        assert!(cand(0, 100.0).improves_on(&cand(1, -100.0)));
+        assert!(!cand(1, -100.0).improves_on(&cand(0, 100.0)));
+    }
+
+    #[test]
+    fn comparator_breaks_ties_towards_earlier_candidates() {
+        // Equal cost within tolerance: the incumbent (earlier) wins.
+        assert!(!cand(0, 1.0).improves_on(&cand(0, 1.0)));
+        assert!(!cand(0, 1.0 - 5e-13).improves_on(&cand(0, 1.0)));
+        assert!(cand(0, 0.5).improves_on(&cand(0, 1.0)));
+    }
+
+    #[test]
+    fn op_counts_by_kind() {
+        let c = Candidate {
+            tier: 0,
+            cost: 0.0,
+            op_index: 3,
+            ops: vec![
+                RoutingOp::Move {
+                    atom: AtomId(0),
+                    from: Site::new(0, 0),
+                    to: Site::new(1, 1),
+                },
+                RoutingOp::Swap {
+                    a: AtomId(1),
+                    b: AtomId(2),
+                    site_a: Site::new(1, 0),
+                    site_b: Site::new(2, 0),
+                },
+            ],
+        };
+        assert_eq!(c.swap_count(), 1);
+        assert_eq!(c.move_count(), 1);
+    }
+}

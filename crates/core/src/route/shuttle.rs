@@ -14,26 +14,21 @@
 //! qubit (which stays put) plus a fallback anchor scan for crowded
 //! regions; chains are kept minimal (bounded by `2(m − 1)` moves) on the
 //! intuition that two moves are unlikely to beat one even when
-//! parallelized (§3.3.2).
+//! parallelized (§3.3.2). Timing and parallelism terms come from the
+//! shared [`CostModel`].
 
 use std::collections::VecDeque;
 
-use na_arch::{aod, HardwareParams, Move, Neighborhood, Site};
+use na_arch::{HardwareParams, Move, Site};
 use na_circuit::Qubit;
 
 use crate::config::MapperConfig;
-use crate::connectivity::gate_remaining_distance;
+use crate::decision::Capability;
 use crate::ops::AtomId;
+use crate::route::{
+    Candidate, CostModel, FrontierGate, Proposal, Router, RoutingContext, RoutingOp,
+};
 use crate::state::MappingState;
-
-/// A frontier or lookahead gate prepared for shuttling-based routing.
-#[derive(Debug, Clone)]
-pub struct ShuttleGate {
-    /// Index of the operation in the input circuit.
-    pub op_index: usize,
-    /// The gate's circuit qubits.
-    pub qubits: Vec<Qubit>,
-}
 
 /// One move of a chain, bound to the atom that travels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,8 +50,8 @@ impl ChainMove {
 /// A complete move chain making one frontier gate executable.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MoveChain {
-    /// Index into the frontier slice this chain serves.
-    pub gate: usize,
+    /// `op_index` of the frontier gate this chain serves.
+    pub op_index: usize,
     /// Moves in execution order (move-aways precede dependent moves).
     pub moves: Vec<ChainMove>,
     /// Total cost under Eq. (4).
@@ -64,18 +59,11 @@ pub struct MoveChain {
 }
 
 /// The shuttling-based router. Owns the recent-move window used by the
-/// parallelism term `C_t_parallel`.
+/// parallelism term `C_t_parallel`; cost terms come from the shared
+/// [`CostModel`].
 #[derive(Debug)]
 pub struct ShuttleRouter {
-    r_int: f64,
-    hood_int: Neighborhood,
-    lookahead_weight: f64,
-    time_weight: f64,
-    recency_window: usize,
-    t_act_us: f64,
-    t_deact_us: f64,
-    speed_um_per_us: f64,
-    lattice_constant_um: f64,
+    cost: CostModel,
     recent_moves: VecDeque<Move>,
 }
 
@@ -83,73 +71,65 @@ impl ShuttleRouter {
     /// Creates a router for the given hardware and configuration.
     pub fn new(params: &HardwareParams, config: &MapperConfig) -> Self {
         ShuttleRouter {
-            r_int: params.r_int,
-            hood_int: Neighborhood::new(params.r_int),
-            lookahead_weight: config.lookahead_weight,
-            time_weight: config.time_weight,
-            recency_window: config.recency_window,
-            t_act_us: params.t_act_us,
-            t_deact_us: params.t_deact_us,
-            speed_um_per_us: params.shuttle_speed_um_per_us,
-            lattice_constant_um: params.lattice_constant_um,
+            cost: CostModel::new(params, config),
             recent_moves: VecDeque::new(),
         }
     }
 
-    /// Chooses the cheapest move chain over all frontier gates according
-    /// to Eq. (4)–(5). Returns `None` if no gate needs routing or no
-    /// chain could be constructed.
-    pub fn best_chain(
+    /// The best chain for each non-executable frontier gate, in frontier
+    /// order.
+    pub fn best_chains(
         &self,
-        state: &MappingState,
-        front: &[ShuttleGate],
-        lookahead: &[ShuttleGate],
-    ) -> Option<MoveChain> {
-        let mut best: Option<MoveChain> = None;
-        for (gi, gate) in front.iter().enumerate() {
-            if state.qubits_mutually_connected(&gate.qubits, self.r_int) {
+        ctx: &RoutingContext<'_>,
+        front: &[&FrontierGate],
+        lookahead: &[&FrontierGate],
+    ) -> Vec<MoveChain> {
+        let state = ctx.state();
+        let mut result = Vec::new();
+        for gate in front {
+            if state.qubits_mutually_connected(&gate.qubits, self.cost.r_int) {
                 continue; // already executable
             }
-            for chain in self.chains_for_gate(state, &gate.qubits) {
+            let mut best: Option<MoveChain> = None;
+            for chain in self.chains_for_gate(ctx, &gate.qubits) {
                 let cost = self.chain_cost(state, &chain, front, lookahead);
-                if best
-                    .as_ref()
-                    .is_none_or(|b| cost < b.cost - 1e-12)
-                {
+                if best.as_ref().is_none_or(|b| cost < b.cost - 1e-12) {
                     best = Some(MoveChain {
-                        gate: gi,
+                        op_index: gate.op_index,
                         moves: chain,
                         cost,
                     });
                 }
             }
+            result.extend(best);
         }
-        best
+        result
     }
 
     /// Candidate chains for one gate: one per viable central qubit, plus
     /// anchor-scan fallbacks when no center works.
-    fn chains_for_gate(&self, state: &MappingState, qubits: &[Qubit]) -> Vec<Vec<ChainMove>> {
+    fn chains_for_gate(&self, ctx: &RoutingContext<'_>, qubits: &[Qubit]) -> Vec<Vec<ChainMove>> {
+        let state = ctx.state();
         let mut chains = Vec::new();
         for (ci, &center) in qubits.iter().enumerate() {
             let anchor = state.site_of_qubit(center);
-            if let Some(chain) = self.build_chain(state, qubits, anchor, Some(ci)) {
+            if let Some(chain) = self.build_chain(ctx, qubits, anchor, Some(ci)) {
                 chains.push(chain);
             }
         }
         if chains.is_empty() {
             // Fallback: scan anchors near the gate centroid.
-            let centroid = centroid_of(state, qubits);
+            let centroid = ctx.centroid_of(qubits);
             let lattice = state.lattice();
             let mut anchors: Vec<Site> = lattice.iter().collect();
             anchors.sort_by(|a, b| {
-                dist2_to(centroid, *a)
-                    .partial_cmp(&dist2_to(centroid, *b))
+                RoutingContext::dist_sq_to(centroid, *a)
+                    .partial_cmp(&RoutingContext::dist_sq_to(centroid, *b))
                     .expect("finite")
                     .then(a.cmp(b))
             });
             for anchor in anchors.into_iter().take(64) {
-                if let Some(chain) = self.build_chain(state, qubits, anchor, None) {
+                if let Some(chain) = self.build_chain(ctx, qubits, anchor, None) {
                     chains.push(chain);
                     break;
                 }
@@ -163,12 +143,14 @@ impl ShuttleRouter {
     /// stays on its current site.
     fn build_chain(
         &self,
-        state: &MappingState,
+        ctx: &RoutingContext<'_>,
         qubits: &[Qubit],
         anchor: Site,
         center: Option<usize>,
     ) -> Option<Vec<ChainMove>> {
+        let state = ctx.state();
         let lattice = state.lattice();
+        let r_int = self.cost.r_int;
         let mut sim = state.clone();
         let mut moves: Vec<ChainMove> = Vec::new();
         let mut placed: Vec<Site> = Vec::new();
@@ -188,8 +170,8 @@ impl ShuttleRouter {
         for &qi in &order {
             let q = qubits[qi];
             let here = sim.site_of_qubit(q);
-            let stays = placed.iter().all(|&t| t.within(here, self.r_int))
-                && (center == Some(qi) || here.within(anchor, self.r_int));
+            let stays = placed.iter().all(|&t| t.within(here, r_int))
+                && (center == Some(qi) || here.within(anchor, r_int));
             if stays {
                 // Already compatible with everything placed so far.
                 placed.push(here);
@@ -198,10 +180,10 @@ impl ShuttleRouter {
             // Candidate targets around the anchor, nearest to the qubit
             // first; must stay compatible with already-placed sites.
             let mut candidates: Vec<Site> = std::iter::once(anchor)
-                .chain(self.hood_int.around(anchor))
+                .chain(ctx.interaction_neighborhood().around(anchor))
                 .filter(|s| {
                     lattice.contains(*s)
-                        && placed.iter().all(|&t| t.within(*s, self.r_int))
+                        && placed.iter().all(|&t| t.within(*s, r_int))
                         && !placed.contains(s)
                 })
                 .collect();
@@ -214,8 +196,7 @@ impl ShuttleRouter {
             } else {
                 // Move-away: evict the blocking atom from the best
                 // occupied candidate that is not another gate qubit.
-                let gate_sites: Vec<Site> =
-                    qubits.iter().map(|&g| sim.site_of_qubit(g)).collect();
+                let gate_sites: Vec<Site> = qubits.iter().map(|&g| sim.site_of_qubit(g)).collect();
                 let mut evicted = None;
                 for &s in &candidates {
                     if gate_sites.contains(&s) {
@@ -252,7 +233,7 @@ impl ShuttleRouter {
         }
 
         // Chain must actually make the gate executable.
-        if !sim.qubits_mutually_connected(qubits, self.r_int) {
+        if !sim.qubits_mutually_connected(qubits, r_int) {
             return None;
         }
         // Center-based chains respect the paper's 2(m−1) bound; the anchor
@@ -266,93 +247,104 @@ impl ShuttleRouter {
         &self,
         state: &MappingState,
         chain: &[ChainMove],
-        front: &[ShuttleGate],
-        lookahead: &[ShuttleGate],
+        front: &[&FrontierGate],
+        lookahead: &[&FrontierGate],
     ) -> f64 {
+        let r_int = self.cost.r_int;
         let mut sim = state.clone();
         let mut recent: Vec<Move> = self.recent_moves.iter().copied().collect();
         let mut total = 0.0;
+        let remaining = |s: &MappingState, gates: &[&FrontierGate]| -> f64 {
+            gates
+                .iter()
+                .map(|g| crate::route::distance::gate_remaining_distance(s, &g.qubits, r_int))
+                .sum()
+        };
         for mv in chain {
-            let before_f: f64 = front
-                .iter()
-                .map(|g| gate_remaining_distance(&sim, &g.qubits, self.r_int))
-                .sum();
-            let before_l: f64 = lookahead
-                .iter()
-                .map(|g| gate_remaining_distance(&sim, &g.qubits, self.r_int))
-                .sum();
+            let before_f = remaining(&sim, front);
+            let before_l = remaining(&sim, lookahead);
             sim.apply_move(mv.atom, mv.to);
-            let after_f: f64 = front
-                .iter()
-                .map(|g| gate_remaining_distance(&sim, &g.qubits, self.r_int))
-                .sum();
-            let after_l: f64 = lookahead
-                .iter()
-                .map(|g| gate_remaining_distance(&sim, &g.qubits, self.r_int))
-                .sum();
+            let after_f = remaining(&sim, front);
+            let after_l = remaining(&sim, lookahead);
 
             let c_parallel: f64 = recent
                 .iter()
                 .rev()
-                .take(self.recency_window)
-                .map(|m| self.delta_t(&mv.as_move(), m))
+                .take(self.cost.recency_window)
+                .map(|m| self.cost.shuttle_delta_t(&mv.as_move(), m))
                 .sum();
 
             total += (after_f - before_f)
-                + self.lookahead_weight * (after_l - before_l)
-                + self.time_weight * c_parallel;
+                + self.cost.lookahead_weight * (after_l - before_l)
+                + self.cost.time_weight * c_parallel;
             recent.push(mv.as_move());
         }
         total
     }
 
-    /// The ΔT(M, M_t) model of §3.3.2: zero when fully parallelizable
-    /// with a recent move, activation overhead when only loading
-    /// parallelizes, full standalone time otherwise.
-    fn delta_t(&self, m: &Move, recent: &Move) -> f64 {
-        if aod::moves_fully_parallel(m, recent) {
-            0.0
-        } else if aod::loads_parallel(m, recent) {
-            self.t_act_us + self.t_deact_us
-        } else {
-            self.t_act_us
-                + m.rectilinear_distance() * self.lattice_constant_um / self.speed_um_per_us
-                + self.t_deact_us
-        }
-    }
-
     /// Records applied moves into the recency window.
-    pub fn note_moves_applied(&mut self, moves: &[ChainMove]) {
+    fn note_moves_applied(&mut self, moves: impl Iterator<Item = Move>) {
         for mv in moves {
-            self.recent_moves.push_back(mv.as_move());
-            while self.recent_moves.len() > self.recency_window {
+            self.recent_moves.push_back(mv);
+            while self.recent_moves.len() > self.cost.recency_window {
                 self.recent_moves.pop_front();
             }
         }
     }
 }
 
-fn centroid_of(state: &MappingState, qubits: &[Qubit]) -> (f64, f64) {
-    let mut x = 0.0;
-    let mut y = 0.0;
-    for &q in qubits {
-        let s = state.site_of_qubit(q);
-        x += f64::from(s.x);
-        y += f64::from(s.y);
+impl Router for ShuttleRouter {
+    fn capability(&self) -> Capability {
+        Capability::Shuttling
     }
-    let n = qubits.len() as f64;
-    (x / n, y / n)
-}
 
-fn dist2_to(centroid: (f64, f64), s: Site) -> f64 {
-    let dx = f64::from(s.x) - centroid.0;
-    let dy = f64::from(s.y) - centroid.1;
-    dx * dx + dy * dy
+    /// Proposes the best chain per frontier gate; ranking across gates
+    /// happens in the engine's shared comparator.
+    fn propose(
+        &self,
+        ctx: &RoutingContext<'_>,
+        frontier: &[&FrontierGate],
+        lookahead: &[&FrontierGate],
+        _fallback: bool,
+    ) -> Proposal {
+        let candidates = self
+            .best_chains(ctx, frontier, lookahead)
+            .into_iter()
+            .map(|chain| Candidate {
+                tier: 0, // reassigned by the engine
+                cost: chain.cost,
+                op_index: chain.op_index,
+                ops: chain
+                    .moves
+                    .iter()
+                    .map(|mv| RoutingOp::Move {
+                        atom: mv.atom,
+                        from: mv.from,
+                        to: mv.to,
+                    })
+                    .collect(),
+            })
+            .collect();
+        Proposal {
+            candidates,
+            handoff: Vec::new(),
+        }
+    }
+
+    fn note_applied(&mut self, _state: &MappingState, candidate: &Candidate) {
+        self.note_moves_applied(candidate.ops.iter().filter_map(|op| match op {
+            RoutingOp::Move { from, to, .. } => Some(Move::new(*from, *to)),
+            _ => None,
+        }));
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use na_arch::Neighborhood;
+
+    use crate::route::DistanceCache;
 
     fn params(side: u32, atoms: u32, r: f64) -> HardwareParams {
         HardwareParams::shuttling()
@@ -364,11 +356,44 @@ mod tests {
             .expect("valid")
     }
 
-    fn gate(qubits: &[u32]) -> ShuttleGate {
-        ShuttleGate {
+    fn gate(qubits: &[u32]) -> FrontierGate {
+        FrontierGate {
             op_index: 0,
             qubits: qubits.iter().map(|&q| Qubit(q)).collect(),
+            capability: Capability::Shuttling,
         }
+    }
+
+    struct Fixture {
+        state: MappingState,
+        hood: Neighborhood,
+        r_int: f64,
+        cache: DistanceCache,
+    }
+
+    impl Fixture {
+        fn new(p: &HardwareParams, qubits: u32) -> Self {
+            Fixture {
+                state: MappingState::identity(p, qubits).expect("fits"),
+                hood: Neighborhood::new(p.r_int),
+                r_int: p.r_int,
+                cache: DistanceCache::new(),
+            }
+        }
+
+        fn ctx(&self) -> RoutingContext<'_> {
+            RoutingContext::new(&self.state, &self.hood, self.r_int, &self.cache)
+        }
+    }
+
+    fn best_of(router: &ShuttleRouter, fx: &Fixture, front: &[&FrontierGate]) -> Option<MoveChain> {
+        let mut best: Option<MoveChain> = None;
+        for chain in router.best_chains(&fx.ctx(), front, &[]) {
+            if best.as_ref().is_none_or(|b| chain.cost < b.cost - 1e-12) {
+                best = Some(chain);
+            }
+        }
+        best
     }
 
     fn apply(state: &mut MappingState, chain: &MoveChain) {
@@ -381,34 +406,38 @@ mod tests {
     fn direct_move_when_free_site_available() {
         // 5x5 lattice, 10 atoms in the top two rows; plenty of free sites.
         let p = params(5, 10, 1.0);
-        let mut state = MappingState::identity(&p, 10).expect("fits");
+        let mut fx = Fixture::new(&p, 10);
         let router = ShuttleRouter::new(&p, &MapperConfig::shuttle_only());
         // q0 at (0,0), q9 at (4,1): distance > 1.
-        let front = [gate(&[0, 9])];
-        let chain = router.best_chain(&state, &front, &[]).expect("chain");
+        let front = [&gate(&[0, 9])];
+        let chain = best_of(&router, &fx, &front).expect("chain");
         assert_eq!(chain.moves.len(), 1, "one direct move suffices");
-        apply(&mut state, &chain);
-        assert!(state.qubits_mutually_connected(&[Qubit(0), Qubit(9)], p.r_int));
-        state.check_invariants().unwrap();
+        apply(&mut fx.state, &chain);
+        assert!(fx
+            .state
+            .qubits_mutually_connected(&[Qubit(0), Qubit(9)], p.r_int));
+        fx.state.check_invariants().unwrap();
     }
 
     #[test]
     fn move_away_used_in_crowded_region() {
         // Dense 4x4 lattice with 15 atoms; a single free site at (3,3).
         let p = params(4, 15, 1.0);
-        let mut state = MappingState::identity(&p, 15).expect("fits");
+        let mut fx = Fixture::new(&p, 15);
         let router = ShuttleRouter::new(&p, &MapperConfig::shuttle_only());
         // q0 at (0,0) and q10 at (2,2): all neighbours of both are occupied.
-        let front = [gate(&[0, 10])];
-        let chain = router.best_chain(&state, &front, &[]).expect("chain");
+        let front = [&gate(&[0, 10])];
+        let chain = best_of(&router, &fx, &front).expect("chain");
         assert!(
             chain.moves.len() >= 2,
             "crowded routing needs a move-away, got {:?}",
             chain.moves
         );
-        apply(&mut state, &chain);
-        assert!(state.qubits_mutually_connected(&[Qubit(0), Qubit(10)], p.r_int));
-        state.check_invariants().unwrap();
+        apply(&mut fx.state, &chain);
+        assert!(fx
+            .state
+            .qubits_mutually_connected(&[Qubit(0), Qubit(10)], p.r_int));
+        fx.state.check_invariants().unwrap();
     }
 
     #[test]
@@ -416,10 +445,10 @@ mod tests {
         // r_int = √2: three qubits fit an L-shaped arrangement (at r = 1
         // no three lattice sites are pairwise within range at all).
         let p = params(5, 20, std::f64::consts::SQRT_2);
-        let state = MappingState::identity(&p, 20).expect("fits");
+        let fx = Fixture::new(&p, 20);
         let router = ShuttleRouter::new(&p, &MapperConfig::shuttle_only());
-        let front = [gate(&[0, 12, 19])];
-        let chain = router.best_chain(&state, &front, &[]).expect("chain");
+        let front = [&gate(&[0, 12, 19])];
+        let chain = best_of(&router, &fx, &front).expect("chain");
         // 2(m-1) for center-based chains; the anchor fallback may also
         // relocate the would-be center (<= 2m).
         assert!(chain.moves.len() <= 2 * 3, "bounded, got {:?}", chain.moves);
@@ -428,38 +457,34 @@ mod tests {
     #[test]
     fn multiqubit_gate_becomes_executable() {
         let p = params(6, 20, std::f64::consts::SQRT_2);
-        let mut state = MappingState::identity(&p, 20).expect("fits");
+        let mut fx = Fixture::new(&p, 20);
         let router = ShuttleRouter::new(&p, &MapperConfig::shuttle_only());
         let qubits = [Qubit(0), Qubit(7), Qubit(19)];
-        let front = [gate(&[0, 7, 19])];
-        let chain = router.best_chain(&state, &front, &[]).expect("chain");
-        apply(&mut state, &chain);
-        assert!(state.qubits_mutually_connected(&qubits, p.r_int));
+        let front = [&gate(&[0, 7, 19])];
+        let chain = best_of(&router, &fx, &front).expect("chain");
+        apply(&mut fx.state, &chain);
+        assert!(fx.state.qubits_mutually_connected(&qubits, p.r_int));
     }
 
     #[test]
     fn executable_gate_needs_no_chain() {
         let p = params(5, 10, 2.0);
-        let state = MappingState::identity(&p, 10).expect("fits");
+        let fx = Fixture::new(&p, 10);
         let router = ShuttleRouter::new(&p, &MapperConfig::shuttle_only());
-        let front = [gate(&[0, 1])];
-        assert!(router.best_chain(&state, &front, &[]).is_none());
+        let front = [&gate(&[0, 1])];
+        assert!(best_of(&router, &fx, &front).is_none());
     }
 
     #[test]
     fn parallelizable_chains_preferred_with_recent_moves() {
         let p = params(6, 12, 1.0);
-        let state = MappingState::identity(&p, 12).expect("fits");
+        let fx = Fixture::new(&p, 12);
         let mut router =
             ShuttleRouter::new(&p, &MapperConfig::shuttle_only().with_time_weight(1.0));
         // Seed the recency window with a downward move.
-        router.note_moves_applied(&[ChainMove {
-            atom: AtomId(11),
-            from: Site::new(5, 1),
-            to: Site::new(5, 4),
-        }]);
-        let front = [gate(&[0, 9])];
-        let chain = router.best_chain(&state, &front, &[]).expect("chain");
+        router.note_moves_applied(std::iter::once(Move::new(Site::new(5, 1), Site::new(5, 4))));
+        let front = [&gate(&[0, 9])];
+        let chain = best_of(&router, &fx, &front).expect("chain");
         // The chosen move should at least load-parallelize with the
         // recent one (distinct source).
         for mv in &chain.moves {
@@ -468,28 +493,27 @@ mod tests {
     }
 
     #[test]
-    fn delta_t_cases() {
-        let p = params(5, 10, 1.0);
+    fn chains_deterministic() {
+        let p = params(5, 15, 1.0);
+        let fx = Fixture::new(&p, 15);
         let router = ShuttleRouter::new(&p, &MapperConfig::shuttle_only());
-        let m1 = Move::new(Site::new(0, 0), Site::new(0, 2));
-        let m_parallel = Move::new(Site::new(2, 0), Site::new(2, 2));
-        let m_conflict = Move::new(Site::new(3, 4), Site::new(3, 1)); // opposite y direction
-        assert_eq!(router.delta_t(&m_parallel, &m1), 0.0);
-        let load_only = router.delta_t(&m_conflict, &m1);
-        assert_eq!(load_only, p.t_act_us + p.t_deact_us);
-        let m_same_src = Move::new(Site::new(0, 0), Site::new(1, 0));
-        let full = router.delta_t(&m_same_src, &m_same_src);
-        assert!(full > load_only);
+        let front = [&gate(&[0, 12])];
+        let a = best_of(&router, &fx, &front).expect("chain");
+        let b = best_of(&router, &fx, &front).expect("chain");
+        assert_eq!(a, b);
     }
 
     #[test]
-    fn chains_deterministic() {
-        let p = params(5, 15, 1.0);
-        let state = MappingState::identity(&p, 15).expect("fits");
+    fn propose_converts_chains_to_candidates() {
+        let p = params(5, 10, 1.0);
+        let fx = Fixture::new(&p, 10);
         let router = ShuttleRouter::new(&p, &MapperConfig::shuttle_only());
-        let front = [gate(&[0, 12])];
-        let a = router.best_chain(&state, &front, &[]).expect("chain");
-        let b = router.best_chain(&state, &front, &[]).expect("chain");
-        assert_eq!(a, b);
+        let front = [&gate(&[0, 9])];
+        let proposal = router.propose(&fx.ctx(), &front, &[], false);
+        assert_eq!(proposal.candidates.len(), 1);
+        assert!(proposal.handoff.is_empty());
+        let cand = &proposal.candidates[0];
+        assert_eq!(cand.move_count(), cand.ops.len());
+        assert_eq!(cand.swap_count(), 0);
     }
 }

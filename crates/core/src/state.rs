@@ -40,13 +40,56 @@ use crate::ops::AtomId;
 /// assert_eq!(state.site_of_qubit(Qubit(5)).y, 1);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct MappingState {
     lattice: Lattice,
     site_of_atom: Vec<Site>,
     atom_at_site: Vec<Option<AtomId>>,
     qubit_of_atom: Vec<Option<Qubit>>,
     atom_of_qubit: Vec<AtomId>,
+    /// Process-unique stamp of this state's occupancy configuration:
+    /// refreshed on construction, clone, and every shuttle move — but
+    /// not by SWAPs, which permute `f_q` only. Two states never share a
+    /// stamp, so cached distance fields over the occupied graph (see
+    /// [`crate::route::DistanceCache`]) are valid exactly while the
+    /// stamp they were computed at is still current.
+    occupancy_stamp: u64,
+}
+
+/// Source of process-unique occupancy stamps (0 is never issued, so a
+/// cache can use it as "nothing cached yet").
+fn next_occupancy_stamp() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Clone for MappingState {
+    /// Clones receive a fresh stamp: they start occupancy-identical but
+    /// diverge independently, so sharing the original's stamp could
+    /// alias cached distance fields across states.
+    fn clone(&self) -> Self {
+        MappingState {
+            lattice: self.lattice,
+            site_of_atom: self.site_of_atom.clone(),
+            atom_at_site: self.atom_at_site.clone(),
+            qubit_of_atom: self.qubit_of_atom.clone(),
+            atom_of_qubit: self.atom_of_qubit.clone(),
+            occupancy_stamp: next_occupancy_stamp(),
+        }
+    }
+}
+
+impl PartialEq for MappingState {
+    /// Equality of the physical configuration; the occupancy stamp is a
+    /// cache-invalidation token, not part of the state.
+    fn eq(&self, other: &Self) -> bool {
+        self.lattice == other.lattice
+            && self.site_of_atom == other.site_of_atom
+            && self.atom_at_site == other.atom_at_site
+            && self.qubit_of_atom == other.qubit_of_atom
+            && self.atom_of_qubit == other.atom_of_qubit
+    }
 }
 
 impl MappingState {
@@ -105,7 +148,18 @@ impl MappingState {
             atom_at_site,
             qubit_of_atom,
             atom_of_qubit,
+            occupancy_stamp: next_occupancy_stamp(),
         })
+    }
+
+    /// Process-unique stamp of this state's occupancy configuration
+    /// (`f_a`): refreshed by [`MappingState::apply_move`] (and on
+    /// construction/clone), untouched by [`MappingState::apply_swap`].
+    /// Cached distance fields over the occupied graph are valid exactly
+    /// while this value is unchanged; never zero.
+    #[inline]
+    pub fn occupancy_stamp(&self) -> u64 {
+        self.occupancy_stamp
     }
 
     /// The underlying lattice.
@@ -196,6 +250,7 @@ impl MappingState {
         self.atom_at_site[self.lattice.index(from)] = None;
         self.atom_at_site[self.lattice.index(to)] = Some(atom);
         self.site_of_atom[atom.index()] = to;
+        self.occupancy_stamp = next_occupancy_stamp();
     }
 
     /// Occupied sites within `hood` of `center` (excluding `center`).

@@ -74,10 +74,16 @@ impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VerifyError::WrongAtoms { stream_index } => {
-                write!(f, "stream op {stream_index}: atoms do not carry the gate qubits")
+                write!(
+                    f,
+                    "stream op {stream_index}: atoms do not carry the gate qubits"
+                )
             }
             VerifyError::NotConnected { stream_index } => {
-                write!(f, "stream op {stream_index}: operands not mutually within r_int")
+                write!(
+                    f,
+                    "stream op {stream_index}: operands not mutually within r_int"
+                )
             }
             VerifyError::SwapOutOfRange { stream_index } => {
                 write!(f, "stream op {stream_index}: swap partners outside r_int")
@@ -156,11 +162,15 @@ pub fn verify_mapping(
                     return Err(VerifyError::GateMismatch { stream_index: si });
                 }
                 if executed[*op_index] {
-                    return Err(VerifyError::DuplicateExecution { op_index: *op_index });
+                    return Err(VerifyError::DuplicateExecution {
+                        op_index: *op_index,
+                    });
                 }
                 for &p in dag.predecessors(*op_index) {
                     if !executed[p] {
-                        return Err(VerifyError::OrderViolation { op_index: *op_index });
+                        return Err(VerifyError::OrderViolation {
+                            op_index: *op_index,
+                        });
                     }
                 }
                 if atoms.len() != op.arity() || sites.len() != op.arity() {
@@ -171,14 +181,17 @@ pub fn verify_mapping(
                         return Err(VerifyError::WrongAtoms { stream_index: si });
                     }
                 }
-                if op.arity() >= 2
-                    && !state.qubits_mutually_connected(op.qubits(), params.r_int)
-                {
+                if op.arity() >= 2 && !state.qubits_mutually_connected(op.qubits(), params.r_int) {
                     return Err(VerifyError::NotConnected { stream_index: si });
                 }
                 executed[*op_index] = true;
             }
-            MappedOp::Swap { a, b, site_a, site_b } => {
+            MappedOp::Swap {
+                a,
+                b,
+                site_a,
+                site_b,
+            } => {
                 if state.site_of_atom(*a) != *site_a || state.site_of_atom(*b) != *site_b {
                     return Err(VerifyError::SwapOutOfRange { stream_index: si });
                 }
@@ -279,8 +292,7 @@ pub fn verify_unitary_equivalence(
         match mop {
             MappedOp::Gate { op, atoms, .. } => {
                 let operands: Vec<Qubit> = atoms.iter().map(|a| Qubit(a.0)).collect();
-                let atom_op =
-                    Operation::new(*op.kind(), operands).expect("mapped gate is valid");
+                let atom_op = Operation::new(*op.kind(), operands).expect("mapped gate is valid");
                 atom_circuit.push(atom_op).expect("atoms in range");
             }
             MappedOp::Swap { a, b, .. } => {

@@ -110,11 +110,11 @@ fn infeasible_gate_rejected_in_all_modes() {
     let p = params(5, 20, 1.0);
     let mut c = Circuit::new(20);
     c.ccz(0, 1, 2);
-    for config in [
-        MapperConfig::shuttle_only(),
-        MapperConfig::hybrid(1.0),
-    ] {
-        let err = HybridMapper::new(p.clone(), config).unwrap().map(&c).unwrap_err();
+    for config in [MapperConfig::shuttle_only(), MapperConfig::hybrid(1.0)] {
+        let err = HybridMapper::new(p.clone(), config)
+            .unwrap()
+            .map(&c)
+            .unwrap_err();
         assert!(matches!(err, MapError::GateTooLarge { .. }));
     }
 }
@@ -201,7 +201,11 @@ fn site_bookkeeping_matches_replay() {
         .map(&c)
         .unwrap();
     let mut site_of: Vec<Site> = (0..25)
-        .map(|i| MappingState::identity(&p, 25).unwrap().site_of_atom(AtomId(i)))
+        .map(|i| {
+            MappingState::identity(&p, 25)
+                .unwrap()
+                .site_of_atom(AtomId(i))
+        })
         .collect();
     for op in outcome.mapped.iter() {
         match op {
@@ -209,7 +213,12 @@ fn site_bookkeeping_matches_replay() {
                 assert_eq!(site_of[atom.index()], *from);
                 site_of[atom.index()] = *to;
             }
-            MappedOp::Swap { a, b, site_a, site_b } => {
+            MappedOp::Swap {
+                a,
+                b,
+                site_a,
+                site_b,
+            } => {
                 assert_eq!(site_of[a.index()], *site_a);
                 assert_eq!(site_of[b.index()], *site_b);
             }

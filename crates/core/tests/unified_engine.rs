@@ -1,0 +1,161 @@
+//! Coverage of the unified routing engine across every circuit
+//! generator and every capability configuration: gate-only,
+//! shuttle-only, and hybrid mappings must all produce
+//! `verify_mapping`-clean streams, with mode invariants (no shuttles in
+//! gate-only, no SWAPs in shuttle-only) intact.
+
+use na_arch::HardwareParams;
+use na_circuit::generators::{
+    cuccaro_adder, ghz, GraphState, Qaoa, Qft, Qpe, RandomCircuit, Reversible,
+};
+use na_circuit::Circuit;
+use na_mapper::{verify_mapping, HybridMapper, MapperConfig};
+use proptest::prelude::*;
+
+/// Every generator in `na_circuit::generators`, sized for a 6×6 lattice.
+fn generator_suite() -> Vec<(&'static str, Circuit)> {
+    vec![
+        ("qft", Qft::new(14).build()),
+        ("qpe", Qpe::new(14).build()),
+        ("qaoa", Qaoa::new(16).edges(22).layers(2).seed(3).build()),
+        ("graph_state", GraphState::new(18).edges(24).seed(5).build()),
+        (
+            "random",
+            RandomCircuit::new(18)
+                .layers(5)
+                .multi_qubit_fraction(0.2)
+                .seed(7)
+                .build(),
+        ),
+        (
+            "reversible",
+            Reversible::new(16)
+                .counts(&[(2, 18), (3, 10)])
+                .seed(9)
+                .build(),
+        ),
+        ("ghz", ghz(18)),
+        ("cuccaro_adder", cuccaro_adder(5)),
+    ]
+}
+
+fn hardware(preset: HardwareParams) -> HardwareParams {
+    preset
+        .to_builder()
+        .lattice(6, 3.0)
+        .num_atoms(26)
+        .build()
+        .expect("valid")
+}
+
+#[test]
+fn every_generator_verifies_in_every_mode() {
+    let params = hardware(HardwareParams::mixed());
+    for (name, circuit) in generator_suite() {
+        for (mode, config) in [
+            ("gate-only", MapperConfig::gate_only()),
+            ("shuttle-only", MapperConfig::shuttle_only()),
+            ("hybrid", MapperConfig::hybrid(1.0)),
+        ] {
+            let mapper = HybridMapper::new(params.clone(), config.clone()).expect("valid");
+            let outcome = mapper
+                .map(&circuit)
+                .unwrap_or_else(|e| panic!("{name}/{mode}: {e}"));
+            verify_mapping(&circuit, &outcome.mapped, &params)
+                .unwrap_or_else(|e| panic!("{name}/{mode}: {e}"));
+            if config.is_gate_only() {
+                assert_eq!(
+                    outcome.mapped.shuttle_count(),
+                    0,
+                    "{name}: gate-only emitted shuttles"
+                );
+            }
+            if config.is_shuttle_only() {
+                assert_eq!(
+                    outcome.mapped.swap_count(),
+                    0,
+                    "{name}: shuttle-only emitted SWAPs"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_generator_verifies_on_every_preset() {
+    for preset in HardwareParams::table1_presets() {
+        let params = hardware(preset);
+        for (name, circuit) in generator_suite() {
+            let mapper =
+                HybridMapper::new(params.clone(), MapperConfig::hybrid(1.0)).expect("valid");
+            let outcome = mapper
+                .map(&circuit)
+                .unwrap_or_else(|e| panic!("{name}@{}: {e}", params.name));
+            verify_mapping(&circuit, &outcome.mapped, &params)
+                .unwrap_or_else(|e| panic!("{name}@{}: {e}", params.name));
+        }
+    }
+}
+
+/// Routing statistics always agree with the emitted op stream, whatever
+/// the mode.
+#[test]
+fn stats_agree_with_stream_in_every_mode() {
+    let params = hardware(HardwareParams::mixed());
+    for (_, circuit) in generator_suite() {
+        for config in [
+            MapperConfig::gate_only(),
+            MapperConfig::shuttle_only(),
+            MapperConfig::hybrid(1.0),
+        ] {
+            let outcome = HybridMapper::new(params.clone(), config)
+                .expect("valid")
+                .map(&circuit)
+                .expect("mappable");
+            assert_eq!(outcome.stats.swaps_inserted, outcome.mapped.swap_count());
+            assert_eq!(outcome.stats.shuttle_moves, outcome.mapped.shuttle_count());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random circuits over random hybrid ratios and seeds stay
+    /// verify-clean through the engine.
+    #[test]
+    fn random_hybrid_ratios_verify(
+        seed in 0u64..500,
+        layers in 1usize..7,
+        log_alpha in -2.0f64..2.0,
+    ) {
+        let params = hardware(HardwareParams::mixed());
+        let circuit = RandomCircuit::new(16)
+            .layers(layers)
+            .multi_qubit_fraction(0.25)
+            .seed(seed)
+            .build();
+        let config = MapperConfig::hybrid(10f64.powf(log_alpha));
+        let outcome = HybridMapper::new(params.clone(), config)
+            .expect("valid")
+            .map(&circuit)
+            .expect("mappable");
+        verify_mapping(&circuit, &outcome.mapped, &params).expect("verified");
+    }
+
+    /// The engine is deterministic: identical inputs produce identical
+    /// op streams.
+    #[test]
+    fn engine_is_deterministic(seed in 0u64..200) {
+        let params = hardware(HardwareParams::mixed());
+        let circuit = RandomCircuit::new(14)
+            .layers(4)
+            .multi_qubit_fraction(0.2)
+            .seed(seed)
+            .build();
+        let mapper = HybridMapper::new(params, MapperConfig::hybrid(1.0)).expect("valid");
+        let a = mapper.map(&circuit).expect("mappable");
+        let b = mapper.map(&circuit).expect("mappable");
+        prop_assert_eq!(a.mapped.ops, b.mapped.ops);
+    }
+}

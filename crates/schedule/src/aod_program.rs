@@ -270,8 +270,12 @@ pub fn validate_program(
     // Every move's target must be expressible by the final line
     // positions.
     for m in &program.moves {
-        let row_ok = active_rows.iter().any(|&r| (r - f64::from(m.to.y)).abs() < 1e-9);
-        let col_ok = active_cols.iter().any(|&c| (c - f64::from(m.to.x)).abs() < 1e-9);
+        let row_ok = active_rows
+            .iter()
+            .any(|&r| (r - f64::from(m.to.y)).abs() < 1e-9);
+        let col_ok = active_cols
+            .iter()
+            .any(|&c| (c - f64::from(m.to.x)).abs() < 1e-9);
         if !row_ok || !col_ok {
             return Err(AodProgramError::WrongTarget { expected: m.to });
         }
@@ -291,8 +295,7 @@ fn check_ghost_spots(
 ) -> Result<(), AodProgramError> {
     for &r in rows {
         for &c in cols {
-            let on_lattice =
-                (r - r.round()).abs() < 1e-9 && (c - c.round()).abs() < 1e-9;
+            let on_lattice = (r - r.round()).abs() < 1e-9 && (c - c.round()).abs() < 1e-9;
             if !on_lattice {
                 continue;
             }
@@ -335,11 +338,7 @@ mod tests {
     /// (order-consistent variant of the figure's geometry).
     #[test]
     fn example2_lowering() {
-        let moves = [
-            mv(0, 2, 0, 2, 1),
-            mv(3, 0, 3, 0, 4),
-            mv(4, 4, 3, 4, 4),
-        ];
+        let moves = [mv(0, 2, 0, 2, 1), mv(3, 0, 3, 0, 4), mv(4, 4, 3, 4, 4)];
         let program = lower_batch(&moves);
         // Two distinct source rows -> two load steps (q3, q4 together).
         assert_eq!(program.load_steps(), 2);
@@ -446,8 +445,8 @@ mod tests {
     /// lowers to a valid instruction stream against the true occupancy.
     #[test]
     fn real_mapping_batches_lower_and_validate() {
-        use crate::scheduler::Scheduler;
         use crate::items::ScheduledItem;
+        use crate::scheduler::Scheduler;
         use na_arch::HardwareParams;
         use na_circuit::generators::GraphState;
         use na_mapper::{HybridMapper, MapperConfig, MappingState};

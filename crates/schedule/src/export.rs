@@ -42,7 +42,9 @@ pub fn to_csv(schedule: &Schedule) -> String {
             ScheduledItem::SingleQubit { op_index, .. } => {
                 ("single", op_index.map_or(String::new(), |i| i.to_string()))
             }
-            ScheduledItem::Rydberg { op_index, atoms, .. } => (
+            ScheduledItem::Rydberg {
+                op_index, atoms, ..
+            } => (
                 "rydberg",
                 format!(
                     "arity={}{}",
@@ -51,9 +53,7 @@ pub fn to_csv(schedule: &Schedule) -> String {
                 ),
             ),
             ScheduledItem::SwapComposite { .. } => ("swap", String::new()),
-            ScheduledItem::AodBatch { moves, .. } => {
-                ("aod", format!("moves={}", moves.len()))
-            }
+            ScheduledItem::AodBatch { moves, .. } => ("aod", format!("moves={}", moves.len())),
         };
         let _ = writeln!(
             out,
@@ -122,10 +122,10 @@ impl Utilization {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheduler::Scheduler;
     use na_arch::HardwareParams;
     use na_circuit::generators::GraphState;
     use na_mapper::{HybridMapper, MapperConfig};
-    use crate::scheduler::Scheduler;
 
     fn sample_schedule() -> (Schedule, HardwareParams) {
         let params = HardwareParams::mixed()
@@ -140,7 +140,10 @@ mod tests {
             .map(&circuit)
             .expect("mappable")
             .mapped;
-        (Scheduler::new(params.clone()).schedule_mapped(&mapped), params)
+        (
+            Scheduler::new(params.clone()).schedule_mapped(&mapped),
+            params,
+        )
     }
 
     #[test]

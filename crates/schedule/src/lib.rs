@@ -42,8 +42,8 @@
 pub mod aod_program;
 pub mod export;
 pub mod items;
-pub mod monte_carlo;
 pub mod metrics;
+pub mod monte_carlo;
 pub mod scheduler;
 
 pub use aod_program::{lower_batch, validate_program, AodInstruction, AodProgram};

@@ -46,9 +46,7 @@ impl ScheduleMetrics {
             busy_us += item.duration_us();
             ln_fidelity += match item {
                 ScheduledItem::SingleQubit { .. } => params.f_single.ln(),
-                ScheduledItem::Rydberg { atoms, .. } => {
-                    params.cz_family_fidelity(atoms.len()).ln()
-                }
+                ScheduledItem::Rydberg { atoms, .. } => params.cz_family_fidelity(atoms.len()).ln(),
                 ScheduledItem::SwapComposite { .. } => params.swap_fidelity().ln(),
                 ScheduledItem::AodBatch { moves, .. } => {
                     moves.len() as f64 * params.f_shuttle.max(f64::MIN_POSITIVE).ln()

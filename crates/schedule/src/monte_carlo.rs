@@ -68,9 +68,7 @@ pub fn estimate_success(
             ScheduledItem::SingleQubit { .. } => params.f_single,
             ScheduledItem::Rydberg { atoms, .. } => params.cz_family_fidelity(atoms.len()),
             ScheduledItem::SwapComposite { .. } => params.swap_fidelity(),
-            ScheduledItem::AodBatch { moves, .. } => {
-                params.f_shuttle.powi(moves.len() as i32)
-            }
+            ScheduledItem::AodBatch { moves, .. } => params.f_shuttle.powi(moves.len() as i32),
         });
     }
     let idle_us = (f64::from(schedule.num_qubits) * schedule.makespan_us - busy_us).max(0.0);
@@ -164,8 +162,8 @@ mod tests {
             .num_atoms(8)
             .build()
             .expect("valid");
-        let schedule = Scheduler::new(params.clone())
-            .schedule_original(&na_circuit::Circuit::new(1));
+        let schedule =
+            Scheduler::new(params.clone()).schedule_original(&na_circuit::Circuit::new(1));
         estimate_success(&schedule, &params, 0, 0);
     }
 }

@@ -81,7 +81,12 @@ impl Scheduler {
                                 );
                             }
                         }
-                        MappedOp::Swap { a, b, site_a, site_b } => {
+                        MappedOp::Swap {
+                            a,
+                            b,
+                            site_a,
+                            site_b,
+                        } => {
                             builder.push_swap([*a, *b], [*site_a, *site_b]);
                         }
                         // `MappedOp` is non-exhaustive; shuttles are
@@ -195,9 +200,9 @@ impl BatchRun {
         // shuttling twice.
         let mut earliest = 0usize;
         for (bi, batch) in self.batches.iter().enumerate() {
-            let conflicts = batch.iter().any(|b| {
-                b.to == mv.from || b.from == mv.to || b.atom == mv.atom
-            });
+            let conflicts = batch
+                .iter()
+                .any(|b| b.to == mv.from || b.from == mv.to || b.atom == mv.atom);
             if conflicts {
                 earliest = bi + 1;
             }
@@ -232,11 +237,7 @@ struct ScheduleBuilder<'p> {
 }
 
 impl<'p> ScheduleBuilder<'p> {
-    fn new(
-        params: &'p HardwareParams,
-        num_atoms: u32,
-        layout: na_mapper::InitialLayout,
-    ) -> Self {
+    fn new(params: &'p HardwareParams, num_atoms: u32, layout: na_mapper::InitialLayout) -> Self {
         let lattice = na_arch::Lattice::new(params.lattice_side);
         let mut site_free_at = vec![0.0; lattice.num_sites()];
         for site in layout.place(&lattice, num_atoms) {
@@ -310,7 +311,8 @@ impl<'p> ScheduleBuilder<'p> {
         let t0 = self.earliest(&atoms);
         let start = self.respect_restriction(&sites, t0, dur);
         self.occupy(&atoms, start, dur);
-        self.active_rydberg.push((start, start + dur, sites.clone()));
+        self.active_rydberg
+            .push((start, start + dur, sites.clone()));
         self.items.push(ScheduledItem::Rydberg {
             atoms,
             sites,
@@ -325,7 +327,8 @@ impl<'p> ScheduleBuilder<'p> {
         let t0 = self.earliest(&atoms);
         let start = self.respect_restriction(&sites, t0, dur);
         self.occupy(&atoms, start, dur);
-        self.active_rydberg.push((start, start + dur, sites.to_vec()));
+        self.active_rydberg
+            .push((start, start + dur, sites.to_vec()));
         self.items.push(ScheduledItem::SwapComposite {
             atoms,
             sites,
@@ -389,11 +392,7 @@ mod tests {
             .expect("valid")
     }
 
-    fn map_with(
-        p: &HardwareParams,
-        cfg: MapperConfig,
-        circuit: &Circuit,
-    ) -> MappedCircuit {
+    fn map_with(p: &HardwareParams, cfg: MapperConfig, circuit: &Circuit) -> MappedCircuit {
         HybridMapper::new(p.clone(), cfg)
             .expect("valid")
             .map(circuit)
@@ -441,8 +440,8 @@ mod tests {
         let rydberg: Vec<_> = schedule.items.iter().filter(|i| i.is_rydberg()).collect();
         assert_eq!(rydberg.len(), 2);
         let (a, b) = (&rydberg[0], &rydberg[1]);
-        let disjoint_in_time = a.end_us() <= b.start_us() + 1e-9
-            || b.end_us() <= a.start_us() + 1e-9;
+        let disjoint_in_time =
+            a.end_us() <= b.start_us() + 1e-9 || b.end_us() <= a.start_us() + 1e-9;
         assert!(disjoint_in_time, "restricted gates must serialize");
     }
 
@@ -493,7 +492,10 @@ mod tests {
         assert_eq!(schedule.batch_count(), 2);
         let ends: Vec<f64> = schedule.items.iter().map(|i| i.end_us()).collect();
         let starts: Vec<f64> = schedule.items.iter().map(|i| i.start_us()).collect();
-        assert!(starts[1] >= ends[0] - 1e-9, "second batch waits for the first");
+        assert!(
+            starts[1] >= ends[0] - 1e-9,
+            "second batch waits for the first"
+        );
     }
 
     #[test]
@@ -515,10 +517,7 @@ mod tests {
         let mapped = map_with(&p, MapperConfig::gate_only(), &c);
         let schedule = s.schedule_mapped(&mapped);
         let original = s.schedule_original(&c);
-        assert_eq!(
-            schedule.cz_count() - original.cz_count(),
-            mapped.delta_cz()
-        );
+        assert_eq!(schedule.cz_count() - original.cz_count(), mapped.delta_cz());
     }
 
     #[test]
@@ -542,10 +541,7 @@ mod tests {
         for (atom, mut intervals) in per_atom {
             intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             for w in intervals.windows(2) {
-                assert!(
-                    w[0].1 <= w[1].0 + 1e-9,
-                    "atom {atom} double-booked: {w:?}"
-                );
+                assert!(w[0].1 <= w[1].0 + 1e-9, "atom {atom} double-booked: {w:?}");
             }
         }
     }

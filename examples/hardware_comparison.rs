@@ -27,18 +27,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     let suite: Vec<(&str, Circuit)> = vec![
-        ("graph", GraphState::new(48).edges(52).seed(7).build().clone()),
+        (
+            "graph",
+            GraphState::new(48).edges(52).seed(7).build().clone(),
+        ),
         ("qft", Qft::new(48).build()),
         (
             "bn",
             decompose_to_native(
-                &Reversible::new(48).counts(&[(2, 33), (3, 22)]).seed(11).build(),
+                &Reversible::new(48)
+                    .counts(&[(2, 33), (3, 22)])
+                    .seed(11)
+                    .build(),
             ),
         ),
     ];
 
     for params in &presets {
-        println!("=== hardware: {} (r_int = {}d) ===", params.name, params.r_int);
+        println!(
+            "=== hardware: {} (r_int = {}d) ===",
+            params.name, params.r_int
+        );
         println!(
             "{:<8} {:<16} {:>8} {:>12} {:>10}",
             "circuit", "mode", "ΔCZ", "ΔT [µs]", "δF"

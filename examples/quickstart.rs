@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let scheduler = Scheduler::new(params.clone());
-    println!("{:<16} {:>8} {:>12} {:>10} {:>8} {:>8}", "mode", "ΔCZ", "ΔT [µs]", "δF", "swaps", "moves");
+    println!(
+        "{:<16} {:>8} {:>12} {:>10} {:>8} {:>8}",
+        "mode", "ΔCZ", "ΔT [µs]", "δF", "swaps", "moves"
+    );
     for (name, config) in [
         ("shuttling-only", MapperConfig::shuttle_only()),
         ("gate-only", MapperConfig::gate_only()),

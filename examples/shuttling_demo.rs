@@ -85,7 +85,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\neach transaction pays t_act + max-distance/v + t_deact once");
-    println!("(= {} + d/{} + {} µs on this hardware)", params.t_act_us,
-        params.shuttle_speed_um_per_us, params.t_deact_us);
+    println!(
+        "(= {} + d/{} + {} µs on this hardware)",
+        params.t_act_us, params.shuttle_speed_um_per_us, params.t_deact_us
+    );
     Ok(())
 }

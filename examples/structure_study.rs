@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (
             "rev-48",
             decompose_to_native(
-                &Reversible::new(48).counts(&[(2, 60), (3, 45)]).seed(11).build(),
+                &Reversible::new(48)
+                    .counts(&[(2, 60), (3, 45)])
+                    .seed(11)
+                    .build(),
             ),
         ),
     ];

@@ -28,7 +28,10 @@ fn suite() -> Vec<(&'static str, Circuit)> {
         ("qpe", Qpe::new(20).build()),
         (
             "reversible",
-            Reversible::new(20).counts(&[(2, 20), (3, 15), (4, 5)]).seed(3).build(),
+            Reversible::new(20)
+                .counts(&[(2, 20), (3, 15), (4, 5)])
+                .seed(3)
+                .build(),
         ),
         (
             "random",

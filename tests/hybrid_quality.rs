@@ -1,0 +1,68 @@
+//! The paper's headline claim, as a regression test: on the Table 1
+//! presets, the hybrid engine (best decision ratio α, the paper's §4.1
+//! procedure) never loses fidelity against the better of the two pure
+//! modes.
+
+use hybrid_na::prelude::*;
+use na_bench::{run_experiment, run_hybrid_alpha_sweep, scaled_preset, scaled_suite};
+
+/// Default α grid extended with extreme ratios so the sweep brackets
+/// both pure modes' decision behavior.
+fn alpha_grid() -> Vec<f64> {
+    let mut grid = na_bench::default_alpha_grid();
+    grid.insert(0, 1e-30);
+    grid.push(1e30);
+    grid
+}
+
+#[test]
+fn hybrid_sweep_at_least_as_good_as_pure_modes() {
+    for preset in HardwareParams::table1_presets() {
+        let params = scaled_preset(preset, 0.12);
+        // Two-qubit-gate circuits (graph, approximate QFT/QPE): mappable
+        // in every mode on every preset radius.
+        for (name, circuit) in scaled_suite(0.1, params.num_atoms).into_iter().take(3) {
+            let hybrid = run_hybrid_alpha_sweep(&params, &circuit, &alpha_grid())
+                .unwrap_or_else(|e| panic!("{name}@{}: hybrid failed: {e}", params.name));
+            let pure_best = [MapperConfig::gate_only(), MapperConfig::shuttle_only()]
+                .into_iter()
+                .filter_map(|config| {
+                    run_experiment(&params, &circuit, config)
+                        .ok()
+                        .map(|r| r.delta_f)
+                })
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                hybrid.delta_f <= pure_best + 1e-9,
+                "{name}@{}: hybrid δF {} worse than best pure δF {}",
+                params.name,
+                hybrid.delta_f,
+                pure_best
+            );
+        }
+    }
+}
+
+/// The δF ordering the paper reports for its presets holds at small
+/// scale too: on shuttling-optimized hardware the hybrid solution uses
+/// moves, on gate-optimized hardware it uses SWAPs.
+#[test]
+fn hybrid_adapts_to_hardware_preset() {
+    // Large enough that even the gate preset's r_int = 4.5 cannot span
+    // the lattice (no routing at all would make the assertions vacuous).
+    let shuttling = scaled_preset(HardwareParams::shuttling(), 0.25);
+    let gate_based = scaled_preset(HardwareParams::gate_based(), 0.25);
+    let circuit = Qft::new(24).build();
+    let on_shuttling =
+        run_experiment(&shuttling, &circuit, MapperConfig::hybrid(1.0)).expect("mappable");
+    let on_gate_based =
+        run_experiment(&gate_based, &circuit, MapperConfig::hybrid(1.0)).expect("mappable");
+    assert!(
+        on_shuttling.moves > 0,
+        "shuttling-optimized hardware should route with moves"
+    );
+    assert!(
+        on_gate_based.swaps > 0,
+        "gate-optimized hardware should route with SWAPs"
+    );
+}

@@ -49,7 +49,10 @@ fn unitary_oracle_holds_for_structured_workloads() {
         ("qft", Qft::new(12).build()),
         (
             "reversible",
-            Reversible::new(12).counts(&[(2, 8), (3, 8), (4, 3)]).seed(2).build(),
+            Reversible::new(12)
+                .counts(&[(2, 8), (3, 8), (4, 3)])
+                .seed(2)
+                .build(),
         ),
     ];
     for (name, circuit) in workloads {
@@ -99,7 +102,10 @@ fn qasm_import_maps_like_builder_circuit() {
     let mapper = HybridMapper::new(p.clone(), MapperConfig::gate_only()).unwrap();
     let a = mapper.map(&circuit).unwrap();
     let b = mapper.map(&reimported).unwrap();
-    assert_eq!(a.mapped, b.mapped, "mapping must be deterministic across I/O");
+    assert_eq!(
+        a.mapped, b.mapped,
+        "mapping must be deterministic across I/O"
+    );
 }
 
 #[test]

@@ -1,0 +1,185 @@
+//! Offline stand-in for `criterion`, covering the subset the workspace's
+//! benches use: `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: a short warm-up, then `sample_size` samples of an
+//! adaptively sized iteration batch, reporting min/mean/max per-iteration
+//! wall time on stdout. No statistical analysis, HTML reports, or
+//! comparison to saved baselines — callers that need machine-readable
+//! output write it themselves (see `crates/bench/benches/routing.rs`).
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new<F: Display, P: Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Mean per-iteration time of the last `iter` call, seconds.
+    pub last_mean_s: f64,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the mean per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: aim for ~10ms per sample, at least
+        // one iteration.
+        let t0 = Instant::now();
+        hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let batch =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        let mut worst = Duration::ZERO;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(f());
+            }
+            let sample = start.elapsed() / batch as u32;
+            total += sample;
+            best = best.min(sample);
+            worst = worst.max(sample);
+        }
+        let mean = total / self.samples as u32;
+        self.last_mean_s = mean.as_secs_f64();
+        println!(
+            "    {} samples x {} iters: min {:?}  mean {:?}  max {:?}",
+            self.samples, batch, best, mean, worst
+        );
+    }
+}
+
+/// Top-level benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn samples(&self) -> usize {
+        self.sample_size.unwrap_or(20)
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        run_one(&id.into().label, self.samples(), f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into().label, self.samples(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing only; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    println!("bench {label}");
+    let mut b = Bencher {
+        samples,
+        last_mean_s: 0.0,
+    };
+    f(&mut b);
+}
+
+/// Collects bench functions into one runner (mirrors `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

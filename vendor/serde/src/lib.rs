@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! This container has no network access to a crates registry, so the
+//! workspace vendors the minimal API surface it actually uses (see
+//! `vendor/README.md`). The real `serde` can be swapped back in by
+//! repointing the `[workspace.dependencies]` entry — call sites are
+//! source-compatible.
+//!
+//! Provided surface: the `Serialize`/`Deserialize` marker traits and the
+//! same-named no-op derive macros.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

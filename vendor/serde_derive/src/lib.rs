@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a
+//! forward-compatible marker — nothing serializes through serde today
+//! (exports go through hand-written CSV/JSON writers). These derives
+//! expand to nothing, so the attribute stays valid without pulling the
+//! real dependency into the build.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts the same derive position as serde's.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts the same derive position as serde's.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
