@@ -1,0 +1,75 @@
+//! QASM round-trip property tests: import→export→import must be the
+//! identity on the parsed circuit, across every generator family and
+//! random rotation angles.
+
+use na_circuit::generators::{
+    cuccaro_adder, ghz, GraphState, Qaoa, Qft, Qpe, RandomCircuit, Reversible,
+};
+use na_circuit::{decompose_to_native, qasm, Circuit};
+use proptest::prelude::*;
+
+/// A random circuit from any generator family (pre- or post-decompose,
+/// so both the `mcz`/`mcx` extension path and the plain-QASM subset are
+/// exercised).
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (0u8..8, 0u64..400, proptest::bool::ANY).prop_map(|(kind, seed, native)| {
+        let c = match kind {
+            0 => GraphState::new(8 + (seed % 8) as u32)
+                .edges(10 + (seed % 10) as usize)
+                .seed(seed)
+                .build(),
+            1 => Qft::new(5 + (seed % 8) as u32).build(),
+            2 => Qpe::new(5 + (seed % 6) as u32).build(),
+            3 => Qaoa::new(6 + (seed % 8) as u32)
+                .edges(8 + (seed % 6) as usize)
+                .layers(1 + (seed % 3) as usize)
+                .seed(seed)
+                .build(),
+            4 => RandomCircuit::new(10)
+                .layers(2 + (seed % 5) as usize)
+                .multi_qubit_fraction(0.3)
+                .seed(seed)
+                .build(),
+            5 => Reversible::new(8 + (seed % 6) as u32)
+                .counts(&[(2, 10), (3, 5), (4, 2)])
+                .seed(seed)
+                .build(),
+            6 => ghz(6 + (seed % 10) as u32),
+            _ => cuccaro_adder(3 + (seed % 3) as u32),
+        };
+        if native {
+            decompose_to_native(&c)
+        } else {
+            c
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `from_qasm(to_qasm(c))` reproduces `c` exactly (gate kinds,
+    /// operand order, full-precision angles), and a second
+    /// export→import cycle is the identity on the re-imported circuit.
+    #[test]
+    fn import_export_import_roundtrip(circuit in arb_circuit()) {
+        let qasm1 = qasm::to_qasm(&circuit);
+        let back1 = qasm::from_qasm(&qasm1).expect("exported text parses");
+        prop_assert_eq!(&back1, &circuit, "first round-trip diverged");
+
+        let qasm2 = qasm::to_qasm(&back1);
+        prop_assert_eq!(&qasm2, &qasm1, "export is not deterministic");
+        let back2 = qasm::from_qasm(&qasm2).expect("re-exported text parses");
+        prop_assert_eq!(&back2, &back1, "second round-trip diverged");
+    }
+
+    /// Angles survive text round-trips bit-exactly (shortest-roundtrip
+    /// float formatting).
+    #[test]
+    fn rotation_angles_bit_exact(theta in -10.0f64..10.0, q in 0u32..4) {
+        let mut c = Circuit::new(4);
+        c.rz(theta, q).cp(theta * 0.5, q, (q + 1) % 4).u3(theta, -theta, 0.25, q);
+        let back = qasm::from_qasm(&qasm::to_qasm(&c)).expect("parses");
+        prop_assert_eq!(back, c);
+    }
+}

@@ -55,6 +55,7 @@ pub mod mapper;
 pub mod ops;
 pub mod render;
 pub mod route;
+pub mod sink;
 pub mod state;
 pub mod verify;
 
@@ -62,11 +63,12 @@ pub use config::MapperConfig;
 pub use decision::Capability;
 pub use error::MapError;
 pub use layout::InitialLayout;
-pub use mapper::{HybridMapper, MapStats, MappingOutcome};
+pub use mapper::{HybridMapper, MapStats, MappingOutcome, StreamOutcome};
 pub use ops::{AtomId, MappedCircuit, MappedOp};
 pub use route::{
     Candidate, CostModel, DistanceCache, FrontierGate, GateRouter, Router, RoutingContext,
     RoutingEngine, RoutingOp, ShuttleRouter,
 };
+pub use sink::OpSink;
 pub use state::MappingState;
 pub use verify::{verify_mapping, VerifyError};

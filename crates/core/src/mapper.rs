@@ -29,15 +29,18 @@ use std::time::{Duration, Instant};
 use na_arch::HardwareParams;
 use na_circuit::{decompose_to_native, Circuit, CircuitDag, LayerTracker, Operation};
 
+use serde::{Deserialize, Serialize};
+
 use crate::config::MapperConfig;
 use crate::decision::{Capability, Decider};
 use crate::error::MapError;
 use crate::ops::{MappedCircuit, MappedOp};
 use crate::route::{FrontierGate, RoutingEngine};
+use crate::sink::OpSink;
 use crate::state::MappingState;
 
 /// Statistics of one mapping run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct MapStats {
     /// Routing SWAPs inserted (each decomposes to 3 CZ downstream).
     pub swaps_inserted: usize,
@@ -55,6 +58,17 @@ pub struct MapStats {
 pub struct MappingOutcome {
     /// The mapped circuit.
     pub mapped: MappedCircuit,
+    /// Routing statistics.
+    pub stats: MapStats,
+    /// Wall-clock mapping time (the paper's RT column).
+    pub runtime: Duration,
+}
+
+/// Result of a streaming mapping run ([`HybridMapper::map_into`]): the
+/// op stream went to the caller's [`OpSink`], so only statistics and
+/// runtime remain to report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamOutcome {
     /// Routing statistics.
     pub stats: MapStats,
     /// Wall-clock mapping time (the paper's RT column).
@@ -121,6 +135,40 @@ impl HybridMapper {
     /// * [`MapError::RoutingStuck`] — no routing progress within the
     ///   safety budget.
     pub fn map(&self, circuit: &Circuit) -> Result<MappingOutcome, MapError> {
+        let mut out = MappedCircuit::with_layout(
+            circuit.num_qubits(),
+            self.params.num_atoms,
+            self.config.initial_layout,
+        );
+        let run = self.map_into(circuit, &mut out)?;
+        Ok(MappingOutcome {
+            mapped: out,
+            stats: run.stats,
+            runtime: run.runtime,
+        })
+    }
+
+    /// Maps `circuit`, streaming every emitted [`MappedOp`] into `sink`
+    /// instead of materializing a [`MappedCircuit`].
+    ///
+    /// This is the single-pass entry point of the fused compile
+    /// pipeline: a downstream consumer (e.g. an incremental scheduler)
+    /// processes operations as they are routed. [`HybridMapper::map`] is
+    /// the trivial instance with a collecting sink.
+    ///
+    /// The stream starts from the configured
+    /// [initial layout](crate::InitialLayout) exactly like
+    /// [`MappedCircuit::layout`] records it.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HybridMapper::map`]. On error the sink may
+    /// have received a prefix of the stream.
+    pub fn map_into(
+        &self,
+        circuit: &Circuit,
+        sink: &mut dyn OpSink,
+    ) -> Result<StreamOutcome, MapError> {
         let start = Instant::now();
         let native = if circuit.is_native() {
             circuit.clone()
@@ -151,11 +199,6 @@ impl HybridMapper {
         let decider = Decider::new(&self.params, &self.config);
         let mut engine = RoutingEngine::from_config(&self.params, &self.config);
 
-        let mut out = MappedCircuit::with_layout(
-            native.num_qubits(),
-            self.params.num_atoms,
-            self.config.initial_layout,
-        );
         let mut stats = MapStats::default();
         // Sticky capability assignment: a gate keeps its first decision
         // until executed (re-deciding every iteration lets borderline
@@ -174,7 +217,7 @@ impl HybridMapper {
 
         while !layers.is_done() {
             // (1) Execute everything currently executable.
-            if self.execute_ready(&native, &dag, &mut layers, &mut state, &mut out) {
+            if self.execute_ready(&native, &dag, &mut layers, &mut state, sink) {
                 ops_since_progress = 0;
                 continue;
             }
@@ -216,7 +259,7 @@ impl HybridMapper {
             let lookahead = self.lookahead_gates(&native, &la, &state, &decider);
 
             // (3)/(4) One engine round: propose, rank, apply.
-            match engine.step(&mut state, &frontier, &lookahead, &mut out) {
+            match engine.step(&mut state, &frontier, &lookahead, sink) {
                 Ok(report) => {
                     for (op_index, capability) in report.reassigned {
                         assigned[op_index] = Some(capability);
@@ -244,8 +287,7 @@ impl HybridMapper {
             }
         }
 
-        Ok(MappingOutcome {
-            mapped: out,
+        Ok(StreamOutcome {
             stats,
             runtime: start.elapsed(),
         })
@@ -260,7 +302,7 @@ impl HybridMapper {
         dag: &CircuitDag,
         layers: &mut LayerTracker,
         state: &mut MappingState,
-        out: &mut MappedCircuit,
+        out: &mut dyn OpSink,
     ) -> bool {
         let mut any = false;
         loop {
@@ -285,7 +327,7 @@ impl HybridMapper {
                     .map(|&q| state.atom_of_qubit(q))
                     .collect();
                 let sites: Vec<_> = atoms.iter().map(|&a| state.site_of_atom(a)).collect();
-                out.ops.push(MappedOp::Gate {
+                out.accept(MappedOp::Gate {
                     op_index: i,
                     op: op.clone(),
                     atoms,

@@ -21,11 +21,12 @@ use na_arch::{HardwareParams, Neighborhood};
 
 use crate::config::MapperConfig;
 use crate::decision::Capability;
-use crate::ops::{MappedCircuit, MappedOp};
+use crate::ops::MappedOp;
 use crate::route::{
     Candidate, DistanceCache, FrontierGate, GateRouter, Router, RoutingContext, RoutingOp,
     ShuttleRouter,
 };
+use crate::sink::OpSink;
 use crate::state::MappingState;
 
 /// What one routing round did: operation counts plus capability
@@ -110,16 +111,22 @@ impl RoutingEngine {
     }
 
     /// Runs one routing round: propose, rank, apply the winning
-    /// candidate's operations to `state` and `out`.
+    /// candidate's operations to `state` and stream them into `out`.
+    ///
+    /// `out` is any [`OpSink`] — a collecting [`MappedCircuit`] for the
+    /// classic two-pass flow, or a fused consumer such as an incremental
+    /// scheduler.
     ///
     /// Returns `Err(op_index)` of the first unroutable gate when no
     /// router produced a candidate.
+    ///
+    /// [`MappedCircuit`]: crate::ops::MappedCircuit
     pub fn step(
         &mut self,
         state: &mut MappingState,
         frontier: &[FrontierGate],
         lookahead: &[FrontierGate],
-        out: &mut MappedCircuit,
+        out: &mut dyn OpSink,
     ) -> Result<StepReport, usize> {
         let mut report = StepReport::default();
         let (winner, tier) = self.best_candidate(state, frontier, lookahead, &mut report)?;
@@ -199,7 +206,7 @@ impl RoutingEngine {
         candidate: Candidate,
         tier: usize,
         state: &mut MappingState,
-        out: &mut MappedCircuit,
+        out: &mut dyn OpSink,
         report: &mut StepReport,
     ) {
         for op in &candidate.ops {
@@ -210,7 +217,7 @@ impl RoutingEngine {
                     site_a,
                     site_b,
                 } => {
-                    out.ops.push(MappedOp::Swap {
+                    out.accept(MappedOp::Swap {
                         a,
                         b,
                         site_a,
@@ -220,7 +227,7 @@ impl RoutingEngine {
                     report.swaps += 1;
                 }
                 RoutingOp::Move { atom, from, to } => {
-                    out.ops.push(MappedOp::Shuttle { atom, from, to });
+                    out.accept(MappedOp::Shuttle { atom, from, to });
                     state.apply_move(atom, to);
                     report.moves += 1;
                 }
@@ -233,6 +240,7 @@ impl RoutingEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ops::MappedCircuit;
     use na_circuit::Qubit;
 
     fn params(side: u32, atoms: u32, r: f64) -> HardwareParams {

@@ -1,0 +1,71 @@
+//! Streaming consumers of the mapper's operation stream.
+//!
+//! [`HybridMapper::map_into`](crate::HybridMapper::map_into) and
+//! [`RoutingEngine::step`](crate::route::RoutingEngine::step) emit
+//! [`MappedOp`]s into any [`OpSink`] as routing progresses, instead of
+//! requiring a fully materialized [`MappedCircuit`]. This is the core of
+//! the fused compile pipeline: a downstream consumer (e.g.
+//! `na-schedule`'s `IncrementalScheduler`) can batch, check restrictions
+//! and accumulate metrics op-by-op while the mapper is still routing.
+//!
+//! [`MappedCircuit`] remains the trivial collecting sink, so every
+//! pre-existing caller keeps working unchanged.
+
+use crate::ops::{MappedCircuit, MappedOp};
+
+/// A consumer of the mapper's operation stream.
+///
+/// The mapper calls [`OpSink::accept`] exactly once per emitted
+/// operation, in execution order. Implementations must not reorder
+/// operations: the stream order *is* the program order that downstream
+/// scheduling relies on.
+pub trait OpSink {
+    /// Consumes the next operation of the stream.
+    fn accept(&mut self, op: MappedOp);
+}
+
+impl OpSink for MappedCircuit {
+    /// The trivial collecting sink: appends to [`MappedCircuit::ops`].
+    fn accept(&mut self, op: MappedOp) {
+        self.ops.push(op);
+    }
+}
+
+impl OpSink for Vec<MappedOp> {
+    /// Bare collection without circuit context (useful in tests).
+    fn accept(&mut self, op: MappedOp) {
+        self.push(op);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::AtomId;
+    use na_arch::Site;
+
+    fn shuttle(atom: u32) -> MappedOp {
+        MappedOp::Shuttle {
+            atom: AtomId(atom),
+            from: Site::new(0, 0),
+            to: Site::new(1, 1),
+        }
+    }
+
+    #[test]
+    fn mapped_circuit_collects_in_order() {
+        let mut mc = MappedCircuit::new(2, 4);
+        mc.accept(shuttle(0));
+        mc.accept(shuttle(1));
+        assert_eq!(mc.len(), 2);
+        assert_eq!(mc.ops[0].atoms(), vec![AtomId(0)]);
+        assert_eq!(mc.ops[1].atoms(), vec![AtomId(1)]);
+    }
+
+    #[test]
+    fn vec_sink_collects() {
+        let mut v: Vec<MappedOp> = Vec::new();
+        v.accept(shuttle(3));
+        assert_eq!(v.len(), 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! Typed pipeline errors.
+
+use na_mapper::MapError;
+use na_schedule::aod_program::AodProgramError;
+use std::fmt;
+
+/// Errors raised while compiling a circuit through the [`Pipeline`].
+///
+/// [`Pipeline`]: crate::Pipeline
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// Mapping failed (hardware validation, infeasible gate, routing
+    /// stuck — see [`MapError`]).
+    Map(MapError),
+    /// An AOD batch lowered to an instruction stream that violates the
+    /// shuttling protocol. This is the second-pass drift guard: every
+    /// lowered batch is re-validated against the replayed lattice
+    /// occupancy instead of silently trusting the scheduler.
+    InvalidAodBatch {
+        /// Index of the offending batch among the schedule's AOD
+        /// transactions (0-based, schedule order).
+        batch_index: usize,
+        /// The batch's scheduled start time in µs.
+        start_us: f64,
+        /// The violated constraint.
+        source: AodProgramError,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Map(e) => write!(f, "mapping failed: {e}"),
+            PipelineError::InvalidAodBatch {
+                batch_index,
+                start_us,
+                source,
+            } => write!(
+                f,
+                "AOD batch {batch_index} (t = {start_us:.3} µs) failed validation: {source}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Map(e) => Some(e),
+            PipelineError::InvalidAodBatch { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<MapError> for PipelineError {
+    fn from(e: MapError) -> Self {
+        PipelineError::Map(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_batch() {
+        let e = PipelineError::InvalidAodBatch {
+            batch_index: 3,
+            start_us: 12.5,
+            source: AodProgramError::LineCrossing,
+        };
+        let text = e.to_string();
+        assert!(text.contains("batch 3"));
+        assert!(text.contains("cross"));
+    }
+
+    #[test]
+    fn map_errors_convert() {
+        let e: PipelineError = MapError::CircuitTooWide {
+            circuit_qubits: 10,
+            atoms: 4,
+        }
+        .into();
+        assert!(matches!(e, PipelineError::Map(_)));
+    }
+}

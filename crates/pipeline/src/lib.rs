@@ -1,0 +1,342 @@
+//! The fused compile pipeline: map → schedule → lower → metrics as one
+//! pass, one artifact, and a multi-threaded batch front-end.
+//!
+//! The paper's flow is four conceptual stages: hybrid mapping
+//! (`na-mapper`), restriction-aware ASAP scheduling with AOD batching
+//! (`na-schedule`), lowering of every AOD batch to native instructions
+//! (`na_schedule::aod_program`), and the Eq. (1) fidelity metrics. The
+//! [`Pipeline`] runs them as **one fused pass**: the mapper streams each
+//! [`MappedOp`](na_mapper::MappedOp) through an
+//! [`OpSink`](na_mapper::OpSink) into `na-schedule`'s
+//! [`IncrementalScheduler`], so batching, restriction checks and metric
+//! accumulation happen while routing is still in progress — no second
+//! walk over the op stream on the hot path. Every lowered AOD batch is
+//! re-validated against the replayed lattice occupancy and violations
+//! surface as a typed [`PipelineError`] instead of silent success.
+//!
+//! ```text
+//! circuit ──route──▶ OpSink ──┬──▶ MappedCircuit      (artifact)
+//!                             └──▶ IncrementalScheduler
+//!                                   │ restriction checks, AOD merging,
+//!                                   │ Eq. (1) accumulators, op-by-op
+//!                                   ▼
+//!                        Schedule + ScheduleMetrics
+//!                                   │ lower_batch + validate_program
+//!                                   ▼
+//!                            CompiledProgram
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use na_arch::HardwareParams;
+//! use na_circuit::generators::Qft;
+//! use na_mapper::MapperConfig;
+//! use na_pipeline::Pipeline;
+//!
+//! let params = HardwareParams::mixed()
+//!     .to_builder()
+//!     .lattice(6, 3.0)
+//!     .num_atoms(16)
+//!     .build()?;
+//! let pipeline = Pipeline::new(params, MapperConfig::hybrid(1.0))?;
+//! let program = pipeline.compile(&Qft::new(10).build())?;
+//! assert_eq!(program.aod_programs.len(), program.schedule.batch_count());
+//! assert!(program.metrics.makespan_us > 0.0);
+//! println!("{}", program.to_json());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod batch;
+pub mod error;
+pub mod program;
+
+pub use error::PipelineError;
+pub use program::{CompileStats, CompiledProgram};
+
+use std::time::Instant;
+
+use na_arch::{HardwareParams, Lattice, Site};
+use na_circuit::Circuit;
+use na_mapper::{HybridMapper, MappedCircuit, MappedOp, MapperConfig, OpSink};
+use na_schedule::aod_program::{lower_batch, validate_program};
+use na_schedule::{
+    AodProgram, ComparisonReport, IncrementalScheduler, Schedule, ScheduleMetrics, ScheduledItem,
+    Scheduler,
+};
+
+/// The compile pipeline: one fused map→schedule→lower→metrics pass per
+/// circuit, plus [`Pipeline::compile_batch`] for multi-threaded batch
+/// throughput.
+///
+/// Construction validates the hardware once; the pipeline is then
+/// immutable and `Sync`, so one instance serves any number of threads.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    mapper: HybridMapper,
+    scheduler: Scheduler,
+    with_baseline: bool,
+}
+
+/// Ops per scheduler block of the fused sink. Scheduling a block mid-map
+/// evicts the router's hot caches, so blocks are large: circuits below
+/// this size schedule in one drain right after routing (while the stream
+/// is still warm), and only multi-hundred-µs compiles pay the (then
+/// amortized) interleaving cost. Bounds the scheduling backlog on huge
+/// circuits.
+const FUSE_BLOCK: usize = 8192;
+
+/// The fused sink: retains the op stream as the [`MappedCircuit`]
+/// artifact and feeds it to the incremental scheduler in cache-warm
+/// blocks — one pass, no clone, no cold re-walk. The retained stream
+/// doubles as the block buffer (`scheduled` is the cursor of ops already
+/// consumed by the scheduler).
+struct FusedSink {
+    mapped: MappedCircuit,
+    scheduler: IncrementalScheduler,
+    scheduled: usize,
+}
+
+impl FusedSink {
+    fn drain_block(&mut self) {
+        for op in &self.mapped.ops[self.scheduled..] {
+            self.scheduler.push(op);
+        }
+        self.scheduled = self.mapped.ops.len();
+    }
+}
+
+impl OpSink for FusedSink {
+    fn accept(&mut self, op: MappedOp) {
+        self.mapped.ops.push(op);
+        if self.mapped.ops.len() - self.scheduled >= FUSE_BLOCK {
+            self.drain_block();
+        }
+    }
+}
+
+impl Pipeline {
+    /// Creates a pipeline after validating the hardware description.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hardware validation failures as
+    /// [`PipelineError::Map`].
+    pub fn new(params: HardwareParams, config: MapperConfig) -> Result<Self, PipelineError> {
+        let mapper = HybridMapper::new(params.clone(), config)?;
+        let scheduler = Scheduler::new(params);
+        Ok(Pipeline {
+            mapper,
+            scheduler,
+            with_baseline: true,
+        })
+    }
+
+    /// Disables (or re-enables) the ideal-baseline comparison.
+    ///
+    /// The baseline schedule of the *original* circuit is what the
+    /// Table 1a `Δ` quantities are measured against; skipping it saves
+    /// one (cheap, restriction-free) scheduling pass when only the
+    /// mapped artifact matters.
+    pub fn with_baseline(mut self, enabled: bool) -> Self {
+        self.with_baseline = enabled;
+        self
+    }
+
+    /// The hardware parameters.
+    pub fn params(&self) -> &HardwareParams {
+        self.mapper.params()
+    }
+
+    /// The mapper configuration.
+    pub fn config(&self) -> &MapperConfig {
+        self.mapper.config()
+    }
+
+    /// Compiles one circuit: fused map+schedule pass, AOD lowering with
+    /// validation, Eq. (1) metrics, optional baseline comparison.
+    ///
+    /// # Errors
+    ///
+    /// * [`PipelineError::Map`] — mapping failed.
+    /// * [`PipelineError::InvalidAodBatch`] — a lowered AOD batch
+    ///   violated the shuttling protocol (library bug guard; surfaced
+    ///   instead of silently accepted).
+    pub fn compile(&self, circuit: &Circuit) -> Result<CompiledProgram, PipelineError> {
+        let total_start = Instant::now();
+        let params = self.mapper.params();
+        let config = self.mapper.config();
+
+        // (1)+(2) Fused map+schedule: one pass over the op stream.
+        let mut sink = FusedSink {
+            mapped: MappedCircuit::with_layout(
+                circuit.num_qubits(),
+                params.num_atoms,
+                config.initial_layout,
+            ),
+            scheduler: IncrementalScheduler::new(
+                params,
+                circuit.num_qubits(),
+                params.num_atoms,
+                config.initial_layout,
+            ),
+            scheduled: 0,
+        };
+        let run = self.mapper.map_into(circuit, &mut sink)?;
+        sink.drain_block();
+        let FusedSink {
+            mapped, scheduler, ..
+        } = sink;
+        let (schedule, metrics) = scheduler.finish_with_metrics();
+
+        // (3) Lower every AOD batch and validate against the replayed
+        // occupancy.
+        let aod_programs = self.lower_and_validate(&schedule)?;
+
+        // (4) Optional ideal-baseline comparison (Table 1a).
+        let comparison = if self.with_baseline {
+            let original = ScheduleMetrics::of(&self.scheduler.schedule_original(circuit), params);
+            Some(ComparisonReport::between(&original, &metrics))
+        } else {
+            None
+        };
+
+        let stats = CompileStats {
+            map: run.stats,
+            map_runtime: run.runtime,
+            total_runtime: total_start.elapsed(),
+            aod_batches: aod_programs.len(),
+            aod_moves: aod_programs.iter().map(|p| p.moves.len()).sum(),
+        };
+        Ok(CompiledProgram {
+            mapped,
+            schedule,
+            aod_programs,
+            metrics,
+            comparison,
+            stats,
+        })
+    }
+
+    /// Lowers each AOD batch of `schedule` to native instructions and
+    /// validates it against the lattice occupancy at its position in the
+    /// stream.
+    fn lower_and_validate(&self, schedule: &Schedule) -> Result<Vec<AodProgram>, PipelineError> {
+        let params = self.mapper.params();
+        let lattice = Lattice::new(params.lattice_side);
+        let mut site_of_atom: Vec<Site> = self
+            .mapper
+            .config()
+            .initial_layout
+            .place(&lattice, params.num_atoms);
+        let mut programs = Vec::new();
+        for item in &schedule.items {
+            if let ScheduledItem::AodBatch {
+                moves, start_us, ..
+            } = item
+            {
+                let program = lower_batch(moves);
+                validate_program(&program, &lattice, &site_of_atom).map_err(|source| {
+                    PipelineError::InvalidAodBatch {
+                        batch_index: programs.len(),
+                        start_us: *start_us,
+                        source,
+                    }
+                })?;
+                for m in moves {
+                    site_of_atom[m.atom.index()] = m.to;
+                }
+                programs.push(program);
+            }
+        }
+        Ok(programs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use na_circuit::generators::{GraphState, Qft};
+
+    fn small(preset: HardwareParams, side: u32, atoms: u32) -> HardwareParams {
+        preset
+            .to_builder()
+            .lattice(side, 3.0)
+            .num_atoms(atoms)
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn compile_produces_consistent_artifact() {
+        let p = small(HardwareParams::mixed(), 6, 25);
+        let pipeline = Pipeline::new(p.clone(), MapperConfig::hybrid(1.0)).unwrap();
+        let c = GraphState::new(18).edges(26).seed(3).build();
+        let program = pipeline.compile(&c).unwrap();
+
+        // The mapped stream verifies against the physics model.
+        na_mapper::verify_mapping(&c, &program.mapped, &p).unwrap();
+        // Fused schedule identical to re-walking the retained stream.
+        let two_pass = Scheduler::new(p.clone()).schedule_mapped(&program.mapped);
+        assert_eq!(program.schedule, two_pass);
+        // Metrics bit-identical to the post-hoc computation.
+        assert_eq!(program.metrics, ScheduleMetrics::of(&program.schedule, &p));
+        // One validated AOD program per scheduled batch.
+        assert_eq!(program.aod_programs.len(), program.schedule.batch_count());
+        assert_eq!(program.stats.aod_batches, program.aod_programs.len());
+        assert_eq!(program.stats.aod_moves, program.schedule.move_count());
+        // Baseline comparison present by default.
+        assert!(program.comparison.is_some());
+        assert!(program.delta_f().unwrap() >= -1e-9);
+    }
+
+    #[test]
+    fn baseline_can_be_disabled() {
+        let p = small(HardwareParams::mixed(), 5, 12);
+        let pipeline = Pipeline::new(p, MapperConfig::default())
+            .unwrap()
+            .with_baseline(false);
+        let program = pipeline.compile(&Qft::new(8).build()).unwrap();
+        assert!(program.comparison.is_none());
+        assert!(program.delta_f().is_none());
+    }
+
+    #[test]
+    fn map_errors_propagate_typed() {
+        let p = small(HardwareParams::mixed(), 4, 8);
+        let pipeline = Pipeline::new(p, MapperConfig::default()).unwrap();
+        let too_wide = Circuit::new(9);
+        assert!(matches!(
+            pipeline.compile(&too_wide),
+            Err(PipelineError::Map(
+                na_mapper::MapError::CircuitTooWide { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn json_document_is_one_object() {
+        let p = small(HardwareParams::shuttling(), 6, 20);
+        let pipeline = Pipeline::new(p, MapperConfig::shuttle_only()).unwrap();
+        let program = pipeline.compile(&Qft::new(10).build()).unwrap();
+        let json = program.to_json();
+        assert!(json.trim_start().starts_with('{'));
+        assert!(json.trim_end().ends_with('}'));
+        for key in [
+            "\"stats\"",
+            "\"metrics\"",
+            "\"comparison\"",
+            "\"mapped\"",
+            "\"schedule\"",
+            "\"aod_programs\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        // Shuttle-only mapping must have lowered at least one program.
+        assert!(!program.aod_programs.is_empty());
+        assert!(json.contains("\"op\":\"translate\""));
+    }
+}

@@ -1,0 +1,118 @@
+//! Acceptance matrix: the fused single-pass pipeline must be
+//! item-for-item identical to the legacy two-pass path (materialize the
+//! mapped stream, then re-walk it through `Scheduler::schedule_mapped`
+//! and `ScheduleMetrics::of`) for **every generator × every mode**.
+
+use na_arch::HardwareParams;
+use na_circuit::generators::{
+    cuccaro_adder, ghz, GraphState, Qaoa, Qft, Qpe, RandomCircuit, Reversible,
+};
+use na_circuit::Circuit;
+use na_mapper::MapperConfig;
+use na_pipeline::Pipeline;
+use na_schedule::{ScheduleMetrics, Scheduler};
+
+fn params() -> HardwareParams {
+    HardwareParams::mixed()
+        .to_builder()
+        .lattice(6, 3.0)
+        .num_atoms(25)
+        .build()
+        .expect("valid")
+}
+
+/// One small instance per generator (widths fit 25 atoms).
+fn generator_suite() -> Vec<(&'static str, Circuit)> {
+    vec![
+        ("graph", GraphState::new(16).edges(24).seed(5).build()),
+        ("qft", Qft::new(12).build()),
+        ("qpe", Qpe::new(10).build()),
+        ("qaoa", Qaoa::new(14).edges(20).layers(2).seed(3).build()),
+        (
+            "random",
+            RandomCircuit::new(16)
+                .layers(5)
+                .multi_qubit_fraction(0.2)
+                .seed(9)
+                .build(),
+        ),
+        (
+            "reversible",
+            Reversible::new(14)
+                .counts(&[(2, 20), (3, 8)])
+                .seed(7)
+                .build(),
+        ),
+        ("ghz", ghz(16)),
+        ("adder", cuccaro_adder(5)),
+    ]
+}
+
+fn modes() -> Vec<(&'static str, MapperConfig)> {
+    vec![
+        ("gate", MapperConfig::gate_only()),
+        ("shuttle", MapperConfig::shuttle_only()),
+        ("hybrid", MapperConfig::hybrid(1.0)),
+    ]
+}
+
+#[test]
+fn fused_equals_two_pass_for_all_generators_and_modes() {
+    let p = params();
+    let scheduler = Scheduler::new(p.clone());
+    for (mode_name, config) in modes() {
+        let pipeline = Pipeline::new(p.clone(), config).expect("valid");
+        for (gen_name, circuit) in generator_suite() {
+            let program = pipeline
+                .compile(&circuit)
+                .unwrap_or_else(|e| panic!("{gen_name}/{mode_name}: {e}"));
+
+            // The fused pass streamed ops into the scheduler while the
+            // artifact retained them; the legacy two-pass path re-walks
+            // that identical stream from scratch.
+            let two_pass = scheduler.schedule_mapped(&program.mapped);
+            assert_eq!(
+                program.schedule, two_pass,
+                "{gen_name}/{mode_name}: fused schedule diverged from two-pass"
+            );
+            let post_hoc = ScheduleMetrics::of(&program.schedule, &p);
+            assert_eq!(
+                program.metrics, post_hoc,
+                "{gen_name}/{mode_name}: op-by-op metrics diverged"
+            );
+
+            // And the stream itself replays against the physics model.
+            na_mapper::verify_mapping(&circuit, &program.mapped, &p)
+                .unwrap_or_else(|e| panic!("{gen_name}/{mode_name}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn fused_matches_two_pass_per_mode_presets() {
+    // Modes on their natural hardware presets (Table 1c), not just the
+    // mixed preset: gate-only on gate-based hardware, shuttle-only on
+    // shuttling hardware.
+    for (preset, config) in [
+        (HardwareParams::gate_based(), MapperConfig::gate_only()),
+        (HardwareParams::shuttling(), MapperConfig::shuttle_only()),
+        (HardwareParams::mixed(), MapperConfig::hybrid(1.0)),
+    ] {
+        let p = preset
+            .to_builder()
+            .lattice(6, 3.0)
+            .num_atoms(22)
+            .build()
+            .expect("valid");
+        let pipeline = Pipeline::new(p.clone(), config).expect("valid");
+        let circuit = GraphState::new(18).edges(26).seed(11).build();
+        let program = pipeline.compile(&circuit).expect("compiles");
+        assert_eq!(
+            program.schedule,
+            Scheduler::new(p.clone()).schedule_mapped(&program.mapped),
+            "{}: fused diverged",
+            p.name
+        );
+        assert_eq!(program.metrics, ScheduleMetrics::of(&program.schedule, &p));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based pipeline invariants over random circuits from every
+//! generator:
+//!
+//! * no two time-overlapping Rydberg-type items sit within `r_restr`
+//!   (the paper's restriction constraint, §2.1),
+//! * every AOD batch lowers to a program that `validate_program`
+//!   accepts against the replayed occupancy,
+//! * the fused single-pass output is item-for-item identical to the
+//!   legacy two-pass path.
+
+use na_arch::{geometry, HardwareParams, Lattice, Site};
+use na_circuit::generators::{
+    cuccaro_adder, ghz, GraphState, Qaoa, Qft, Qpe, RandomCircuit, Reversible,
+};
+use na_circuit::Circuit;
+use na_mapper::MapperConfig;
+use na_pipeline::Pipeline;
+use na_schedule::{validate_program, ScheduleMetrics, ScheduledItem, Scheduler};
+use proptest::prelude::*;
+
+/// A random small circuit from one of the eight generators.
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (0u8..8, 0u64..500).prop_map(|(kind, seed)| match kind {
+        0 => GraphState::new(14 + (seed % 5) as u32)
+            .edges(18 + (seed % 9) as usize)
+            .seed(seed)
+            .build(),
+        1 => Qft::new(10 + (seed % 5) as u32).build(),
+        2 => Qpe::new(8 + (seed % 4) as u32).build(),
+        3 => Qaoa::new(12 + (seed % 5) as u32)
+            .edges(14 + (seed % 7) as usize)
+            .layers(1 + (seed % 2) as usize)
+            .seed(seed)
+            .build(),
+        4 => RandomCircuit::new(14)
+            .layers(3 + (seed % 4) as usize)
+            .multi_qubit_fraction(0.2)
+            .seed(seed)
+            .build(),
+        5 => Reversible::new(12 + (seed % 4) as u32)
+            .counts(&[(2, 14), (3, 6)])
+            .seed(seed)
+            .build(),
+        6 => ghz(12 + (seed % 8) as u32),
+        _ => cuccaro_adder(4 + (seed % 2) as u32),
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = MapperConfig> {
+    prop_oneof![
+        Just(MapperConfig::gate_only()),
+        Just(MapperConfig::shuttle_only()),
+        (0.25f64..4.0).prop_map(MapperConfig::hybrid),
+    ]
+}
+
+fn params() -> HardwareParams {
+    HardwareParams::mixed()
+        .to_builder()
+        .lattice(6, 3.0)
+        .num_atoms(25)
+        .build()
+        .expect("valid")
+}
+
+/// The sites a Rydberg-type item illuminates, or `None` for others.
+fn rydberg_sites(item: &ScheduledItem) -> Option<Vec<Site>> {
+    match item {
+        ScheduledItem::Rydberg { sites, .. } => Some(sites.clone()),
+        ScheduledItem::SwapComposite { sites, .. } => Some(sites.to_vec()),
+        _ => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn restriction_and_aod_invariants(circuit in arb_circuit(), config in arb_config()) {
+        let p = params();
+        let layout = config.initial_layout;
+        let pipeline = Pipeline::new(p.clone(), config).expect("valid");
+        let program = pipeline.compile(&circuit).expect("compiles");
+
+        // (1) Restriction: concurrent Rydberg items keep r_restr.
+        let rydberg: Vec<(f64, f64, Vec<Site>)> = program
+            .schedule
+            .items
+            .iter()
+            .filter_map(|i| rydberg_sites(i).map(|s| (i.start_us(), i.end_us(), s)))
+            .collect();
+        for (i, a) in rydberg.iter().enumerate() {
+            for b in rydberg.iter().skip(i + 1) {
+                let overlaps = a.0 < b.1 - 1e-12 && b.0 < a.1 - 1e-12;
+                if overlaps {
+                    prop_assert!(
+                        geometry::sets_clear_of(&a.2, &b.2, p.r_restr),
+                        "items at t={}/{} overlap within r_restr", a.0, b.0
+                    );
+                }
+            }
+        }
+
+        // (2) Every AOD batch re-validates against replayed occupancy,
+        // and the pipeline lowered exactly one program per batch.
+        let lattice = Lattice::new(p.lattice_side);
+        let mut site_of_atom: Vec<Site> = layout.place(&lattice, p.num_atoms);
+        let mut batch_idx = 0usize;
+        for item in &program.schedule.items {
+            if let ScheduledItem::AodBatch { moves, .. } = item {
+                let occupied: Vec<Site> = site_of_atom.clone();
+                let lowered = &program.aod_programs[batch_idx];
+                prop_assert_eq!(&lowered.moves, moves, "program/batch order mismatch");
+                prop_assert!(
+                    validate_program(lowered, &lattice, &occupied).is_ok(),
+                    "batch {} failed validation", batch_idx
+                );
+                for m in moves {
+                    prop_assert_eq!(site_of_atom[m.atom.index()], m.from, "stale source");
+                    prop_assert!(!site_of_atom.contains(&m.to), "target occupied");
+                    site_of_atom[m.atom.index()] = m.to;
+                }
+                batch_idx += 1;
+            }
+        }
+        prop_assert_eq!(batch_idx, program.aod_programs.len());
+
+        // (3) Fused single pass ≡ legacy two-pass, item for item.
+        let two_pass = Scheduler::new(p.clone()).schedule_mapped(&program.mapped);
+        prop_assert_eq!(&program.schedule, &two_pass);
+        prop_assert_eq!(program.metrics, ScheduleMetrics::of(&two_pass, &p));
+    }
+}

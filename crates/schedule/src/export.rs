@@ -3,13 +3,22 @@
 //! [`to_csv`] serializes a schedule as Gantt-style event rows for
 //! external plotting; [`Utilization`] summarizes per-atom busy fractions
 //! (the physical counterpart of the idle time entering Eq. (1)).
+//!
+//! The `*_to_json` family serializes the pipeline's result types as JSON
+//! fragments. They are hand-written: the vendored `serde` stand-in is a
+//! marker-only stub (see `vendor/README.md`), so the workspace's
+//! `#[derive(Serialize)]` attributes document intent while these writers
+//! do the actual work. `na-pipeline` composes them into the single JSON
+//! document of a `CompiledProgram`.
 
 use std::fmt::Write as _;
 
-use na_mapper::AtomId;
+use na_mapper::{AtomId, MapStats};
 use serde::{Deserialize, Serialize};
 
+use crate::aod_program::{AodInstruction, AodProgram};
 use crate::items::{Schedule, ScheduledItem};
+use crate::metrics::{ComparisonReport, ScheduleMetrics};
 
 /// Serializes the schedule as CSV with one row per scheduled item:
 /// `kind,start_us,duration_us,atoms,detail`.
@@ -63,6 +72,178 @@ pub fn to_csv(schedule: &Schedule) -> String {
         );
     }
     out
+}
+
+/// Formats an `f64` as a JSON number (`null` for non-finite values,
+/// which JSON cannot represent).
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes [`ScheduleMetrics`] as a JSON object.
+pub fn metrics_to_json(m: &ScheduleMetrics) -> String {
+    format!(
+        "{{\"makespan_us\":{},\"idle_us\":{},\"log10_gate_fidelity\":{},\
+         \"log10_success\":{},\"cz_count\":{},\"move_count\":{}}}",
+        json_f64(m.makespan_us),
+        json_f64(m.idle_us),
+        json_f64(m.log10_gate_fidelity),
+        json_f64(m.log10_success),
+        m.cz_count,
+        m.move_count,
+    )
+}
+
+/// Serializes a [`ComparisonReport`] (the Table 1a quantities plus both
+/// metric sets) as a JSON object.
+pub fn comparison_to_json(r: &ComparisonReport) -> String {
+    format!(
+        "{{\"delta_cz\":{},\"delta_t_us\":{},\"delta_f\":{},\"moves\":{},\
+         \"original\":{},\"mapped\":{}}}",
+        r.delta_cz,
+        json_f64(r.delta_t_us),
+        json_f64(r.delta_f),
+        r.moves,
+        metrics_to_json(&r.original),
+        metrics_to_json(&r.mapped),
+    )
+}
+
+/// Serializes the mapper's [`MapStats`] as a JSON object.
+pub fn map_stats_to_json(s: &MapStats) -> String {
+    format!(
+        "{{\"swaps_inserted\":{},\"shuttle_moves\":{},\
+         \"gates_gate_routed\":{},\"gates_shuttle_routed\":{}}}",
+        s.swaps_inserted, s.shuttle_moves, s.gates_gate_routed, s.gates_shuttle_routed,
+    )
+}
+
+/// Serializes a [`Schedule`] as a JSON object: aggregates plus one entry
+/// per scheduled item (the JSON counterpart of [`to_csv`]).
+pub fn schedule_to_json(schedule: &Schedule) -> String {
+    let mut items = String::from("[");
+    for (i, item) in schedule.items.iter().enumerate() {
+        if i > 0 {
+            items.push(',');
+        }
+        let kind = match item {
+            ScheduledItem::SingleQubit { .. } => "single",
+            ScheduledItem::Rydberg { .. } => "rydberg",
+            ScheduledItem::SwapComposite { .. } => "swap",
+            ScheduledItem::AodBatch { .. } => "aod",
+        };
+        let atoms = item
+            .atoms()
+            .iter()
+            .map(|a| a.0.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = write!(
+            items,
+            "{{\"kind\":\"{kind}\",\"start_us\":{},\"duration_us\":{},\"atoms\":[{atoms}]}}",
+            json_f64(item.start_us()),
+            json_f64(item.duration_us()),
+        );
+    }
+    items.push(']');
+    format!(
+        "{{\"makespan_us\":{},\"num_qubits\":{},\"num_atoms\":{},\
+         \"cz_count\":{},\"batch_count\":{},\"move_count\":{},\"items\":{items}}}",
+        json_f64(schedule.makespan_us),
+        schedule.num_qubits,
+        schedule.num_atoms,
+        schedule.cz_count(),
+        schedule.batch_count(),
+        schedule.move_count(),
+    )
+}
+
+/// Serializes a lowered [`AodProgram`] as a JSON object with its native
+/// instruction stream.
+pub fn aod_program_to_json(program: &AodProgram) -> String {
+    let mut instrs = String::from("[");
+    for (i, instr) in program.instructions.iter().enumerate() {
+        if i > 0 {
+            instrs.push(',');
+        }
+        match instr {
+            AodInstruction::ActivateRow { row, cols } => {
+                let cols = cols
+                    .iter()
+                    .map(|c| json_f64(*c))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let _ = write!(
+                    instrs,
+                    "{{\"op\":\"activate_row\",\"row\":{},\"cols\":[{cols}]}}",
+                    json_f64(*row)
+                );
+            }
+            AodInstruction::Offset { dx, dy } => {
+                let _ = write!(
+                    instrs,
+                    "{{\"op\":\"offset\",\"dx\":{},\"dy\":{}}}",
+                    json_f64(*dx),
+                    json_f64(*dy)
+                );
+            }
+            AodInstruction::Translate { rows, cols } => {
+                let fmt_pairs = |pairs: &[(f64, f64)]| {
+                    pairs
+                        .iter()
+                        .map(|&(f, t)| format!("[{},{}]", json_f64(f), json_f64(t)))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                let _ = write!(
+                    instrs,
+                    "{{\"op\":\"translate\",\"rows\":[{}],\"cols\":[{}]}}",
+                    fmt_pairs(rows),
+                    fmt_pairs(cols)
+                );
+            }
+            AodInstruction::Deactivate => instrs.push_str("{\"op\":\"deactivate\"}"),
+        }
+    }
+    instrs.push(']');
+    let moves = program
+        .moves
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"atom\":{},\"from\":[{},{}],\"to\":[{},{}]}}",
+                m.atom.0, m.from.x, m.from.y, m.to.x, m.to.y
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"load_steps\":{},\"moves\":[{moves}],\"instructions\":{instrs}}}",
+        program.load_steps()
+    )
 }
 
 /// Per-atom utilization of a schedule.
@@ -144,6 +325,58 @@ mod tests {
             Scheduler::new(params.clone()).schedule_mapped(&mapped),
             params,
         )
+    }
+
+    #[test]
+    fn json_escaping_and_numbers() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn schedule_json_lists_every_item() {
+        let (schedule, _) = sample_schedule();
+        let json = schedule_to_json(&schedule);
+        assert_eq!(json.matches("\"kind\":").count(), schedule.len());
+        assert!(json.contains("\"makespan_us\":"));
+        assert!(json.contains("\"rydberg\""));
+    }
+
+    #[test]
+    fn metrics_and_comparison_json_shapes() {
+        let (schedule, params) = sample_schedule();
+        let m = crate::ScheduleMetrics::of(&schedule, &params);
+        let mj = metrics_to_json(&m);
+        assert!(mj.starts_with('{') && mj.ends_with('}'));
+        assert!(mj.contains("\"log10_success\":"));
+        let r = crate::ComparisonReport::between(&m, &m);
+        let rj = comparison_to_json(&r);
+        assert!(rj.contains("\"delta_cz\":0"));
+        assert!(rj.contains("\"original\":{"));
+    }
+
+    #[test]
+    fn aod_program_json_covers_instructions() {
+        use crate::aod_program::lower_batch;
+        use crate::items::BatchedMove;
+        let program = lower_batch(&[
+            BatchedMove {
+                atom: AtomId(0),
+                from: na_arch::Site::new(0, 0),
+                to: na_arch::Site::new(0, 2),
+            },
+            BatchedMove {
+                atom: AtomId(1),
+                from: na_arch::Site::new(2, 1),
+                to: na_arch::Site::new(2, 3),
+            },
+        ]);
+        let json = aod_program_to_json(&program);
+        assert!(json.contains("\"op\":\"activate_row\""));
+        assert!(json.contains("\"op\":\"translate\""));
+        assert!(json.contains("\"op\":\"deactivate\""));
+        assert_eq!(json.matches("\"atom\":").count(), 2);
     }
 
     #[test]

@@ -49,4 +49,4 @@ pub mod scheduler;
 pub use aod_program::{lower_batch, validate_program, AodInstruction, AodProgram};
 pub use items::{Schedule, ScheduledItem};
 pub use metrics::{ComparisonReport, ScheduleMetrics};
-pub use scheduler::Scheduler;
+pub use scheduler::{IncrementalScheduler, Scheduler};

@@ -44,27 +44,60 @@ impl ScheduleMetrics {
         let mut busy_us = 0.0f64;
         for item in &schedule.items {
             busy_us += item.duration_us();
-            ln_fidelity += match item {
-                ScheduledItem::SingleQubit { .. } => params.f_single.ln(),
-                ScheduledItem::Rydberg { atoms, .. } => params.cz_family_fidelity(atoms.len()).ln(),
-                ScheduledItem::SwapComposite { .. } => params.swap_fidelity().ln(),
-                ScheduledItem::AodBatch { moves, .. } => {
-                    moves.len() as f64 * params.f_shuttle.max(f64::MIN_POSITIVE).ln()
-                }
-            };
+            ln_fidelity += ScheduleMetrics::item_ln_fidelity(item, params);
         }
-        let n = f64::from(schedule.num_qubits);
-        let idle_us = (n * schedule.makespan_us - busy_us).max(0.0);
+        ScheduleMetrics::from_accumulators(
+            schedule.makespan_us,
+            busy_us,
+            ln_fidelity,
+            schedule.num_qubits,
+            schedule.cz_count(),
+            schedule.move_count(),
+            params,
+        )
+    }
+
+    /// The `ln F_O` contribution of one scheduled item — the per-item
+    /// factor of Eq. (1)'s fidelity product. Shared by [`Self::of`] and
+    /// the op-by-op accumulation in
+    /// [`crate::IncrementalScheduler`], so the two paths cannot drift.
+    pub fn item_ln_fidelity(item: &ScheduledItem, params: &HardwareParams) -> f64 {
+        match item {
+            ScheduledItem::SingleQubit { .. } => params.f_single.ln(),
+            ScheduledItem::Rydberg { atoms, .. } => params.cz_family_fidelity(atoms.len()).ln(),
+            ScheduledItem::SwapComposite { .. } => params.swap_fidelity().ln(),
+            ScheduledItem::AodBatch { moves, .. } => {
+                moves.len() as f64 * params.f_shuttle.max(f64::MIN_POSITIVE).ln()
+            }
+        }
+    }
+
+    /// Assembles the Eq. (1) metrics from streaming accumulators
+    /// (`busy_us = Σ t_O`, `ln_fidelity = Σ ln F_O`). The other half of
+    /// the shared formula behind [`Self::of`] and the incremental
+    /// scheduler.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_accumulators(
+        makespan_us: f64,
+        busy_us: f64,
+        ln_fidelity: f64,
+        num_qubits: u32,
+        cz_count: usize,
+        move_count: usize,
+        params: &HardwareParams,
+    ) -> Self {
+        let n = f64::from(num_qubits);
+        let idle_us = (n * makespan_us - busy_us).max(0.0);
         let ln10 = std::f64::consts::LN_10;
         let log10_gate_fidelity = ln_fidelity / ln10;
         let log10_success = log10_gate_fidelity - idle_us / params.t_eff_us() / ln10;
         ScheduleMetrics {
-            makespan_us: schedule.makespan_us,
+            makespan_us,
             idle_us,
             log10_gate_fidelity,
             log10_success,
-            cz_count: schedule.cz_count(),
-            move_count: schedule.move_count(),
+            cz_count,
+            move_count,
         }
     }
 

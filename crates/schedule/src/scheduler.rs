@@ -1,9 +1,23 @@
 //! ASAP scheduling with restriction constraints and AOD batching.
+//!
+//! Two entry points share one scheduling core:
+//!
+//! * [`Scheduler::schedule_mapped`] — the classic two-pass API: walk a
+//!   fully materialized [`MappedCircuit`].
+//! * [`IncrementalScheduler`] — the streaming core itself, a
+//!   [`na_mapper::OpSink`]: feed [`MappedOp`]s one at a time (e.g.
+//!   directly from [`na_mapper::HybridMapper::map_into`]) and AOD-batch
+//!   merging, restriction checks and Eq. (1) metric accumulation happen
+//!   op-by-op, with no intermediate full materialization.
+//!
+//! Both paths are item-for-item identical by construction:
+//! `schedule_mapped` is a loop over `IncrementalScheduler::push`.
 
-use na_arch::{aod, geometry, HardwareParams, Move, Site};
+use na_arch::{aod, geometry, HardwareParams, Lattice, Move, Site};
 use na_circuit::{decompose_to_native, Circuit};
-use na_mapper::{AtomId, MappedCircuit, MappedOp};
+use na_mapper::{AtomId, InitialLayout, MappedCircuit, MappedOp, OpSink};
 
+use crate::aod_program::{lower_batch, validate_program};
 use crate::items::{BatchedMove, Schedule, ScheduledItem};
 use crate::metrics::{ComparisonReport, ScheduleMetrics};
 
@@ -44,60 +58,16 @@ impl Scheduler {
     /// twice) sits in a strictly earlier batch. This mirrors the paper's
     /// aggressive parallel scheduling of independent rearrangements.
     pub fn schedule_mapped(&self, mapped: &MappedCircuit) -> Schedule {
-        let mut builder = ScheduleBuilder::new(&self.params, mapped.num_atoms, mapped.layout);
-        let mut run = BatchRun::new();
-
+        let mut inc = IncrementalScheduler::new(
+            &self.params,
+            mapped.num_qubits,
+            mapped.num_atoms,
+            mapped.layout,
+        );
         for op in mapped.iter() {
-            match op {
-                MappedOp::Shuttle { atom, from, to } => {
-                    run.push(BatchedMove {
-                        atom: *atom,
-                        from: *from,
-                        to: *to,
-                    });
-                }
-                _ => {
-                    run.flush_into(&mut builder);
-                    match op {
-                        MappedOp::Gate {
-                            op_index,
-                            op,
-                            atoms,
-                            sites,
-                        } => {
-                            if op.arity() == 1 {
-                                builder.push_single(
-                                    atoms[0],
-                                    sites[0],
-                                    self.params.t_single_us,
-                                    Some(*op_index),
-                                );
-                            } else {
-                                builder.push_rydberg(
-                                    atoms.clone(),
-                                    sites.clone(),
-                                    self.params.cz_family_time_us(op.arity()),
-                                    Some(*op_index),
-                                );
-                            }
-                        }
-                        MappedOp::Swap {
-                            a,
-                            b,
-                            site_a,
-                            site_b,
-                        } => {
-                            builder.push_swap([*a, *b], [*site_a, *site_b]);
-                        }
-                        // `MappedOp` is non-exhaustive; shuttles are
-                        // handled in the outer match.
-                        other => unreachable!("unhandled mapped op {other:?}"),
-                    }
-                }
-            }
+            inc.push(op);
         }
-        run.flush_into(&mut builder);
-        builder.finish(mapped.num_qubits)
+        inc.finish()
     }
 
     /// Schedules the *original* circuit assuming ideal all-to-all
@@ -184,7 +154,7 @@ fn batch_accepts(batch: &[BatchedMove], mv: &BatchedMove) -> bool {
 
 /// Open batches of the current shuttle run: moves are placed into the
 /// earliest batch their dependencies and the AOD constraints permit.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct BatchRun {
     batches: Vec<Vec<BatchedMove>>,
 }
@@ -215,43 +185,252 @@ impl BatchRun {
         }
         self.batches.push(vec![mv]);
     }
-
-    fn flush_into(&mut self, builder: &mut ScheduleBuilder<'_>) {
-        for mut batch in self.batches.drain(..) {
-            builder.flush_batch(&mut batch);
-        }
-    }
 }
 
-struct ScheduleBuilder<'p> {
-    params: &'p HardwareParams,
+/// Streaming ASAP scheduler: consumes a [`MappedOp`] stream one
+/// operation at a time and builds the schedule, the AOD batches and the
+/// Eq. (1) metric accumulators incrementally.
+///
+/// This is the scheduling core behind [`Scheduler::schedule_mapped`],
+/// exposed so the mapper can feed it directly
+/// ([`na_mapper::HybridMapper::map_into`]) — map + schedule then run as
+/// one fused pass without materializing the op stream in between. It
+/// implements [`OpSink`], so it can stand anywhere a sink is expected.
+///
+/// # Example
+///
+/// ```
+/// use na_arch::HardwareParams;
+/// use na_circuit::generators::GraphState;
+/// use na_mapper::{HybridMapper, InitialLayout, MapperConfig};
+/// use na_schedule::IncrementalScheduler;
+///
+/// let params = HardwareParams::mixed()
+///     .to_builder()
+///     .lattice(5, 3.0)
+///     .num_atoms(12)
+///     .build()?;
+/// let circuit = GraphState::new(10).edges(13).seed(5).build();
+/// let mapper = HybridMapper::new(params.clone(), MapperConfig::default())?;
+///
+/// // Fused single pass: the mapper streams ops straight into the
+/// // scheduler; no intermediate MappedCircuit.
+/// let mut inc = IncrementalScheduler::new(
+///     &params, circuit.num_qubits(), params.num_atoms, InitialLayout::Identity,
+/// );
+/// mapper.map_into(&circuit, &mut inc)?;
+/// let (schedule, metrics) = inc.finish_with_metrics();
+/// assert!(schedule.makespan_us > 0.0);
+/// assert!(metrics.log10_success <= 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalScheduler {
+    params: HardwareParams,
+    num_qubits: u32,
+    /// Open AOD batches of the current run of consecutive shuttles.
+    run: BatchRun,
     avail: Vec<f64>,
     /// Per trap site: the time from which the site is free (∞ while
-    /// occupied). Starts from the identity layout.
+    /// occupied). Starts from the initial layout.
     site_free_at: Vec<f64>,
-    lattice: na_arch::Lattice,
+    lattice: Lattice,
     /// Rydberg intervals still relevant for restriction checks.
     active_rydberg: Vec<(f64, f64, Vec<Site>)>,
+    /// Time from which the (single) AOD device is free: there is one
+    /// physical deflector grid, so transactions are mutually exclusive
+    /// in time even when their atoms and sites are disjoint.
+    aod_free_at: f64,
     items: Vec<ScheduledItem>,
     makespan: f64,
+    /// Σ item durations so far (the busy part of Eq. (1)'s idle term).
+    busy_us: f64,
+    /// Σ ln F_O so far (the gate-fidelity product of Eq. (1)).
+    ln_fidelity: f64,
 }
 
-impl<'p> ScheduleBuilder<'p> {
-    fn new(params: &'p HardwareParams, num_atoms: u32, layout: na_mapper::InitialLayout) -> Self {
-        let lattice = na_arch::Lattice::new(params.lattice_side);
+impl IncrementalScheduler {
+    /// Creates a streaming scheduler for a stream of `num_qubits` logical
+    /// qubits over `num_atoms` atoms starting from `layout` — the same
+    /// context a [`MappedCircuit`] records.
+    pub fn new(
+        params: &HardwareParams,
+        num_qubits: u32,
+        num_atoms: u32,
+        layout: InitialLayout,
+    ) -> Self {
+        let lattice = Lattice::new(params.lattice_side);
         let mut site_free_at = vec![0.0; lattice.num_sites()];
         for site in layout.place(&lattice, num_atoms) {
             site_free_at[lattice.index(site)] = f64::INFINITY;
         }
-        ScheduleBuilder {
-            params,
+        IncrementalScheduler {
+            params: params.clone(),
+            num_qubits,
+            run: BatchRun::new(),
             avail: vec![0.0; num_atoms as usize],
             site_free_at,
             lattice,
             active_rydberg: Vec::new(),
+            aod_free_at: 0.0,
             items: Vec::new(),
             makespan: 0.0,
+            busy_us: 0.0,
+            ln_fidelity: 0.0,
         }
+    }
+
+    /// Consumes the next operation of the mapped stream.
+    ///
+    /// Shuttle moves accumulate into the open AOD-batch run; any other
+    /// operation seals the run (flushing its batches as transactions)
+    /// and is then placed ASAP under the restriction constraint.
+    pub fn push(&mut self, op: &MappedOp) {
+        match op {
+            MappedOp::Shuttle { atom, from, to } => {
+                self.run.push(BatchedMove {
+                    atom: *atom,
+                    from: *from,
+                    to: *to,
+                });
+            }
+            MappedOp::Gate {
+                op_index,
+                op,
+                atoms,
+                sites,
+            } => {
+                self.flush_run();
+                if op.arity() == 1 {
+                    self.push_single(atoms[0], sites[0], self.params.t_single_us, Some(*op_index));
+                } else {
+                    self.push_rydberg(
+                        atoms.clone(),
+                        sites.clone(),
+                        self.params.cz_family_time_us(op.arity()),
+                        Some(*op_index),
+                    );
+                }
+            }
+            MappedOp::Swap {
+                a,
+                b,
+                site_a,
+                site_b,
+            } => {
+                self.flush_run();
+                self.push_swap([*a, *b], [*site_a, *site_b]);
+            }
+            // `MappedOp` is non-exhaustive within the workspace only to
+            // keep downstream matches honest; new kinds must be handled
+            // here first.
+            other => unreachable!("unhandled mapped op {other:?}"),
+        }
+    }
+
+    /// Number of items scheduled so far (open shuttle runs not counted
+    /// until sealed).
+    pub fn items_so_far(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Seals the stream and returns the finished schedule.
+    pub fn finish(mut self) -> Schedule {
+        self.flush_run();
+        Schedule {
+            items: self.items,
+            makespan_us: self.makespan,
+            num_qubits: self.num_qubits,
+            num_atoms: self.avail.len() as u32,
+        }
+    }
+
+    /// Seals the stream and returns the schedule together with the
+    /// Eq. (1) metrics accumulated op-by-op.
+    ///
+    /// The metrics are bit-identical to
+    /// [`ScheduleMetrics::of`] on the returned schedule: the
+    /// accumulators add the same terms in the same order.
+    pub fn finish_with_metrics(mut self) -> (Schedule, ScheduleMetrics) {
+        self.flush_run();
+        let schedule = Schedule {
+            items: self.items,
+            makespan_us: self.makespan,
+            num_qubits: self.num_qubits,
+            num_atoms: self.avail.len() as u32,
+        };
+        let metrics = ScheduleMetrics::from_accumulators(
+            schedule.makespan_us,
+            self.busy_us,
+            self.ln_fidelity,
+            self.num_qubits,
+            schedule.cz_count(),
+            schedule.move_count(),
+            &self.params,
+        );
+        (schedule, metrics)
+    }
+
+    /// Seals the current shuttle run, flushing its batches in dependency
+    /// order as AOD transactions.
+    ///
+    /// Each batch is re-partitioned against the *live* occupancy before
+    /// it flushes: an AOD transaction's activated grid puts ghost spots
+    /// (row × column intersections) over lattice sites — at load time,
+    /// where the accumulated [`crate::aod_program::LOAD_OFFSET`]s can
+    /// drift earlier lines back on-lattice, and at deactivation, where
+    /// the full target grid lands at once. A ghost spot over a stored
+    /// spectator atom would trap it, which
+    /// [`crate::aod_program::validate_program`] rejects. [`BatchRun`]
+    /// groups moves by pairwise AOD compatibility only — it cannot see
+    /// occupancy at execution time — so each wave here accepts a move
+    /// only if the *lowered candidate transaction validates* against the
+    /// current occupancy; rejected moves split off into follow-up
+    /// transactions. Using the validator itself as the acceptance
+    /// predicate makes "every emitted batch passes validation" true by
+    /// construction. A single move always validates (its 1×1 grid is
+    /// its own source/target), so every wave makes progress.
+    fn flush_run(&mut self) {
+        let batches = std::mem::take(&mut self.run.batches);
+        for batch in batches {
+            let mut pending = batch;
+            while !pending.is_empty() {
+                let occupied = self.occupied_sites();
+                let mut accepted: Vec<BatchedMove> = Vec::new();
+                let mut deferred: Vec<BatchedMove> = Vec::new();
+                for mv in pending {
+                    accepted.push(mv);
+                    if accepted.len() > 1
+                        && validate_program(&lower_batch(&accepted), &self.lattice, &occupied)
+                            .is_err()
+                    {
+                        deferred.push(accepted.pop().expect("just pushed"));
+                    }
+                }
+                self.flush_batch(accepted);
+                pending = deferred;
+            }
+        }
+    }
+
+    /// Every currently occupied trap site (the validator's `occupied`
+    /// input). Deferred and not-yet-flushed moves still hold their
+    /// sources, which [`Self::site_free_at`] reflects.
+    fn occupied_sites(&self) -> Vec<Site> {
+        self.lattice
+            .iter()
+            .filter(|s| self.site_free_at[self.lattice.index(*s)].is_infinite())
+            .collect()
+    }
+
+    /// Records a finished item, folding its duration and fidelity terms
+    /// into the Eq. (1) accumulators — the same shared per-item formula
+    /// [`ScheduleMetrics::of`] folds over a finished schedule, in the
+    /// same order, so both paths are bit-identical by construction.
+    fn record(&mut self, item: ScheduledItem) {
+        self.busy_us += item.duration_us();
+        self.ln_fidelity += ScheduleMetrics::item_ln_fidelity(&item, &self.params);
+        self.items.push(item);
     }
 
     fn earliest(&self, atoms: &[AtomId]) -> f64 {
@@ -272,8 +451,21 @@ impl<'p> ScheduleBuilder<'p> {
     /// overlaps `[t0, t0 + dur)`.
     fn respect_restriction(&mut self, sites: &[Site], mut t0: f64, dur: f64) -> f64 {
         let r = self.params.r_restr;
-        // Prune intervals that ended before any possible overlap.
-        self.active_rydberg.retain(|(_, end, _)| *end > t0);
+        // Prune intervals no future operation can overlap. ASAP start
+        // times are NOT monotone in stream order — a later-streamed gate
+        // on long-idle atoms may start *earlier* than the current one —
+        // so pruning by the current `t0` would drop intervals that still
+        // constrain such gates (restriction violations; found by the
+        // pipeline property tests). Any future start is at least the
+        // minimum atom availability, which only ever grows. Note the
+        // bound is weak while any atom stays idle (its avail pins the
+        // low-water mark at 0), so on long streams this list grows with
+        // the circuit and each check scans it linearly; if that ever
+        // dominates, the fix is a spatial index over intervals rather
+        // than a tighter time bound (which cannot be correct: a gate on
+        // two so-far-idle atoms may still legally start at t = 0).
+        let low_water = self.avail.iter().copied().fold(f64::INFINITY, f64::min);
+        self.active_rydberg.retain(|(_, end, _)| *end > low_water);
         loop {
             let mut moved = false;
             for (start, end, other) in &self.active_rydberg {
@@ -292,7 +484,7 @@ impl<'p> ScheduleBuilder<'p> {
     fn push_single(&mut self, atom: AtomId, site: Site, dur: f64, op_index: Option<usize>) {
         let start = self.earliest(&[atom]);
         self.occupy(&[atom], start, dur);
-        self.items.push(ScheduledItem::SingleQubit {
+        self.record(ScheduledItem::SingleQubit {
             atom,
             site,
             start_us: start,
@@ -313,7 +505,7 @@ impl<'p> ScheduleBuilder<'p> {
         self.occupy(&atoms, start, dur);
         self.active_rydberg
             .push((start, start + dur, sites.clone()));
-        self.items.push(ScheduledItem::Rydberg {
+        self.record(ScheduledItem::Rydberg {
             atoms,
             sites,
             start_us: start,
@@ -329,7 +521,7 @@ impl<'p> ScheduleBuilder<'p> {
         self.occupy(&atoms, start, dur);
         self.active_rydberg
             .push((start, start + dur, sites.to_vec()));
-        self.items.push(ScheduledItem::SwapComposite {
+        self.record(ScheduledItem::SwapComposite {
             atoms,
             sites,
             start_us: start,
@@ -337,18 +529,20 @@ impl<'p> ScheduleBuilder<'p> {
         });
     }
 
-    fn flush_batch(&mut self, batch: &mut Vec<BatchedMove>) {
-        if batch.is_empty() {
+    fn flush_batch(&mut self, moves: Vec<BatchedMove>) {
+        if moves.is_empty() {
             return;
         }
-        let moves = std::mem::take(batch);
         let atoms: Vec<AtomId> = moves.iter().map(|m| m.atom).collect();
         // Besides atom availability, every target site must have been
-        // vacated (chains move a blocker away before reusing its trap).
+        // vacated (chains move a blocker away before reusing its trap),
+        // and the single AOD device must be free: concurrent
+        // transactions would superimpose their grids, re-creating the
+        // ghost-spot collisions the batch partition avoids.
         let start = moves
             .iter()
             .map(|m| self.site_free_at[self.lattice.index(m.to)])
-            .fold(self.earliest(&atoms), f64::max);
+            .fold(self.earliest(&atoms).max(self.aod_free_at), f64::max);
         debug_assert!(start.is_finite(), "move into a never-vacated site");
         let max_dist = moves
             .iter()
@@ -356,24 +550,24 @@ impl<'p> ScheduleBuilder<'p> {
             .fold(0.0, f64::max);
         let dur = self.params.shuttle_time_us(max_dist);
         self.occupy(&atoms, start, dur);
+        self.aod_free_at = start + dur;
         for m in &moves {
             self.site_free_at[self.lattice.index(m.from)] = start + dur;
             self.site_free_at[self.lattice.index(m.to)] = f64::INFINITY;
         }
-        self.items.push(ScheduledItem::AodBatch {
+        self.record(ScheduledItem::AodBatch {
             moves,
             start_us: start,
             duration_us: dur,
         });
     }
+}
 
-    fn finish(self, num_qubits: u32) -> Schedule {
-        Schedule {
-            items: self.items,
-            makespan_us: self.makespan,
-            num_qubits,
-            num_atoms: self.avail.len() as u32,
-        }
+impl OpSink for IncrementalScheduler {
+    /// Streams the mapper's output straight into the scheduler — the
+    /// fused map→schedule pass.
+    fn accept(&mut self, op: MappedOp) {
+        self.push(&op);
     }
 }
 
@@ -471,6 +665,143 @@ mod tests {
         assert!(schedule.batch_count() <= schedule.move_count());
     }
 
+    /// Regression: two AOD-compatible moves whose combined target grid
+    /// puts a deactivation ghost spot over a stored spectator atom must
+    /// be split into separate transactions. Identity layout, 13 atoms:
+    /// atom 12 sits at (0,2); the targets (0,3) and (2,2) would form the
+    /// intersection (0,2) right above it.
+    #[test]
+    fn ghost_spot_collisions_split_batches() {
+        let p = params(HardwareParams::shuttling(), 6, 13);
+        let s = Scheduler::new(p.clone());
+        let mut mapped = MappedCircuit::new(13, 13);
+        mapped.ops.push(MappedOp::Shuttle {
+            atom: AtomId(6),
+            from: Site::new(0, 1),
+            to: Site::new(0, 3),
+        });
+        mapped.ops.push(MappedOp::Shuttle {
+            atom: AtomId(1),
+            from: Site::new(1, 0),
+            to: Site::new(2, 2),
+        });
+        let schedule = s.schedule_mapped(&mapped);
+        assert_eq!(
+            schedule.batch_count(),
+            2,
+            "colliding targets must not share a transaction"
+        );
+        // The split is only physical if the transactions are disjoint in
+        // time: one AOD device means concurrent transactions would
+        // superimpose their grids and re-create the collision.
+        let batches: Vec<_> = schedule
+            .items
+            .iter()
+            .filter(|i| matches!(i, ScheduledItem::AodBatch { .. }))
+            .collect();
+        assert!(
+            batches[1].start_us() >= batches[0].end_us() - 1e-12,
+            "split transactions must serialize on the AOD device"
+        );
+        // Each lowered transaction validates against the replayed
+        // occupancy (the guard that caught the original bug).
+        let lattice = na_arch::Lattice::new(p.lattice_side);
+        let mut site_of_atom: Vec<Site> = na_mapper::InitialLayout::Identity.place(&lattice, 13);
+        for item in &schedule.items {
+            if let ScheduledItem::AodBatch { moves, .. } = item {
+                let program = crate::aod_program::lower_batch(moves);
+                crate::aod_program::validate_program(&program, &lattice, &site_of_atom)
+                    .expect("split transactions validate");
+                for m in moves {
+                    site_of_atom[m.atom.index()] = m.to;
+                }
+            }
+        }
+    }
+
+    /// Regression: load-phase ghost spots. A batch spanning ≥5 distinct
+    /// source rows accumulates 4 × `LOAD_OFFSET` = 1.0 of grid drift
+    /// during sequential loading, putting the first row/column lines
+    /// back on-lattice while later rows activate — over the spectator
+    /// atom at (4, 1) here. The flush partition must split such batches
+    /// so every emitted transaction passes `validate_program`.
+    #[test]
+    fn load_phase_ghost_spots_split_batches() {
+        use na_circuit::{GateKind, Operation, Qubit};
+        let p = params(HardwareParams::shuttling(), 8, 13);
+        let s = Scheduler::new(p.clone());
+        let shuttle = |atom: u32, from: Site, to: Site| MappedOp::Shuttle {
+            atom: AtomId(atom),
+            from,
+            to,
+        };
+        let mut mapped = MappedCircuit::new(13, 13);
+        // Identity layout on the 8-lattice: atoms 0–7 fill row 0, atoms
+        // 8–12 fill (0,1)…(4,1). Set up sources on the diagonal.
+        mapped
+            .ops
+            .push(shuttle(2, Site::new(2, 0), Site::new(2, 2)));
+        mapped
+            .ops
+            .push(shuttle(3, Site::new(3, 0), Site::new(3, 3)));
+        mapped
+            .ops
+            .push(shuttle(4, Site::new(4, 0), Site::new(4, 4)));
+        // A gate seals the setup run.
+        mapped.ops.push(MappedOp::Gate {
+            op_index: 0,
+            op: Operation::new(GateKind::H, vec![Qubit(0)]).unwrap(),
+            atoms: vec![AtomId(0)],
+            sites: vec![Site::new(0, 0)],
+        });
+        // Five pairwise AOD-compatible moves across five source rows —
+        // BatchRun puts them into ONE batch; atom 12 sits at (4, 1).
+        mapped
+            .ops
+            .push(shuttle(0, Site::new(0, 0), Site::new(0, 3)));
+        mapped
+            .ops
+            .push(shuttle(9, Site::new(1, 1), Site::new(1, 4)));
+        mapped
+            .ops
+            .push(shuttle(2, Site::new(2, 2), Site::new(2, 5)));
+        mapped
+            .ops
+            .push(shuttle(3, Site::new(3, 3), Site::new(3, 6)));
+        mapped
+            .ops
+            .push(shuttle(4, Site::new(4, 4), Site::new(4, 7)));
+        let schedule = s.schedule_mapped(&mapped);
+        // Replay-validate every emitted transaction — the partition
+        // predicate is the validator, so this must hold.
+        let lattice = na_arch::Lattice::new(p.lattice_side);
+        let mut site_of_atom: Vec<Site> = na_mapper::InitialLayout::Identity.place(&lattice, 13);
+        let gate_pos = schedule
+            .items
+            .iter()
+            .position(|i| matches!(i, ScheduledItem::SingleQubit { .. }))
+            .expect("the sealing gate is scheduled");
+        let mut payload_batches = 0;
+        for (pos, item) in schedule.items.iter().enumerate() {
+            if let ScheduledItem::AodBatch { moves, .. } = item {
+                let occupied: Vec<Site> = site_of_atom.clone();
+                let program = crate::aod_program::lower_batch(moves);
+                crate::aod_program::validate_program(&program, &lattice, &occupied)
+                    .unwrap_or_else(|e| panic!("emitted transaction fails validation: {e}"));
+                for m in moves {
+                    site_of_atom[m.atom.index()] = m.to;
+                }
+                if pos > gate_pos {
+                    payload_batches += 1;
+                }
+            }
+        }
+        assert!(
+            payload_batches >= 2,
+            "the five-row batch must have been split (got {payload_batches} transactions)"
+        );
+    }
+
     #[test]
     fn chain_dependent_moves_do_not_batch() {
         // A move-away followed by a move into the vacated site must be in
@@ -518,6 +849,86 @@ mod tests {
         let schedule = s.schedule_mapped(&mapped);
         let original = s.schedule_original(&c);
         assert_eq!(schedule.cz_count() - original.cz_count(), mapped.delta_cz());
+    }
+
+    /// Regression: ASAP start times are not monotone in stream order, so
+    /// the active-Rydberg list must not be pruned by the current item's
+    /// start. Here gate C (later in the stream, on busy atoms) starts
+    /// after gate A ends; pruning by C's start used to drop A, letting
+    /// gate B (idle atoms, adjacent to A) start inside A's interval.
+    #[test]
+    fn restriction_survives_non_monotone_starts() {
+        use na_circuit::{GateKind, Operation, Qubit};
+        let p = params(HardwareParams::mixed(), 6, 4); // r_restr = 2.5
+        let s = Scheduler::new(p);
+        let cz = |a: u32, b: u32, sa: Site, sb: Site| MappedOp::Gate {
+            op_index: 0,
+            op: Operation::new(GateKind::Cz, vec![Qubit(a), Qubit(b)]).unwrap(),
+            atoms: vec![AtomId(a), AtomId(b)],
+            sites: vec![sa, sb],
+        };
+        let mut mapped = MappedCircuit::new(4, 4);
+        // A: atoms 0,1 at (0,0),(1,0) — runs 0.0–0.2.
+        mapped.ops.push(cz(0, 1, Site::new(0, 0), Site::new(1, 0)));
+        // C: atoms 0,1 again, far away — t0 = 0.2 prunes A if pruning
+        // uses the current start.
+        mapped.ops.push(cz(0, 1, Site::new(5, 5), Site::new(4, 5)));
+        // B: atoms 2,3 at (0,1),(1,1) — idle, so t0 = 0, but within
+        // r_restr of A: must wait for A to end.
+        mapped.ops.push(cz(2, 3, Site::new(0, 1), Site::new(1, 1)));
+        let schedule = s.schedule_mapped(&mapped);
+        assert_eq!(schedule.items[0].start_us(), 0.0);
+        assert!(
+            schedule.items[2].start_us() >= schedule.items[0].end_us() - 1e-12,
+            "B must serialize behind A (got start {})",
+            schedule.items[2].start_us()
+        );
+    }
+
+    #[test]
+    fn incremental_metrics_match_of() {
+        let p = params(HardwareParams::mixed(), 6, 25);
+        let c = GraphState::new(18).edges(28).seed(4).build();
+        let mapped = map_with(&p, MapperConfig::hybrid(1.0), &c);
+        let mut inc =
+            IncrementalScheduler::new(&p, mapped.num_qubits, mapped.num_atoms, mapped.layout);
+        for op in mapped.iter() {
+            inc.push(op);
+        }
+        let (schedule, metrics) = inc.finish_with_metrics();
+        assert_eq!(schedule, Scheduler::new(p.clone()).schedule_mapped(&mapped));
+        // Bit-identical, not approximately equal: same terms, same order.
+        assert_eq!(metrics, crate::ScheduleMetrics::of(&schedule, &p));
+    }
+
+    #[test]
+    fn fused_map_into_matches_two_pass() {
+        let p = params(HardwareParams::mixed(), 6, 25);
+        let c = Qft::new(14).build();
+        let mapper = HybridMapper::new(p.clone(), MapperConfig::hybrid(1.0)).expect("valid");
+
+        // Fused: one pass, mapper streams into the scheduler while also
+        // retaining the op stream for the two-pass replay.
+        let mut mapped = MappedCircuit::new(c.num_qubits(), p.num_atoms);
+        let mut inc = IncrementalScheduler::new(&p, c.num_qubits(), p.num_atoms, mapped.layout);
+        struct Both<'a>(&'a mut MappedCircuit, &'a mut IncrementalScheduler);
+        impl na_mapper::OpSink for Both<'_> {
+            fn accept(&mut self, op: MappedOp) {
+                self.1.push(&op);
+                self.0.accept(op);
+            }
+        }
+        mapper
+            .map_into(&c, &mut Both(&mut mapped, &mut inc))
+            .expect("mappable");
+        let fused = inc.finish();
+
+        // Legacy two-pass over the identical stream.
+        let two_pass = Scheduler::new(p).schedule_mapped(&mapped);
+        assert_eq!(
+            fused, two_pass,
+            "fused pass must be item-for-item identical"
+        );
     }
 
     #[test]

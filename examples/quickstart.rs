@@ -1,6 +1,6 @@
-//! Quickstart: map a QFT onto mixed neutral-atom hardware and compare
-//! the three compiler modes of the paper (shuttling-only, gate-only,
-//! hybrid).
+//! Quickstart: compile a QFT for mixed neutral-atom hardware through the
+//! fused pipeline and compare the three compiler modes of the paper
+//! (shuttling-only, gate-only, hybrid).
 //!
 //! Run with:
 //!
@@ -30,29 +30,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         params.name, params.lattice_side, params.lattice_side, params.num_atoms, params.r_int
     );
 
-    let scheduler = Scheduler::new(params.clone());
     println!(
-        "{:<16} {:>8} {:>12} {:>10} {:>8} {:>8}",
-        "mode", "ΔCZ", "ΔT [µs]", "δF", "swaps", "moves"
+        "{:<16} {:>8} {:>12} {:>10} {:>8} {:>8} {:>8}",
+        "mode", "ΔCZ", "ΔT [µs]", "δF", "swaps", "moves", "batches"
     );
     for (name, config) in [
         ("shuttling-only", MapperConfig::shuttle_only()),
         ("gate-only", MapperConfig::gate_only()),
         ("hybrid α=1", MapperConfig::hybrid(1.0)),
     ] {
-        let mapper = HybridMapper::new(params.clone(), config)?;
-        let outcome = mapper.map(&circuit)?;
+        // One fused pass: map + schedule + AOD lowering (validated) +
+        // Eq. (1) metrics + Table-1a comparison, one artifact.
+        let pipeline = Pipeline::new(params.clone(), config)?;
+        let program = pipeline.compile(&circuit)?;
         // Every run is independently verified against the physics model.
-        verify_mapping(&circuit, &outcome.mapped, &params)?;
-        let report = scheduler.compare(&circuit, &outcome.mapped);
+        verify_mapping(&circuit, &program.mapped, &params)?;
+        let report = program.comparison.expect("baseline on by default");
         println!(
-            "{:<16} {:>8} {:>12.1} {:>10.3} {:>8} {:>8}",
+            "{:<16} {:>8} {:>12.1} {:>10.3} {:>8} {:>8} {:>8}",
             name,
             report.delta_cz,
             report.delta_t_us,
             report.delta_f,
-            outcome.mapped.swap_count(),
-            outcome.mapped.shuttle_count(),
+            program.mapped.swap_count(),
+            program.mapped.shuttle_count(),
+            program.stats.aod_batches,
         );
     }
 

@@ -10,7 +10,11 @@
 //!   generators, native-gate decomposition,
 //! * [`mapper`] — the hybrid mapper (the paper's contribution),
 //! * [`schedule`] — ASAP scheduler with restriction constraints, AOD
-//!   batching, and the Eq. (1) fidelity metrics.
+//!   batching, and the Eq. (1) fidelity metrics,
+//! * [`pipeline`] — the fused compile pipeline: map → schedule → AOD
+//!   lowering → metrics as one pass producing one
+//!   [`CompiledProgram`](na_pipeline::CompiledProgram) per circuit, with
+//!   a multi-threaded batch front-end.
 //!
 //! # Quickstart
 //!
@@ -24,23 +28,33 @@
 //!     .num_atoms(30)
 //!     .build()?;
 //!
-//! // A 24-qubit QFT, mapped in hybrid mode.
-//! let circuit = Qft::new(24).build();
-//! let mapper = HybridMapper::new(params.clone(), MapperConfig::hybrid(1.0))?;
-//! let outcome = mapper.map(&circuit)?;
+//! // Compile a 24-qubit QFT in hybrid mode: one fused pass yields the
+//! // mapped stream, the restriction-aware schedule, validated AOD
+//! // programs, the Eq. (1) metrics and the Table 1a comparison.
+//! let pipeline = Pipeline::new(params, MapperConfig::hybrid(1.0))?;
+//! let program = pipeline.compile(&Qft::new(24).build())?;
 //!
-//! // Schedule both versions and read off the Table 1a quantities.
-//! let report = Scheduler::new(params).compare(&circuit, &outcome.mapped);
+//! let report = program.comparison.expect("baseline comparison is on by default");
 //! println!(
-//!     "ΔCZ = {}, ΔT = {:.1} µs, δF = {:.3}",
-//!     report.delta_cz, report.delta_t_us, report.delta_f
+//!     "ΔCZ = {}, ΔT = {:.1} µs, δF = {:.3}, {} AOD batches",
+//!     report.delta_cz, report.delta_t_us, report.delta_f,
+//!     program.stats.aod_batches,
 //! );
+//! // Export everything as one JSON document.
+//! let json = program.to_json();
+//! assert!(json.contains("\"metrics\""));
+//!
+//! // Batches fan out across threads, results stay in input order.
+//! let circuits = vec![Qft::new(12).build(), Qft::new(16).build()];
+//! let compiled = pipeline.compile_batch(&circuits, 2);
+//! assert!(compiled.iter().all(|r| r.is_ok()));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 pub use na_arch as arch;
 pub use na_circuit as circuit;
 pub use na_mapper as mapper;
+pub use na_pipeline as pipeline;
 pub use na_schedule as schedule;
 
 /// Convenient single-import surface for applications.
@@ -53,7 +67,10 @@ pub mod prelude {
     pub use na_circuit::{decompose_to_native, qasm, Circuit, GateKind, Operation, Qubit};
     pub use na_mapper::{
         verify_mapping, HybridMapper, InitialLayout, MapError, MappedCircuit, MappedOp,
-        MapperConfig, MappingOutcome,
+        MapperConfig, MappingOutcome, OpSink,
     };
-    pub use na_schedule::{ComparisonReport, Schedule, ScheduleMetrics, Scheduler};
+    pub use na_pipeline::{CompileStats, CompiledProgram, Pipeline, PipelineError};
+    pub use na_schedule::{
+        ComparisonReport, IncrementalScheduler, Schedule, ScheduleMetrics, Scheduler,
+    };
 }
