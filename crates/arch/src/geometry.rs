@@ -148,7 +148,20 @@ pub fn cluster_exists(m: usize, r: f64) -> bool {
     let hood = Neighborhood::new(r);
     // Anchor the cluster at the origin; remaining members come from the
     // disc around it.
-    let candidates: Vec<Site> = hood.around(Site::new(0, 0)).collect();
+    let anchor = Site::new(0, 0);
+    let candidates: Vec<Site> = hood.around(anchor).collect();
+    cluster_exists_among(anchor, &candidates, m, r)
+}
+
+/// Returns `true` if a cluster of `m` sites pairwise within radius `r`
+/// exists that contains `anchor` and draws its remaining members from
+/// `candidates` — the topology-aware core of [`cluster_exists`]:
+/// restricting `candidates` (e.g. to the trap rows of a zoned lattice)
+/// restricts the clusters considered.
+pub fn cluster_exists_among(anchor: Site, candidates: &[Site], m: usize, r: f64) -> bool {
+    if m <= 1 {
+        return true;
+    }
     fn extend(chosen: &mut Vec<Site>, rest: &[Site], need: usize, r: f64) -> bool {
         if need == 0 {
             return true;
@@ -167,8 +180,8 @@ pub fn cluster_exists(m: usize, r: f64) -> bool {
         }
         false
     }
-    let mut chosen = vec![Site::new(0, 0)];
-    extend(&mut chosen, &candidates, m - 1, r)
+    let mut chosen = vec![anchor];
+    extend(&mut chosen, candidates, m - 1, r)
 }
 
 /// The largest `m` for which [`cluster_exists`] holds, capped at `cap`.

@@ -1,15 +1,43 @@
-//! The square lattice of SLM trap coordinates.
+//! Trap topologies: the square lattice of SLM trap coordinates plus the
+//! zoned storage/interaction layout.
+//!
+//! The paper evaluates on a regular `l × l` square lattice; real zoned
+//! neutral-atom machines additionally interleave *trap-row bands* with
+//! empty shuttling lanes. [`Lattice`] models both behind one API: a
+//! bounding box of side `l` together with a [`LatticeKind`] deciding
+//! which rows actually carry traps. All dense indexing (`idx = n-th trap
+//! site in row-major order`) and bounds checks respect the topology, so
+//! the mapper, scheduler and AOD validator are topology-agnostic.
 
 use serde::{Deserialize, Serialize};
 
 use crate::coord::Site;
 use crate::error::ArchError;
+use crate::geometry;
 
-/// A regular `l × l` square lattice of optical trap coordinates.
+/// Which rows of the bounding box carry static traps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LatticeKind {
+    /// Every row is a trap row — the paper's regular square lattice.
+    Square,
+    /// Rows repeat with period `zone_rows + gap_rows`: the first
+    /// `zone_rows` rows of each period carry traps, the remaining
+    /// `gap_rows` rows are empty shuttling lanes (zoned
+    /// storage/interaction layout).
+    Zoned {
+        /// Trap rows per band (≥ 1).
+        zone_rows: u32,
+        /// Empty lane rows between bands (≥ 1).
+        gap_rows: u32,
+    },
+}
+
+/// A lattice of optical trap coordinates inside an `l × l` bounding box.
 ///
 /// Sites are addressed by [`Site`] lattice coordinates with
-/// `0 ≤ x, y < l`. The lattice also provides a dense index
-/// (`idx = y·l + x`) used by the mapper for O(1) occupancy lookups.
+/// `0 ≤ x, y < l` and `y` on a trap row of the [`LatticeKind`]. The
+/// lattice also provides a dense index (row-major over *trap* sites)
+/// used by the mapper for O(1) occupancy lookups.
 ///
 /// # Example
 ///
@@ -20,47 +48,163 @@ use crate::error::ArchError;
 /// let s = Site::new(14, 14);
 /// assert!(lattice.contains(s));
 /// assert_eq!(lattice.site(lattice.index(s)), s);
+///
+/// // Zoned layout: bands of 2 trap rows separated by 1 empty lane.
+/// let zoned = Lattice::zoned(7, 2, 1)?;
+/// assert!(zoned.contains(Site::new(0, 1)));
+/// assert!(!zoned.contains(Site::new(0, 2))); // shuttling lane
+/// assert_eq!(zoned.num_sites(), 5 * 7);      // rows 0,1,3,4,6
+/// # Ok::<(), na_arch::ArchError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Lattice {
     side: u32,
+    kind: LatticeKind,
 }
 
 impl Lattice {
-    /// Creates an `side × side` lattice.
+    /// Creates an `side × side` square lattice.
     ///
     /// # Panics
     ///
     /// Panics if `side` is zero.
     pub fn new(side: u32) -> Self {
         assert!(side > 0, "lattice side must be positive");
-        Lattice { side }
+        Lattice {
+            side,
+            kind: LatticeKind::Square,
+        }
     }
 
-    /// Side length `l` of the lattice.
+    /// Creates a square lattice, rejecting a zero side with a typed
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidParameter`] when `side` is zero.
+    pub fn square(side: u32) -> Result<Self, ArchError> {
+        if side == 0 {
+            return Err(ArchError::InvalidParameter {
+                name: "lattice_side",
+                reason: "must be positive".into(),
+            });
+        }
+        Ok(Lattice::new(side))
+    }
+
+    /// Creates a zoned lattice: bands of `zone_rows` trap rows separated
+    /// by `gap_rows` empty shuttling lanes, inside a `side × side`
+    /// bounding box.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidParameter`] when `side` is zero or
+    /// either band parameter is zero.
+    pub fn zoned(side: u32, zone_rows: u32, gap_rows: u32) -> Result<Self, ArchError> {
+        if side == 0 {
+            return Err(ArchError::InvalidParameter {
+                name: "lattice_side",
+                reason: "must be positive".into(),
+            });
+        }
+        if zone_rows == 0 {
+            return Err(ArchError::InvalidParameter {
+                name: "zone_rows",
+                reason: "a zoned lattice needs at least one trap row per band".into(),
+            });
+        }
+        if gap_rows == 0 {
+            return Err(ArchError::InvalidParameter {
+                name: "gap_rows",
+                reason: "a zoned lattice needs at least one lane row between bands \
+                         (use a square lattice otherwise)"
+                    .into(),
+            });
+        }
+        // The band period is used in (checked) i32 row arithmetic; an
+        // overflowing or absurd period is a description error, not a
+        // panic.
+        match zone_rows.checked_add(gap_rows) {
+            Some(period) if period <= i32::MAX as u32 => {}
+            _ => {
+                return Err(ArchError::InvalidParameter {
+                    name: "zone_rows",
+                    reason: format!(
+                        "band period {zone_rows} + {gap_rows} overflows the row coordinate range"
+                    ),
+                })
+            }
+        }
+        Ok(Lattice {
+            side,
+            kind: LatticeKind::Zoned {
+                zone_rows,
+                gap_rows,
+            },
+        })
+    }
+
+    /// Side length `l` of the bounding box.
     #[inline]
     pub fn side(&self) -> u32 {
         self.side
     }
 
-    /// Total number of trap coordinates, `l²`.
+    /// The trap-row topology.
+    #[inline]
+    pub fn kind(&self) -> LatticeKind {
+        self.kind
+    }
+
+    /// Returns `true` if row `y` carries traps (bounds **not** checked).
+    #[inline]
+    pub fn is_trap_row(&self, y: i32) -> bool {
+        match self.kind {
+            LatticeKind::Square => true,
+            LatticeKind::Zoned {
+                zone_rows,
+                gap_rows,
+            } => y.rem_euclid((zone_rows + gap_rows) as i32) < zone_rows as i32,
+        }
+    }
+
+    /// Number of trap rows inside the bounding box.
+    #[inline]
+    pub fn trap_rows(&self) -> u32 {
+        match self.kind {
+            LatticeKind::Square => self.side,
+            LatticeKind::Zoned {
+                zone_rows,
+                gap_rows,
+            } => {
+                let period = zone_rows + gap_rows;
+                (self.side / period) * zone_rows + (self.side % period).min(zone_rows)
+            }
+        }
+    }
+
+    /// Total number of trap coordinates (`l²` on the square lattice).
     #[inline]
     pub fn num_sites(&self) -> usize {
-        (self.side as usize) * (self.side as usize)
+        (self.trap_rows() as usize) * (self.side as usize)
     }
 
-    /// Returns `true` if `site` lies within the lattice bounds.
+    /// Returns `true` if `site` is a trap coordinate of this lattice.
     #[inline]
     pub fn contains(&self, site: Site) -> bool {
-        site.x >= 0 && site.y >= 0 && (site.x as u32) < self.side && (site.y as u32) < self.side
+        site.x >= 0
+            && site.y >= 0
+            && (site.x as u32) < self.side
+            && (site.y as u32) < self.side
+            && self.is_trap_row(site.y)
     }
 
-    /// Validates that `site` is in bounds.
+    /// Validates that `site` is a trap coordinate.
     ///
     /// # Errors
     ///
     /// Returns [`ArchError::SiteOutOfBounds`] if the site lies outside the
-    /// lattice.
+    /// lattice (or on a shuttling lane of a zoned layout).
     pub fn check(&self, site: Site) -> Result<(), ArchError> {
         if self.contains(site) {
             Ok(())
@@ -72,37 +216,68 @@ impl Lattice {
         }
     }
 
-    /// Dense index of `site` (`y·l + x`).
+    /// Number of trap rows strictly below row `y` (which must be a trap
+    /// row).
+    #[inline]
+    fn trap_rows_before(&self, y: i32) -> usize {
+        match self.kind {
+            LatticeKind::Square => y as usize,
+            LatticeKind::Zoned {
+                zone_rows,
+                gap_rows,
+            } => {
+                let period = (zone_rows + gap_rows) as i32;
+                ((y / period) * zone_rows as i32 + (y % period).min(zone_rows as i32)) as usize
+            }
+        }
+    }
+
+    /// Dense index of `site` (row-major over trap sites; `y·l + x` on the
+    /// square lattice).
     ///
     /// # Panics
     ///
-    /// Panics if the site is out of bounds (use [`Lattice::contains`] to
-    /// check first when handling untrusted coordinates).
+    /// Panics in debug builds if the site is not a trap coordinate (use
+    /// [`Lattice::contains`] to check first when handling untrusted
+    /// coordinates).
     #[inline]
     pub fn index(&self, site: Site) -> usize {
         debug_assert!(self.contains(site), "site {site} out of bounds");
-        (site.y as usize) * (self.side as usize) + (site.x as usize)
+        self.trap_rows_before(site.y) * (self.side as usize) + (site.x as usize)
     }
 
-    /// The site at dense index `idx` (inverse of [`Lattice::index`]).
+    /// The trap site at dense index `idx` (inverse of [`Lattice::index`]).
     ///
     /// # Panics
     ///
-    /// Panics if `idx ≥ l²`.
+    /// Panics if `idx ≥ num_sites()`.
     #[inline]
     pub fn site(&self, idx: usize) -> Site {
         assert!(idx < self.num_sites(), "site index {idx} out of bounds");
         let l = self.side as usize;
-        Site::new((idx % l) as i32, (idx / l) as i32)
+        let (x, row) = (idx % l, idx / l);
+        let y = match self.kind {
+            LatticeKind::Square => row,
+            LatticeKind::Zoned {
+                zone_rows,
+                gap_rows,
+            } => {
+                let (zone, gap) = (zone_rows as usize, gap_rows as usize);
+                (row / zone) * (zone + gap) + row % zone
+            }
+        };
+        Site::new(x as i32, y as i32)
     }
 
-    /// Iterates over all sites in row-major order.
+    /// Iterates over all trap sites in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = Site> + '_ {
         let l = self.side as i32;
-        (0..l).flat_map(move |y| (0..l).map(move |x| Site::new(x, y)))
+        (0..l)
+            .filter(move |&y| self.is_trap_row(y))
+            .flat_map(move |y| (0..l).map(move |x| Site::new(x, y)))
     }
 
-    /// All in-bounds sites within Euclidean radius `r` (units of `d`) of
+    /// All trap sites within Euclidean radius `r` (units of `d`) of
     /// `center`, excluding `center` itself, in order of increasing
     /// distance.
     ///
@@ -129,6 +304,40 @@ impl Lattice {
                 .then(a.cmp(b))
         });
         out
+    }
+
+    /// The largest `m` for which `m` trap sites pairwise within radius
+    /// `r` exist on this topology (unbounded in `x`/band pattern in `y`,
+    /// ignoring the bounding box like
+    /// [`geometry::max_cluster_size`] does), capped at `cap` — i.e. the
+    /// largest `CᵐZ` gate geometrically realizable.
+    ///
+    /// On the square lattice this is exactly
+    /// [`geometry::max_cluster_size`]; on a zoned layout the band height
+    /// caps how many rows a cluster may span.
+    pub fn cluster_capacity(&self, r: f64, cap: usize) -> usize {
+        match self.kind {
+            LatticeKind::Square => geometry::max_cluster_size(r, cap),
+            LatticeKind::Zoned { zone_rows, .. } => {
+                let hood = geometry::Neighborhood::new(r);
+                let mut best = 1;
+                // Try every anchor row phase within a band; the plane is
+                // x-unbounded, so only the y phase matters.
+                for phase in 0..zone_rows as i32 {
+                    let anchor = Site::new(0, phase);
+                    let candidates: Vec<Site> = hood
+                        .around(anchor)
+                        .filter(|s| self.is_trap_row(s.y))
+                        .collect();
+                    while best < cap
+                        && geometry::cluster_exists_among(anchor, &candidates, best + 1, r)
+                    {
+                        best += 1;
+                    }
+                }
+                best
+            }
+        }
     }
 }
 
@@ -203,6 +412,90 @@ mod tests {
         assert_eq!(v.len(), 5);
     }
 
+    #[test]
+    fn zoned_constructor_validates() {
+        assert!(Lattice::zoned(0, 2, 1).is_err());
+        assert!(Lattice::zoned(6, 0, 1).is_err());
+        assert!(Lattice::zoned(6, 2, 0).is_err());
+        assert!(Lattice::zoned(6, 2, 1).is_ok());
+        assert!(Lattice::square(0).is_err());
+        assert_eq!(Lattice::square(4).unwrap(), Lattice::new(4));
+        // Overflowing band periods are a typed error, not a later panic
+        // in `trap_rows` (u32 wrap → divide by zero).
+        assert!(Lattice::zoned(6, u32::MAX, 1).is_err());
+        assert!(Lattice::zoned(6, 1, u32::MAX).is_err());
+        assert!(Lattice::zoned(6, i32::MAX as u32, 1).is_err());
+    }
+
+    #[test]
+    fn zoned_trap_rows_and_sites() {
+        // side 7, bands of 2 rows, lanes of 1: trap rows 0,1,3,4,6.
+        let lat = Lattice::zoned(7, 2, 1).unwrap();
+        assert_eq!(lat.trap_rows(), 5);
+        assert_eq!(lat.num_sites(), 35);
+        for y in [0, 1, 3, 4, 6] {
+            assert!(lat.is_trap_row(y), "row {y} should carry traps");
+        }
+        for y in [2, 5] {
+            assert!(!lat.is_trap_row(y), "row {y} is a lane");
+            assert!(!lat.contains(Site::new(0, y)));
+        }
+    }
+
+    #[test]
+    fn zoned_index_roundtrip_and_row_major_order() {
+        let lat = Lattice::zoned(7, 2, 1).unwrap();
+        for idx in 0..lat.num_sites() {
+            assert_eq!(lat.index(lat.site(idx)), idx);
+        }
+        // Dense order is row-major over trap rows: site 7 starts row 1,
+        // site 14 starts row 3 (row 2 is a lane).
+        assert_eq!(lat.site(0), Site::new(0, 0));
+        assert_eq!(lat.site(7), Site::new(0, 1));
+        assert_eq!(lat.site(14), Site::new(0, 3));
+        let sites: Vec<_> = lat.iter().collect();
+        assert_eq!(sites.len(), lat.num_sites());
+        for (i, s) in sites.iter().enumerate() {
+            assert_eq!(lat.index(*s), i);
+        }
+    }
+
+    #[test]
+    fn zoned_vicinity_excludes_lanes() {
+        let lat = Lattice::zoned(9, 2, 1).unwrap();
+        let v = lat.sites_within(Site::new(4, 1), 2.0);
+        assert!(v.iter().all(|s| lat.contains(*s)));
+        assert!(v.iter().all(|s| s.y != 2 && s.y != 5), "lane rows empty");
+        // Row 3 (next band) is reachable at distance 2.
+        assert!(v.contains(&Site::new(4, 3)));
+    }
+
+    #[test]
+    fn cluster_capacity_square_matches_geometry() {
+        for r in [1.0, std::f64::consts::SQRT_2, 2.0, 2.5, 4.5] {
+            assert_eq!(
+                Lattice::new(15).cluster_capacity(r, 8),
+                geometry::max_cluster_size(r, 8),
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_capacity_zoned_capped_by_band_height() {
+        // Single-row bands at r = √2: clusters may span one row only, so
+        // at most 2 sites are pairwise within range (a 2x2 block needs
+        // two adjacent rows and gives 4 on the square lattice).
+        let single = Lattice::zoned(9, 1, 2).unwrap();
+        assert_eq!(single.cluster_capacity(std::f64::consts::SQRT_2, 8), 2);
+        assert_eq!(
+            Lattice::new(9).cluster_capacity(std::f64::consts::SQRT_2, 8),
+            4
+        );
+        // Two-row bands recover the 2x2 block.
+        let paired = Lattice::zoned(9, 2, 1).unwrap();
+        assert_eq!(paired.cluster_capacity(std::f64::consts::SQRT_2, 8), 4);
+    }
+
     proptest! {
         #[test]
         fn sites_within_respects_radius(cx in 0i32..9, cy in 0i32..9, r in 0.5f64..4.0) {
@@ -212,6 +505,17 @@ mod tests {
                 prop_assert!(center.within(s, r));
                 prop_assert!(lat.contains(s));
                 prop_assert!(s != center);
+            }
+        }
+
+        #[test]
+        fn zoned_index_roundtrip_random(side in 3u32..12, zone in 1u32..4, gap in 1u32..3) {
+            let lat = Lattice::zoned(side, zone, gap).unwrap();
+            prop_assert_eq!(lat.iter().count(), lat.num_sites());
+            for idx in 0..lat.num_sites() {
+                let s = lat.site(idx);
+                prop_assert!(lat.contains(s));
+                prop_assert_eq!(lat.index(s), idx);
             }
         }
     }

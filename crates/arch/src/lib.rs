@@ -10,7 +10,11 @@
 //! * 2D acousto-optic deflector (AOD) shuttling of atom arrays with
 //!   row/column ordering constraints ([`aod`]),
 //! * hardware parameter sets (gate fidelities, operation times, coherence
-//!   times) with the three presets of the paper's Table 1c ([`HardwareParams`]).
+//!   times) with the three presets of the paper's Table 1c ([`HardwareParams`]),
+//! * backend descriptions behind the [`Target`] trait ([`target`]):
+//!   topology (square or zoned storage/interaction layout), AOD
+//!   constraint set and native gate set, resolved into a [`TargetSpec`]
+//!   snapshot consumed by the compiler.
 //!
 //! # Example
 //!
@@ -35,10 +39,12 @@ pub mod error;
 pub mod geometry;
 pub mod lattice;
 pub mod params;
+pub mod target;
 
 pub use aod::{AodColumn, AodRow, Move, MoveBatch};
 pub use coord::Site;
 pub use error::ArchError;
 pub use geometry::Neighborhood;
-pub use lattice::Lattice;
+pub use lattice::{Lattice, LatticeKind};
 pub use params::{HardwareParams, HardwareParamsBuilder};
+pub use target::{AodConstraints, NativeGateSet, Target, TargetSpec, ZonedTarget};

@@ -33,7 +33,10 @@ fn bench_mapping_modes(c: &mut Criterion) {
         for (mode, config) in [
             ("shuttle", MapperConfig::shuttle_only()),
             ("gate", MapperConfig::gate_only()),
-            ("hybrid", MapperConfig::hybrid(1.0)),
+            (
+                "hybrid",
+                MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+            ),
         ] {
             let mapper = HybridMapper::new(params.clone(), config).expect("valid");
             group.bench_with_input(BenchmarkId::new(mode, name), &circuit, |b, circuit| {
@@ -51,7 +54,8 @@ fn bench_hardware_presets(c: &mut Criterion) {
     for preset in HardwareParams::table1_presets() {
         let name = preset.name.clone();
         let params = scaled_preset(preset, 0.35);
-        let mapper = HybridMapper::new(params, MapperConfig::hybrid(1.0)).expect("valid");
+        let mapper = HybridMapper::new(params, MapperConfig::try_hybrid(1.0).expect("valid alpha"))
+            .expect("valid");
         group.bench_function(BenchmarkId::new("hybrid", name), |b| {
             b.iter(|| mapper.map(&circuit).expect("mappable"))
         });
@@ -63,7 +67,11 @@ fn bench_scheduling(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedule");
     let params = scaled_preset(HardwareParams::mixed(), 0.35);
     let circuit = Qft::new(50).build();
-    let mapper = HybridMapper::new(params.clone(), MapperConfig::hybrid(1.0)).expect("valid");
+    let mapper = HybridMapper::new(
+        params.clone(),
+        MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+    )
+    .expect("valid");
     let mapped = mapper.map(&circuit).expect("mappable").mapped;
     let scheduler = Scheduler::new(params);
     group.bench_function("mapped_qft50", |b| {

@@ -14,7 +14,7 @@ use na_arch::{HardwareParams, Lattice, Site};
 use na_circuit::generators::{Qaoa, Qft};
 use na_circuit::Circuit;
 use na_mapper::{HybridMapper, MapperConfig};
-use na_pipeline::Pipeline;
+use na_pipeline::{Compiler, MappingOptions, Pipeline};
 use na_schedule::aod_program::{lower_batch, validate_program};
 use na_schedule::{AodProgram, ScheduleMetrics, ScheduledItem, Scheduler};
 
@@ -24,6 +24,23 @@ fn small_mixed() -> HardwareParams {
         .to_builder()
         .lattice(6, 3.0)
         .num_atoms(30)
+        .build()
+        .expect("valid")
+}
+
+/// Legacy construction path (the deprecated shim), kept measurable so
+/// `BENCH_pipeline.json` records the builder-vs-legacy construction
+/// overhead.
+#[allow(deprecated)]
+fn legacy_pipeline(params: &HardwareParams, config: MapperConfig) -> Pipeline {
+    Pipeline::new(params.clone(), config).expect("valid")
+}
+
+/// The redesigned construction path: a `Compiler` session built for the
+/// square-lattice target with the same configuration.
+fn builder_compiler(params: &HardwareParams, config: MapperConfig) -> Compiler {
+    Compiler::for_target(params)
+        .mapping(MappingOptions::custom(config))
         .build()
         .expect("valid")
 }
@@ -100,9 +117,13 @@ fn table1_mix(params: &HardwareParams) -> Vec<Circuit> {
 
 fn bench_fused_vs_two_pass(c: &mut Criterion) {
     let params = small_mixed();
-    let mapper = HybridMapper::new(params.clone(), MapperConfig::hybrid(1.0)).expect("valid");
+    let mapper = HybridMapper::new(
+        params.clone(),
+        MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+    )
+    .expect("valid");
     let scheduler = Scheduler::new(params.clone());
-    let pipeline = Pipeline::new(params.clone(), MapperConfig::hybrid(1.0)).expect("valid");
+    let pipeline = legacy_pipeline(&params, MapperConfig::try_hybrid(1.0).expect("valid alpha"));
     let mut group = c.benchmark_group("compile");
     group.sample_size(10);
     for (name, circuit) in [("qft-24", qft24()), ("qaoa-24", qaoa24())] {
@@ -118,8 +139,7 @@ fn bench_fused_vs_two_pass(c: &mut Criterion) {
 
 fn bench_batch_threads(c: &mut Criterion) {
     let params = small_mixed();
-    let pipeline = Pipeline::new(params.clone(), MapperConfig::hybrid(1.0))
-        .expect("valid")
+    let pipeline = legacy_pipeline(&params, MapperConfig::try_hybrid(1.0).expect("valid alpha"))
         .with_baseline(false);
     let batch = table1_mix(&params);
     let mut group = c.benchmark_group("compile_batch");
@@ -207,9 +227,13 @@ fn median_block_secs<T, U>(
 /// Writes the machine-readable baseline consumed by future PRs.
 fn write_baseline() {
     let params = small_mixed();
-    let mapper = HybridMapper::new(params.clone(), MapperConfig::hybrid(1.0)).expect("valid");
+    let mapper = HybridMapper::new(
+        params.clone(),
+        MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+    )
+    .expect("valid");
     let scheduler = Scheduler::new(params.clone());
-    let pipeline = Pipeline::new(params.clone(), MapperConfig::hybrid(1.0)).expect("valid");
+    let pipeline = legacy_pipeline(&params, MapperConfig::try_hybrid(1.0).expect("valid alpha"));
 
     // Headline comparison on QAOA-24: the schedule/metrics share of its
     // compile is the largest of the suite, so the fused saving (the
@@ -248,6 +272,17 @@ fn write_baseline() {
     let t2 = throughput(2);
     let t4 = throughput(4);
 
+    // Construction overhead of the redesigned builder session vs the
+    // legacy `Pipeline::new` shim (which now delegates to the builder,
+    // so the two should be within noise of each other). Paired and
+    // interleaved like the compile comparison.
+    let construct_cfg = MapperConfig::try_hybrid(1.0).expect("valid alpha");
+    let (builder_s, legacy_s) = paired_mean_secs(
+        2000,
+        || builder_compiler(&params, construct_cfg.clone()),
+        || legacy_pipeline(&params, construct_cfg.clone()),
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"pipeline\",\n  \"lattice\": \"6x6\",\n  \
          \"host_parallelism\": {host},\n  \
@@ -261,7 +296,10 @@ fn write_baseline() {
          \"batch_throughput_1t_per_s\": {:.2},\n  \
          \"batch_throughput_2t_per_s\": {:.2},\n  \
          \"batch_throughput_4t_per_s\": {:.2},\n  \
-         \"batch_speedup_4t\": {:.2}\n}}\n",
+         \"batch_speedup_4t\": {:.2},\n  \
+         \"builder_construct_us\": {:.3},\n  \
+         \"legacy_construct_us\": {:.3},\n  \
+         \"builder_vs_legacy_construct\": {:.3}\n}}\n",
         fused_s * 1e3,
         two_pass_s * 1e3,
         two_pass_s / fused_s,
@@ -273,6 +311,9 @@ fn write_baseline() {
         t2,
         t4,
         t4 / t1,
+        builder_s * 1e6,
+        legacy_s * 1e6,
+        builder_s / legacy_s,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
     std::fs::write(path, &json).expect("write BENCH_pipeline.json");
@@ -288,6 +329,16 @@ fn write_baseline() {
         "fused compile must stay within noise of two-pass on \
          routing-dominated workloads \
          (fused {fused_qft_s:.2e}s vs two-pass {two_pass_qft_s:.2e}s)"
+    );
+    // The builder session must not cost meaningfully more to construct
+    // than the legacy shim it replaces (both validate once; the
+    // builder's extra work is one TargetSpec clone). Generous bound:
+    // construction is nanoseconds against multi-ms compiles.
+    assert!(
+        builder_s <= legacy_s * 3.0 + 20e-6,
+        "builder construction regressed: {:.2}us vs legacy {:.2}us",
+        builder_s * 1e6,
+        legacy_s * 1e6,
     );
     // Thread scaling needs actual cores; on a single-core host the
     // batch front-end must merely not regress.

@@ -88,7 +88,10 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.sample_size(10);
     for (name, circuit) in [("qft-24", qft24()), ("qaoa-24", qaoa24())] {
         for (mode, config) in [
-            ("hybrid", MapperConfig::hybrid(1.0)),
+            (
+                "hybrid",
+                MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+            ),
             ("gate", MapperConfig::gate_only()),
             ("shuttle", MapperConfig::shuttle_only()),
         ] {
@@ -122,7 +125,11 @@ fn write_baseline() {
     query_pass(&state, &hood, params.r_int, &warm);
     let cached = mean_secs(20, || query_cached(&state, &hood, params.r_int, &warm));
 
-    let hybrid = HybridMapper::new(params.clone(), MapperConfig::hybrid(1.0)).expect("valid");
+    let hybrid = HybridMapper::new(
+        params.clone(),
+        MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+    )
+    .expect("valid");
     let map_qft = mean_secs(10, || hybrid.map(&qft24()).expect("mappable"));
     let map_qaoa = mean_secs(10, || hybrid.map(&qaoa24()).expect("mappable"));
 

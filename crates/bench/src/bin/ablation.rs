@@ -90,7 +90,9 @@ fn ablate_layout(scale: f64) {
         ("random(1)", InitialLayout::Random(1)),
     ] {
         for (name, circuit) in &suite {
-            let config = MapperConfig::hybrid(1.0).with_initial_layout(layout);
+            let config = MapperConfig::try_hybrid(1.0)
+                .expect("valid alpha")
+                .with_initial_layout(layout);
             match run_experiment(&params, circuit, config) {
                 Ok(r) => println!(
                     "{:<16} {:<8} {:>8} {:>8} {:>12.1} {:>10.3}",
@@ -190,7 +192,11 @@ fn ablate_alpha(scale: f64) {
     );
     for (name, circuit) in &suite {
         for alpha in [0.25, 0.5, 1.0, 2.0, 4.0] {
-            match run_experiment(&params, circuit, MapperConfig::hybrid(alpha)) {
+            match run_experiment(
+                &params,
+                circuit,
+                MapperConfig::try_hybrid(alpha).expect("valid alpha"),
+            ) {
                 Ok(r) => println!(
                     "{:<8} {:>8} {:>8} {:>8} {:>12.1} {:>10.3}",
                     name, alpha, r.swaps, r.moves, r.delta_t_us, r.delta_f

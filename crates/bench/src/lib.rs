@@ -70,7 +70,11 @@ pub fn run_hybrid_alpha_sweep(
 ) -> Result<ExperimentResult, MapError> {
     let mut best: Option<ExperimentResult> = None;
     for &alpha in alphas {
-        let result = run_experiment(params, circuit, MapperConfig::hybrid(alpha))?;
+        let result = run_experiment(
+            params,
+            circuit,
+            MapperConfig::try_hybrid(alpha).expect("valid alpha"),
+        )?;
         if best.as_ref().is_none_or(|b| result.delta_f < b.delta_f) {
             best = Some(result);
         }
@@ -147,7 +151,12 @@ mod tests {
         let circuit = na_circuit::generators::Qft::new(10).build();
         let sweep = run_hybrid_alpha_sweep(&p, &circuit, &[0.5, 1.0, 2.0]).unwrap();
         for alpha in [0.5, 1.0, 2.0] {
-            let single = run_experiment(&p, &circuit, MapperConfig::hybrid(alpha)).unwrap();
+            let single = run_experiment(
+                &p,
+                &circuit,
+                MapperConfig::try_hybrid(alpha).expect("valid alpha"),
+            )
+            .unwrap();
             assert!(sweep.delta_f <= single.delta_f + 1e-9);
         }
     }

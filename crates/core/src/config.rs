@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::ConfigError;
 use crate::layout::InitialLayout;
 
 /// Tuning knobs of the hybrid mapping process.
@@ -20,7 +21,7 @@ use crate::layout::InitialLayout;
 ///
 /// ```
 /// use na_mapper::MapperConfig;
-/// let cfg = MapperConfig::hybrid(1.05);
+/// let cfg = MapperConfig::try_hybrid(1.05).expect("valid alpha");
 /// assert!((cfg.alpha_ratio().unwrap() - 1.05).abs() < 1e-12);
 /// assert!(MapperConfig::gate_only().is_gate_only());
 /// ```
@@ -68,21 +69,61 @@ impl MapperConfig {
         }
     }
 
+    /// Hybrid mode with decision ratio `α = α_g/α_s` (paper mode (C)),
+    /// rejecting a non-finite or non-positive ratio with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidAlphaRatio`] if `alpha_ratio` is
+    /// not finite and positive.
+    pub fn try_hybrid(alpha_ratio: f64) -> Result<Self, ConfigError> {
+        if !(alpha_ratio.is_finite() && alpha_ratio > 0.0) {
+            return Err(ConfigError::InvalidAlphaRatio { value: alpha_ratio });
+        }
+        Ok(MapperConfig {
+            alpha_gate: alpha_ratio,
+            alpha_shuttle: 1.0,
+            ..MapperConfig::base()
+        })
+    }
+
     /// Hybrid mode with decision ratio `α = α_g/α_s` (paper mode (C)).
     ///
     /// # Panics
     ///
     /// Panics if `alpha_ratio` is not finite and positive.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `MapperConfig::try_hybrid` (or `MappingOptions::hybrid` \
+                on the pipeline's `Compiler` builder) for a typed error \
+                instead of a panic"
+    )]
     pub fn hybrid(alpha_ratio: f64) -> Self {
-        assert!(
-            alpha_ratio.is_finite() && alpha_ratio > 0.0,
-            "alpha ratio must be positive"
-        );
-        MapperConfig {
-            alpha_gate: alpha_ratio,
-            alpha_shuttle: 1.0,
-            ..MapperConfig::base()
+        MapperConfig::try_hybrid(alpha_ratio).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validates the configuration: weights must be finite and
+    /// non-negative, and at least one capability weight positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (name, value) in [
+            ("alpha_gate", self.alpha_gate),
+            ("alpha_shuttle", self.alpha_shuttle),
+            ("lookahead_weight", self.lookahead_weight),
+            ("time_weight", self.time_weight),
+            ("decay_rate", self.decay_rate),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(ConfigError::InvalidWeight { name, value });
+            }
         }
+        if self.alpha_gate == 0.0 && self.alpha_shuttle == 0.0 {
+            return Err(ConfigError::NoCapability);
+        }
+        Ok(())
     }
 
     /// Gate-based-only mode, `α_s = 0` (paper mode (B)).
@@ -186,19 +227,52 @@ mod tests {
         assert!(MapperConfig::gate_only().is_gate_only());
         assert!(!MapperConfig::gate_only().is_shuttle_only());
         assert!(MapperConfig::shuttle_only().is_shuttle_only());
-        assert!(MapperConfig::hybrid(2.0).alpha_ratio().is_some());
+        assert!(MapperConfig::try_hybrid(2.0)
+            .expect("valid alpha")
+            .alpha_ratio()
+            .is_some());
         assert!(MapperConfig::gate_only().alpha_ratio().is_none());
     }
 
     #[test]
+    fn try_hybrid_rejects_bad_ratios() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                MapperConfig::try_hybrid(bad),
+                Err(ConfigError::InvalidAlphaRatio { .. })
+            ));
+        }
+        assert!(MapperConfig::try_hybrid(1.5).is_ok());
+    }
+
+    #[test]
     #[should_panic(expected = "positive")]
-    fn hybrid_rejects_zero_ratio() {
+    #[allow(deprecated)]
+    fn deprecated_hybrid_wrapper_still_panics() {
         MapperConfig::hybrid(0.0);
     }
 
     #[test]
+    fn validate_catches_hand_built_configs() {
+        let mut cfg = MapperConfig::default();
+        assert!(cfg.validate().is_ok());
+        cfg.alpha_gate = f64::NAN;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::InvalidWeight {
+                name: "alpha_gate",
+                ..
+            })
+        ));
+        cfg.alpha_gate = 0.0;
+        cfg.alpha_shuttle = 0.0;
+        assert!(matches!(cfg.validate(), Err(ConfigError::NoCapability)));
+    }
+
+    #[test]
     fn builder_setters_chain() {
-        let cfg = MapperConfig::hybrid(1.0)
+        let cfg = MapperConfig::try_hybrid(1.0)
+            .expect("valid alpha")
             .with_lookahead_weight(0.3)
             .with_time_weight(0.2)
             .with_decay_rate(0.5)

@@ -168,7 +168,7 @@ mod tests {
     fn executable_gate_costs_nothing() {
         let p = scaled(HardwareParams::mixed());
         let s = state_with(&p, 60);
-        let d = Decider::new(&p, &MapperConfig::hybrid(1.0));
+        let d = Decider::new(&p, &MapperConfig::try_hybrid(1.0).expect("valid alpha"));
         let est = d.estimate(&s, &[Qubit(0), Qubit(1)]);
         assert_eq!(est.n_swaps, 0);
         assert_eq!(est.n_moves, 0);
@@ -180,7 +180,7 @@ mod tests {
     fn gate_hardware_prefers_swaps() {
         let p = scaled(HardwareParams::gate_based());
         let s = state_with(&p, 60);
-        let d = Decider::new(&p, &MapperConfig::hybrid(1.0));
+        let d = Decider::new(&p, &MapperConfig::try_hybrid(1.0).expect("valid alpha"));
         // A distant pair on the gate-optimized preset.
         assert_eq!(d.decide(&s, &[Qubit(0), Qubit(59)]), Capability::GateBased);
     }
@@ -189,7 +189,7 @@ mod tests {
     fn shuttling_hardware_prefers_moves() {
         let p = scaled(HardwareParams::shuttling());
         let s = state_with(&p, 60);
-        let d = Decider::new(&p, &MapperConfig::hybrid(1.0));
+        let d = Decider::new(&p, &MapperConfig::try_hybrid(1.0).expect("valid alpha"));
         assert_eq!(d.decide(&s, &[Qubit(0), Qubit(59)]), Capability::Shuttling);
     }
 
@@ -213,7 +213,7 @@ mod tests {
     fn alpha_ratio_biases_the_decision() {
         let p = scaled(HardwareParams::mixed());
         let s = state_with(&p, 60);
-        let d = Decider::new(&p, &MapperConfig::hybrid(1.0));
+        let d = Decider::new(&p, &MapperConfig::try_hybrid(1.0).expect("valid alpha"));
         let pair = [Qubit(0), Qubit(59)];
         let est = d.estimate(&s, &pair);
         // Pick an alpha ratio that flips whichever side is losing.
@@ -222,9 +222,9 @@ mod tests {
         let flip = (gap.abs() * 2.0).exp();
         let biased = if gap > 0.0 {
             // Shuttling wins at alpha = 1; bias towards gates.
-            MapperConfig::hybrid(flip)
+            MapperConfig::try_hybrid(flip).expect("valid alpha")
         } else {
-            MapperConfig::hybrid(1.0 / flip)
+            MapperConfig::try_hybrid(1.0 / flip).expect("valid alpha")
         };
         let d2 = Decider::new(&p, &biased);
         let base = d.decide(&s, &pair);
@@ -236,7 +236,7 @@ mod tests {
     fn estimates_scale_with_distance() {
         let p = scaled(HardwareParams::mixed());
         let s = state_with(&p, 60);
-        let d = Decider::new(&p, &MapperConfig::hybrid(1.0));
+        let d = Decider::new(&p, &MapperConfig::try_hybrid(1.0).expect("valid alpha"));
         let near = d.estimate(&s, &[Qubit(0), Qubit(8)]);
         let far = d.estimate(&s, &[Qubit(0), Qubit(59)]);
         assert!(far.n_swaps >= near.n_swaps);
@@ -247,7 +247,7 @@ mod tests {
     fn multiqubit_estimate_counts_outlying_qubits() {
         let p = scaled(HardwareParams::mixed());
         let s = state_with(&p, 60);
-        let d = Decider::new(&p, &MapperConfig::hybrid(1.0));
+        let d = Decider::new(&p, &MapperConfig::try_hybrid(1.0).expect("valid alpha"));
         // q0 (0,0), q1 (1,0) adjacent; q59 far away: one move expected.
         let est = d.estimate(&s, &[Qubit(0), Qubit(1), Qubit(59)]);
         assert_eq!(est.n_moves, 1);

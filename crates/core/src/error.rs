@@ -5,12 +5,88 @@ use std::fmt;
 
 use na_arch::ArchError;
 
+/// Errors raised while validating a [`MapperConfig`].
+///
+/// These replace the construction-time panics of the original
+/// constructors (`assert!` on a non-finite α, `place()` aborting on an
+/// undersized lattice): the fallible paths
+/// ([`MapperConfig::try_hybrid`], `Compiler::build` in `na-pipeline`)
+/// surface them as typed errors instead.
+///
+/// [`MapperConfig`]: crate::MapperConfig
+/// [`MapperConfig::try_hybrid`]: crate::MapperConfig::try_hybrid
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The hybrid decision ratio `α = α_g/α_s` is not finite and
+    /// positive.
+    InvalidAlphaRatio {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A capability weight or cost weight is outside its domain.
+    InvalidWeight {
+        /// Name of the offending knob.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Both capability weights are zero — no router could run.
+    NoCapability,
+    /// The AOD transaction cap would forbid every move.
+    EmptyAodBatchCap,
+    /// A shuttle-capable mapping mode was requested on a target whose
+    /// native gate set has no shuttling.
+    ShuttlingUnsupported {
+        /// Identifier of the rejecting target.
+        target: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidAlphaRatio { value } => {
+                write!(
+                    f,
+                    "hybrid alpha ratio must be finite and positive, got {value}"
+                )
+            }
+            ConfigError::InvalidWeight { name, value } => {
+                write!(
+                    f,
+                    "mapper weight `{name}` must be finite and non-negative, got {value}"
+                )
+            }
+            ConfigError::NoCapability => {
+                write!(f, "both capability weights are zero; enable at least one of gate-based or shuttling routing")
+            }
+            ConfigError::EmptyAodBatchCap => {
+                write!(
+                    f,
+                    "AOD transaction cap `max_batch_moves` must allow at least 1 move"
+                )
+            }
+            ConfigError::ShuttlingUnsupported { target } => {
+                write!(
+                    f,
+                    "target `{target}` has no shuttling capability; use a gate-only mapping mode"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
 /// Errors raised during circuit mapping.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum MapError {
     /// The hardware description is inconsistent.
     Arch(ArchError),
+    /// The mapper configuration is invalid (see [`ConfigError`]).
+    Config(ConfigError),
     /// The circuit needs more qubits than the hardware provides atoms.
     CircuitTooWide {
         /// Circuit width.
@@ -43,6 +119,7 @@ impl fmt::Display for MapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MapError::Arch(e) => write!(f, "invalid architecture: {e}"),
+            MapError::Config(e) => write!(f, "invalid mapper configuration: {e}"),
             MapError::CircuitTooWide {
                 circuit_qubits,
                 atoms,
@@ -74,6 +151,7 @@ impl Error for MapError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             MapError::Arch(e) => Some(e),
+            MapError::Config(e) => Some(e),
             _ => None,
         }
     }
@@ -82,6 +160,12 @@ impl Error for MapError {
 impl From<ArchError> for MapError {
     fn from(e: ArchError) -> Self {
         MapError::Arch(e)
+    }
+}
+
+impl From<ConfigError> for MapError {
+    fn from(e: ConfigError) -> Self {
+        MapError::Config(e)
     }
 }
 

@@ -38,7 +38,7 @@
 //!     .lattice(6, 3.0)
 //!     .num_atoms(16)
 //!     .build()?;
-//! let mapper = HybridMapper::new(params, MapperConfig::hybrid(1.0))?;
+//! let mapper = HybridMapper::new(params, MapperConfig::try_hybrid(1.0).expect("valid alpha"))?;
 //! let outcome = mapper.map(&Qft::new(8).build())?;
 //! assert!(outcome.stats.swaps_inserted + outcome.stats.shuttle_moves > 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -61,7 +61,7 @@ pub mod verify;
 
 pub use config::MapperConfig;
 pub use decision::Capability;
-pub use error::MapError;
+pub use error::{ConfigError, MapError};
 pub use layout::InitialLayout;
 pub use mapper::{HybridMapper, MapStats, MappingOutcome, StreamOutcome};
 pub use ops::{AtomId, MappedCircuit, MappedOp};
@@ -71,4 +71,4 @@ pub use route::{
 };
 pub use sink::OpSink;
 pub use state::MappingState;
-pub use verify::{verify_mapping, VerifyError};
+pub use verify::{verify_mapping, verify_mapping_on, VerifyError};

@@ -26,7 +26,7 @@
 
 use std::time::{Duration, Instant};
 
-use na_arch::HardwareParams;
+use na_arch::{HardwareParams, Lattice, NativeGateSet, Target};
 use na_circuit::{decompose_to_native, Circuit, CircuitDag, LayerTracker, Operation};
 
 use serde::{Deserialize, Serialize};
@@ -98,17 +98,60 @@ pub struct StreamOutcome {
 pub struct HybridMapper {
     params: HardwareParams,
     config: MapperConfig,
+    lattice: Lattice,
+    gates: NativeGateSet,
 }
 
 impl HybridMapper {
-    /// Creates a mapper after validating the hardware description.
+    /// Creates a mapper for the full square lattice of `params` after
+    /// validating the hardware description and the configuration.
     ///
     /// # Errors
     ///
-    /// Propagates [`na_arch::ArchError`] from parameter validation.
+    /// Propagates [`na_arch::ArchError`] from parameter validation as
+    /// [`MapError::Arch`] and [`crate::ConfigError`] from configuration
+    /// validation as [`MapError::Config`] — the same contract as
+    /// [`HybridMapper::for_target`], so a hand-built config with e.g.
+    /// NaN weights cannot silently feed the cost model.
     pub fn new(params: HardwareParams, config: MapperConfig) -> Result<Self, MapError> {
         params.validate()?;
-        Ok(HybridMapper { params, config })
+        config.validate()?;
+        let lattice = Lattice::new(params.lattice_side);
+        Ok(HybridMapper {
+            params,
+            config,
+            lattice,
+            gates: NativeGateSet::default(),
+        })
+    }
+
+    /// Creates a mapper for an arbitrary backend [`Target`]: the trap
+    /// topology, native gate set and parameter set all come from the
+    /// target description instead of assuming the full square lattice.
+    ///
+    /// # Errors
+    ///
+    /// * [`MapError::Arch`] — the target description is invalid
+    ///   (including an atom count exceeding the topology's trap count).
+    /// * [`MapError::Config`] — the configuration is invalid, or
+    ///   requests shuttling on a target whose native gate set has none.
+    pub fn for_target(target: &dyn Target, config: MapperConfig) -> Result<Self, MapError> {
+        target.validate()?;
+        config.validate()?;
+        let gates = target.native_gates();
+        if !gates.supports_shuttling && !config.is_gate_only() {
+            return Err(MapError::Config(
+                crate::error::ConfigError::ShuttlingUnsupported {
+                    target: target.id(),
+                },
+            ));
+        }
+        Ok(HybridMapper {
+            params: target.params().clone(),
+            config,
+            lattice: target.lattice(),
+            gates,
+        })
     }
 
     /// The hardware parameters.
@@ -119,6 +162,11 @@ impl HybridMapper {
     /// The mapper configuration.
     pub fn config(&self) -> &MapperConfig {
         &self.config
+    }
+
+    /// The trap topology this mapper routes on.
+    pub fn lattice(&self) -> Lattice {
+        self.lattice
     }
 
     /// Maps `circuit` to the hardware, inserting SWAPs and shuttle moves.
@@ -176,9 +224,13 @@ impl HybridMapper {
             decompose_to_native(circuit)
         };
 
-        // Feasibility: a CᵐZ needs m sites pairwise within r_int.
+        // Feasibility: a CᵐZ needs m sites pairwise within r_int on the
+        // target topology, and within the native gate set's arity cap.
         let max_arity = native.iter().map(Operation::arity).max().unwrap_or(0);
-        let capacity = na_arch::geometry::max_cluster_size(self.params.r_int, max_arity.max(1));
+        let capacity = self
+            .lattice
+            .cluster_capacity(self.params.r_int, max_arity.max(1))
+            .min(self.gates.max_rydberg_arity);
         for (i, op) in native.iter().enumerate() {
             if op.arity() > capacity {
                 return Err(MapError::GateTooLarge {
@@ -189,8 +241,9 @@ impl HybridMapper {
             }
         }
 
-        let mut state = MappingState::with_layout(
+        let mut state = MappingState::on_lattice(
             &self.params,
+            self.lattice,
             native.num_qubits(),
             self.config.initial_layout,
         )?;
@@ -458,7 +511,11 @@ mod tests {
     #[test]
     fn hybrid_mapping_verifies_on_random_circuits() {
         let p = small(HardwareParams::mixed(), 6, 25);
-        let mapper = HybridMapper::new(p.clone(), MapperConfig::hybrid(1.0)).unwrap();
+        let mapper = HybridMapper::new(
+            p.clone(),
+            MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+        )
+        .unwrap();
         for seed in 0..5 {
             let c = RandomCircuit::new(20)
                 .layers(6)
@@ -473,7 +530,11 @@ mod tests {
     #[test]
     fn multiqubit_reversible_circuit_maps() {
         let p = small(HardwareParams::mixed(), 6, 20);
-        let mapper = HybridMapper::new(p.clone(), MapperConfig::hybrid(1.0)).unwrap();
+        let mapper = HybridMapper::new(
+            p.clone(),
+            MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+        )
+        .unwrap();
         let c = Reversible::new(16)
             .counts(&[(3, 20), (4, 6)])
             .seed(3)
@@ -492,7 +553,11 @@ mod tests {
             HardwareParams::mixed(),
         ] {
             let p = small(preset, 6, 25);
-            let mapper = HybridMapper::new(p.clone(), MapperConfig::hybrid(1.0)).unwrap();
+            let mapper = HybridMapper::new(
+                p.clone(),
+                MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+            )
+            .unwrap();
             let c = GraphState::new(20).edges(26).seed(9).build();
             let outcome = mapper.map(&c).unwrap();
             verify_mapping(&c, &outcome.mapped, &p).unwrap_or_else(|e| panic!("{}: {e}", p.name));
@@ -528,7 +593,8 @@ mod tests {
     #[test]
     fn decisions_recorded_in_stats() {
         let p = small(HardwareParams::mixed(), 6, 25);
-        let mapper = HybridMapper::new(p, MapperConfig::hybrid(1.0)).unwrap();
+        let mapper =
+            HybridMapper::new(p, MapperConfig::try_hybrid(1.0).expect("valid alpha")).unwrap();
         let c = Qft::new(16).build();
         let outcome = mapper.map(&c).unwrap();
         let routed = outcome.stats.gates_gate_routed + outcome.stats.gates_shuttle_routed;
@@ -557,7 +623,8 @@ mod tests {
     #[test]
     fn stats_match_stream_counts() {
         let p = small(HardwareParams::mixed(), 6, 25);
-        let mapper = HybridMapper::new(p, MapperConfig::hybrid(1.0)).unwrap();
+        let mapper =
+            HybridMapper::new(p, MapperConfig::try_hybrid(1.0).expect("valid alpha")).unwrap();
         let c = Qft::new(14).build();
         let outcome = mapper.map(&c).unwrap();
         assert_eq!(outcome.stats.swaps_inserted, outcome.mapped.swap_count());

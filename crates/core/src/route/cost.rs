@@ -130,7 +130,10 @@ mod tests {
     use super::*;
 
     fn model(preset: HardwareParams) -> CostModel {
-        CostModel::new(&preset, &MapperConfig::hybrid(1.0))
+        CostModel::new(
+            &preset,
+            &MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+        )
     }
 
     #[test]
@@ -146,7 +149,9 @@ mod tests {
     #[test]
     fn recency_penalty_prefers_stale_pairs() {
         let p = HardwareParams::mixed();
-        let cfg = MapperConfig::hybrid(1.0).with_decay_rate(0.5);
+        let cfg = MapperConfig::try_hybrid(1.0)
+            .expect("valid alpha")
+            .with_decay_rate(0.5);
         let m = CostModel::new(&p, &cfg);
         // Fresh pair (staleness 0) costs more than a stale one.
         assert!(m.swap_recency_penalty(0.0) > m.swap_recency_penalty(m.recency_window as f64));

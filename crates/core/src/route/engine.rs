@@ -265,7 +265,7 @@ mod tests {
     fn from_config_registers_by_alphas() {
         let p = params(5, 20, 1.0);
         assert_eq!(
-            RoutingEngine::from_config(&p, &MapperConfig::hybrid(1.0))
+            RoutingEngine::from_config(&p, &MapperConfig::try_hybrid(1.0).expect("valid alpha"))
                 .routers()
                 .len(),
             2
@@ -273,7 +273,8 @@ mod tests {
         let gate_only = RoutingEngine::from_config(&p, &MapperConfig::gate_only());
         assert_eq!(gate_only.routers().len(), 1);
         assert_eq!(gate_only.fallback_capability(), None);
-        let hybrid = RoutingEngine::from_config(&p, &MapperConfig::hybrid(1.0));
+        let hybrid =
+            RoutingEngine::from_config(&p, &MapperConfig::try_hybrid(1.0).expect("valid alpha"));
         assert_eq!(hybrid.fallback_capability(), Some(Capability::Shuttling));
     }
 
@@ -301,7 +302,8 @@ mod tests {
     fn gate_tier_wins_while_it_has_candidates() {
         let p = params(5, 24, 1.0);
         let mut state = MappingState::identity(&p, 24).expect("fits");
-        let mut engine = RoutingEngine::from_config(&p, &MapperConfig::hybrid(1.0));
+        let mut engine =
+            RoutingEngine::from_config(&p, &MapperConfig::try_hybrid(1.0).expect("valid alpha"));
         let frontier = [
             gate(0, &[0, 12], Capability::GateBased),
             gate(1, &[3, 20], Capability::Shuttling),
@@ -316,7 +318,8 @@ mod tests {
     fn shuttle_tier_acts_when_gate_frontier_empty() {
         let p = params(5, 20, 1.0);
         let mut state = MappingState::identity(&p, 20).expect("fits");
-        let mut engine = RoutingEngine::from_config(&p, &MapperConfig::hybrid(1.0));
+        let mut engine =
+            RoutingEngine::from_config(&p, &MapperConfig::try_hybrid(1.0).expect("valid alpha"));
         let frontier = [gate(0, &[0, 19], Capability::Shuttling)];
         let mut out = MappedCircuit::new(20, 20);
         let report = engine.step(&mut state, &frontier, &[], &mut out).unwrap();
@@ -340,7 +343,8 @@ mod tests {
         // gate-based tier starves and shuttling takes over.
         let p = params(7, 4, 1.0);
         let mut state = isolated_pair_state(&p);
-        let mut engine = RoutingEngine::from_config(&p, &MapperConfig::hybrid(1.0));
+        let mut engine =
+            RoutingEngine::from_config(&p, &MapperConfig::try_hybrid(1.0).expect("valid alpha"));
         let frontier = [gate(0, &[0, 1], Capability::GateBased)];
         let mut out = MappedCircuit::new(4, 4);
         let report = engine.step(&mut state, &frontier, &[], &mut out).unwrap();
@@ -365,7 +369,8 @@ mod tests {
     fn step_notifies_router_and_survives_repeats() {
         let p = params(5, 24, 1.0);
         let mut state = MappingState::identity(&p, 24).expect("fits");
-        let mut engine = RoutingEngine::from_config(&p, &MapperConfig::hybrid(1.0));
+        let mut engine =
+            RoutingEngine::from_config(&p, &MapperConfig::try_hybrid(1.0).expect("valid alpha"));
         let frontier = [gate(0, &[0, 23], Capability::GateBased)];
         let mut out = MappedCircuit::new(24, 24);
         let mut swaps = 0;

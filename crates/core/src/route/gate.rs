@@ -773,7 +773,7 @@ mod tests {
         let mut fx = Fixture::new(&p, 3);
         fx.state.apply_move(AtomId(0), Site::new(8, 8));
         fx.state.apply_move(AtomId(1), Site::new(0, 8));
-        let router = GateRouter::new(&p, &MapperConfig::hybrid(1.0));
+        let router = GateRouter::new(&p, &MapperConfig::try_hybrid(1.0).expect("valid alpha"));
         let gate = FrontierGate {
             op_index: 7,
             qubits: vec![Qubit(0), Qubit(1), Qubit(2)],

@@ -105,9 +105,9 @@ impl MappingState {
         MappingState::with_layout(params, num_qubits, InitialLayout::Identity)
     }
 
-    /// Builds a mapping state with an explicit [`InitialLayout`]: atom
-    /// `i` sits on `layout.place(..)[i]`, circuit qubit `i` starts on
-    /// atom `i`.
+    /// Builds a mapping state with an explicit [`InitialLayout`] on the
+    /// full square lattice of `params`: atom `i` sits on
+    /// `layout.place(..)[i]`, circuit qubit `i` starts on atom `i`.
     ///
     /// # Errors
     ///
@@ -119,13 +119,43 @@ impl MappingState {
         layout: InitialLayout,
     ) -> Result<Self, MapError> {
         params.validate()?;
+        MappingState::on_lattice(
+            params,
+            Lattice::new(params.lattice_side),
+            num_qubits,
+            layout,
+        )
+    }
+
+    /// Builds a mapping state on an explicit trap topology — the
+    /// target-aware constructor used when the lattice is not the full
+    /// square grid of `params` (e.g. a zoned storage/interaction
+    /// layout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::CircuitTooWide`] if `num_qubits` exceeds the
+    /// atom count, and [`MapError::Arch`] with
+    /// [`na_arch::ArchError::TooManyAtoms`] when the topology holds
+    /// fewer than `num_atoms + 1` traps.
+    pub fn on_lattice(
+        params: &HardwareParams,
+        lattice: Lattice,
+        num_qubits: u32,
+        layout: InitialLayout,
+    ) -> Result<Self, MapError> {
         if num_qubits > params.num_atoms {
             return Err(MapError::CircuitTooWide {
                 circuit_qubits: num_qubits,
                 atoms: params.num_atoms,
             });
         }
-        let lattice = Lattice::new(params.lattice_side);
+        if params.num_atoms as usize >= lattice.num_sites() {
+            return Err(MapError::Arch(na_arch::ArchError::TooManyAtoms {
+                atoms: params.num_atoms,
+                sites: lattice.num_sites() as u32,
+            }));
+        }
         let num_atoms = params.num_atoms as usize;
         let site_of_atom = layout.place(&lattice, params.num_atoms);
         let mut atom_at_site = vec![None; lattice.num_sites()];
@@ -364,6 +394,40 @@ mod tests {
     fn too_wide_circuit_rejected() {
         let err = MappingState::identity(&small_params(), 11).unwrap_err();
         assert!(matches!(err, MapError::CircuitTooWide { .. }));
+    }
+
+    #[test]
+    fn zoned_lattice_state_places_on_trap_rows_only() {
+        // 6x6 bounding box, bands of 2 rows + 1 lane: 24 traps.
+        let p = HardwareParams::mixed()
+            .to_builder()
+            .lattice(6, 3.0)
+            .num_atoms(10)
+            .build()
+            .expect("valid");
+        let lattice = Lattice::zoned(6, 2, 1).expect("valid");
+        let s = MappingState::on_lattice(&p, lattice, 6, InitialLayout::Identity).expect("fits");
+        for a in 0..10 {
+            let site = s.site_of_atom(AtomId(a));
+            assert!(lattice.contains(site));
+            assert!(lattice.is_trap_row(site.y));
+        }
+        s.check_invariants().unwrap();
+        // Identity layout skips the lane row: atom 12 would sit on row 3,
+        // and atoms 6..10 sit on row 1 (row 2 is a lane).
+        assert_eq!(s.site_of_atom(AtomId(6)), Site::new(0, 1));
+    }
+
+    #[test]
+    fn zoned_lattice_rejects_overfull_atom_count() {
+        // 4x4 box zoned 1+1 → 8 traps < 10 atoms.
+        let p = small_params();
+        let lattice = Lattice::zoned(4, 1, 1).expect("valid");
+        let err = MappingState::on_lattice(&p, lattice, 6, InitialLayout::Identity).unwrap_err();
+        assert!(matches!(
+            err,
+            MapError::Arch(na_arch::ArchError::TooManyAtoms { sites: 8, .. })
+        ));
     }
 
     #[test]

@@ -140,6 +140,28 @@ pub fn verify_mapping(
     mapped: &MappedCircuit,
     params: &HardwareParams,
 ) -> Result<(), VerifyError> {
+    verify_mapping_on(
+        circuit,
+        mapped,
+        params,
+        na_arch::Lattice::new(params.lattice_side),
+    )
+}
+
+/// [`verify_mapping`] on an explicit trap topology — required whenever
+/// the mapped stream was produced for a non-square
+/// [`Target`](na_arch::Target) (e.g. a zoned layout), where both the
+/// initial placement and the bounds checks depend on the lattice.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] encountered.
+pub fn verify_mapping_on(
+    circuit: &Circuit,
+    mapped: &MappedCircuit,
+    params: &HardwareParams,
+    lattice: na_arch::Lattice,
+) -> Result<(), VerifyError> {
     let native = if circuit.is_native() {
         circuit.clone()
     } else {
@@ -147,7 +169,7 @@ pub fn verify_mapping(
     };
     let dag = CircuitDag::new(&native);
     let mut executed = vec![false; native.len()];
-    let mut state = MappingState::with_layout(params, native.num_qubits(), mapped.layout)
+    let mut state = MappingState::on_lattice(params, lattice, native.num_qubits(), mapped.layout)
         .expect("verified by mapper");
 
     for (si, mop) in mapped.iter().enumerate() {
@@ -481,7 +503,7 @@ mod tests {
         for config in [
             MapperConfig::shuttle_only(),
             MapperConfig::gate_only(),
-            MapperConfig::hybrid(1.0),
+            MapperConfig::try_hybrid(1.0).expect("valid alpha"),
         ] {
             for seed in 0..4 {
                 let c = RandomCircuit::new(10)

@@ -110,7 +110,10 @@ fn infeasible_gate_rejected_in_all_modes() {
     let p = params(5, 20, 1.0);
     let mut c = Circuit::new(20);
     c.ccz(0, 1, 2);
-    for config in [MapperConfig::shuttle_only(), MapperConfig::hybrid(1.0)] {
+    for config in [
+        MapperConfig::shuttle_only(),
+        MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+    ] {
         let err = HybridMapper::new(p.clone(), config)
             .unwrap()
             .map(&c)
@@ -130,10 +133,13 @@ fn hub_qubit_workload_terminates() {
         c.cp(0.3, q, 0);
     }
     for alpha in [0.5, 0.95, 1.0, 1.05, 2.0] {
-        let outcome = HybridMapper::new(p.clone(), MapperConfig::hybrid(alpha))
-            .unwrap()
-            .map(&c)
-            .unwrap_or_else(|e| panic!("alpha {alpha}: {e}"));
+        let outcome = HybridMapper::new(
+            p.clone(),
+            MapperConfig::try_hybrid(alpha).expect("valid alpha"),
+        )
+        .unwrap()
+        .map(&c)
+        .unwrap_or_else(|e| panic!("alpha {alpha}: {e}"));
         verify_mapping(&c, &outcome.mapped, &p).unwrap();
     }
 }
@@ -196,10 +202,13 @@ fn site_bookkeeping_matches_replay() {
     let p = params(6, 25, 2.0);
     let mut c = Circuit::new(25);
     c.cz(0, 24).ccz(1, 12, 23).cz(4, 20);
-    let outcome = HybridMapper::new(p.clone(), MapperConfig::hybrid(1.0))
-        .unwrap()
-        .map(&c)
-        .unwrap();
+    let outcome = HybridMapper::new(
+        p.clone(),
+        MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+    )
+    .unwrap()
+    .map(&c)
+    .unwrap();
     let mut site_of: Vec<Site> = (0..25)
         .map(|i| {
             MappingState::identity(&p, 25)

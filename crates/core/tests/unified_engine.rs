@@ -55,7 +55,10 @@ fn every_generator_verifies_in_every_mode() {
         for (mode, config) in [
             ("gate-only", MapperConfig::gate_only()),
             ("shuttle-only", MapperConfig::shuttle_only()),
-            ("hybrid", MapperConfig::hybrid(1.0)),
+            (
+                "hybrid",
+                MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+            ),
         ] {
             let mapper = HybridMapper::new(params.clone(), config.clone()).expect("valid");
             let outcome = mapper
@@ -86,8 +89,11 @@ fn every_generator_verifies_on_every_preset() {
     for preset in HardwareParams::table1_presets() {
         let params = hardware(preset);
         for (name, circuit) in generator_suite() {
-            let mapper =
-                HybridMapper::new(params.clone(), MapperConfig::hybrid(1.0)).expect("valid");
+            let mapper = HybridMapper::new(
+                params.clone(),
+                MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+            )
+            .expect("valid");
             let outcome = mapper
                 .map(&circuit)
                 .unwrap_or_else(|e| panic!("{name}@{}: {e}", params.name));
@@ -106,7 +112,7 @@ fn stats_agree_with_stream_in_every_mode() {
         for config in [
             MapperConfig::gate_only(),
             MapperConfig::shuttle_only(),
-            MapperConfig::hybrid(1.0),
+            MapperConfig::try_hybrid(1.0).expect("valid alpha"),
         ] {
             let outcome = HybridMapper::new(params.clone(), config)
                 .expect("valid")
@@ -135,7 +141,7 @@ proptest! {
             .multi_qubit_fraction(0.25)
             .seed(seed)
             .build();
-        let config = MapperConfig::hybrid(10f64.powf(log_alpha));
+        let config = MapperConfig::try_hybrid(10f64.powf(log_alpha)).expect("valid alpha");
         let outcome = HybridMapper::new(params.clone(), config)
             .expect("valid")
             .map(&circuit)
@@ -153,7 +159,7 @@ proptest! {
             .multi_qubit_fraction(0.2)
             .seed(seed)
             .build();
-        let mapper = HybridMapper::new(params, MapperConfig::hybrid(1.0)).expect("valid");
+        let mapper = HybridMapper::new(params, MapperConfig::try_hybrid(1.0).expect("valid alpha")).expect("valid");
         let a = mapper.map(&circuit).expect("mappable");
         let b = mapper.map(&circuit).expect("mappable");
         prop_assert_eq!(a.mapped.ops, b.mapped.ops);

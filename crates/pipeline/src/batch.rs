@@ -1,7 +1,8 @@
 //! Multi-threaded batch compilation.
 //!
-//! [`Pipeline::compile_batch`] fans a slice of circuits across scoped
-//! worker threads. All workers share the same read-only [`Pipeline`]
+//! [`Compiler::compile_batch`] (and the legacy
+//! [`Pipeline::compile_batch`]) fan a slice of circuits across scoped
+//! worker threads. All workers share the same read-only session
 //! (hardware parameters, cost model, configuration); work is handed out
 //! through an atomic cursor so long circuits don't serialize behind a
 //! static partition, and results always come back in input order.
@@ -11,9 +12,52 @@ use std::sync::Mutex;
 
 use na_circuit::Circuit;
 
-use crate::{CompiledProgram, Pipeline, PipelineError};
+use crate::error::CompileError;
+use crate::{CompiledProgram, Compiler, Pipeline, PipelineError};
 
-impl Pipeline {
+/// Compiles every circuit on up to `threads` workers through `compile`,
+/// returning one result per circuit in input order. Workers pull the
+/// next unclaimed circuit from a shared atomic cursor (dynamic
+/// scheduling); `threads <= 1` compiles inline with no spawning
+/// overhead.
+fn run_batch<E: Send>(
+    circuits: &[Circuit],
+    threads: usize,
+    compile: impl Fn(&Circuit) -> Result<CompiledProgram, E> + Sync,
+) -> Vec<Result<CompiledProgram, E>> {
+    let workers = threads.clamp(1, circuits.len().max(1));
+    if workers <= 1 {
+        return circuits.iter().map(compile).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<CompiledProgram, E>>>> =
+        circuits.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(circuit) = circuits.get(i) else {
+                    break;
+                };
+                let result = compile(circuit);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled before scope exit")
+        })
+        .collect()
+}
+
+impl Compiler {
     /// Compiles every circuit of `circuits` on up to `threads` worker
     /// threads, returning one result per circuit **in input order**.
     ///
@@ -31,19 +75,18 @@ impl Pipeline {
     /// ```
     /// use na_arch::HardwareParams;
     /// use na_circuit::generators::GraphState;
-    /// use na_mapper::MapperConfig;
-    /// use na_pipeline::Pipeline;
+    /// use na_pipeline::Compiler;
     ///
-    /// let params = HardwareParams::mixed()
+    /// let target = HardwareParams::mixed()
     ///     .to_builder()
     ///     .lattice(6, 3.0)
     ///     .num_atoms(20)
     ///     .build()?;
-    /// let pipeline = Pipeline::new(params, MapperConfig::hybrid(1.0))?;
+    /// let compiler = Compiler::for_target(&target).build()?;
     /// let circuits: Vec<_> = (0..6)
     ///     .map(|seed| GraphState::new(12).edges(16).seed(seed).build())
     ///     .collect();
-    /// let results = pipeline.compile_batch(&circuits, 2);
+    /// let results = compiler.compile_batch(&circuits, 2);
     /// assert_eq!(results.len(), 6);
     /// assert!(results.iter().all(|r| r.is_ok()));
     /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -52,37 +95,21 @@ impl Pipeline {
         &self,
         circuits: &[Circuit],
         threads: usize,
+    ) -> Vec<Result<CompiledProgram, CompileError>> {
+        run_batch(circuits, threads, |c| self.compile(c))
+    }
+}
+
+impl Pipeline {
+    /// Legacy batch front-end: [`Compiler::compile_batch`] with errors
+    /// mapped to [`PipelineError`]. Same ordering and threading
+    /// contract.
+    pub fn compile_batch(
+        &self,
+        circuits: &[Circuit],
+        threads: usize,
     ) -> Vec<Result<CompiledProgram, PipelineError>> {
-        let workers = threads.clamp(1, circuits.len().max(1));
-        if workers <= 1 {
-            return circuits.iter().map(|c| self.compile(c)).collect();
-        }
-
-        let cursor = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<CompiledProgram, PipelineError>>>> =
-            circuits.iter().map(|_| Mutex::new(None)).collect();
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(circuit) = circuits.get(i) else {
-                        break;
-                    };
-                    let result = self.compile(circuit);
-                    *slots[i].lock().expect("result slot poisoned") = Some(result);
-                });
-            }
-        });
-
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every slot filled before scope exit")
-            })
-            .collect()
+        run_batch(circuits, threads, |c| self.compile(c))
     }
 }
 
@@ -91,16 +118,15 @@ mod tests {
     use super::*;
     use na_arch::HardwareParams;
     use na_circuit::generators::{GraphState, Qft};
-    use na_mapper::MapperConfig;
 
-    fn pipeline() -> Pipeline {
-        let params = HardwareParams::mixed()
+    fn compiler() -> Compiler {
+        let target = HardwareParams::mixed()
             .to_builder()
             .lattice(6, 3.0)
             .num_atoms(24)
             .build()
             .expect("valid");
-        Pipeline::new(params, MapperConfig::hybrid(1.0)).expect("valid")
+        Compiler::for_target(&target).build().expect("valid")
     }
 
     fn mixed_batch() -> Vec<Circuit> {
@@ -114,11 +140,11 @@ mod tests {
 
     #[test]
     fn batch_results_in_input_order_any_thread_count() {
-        let pipeline = pipeline();
+        let compiler = compiler();
         let batch = mixed_batch();
-        let serial = pipeline.compile_batch(&batch, 1);
+        let serial = compiler.compile_batch(&batch, 1);
         for threads in [2, 4, 8] {
-            let parallel = pipeline.compile_batch(&batch, threads);
+            let parallel = compiler.compile_batch(&batch, threads);
             assert_eq!(parallel.len(), batch.len());
             for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
                 match (s, p) {
@@ -136,16 +162,32 @@ mod tests {
 
     #[test]
     fn failing_circuit_fails_only_its_slot() {
-        let pipeline = pipeline();
+        let compiler = compiler();
         let batch = mixed_batch();
-        let results = pipeline.compile_batch(&batch, 3);
+        let results = compiler.compile_batch(&batch, 3);
         assert!(results[..5].iter().all(|r| r.is_ok()));
-        assert!(matches!(results[5], Err(PipelineError::Map(_))));
+        assert!(matches!(results[5], Err(CompileError::Map(_))));
     }
 
     #[test]
     fn empty_batch_is_fine() {
-        let pipeline = pipeline();
-        assert!(pipeline.compile_batch(&[], 4).is_empty());
+        let compiler = compiler();
+        assert!(compiler.compile_batch(&[], 4).is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_batch_front_end_still_works() {
+        let params = HardwareParams::mixed()
+            .to_builder()
+            .lattice(6, 3.0)
+            .num_atoms(24)
+            .build()
+            .expect("valid");
+        let pipeline = Pipeline::new(params, na_mapper::MapperConfig::default()).expect("valid");
+        let batch = mixed_batch();
+        let results = pipeline.compile_batch(&batch, 2);
+        assert!(results[..5].iter().all(|r| r.is_ok()));
+        assert!(matches!(results[5], Err(PipelineError::Map(_))));
     }
 }

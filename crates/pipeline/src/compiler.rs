@@ -1,0 +1,574 @@
+//! The `Compiler` builder/session API: one compiler per backend
+//! [`Target`], configured through validating option sets instead of
+//! panicking constructors.
+//!
+//! ```text
+//! Compiler::for_target(&target)      // any na_arch::Target
+//!     .mapping(MappingOptions::hybrid(1.0))
+//!     .scheduling(SchedulingOptions::default())
+//!     .baseline(true)
+//!     .build()?                      // -> Result<Compiler, CompileError>
+//!     .compile(&circuit)?            // -> Result<CompiledProgram, CompileError>
+//! ```
+//!
+//! All construction-time panics of the legacy API (`assert!` on a
+//! non-finite α, layout placement aborting on an undersized lattice)
+//! become typed [`CompileError`] cases here; the deprecated
+//! [`Pipeline::new`](crate::Pipeline::new) shim delegates to this
+//! builder.
+
+use std::time::Instant;
+
+use na_arch::{AodConstraints, HardwareParams, Site, Target, TargetSpec};
+use na_circuit::Circuit;
+use na_mapper::{
+    ConfigError, HybridMapper, InitialLayout, MappedCircuit, MappedOp, MapperConfig, OpSink,
+};
+use na_schedule::aod_program::{lower_batch, validate_program};
+use na_schedule::{
+    ComparisonReport, IncrementalScheduler, Schedule, ScheduleError, ScheduleMetrics,
+    ScheduledItem, Scheduler,
+};
+
+use crate::error::CompileError;
+use crate::program::{CompileStats, CompiledProgram};
+
+/// Mapping options of a [`Compiler`] session: a deferred-validation
+/// mirror of [`MapperConfig`] whose invalid states surface as
+/// [`CompileError::Config`] from [`CompilerBuilder::build`] instead of
+/// panicking at construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingOptions {
+    pub(crate) mode: MappingMode,
+    pub(crate) initial_layout: Option<InitialLayout>,
+}
+
+/// The capability mode of a mapping session.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum MappingMode {
+    /// Hybrid routing with decision ratio `α = α_g/α_s` (validated at
+    /// build time).
+    Hybrid {
+        /// The (unvalidated) ratio.
+        alpha_ratio: f64,
+    },
+    /// Gate-based-only routing (paper mode (B)).
+    GateOnly,
+    /// Shuttling-only routing (paper mode (A)).
+    ShuttleOnly,
+    /// A fully explicit configuration (validated at build time).
+    Custom(MapperConfig),
+}
+
+impl MappingOptions {
+    /// Hybrid mode with decision ratio `α = α_g/α_s`. The ratio is
+    /// validated by [`CompilerBuilder::build`], not here.
+    pub fn hybrid(alpha_ratio: f64) -> Self {
+        MappingOptions {
+            mode: MappingMode::Hybrid { alpha_ratio },
+            initial_layout: None,
+        }
+    }
+
+    /// Gate-based-only mode (`α_s = 0`).
+    pub fn gate_only() -> Self {
+        MappingOptions {
+            mode: MappingMode::GateOnly,
+            initial_layout: None,
+        }
+    }
+
+    /// Shuttling-only mode (`α_g = 0`).
+    pub fn shuttle_only() -> Self {
+        MappingOptions {
+            mode: MappingMode::ShuttleOnly,
+            initial_layout: None,
+        }
+    }
+
+    /// An explicit [`MapperConfig`] (validated at build time).
+    pub fn custom(config: MapperConfig) -> Self {
+        MappingOptions {
+            mode: MappingMode::Custom(config),
+            initial_layout: None,
+        }
+    }
+
+    /// Overrides the initial atom placement.
+    pub fn with_initial_layout(mut self, layout: InitialLayout) -> Self {
+        self.initial_layout = Some(layout);
+        self
+    }
+
+    /// Resolves into a validated [`MapperConfig`].
+    pub(crate) fn resolve(&self) -> Result<MapperConfig, ConfigError> {
+        let mut config = match &self.mode {
+            MappingMode::Hybrid { alpha_ratio } => MapperConfig::try_hybrid(*alpha_ratio)?,
+            MappingMode::GateOnly => MapperConfig::gate_only(),
+            MappingMode::ShuttleOnly => MapperConfig::shuttle_only(),
+            MappingMode::Custom(config) => {
+                config.validate()?;
+                config.clone()
+            }
+        };
+        if let Some(layout) = self.initial_layout {
+            config.initial_layout = layout;
+        }
+        Ok(config)
+    }
+}
+
+impl Default for MappingOptions {
+    /// Hybrid mode with `α = 1` (the paper's default).
+    fn default() -> Self {
+        MappingOptions::hybrid(1.0)
+    }
+}
+
+/// Scheduling options of a [`Compiler`] session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedulingOptions {
+    pub(crate) max_batch_moves: Option<usize>,
+}
+
+impl SchedulingOptions {
+    /// Caps AOD transactions at `n` moves each, on top of (and at most
+    /// as permissive as) the target's own
+    /// [`AodConstraints`]. `n = 0` is rejected at build time.
+    pub fn max_batch_moves(mut self, n: usize) -> Self {
+        self.max_batch_moves = Some(n);
+        self
+    }
+
+    /// Resolves against the target's constraint set: the stricter cap
+    /// wins.
+    pub(crate) fn resolve(&self, target: AodConstraints) -> Result<AodConstraints, ConfigError> {
+        let merged = match (self.max_batch_moves, target.max_batch_moves) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        };
+        // A zero cap forbids every move regardless of whether the
+        // options or the target description carried it.
+        if merged == Some(0) {
+            return Err(ConfigError::EmptyAodBatchCap);
+        }
+        Ok(AodConstraints {
+            max_batch_moves: merged,
+        })
+    }
+}
+
+/// Builder for a [`Compiler`] session. Created by
+/// [`Compiler::for_target`]; every option is validated in
+/// [`CompilerBuilder::build`].
+#[derive(Debug)]
+pub struct CompilerBuilder {
+    target: Result<TargetSpec, na_arch::ArchError>,
+    mapping: MappingOptions,
+    scheduling: SchedulingOptions,
+    baseline: bool,
+}
+
+impl CompilerBuilder {
+    /// Sets the mapping options (default: hybrid, `α = 1`).
+    pub fn mapping(mut self, options: MappingOptions) -> Self {
+        self.mapping = options;
+        self
+    }
+
+    /// Sets the scheduling options (default: the target's AOD
+    /// constraints unchanged).
+    pub fn scheduling(mut self, options: SchedulingOptions) -> Self {
+        self.scheduling = options;
+        self
+    }
+
+    /// Enables or disables the ideal-baseline comparison (default: on).
+    ///
+    /// The baseline schedule of the *original* circuit is what the
+    /// Table 1a `Δ` quantities are measured against; skipping it saves
+    /// one (cheap, restriction-free) scheduling pass when only the
+    /// mapped artifact matters.
+    pub fn baseline(mut self, enabled: bool) -> Self {
+        self.baseline = enabled;
+        self
+    }
+
+    /// Validates everything and builds the session.
+    ///
+    /// # Errors
+    ///
+    /// * [`CompileError::Target`] — the target description is invalid
+    ///   (bad physics, or more atoms than the topology holds traps).
+    /// * [`CompileError::Config`] — invalid mapping/scheduling options
+    ///   (non-finite or non-positive α, zero batch cap, shuttling
+    ///   requested on a gate-only target).
+    pub fn build(self) -> Result<Compiler, CompileError> {
+        let target = self.target.map_err(CompileError::Target)?;
+        let config = self.mapping.resolve().map_err(CompileError::Config)?;
+        let aod = self
+            .scheduling
+            .resolve(target.aod)
+            .map_err(CompileError::Config)?;
+        // An undersized topology (fewer traps than atoms + 1) was
+        // already rejected in `for_target` as
+        // `CompileError::Target(ArchError::TooManyAtoms)` — the typed
+        // replacement for the old layout placement abort.
+        let mapper = HybridMapper::for_target(&target, config).map_err(|e| match e {
+            // Configuration rejections (e.g. shuttling requested on a
+            // gate-only target) are Config errors at this layer, per
+            // the build() contract; only genuine mapping-layer
+            // failures surface as Map.
+            na_mapper::MapError::Config(e) => CompileError::Config(e),
+            other => CompileError::Map(other),
+        })?;
+        let scheduler = Scheduler::for_target(&target).with_aod_constraints(aod);
+        Ok(Compiler {
+            mapper,
+            scheduler,
+            target,
+            with_baseline: self.baseline,
+        })
+    }
+}
+
+/// A compile session bound to one backend target: one fused
+/// map→schedule→lower→metrics pass per circuit, plus
+/// [`Compiler::compile_batch`] for multi-threaded batch throughput.
+///
+/// Construction ([`Compiler::for_target`] → [`CompilerBuilder::build`])
+/// validates the target and every option once; the session is then
+/// immutable and `Sync`, so one instance serves any number of threads.
+///
+/// # Example
+///
+/// ```
+/// use na_arch::HardwareParams;
+/// use na_circuit::generators::Qft;
+/// use na_pipeline::{Compiler, MappingOptions};
+///
+/// let target = HardwareParams::mixed()
+///     .to_builder()
+///     .lattice(6, 3.0)
+///     .num_atoms(16)
+///     .build()?;
+/// let compiler = Compiler::for_target(&target)
+///     .mapping(MappingOptions::hybrid(1.0))
+///     .build()?;
+/// let program = compiler.compile(&Qft::new(10).build())?;
+/// assert_eq!(program.aod_programs.len(), program.schedule.batch_count());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+/// Session state is deliberately single-sourced: the routing topology
+/// lives in the mapper, the effective (merged) AOD constraint set in
+/// the scheduler, and `target` only records the resolved description
+/// the session was built from.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    mapper: HybridMapper,
+    scheduler: Scheduler,
+    target: TargetSpec,
+    with_baseline: bool,
+}
+
+/// Ops per scheduler block of the fused sink. Scheduling a block mid-map
+/// evicts the router's hot caches, so blocks are large: circuits below
+/// this size schedule in one drain right after routing (while the stream
+/// is still warm), and only multi-hundred-µs compiles pay the (then
+/// amortized) interleaving cost. Bounds the scheduling backlog on huge
+/// circuits.
+const FUSE_BLOCK: usize = 8192;
+
+/// The fused sink: retains the op stream as the [`MappedCircuit`]
+/// artifact and feeds it to the incremental scheduler in cache-warm
+/// blocks — one pass, no clone, no cold re-walk. The retained stream
+/// doubles as the block buffer (`scheduled` is the cursor of ops already
+/// consumed by the scheduler).
+struct FusedSink {
+    mapped: MappedCircuit,
+    scheduler: IncrementalScheduler,
+    scheduled: usize,
+}
+
+impl FusedSink {
+    fn drain_block(&mut self) {
+        for op in &self.mapped.ops[self.scheduled..] {
+            self.scheduler.push(op);
+        }
+        self.scheduled = self.mapped.ops.len();
+    }
+}
+
+impl OpSink for FusedSink {
+    fn accept(&mut self, op: MappedOp) {
+        self.mapped.ops.push(op);
+        if self.mapped.ops.len() - self.scheduled >= FUSE_BLOCK {
+            self.drain_block();
+        }
+    }
+}
+
+impl Compiler {
+    /// Starts a compiler session for `target` — any backend description
+    /// implementing [`Target`] ([`HardwareParams`] for the paper's
+    /// square-lattice machine, [`na_arch::ZonedTarget`] for a zoned
+    /// storage/interaction layout, or a pre-resolved [`TargetSpec`]).
+    ///
+    /// Target validation errors are deferred to
+    /// [`CompilerBuilder::build`], so this call never panics on an
+    /// invalid description.
+    pub fn for_target(target: &dyn Target) -> CompilerBuilder {
+        let resolved = target.validate().map(|()| target.spec());
+        CompilerBuilder {
+            target: resolved,
+            mapping: MappingOptions::default(),
+            scheduling: SchedulingOptions::default(),
+            baseline: true,
+        }
+    }
+
+    /// The resolved target this session compiles for.
+    pub fn target(&self) -> &TargetSpec {
+        &self.target
+    }
+
+    /// The hardware parameters.
+    pub fn params(&self) -> &HardwareParams {
+        self.mapper.params()
+    }
+
+    /// The resolved mapper configuration.
+    pub fn config(&self) -> &MapperConfig {
+        self.mapper.config()
+    }
+
+    /// Whether the ideal-baseline comparison is computed.
+    pub fn baseline_enabled(&self) -> bool {
+        self.with_baseline
+    }
+
+    /// Compiles one circuit: fused map+schedule pass, AOD lowering with
+    /// validation, Eq. (1) metrics, optional baseline comparison.
+    ///
+    /// # Errors
+    ///
+    /// * [`CompileError::Map`] — mapping failed.
+    /// * [`CompileError::Schedule`] — a lowered AOD batch violated the
+    ///   shuttling protocol (library bug guard; surfaced instead of
+    ///   silently accepted).
+    pub fn compile(&self, circuit: &Circuit) -> Result<CompiledProgram, CompileError> {
+        let total_start = Instant::now();
+        let params = self.mapper.params();
+        let config = self.mapper.config();
+
+        // (1)+(2) Fused map+schedule: one pass over the op stream.
+        let mut sink = FusedSink {
+            mapped: MappedCircuit::with_layout(
+                circuit.num_qubits(),
+                params.num_atoms,
+                config.initial_layout,
+            ),
+            scheduler: IncrementalScheduler::with_topology(
+                params,
+                self.mapper.lattice(),
+                self.scheduler.aod_constraints(),
+                circuit.num_qubits(),
+                params.num_atoms,
+                config.initial_layout,
+            ),
+            scheduled: 0,
+        };
+        let run = self
+            .mapper
+            .map_into(circuit, &mut sink)
+            .map_err(CompileError::Map)?;
+        sink.drain_block();
+        let FusedSink {
+            mapped, scheduler, ..
+        } = sink;
+        let (schedule, metrics) = scheduler.finish_with_metrics();
+
+        // (3) Lower every AOD batch and validate against the replayed
+        // occupancy.
+        let aod_programs = self
+            .lower_and_validate(&schedule)
+            .map_err(CompileError::Schedule)?;
+
+        // (4) Optional ideal-baseline comparison (Table 1a).
+        let comparison = if self.with_baseline {
+            let original = ScheduleMetrics::of(&self.scheduler.schedule_original(circuit), params);
+            Some(ComparisonReport::between(&original, &metrics))
+        } else {
+            None
+        };
+
+        let stats = CompileStats {
+            map: run.stats,
+            map_runtime: run.runtime,
+            total_runtime: total_start.elapsed(),
+            aod_batches: aod_programs.len(),
+            aod_moves: aod_programs.iter().map(|p| p.moves.len()).sum(),
+        };
+        Ok(CompiledProgram {
+            mapped,
+            schedule,
+            aod_programs,
+            metrics,
+            comparison,
+            stats,
+        })
+    }
+
+    /// Lowers each AOD batch of `schedule` to native instructions and
+    /// validates it against the lattice occupancy at its position in the
+    /// stream.
+    fn lower_and_validate(
+        &self,
+        schedule: &Schedule,
+    ) -> Result<Vec<na_schedule::AodProgram>, ScheduleError> {
+        let params = self.mapper.params();
+        let lattice = self.mapper.lattice();
+        let mut site_of_atom: Vec<Site> = self
+            .mapper
+            .config()
+            .initial_layout
+            .place(&lattice, params.num_atoms);
+        let mut programs = Vec::new();
+        for item in &schedule.items {
+            if let ScheduledItem::AodBatch {
+                moves, start_us, ..
+            } = item
+            {
+                let program = lower_batch(moves);
+                validate_program(&program, &lattice, &site_of_atom).map_err(|source| {
+                    ScheduleError::InvalidAodBatch {
+                        batch_index: programs.len(),
+                        start_us: *start_us,
+                        source,
+                    }
+                })?;
+                for m in moves {
+                    site_of_atom[m.atom.index()] = m.to;
+                }
+                programs.push(program);
+            }
+        }
+        Ok(programs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use na_arch::ZonedTarget;
+    use na_circuit::generators::{GraphState, Qft};
+    use na_mapper::verify_mapping_on;
+
+    fn small(preset: HardwareParams, side: u32, atoms: u32) -> HardwareParams {
+        preset
+            .to_builder()
+            .lattice(side, 3.0)
+            .num_atoms(atoms)
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn builder_rejects_bad_alpha() {
+        let t = small(HardwareParams::mixed(), 6, 25);
+        for bad in [0.0, -2.0, f64::NAN] {
+            let err = Compiler::for_target(&t)
+                .mapping(MappingOptions::hybrid(bad))
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CompileError::Config(ConfigError::InvalidAlphaRatio { .. })
+                ),
+                "alpha {bad} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_rejects_zero_batch_cap() {
+        let t = small(HardwareParams::mixed(), 6, 25);
+        let err = Compiler::for_target(&t)
+            .scheduling(SchedulingOptions::default().max_batch_moves(0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CompileError::Config(ConfigError::EmptyAodBatchCap)
+        ));
+        // A zero cap in the *target description* is rejected the same
+        // way, not silently clamped.
+        let mut spec = na_arch::Target::spec(&t);
+        spec.aod = AodConstraints::capped(0);
+        assert!(matches!(
+            Compiler::for_target(&spec).build().unwrap_err(),
+            CompileError::Config(ConfigError::EmptyAodBatchCap)
+        ));
+    }
+
+    /// The overfull zoned description used by the undersized-target
+    /// rejection test: 200 atoms on a 150-trap zoned topology.
+    fn overfull_zoned_spec() -> TargetSpec {
+        let params = HardwareParams::mixed();
+        TargetSpec {
+            id: "zoned2+1/test".into(),
+            lattice: na_arch::Lattice::zoned(params.lattice_side, 2, 1).expect("valid banding"),
+            params,
+            aod: AodConstraints::default(),
+            gates: na_arch::NativeGateSet::default(),
+        }
+    }
+
+    #[test]
+    fn builder_rejects_undersized_target() {
+        // Rejected with a typed error, not a placement abort.
+        let err = Compiler::for_target(&overfull_zoned_spec())
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CompileError::Target(na_arch::ArchError::TooManyAtoms { .. })
+        ));
+    }
+
+    #[test]
+    fn compiles_on_square_and_zoned_targets() {
+        let c = GraphState::new(14).edges(18).seed(3).build();
+        // Square.
+        let square = small(HardwareParams::mixed(), 6, 25);
+        let program = Compiler::for_target(&square)
+            .build()
+            .unwrap()
+            .compile(&c)
+            .unwrap();
+        verify_mapping_on(&c, &program.mapped, &square, square.lattice()).unwrap();
+        // Zoned: same physics, banded topology.
+        let zoned = ZonedTarget::new(small(HardwareParams::mixed(), 8, 25), 2, 1).expect("fits");
+        let compiler = Compiler::for_target(&zoned).build().unwrap();
+        let program = compiler.compile(&c).unwrap();
+        verify_mapping_on(&c, &program.mapped, zoned.params(), zoned.lattice()).unwrap();
+        assert_eq!(program.aod_programs.len(), program.schedule.batch_count());
+    }
+
+    #[test]
+    fn scheduling_cap_carries_into_compiled_schedule() {
+        let t = small(HardwareParams::shuttling(), 6, 20);
+        let compiler = Compiler::for_target(&t)
+            .mapping(MappingOptions::shuttle_only())
+            .scheduling(SchedulingOptions::default().max_batch_moves(1))
+            .build()
+            .unwrap();
+        let program = compiler.compile(&Qft::new(10).build()).unwrap();
+        assert_eq!(
+            program.schedule.batch_count(),
+            program.schedule.move_count()
+        );
+    }
+}

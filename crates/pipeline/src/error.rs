@@ -1,10 +1,19 @@
-//! Typed pipeline errors.
+//! Typed pipeline errors: the legacy [`PipelineError`] of the
+//! `Pipeline` shim and the unified [`CompileError`] of the
+//! [`Compiler`](crate::Compiler) session API.
 
-use na_mapper::MapError;
+use na_arch::ArchError;
+use na_mapper::{ConfigError, MapError};
 use na_schedule::aod_program::AodProgramError;
+use na_schedule::ScheduleError;
 use std::fmt;
 
-/// Errors raised while compiling a circuit through the [`Pipeline`].
+use crate::job::RequestError;
+
+/// Errors raised while compiling a circuit through the legacy
+/// [`Pipeline`] shim. New code should use
+/// [`Compiler`](crate::Compiler), whose [`CompileError`] unifies these
+/// with configuration, target and job-layer errors.
 ///
 /// [`Pipeline`]: crate::Pipeline
 #[derive(Debug, Clone, PartialEq)]
@@ -13,6 +22,8 @@ pub enum PipelineError {
     /// Mapping failed (hardware validation, infeasible gate, routing
     /// stuck — see [`MapError`]).
     Map(MapError),
+    /// The mapper configuration is invalid (see [`ConfigError`]).
+    Config(ConfigError),
     /// An AOD batch lowered to an instruction stream that violates the
     /// shuttling protocol. This is the second-pass drift guard: every
     /// lowered batch is re-validated against the replayed lattice
@@ -32,6 +43,7 @@ impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PipelineError::Map(e) => write!(f, "mapping failed: {e}"),
+            PipelineError::Config(e) => write!(f, "invalid configuration: {e}"),
             PipelineError::InvalidAodBatch {
                 batch_index,
                 start_us,
@@ -48,6 +60,7 @@ impl std::error::Error for PipelineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PipelineError::Map(e) => Some(e),
+            PipelineError::Config(e) => Some(e),
             PipelineError::InvalidAodBatch { source, .. } => Some(source),
         }
     }
@@ -59,9 +72,147 @@ impl From<MapError> for PipelineError {
     }
 }
 
+/// The single error type of the redesigned compile API: everything
+/// [`Compiler::for_target`] → `build()` → `compile`/`compile_batch` (and
+/// the versioned JSON job layer on top) can fail with.
+///
+/// Every variant wraps its layer's typed error and exposes it through
+/// [`std::error::Error::source`], so the full chain (e.g.
+/// `CompileError` → [`ScheduleError`] → `AodProgramError`) prints root
+/// causes.
+///
+/// [`Compiler::for_target`]: crate::Compiler::for_target
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// The target description failed validation ([`ArchError`]).
+    Target(ArchError),
+    /// The mapping/scheduling options are invalid ([`ConfigError`]).
+    Config(ConfigError),
+    /// Mapping failed ([`MapError`]).
+    Map(MapError),
+    /// Scheduling or AOD lowering failed ([`ScheduleError`]).
+    Schedule(ScheduleError),
+    /// The JSON job document is malformed ([`RequestError`]).
+    Request(RequestError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Target(e) => write!(f, "invalid target: {e}"),
+            CompileError::Config(e) => write!(f, "invalid configuration: {e}"),
+            CompileError::Map(e) => write!(f, "mapping failed: {e}"),
+            CompileError::Schedule(e) => write!(f, "scheduling failed: {e}"),
+            CompileError::Request(e) => write!(f, "invalid compile request: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Target(e) => Some(e),
+            CompileError::Config(e) => Some(e),
+            CompileError::Map(e) => Some(e),
+            CompileError::Schedule(e) => Some(e),
+            CompileError::Request(e) => Some(e),
+        }
+    }
+}
+
+impl From<ArchError> for CompileError {
+    fn from(e: ArchError) -> Self {
+        CompileError::Target(e)
+    }
+}
+
+impl From<ConfigError> for CompileError {
+    fn from(e: ConfigError) -> Self {
+        CompileError::Config(e)
+    }
+}
+
+impl From<MapError> for CompileError {
+    fn from(e: MapError) -> Self {
+        CompileError::Map(e)
+    }
+}
+
+impl From<ScheduleError> for CompileError {
+    fn from(e: ScheduleError) -> Self {
+        CompileError::Schedule(e)
+    }
+}
+
+impl From<RequestError> for CompileError {
+    fn from(e: RequestError) -> Self {
+        CompileError::Request(e)
+    }
+}
+
+impl From<PipelineError> for CompileError {
+    /// Maps a legacy error into the unified type (no wrapper variant:
+    /// the legacy cases are a strict subset).
+    fn from(e: PipelineError) -> Self {
+        match e {
+            PipelineError::Map(e) => CompileError::Map(e),
+            PipelineError::Config(e) => CompileError::Config(e),
+            PipelineError::InvalidAodBatch {
+                batch_index,
+                start_us,
+                source,
+            } => CompileError::Schedule(ScheduleError::InvalidAodBatch {
+                batch_index,
+                start_us,
+                source,
+            }),
+        }
+    }
+}
+
+/// Converts a unified compile-time error back to the legacy type for
+/// the deprecated [`Pipeline`](crate::Pipeline) shim. Target errors map
+/// to `Map(MapError::Arch(..))` — exactly what `Pipeline::new` returned
+/// before the redesign.
+pub(crate) fn to_legacy(e: CompileError) -> PipelineError {
+    match e {
+        CompileError::Map(e) => PipelineError::Map(e),
+        CompileError::Target(e) => PipelineError::Map(MapError::Arch(e)),
+        CompileError::Config(e) => PipelineError::Config(e),
+        CompileError::Schedule(e) => match e {
+            ScheduleError::InvalidAodBatch {
+                batch_index,
+                start_us,
+                source,
+            } => PipelineError::InvalidAodBatch {
+                batch_index,
+                start_us,
+                source,
+            },
+            // `ScheduleError` is non-exhaustive upstream; future cases
+            // have no legacy spelling, so degrade to a described error.
+            other => PipelineError::Map(MapError::Arch(ArchError::InvalidParameter {
+                name: "schedule",
+                reason: other.to_string(),
+            })),
+        },
+        // Job-layer errors cannot reach the legacy shim (it never
+        // parses request documents); map defensively instead of
+        // panicking.
+        CompileError::Request(e) => {
+            PipelineError::Map(MapError::Arch(ArchError::InvalidParameter {
+                name: "request",
+                reason: e.to_string(),
+            }))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
 
     #[test]
     fn display_names_the_batch() {
@@ -83,5 +234,55 @@ mod tests {
         }
         .into();
         assert!(matches!(e, PipelineError::Map(_)));
+    }
+
+    /// The unified error chains all the way to the protocol violation:
+    /// `CompileError` → `ScheduleError` → `AodProgramError`.
+    #[test]
+    fn compile_error_source_chain_walks_to_root() {
+        let e = CompileError::Schedule(ScheduleError::InvalidAodBatch {
+            batch_index: 1,
+            start_us: 3.0,
+            source: AodProgramError::LineCrossing,
+        });
+        let mut chain = Vec::new();
+        let mut cursor: Option<&(dyn Error + 'static)> = Some(&e);
+        while let Some(err) = cursor {
+            chain.push(err.to_string());
+            cursor = err.source();
+        }
+        assert_eq!(
+            chain.len(),
+            3,
+            "CompileError -> ScheduleError -> AodProgramError"
+        );
+        assert!(chain[0].contains("scheduling failed"));
+        assert!(chain[1].contains("batch 1"));
+        assert!(chain[2].contains("cross"));
+    }
+
+    #[test]
+    fn legacy_round_trip_preserves_cases() {
+        let aod = PipelineError::InvalidAodBatch {
+            batch_index: 4,
+            start_us: 1.0,
+            source: AodProgramError::LineCrossing,
+        };
+        assert_eq!(to_legacy(CompileError::from(aod.clone())), aod);
+        let map = PipelineError::Map(MapError::CircuitTooWide {
+            circuit_qubits: 5,
+            atoms: 2,
+        });
+        assert_eq!(to_legacy(CompileError::from(map.clone())), map);
+        // Target errors surface exactly like the pre-redesign
+        // `Pipeline::new` did.
+        let arch = ArchError::TooManyAtoms {
+            atoms: 10,
+            sites: 9,
+        };
+        assert_eq!(
+            to_legacy(CompileError::Target(arch.clone())),
+            PipelineError::Map(MapError::Arch(arch))
+        );
     }
 }

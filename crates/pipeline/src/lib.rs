@@ -1,18 +1,20 @@
-//! The fused compile pipeline: map → schedule → lower → metrics as one
-//! pass, one artifact, and a multi-threaded batch front-end.
+//! The compile front-end: target-bound [`Compiler`] sessions running the
+//! fused map → schedule → lower → metrics pass, a multi-threaded batch
+//! interface, and a versioned JSON job layer.
 //!
 //! The paper's flow is four conceptual stages: hybrid mapping
 //! (`na-mapper`), restriction-aware ASAP scheduling with AOD batching
 //! (`na-schedule`), lowering of every AOD batch to native instructions
-//! (`na_schedule::aod_program`), and the Eq. (1) fidelity metrics. The
-//! [`Pipeline`] runs them as **one fused pass**: the mapper streams each
+//! (`na_schedule::aod_program`), and the Eq. (1) fidelity metrics. A
+//! [`Compiler`] runs them as **one fused pass**: the mapper streams each
 //! [`MappedOp`](na_mapper::MappedOp) through an
 //! [`OpSink`](na_mapper::OpSink) into `na-schedule`'s
-//! [`IncrementalScheduler`], so batching, restriction checks and metric
-//! accumulation happen while routing is still in progress — no second
-//! walk over the op stream on the hot path. Every lowered AOD batch is
-//! re-validated against the replayed lattice occupancy and violations
-//! surface as a typed [`PipelineError`] instead of silent success.
+//! [`IncrementalScheduler`](na_schedule::IncrementalScheduler), so
+//! batching, restriction checks and metric accumulation happen while
+//! routing is still in progress — no second walk over the op stream on
+//! the hot path. Every lowered AOD batch is re-validated against the
+//! replayed lattice occupancy and violations surface as a typed
+//! [`CompileError`] instead of silent success.
 //!
 //! ```text
 //! circuit ──route──▶ OpSink ──┬──▶ MappedCircuit      (artifact)
@@ -26,96 +28,69 @@
 //!                            CompiledProgram
 //! ```
 //!
-//! # Example
+//! # The session API
+//!
+//! A session binds one backend [`Target`](na_arch::Target) — the
+//! paper's square-lattice machine ([`na_arch::HardwareParams`]), a
+//! zoned storage/interaction layout ([`na_arch::ZonedTarget`]), or any
+//! custom implementation — and validates every option at build time:
 //!
 //! ```
 //! use na_arch::HardwareParams;
 //! use na_circuit::generators::Qft;
-//! use na_mapper::MapperConfig;
-//! use na_pipeline::Pipeline;
+//! use na_pipeline::{Compiler, MappingOptions};
 //!
-//! let params = HardwareParams::mixed()
+//! let target = HardwareParams::mixed()
 //!     .to_builder()
 //!     .lattice(6, 3.0)
 //!     .num_atoms(16)
 //!     .build()?;
-//! let pipeline = Pipeline::new(params, MapperConfig::hybrid(1.0))?;
-//! let program = pipeline.compile(&Qft::new(10).build())?;
+//! let compiler = Compiler::for_target(&target)
+//!     .mapping(MappingOptions::hybrid(1.0))
+//!     .baseline(true)
+//!     .build()?;
+//! let program = compiler.compile(&Qft::new(10).build())?;
 //! assert_eq!(program.aod_programs.len(), program.schedule.batch_count());
 //! assert!(program.metrics.makespan_us > 0.0);
 //! println!("{}", program.to_json());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! A service front-end can drive the same session from one JSON
+//! document in and one out — see [`job`].
+//!
+//! The pre-redesign entry point [`Pipeline::new`] remains as a thin
+//! deprecated shim over [`Compiler`]; it produces identical artifacts
+//! on the square-lattice presets.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod batch;
+pub mod compiler;
 pub mod error;
+pub mod job;
 pub mod program;
 
-pub use error::PipelineError;
+pub use compiler::{Compiler, CompilerBuilder, MappingOptions, SchedulingOptions};
+pub use error::{CompileError, PipelineError};
+pub use job::{handle_json, CompileRequest, CompileResponse, JobCircuit, JobOutcome, RequestError};
 pub use program::{CompileStats, CompiledProgram};
 
-use std::time::Instant;
-
-use na_arch::{HardwareParams, Lattice, Site};
+use na_arch::HardwareParams;
 use na_circuit::Circuit;
-use na_mapper::{HybridMapper, MappedCircuit, MappedOp, MapperConfig, OpSink};
-use na_schedule::aod_program::{lower_batch, validate_program};
-use na_schedule::{
-    AodProgram, ComparisonReport, IncrementalScheduler, Schedule, ScheduleMetrics, ScheduledItem,
-    Scheduler,
-};
+use na_mapper::MapperConfig;
 
-/// The compile pipeline: one fused map→schedule→lower→metrics pass per
-/// circuit, plus [`Pipeline::compile_batch`] for multi-threaded batch
-/// throughput.
+/// The legacy compile pipeline: a thin shim over [`Compiler`] bound to
+/// the full square lattice of its [`HardwareParams`].
 ///
-/// Construction validates the hardware once; the pipeline is then
-/// immutable and `Sync`, so one instance serves any number of threads.
+/// Kept so existing callers and tests compile unchanged; new code
+/// should use [`Compiler::for_target`], which supports arbitrary
+/// backend targets and returns typed errors for every construction
+/// failure.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
-    mapper: HybridMapper,
-    scheduler: Scheduler,
-    with_baseline: bool,
-}
-
-/// Ops per scheduler block of the fused sink. Scheduling a block mid-map
-/// evicts the router's hot caches, so blocks are large: circuits below
-/// this size schedule in one drain right after routing (while the stream
-/// is still warm), and only multi-hundred-µs compiles pay the (then
-/// amortized) interleaving cost. Bounds the scheduling backlog on huge
-/// circuits.
-const FUSE_BLOCK: usize = 8192;
-
-/// The fused sink: retains the op stream as the [`MappedCircuit`]
-/// artifact and feeds it to the incremental scheduler in cache-warm
-/// blocks — one pass, no clone, no cold re-walk. The retained stream
-/// doubles as the block buffer (`scheduled` is the cursor of ops already
-/// consumed by the scheduler).
-struct FusedSink {
-    mapped: MappedCircuit,
-    scheduler: IncrementalScheduler,
-    scheduled: usize,
-}
-
-impl FusedSink {
-    fn drain_block(&mut self) {
-        for op in &self.mapped.ops[self.scheduled..] {
-            self.scheduler.push(op);
-        }
-        self.scheduled = self.mapped.ops.len();
-    }
-}
-
-impl OpSink for FusedSink {
-    fn accept(&mut self, op: MappedOp) {
-        self.mapped.ops.push(op);
-        if self.mapped.ops.len() - self.scheduled >= FUSE_BLOCK {
-            self.drain_block();
-        }
-    }
+    inner: Compiler,
 }
 
 impl Pipeline {
@@ -124,15 +99,18 @@ impl Pipeline {
     /// # Errors
     ///
     /// Propagates hardware validation failures as
-    /// [`PipelineError::Map`].
+    /// [`PipelineError::Map`] and configuration failures as
+    /// [`PipelineError::Config`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Compiler::for_target(&params).mapping(MappingOptions::custom(config)).build()`"
+    )]
     pub fn new(params: HardwareParams, config: MapperConfig) -> Result<Self, PipelineError> {
-        let mapper = HybridMapper::new(params.clone(), config)?;
-        let scheduler = Scheduler::new(params);
-        Ok(Pipeline {
-            mapper,
-            scheduler,
-            with_baseline: true,
-        })
+        let inner = Compiler::for_target(&params)
+            .mapping(MappingOptions::custom(config))
+            .build()
+            .map_err(error::to_legacy)?;
+        Ok(Pipeline { inner })
     }
 
     /// Disables (or re-enables) the ideal-baseline comparison.
@@ -141,19 +119,30 @@ impl Pipeline {
     /// Table 1a `Δ` quantities are measured against; skipping it saves
     /// one (cheap, restriction-free) scheduling pass when only the
     /// mapped artifact matters.
-    pub fn with_baseline(mut self, enabled: bool) -> Self {
-        self.with_baseline = enabled;
-        self
+    pub fn with_baseline(self, enabled: bool) -> Self {
+        // Rebuild through the compiler builder to keep one source of
+        // truth for session state.
+        let inner = Compiler::for_target(self.inner.target())
+            .mapping(MappingOptions::custom(self.inner.config().clone()))
+            .baseline(enabled)
+            .build()
+            .expect("already-validated session stays valid");
+        Pipeline { inner }
     }
 
     /// The hardware parameters.
     pub fn params(&self) -> &HardwareParams {
-        self.mapper.params()
+        self.inner.params()
     }
 
     /// The mapper configuration.
     pub fn config(&self) -> &MapperConfig {
-        self.mapper.config()
+        self.inner.config()
+    }
+
+    /// The underlying [`Compiler`] session.
+    pub fn compiler(&self) -> &Compiler {
+        &self.inner
     }
 
     /// Compiles one circuit: fused map+schedule pass, AOD lowering with
@@ -166,93 +155,7 @@ impl Pipeline {
     ///   violated the shuttling protocol (library bug guard; surfaced
     ///   instead of silently accepted).
     pub fn compile(&self, circuit: &Circuit) -> Result<CompiledProgram, PipelineError> {
-        let total_start = Instant::now();
-        let params = self.mapper.params();
-        let config = self.mapper.config();
-
-        // (1)+(2) Fused map+schedule: one pass over the op stream.
-        let mut sink = FusedSink {
-            mapped: MappedCircuit::with_layout(
-                circuit.num_qubits(),
-                params.num_atoms,
-                config.initial_layout,
-            ),
-            scheduler: IncrementalScheduler::new(
-                params,
-                circuit.num_qubits(),
-                params.num_atoms,
-                config.initial_layout,
-            ),
-            scheduled: 0,
-        };
-        let run = self.mapper.map_into(circuit, &mut sink)?;
-        sink.drain_block();
-        let FusedSink {
-            mapped, scheduler, ..
-        } = sink;
-        let (schedule, metrics) = scheduler.finish_with_metrics();
-
-        // (3) Lower every AOD batch and validate against the replayed
-        // occupancy.
-        let aod_programs = self.lower_and_validate(&schedule)?;
-
-        // (4) Optional ideal-baseline comparison (Table 1a).
-        let comparison = if self.with_baseline {
-            let original = ScheduleMetrics::of(&self.scheduler.schedule_original(circuit), params);
-            Some(ComparisonReport::between(&original, &metrics))
-        } else {
-            None
-        };
-
-        let stats = CompileStats {
-            map: run.stats,
-            map_runtime: run.runtime,
-            total_runtime: total_start.elapsed(),
-            aod_batches: aod_programs.len(),
-            aod_moves: aod_programs.iter().map(|p| p.moves.len()).sum(),
-        };
-        Ok(CompiledProgram {
-            mapped,
-            schedule,
-            aod_programs,
-            metrics,
-            comparison,
-            stats,
-        })
-    }
-
-    /// Lowers each AOD batch of `schedule` to native instructions and
-    /// validates it against the lattice occupancy at its position in the
-    /// stream.
-    fn lower_and_validate(&self, schedule: &Schedule) -> Result<Vec<AodProgram>, PipelineError> {
-        let params = self.mapper.params();
-        let lattice = Lattice::new(params.lattice_side);
-        let mut site_of_atom: Vec<Site> = self
-            .mapper
-            .config()
-            .initial_layout
-            .place(&lattice, params.num_atoms);
-        let mut programs = Vec::new();
-        for item in &schedule.items {
-            if let ScheduledItem::AodBatch {
-                moves, start_us, ..
-            } = item
-            {
-                let program = lower_batch(moves);
-                validate_program(&program, &lattice, &site_of_atom).map_err(|source| {
-                    PipelineError::InvalidAodBatch {
-                        batch_index: programs.len(),
-                        start_us: *start_us,
-                        source,
-                    }
-                })?;
-                for m in moves {
-                    site_of_atom[m.atom.index()] = m.to;
-                }
-                programs.push(program);
-            }
-        }
-        Ok(programs)
+        self.inner.compile(circuit).map_err(error::to_legacy)
     }
 }
 
@@ -260,6 +163,8 @@ impl Pipeline {
 mod tests {
     use super::*;
     use na_circuit::generators::{GraphState, Qft};
+    use na_mapper::MapError;
+    use na_schedule::{ScheduleMetrics, Scheduler};
 
     fn small(preset: HardwareParams, side: u32, atoms: u32) -> HardwareParams {
         preset
@@ -270,10 +175,18 @@ mod tests {
             .expect("valid")
     }
 
+    #[allow(deprecated)]
+    fn legacy(params: HardwareParams, config: MapperConfig) -> Pipeline {
+        Pipeline::new(params, config).expect("valid")
+    }
+
     #[test]
     fn compile_produces_consistent_artifact() {
         let p = small(HardwareParams::mixed(), 6, 25);
-        let pipeline = Pipeline::new(p.clone(), MapperConfig::hybrid(1.0)).unwrap();
+        let pipeline = legacy(
+            p.clone(),
+            MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+        );
         let c = GraphState::new(18).edges(26).seed(3).build();
         let program = pipeline.compile(&c).unwrap();
 
@@ -296,9 +209,7 @@ mod tests {
     #[test]
     fn baseline_can_be_disabled() {
         let p = small(HardwareParams::mixed(), 5, 12);
-        let pipeline = Pipeline::new(p, MapperConfig::default())
-            .unwrap()
-            .with_baseline(false);
+        let pipeline = legacy(p, MapperConfig::default()).with_baseline(false);
         let program = pipeline.compile(&Qft::new(8).build()).unwrap();
         assert!(program.comparison.is_none());
         assert!(program.delta_f().is_none());
@@ -307,20 +218,18 @@ mod tests {
     #[test]
     fn map_errors_propagate_typed() {
         let p = small(HardwareParams::mixed(), 4, 8);
-        let pipeline = Pipeline::new(p, MapperConfig::default()).unwrap();
+        let pipeline = legacy(p, MapperConfig::default());
         let too_wide = Circuit::new(9);
         assert!(matches!(
             pipeline.compile(&too_wide),
-            Err(PipelineError::Map(
-                na_mapper::MapError::CircuitTooWide { .. }
-            ))
+            Err(PipelineError::Map(MapError::CircuitTooWide { .. }))
         ));
     }
 
     #[test]
     fn json_document_is_one_object() {
         let p = small(HardwareParams::shuttling(), 6, 20);
-        let pipeline = Pipeline::new(p, MapperConfig::shuttle_only()).unwrap();
+        let pipeline = legacy(p, MapperConfig::shuttle_only());
         let program = pipeline.compile(&Qft::new(10).build()).unwrap();
         let json = program.to_json();
         assert!(json.trim_start().starts_with('{'));
@@ -338,5 +247,44 @@ mod tests {
         // Shuttle-only mapping must have lowered at least one program.
         assert!(!program.aod_programs.is_empty());
         assert!(json.contains("\"op\":\"translate\""));
+    }
+
+    /// The legacy shim and the builder session produce identical
+    /// artifacts on the square presets (runtime stamps aside, which are
+    /// wall-clock measurements).
+    #[test]
+    fn legacy_shim_matches_builder_session() {
+        let p = small(HardwareParams::mixed(), 6, 25);
+        let c = Qft::new(14).build();
+        let via_shim = legacy(p.clone(), MapperConfig::default())
+            .compile(&c)
+            .unwrap();
+        let via_builder = Compiler::for_target(&p)
+            .mapping(MappingOptions::custom(MapperConfig::default()))
+            .build()
+            .unwrap()
+            .compile(&c)
+            .unwrap();
+        assert_eq!(via_shim.mapped, via_builder.mapped);
+        assert_eq!(via_shim.schedule, via_builder.schedule);
+        assert_eq!(via_shim.metrics, via_builder.metrics);
+        assert_eq!(via_shim.aod_programs, via_builder.aod_programs);
+        assert_eq!(via_shim.comparison, via_builder.comparison);
+        // Byte-identical JSON once the wall-clock stamps are removed.
+        let normalize = |mut p: CompiledProgram| {
+            p.stats.map_runtime = std::time::Duration::ZERO;
+            p.stats.total_runtime = std::time::Duration::ZERO;
+            p.to_json()
+        };
+        assert_eq!(normalize(via_shim), normalize(via_builder));
+    }
+
+    #[test]
+    fn invalid_params_surface_like_before_the_redesign() {
+        let mut p = small(HardwareParams::mixed(), 6, 25);
+        p.r_int = -1.0;
+        #[allow(deprecated)]
+        let err = Pipeline::new(p, MapperConfig::default()).unwrap_err();
+        assert!(matches!(err, PipelineError::Map(MapError::Arch(_))));
     }
 }

@@ -9,7 +9,6 @@ use na_circuit::generators::{
 };
 use na_circuit::Circuit;
 use na_mapper::MapperConfig;
-use na_pipeline::Pipeline;
 use na_schedule::{ScheduleMetrics, Scheduler};
 
 fn params() -> HardwareParams {
@@ -52,7 +51,10 @@ fn modes() -> Vec<(&'static str, MapperConfig)> {
     vec![
         ("gate", MapperConfig::gate_only()),
         ("shuttle", MapperConfig::shuttle_only()),
-        ("hybrid", MapperConfig::hybrid(1.0)),
+        (
+            "hybrid",
+            MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+        ),
     ]
 }
 
@@ -61,7 +63,10 @@ fn fused_equals_two_pass_for_all_generators_and_modes() {
     let p = params();
     let scheduler = Scheduler::new(p.clone());
     for (mode_name, config) in modes() {
-        let pipeline = Pipeline::new(p.clone(), config).expect("valid");
+        let pipeline = na_pipeline::Compiler::for_target(&p)
+            .mapping(na_pipeline::MappingOptions::custom(config))
+            .build()
+            .expect("valid");
         for (gen_name, circuit) in generator_suite() {
             let program = pipeline
                 .compile(&circuit)
@@ -96,7 +101,10 @@ fn fused_matches_two_pass_per_mode_presets() {
     for (preset, config) in [
         (HardwareParams::gate_based(), MapperConfig::gate_only()),
         (HardwareParams::shuttling(), MapperConfig::shuttle_only()),
-        (HardwareParams::mixed(), MapperConfig::hybrid(1.0)),
+        (
+            HardwareParams::mixed(),
+            MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+        ),
     ] {
         let p = preset
             .to_builder()
@@ -104,7 +112,10 @@ fn fused_matches_two_pass_per_mode_presets() {
             .num_atoms(22)
             .build()
             .expect("valid");
-        let pipeline = Pipeline::new(p.clone(), config).expect("valid");
+        let pipeline = na_pipeline::Compiler::for_target(&p)
+            .mapping(na_pipeline::MappingOptions::custom(config))
+            .build()
+            .expect("valid");
         let circuit = GraphState::new(18).edges(26).seed(11).build();
         let program = pipeline.compile(&circuit).expect("compiles");
         assert_eq!(

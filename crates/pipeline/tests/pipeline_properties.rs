@@ -14,7 +14,6 @@ use na_circuit::generators::{
 };
 use na_circuit::Circuit;
 use na_mapper::MapperConfig;
-use na_pipeline::Pipeline;
 use na_schedule::{validate_program, ScheduleMetrics, ScheduledItem, Scheduler};
 use proptest::prelude::*;
 
@@ -50,7 +49,7 @@ fn arb_config() -> impl Strategy<Value = MapperConfig> {
     prop_oneof![
         Just(MapperConfig::gate_only()),
         Just(MapperConfig::shuttle_only()),
-        (0.25f64..4.0).prop_map(MapperConfig::hybrid),
+        (0.25f64..4.0).prop_map(|a| MapperConfig::try_hybrid(a).expect("valid alpha")),
     ]
 }
 
@@ -79,7 +78,10 @@ proptest! {
     fn restriction_and_aod_invariants(circuit in arb_circuit(), config in arb_config()) {
         let p = params();
         let layout = config.initial_layout;
-        let pipeline = Pipeline::new(p.clone(), config).expect("valid");
+        let pipeline = na_pipeline::Compiler::for_target(&p)
+            .mapping(na_pipeline::MappingOptions::custom(config))
+            .build()
+            .expect("valid");
         let program = pipeline.compile(&circuit).expect("compiles");
 
         // (1) Restriction: concurrent Rydberg items keep r_restr.

@@ -1,0 +1,69 @@
+//! Scheduling error types.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::aod_program::AodProgramError;
+
+/// Errors raised while scheduling or lowering a mapped stream.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// An AOD batch lowered to an instruction stream that violates the
+    /// shuttling protocol when replayed against the lattice occupancy.
+    InvalidAodBatch {
+        /// Index of the offending batch among the schedule's AOD
+        /// transactions (0-based, schedule order).
+        batch_index: usize,
+        /// The batch's scheduled start time in µs.
+        start_us: f64,
+        /// The violated constraint.
+        source: AodProgramError,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::InvalidAodBatch {
+                batch_index,
+                start_us,
+                source,
+            } => write!(
+                f,
+                "AOD batch {batch_index} (t = {start_us:.3} µs) failed validation: {source}"
+            ),
+        }
+    }
+}
+
+impl Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScheduleError::InvalidAodBatch { source, .. } => Some(source),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_chain_reaches_the_protocol_violation() {
+        let e = ScheduleError::InvalidAodBatch {
+            batch_index: 2,
+            start_us: 7.5,
+            source: AodProgramError::LineCrossing,
+        };
+        assert!(e.to_string().contains("batch 2"));
+        let source = e.source().expect("has a source");
+        assert!(source.to_string().contains("cross"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ScheduleError>();
+    }
+}

@@ -316,11 +316,14 @@ mod tests {
             .build()
             .expect("valid");
         let circuit = GraphState::new(12).edges(16).seed(4).build();
-        let mapped = HybridMapper::new(params.clone(), MapperConfig::hybrid(1.0))
-            .expect("valid")
-            .map(&circuit)
-            .expect("mappable")
-            .mapped;
+        let mapped = HybridMapper::new(
+            params.clone(),
+            MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+        )
+        .expect("valid")
+        .map(&circuit)
+        .expect("mappable")
+        .mapped;
         (
             Scheduler::new(params.clone()).schedule_mapped(&mapped),
             params,

@@ -40,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod aod_program;
+pub mod error;
 pub mod export;
 pub mod items;
 pub mod metrics;
@@ -47,6 +48,7 @@ pub mod monte_carlo;
 pub mod scheduler;
 
 pub use aod_program::{lower_batch, validate_program, AodInstruction, AodProgram};
+pub use error::ScheduleError;
 pub use items::{Schedule, ScheduledItem};
 pub use metrics::{ComparisonReport, ScheduleMetrics};
 pub use scheduler::{IncrementalScheduler, Scheduler};

@@ -13,7 +13,7 @@
 //! Both paths are item-for-item identical by construction:
 //! `schedule_mapped` is a loop over `IncrementalScheduler::push`.
 
-use na_arch::{aod, geometry, HardwareParams, Lattice, Move, Site};
+use na_arch::{aod, geometry, AodConstraints, HardwareParams, Lattice, Move, Site, Target};
 use na_circuit::{decompose_to_native, Circuit};
 use na_mapper::{AtomId, InitialLayout, MappedCircuit, MappedOp, OpSink};
 
@@ -35,17 +35,52 @@ use crate::metrics::{ComparisonReport, ScheduleMetrics};
 #[derive(Debug, Clone)]
 pub struct Scheduler {
     params: HardwareParams,
+    lattice: Lattice,
+    aod: AodConstraints,
 }
 
 impl Scheduler {
-    /// Creates a scheduler for the given hardware.
+    /// Creates a scheduler for the given hardware on its full square
+    /// lattice with protocol-only AOD constraints.
     pub fn new(params: HardwareParams) -> Self {
-        Scheduler { params }
+        let lattice = Lattice::new(params.lattice_side);
+        Scheduler {
+            params,
+            lattice,
+            aod: AodConstraints::default(),
+        }
+    }
+
+    /// Creates a scheduler for a backend [`Target`]: trap topology and
+    /// AOD constraint set come from the target description.
+    pub fn for_target(target: &dyn Target) -> Self {
+        Scheduler {
+            params: target.params().clone(),
+            lattice: target.lattice(),
+            aod: target.aod_constraints(),
+        }
+    }
+
+    /// Replaces the AOD constraint set (e.g. a service-level batch cap
+    /// stricter than the target's).
+    pub fn with_aod_constraints(mut self, aod: AodConstraints) -> Self {
+        self.aod = aod;
+        self
     }
 
     /// The hardware parameters.
     pub fn params(&self) -> &HardwareParams {
         &self.params
+    }
+
+    /// The trap topology schedules are validated against.
+    pub fn lattice(&self) -> Lattice {
+        self.lattice
+    }
+
+    /// The AOD constraint set applied to transaction batching.
+    pub fn aod_constraints(&self) -> AodConstraints {
+        self.aod
     }
 
     /// Schedules a mapped operation stream.
@@ -58,8 +93,10 @@ impl Scheduler {
     /// twice) sits in a strictly earlier batch. This mirrors the paper's
     /// aggressive parallel scheduling of independent rearrangements.
     pub fn schedule_mapped(&self, mapped: &MappedCircuit) -> Schedule {
-        let mut inc = IncrementalScheduler::new(
+        let mut inc = IncrementalScheduler::with_topology(
             &self.params,
+            self.lattice,
+            self.aod,
             mapped.num_qubits,
             mapped.num_atoms,
             mapped.layout,
@@ -102,10 +139,7 @@ impl Scheduler {
             let atoms: Vec<AtomId> = op.qubits().iter().map(|q| AtomId(q.0)).collect();
             let sites: Vec<Site> = atoms
                 .iter()
-                .map(|a| {
-                    let side = self.params.lattice_side as i32;
-                    Site::new(a.0 as i32 % side, a.0 as i32 / side)
-                })
+                .map(|a| self.lattice.site(a.0 as usize))
                 .collect();
             if op.arity() == 1 {
                 items.push(ScheduledItem::SingleQubit {
@@ -235,6 +269,8 @@ pub struct IncrementalScheduler {
     /// occupied). Starts from the initial layout.
     site_free_at: Vec<f64>,
     lattice: Lattice,
+    /// Backend AOD constraint set (transaction batch caps).
+    aod: AodConstraints,
     /// Rydberg intervals still relevant for restriction checks.
     active_rydberg: Vec<(f64, f64, Vec<Site>)>,
     /// Time from which the (single) AOD device is free: there is one
@@ -259,7 +295,27 @@ impl IncrementalScheduler {
         num_atoms: u32,
         layout: InitialLayout,
     ) -> Self {
-        let lattice = Lattice::new(params.lattice_side);
+        IncrementalScheduler::with_topology(
+            params,
+            Lattice::new(params.lattice_side),
+            AodConstraints::default(),
+            num_qubits,
+            num_atoms,
+            layout,
+        )
+    }
+
+    /// Creates a streaming scheduler on an explicit trap topology with a
+    /// backend AOD constraint set — the target-aware constructor behind
+    /// [`Scheduler::for_target`].
+    pub fn with_topology(
+        params: &HardwareParams,
+        lattice: Lattice,
+        aod: AodConstraints,
+        num_qubits: u32,
+        num_atoms: u32,
+        layout: InitialLayout,
+    ) -> Self {
         let mut site_free_at = vec![0.0; lattice.num_sites()];
         for site in layout.place(&lattice, num_atoms) {
             site_free_at[lattice.index(site)] = f64::INFINITY;
@@ -271,6 +327,7 @@ impl IncrementalScheduler {
             avail: vec![0.0; num_atoms as usize],
             site_free_at,
             lattice,
+            aod,
             active_rydberg: Vec::new(),
             aod_free_at: 0.0,
             items: Vec::new(),
@@ -391,6 +448,7 @@ impl IncrementalScheduler {
     /// construction. A single move always validates (its 1×1 grid is
     /// its own source/target), so every wave makes progress.
     fn flush_run(&mut self) {
+        let batch_cap = self.aod.max_batch_moves.unwrap_or(usize::MAX).max(1);
         let batches = std::mem::take(&mut self.run.batches);
         for batch in batches {
             let mut pending = batch;
@@ -399,6 +457,12 @@ impl IncrementalScheduler {
                 let mut accepted: Vec<BatchedMove> = Vec::new();
                 let mut deferred: Vec<BatchedMove> = Vec::new();
                 for mv in pending {
+                    // Backend batch cap (AodConstraints) before the
+                    // protocol validator.
+                    if accepted.len() >= batch_cap {
+                        deferred.push(mv);
+                        continue;
+                    }
                     accepted.push(mv);
                     if accepted.len() > 1
                         && validate_program(&lower_batch(&accepted), &self.lattice, &occupied)
@@ -803,6 +867,36 @@ mod tests {
     }
 
     #[test]
+    fn aod_batch_cap_splits_transactions() {
+        let p = params(HardwareParams::shuttling(), 6, 12);
+        let qft = Qft::new(10).build();
+        let mapped = map_with(&p, MapperConfig::shuttle_only(), &qft);
+        let uncapped = Scheduler::new(p.clone()).schedule_mapped(&mapped);
+        let capped = Scheduler::new(p.clone())
+            .with_aod_constraints(AodConstraints::capped(1))
+            .schedule_mapped(&mapped);
+        // Same moves, one transaction each under the cap.
+        assert_eq!(capped.move_count(), uncapped.move_count());
+        assert_eq!(capped.batch_count(), capped.move_count());
+        assert!(capped.batch_count() >= uncapped.batch_count());
+        // The capped schedule still validates batch by batch.
+        let lattice = Lattice::new(p.lattice_side);
+        let mut site_of_atom: Vec<Site> =
+            na_mapper::InitialLayout::Identity.place(&lattice, p.num_atoms);
+        for item in &capped.items {
+            if let ScheduledItem::AodBatch { moves, .. } = item {
+                assert_eq!(moves.len(), 1);
+                let program = crate::aod_program::lower_batch(moves);
+                crate::aod_program::validate_program(&program, &lattice, &site_of_atom)
+                    .expect("capped transactions validate");
+                for m in moves {
+                    site_of_atom[m.atom.index()] = m.to;
+                }
+            }
+        }
+    }
+
+    #[test]
     fn chain_dependent_moves_do_not_batch() {
         // A move-away followed by a move into the vacated site must be in
         // different AOD transactions.
@@ -834,7 +928,7 @@ mod tests {
         let p = params(HardwareParams::mixed(), 6, 25);
         let s = Scheduler::new(p.clone());
         let c = GraphState::new(20).edges(28).seed(2).build();
-        let mapped = map_with(&p, MapperConfig::hybrid(1.0), &c);
+        let mapped = map_with(&p, MapperConfig::try_hybrid(1.0).expect("valid alpha"), &c);
         let t_orig = s.schedule_original(&c).makespan_us;
         let t_mapped = s.schedule_mapped(&mapped).makespan_us;
         assert!(t_mapped >= t_orig - 1e-6);
@@ -889,7 +983,7 @@ mod tests {
     fn incremental_metrics_match_of() {
         let p = params(HardwareParams::mixed(), 6, 25);
         let c = GraphState::new(18).edges(28).seed(4).build();
-        let mapped = map_with(&p, MapperConfig::hybrid(1.0), &c);
+        let mapped = map_with(&p, MapperConfig::try_hybrid(1.0).expect("valid alpha"), &c);
         let mut inc =
             IncrementalScheduler::new(&p, mapped.num_qubits, mapped.num_atoms, mapped.layout);
         for op in mapped.iter() {
@@ -905,7 +999,11 @@ mod tests {
     fn fused_map_into_matches_two_pass() {
         let p = params(HardwareParams::mixed(), 6, 25);
         let c = Qft::new(14).build();
-        let mapper = HybridMapper::new(p.clone(), MapperConfig::hybrid(1.0)).expect("valid");
+        let mapper = HybridMapper::new(
+            p.clone(),
+            MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+        )
+        .expect("valid");
 
         // Fused: one pass, mapper streams into the scheduler while also
         // retaining the op stream for the two-pass replay.
@@ -936,7 +1034,7 @@ mod tests {
         let p = params(HardwareParams::mixed(), 6, 25);
         let s = Scheduler::new(p.clone());
         let c = GraphState::new(18).edges(30).seed(8).build();
-        let mapped = map_with(&p, MapperConfig::hybrid(1.0), &c);
+        let mapped = map_with(&p, MapperConfig::try_hybrid(1.0).expect("valid alpha"), &c);
         let schedule = s.schedule_mapped(&mapped);
         // Per-atom intervals must be disjoint.
         let mut per_atom: std::collections::HashMap<AtomId, Vec<(f64, f64)>> =

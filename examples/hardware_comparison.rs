@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for (mode, config) in [
                 ("shuttling-only", MapperConfig::shuttle_only()),
                 ("gate-only", MapperConfig::gate_only()),
-                ("hybrid α=1", MapperConfig::hybrid(1.0)),
+                (
+                    "hybrid α=1",
+                    MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+                ),
             ] {
                 let mapper = HybridMapper::new(params.clone(), config)?;
                 let outcome = mapper.map(circuit)?;

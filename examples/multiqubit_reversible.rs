@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let scheduler = Scheduler::new(params.clone());
         for (mode, config) in [
             ("gate", MapperConfig::gate_only()),
-            ("hybrid", MapperConfig::hybrid(1.0)),
+            (
+                "hybrid",
+                MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+            ),
         ] {
             let mapper = HybridMapper::new(params.clone(), config)?;
             let outcome = mapper.map(&circuit)?;

@@ -57,7 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("center-compact", InitialLayout::CenterCompact),
         ("random(3)", InitialLayout::Random(3)),
     ] {
-        let config = MapperConfig::hybrid(1.0).with_initial_layout(layout);
+        let config = MapperConfig::try_hybrid(1.0)
+            .expect("valid alpha")
+            .with_initial_layout(layout);
         let mapper = HybridMapper::new(params.clone(), config)?;
         let outcome = mapper.map(&circuit)?;
 

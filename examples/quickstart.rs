@@ -1,6 +1,8 @@
-//! Quickstart: compile a QFT for mixed neutral-atom hardware through the
-//! fused pipeline and compare the three compiler modes of the paper
-//! (shuttling-only, gate-only, hybrid).
+//! Quickstart: build a `Compiler` session for a backend `Target`,
+//! compile a QFT through the fused pipeline, compare the three compiler
+//! modes of the paper (shuttling-only, gate-only, hybrid), and run the
+//! same circuit on a second topology (a zoned storage/interaction
+//! layout).
 //!
 //! Run with:
 //!
@@ -13,7 +15,8 @@ use hybrid_na::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Mixed hardware of Table 1c, scaled to an 8x8 lattice with 40 atoms
     // so the example runs in a blink even in debug builds.
-    let params = HardwareParams::mixed()
+    // `HardwareParams` is itself a square-lattice `Target`.
+    let target = HardwareParams::mixed()
         .to_builder()
         .lattice(8, 3.0)
         .num_atoms(40)
@@ -26,25 +29,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circuit.entangling_count()
     );
     println!(
-        "hardware: {} ({}x{} lattice, {} atoms, r_int = {}d)\n",
-        params.name, params.lattice_side, params.lattice_side, params.num_atoms, params.r_int
+        "target: {} ({}x{} lattice, {} atoms, r_int = {}d)\n",
+        target.id(),
+        target.lattice_side,
+        target.lattice_side,
+        target.num_atoms,
+        target.r_int
     );
 
     println!(
         "{:<16} {:>8} {:>12} {:>10} {:>8} {:>8} {:>8}",
         "mode", "ΔCZ", "ΔT [µs]", "δF", "swaps", "moves", "batches"
     );
-    for (name, config) in [
-        ("shuttling-only", MapperConfig::shuttle_only()),
-        ("gate-only", MapperConfig::gate_only()),
-        ("hybrid α=1", MapperConfig::hybrid(1.0)),
+    for (name, mapping) in [
+        ("shuttling-only", MappingOptions::shuttle_only()),
+        ("gate-only", MappingOptions::gate_only()),
+        ("hybrid α=1", MappingOptions::hybrid(1.0)),
     ] {
-        // One fused pass: map + schedule + AOD lowering (validated) +
-        // Eq. (1) metrics + Table-1a comparison, one artifact.
-        let pipeline = Pipeline::new(params.clone(), config)?;
-        let program = pipeline.compile(&circuit)?;
+        // A compiler session per mode: options validated at build time,
+        // then one fused pass per circuit — map + schedule + AOD
+        // lowering (validated) + Eq. (1) metrics + Table-1a comparison.
+        let compiler = Compiler::for_target(&target).mapping(mapping).build()?;
+        let program = compiler.compile(&circuit)?;
         // Every run is independently verified against the physics model.
-        verify_mapping(&circuit, &program.mapped, &params)?;
+        verify_mapping(&circuit, &program.mapped, &target)?;
         let report = program.comparison.expect("baseline on by default");
         println!(
             "{:<16} {:>8} {:>12.1} {:>10.3} {:>8} {:>8} {:>8}",
@@ -57,6 +65,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             program.stats.aod_batches,
         );
     }
+
+    // The same physics on a different backend topology: trap-row bands
+    // of 2 rows separated by empty shuttling lanes. One `Target`
+    // implementation swap — the whole pipeline follows.
+    let zoned = ZonedTarget::new(
+        HardwareParams::mixed()
+            .to_builder()
+            .lattice(10, 3.0)
+            .num_atoms(40)
+            .build()?,
+        2,
+        1,
+    )?;
+    let compiler = Compiler::for_target(&zoned)
+        .mapping(MappingOptions::hybrid(1.0))
+        .build()?;
+    let program = compiler.compile(&circuit)?;
+    verify_mapping_on(&circuit, &program.mapped, zoned.params(), zoned.lattice())?;
+    let report = program.comparison.expect("baseline on by default");
+    println!(
+        "\n{:<16} {:>8} {:>12.1} {:>10.3} {:>8} {:>8} {:>8}   <- {}",
+        "hybrid (zoned)",
+        report.delta_cz,
+        report.delta_t_us,
+        report.delta_f,
+        program.mapped.swap_count(),
+        program.mapped.shuttle_count(),
+        program.stats.aod_batches,
+        compiler.target().id,
+    );
 
     println!("\nsmaller δF = less fidelity lost to routing (Table 1a metric)");
     Ok(())

@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let metrics = StructureMetrics::of(circuit);
         let mut best: Option<(f64, f64, usize, usize)> = None;
         for alpha in [0.25, 0.5, 1.0, 2.0, 4.0] {
-            let mapper = HybridMapper::new(params.clone(), MapperConfig::hybrid(alpha))?;
+            let mapper = HybridMapper::new(
+                params.clone(),
+                MapperConfig::try_hybrid(alpha).expect("valid alpha"),
+            )?;
             let outcome = mapper.map(circuit)?;
             verify_mapping(circuit, &outcome.mapped, &params)?;
             let report = scheduler.compare(circuit, &outcome.mapped);

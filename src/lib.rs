@@ -4,36 +4,46 @@
 //!
 //! This facade crate re-exports the workspace members:
 //!
-//! * [`arch`] — hardware model: lattice, interaction geometry, AOD
-//!   shuttling constraints, Table 1c parameter presets,
+//! * [`arch`] — hardware model: trap topologies (square and zoned
+//!   layouts), interaction geometry, AOD shuttling constraints, Table 1c
+//!   parameter presets, and the [`Target`](na_arch::Target) trait
+//!   describing a compiler backend,
 //! * [`circuit`] — circuit IR, commutation-aware DAG, benchmark
 //!   generators, native-gate decomposition,
 //! * [`mapper`] — the hybrid mapper (the paper's contribution),
 //! * [`schedule`] — ASAP scheduler with restriction constraints, AOD
 //!   batching, and the Eq. (1) fidelity metrics,
-//! * [`pipeline`] — the fused compile pipeline: map → schedule → AOD
-//!   lowering → metrics as one pass producing one
-//!   [`CompiledProgram`](na_pipeline::CompiledProgram) per circuit, with
-//!   a multi-threaded batch front-end.
+//! * [`pipeline`] — the compile front-end: target-bound
+//!   [`Compiler`](na_pipeline::Compiler) sessions running map →
+//!   schedule → AOD lowering → metrics as one fused pass, a
+//!   multi-threaded batch interface, and the versioned JSON job layer
+//!   ([`na_pipeline::job`]).
 //!
 //! # Quickstart
 //!
 //! ```
 //! use hybrid_na::prelude::*;
 //!
-//! // Mixed hardware (Table 1c) scaled down to a 6x6 lattice.
-//! let params = HardwareParams::mixed()
+//! // A backend target: mixed hardware (Table 1c) scaled down to a 6x6
+//! // lattice. `HardwareParams` IS a (square-lattice) `Target`; zoned
+//! // storage/interaction layouts come from `ZonedTarget`.
+//! let target = HardwareParams::mixed()
 //!     .to_builder()
 //!     .lattice(6, 3.0)
 //!     .num_atoms(30)
 //!     .build()?;
 //!
-//! // Compile a 24-qubit QFT in hybrid mode: one fused pass yields the
-//! // mapped stream, the restriction-aware schedule, validated AOD
-//! // programs, the Eq. (1) metrics and the Table 1a comparison.
-//! let pipeline = Pipeline::new(params, MapperConfig::hybrid(1.0))?;
-//! let program = pipeline.compile(&Qft::new(24).build())?;
+//! // A compiler session: every option validated at build time, typed
+//! // `CompileError`s instead of construction panics.
+//! let compiler = Compiler::for_target(&target)
+//!     .mapping(MappingOptions::hybrid(1.0))
+//!     .baseline(true)
+//!     .build()?;
 //!
+//! // One fused pass yields the mapped stream, the restriction-aware
+//! // schedule, validated AOD programs, the Eq. (1) metrics and the
+//! // Table 1a comparison.
+//! let program = compiler.compile(&Qft::new(24).build())?;
 //! let report = program.comparison.expect("baseline comparison is on by default");
 //! println!(
 //!     "ΔCZ = {}, ΔT = {:.1} µs, δF = {:.3}, {} AOD batches",
@@ -46,10 +56,15 @@
 //!
 //! // Batches fan out across threads, results stay in input order.
 //! let circuits = vec![Qft::new(12).build(), Qft::new(16).build()];
-//! let compiled = pipeline.compile_batch(&circuits, 2);
+//! let compiled = compiler.compile_batch(&circuits, 2);
 //! assert!(compiled.iter().all(|r| r.is_ok()));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! A service front-end drives the same session from one JSON document
+//! in and one out (`na_pipeline::handle_json`); the legacy
+//! `Pipeline::new(params, config)` entry point remains as a deprecated
+//! shim.
 
 pub use na_arch as arch;
 pub use na_circuit as circuit;
@@ -59,18 +74,24 @@ pub use na_schedule as schedule;
 
 /// Convenient single-import surface for applications.
 pub mod prelude {
-    pub use na_arch::{HardwareParams, Lattice, Move, Neighborhood, Site};
+    pub use na_arch::{
+        AodConstraints, HardwareParams, Lattice, LatticeKind, Move, NativeGateSet, Neighborhood,
+        Site, Target, TargetSpec, ZonedTarget,
+    };
     pub use na_circuit::generators::{
         cuccaro_adder, ghz, GraphState, Qaoa, Qft, Qpe, RandomCircuit, Reversible,
     };
     pub use na_circuit::sim::Statevector;
     pub use na_circuit::{decompose_to_native, qasm, Circuit, GateKind, Operation, Qubit};
     pub use na_mapper::{
-        verify_mapping, HybridMapper, InitialLayout, MapError, MappedCircuit, MappedOp,
-        MapperConfig, MappingOutcome, OpSink,
+        verify_mapping, verify_mapping_on, ConfigError, HybridMapper, InitialLayout, MapError,
+        MappedCircuit, MappedOp, MapperConfig, MappingOutcome, OpSink,
     };
-    pub use na_pipeline::{CompileStats, CompiledProgram, Pipeline, PipelineError};
+    pub use na_pipeline::{
+        handle_json, CompileError, CompileRequest, CompileResponse, CompileStats, CompiledProgram,
+        Compiler, MappingOptions, Pipeline, PipelineError, SchedulingOptions,
+    };
     pub use na_schedule::{
-        ComparisonReport, IncrementalScheduler, Schedule, ScheduleMetrics, Scheduler,
+        ComparisonReport, IncrementalScheduler, Schedule, ScheduleError, ScheduleMetrics, Scheduler,
     };
 }

@@ -17,7 +17,10 @@ fn all_modes() -> Vec<(&'static str, MapperConfig)> {
     vec![
         ("shuttle-only", MapperConfig::shuttle_only()),
         ("gate-only", MapperConfig::gate_only()),
-        ("hybrid", MapperConfig::hybrid(1.0)),
+        (
+            "hybrid",
+            MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+        ),
     ]
 }
 
@@ -140,7 +143,11 @@ fn decomposed_gates_preserve_counts_through_pipeline() {
         .seed(5)
         .build();
     let native = decompose_to_native(&circuit);
-    let mapper = HybridMapper::new(params.clone(), MapperConfig::hybrid(1.0)).unwrap();
+    let mapper = HybridMapper::new(
+        params.clone(),
+        MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+    )
+    .unwrap();
     let outcome = mapper.map(&circuit).unwrap();
     assert_eq!(outcome.mapped.gate_count(), native.len());
 
@@ -153,7 +160,8 @@ fn decomposed_gates_preserve_counts_through_pipeline() {
 #[test]
 fn runtime_is_reported() {
     let params = scaled(HardwareParams::mixed(), 6, 20);
-    let mapper = HybridMapper::new(params, MapperConfig::hybrid(1.0)).unwrap();
+    let mapper =
+        HybridMapper::new(params, MapperConfig::try_hybrid(1.0).expect("valid alpha")).unwrap();
     let outcome = mapper.map(&Qft::new(16).build()).unwrap();
     assert!(outcome.runtime.as_nanos() > 0);
 }

@@ -53,10 +53,18 @@ fn hybrid_adapts_to_hardware_preset() {
     let shuttling = scaled_preset(HardwareParams::shuttling(), 0.25);
     let gate_based = scaled_preset(HardwareParams::gate_based(), 0.25);
     let circuit = Qft::new(24).build();
-    let on_shuttling =
-        run_experiment(&shuttling, &circuit, MapperConfig::hybrid(1.0)).expect("mappable");
-    let on_gate_based =
-        run_experiment(&gate_based, &circuit, MapperConfig::hybrid(1.0)).expect("mappable");
+    let on_shuttling = run_experiment(
+        &shuttling,
+        &circuit,
+        MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+    )
+    .expect("mappable");
+    let on_gate_based = run_experiment(
+        &gate_based,
+        &circuit,
+        MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+    )
+    .expect("mappable");
     assert!(
         on_shuttling.moves > 0,
         "shuttling-optimized hardware should route with moves"

@@ -25,7 +25,9 @@ fn all_layouts_map_and_verify() {
         for config in [
             MapperConfig::shuttle_only().with_initial_layout(layout),
             MapperConfig::gate_only().with_initial_layout(layout),
-            MapperConfig::hybrid(1.0).with_initial_layout(layout),
+            MapperConfig::try_hybrid(1.0)
+                .expect("valid alpha")
+                .with_initial_layout(layout),
         ] {
             let outcome = HybridMapper::new(p.clone(), config)
                 .unwrap()
@@ -56,10 +58,13 @@ fn unitary_oracle_holds_for_structured_workloads() {
         ),
     ];
     for (name, circuit) in workloads {
-        let outcome = HybridMapper::new(p.clone(), MapperConfig::hybrid(1.0))
-            .unwrap()
-            .map(&circuit)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let outcome = HybridMapper::new(
+            p.clone(),
+            MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+        )
+        .unwrap()
+        .map(&circuit)
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
         verify_unitary_equivalence(&circuit, &outcome.mapped, &p)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
     }
@@ -84,10 +89,13 @@ fn adder_still_adds_after_mapping() {
     }
     circuit.extend_from(&cuccaro_adder(bits));
 
-    let outcome = HybridMapper::new(p.clone(), MapperConfig::hybrid(1.0))
-        .unwrap()
-        .map(&circuit)
-        .unwrap();
+    let outcome = HybridMapper::new(
+        p.clone(),
+        MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+    )
+    .unwrap()
+    .map(&circuit)
+    .unwrap();
     // The unitary oracle subsumes the functional check (it compares
     // against the simulated original, which the adder truth-table test
     // in na-circuit already validates).

@@ -8,7 +8,7 @@ fn arb_config() -> impl Strategy<Value = MapperConfig> {
     prop_oneof![
         Just(MapperConfig::shuttle_only()),
         Just(MapperConfig::gate_only()),
-        (0.1f64..10.0).prop_map(MapperConfig::hybrid),
+        (0.1f64..10.0).prop_map(|a| MapperConfig::try_hybrid(a).expect("valid alpha")),
     ]
 }
 
@@ -50,7 +50,7 @@ proptest! {
             .build()
             .expect("valid");
         let circuit = RandomCircuit::new(18).layers(5).seed(seed).build();
-        let mapper = HybridMapper::new(params.clone(), MapperConfig::hybrid(1.0))
+        let mapper = HybridMapper::new(params.clone(), MapperConfig::try_hybrid(1.0).expect("valid alpha"))
             .expect("valid");
         let outcome = mapper.map(&circuit).expect("mappable");
         let schedule = Scheduler::new(params.clone()).schedule_mapped(&outcome.mapped);

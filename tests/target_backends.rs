@@ -1,0 +1,209 @@
+//! Cross-target acceptance tests for the `Target`-centric compiler API:
+//! the same circuits compile end-to-end on two distinct topologies
+//! (square and zoned), the tier-1 invariants (verify-clean mapping,
+//! per-batch `validate_program`) hold on both, the JSON job layer
+//! round-trips, and the builder rejects invalid sessions with typed
+//! errors.
+
+use hybrid_na::prelude::*;
+use na_schedule::ScheduledItem;
+use proptest::prelude::*;
+
+fn square_target(side: u32, atoms: u32) -> HardwareParams {
+    HardwareParams::mixed()
+        .to_builder()
+        .lattice(side, 3.0)
+        .num_atoms(atoms)
+        .build()
+        .expect("valid")
+}
+
+fn zoned_target(side: u32, atoms: u32) -> ZonedTarget {
+    ZonedTarget::new(square_target(side, atoms), 2, 1).expect("fits")
+}
+
+/// Replays every AOD transaction of `program` against the target's
+/// lattice occupancy and validates it — the tier-1 per-batch invariant.
+fn validate_batches(program: &CompiledProgram, lattice: Lattice, layout: InitialLayout) {
+    let mut site_of_atom = layout.place(&lattice, program.mapped.num_atoms);
+    let mut batches = 0;
+    for item in &program.schedule.items {
+        if let ScheduledItem::AodBatch { moves, .. } = item {
+            let lowered = na_schedule::lower_batch(moves);
+            na_schedule::validate_program(&lowered, &lattice, &site_of_atom)
+                .unwrap_or_else(|e| panic!("batch {batches} fails validation: {e}"));
+            for m in moves {
+                site_of_atom[m.atom.index()] = m.to;
+            }
+            batches += 1;
+        }
+    }
+    assert_eq!(batches, program.aod_programs.len());
+}
+
+#[test]
+fn end_to_end_on_two_topologies() {
+    let circuit = Qft::new(16).build();
+
+    let square = square_target(7, 30);
+    let compiler = Compiler::for_target(&square)
+        .mapping(MappingOptions::hybrid(1.0))
+        .build()
+        .expect("valid session");
+    let program = compiler.compile(&circuit).expect("compiles");
+    verify_mapping(&circuit, &program.mapped, &square).expect("verify-clean");
+    validate_batches(&program, square.lattice(), compiler.config().initial_layout);
+
+    let zoned = zoned_target(9, 30);
+    let compiler = Compiler::for_target(&zoned)
+        .mapping(MappingOptions::hybrid(1.0))
+        .build()
+        .expect("valid session");
+    assert_eq!(compiler.target().id, "zoned2+1/mixed");
+    let program = compiler.compile(&circuit).expect("compiles on zoned");
+    verify_mapping_on(&circuit, &program.mapped, zoned.params(), zoned.lattice())
+        .expect("verify-clean on zoned");
+    validate_batches(&program, zoned.lattice(), compiler.config().initial_layout);
+    // The zoned topology really is different: lane rows hold no atoms.
+    assert!(program.mapped.ops.iter().all(|op| match op {
+        MappedOp::Shuttle { to, .. } => zoned.lattice().contains(*to),
+        _ => true,
+    }));
+}
+
+#[test]
+fn json_job_drives_both_topologies() {
+    let qasm = {
+        let mut c = Circuit::new(6);
+        c.h(0);
+        for q in 0..5 {
+            c.cx(q, q + 1);
+        }
+        qasm::to_qasm(&c)
+    };
+    for topology in [
+        "{\"kind\": \"square\"}",
+        "{\"kind\": \"zoned\", \"zone_rows\": 2, \"gap_rows\": 1}",
+    ] {
+        let doc = format!(
+            "{{\"version\": 1, \"target\": {{\"preset\": \"mixed\", \"lattice_side\": 7, \
+             \"num_atoms\": 20, \"topology\": {topology}}}, \"mapping\": {{\"mode\": \
+             \"hybrid\", \"alpha\": 1.0}}, \"circuits\": [{{\"name\": \"chain\", \"qasm\": \
+             \"{}\"}}]}}",
+            qasm.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+        );
+        // parse -> compile -> emit -> parse.
+        let request = CompileRequest::from_json(&doc).expect("request parses");
+        let response = request.run().expect("session builds");
+        assert!(
+            response.results[0].result.is_ok(),
+            "{topology} compile failed"
+        );
+        let emitted = response.to_json();
+        let summary = CompileResponse::summary_from_json(&emitted).expect("response parses");
+        assert_eq!(summary.version, 1);
+        assert_eq!(summary.results, vec![("chain".to_string(), true, None)]);
+        // The request itself round-trips exactly.
+        let reparsed = CompileRequest::from_json(&request.to_json()).expect("re-parses");
+        assert_eq!(request, reparsed);
+    }
+}
+
+#[test]
+fn builder_rejections_are_typed() {
+    let target = square_target(6, 20);
+    // Bad alpha.
+    assert!(matches!(
+        Compiler::for_target(&target)
+            .mapping(MappingOptions::hybrid(f64::NAN))
+            .build(),
+        Err(CompileError::Config(ConfigError::InvalidAlphaRatio { .. }))
+    ));
+    // Undersized lattice: the full 200-atom preset does not fit a zoned
+    // 15x15 box.
+    assert!(matches!(
+        ZonedTarget::new(HardwareParams::mixed(), 2, 1),
+        Err(na_arch::ArchError::TooManyAtoms { .. })
+    ));
+    // Unknown job version.
+    assert!(matches!(
+        CompileRequest::from_json("{\"version\": 99, \"circuits\": []}"),
+        Err(na_pipeline::RequestError::UnsupportedVersion { found: 99 })
+    ));
+    // Shuttling on a gate-only target.
+    let gate_only_target = TargetSpec {
+        id: "square/gate-only".into(),
+        lattice: Lattice::new(6),
+        params: target.clone(),
+        aod: AodConstraints::default(),
+        gates: NativeGateSet::default().without_shuttling(),
+    };
+    assert!(matches!(
+        Compiler::for_target(&gate_only_target)
+            .mapping(MappingOptions::hybrid(1.0))
+            .build(),
+        Err(CompileError::Config(
+            ConfigError::ShuttlingUnsupported { .. }
+        ))
+    ));
+    // ... while gate-only mapping on the same target builds fine.
+    assert!(Compiler::for_target(&gate_only_target)
+        .mapping(MappingOptions::gate_only())
+        .build()
+        .is_ok());
+}
+
+/// Walking `source()` from a real compile failure reaches the root
+/// cause (satellite: error ergonomics audit).
+#[test]
+fn error_chains_reach_root_causes() {
+    let mut bad = square_target(6, 20);
+    bad.r_int = -2.0;
+    let err = Compiler::for_target(&bad).build().unwrap_err();
+    let mut depth = 0;
+    let mut cursor: Option<&(dyn std::error::Error + 'static)> = Some(&err);
+    let mut messages = Vec::new();
+    while let Some(e) = cursor {
+        messages.push(e.to_string());
+        cursor = e.source();
+        depth += 1;
+        assert!(depth < 10, "cycle in error chain");
+    }
+    assert!(depth >= 2, "chain too shallow: {messages:?}");
+    assert!(
+        messages.last().expect("non-empty").contains("r_int"),
+        "root cause lost: {messages:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Tier-1 invariants hold on the zoned topology across random
+    /// circuits and modes: mapping verifies clean and every lowered AOD
+    /// batch validates against the replayed occupancy.
+    #[test]
+    fn cross_target_invariants(seed in 0u64..40, mode in 0usize..3) {
+        let zoned = zoned_target(9, 28);
+        let mapping = match mode {
+            0 => MappingOptions::hybrid(1.0),
+            1 => MappingOptions::gate_only(),
+            _ => MappingOptions::shuttle_only(),
+        };
+        let compiler = Compiler::for_target(&zoned)
+            .mapping(mapping)
+            .build()
+            .expect("valid session");
+        let circuit = GraphState::new(18).edges(24).seed(seed).build();
+        let program = compiler.compile(&circuit).expect("compiles");
+        verify_mapping_on(&circuit, &program.mapped, zoned.params(), zoned.lattice())
+            .expect("verify-clean");
+        validate_batches(&program, zoned.lattice(), compiler.config().initial_layout);
+        // The schedule agrees with a fresh two-pass walk on the same
+        // topology.
+        let two_pass = Scheduler::for_target(&zoned).schedule_mapped(&program.mapped);
+        prop_assert_eq!(&program.schedule, &two_pass);
+    }
+}
