@@ -10,7 +10,7 @@ use na_mapper::decision::Capability;
 use na_mapper::route::distance::bfs_occupied;
 use na_mapper::route::gate::RoutedGate;
 use na_mapper::{
-    DistanceCache, FrontierGate, GateRouter, MapperConfig, MappingState, RoutingContext,
+    FrontierGate, GateRouter, MapperConfig, MappingState, RouteScratch, RoutingContext,
     ShuttleRouter,
 };
 
@@ -29,10 +29,9 @@ fn bench_bfs(c: &mut Criterion) {
 }
 
 fn bench_best_swap(c: &mut Criterion) {
-    let (params, state) = paper_state();
+    let (params, mut state) = paper_state();
     let hood = Neighborhood::new(params.r_int);
-    let cache = DistanceCache::new();
-    let ctx = RoutingContext::new(&state, &hood, params.r_int, &cache);
+    let mut scratch = RouteScratch::new();
     let router = GateRouter::new(&params, &MapperConfig::gate_only());
     // A frontier of 8 distant 2-qubit gates.
     let front: Vec<RoutedGate> = (0..8)
@@ -43,27 +42,31 @@ fn bench_best_swap(c: &mut Criterion) {
         })
         .collect();
     c.bench_function("best_swap_front8", |b| {
-        b.iter(|| router.best_swap(&ctx, &front, &[]))
+        b.iter(|| {
+            let mut ctx = RoutingContext::new(&mut state, &hood, params.r_int, &mut scratch);
+            router.best_swap(&mut ctx, &front, &[])
+        })
     });
 }
 
 fn bench_find_position(c: &mut Criterion) {
-    let (params, state) = paper_state();
+    let (params, mut state) = paper_state();
     let hood = Neighborhood::new(params.r_int);
-    let cache = DistanceCache::new();
-    let ctx = RoutingContext::new(&state, &hood, params.r_int, &cache);
+    let mut scratch = RouteScratch::new();
     let router = GateRouter::new(&params, &MapperConfig::gate_only());
     let qubits = [Qubit(0), Qubit(100), Qubit(199)];
     c.bench_function("find_position_c2z", |b| {
-        b.iter(|| router.find_position(&ctx, &qubits))
+        b.iter(|| {
+            let mut ctx = RoutingContext::new(&mut state, &hood, params.r_int, &mut scratch);
+            router.find_position(&mut ctx, &qubits)
+        })
     });
 }
 
 fn bench_move_chains(c: &mut Criterion) {
-    let (params, state) = paper_state();
+    let (params, mut state) = paper_state();
     let hood = Neighborhood::new(params.r_int);
-    let cache = DistanceCache::new();
-    let ctx = RoutingContext::new(&state, &hood, params.r_int, &cache);
+    let mut scratch = RouteScratch::new();
     let router = ShuttleRouter::new(&params, &MapperConfig::shuttle_only());
     let front: Vec<FrontierGate> = (0..8)
         .map(|i| FrontierGate {
@@ -74,7 +77,10 @@ fn bench_move_chains(c: &mut Criterion) {
         .collect();
     let front_refs: Vec<&FrontierGate> = front.iter().collect();
     c.bench_function("best_chain_front8", |b| {
-        b.iter(|| router.best_chains(&ctx, &front_refs, &[]))
+        b.iter(|| {
+            let mut ctx = RoutingContext::new(&mut state, &hood, params.r_int, &mut scratch);
+            router.best_chains(&mut ctx, &front_refs, &[])
+        })
     });
 }
 

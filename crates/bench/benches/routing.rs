@@ -1,18 +1,23 @@
 //! Routing-engine benchmarks: cold vs. cached `RoutingContext` distance
-//! queries, and end-to-end `HybridMapper::map` on QFT-24/QAOA-24 over a
-//! 6×6 lattice.
+//! queries, shuttle candidate-evaluation throughput, and end-to-end
+//! `HybridMapper::map` on QFT-24/QAOA-24 over a 6×6 lattice.
 //!
 //! Besides the criterion output, this bench writes a machine-readable
 //! baseline to `BENCH_routing.json` at the workspace root so future PRs
-//! can compare against it.
+//! can compare against it (the CI bench-regression job consumes
+//! `map_hybrid_qft24_ms` and skips when `host_parallelism` differs).
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use na_arch::{HardwareParams, Neighborhood};
 use na_circuit::generators::{Qaoa, Qft};
-use na_circuit::Circuit;
-use na_mapper::{DistanceCache, HybridMapper, MapperConfig, MappingState, RoutingContext};
+use na_circuit::{Circuit, Qubit};
+use na_mapper::decision::Capability;
+use na_mapper::{
+    FrontierGate, HybridMapper, MapperConfig, MappingState, RouteScratch, RoutingContext,
+    ShuttleRouter,
+};
 
 /// 6×6-lattice scaled mixed hardware, 30 atoms (QFT-24 fits).
 fn small_mixed() -> HardwareParams {
@@ -32,54 +37,88 @@ fn qaoa24() -> Circuit {
     Qaoa::new(24).edges(30).layers(2).seed(5).build()
 }
 
-/// One pass of distance queries from every occupied site through
-/// `cache` — the identical workload for the cold and cached variants.
-fn query_pass(state: &MappingState, hood: &Neighborhood, r_int: f64, cache: &DistanceCache) -> u64 {
-    let ctx = RoutingContext::new(state, hood, r_int, cache);
-    let mut acc = 0u64;
-    for site in state.lattice().iter().filter(|s| !state.is_free(*s)) {
-        acc += u64::from(ctx.distances_from(site)[0]);
-    }
-    acc
-}
-
-/// One pass with a fresh cache per query = the old per-call BFS
-/// recomputation.
-fn query_cold(state: &MappingState, hood: &Neighborhood, r_int: f64) -> u64 {
-    let mut acc = 0u64;
-    for site in state.lattice().iter().filter(|s| !state.is_free(*s)) {
-        let cache = DistanceCache::new();
-        let ctx = RoutingContext::new(state, hood, r_int, &cache);
-        acc += u64::from(ctx.distances_from(site)[0]);
-    }
-    acc
-}
-
-/// The same pass through a pre-warmed shared cache — the steady state
-/// of consecutive SWAP rounds, which never invalidate.
-fn query_cached(
-    state: &MappingState,
+/// One pass of distance queries from every occupied site through the
+/// scratch arena's cache — the identical workload for the cold and
+/// warm variants.
+fn query_pass(
+    state: &mut MappingState,
     hood: &Neighborhood,
     r_int: f64,
-    warm: &DistanceCache,
+    scratch: &mut RouteScratch,
 ) -> u64 {
-    query_pass(state, hood, r_int, warm)
+    let occupied: Vec<_> = state
+        .lattice()
+        .iter()
+        .filter(|s| !state.is_free(*s))
+        .collect();
+    let ctx = RoutingContext::new(state, hood, r_int, scratch);
+    let mut acc = 0u64;
+    for site in occupied {
+        acc += u64::from(ctx.distances_from(site)[0]);
+    }
+    acc
+}
+
+/// One pass with a fresh arena per query = the old per-call BFS
+/// recomputation.
+fn query_cold(state: &mut MappingState, hood: &Neighborhood, r_int: f64) -> u64 {
+    let occupied: Vec<_> = state
+        .lattice()
+        .iter()
+        .filter(|s| !state.is_free(*s))
+        .collect();
+    let mut acc = 0u64;
+    for site in occupied {
+        let mut scratch = RouteScratch::new();
+        let ctx = RoutingContext::new(state, hood, r_int, &mut scratch);
+        acc += u64::from(ctx.distances_from(site)[0]);
+    }
+    acc
+}
+
+/// An 8-gate shuttle frontier over distant qubit pairs — the candidate
+/// evaluation workload (each 2-qubit gate evaluates one chain per
+/// center, i.e. two journaled simulate/undo rounds per gate).
+fn shuttle_frontier() -> Vec<FrontierGate> {
+    (0..8)
+        .map(|i| FrontierGate {
+            op_index: i,
+            qubits: vec![Qubit(i as u32), Qubit((23 - i) as u32)],
+            capability: Capability::Shuttling,
+        })
+        .collect()
 }
 
 fn bench_distance_cache(c: &mut Criterion) {
     let params = small_mixed();
-    let state = MappingState::identity(&params, 24).expect("fits");
+    let mut state = MappingState::identity(&params, 24).expect("fits");
     let hood = Neighborhood::new(params.r_int);
-    let warm = DistanceCache::new();
-    query_pass(&state, &hood, params.r_int, &warm); // fill the cache
+    let mut warm = RouteScratch::new();
+    query_pass(&mut state, &hood, params.r_int, &mut warm); // fill the cache
     let mut group = c.benchmark_group("distance_queries");
     group.bench_function("cold", |b| {
-        b.iter(|| query_cold(&state, &hood, params.r_int))
+        b.iter(|| query_cold(&mut state, &hood, params.r_int))
     });
     group.bench_function("cached", |b| {
-        b.iter(|| query_cached(&state, &hood, params.r_int, &warm))
+        b.iter(|| query_pass(&mut state, &hood, params.r_int, &mut warm))
     });
     group.finish();
+}
+
+fn bench_candidate_eval(c: &mut Criterion) {
+    let params = small_mixed();
+    let mut state = MappingState::identity(&params, 24).expect("fits");
+    let hood = Neighborhood::new(params.r_int);
+    let mut scratch = RouteScratch::new();
+    let router = ShuttleRouter::new(&params, &MapperConfig::shuttle_only());
+    let front = shuttle_frontier();
+    let refs: Vec<&FrontierGate> = front.iter().collect();
+    c.bench_function("shuttle_candidates_front8", |b| {
+        b.iter(|| {
+            let mut ctx = RoutingContext::new(&mut state, &hood, params.r_int, &mut scratch);
+            router.best_chains(&mut ctx, &refs, &[])
+        })
+    });
 }
 
 fn bench_end_to_end(c: &mut Criterion) {
@@ -114,16 +153,51 @@ fn mean_secs<T>(n: u32, mut f: impl FnMut() -> T) -> f64 {
     start.elapsed().as_secs_f64() / f64::from(n)
 }
 
-/// Writes the machine-readable baseline consumed by future PRs.
+/// Writes the machine-readable baseline consumed by future PRs and the
+/// CI bench-regression job.
 fn write_baseline() {
     let params = small_mixed();
-    let state = MappingState::identity(&params, 24).expect("fits");
+    let mut state = MappingState::identity(&params, 24).expect("fits");
     let hood = Neighborhood::new(params.r_int);
 
-    let cold = mean_secs(20, || query_cold(&state, &hood, params.r_int));
-    let warm = DistanceCache::new();
-    query_pass(&state, &hood, params.r_int, &warm);
-    let cached = mean_secs(20, || query_cached(&state, &hood, params.r_int, &warm));
+    let cold = mean_secs(20, || query_cold(&mut state, &hood, params.r_int));
+    let mut warm = RouteScratch::new();
+    query_pass(&mut state, &hood, params.r_int, &mut warm);
+    let cached = mean_secs(20, || {
+        query_pass(&mut state, &hood, params.r_int, &mut warm)
+    });
+
+    // Cache hit rates over one query pass: a cold arena misses every
+    // query, the warm arena should serve (nearly) everything.
+    let cold_rate = {
+        let mut fresh = RouteScratch::new();
+        query_pass(&mut state, &hood, params.r_int, &mut fresh);
+        let (hits, misses) = fresh.distance_cache().stats();
+        hits as f64 / (hits + misses).max(1) as f64
+    };
+    let warm_rate = {
+        let mut arena = RouteScratch::new();
+        query_pass(&mut state, &hood, params.r_int, &mut arena);
+        let (h0, m0) = arena.distance_cache().stats();
+        query_pass(&mut state, &hood, params.r_int, &mut arena);
+        let (h1, m1) = arena.distance_cache().stats();
+        // Only the second (warm) pass counts — the fill pass would
+        // otherwise cap the reported rate at ~0.5.
+        (h1 - h0) as f64 / ((h1 - h0) + (m1 - m0)).max(1) as f64
+    };
+
+    // Shuttle candidate-evaluation throughput: 8 two-qubit gates, one
+    // chain build + cost replay per center => 16 candidate evaluations
+    // per pass.
+    let router = ShuttleRouter::new(&params, &MapperConfig::shuttle_only());
+    let front = shuttle_frontier();
+    let refs: Vec<&FrontierGate> = front.iter().collect();
+    let mut scratch = RouteScratch::new();
+    let eval_pass = mean_secs(50, || {
+        let mut ctx = RoutingContext::new(&mut state, &hood, params.r_int, &mut scratch);
+        router.best_chains(&mut ctx, &refs, &[])
+    });
+    let candidate_eval_us = eval_pass * 1e6 / 16.0;
 
     let hybrid = HybridMapper::new(
         params.clone(),
@@ -133,16 +207,24 @@ fn write_baseline() {
     let map_qft = mean_secs(10, || hybrid.map(&qft24()).expect("mappable"));
     let map_qaoa = mean_secs(10, || hybrid.map(&qaoa24()).expect("mappable"));
 
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \"bench\": \"routing\",\n  \"lattice\": \"6x6\",\n  \
+         \"host_parallelism\": {host_parallelism},\n  \
          \"distance_query_cold_us\": {:.3},\n  \
          \"distance_query_cached_us\": {:.3},\n  \
          \"cache_speedup\": {:.2},\n  \
+         \"cache_hit_rate_cold\": {:.4},\n  \
+         \"cache_hit_rate_warm\": {:.4},\n  \
+         \"candidate_eval_us\": {:.3},\n  \
          \"map_hybrid_qft24_ms\": {:.3},\n  \
          \"map_hybrid_qaoa24_ms\": {:.3}\n}}\n",
         cold * 1e6,
         cached * 1e6,
         cold / cached,
+        cold_rate,
+        warm_rate,
+        candidate_eval_us,
         map_qft * 1e3,
         map_qaoa * 1e3,
     );
@@ -153,6 +235,10 @@ fn write_baseline() {
         cold > cached,
         "cached distance queries must beat per-call BFS (cold {cold:.2e}s vs cached {cached:.2e}s)"
     );
+    assert!(
+        warm_rate > cold_rate,
+        "warm arena must out-hit a cold one ({warm_rate:.3} vs {cold_rate:.3})"
+    );
 }
 
 fn bench_baseline(_c: &mut Criterion) {
@@ -162,6 +248,7 @@ fn bench_baseline(_c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_distance_cache,
+    bench_candidate_eval,
     bench_end_to_end,
     bench_baseline
 );

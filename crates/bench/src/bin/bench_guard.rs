@@ -1,0 +1,102 @@
+//! Bench-regression guard for CI: compares a freshly produced
+//! `BENCH_routing.json` against the committed baseline and fails when a
+//! watched metric regressed beyond the allowed ratio.
+//!
+//! ```text
+//! bench_guard <baseline.json> <fresh.json> <metric> <max_ratio>
+//! ```
+//!
+//! Exits 0 (with a message) **without comparing** when the two files
+//! disagree on `host_parallelism` — wall-clock numbers measured on
+//! hosts with different core counts are not comparable, and the
+//! committed baseline is refreshed from whatever machine last ran the
+//! bench. Exits 1 when `fresh[metric] > baseline[metric] * max_ratio`.
+//!
+//! The parser is deliberately tiny (flat `"key": number` documents
+//! only) so the guard has no dependency on a JSON library.
+
+use std::process::ExitCode;
+
+/// Extracts a `"key": <number>` value from a flat JSON document.
+fn metric(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = doc.find(&needle)?;
+    let rest = doc[at + needle.len()..].trim_start().strip_prefix(':')?;
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, fresh_path, key, max_ratio] = args.as_slice() else {
+        return Err("usage: bench_guard <baseline.json> <fresh.json> <metric> <max_ratio>".into());
+    };
+    let max_ratio: f64 = max_ratio
+        .parse()
+        .map_err(|e| format!("bad max_ratio {max_ratio:?}: {e}"))?;
+    let baseline =
+        std::fs::read_to_string(baseline_path).map_err(|e| format!("read {baseline_path}: {e}"))?;
+    let fresh =
+        std::fs::read_to_string(fresh_path).map_err(|e| format!("read {fresh_path}: {e}"))?;
+
+    let base_host = metric(&baseline, "host_parallelism");
+    let fresh_host = metric(&fresh, "host_parallelism");
+    match (base_host, fresh_host) {
+        (Some(b), Some(f)) if b == f => {}
+        (b, f) => {
+            println!(
+                "bench_guard: SKIP — host_parallelism differs or is missing \
+                 (baseline {b:?}, fresh {f:?}); wall-clock baselines are only \
+                 comparable on like-for-like hosts"
+            );
+            return Ok(true);
+        }
+    }
+
+    let base = metric(&baseline, key).ok_or_else(|| format!("{key} missing in baseline"))?;
+    let new = metric(&fresh, key).ok_or_else(|| format!("{key} missing in fresh run"))?;
+    let limit = base * max_ratio;
+    if new > limit {
+        println!(
+            "bench_guard: FAIL — {key} regressed: {new:.3} > {base:.3} × {max_ratio} = {limit:.3}"
+        );
+        return Ok(false);
+    }
+    println!("bench_guard: OK — {key} = {new:.3} (baseline {base:.3}, limit {limit:.3})");
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_guard: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::metric;
+
+    const DOC: &str = "{\n  \"bench\": \"routing\",\n  \"host_parallelism\": 4,\n  \
+                       \"map_hybrid_qft24_ms\": 3.125,\n  \"cache_speedup\": 31.61\n}\n";
+
+    #[test]
+    fn extracts_numeric_fields() {
+        assert_eq!(metric(DOC, "host_parallelism"), Some(4.0));
+        assert_eq!(metric(DOC, "map_hybrid_qft24_ms"), Some(3.125));
+        assert_eq!(metric(DOC, "cache_speedup"), Some(31.61));
+    }
+
+    #[test]
+    fn missing_field_is_none() {
+        assert_eq!(metric(DOC, "absent"), None);
+        assert_eq!(metric("{}", "host_parallelism"), None);
+    }
+}

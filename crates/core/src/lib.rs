@@ -63,12 +63,12 @@ pub use config::MapperConfig;
 pub use decision::Capability;
 pub use error::{ConfigError, MapError};
 pub use layout::InitialLayout;
-pub use mapper::{HybridMapper, MapStats, MappingOutcome, StreamOutcome};
+pub use mapper::{HybridMapper, MapScratch, MapStats, MappingOutcome, StreamOutcome};
 pub use ops::{AtomId, MappedCircuit, MappedOp};
 pub use route::{
-    Candidate, CostModel, DistanceCache, FrontierGate, GateRouter, Router, RoutingContext,
-    RoutingEngine, RoutingOp, ShuttleRouter,
+    Candidate, CostModel, DistanceCache, FrontierGate, GateRouter, RouteScratch, Router,
+    RoutingContext, RoutingEngine, RoutingOp, ShuttleRouter,
 };
 pub use sink::OpSink;
-pub use state::MappingState;
+pub use state::{JournalMark, MappingState, StateJournal};
 pub use verify::{verify_mapping, verify_mapping_on, VerifyError};

@@ -35,9 +35,38 @@ use crate::config::MapperConfig;
 use crate::decision::{Capability, Decider};
 use crate::error::MapError;
 use crate::ops::{MappedCircuit, MappedOp};
-use crate::route::{FrontierGate, RoutingEngine};
+use crate::route::{FrontierGate, RouteScratch, RoutingEngine};
 use crate::sink::OpSink;
 use crate::state::MappingState;
+
+/// Reusable working memory of one mapping thread: the routing arena plus
+/// the per-round frontier/lookahead buffers.
+///
+/// One `MapScratch` serves one thread. Created implicitly by
+/// [`HybridMapper::map`] / [`HybridMapper::map_into`]; callers that map
+/// many circuits on the same thread (e.g. batch compilation workers)
+/// should create one and pass it to
+/// [`HybridMapper::map_into_scratch`] so the distance-cache pools and
+/// router tables stay warm across circuits. No semantic state crosses
+/// circuits — only buffer capacity.
+#[derive(Debug, Default)]
+pub struct MapScratch {
+    pub(crate) route: RouteScratch,
+    frontier: Vec<FrontierGate>,
+    lookahead: Vec<FrontierGate>,
+}
+
+impl MapScratch {
+    /// An empty scratch; buffers grow on first use and stay warm.
+    pub fn new() -> Self {
+        MapScratch::default()
+    }
+
+    /// The routing arena (exposed for benchmarks/diagnostics).
+    pub fn route(&self) -> &RouteScratch {
+        &self.route
+    }
+}
 
 /// Statistics of one mapping run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -217,6 +246,29 @@ impl HybridMapper {
         circuit: &Circuit,
         sink: &mut dyn OpSink,
     ) -> Result<StreamOutcome, MapError> {
+        self.map_into_scratch(circuit, sink, &mut MapScratch::new())
+    }
+
+    /// [`HybridMapper::map_into`] with caller-provided working memory:
+    /// the routing arena (distance cache pools, journal, dense router
+    /// tables) and frontier buffers come from `scratch` and stay warm
+    /// for the next circuit mapped with the same scratch.
+    ///
+    /// This is the batch hot path: one `MapScratch` per worker thread,
+    /// reused across every circuit that worker compiles. Results are
+    /// identical to [`HybridMapper::map_into`] — scratch carries
+    /// capacity, never decisions.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HybridMapper::map`]. On error the sink may
+    /// have received a prefix of the stream.
+    pub fn map_into_scratch(
+        &self,
+        circuit: &Circuit,
+        sink: &mut dyn OpSink,
+        scratch: &mut MapScratch,
+    ) -> Result<StreamOutcome, MapError> {
         let start = Instant::now();
         let native = if circuit.is_native() {
             circuit.clone()
@@ -278,30 +330,33 @@ impl HybridMapper {
                 break;
             }
 
-            // (2) Assign frontier gates to capabilities (sticky).
-            let mut frontier = self.frontier_gates(
+            // (2) Assign frontier gates to capabilities (sticky). The
+            // gate lists live in reusable scratch buffers; `live` counts
+            // the slots valid this round.
+            let mut front_live = self.frontier_gates(
                 &native,
                 layers.front(),
                 &state,
                 &decider,
                 &mut assigned,
                 &mut stats,
+                &mut scratch.frontier,
             );
 
             // Stall breaker: if routing churns without executing anything,
             // force the first non-fallback frontier gate through the
             // fallback router alone (its chains guarantee executability
             // by construction).
-            let stall_limit = 64 + 8 * frontier.len();
+            let stall_limit = 64 + 8 * front_live;
             if ops_since_progress > stall_limit {
                 if let Some(fallback) = engine.fallback_capability() {
-                    let idx = frontier
+                    let idx = scratch.frontier[..front_live]
                         .iter()
                         .position(|g| g.capability != fallback)
                         .unwrap_or(0);
-                    let mut forced = frontier.swap_remove(idx);
-                    forced.capability = fallback;
-                    frontier = vec![forced];
+                    scratch.frontier.swap(0, idx);
+                    scratch.frontier[0].capability = fallback;
+                    front_live = 1;
                 }
             }
             let la = layers.lookahead(
@@ -309,10 +364,17 @@ impl HybridMapper {
                 self.config.lookahead_depth,
                 self.config.lookahead_max_gates,
             );
-            let lookahead = self.lookahead_gates(&native, &la, &state, &decider);
+            let la_live =
+                self.lookahead_gates(&native, &la, &state, &decider, &mut scratch.lookahead);
 
             // (3)/(4) One engine round: propose, rank, apply.
-            match engine.step(&mut state, &frontier, &lookahead, sink) {
+            match engine.step(
+                &mut state,
+                &scratch.frontier[..front_live],
+                &scratch.lookahead[..la_live],
+                &mut scratch.route,
+                sink,
+            ) {
                 Ok(report) => {
                     for (op_index, capability) in report.reassigned {
                         assigned[op_index] = Some(capability);
@@ -394,6 +456,9 @@ impl HybridMapper {
 
     /// Annotates the frontier's entangling gates with their (sticky)
     /// capability assignment, recording first-time decisions in `stats`.
+    /// Writes into the reusable `buf` (inner qubit vectors recycled) and
+    /// returns the number of live slots.
+    #[allow(clippy::too_many_arguments)]
     fn frontier_gates(
         &self,
         native: &Circuit,
@@ -402,18 +467,18 @@ impl HybridMapper {
         decider: &Decider,
         assigned: &mut [Option<Capability>],
         stats: &mut MapStats,
-    ) -> Vec<FrontierGate> {
-        let mut gates = Vec::new();
+        buf: &mut Vec<FrontierGate>,
+    ) -> usize {
+        let mut live = 0usize;
         for &i in front {
             let op: &Operation = &native.ops()[i];
             if op.arity() < 2 {
                 continue; // executes directly
             }
-            let qubits = op.qubits().to_vec();
             let capability = match assigned[i] {
                 Some(capability) => capability,
                 None => {
-                    let capability = decider.decide(state, &qubits);
+                    let capability = decider.decide(state, op.qubits());
                     match capability {
                         Capability::GateBased => stats.gates_gate_routed += 1,
                         Capability::Shuttling => stats.gates_shuttle_routed += 1,
@@ -422,40 +487,59 @@ impl HybridMapper {
                     capability
                 }
             };
-            gates.push(FrontierGate {
-                op_index: i,
-                qubits,
-                capability,
-            });
+            fill_gate_slot(buf, live, i, op.qubits(), capability);
+            live += 1;
         }
-        gates
+        live
     }
 
     /// Annotates lookahead gates with a (non-sticky) capability — only
     /// their pull direction matters, so decisions are re-made per round
-    /// and not recorded.
+    /// and not recorded. Same buffer contract as
+    /// [`HybridMapper::frontier_gates`].
     fn lookahead_gates(
         &self,
         native: &Circuit,
         lookahead: &[usize],
         state: &MappingState,
         decider: &Decider,
-    ) -> Vec<FrontierGate> {
-        let mut gates = Vec::new();
+        buf: &mut Vec<FrontierGate>,
+    ) -> usize {
+        let mut live = 0usize;
         for &i in lookahead {
             let op = &native.ops()[i];
             if op.arity() < 2 {
                 continue;
             }
-            let qubits = op.qubits().to_vec();
-            let capability = decider.decide(state, &qubits);
-            gates.push(FrontierGate {
-                op_index: i,
-                qubits,
-                capability,
-            });
+            let capability = decider.decide(state, op.qubits());
+            fill_gate_slot(buf, live, i, op.qubits(), capability);
+            live += 1;
         }
-        gates
+        live
+    }
+}
+
+/// Writes a frontier gate into slot `live` of the reusable buffer,
+/// recycling the slot's qubit vector instead of allocating.
+fn fill_gate_slot(
+    buf: &mut Vec<FrontierGate>,
+    live: usize,
+    op_index: usize,
+    qubits: &[na_circuit::Qubit],
+    capability: Capability,
+) {
+    if live < buf.len() {
+        let slot = &mut buf[live];
+        slot.op_index = op_index;
+        slot.qubits.clear();
+        slot.qubits.extend_from_slice(qubits);
+        slot.capability = capability;
+    } else {
+        buf.push(FrontierGate {
+            op_index,
+            qubits: qubits.to_vec(),
+            capability,
+        });
     }
 }
 

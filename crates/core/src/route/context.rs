@@ -9,12 +9,24 @@
 //!
 //! [`DistanceCache`] exploits exactly that invariant: fields are keyed by
 //! start site and invalidated wholesale when
-//! [`MappingState::occupancy_stamp`] changes (i.e. after shuttle moves —
-//! and stamps are process-unique per state, so querying with a
-//! *different* state can never alias another state's fields).
-//! [`RoutingContext`] bundles the cache with the state and interaction
-//! geometry and is handed to every [`crate::route::Router::propose`]
-//! call.
+//! [`MappingState::occupancy_stamp`] changes (i.e. after *committed*
+//! shuttle moves — stamps are process-unique per state, so querying with
+//! a *different* state can never alias another state's fields). The
+//! vectors of invalidated fields recycle through an internal pool, so
+//! steady-state routing performs BFS into warm buffers instead of
+//! allocating.
+//!
+//! Speculative candidate simulation (see
+//! [`crate::state::StateJournal`]) deliberately never queries the cache:
+//! speculative moves re-stamp the state (so a query *would* be correct,
+//! but would trash the committed-occupancy fields), and undo restores
+//! the exact committed stamp — leaving every cached field valid. The
+//! contract is enforced by a debug assertion in
+//! [`RoutingContext::distances_from`].
+//!
+//! [`RoutingContext`] bundles the mutable mapping state, the interaction
+//! geometry and the scratch arena ([`RouteScratch`]) and is handed to
+//! every [`crate::route::Router::propose`] call.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,15 +35,20 @@ use std::sync::{Arc, Mutex};
 use na_arch::{Neighborhood, Site};
 use na_circuit::Qubit;
 
-use crate::route::distance::{bfs_occupied, gate_remaining_distance, swap_distance};
-use crate::state::MappingState;
+use crate::route::distance::{bfs_occupied_into, gate_remaining_distance, swap_distance};
+use crate::route::scratch::{GateBufs, RouteScratch, ShuttleBufs};
+use crate::state::{MappingState, StateJournal};
 
 /// Cache of single-source BFS distance fields over the occupied
-/// interaction graph, invalidated by occupancy stamp.
+/// interaction graph, invalidated by occupancy stamp, with buffer
+/// pooling across invalidations.
 ///
-/// `Send + Sync` by construction (`Arc` fields behind a `Mutex`, atomic
-/// counters): parallel candidate evaluation can share one cache, and
-/// the lock is held only for map lookups/inserts, never during a BFS.
+/// In the routing hot path the cache lives inside a thread-exclusive
+/// [`RouteScratch`], so the `Mutex` is always uncontended (its cost is
+/// a few nanoseconds per lookup); it is kept so the type stays
+/// `Send + Sync` for standalone callers that do share one cache across
+/// threads. The lock is held only for map lookups/inserts and pool
+/// exchange, never during a BFS.
 #[derive(Debug, Default)]
 pub struct DistanceCache {
     /// Fields plus the occupancy stamp they were computed at.
@@ -42,11 +59,14 @@ pub struct DistanceCache {
 
 /// Start-site index → distance field, tagged with the occupancy stamp
 /// the fields were computed at (0 = nothing cached yet; real stamps are
-/// never zero).
+/// never zero). Retired field vectors and the BFS frontier queue are
+/// pooled for reuse.
 #[derive(Debug, Default)]
 struct StampedFields {
     stamp: u64,
     by_start: HashMap<usize, Arc<Vec<u32>>>,
+    pool: Vec<Vec<u32>>,
+    queue: std::collections::VecDeque<Site>,
 }
 
 impl DistanceCache {
@@ -57,27 +77,40 @@ impl DistanceCache {
 
     /// The BFS distance field from `start` through occupied sites of
     /// `state`, computing and caching it on first use per occupancy
-    /// stamp.
+    /// stamp. Computation reuses pooled buffers from previously
+    /// invalidated generations.
     pub fn field(&self, state: &MappingState, hood: &Neighborhood, start: Site) -> Arc<Vec<u32>> {
         let key = state.lattice().index(start);
+        let (mut buf, mut queue);
         {
             let mut guard = self.fields.lock().expect("cache lock");
-            if guard.stamp != state.occupancy_stamp() {
-                guard.by_start.clear();
-                guard.stamp = state.occupancy_stamp();
-            } else if let Some(field) = guard.by_start.get(&key) {
+            let inner = &mut *guard;
+            if inner.stamp != state.occupancy_stamp() {
+                // Retire the stale generation into the buffer pool.
+                for (_, field) in inner.by_start.drain() {
+                    if let Ok(v) = Arc::try_unwrap(field) {
+                        inner.pool.push(v);
+                    }
+                }
+                inner.stamp = state.occupancy_stamp();
+            } else if let Some(field) = inner.by_start.get(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(field);
             }
+            buf = inner.pool.pop().unwrap_or_default();
+            queue = std::mem::take(&mut inner.queue);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let field = Arc::new(bfs_occupied(state, &[start], hood));
+        bfs_occupied_into(state, &[start], hood, &mut buf, &mut queue);
+        let field = Arc::new(buf);
         let mut guard = self.fields.lock().expect("cache lock");
+        let inner = &mut *guard;
         // Another thread may have advanced the stamp while we computed;
         // only publish a field for the stamp it belongs to.
-        if guard.stamp == state.occupancy_stamp() {
-            guard.by_start.insert(key, Arc::clone(&field));
+        if inner.stamp == state.occupancy_stamp() {
+            inner.by_start.insert(key, Arc::clone(&field));
         }
+        inner.queue = queue;
         field
     }
 
@@ -101,29 +134,48 @@ impl DistanceCache {
 }
 
 /// Everything a [`crate::route::Router`] may consult while proposing
-/// candidates: the mapping state, the interaction geometry, and the
-/// shared distance cache.
+/// candidates: the (mutable, journal-simulatable) mapping state, the
+/// interaction geometry, and the scratch arena with its distance cache.
+///
+/// Candidate simulation happens **in place** on the borrowed state via
+/// the [`StateJournal`]; the engine asserts the journal is fully rolled
+/// back when `propose` returns, so the state routers observe between
+/// rounds is always the committed one.
 #[derive(Debug)]
 pub struct RoutingContext<'a> {
-    state: &'a MappingState,
+    state: &'a mut MappingState,
     hood_int: &'a Neighborhood,
     r_int: f64,
-    cache: &'a DistanceCache,
+    scratch: &'a mut RouteScratch,
+}
+
+/// A split borrow of a [`RoutingContext`]: the state and journal for
+/// in-place speculation next to the per-router scratch tables, all
+/// simultaneously borrowable because they are disjoint fields. Cache
+/// queries stay on [`RoutingContext`] itself (they are only legal
+/// outside speculation, which the context asserts).
+pub(crate) struct RouteParts<'b> {
+    pub state: &'b mut MappingState,
+    pub journal: &'b mut StateJournal,
+    pub gate: &'b mut GateBufs,
+    pub shuttle: &'b mut ShuttleBufs,
+    pub hood_int: &'b Neighborhood,
 }
 
 impl<'a> RoutingContext<'a> {
-    /// Bundles `state` with the engine's geometry and cache.
+    /// Bundles `state` with the engine's geometry and the scratch
+    /// arena.
     pub fn new(
-        state: &'a MappingState,
+        state: &'a mut MappingState,
         hood_int: &'a Neighborhood,
         r_int: f64,
-        cache: &'a DistanceCache,
+        scratch: &'a mut RouteScratch,
     ) -> Self {
         RoutingContext {
             state,
             hood_int,
             r_int,
-            cache,
+            scratch,
         }
     }
 
@@ -145,10 +197,33 @@ impl<'a> RoutingContext<'a> {
         self.r_int
     }
 
+    /// `true` while a speculative candidate simulation is in flight.
+    #[inline]
+    pub fn speculation_in_flight(&self) -> bool {
+        self.scratch.speculation_in_flight()
+    }
+
+    /// Splits the context into simultaneously borrowable parts.
+    pub(crate) fn parts(&mut self) -> RouteParts<'_> {
+        RouteParts {
+            state: self.state,
+            journal: &mut self.scratch.journal,
+            gate: &mut self.scratch.gate,
+            shuttle: &mut self.scratch.shuttle,
+            hood_int: self.hood_int,
+        }
+    }
+
     /// Cached BFS distance field from `start` (must be occupied) through
-    /// the occupied interaction graph.
+    /// the occupied interaction graph. Must not be called while a
+    /// speculative simulation is in flight (debug-asserted) — see the
+    /// [module docs](self).
     pub fn distances_from(&self, start: Site) -> Arc<Vec<u32>> {
-        self.cache.field(self.state, self.hood_int, start)
+        debug_assert!(
+            !self.speculation_in_flight(),
+            "distance cache queried during speculative simulation"
+        );
+        self.scratch.cache.field(self.state, self.hood_int, start)
     }
 
     /// Cached BFS distance field from the atom carrying `q`.
@@ -174,15 +249,7 @@ impl<'a> RoutingContext<'a> {
     /// Euclidean centroid of the sites carrying `qubits` (fractional
     /// lattice coordinates).
     pub fn centroid_of(&self, qubits: &[Qubit]) -> (f64, f64) {
-        let mut x = 0.0;
-        let mut y = 0.0;
-        for &q in qubits {
-            let s = self.state.site_of_qubit(q);
-            x += f64::from(s.x);
-            y += f64::from(s.y);
-        }
-        let n = qubits.len() as f64;
-        (x / n, y / n)
+        centroid_of(self.state, qubits)
     }
 
     /// Squared Euclidean distance from a fractional point to a site.
@@ -193,10 +260,26 @@ impl<'a> RoutingContext<'a> {
     }
 }
 
+/// Euclidean centroid of the sites carrying `qubits` — the single
+/// definition behind [`RoutingContext::centroid_of`] and the shuttle
+/// router's fallback anchor ordering.
+pub(crate) fn centroid_of(state: &MappingState, qubits: &[Qubit]) -> (f64, f64) {
+    let mut x = 0.0;
+    let mut y = 0.0;
+    for &q in qubits {
+        let s = state.site_of_qubit(q);
+        x += f64::from(s.x);
+        y += f64::from(s.y);
+    }
+    let n = qubits.len() as f64;
+    (x / n, y / n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ops::AtomId;
+    use crate::route::distance::bfs_occupied;
     use na_arch::HardwareParams;
 
     fn setup() -> (MappingState, Neighborhood) {
@@ -246,6 +329,24 @@ mod tests {
     }
 
     #[test]
+    fn journaled_undo_preserves_cached_fields() {
+        // The cache-preserving invariant of the refactor: speculate,
+        // undo, query again — the original field must still be served
+        // from cache (no recompute, no clear).
+        let (mut state, hood) = setup();
+        let cache = DistanceCache::new();
+        let before = cache.field(&state, &hood, Site::new(0, 0));
+        let mut journal = StateJournal::new();
+        let mark = journal.mark();
+        state.apply_move_journaled(AtomId(1), Site::new(4, 4), &mut journal);
+        state.apply_swap_journaled(AtomId(2), AtomId(3), &mut journal);
+        state.undo_to(&mut journal, mark);
+        let after = cache.field(&state, &hood, Site::new(0, 0));
+        assert_eq!(before, after);
+        assert_eq!(cache.stats(), (1, 1), "undo must leave the field warm");
+    }
+
+    #[test]
     fn distinct_states_never_alias() {
         // Two states that happen to have seen the same number of moves
         // must not share cached fields (stamps are process-unique).
@@ -264,21 +365,22 @@ mod tests {
 
     #[test]
     fn cached_field_matches_direct_bfs() {
-        let (state, hood) = setup();
-        let cache = DistanceCache::new();
-        let ctx = RoutingContext::new(&state, &hood, 1.0, &cache);
+        let (mut state, hood) = setup();
+        let mut scratch = RouteScratch::new();
+        let reference = state.clone();
+        let ctx = RoutingContext::new(&mut state, &hood, 1.0, &mut scratch);
         for start in [Site::new(0, 0), Site::new(2, 1), Site::new(3, 3)] {
             let cached = ctx.distances_from(start);
-            let direct = bfs_occupied(&state, &[start], &hood);
+            let direct = bfs_occupied(&reference, &[start], &hood);
             assert_eq!(*cached, direct);
         }
     }
 
     #[test]
     fn centroid_is_mean_of_sites() {
-        let (state, hood) = setup();
-        let cache = DistanceCache::new();
-        let ctx = RoutingContext::new(&state, &hood, 1.0, &cache);
+        let (mut state, hood) = setup();
+        let mut scratch = RouteScratch::new();
+        let ctx = RoutingContext::new(&mut state, &hood, 1.0, &mut scratch);
         // Qubits 0 (0,0) and 2 (2,0).
         let (cx, cy) = ctx.centroid_of(&[Qubit(0), Qubit(2)]);
         assert_eq!((cx, cy), (1.0, 0.0));

@@ -32,9 +32,28 @@ pub const UNREACHABLE: u32 = u32::MAX;
 /// Returns a dense site-indexed vector; free sites and unreachable
 /// occupied sites hold [`UNREACHABLE`]. Start sites must be occupied.
 pub fn bfs_occupied(state: &MappingState, starts: &[Site], hood: &Neighborhood) -> Vec<u32> {
-    let lattice = state.lattice();
-    let mut dist = vec![UNREACHABLE; lattice.num_sites()];
+    let mut dist = Vec::new();
     let mut queue = std::collections::VecDeque::new();
+    bfs_occupied_into(state, starts, hood, &mut dist, &mut queue);
+    dist
+}
+
+/// [`bfs_occupied`] writing into caller-provided buffers instead of
+/// allocating: `dist` is resized/overwritten to one entry per lattice
+/// site, `queue` is used as the BFS frontier and left empty. This is the
+/// allocation-free primitive behind the pooled
+/// [`crate::route::DistanceCache`].
+pub fn bfs_occupied_into(
+    state: &MappingState,
+    starts: &[Site],
+    hood: &Neighborhood,
+    dist: &mut Vec<u32>,
+    queue: &mut std::collections::VecDeque<Site>,
+) {
+    let lattice = state.lattice();
+    dist.clear();
+    dist.resize(lattice.num_sites(), UNREACHABLE);
+    queue.clear();
     for &s in starts {
         debug_assert!(!state.is_free(s), "BFS start {s} must be occupied");
         let idx = lattice.index(s);
@@ -56,7 +75,6 @@ pub fn bfs_occupied(state: &MappingState, starts: &[Site], hood: &Neighborhood) 
             }
         }
     }
-    dist
 }
 
 /// Fractional SWAP-distance estimate between two sites: how many SWAP

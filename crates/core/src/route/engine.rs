@@ -2,7 +2,7 @@
 //! candidate application.
 //!
 //! One routing round ([`RoutingEngine::step`]) is: build a
-//! [`RoutingContext`] over the shared [`DistanceCache`], let each
+//! [`RoutingContext`] over the caller's [`RouteScratch`] arena, let each
 //! registered [`Router`] propose candidates for its frontier slice, rank
 //! everything through the [`Candidate::improves_on`] comparator, apply
 //! the winner's operations, and notify the proposing router.
@@ -23,7 +23,7 @@ use crate::config::MapperConfig;
 use crate::decision::Capability;
 use crate::ops::MappedOp;
 use crate::route::{
-    Candidate, DistanceCache, FrontierGate, GateRouter, Router, RoutingContext, RoutingOp,
+    Candidate, FrontierGate, GateRouter, RouteScratch, Router, RoutingContext, RoutingOp,
     ShuttleRouter,
 };
 use crate::sink::OpSink;
@@ -43,14 +43,19 @@ pub struct StepReport {
     pub reassigned: Vec<(usize, Capability)>,
 }
 
-/// The unified routing engine owning the registered routers and the
-/// shared distance cache.
+/// The unified routing engine owning the registered routers.
+///
+/// The distance cache and every reusable buffer live in the
+/// [`RouteScratch`] arena the *caller* owns and threads through
+/// [`RoutingEngine::step`] — so a caller that keeps one arena alive
+/// across circuits (per-worker scratch in batch compilation) reuses
+/// warm buffers, while the engine itself stays cheap to construct per
+/// circuit (routers carry per-run recency state).
 #[derive(Debug)]
 pub struct RoutingEngine {
     routers: Vec<Box<dyn Router>>,
     hood_int: Neighborhood,
     r_int: f64,
-    cache: DistanceCache,
 }
 
 impl RoutingEngine {
@@ -79,7 +84,6 @@ impl RoutingEngine {
             routers,
             hood_int: Neighborhood::new(params.r_int),
             r_int: params.r_int,
-            cache: DistanceCache::new(),
         }
     }
 
@@ -88,15 +92,14 @@ impl RoutingEngine {
         &self.routers
     }
 
-    /// The shared distance cache (exposed for benchmarks/diagnostics).
-    pub fn distance_cache(&self) -> &DistanceCache {
-        &self.cache
-    }
-
     /// A routing context over `state` using the engine's geometry and
-    /// cache.
-    pub fn context<'a>(&'a self, state: &'a MappingState) -> RoutingContext<'a> {
-        RoutingContext::new(state, &self.hood_int, self.r_int, &self.cache)
+    /// the caller's scratch arena.
+    pub fn context<'a>(
+        &'a self,
+        state: &'a mut MappingState,
+        scratch: &'a mut RouteScratch,
+    ) -> RoutingContext<'a> {
+        RoutingContext::new(state, &self.hood_int, self.r_int, scratch)
     }
 
     /// The capability gates fall back to when their assigned router
@@ -115,7 +118,9 @@ impl RoutingEngine {
     ///
     /// `out` is any [`OpSink`] — a collecting [`MappedCircuit`] for the
     /// classic two-pass flow, or a fused consumer such as an incremental
-    /// scheduler.
+    /// scheduler. `scratch` is the caller-owned arena the routers borrow
+    /// for journaled candidate simulation and their dense per-round
+    /// tables.
     ///
     /// Returns `Err(op_index)` of the first unroutable gate when no
     /// router produced a candidate.
@@ -126,23 +131,26 @@ impl RoutingEngine {
         state: &mut MappingState,
         frontier: &[FrontierGate],
         lookahead: &[FrontierGate],
+        scratch: &mut RouteScratch,
         out: &mut dyn OpSink,
     ) -> Result<StepReport, usize> {
         let mut report = StepReport::default();
-        let (winner, tier) = self.best_candidate(state, frontier, lookahead, &mut report)?;
+        let (winner, tier) = {
+            let mut ctx = RoutingContext::new(state, &self.hood_int, self.r_int, scratch);
+            Self::best_candidate(&self.routers, &mut ctx, frontier, lookahead, &mut report)?
+        };
         self.apply(winner, tier, state, out, &mut report);
         Ok(report)
     }
 
     /// Propose-and-rank without applying. Fills `report.reassigned`.
     fn best_candidate(
-        &self,
-        state: &MappingState,
+        routers: &[Box<dyn Router>],
+        ctx: &mut RoutingContext<'_>,
         frontier: &[FrontierGate],
         lookahead: &[FrontierGate],
         report: &mut StepReport,
     ) -> Result<(Candidate, usize), usize> {
-        let ctx = self.context(state);
         // Gates flowing down from starved or refusing higher tiers
         // (borrows only — the hot loop copies no gate data; a carried
         // gate's stale `capability` field is irrelevant because routers
@@ -150,7 +158,7 @@ impl RoutingEngine {
         let mut carried: Vec<&FrontierGate> = Vec::new();
         let mut first_pending: Option<usize> = None;
 
-        for (tier, router) in self.routers.iter().enumerate() {
+        for (tier, router) in routers.iter().enumerate() {
             let cap = router.capability();
             let mut gates: Vec<&FrontierGate> =
                 frontier.iter().filter(|g| g.capability == cap).collect();
@@ -161,11 +169,15 @@ impl RoutingEngine {
             first_pending.get_or_insert(gates[0].op_index);
 
             let la: Vec<&FrontierGate> = lookahead.iter().filter(|g| g.capability == cap).collect();
-            let has_next = tier + 1 < self.routers.len();
-            let proposal = router.propose(&ctx, &gates, &la, has_next);
+            let has_next = tier + 1 < routers.len();
+            let proposal = router.propose(ctx, &gates, &la, has_next);
+            debug_assert!(
+                !ctx.speculation_in_flight(),
+                "router returned with un-rolled-back speculation"
+            );
 
             if has_next && !proposal.handoff.is_empty() {
-                let next_cap = self.routers[tier + 1].capability();
+                let next_cap = routers[tier + 1].capability();
                 for &op_index in &proposal.handoff {
                     report.reassigned.push((op_index, next_cap));
                     if let Some(pos) = gates.iter().position(|g| g.op_index == op_index) {
@@ -293,8 +305,11 @@ mod tests {
         assert_eq!(engine.routers().len(), 1);
         let mut state = MappingState::identity(&p, 24).expect("fits");
         let frontier = [gate(0, &[0, 12], Capability::GateBased)];
+        let mut scratch = RouteScratch::new();
         let mut out = MappedCircuit::new(24, 24);
-        let report = engine.step(&mut state, &frontier, &[], &mut out).unwrap();
+        let report = engine
+            .step(&mut state, &frontier, &[], &mut scratch, &mut out)
+            .unwrap();
         assert_eq!(report.swaps, 1);
     }
 
@@ -308,8 +323,11 @@ mod tests {
             gate(0, &[0, 12], Capability::GateBased),
             gate(1, &[3, 20], Capability::Shuttling),
         ];
+        let mut scratch = RouteScratch::new();
         let mut out = MappedCircuit::new(24, 24);
-        let report = engine.step(&mut state, &frontier, &[], &mut out).unwrap();
+        let report = engine
+            .step(&mut state, &frontier, &[], &mut scratch, &mut out)
+            .unwrap();
         assert_eq!(report.swaps, 1, "tier 0 must act first");
         assert_eq!(report.moves, 0);
     }
@@ -321,8 +339,11 @@ mod tests {
         let mut engine =
             RoutingEngine::from_config(&p, &MapperConfig::try_hybrid(1.0).expect("valid alpha"));
         let frontier = [gate(0, &[0, 19], Capability::Shuttling)];
+        let mut scratch = RouteScratch::new();
         let mut out = MappedCircuit::new(20, 20);
-        let report = engine.step(&mut state, &frontier, &[], &mut out).unwrap();
+        let report = engine
+            .step(&mut state, &frontier, &[], &mut scratch, &mut out)
+            .unwrap();
         assert_eq!(report.swaps, 0);
         assert!(report.moves >= 1);
         assert_eq!(out.shuttle_count(), report.moves);
@@ -346,8 +367,11 @@ mod tests {
         let mut engine =
             RoutingEngine::from_config(&p, &MapperConfig::try_hybrid(1.0).expect("valid alpha"));
         let frontier = [gate(0, &[0, 1], Capability::GateBased)];
+        let mut scratch = RouteScratch::new();
         let mut out = MappedCircuit::new(4, 4);
-        let report = engine.step(&mut state, &frontier, &[], &mut out).unwrap();
+        let report = engine
+            .step(&mut state, &frontier, &[], &mut scratch, &mut out)
+            .unwrap();
         assert_eq!(report.swaps, 0);
         assert!(report.moves >= 1, "shuttle fallback must route the gate");
     }
@@ -358,9 +382,10 @@ mod tests {
         let mut state = isolated_pair_state(&p);
         let mut engine = RoutingEngine::from_config(&p, &MapperConfig::gate_only());
         let frontier = [gate(9, &[0, 1], Capability::GateBased)];
+        let mut scratch = RouteScratch::new();
         let mut out = MappedCircuit::new(4, 4);
         let err = engine
-            .step(&mut state, &frontier, &[], &mut out)
+            .step(&mut state, &frontier, &[], &mut scratch, &mut out)
             .unwrap_err();
         assert_eq!(err, 9);
     }
@@ -372,10 +397,13 @@ mod tests {
         let mut engine =
             RoutingEngine::from_config(&p, &MapperConfig::try_hybrid(1.0).expect("valid alpha"));
         let frontier = [gate(0, &[0, 23], Capability::GateBased)];
+        let mut scratch = RouteScratch::new();
         let mut out = MappedCircuit::new(24, 24);
         let mut swaps = 0;
         while !state.qubits_mutually_connected(&[Qubit(0), Qubit(23)], p.r_int) {
-            let report = engine.step(&mut state, &frontier, &[], &mut out).unwrap();
+            let report = engine
+                .step(&mut state, &frontier, &[], &mut scratch, &mut out)
+                .unwrap();
             swaps += report.swaps + report.moves;
             assert!(swaps < 60, "engine must converge");
         }

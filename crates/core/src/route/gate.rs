@@ -10,6 +10,11 @@
 //! free. If no position exists the gate is handed off to the next tier
 //! (shuttling-based mapping) via [`Proposal::handoff`].
 //!
+//! The per-round candidate bookkeeping (atom → gate incidence, pair
+//! dedup, per-candidate handled sets) lives in dense generation-stamped
+//! tables borrowed from the [`RouteScratch`](crate::route::RouteScratch)
+//! arena — the hot loop allocates nothing.
+//!
 //! # Cost function
 //!
 //! For a SWAP candidate `S` the router evaluates
@@ -27,7 +32,6 @@
 //! in §3.3.1). The recency term is the shared
 //! [`CostModel::swap_recency_penalty`].
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use na_arch::{HardwareParams, Neighborhood, Site};
@@ -37,6 +41,7 @@ use crate::config::MapperConfig;
 use crate::decision::Capability;
 use crate::ops::AtomId;
 use crate::route::distance::{swap_distance, UNREACHABLE};
+use crate::route::scratch::GateBufs;
 use crate::route::{
     Candidate, CostModel, FrontierGate, Proposal, Router, RoutingContext, RoutingOp,
 };
@@ -55,7 +60,7 @@ pub struct GatePosition {
 
 /// A gate prepared for gate-based routing: qubits plus the resolved
 /// position for `m ≥ 3` gates.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct RoutedGate {
     /// Index of the operation in the input circuit.
     pub op_index: usize,
@@ -93,9 +98,34 @@ impl RoutedGate {
     }
 }
 
+/// Writes a resolved gate into slot `live` of the reusable buffer,
+/// recycling the slot's qubit vector instead of allocating.
+fn fill_routed(
+    buf: &mut Vec<RoutedGate>,
+    live: usize,
+    op_index: usize,
+    qubits: &[Qubit],
+    position: Option<GatePosition>,
+) {
+    if live < buf.len() {
+        let slot = &mut buf[live];
+        slot.op_index = op_index;
+        slot.qubits.clear();
+        slot.qubits.extend_from_slice(qubits);
+        slot.position = position;
+    } else {
+        buf.push(RoutedGate {
+            op_index,
+            qubits: qubits.to_vec(),
+            position,
+        });
+    }
+}
+
 /// The gate-based router. Owns the recency bookkeeping for `t(S)` and the
 /// tabu window preventing immediate SWAP reversal; distance and cost
-/// terms come from the shared routing layer.
+/// terms come from the shared routing layer, and per-round indices are
+/// borrowed from the scratch arena.
 #[derive(Debug)]
 pub struct GateRouter {
     cost: CostModel,
@@ -128,98 +158,125 @@ impl GateRouter {
     /// hands the gate to the next routing tier, paper §3.2 (3)).
     pub fn find_position(
         &self,
-        ctx: &RoutingContext<'_>,
+        ctx: &mut RoutingContext<'_>,
         qubits: &[Qubit],
     ) -> Option<GatePosition> {
         let m = qubits.len();
         debug_assert!(m >= 3, "positions are for multi-qubit gates");
-        let state = ctx.state();
-        let lattice = state.lattice();
 
         // Per-qubit BFS distance fields through the occupied graph,
-        // served from the shared cache.
-        let dists: Vec<Arc<Vec<u32>>> = qubits
-            .iter()
-            .map(|&q| ctx.distances_from_qubit(q))
-            .collect();
-
-        // Anchor candidates: occupied sites reachable by every qubit,
-        // ordered by total gathering cost.
-        let mut anchors: Vec<(u64, Site)> = Vec::new();
-        for site in lattice.iter() {
-            if state.is_free(site) {
-                continue;
-            }
-            let idx = lattice.index(site);
-            let mut total = 0u64;
-            let mut reachable = true;
-            for d in &dists {
-                if d[idx] == UNREACHABLE {
-                    reachable = false;
-                    break;
-                }
-                total += u64::from(d[idx]);
-            }
-            if reachable {
-                anchors.push((total, site));
-            }
+        // served from the shared cache into the reusable field list.
+        let mut fields = {
+            let p = ctx.parts();
+            std::mem::take(&mut p.gate.fields)
+        };
+        fields.clear();
+        for &q in qubits {
+            fields.push(ctx.distances_from_qubit(q));
         }
-        anchors.sort_unstable_by_key(|&(c, s)| (c, s));
 
-        const ANCHOR_MARGIN: usize = 24;
-        let mut best: Option<GatePosition> = None;
-        let mut examined_since_best = 0usize;
-        for &(anchor_cost, anchor) in &anchors {
-            if let Some(b) = &best {
-                if anchor_cost >= u64::from(b.cost) || examined_since_best >= ANCHOR_MARGIN {
-                    break;
+        let best = {
+            let p = ctx.parts();
+            let state = &*p.state;
+            let lattice = state.lattice();
+
+            // Anchor candidates: occupied sites reachable by every qubit,
+            // ordered by total gathering cost.
+            let anchors = &mut p.gate.anchors;
+            anchors.clear();
+            for site in lattice.iter() {
+                if state.is_free(site) {
+                    continue;
                 }
-                examined_since_best += 1;
-            }
-            if let Some(pos) = self.position_at_anchor(ctx, anchor, &dists, m) {
-                if best.as_ref().is_none_or(|b| pos.cost < b.cost) {
-                    best = Some(pos);
-                    examined_since_best = 0;
+                let idx = lattice.index(site);
+                let mut total = 0u64;
+                let mut reachable = true;
+                for d in &fields {
+                    if d[idx] == UNREACHABLE {
+                        reachable = false;
+                        break;
+                    }
+                    total += u64::from(d[idx]);
+                }
+                if reachable {
+                    anchors.push((total, site));
                 }
             }
-        }
+            anchors.sort_unstable_by_key(|&(c, s)| (c, s));
+
+            const ANCHOR_MARGIN: usize = 24;
+            let mut best: Option<GatePosition> = None;
+            let mut examined_since_best = 0usize;
+            for &(anchor_cost, anchor) in anchors.iter() {
+                if let Some(b) = &best {
+                    if anchor_cost >= u64::from(b.cost) || examined_since_best >= ANCHOR_MARGIN {
+                        break;
+                    }
+                    examined_since_best += 1;
+                }
+                if let Some(pos) = self.position_at_anchor(
+                    state,
+                    p.hood_int,
+                    &mut p.gate.pos_candidates,
+                    anchor,
+                    &fields,
+                    m,
+                ) {
+                    if best.as_ref().is_none_or(|b| pos.cost < b.cost) {
+                        best = Some(pos);
+                        examined_since_best = 0;
+                    }
+                }
+            }
+            best
+        };
+
+        // Drop the Arc handles before returning the buffer: a retained
+        // clone would make the cache's `Arc::try_unwrap` fail on the
+        // next occupancy invalidation and defeat the buffer pool.
+        fields.clear();
+        ctx.parts().gate.fields = fields;
         best
     }
 
     /// Greedily grows a mutually-compatible slot set around `anchor` and
     /// assigns gate qubits to slots with minimal total BFS cost.
+    #[allow(clippy::too_many_arguments)]
     fn position_at_anchor(
         &self,
-        ctx: &RoutingContext<'_>,
+        state: &MappingState,
+        hood_int: &Neighborhood,
+        candidates: &mut Vec<(u64, Site)>,
         anchor: Site,
         dists: &[Arc<Vec<u32>>],
         m: usize,
     ) -> Option<GatePosition> {
-        let state = ctx.state();
         let lattice = state.lattice();
         // Occupied sites around (and including) the anchor, cheapest first.
-        let mut candidates: Vec<(u64, Site)> = std::iter::once(anchor)
-            .chain(
-                ctx.interaction_neighborhood()
-                    .around(anchor)
-                    .filter(|s| lattice.contains(*s) && !state.is_free(*s)),
-            )
-            .filter_map(|s| {
-                let idx = lattice.index(s);
-                let mut total = 0u64;
-                for d in dists {
-                    if d[idx] == UNREACHABLE {
-                        return None;
+        candidates.clear();
+        candidates.extend(
+            std::iter::once(anchor)
+                .chain(
+                    hood_int
+                        .around(anchor)
+                        .filter(|s| lattice.contains(*s) && !state.is_free(*s)),
+                )
+                .filter_map(|s| {
+                    let idx = lattice.index(s);
+                    let mut total = 0u64;
+                    for d in dists {
+                        if d[idx] == UNREACHABLE {
+                            return None;
+                        }
+                        total += u64::from(d[idx]);
                     }
-                    total += u64::from(d[idx]);
-                }
-                Some((total, s))
-            })
-            .collect();
+                    Some((total, s))
+                }),
+        );
         candidates.sort_unstable_by_key(|&(c, s)| (c, s));
 
         let mut slots: Vec<Site> = Vec::with_capacity(m);
-        for &(_, s) in &candidates {
+        for &(_, s) in candidates.iter() {
             if slots.iter().all(|&t| t.within(s, self.cost.r_int)) {
                 slots.push(s);
                 if slots.len() == m {
@@ -243,55 +300,66 @@ impl GateRouter {
     /// (e.g. every frontier atom is isolated).
     pub fn best_swap(
         &self,
-        ctx: &RoutingContext<'_>,
+        ctx: &mut RoutingContext<'_>,
         front: &[RoutedGate],
         lookahead: &[RoutedGate],
     ) -> Option<((AtomId, AtomId), f64)> {
-        let state = ctx.state();
+        let p = ctx.parts();
+        let state = &*p.state;
         let lattice = state.lattice();
         let r_int = self.cost.r_int;
+        let bufs = p.gate;
+        let num_atoms = state.num_atoms();
+        bufs.ensure_atoms(num_atoms);
+        bufs.ensure_gates(front.len(), lookahead.len());
+        bufs.round_gen += 1;
+        let gen = bufs.round_gen;
 
-        // Atom → gates index over both layers (front weight 1, lookahead w_l).
-        let mut touching: HashMap<AtomId, Vec<(usize, bool)>> = HashMap::new();
+        // Atom → gates index over both layers (front weight 1, lookahead
+        // w_l) — dense, generation-stamped.
+        let touch = |bufs: &mut GateBufs, atom: AtomId, entry: (u32, bool)| {
+            let a = atom.index();
+            if bufs.touch_epoch[a] != gen {
+                bufs.touch_epoch[a] = gen;
+                bufs.touch_lists[a].clear();
+            }
+            bufs.touch_lists[a].push(entry);
+        };
         for (gi, g) in front.iter().enumerate() {
             for &q in &g.qubits {
-                touching
-                    .entry(state.atom_of_qubit(q))
-                    .or_default()
-                    .push((gi, true));
+                touch(bufs, state.atom_of_qubit(q), (gi as u32, true));
             }
         }
         for (gi, g) in lookahead.iter().enumerate() {
             for &q in &g.qubits {
-                touching
-                    .entry(state.atom_of_qubit(q))
-                    .or_default()
-                    .push((gi, false));
+                touch(bufs, state.atom_of_qubit(q), (gi as u32, false));
             }
         }
 
         // Pre-SWAP distances (constant part of the cost).
         let site_now = |q: Qubit| state.site_of_qubit(q);
-        let d_before_front: Vec<f64> = front
-            .iter()
-            .map(|g| g.distance_with(&site_now, r_int))
-            .collect();
-        let d_before_la: Vec<f64> = lookahead
-            .iter()
-            .map(|g| g.distance_with(&site_now, r_int))
-            .collect();
-        let baseline: f64 = d_before_front.iter().sum::<f64>()
-            + self.cost.lookahead_weight * d_before_la.iter().sum::<f64>();
+        bufs.d_before_front.clear();
+        bufs.d_before_front
+            .extend(front.iter().map(|g| g.distance_with(&site_now, r_int)));
+        bufs.d_before_la.clear();
+        bufs.d_before_la
+            .extend(lookahead.iter().map(|g| g.distance_with(&site_now, r_int)));
+        let baseline: f64 = bufs.d_before_front.iter().sum::<f64>()
+            + self.cost.lookahead_weight * bufs.d_before_la.iter().sum::<f64>();
 
         // Candidate SWAPs: frontier gate atoms × occupied interaction
-        // neighbours.
-        let mut seen = std::collections::HashSet::new();
+        // neighbours, deduplicated through the dense pair table (sparse
+        // fallback beyond the quadratic-size cutoff).
+        let dense_pairs = num_atoms <= GateBufs::PAIR_DENSE_MAX_ATOMS;
+        if !dense_pairs {
+            bufs.pair_sparse.clear();
+        }
         let mut best: Option<((AtomId, AtomId), f64)> = None;
         for g in front {
             for &q in &g.qubits {
                 let a = state.atom_of_qubit(q);
                 let sa = state.site_of_atom(a);
-                for sb in ctx.interaction_neighborhood().around(sa) {
+                for sb in p.hood_int.around(sa) {
                     if !lattice.contains(sb) {
                         continue;
                     }
@@ -299,18 +367,18 @@ impl GateRouter {
                         continue;
                     };
                     let pair = if a.0 < b.0 { (a, b) } else { (b, a) };
-                    if !seen.insert(pair) {
+                    let fresh = if dense_pairs {
+                        let key = pair.0.index() * num_atoms + pair.1.index();
+                        let fresh = bufs.pair_epoch[key] != gen;
+                        bufs.pair_epoch[key] = gen;
+                        fresh
+                    } else {
+                        bufs.pair_sparse.insert((pair.0 .0, pair.1 .0))
+                    };
+                    if !fresh {
                         continue;
                     }
-                    let delta = self.swap_delta(
-                        state,
-                        pair,
-                        front,
-                        lookahead,
-                        &touching,
-                        &d_before_front,
-                        &d_before_la,
-                    );
+                    let delta = self.swap_delta(state, pair, front, lookahead, bufs);
                     // Tabu: never undo a recent SWAP unless it improves.
                     if self.recent_swaps.contains(&pair) && delta >= 0.0 {
                         continue;
@@ -333,17 +401,15 @@ impl GateRouter {
     }
 
     /// Cost delta of swapping `pair`, restricted to gates touching either
-    /// atom (all other terms cancel).
-    #[allow(clippy::too_many_arguments)]
+    /// atom (all other terms cancel). Uses the dense touch/handled
+    /// tables of the scratch arena.
     fn swap_delta(
         &self,
         state: &MappingState,
         pair: (AtomId, AtomId),
         front: &[RoutedGate],
         lookahead: &[RoutedGate],
-        touching: &HashMap<AtomId, Vec<(usize, bool)>>,
-        d_before_front: &[f64],
-        d_before_la: &[f64],
+        bufs: &mut GateBufs,
     ) -> f64 {
         let (a, b) = pair;
         let (site_a, site_b) = (state.site_of_atom(a), state.site_of_atom(b));
@@ -357,22 +423,31 @@ impl GateRouter {
                 state.site_of_atom(atom)
             }
         };
+        let round = bufs.round_gen;
+        bufs.handled_gen += 1;
+        let handled_gen = bufs.handled_gen;
         let mut delta = 0.0;
-        let mut handled = std::collections::HashSet::new();
         for atom in [a, b] {
-            if let Some(list) = touching.get(&atom) {
-                for &(gi, is_front) in list {
-                    if !handled.insert((gi, is_front)) {
-                        continue;
-                    }
-                    let (gate, before, weight) = if is_front {
-                        (&front[gi], d_before_front[gi], 1.0)
-                    } else {
-                        (&lookahead[gi], d_before_la[gi], self.cost.lookahead_weight)
-                    };
-                    let after = gate.distance_with(&site_after, self.cost.r_int);
-                    delta += weight * (after - before);
+            if bufs.touch_epoch[atom.index()] != round {
+                continue;
+            }
+            for &(gi, is_front) in &bufs.touch_lists[atom.index()] {
+                let slot = 2 * gi as usize + usize::from(is_front);
+                if bufs.handled_epoch[slot] == handled_gen {
+                    continue;
                 }
+                bufs.handled_epoch[slot] = handled_gen;
+                let (gate, before, weight) = if is_front {
+                    (&front[gi as usize], bufs.d_before_front[gi as usize], 1.0)
+                } else {
+                    (
+                        &lookahead[gi as usize],
+                        bufs.d_before_la[gi as usize],
+                        self.cost.lookahead_weight,
+                    )
+                };
+                let after = gate.distance_with(&site_after, self.cost.r_int);
+                delta += weight * (after - before);
             }
         }
         delta
@@ -417,16 +492,28 @@ impl Router for GateRouter {
 
     /// Resolves positions for `m ≥ 3` gates (handing off position-less
     /// ones when a fallback tier exists), then proposes the single best
-    /// SWAP over the remaining frontier.
+    /// SWAP over the remaining frontier. The resolved-gate lists live in
+    /// reusable scratch buffers — no per-round allocation in steady
+    /// state.
     fn propose(
         &self,
-        ctx: &RoutingContext<'_>,
+        ctx: &mut RoutingContext<'_>,
         frontier: &[&FrontierGate],
         lookahead: &[&FrontierGate],
         fallback: bool,
     ) -> Proposal {
-        let mut routed: Vec<RoutedGate> = Vec::with_capacity(frontier.len());
+        // Take the buffers out of the arena so they can be filled while
+        // the context is still queried (disjoint from the other scratch
+        // tables `best_swap` borrows).
+        let (mut routed, mut la) = {
+            let p = ctx.parts();
+            (
+                std::mem::take(&mut p.gate.routed_front),
+                std::mem::take(&mut p.gate.routed_la),
+            )
+        };
         let mut handoff = Vec::new();
+        let mut live = 0usize;
         for g in frontier {
             let position = if g.qubits.len() >= 3 {
                 let pos = self.find_position(ctx, &g.qubits);
@@ -439,24 +526,18 @@ impl Router for GateRouter {
             } else {
                 None
             };
-            routed.push(RoutedGate {
-                op_index: g.op_index,
-                qubits: g.qubits.clone(),
-                position,
-            });
+            fill_routed(&mut routed, live, g.op_index, &g.qubits, position);
+            live += 1;
         }
-        let la: Vec<RoutedGate> = lookahead
-            .iter()
-            .map(|g| RoutedGate {
-                op_index: g.op_index,
-                qubits: g.qubits.clone(),
-                position: None,
-            })
-            .collect();
+        let mut la_live = 0usize;
+        for g in lookahead {
+            fill_routed(&mut la, la_live, g.op_index, &g.qubits, None);
+            la_live += 1;
+        }
 
         let mut candidates = Vec::new();
-        if !routed.is_empty() {
-            if let Some(((a, b), cost)) = self.best_swap(ctx, &routed, &la) {
+        if live > 0 {
+            if let Some(((a, b), cost)) = self.best_swap(ctx, &routed[..live], &la[..la_live]) {
                 let state = ctx.state();
                 candidates.push(Candidate {
                     tier: 0, // reassigned by the engine
@@ -471,6 +552,9 @@ impl Router for GateRouter {
                 });
             }
         }
+        let p = ctx.parts();
+        p.gate.routed_front = routed;
+        p.gate.routed_la = la;
         Proposal {
             candidates,
             handoff,
@@ -564,7 +648,7 @@ fn permute(perm: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
 mod tests {
     use super::*;
     use crate::route::distance::bfs_occupied;
-    use crate::route::DistanceCache;
+    use crate::route::RouteScratch;
     use na_arch::HardwareParams;
 
     fn params(side: u32, atoms: u32, r: f64) -> HardwareParams {
@@ -589,7 +673,7 @@ mod tests {
         state: MappingState,
         hood: Neighborhood,
         r_int: f64,
-        cache: DistanceCache,
+        scratch: RouteScratch,
     }
 
     impl Fixture {
@@ -598,12 +682,12 @@ mod tests {
                 state: MappingState::identity(p, qubits).expect("fits"),
                 hood: Neighborhood::new(p.r_int),
                 r_int: p.r_int,
-                cache: DistanceCache::new(),
+                scratch: RouteScratch::new(),
             }
         }
 
-        fn ctx(&self) -> RoutingContext<'_> {
-            RoutingContext::new(&self.state, &self.hood, self.r_int, &self.cache)
+        fn ctx(&mut self) -> RoutingContext<'_> {
+            RoutingContext::new(&mut self.state, &self.hood, self.r_int, &mut self.scratch)
         }
     }
 
@@ -621,7 +705,7 @@ mod tests {
             .site_of_qubit(Qubit(0))
             .distance(fx.state.site_of_qubit(Qubit(12)));
         let ((a, b), _) = router
-            .best_swap(&fx.ctx(), &front, &[])
+            .best_swap(&mut fx.ctx(), &front, &[])
             .expect("candidates");
         fx.state.apply_swap(a, b);
         let after = fx
@@ -644,7 +728,9 @@ mod tests {
         let qubits = [Qubit(0), Qubit(23)];
         let mut swaps = 0;
         while !fx.state.qubits_mutually_connected(&qubits, p.r_int) {
-            let ((a, b), _) = router.best_swap(&fx.ctx(), &front, &[]).expect("progress");
+            let ((a, b), _) = router
+                .best_swap(&mut fx.ctx(), &front, &[])
+                .expect("progress");
             fx.state.apply_swap(a, b);
             router.note_swap_applied(&fx.state, a, b);
             swaps += 1;
@@ -658,7 +744,7 @@ mod tests {
     #[test]
     fn lookahead_breaks_ties_towards_future_gates() {
         let p = params(5, 24, 1.0);
-        let fx = Fixture::new(&p, 24);
+        let mut fx = Fixture::new(&p, 24);
         let cfg = MapperConfig::gate_only();
         let router = GateRouter::new(&p, &cfg);
         // Frontier gate between q0 (0,0) and q2 (2,0); lookahead wants q0
@@ -667,7 +753,7 @@ mod tests {
         let front = [routed(&[0, 2])];
         let la = [routed(&[0, 10])];
         let ((a, b), _) = router
-            .best_swap(&fx.ctx(), &front, &la)
+            .best_swap(&mut fx.ctx(), &front, &la)
             .expect("candidates");
         // Either way the front distance shrinks.
         let mut s2 = fx.state.clone();
@@ -686,12 +772,12 @@ mod tests {
     fn find_position_rectangle_at_sqrt2() {
         // Example 7: r_int = √2 requires an L-shaped/rectangular cluster.
         let p = params(5, 24, std::f64::consts::SQRT_2);
-        let fx = Fixture::new(&p, 24);
+        let mut fx = Fixture::new(&p, 24);
         let cfg = MapperConfig::gate_only();
         let router = GateRouter::new(&p, &cfg);
         let qubits = [Qubit(0), Qubit(1), Qubit(5)]; // already L-shaped
         let pos = router
-            .find_position(&fx.ctx(), &qubits)
+            .find_position(&mut fx.ctx(), &qubits)
             .expect("position exists");
         assert_eq!(pos.cost, 0, "qubits already form a valid position");
         // All slots pairwise within r_int.
@@ -705,13 +791,13 @@ mod tests {
     #[test]
     fn find_position_gathers_distant_qubits() {
         let p = params(6, 35, std::f64::consts::SQRT_2);
-        let fx = Fixture::new(&p, 35);
+        let mut fx = Fixture::new(&p, 35);
         let cfg = MapperConfig::gate_only();
         let router = GateRouter::new(&p, &cfg);
         // Qubits at three corners of the lattice.
         let qubits = [Qubit(0), Qubit(5), Qubit(30)];
         let pos = router
-            .find_position(&fx.ctx(), &qubits)
+            .find_position(&mut fx.ctx(), &qubits)
             .expect("position exists");
         assert!(pos.cost > 0);
         for (i, &a) in pos.slots.iter().enumerate() {
@@ -732,7 +818,7 @@ mod tests {
         // Atom 2 stays at (2,0); all three are isolated.
         let cfg = MapperConfig::gate_only();
         let router = GateRouter::new(&p, &cfg);
-        let pos = router.find_position(&fx.ctx(), &[Qubit(0), Qubit(1), Qubit(2)]);
+        let pos = router.find_position(&mut fx.ctx(), &[Qubit(0), Qubit(1), Qubit(2)]);
         assert!(pos.is_none());
     }
 
@@ -779,12 +865,12 @@ mod tests {
             qubits: vec![Qubit(0), Qubit(1), Qubit(2)],
             capability: Capability::GateBased,
         };
-        let with_fb = router.propose(&fx.ctx(), &[&gate], &[], true);
+        let with_fb = router.propose(&mut fx.ctx(), &[&gate], &[], true);
         assert_eq!(with_fb.handoff, vec![7]);
         assert!(with_fb.candidates.is_empty());
         // Without a fallback tier the gate stays (and, with every atom
         // isolated, yields no SWAP candidate either).
-        let without_fb = router.propose(&fx.ctx(), &[&gate], &[], false);
+        let without_fb = router.propose(&mut fx.ctx(), &[&gate], &[], false);
         assert!(without_fb.handoff.is_empty());
         assert!(without_fb.candidates.is_empty());
     }

@@ -29,6 +29,11 @@
 //!   shared by the capability decider and every router.
 //! * [`RoutingContext`] / [`DistanceCache`] — cached per-layer BFS
 //!   distance fields (invalidated only when trap occupancy changes).
+//! * [`RouteScratch`] — the per-thread arena holding the move journal,
+//!   the distance cache and every dense per-round table; routers borrow
+//!   it instead of allocating, and candidate simulation runs **in
+//!   place** on the live state via
+//!   [`StateJournal`](crate::state::StateJournal) apply/undo.
 //! * [`RoutingEngine`] — registers routers in priority order, runs the
 //!   propose → rank → apply round, and reports capability handoffs.
 //!
@@ -41,12 +46,14 @@ pub mod cost;
 pub mod distance;
 pub mod engine;
 pub mod gate;
+pub mod scratch;
 pub mod shuttle;
 
 pub use context::{DistanceCache, RoutingContext};
 pub use cost::CostModel;
 pub use engine::{RoutingEngine, StepReport};
 pub use gate::{GatePosition, GateRouter};
+pub use scratch::RouteScratch;
 pub use shuttle::{ChainMove, MoveChain, ShuttleRouter};
 
 use na_arch::Site;
@@ -168,9 +175,14 @@ pub trait Router: std::fmt::Debug {
     /// copies no gate data). `lookahead` carries the lookahead gates of
     /// the same capability; `fallback` is `true` when a lower-priority
     /// router exists to take over gates listed in [`Proposal::handoff`].
+    ///
+    /// The context is mutable so routers can simulate candidates **in
+    /// place** on the live state through the journal and borrow scratch
+    /// buffers; every speculative mutation must be rolled back before
+    /// returning (the engine debug-asserts this).
     fn propose(
         &self,
-        ctx: &RoutingContext<'_>,
+        ctx: &mut RoutingContext<'_>,
         frontier: &[&FrontierGate],
         lookahead: &[&FrontierGate],
         fallback: bool,

@@ -16,6 +16,12 @@
 //! intuition that two moves are unlikely to beat one even when
 //! parallelized (§3.3.2). Timing and parallelism terms come from the
 //! shared [`CostModel`].
+//!
+//! Candidate chains are simulated **in place** on the live
+//! [`MappingState`] through the [`StateJournal`] (apply → evaluate →
+//! exact undo) — the former per-candidate `MappingState::clone()` is
+//! gone, and because undo restores the committed occupancy stamp, the
+//! shared distance cache stays warm across the whole evaluation.
 
 use std::collections::VecDeque;
 
@@ -25,10 +31,11 @@ use na_circuit::Qubit;
 use crate::config::MapperConfig;
 use crate::decision::Capability;
 use crate::ops::AtomId;
+use crate::route::scratch::ShuttleBufs;
 use crate::route::{
     Candidate, CostModel, FrontierGate, Proposal, Router, RoutingContext, RoutingOp,
 };
-use crate::state::MappingState;
+use crate::state::{MappingState, StateJournal};
 
 /// One move of a chain, bound to the atom that travels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,7 +67,8 @@ pub struct MoveChain {
 
 /// The shuttling-based router. Owns the recent-move window used by the
 /// parallelism term `C_t_parallel`; cost terms come from the shared
-/// [`CostModel`].
+/// [`CostModel`], and chain construction/cost replay borrow buffers from
+/// the scratch arena.
 #[derive(Debug)]
 pub struct ShuttleRouter {
     cost: CostModel,
@@ -80,206 +88,302 @@ impl ShuttleRouter {
     /// order.
     pub fn best_chains(
         &self,
-        ctx: &RoutingContext<'_>,
+        ctx: &mut RoutingContext<'_>,
         front: &[&FrontierGate],
         lookahead: &[&FrontierGate],
     ) -> Vec<MoveChain> {
-        let state = ctx.state();
         let mut result = Vec::new();
+        let mut p = ctx.parts();
+        // The pre-chain distance sums are a property of the committed
+        // state, identical for every candidate of this round — compute
+        // them once and thread them through the simulations.
+        let before = (
+            remaining(p.state, front, self.cost.r_int),
+            remaining(p.state, lookahead, self.cost.r_int),
+        );
         for gate in front {
-            if state.qubits_mutually_connected(&gate.qubits, self.cost.r_int) {
+            if p.state
+                .qubits_mutually_connected(&gate.qubits, self.cost.r_int)
+            {
                 continue; // already executable
             }
-            let mut best: Option<MoveChain> = None;
-            for chain in self.chains_for_gate(ctx, &gate.qubits) {
-                let cost = self.chain_cost(state, &chain, front, lookahead);
-                if best.as_ref().is_none_or(|b| cost < b.cost - 1e-12) {
-                    best = Some(MoveChain {
-                        op_index: gate.op_index,
-                        moves: chain,
-                        cost,
-                    });
-                }
+            if let Some(cost) =
+                self.best_chain_for_gate(&mut p, &gate.qubits, front, lookahead, before)
+            {
+                result.push(MoveChain {
+                    op_index: gate.op_index,
+                    moves: p.shuttle.best_chain.clone(),
+                    cost,
+                });
             }
-            result.extend(best);
         }
         result
     }
 
-    /// Candidate chains for one gate: one per viable central qubit, plus
-    /// anchor-scan fallbacks when no center works.
-    fn chains_for_gate(&self, ctx: &RoutingContext<'_>, qubits: &[Qubit]) -> Vec<Vec<ChainMove>> {
-        let state = ctx.state();
-        let mut chains = Vec::new();
-        for (ci, &center) in qubits.iter().enumerate() {
-            let anchor = state.site_of_qubit(center);
-            if let Some(chain) = self.build_chain(ctx, qubits, anchor, Some(ci)) {
-                chains.push(chain);
+    /// Evaluates every candidate chain for one gate (one per viable
+    /// central qubit, plus the anchor-scan fallback), leaving the
+    /// cheapest in `parts.shuttle.best_chain` and returning its cost.
+    fn best_chain_for_gate(
+        &self,
+        p: &mut crate::route::context::RouteParts<'_>,
+        qubits: &[Qubit],
+        front: &[&FrontierGate],
+        lookahead: &[&FrontierGate],
+        before: (f64, f64),
+    ) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for ci in 0..qubits.len() {
+            let anchor = p.state.site_of_qubit(qubits[ci]);
+            if let Some(cost) = self.simulate_chain(
+                p.state,
+                p.journal,
+                p.shuttle,
+                p.hood_int,
+                qubits,
+                anchor,
+                Some(ci),
+                front,
+                lookahead,
+                before,
+            ) {
+                if best.is_none_or(|b| cost < b - 1e-12) {
+                    best = Some(cost);
+                    std::mem::swap(&mut p.shuttle.chain, &mut p.shuttle.best_chain);
+                }
             }
         }
-        if chains.is_empty() {
+        if best.is_none() {
             // Fallback: scan anchors near the gate centroid.
-            let centroid = ctx.centroid_of(qubits);
-            let lattice = state.lattice();
-            let mut anchors: Vec<Site> = lattice.iter().collect();
-            anchors.sort_by(|a, b| {
+            let state = &*p.state;
+            let centroid = crate::route::context::centroid_of(state, qubits);
+            p.shuttle.anchor_sites.clear();
+            p.shuttle.anchor_sites.extend(state.lattice().iter());
+            p.shuttle.anchor_sites.sort_by(|a, b| {
                 RoutingContext::dist_sq_to(centroid, *a)
                     .partial_cmp(&RoutingContext::dist_sq_to(centroid, *b))
                     .expect("finite")
                     .then(a.cmp(b))
             });
-            for anchor in anchors.into_iter().take(64) {
-                if let Some(chain) = self.build_chain(ctx, qubits, anchor, None) {
-                    chains.push(chain);
+            for i in 0..p.shuttle.anchor_sites.len().min(64) {
+                let anchor = p.shuttle.anchor_sites[i];
+                if let Some(cost) = self.simulate_chain(
+                    p.state, p.journal, p.shuttle, p.hood_int, qubits, anchor, None, front,
+                    lookahead, before,
+                ) {
+                    best = Some(cost);
+                    std::mem::swap(&mut p.shuttle.chain, &mut p.shuttle.best_chain);
                     break;
                 }
             }
         }
-        chains
+        best
+    }
+
+    /// One Eq. (4) cost term: applies `mv` through the journal,
+    /// folds its frontier/lookahead deltas and parallelism term into the
+    /// accumulators, and advances the replayed recency window. The
+    /// carried `before_*` values equal a recomputation at the pre-move
+    /// state (nothing mutates the state between moves), so the fused
+    /// build+cost pass is bit-identical to a separate cost replay.
+    #[allow(clippy::too_many_arguments)]
+    fn account_move(
+        &self,
+        state: &mut MappingState,
+        journal: &mut StateJournal,
+        recent: &mut Vec<Move>,
+        mv: ChainMove,
+        front: &[&FrontierGate],
+        lookahead: &[&FrontierGate],
+        before_f: &mut f64,
+        before_l: &mut f64,
+        total: &mut f64,
+    ) {
+        let r_int = self.cost.r_int;
+        state.apply_move_journaled(mv.atom, mv.to, journal);
+        let after_f = remaining(state, front, r_int);
+        let after_l = remaining(state, lookahead, r_int);
+        let c_parallel: f64 = recent
+            .iter()
+            .rev()
+            .take(self.cost.recency_window)
+            .map(|m| self.cost.shuttle_delta_t(&mv.as_move(), m))
+            .sum();
+        *total += (after_f - *before_f)
+            + self.cost.lookahead_weight * (after_l - *before_l)
+            + self.cost.time_weight * c_parallel;
+        recent.push(mv.as_move());
+        *before_f = after_f;
+        *before_l = after_l;
     }
 
     /// Builds a chain gathering all gate qubits on mutually compatible
-    /// sites around `anchor`. When `center` names a gate qubit, that qubit
-    /// stays on its current site.
-    fn build_chain(
+    /// sites around `anchor` into `bufs.chain`, simulating each move in
+    /// place through the journal — accumulating the Eq. (4) cost as it
+    /// goes — and rolling the state back before returning. When `center`
+    /// names a gate qubit, that qubit stays on its current site. Returns
+    /// the chain's total cost, or `None` when no chain exists at this
+    /// anchor.
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_chain(
         &self,
-        ctx: &RoutingContext<'_>,
+        state: &mut MappingState,
+        journal: &mut StateJournal,
+        bufs: &mut ShuttleBufs,
+        hood_int: &na_arch::Neighborhood,
         qubits: &[Qubit],
         anchor: Site,
         center: Option<usize>,
-    ) -> Option<Vec<ChainMove>> {
-        let state = ctx.state();
-        let lattice = state.lattice();
+        front: &[&FrontierGate],
+        lookahead: &[&FrontierGate],
+        before: (f64, f64),
+    ) -> Option<f64> {
         let r_int = self.cost.r_int;
-        let mut sim = state.clone();
-        let mut moves: Vec<ChainMove> = Vec::new();
-        let mut placed: Vec<Site> = Vec::new();
+        let mark = journal.mark();
+        bufs.chain.clear();
+        bufs.placed.clear();
+        bufs.recent.clear();
+        bufs.recent.extend(self.recent_moves.iter().copied());
+        let (mut before_f, mut before_l) = before;
+        let mut total = 0.0;
 
         // Placement order: the center first (stays put), then the rest by
         // proximity to the anchor.
-        let mut order: Vec<usize> = (0..qubits.len()).collect();
-        order.sort_by_key(|&i| {
-            let key = if center == Some(i) {
-                -1
-            } else {
-                state.site_of_qubit(qubits[i]).distance_sq(anchor)
-            };
-            (key, i)
-        });
+        bufs.order.clear();
+        bufs.order.extend(0..qubits.len());
+        {
+            let state = &*state;
+            bufs.order.sort_by_key(|&i| {
+                let key = if center == Some(i) {
+                    -1
+                } else {
+                    state.site_of_qubit(qubits[i]).distance_sq(anchor)
+                };
+                (key, i)
+            });
+        }
 
-        for &qi in &order {
+        for oi in 0..bufs.order.len() {
+            let qi = bufs.order[oi];
             let q = qubits[qi];
-            let here = sim.site_of_qubit(q);
-            let stays = placed.iter().all(|&t| t.within(here, r_int))
+            let here = state.site_of_qubit(q);
+            let stays = bufs.placed.iter().all(|&t| t.within(here, r_int))
                 && (center == Some(qi) || here.within(anchor, r_int));
             if stays {
                 // Already compatible with everything placed so far.
-                placed.push(here);
+                bufs.placed.push(here);
                 continue;
             }
             // Candidate targets around the anchor, nearest to the qubit
             // first; must stay compatible with already-placed sites.
-            let mut candidates: Vec<Site> = std::iter::once(anchor)
-                .chain(ctx.interaction_neighborhood().around(anchor))
-                .filter(|s| {
-                    lattice.contains(*s)
-                        && placed.iter().all(|&t| t.within(*s, r_int))
-                        && !placed.contains(s)
-                })
-                .collect();
-            candidates.sort_by_key(|s| (here.distance_sq(*s), *s));
+            bufs.site_candidates.clear();
+            {
+                let lattice = state.lattice();
+                let placed = &bufs.placed;
+                bufs.site_candidates.extend(
+                    std::iter::once(anchor)
+                        .chain(hood_int.around(anchor))
+                        .filter(|s| {
+                            lattice.contains(*s)
+                                && placed.iter().all(|&t| t.within(*s, r_int))
+                                && !placed.contains(s)
+                        }),
+                );
+            }
+            bufs.site_candidates
+                .sort_by_key(|s| (here.distance_sq(*s), *s));
 
             // First preference: a free site (direct move).
-            let direct = candidates.iter().copied().find(|&s| sim.is_free(s));
+            let direct = bufs
+                .site_candidates
+                .iter()
+                .copied()
+                .find(|&s| state.is_free(s));
             let target = if let Some(t) = direct {
                 t
             } else {
                 // Move-away: evict the blocking atom from the best
                 // occupied candidate that is not another gate qubit.
-                let gate_sites: Vec<Site> = qubits.iter().map(|&g| sim.site_of_qubit(g)).collect();
+                bufs.gate_sites.clear();
+                {
+                    let state = &*state;
+                    bufs.gate_sites
+                        .extend(qubits.iter().map(|&g| state.site_of_qubit(g)));
+                }
                 let mut evicted = None;
-                for &s in &candidates {
-                    if gate_sites.contains(&s) {
+                for si in 0..bufs.site_candidates.len() {
+                    let s = bufs.site_candidates[si];
+                    if bufs.gate_sites.contains(&s) {
                         continue;
                     }
-                    let Some(blocker) = sim.atom_at_site(s) else {
+                    let Some(blocker) = state.atom_at_site(s) else {
                         continue;
                     };
-                    let mut excluded = placed.clone();
-                    excluded.extend(gate_sites.iter().copied());
-                    excluded.push(s);
-                    let Some(park) = sim.nearest_free_site(s, &excluded) else {
+                    bufs.excluded.clear();
+                    bufs.excluded.extend_from_slice(&bufs.placed);
+                    bufs.excluded.extend_from_slice(&bufs.gate_sites);
+                    bufs.excluded.push(s);
+                    let Some(park) = state.nearest_free_site(s, &bufs.excluded) else {
                         continue;
                     };
-                    moves.push(ChainMove {
+                    let away = ChainMove {
                         atom: blocker,
                         from: s,
                         to: park,
-                    });
-                    sim.apply_move(blocker, park);
+                    };
+                    bufs.chain.push(away);
+                    self.account_move(
+                        state,
+                        journal,
+                        &mut bufs.recent,
+                        away,
+                        front,
+                        lookahead,
+                        &mut before_f,
+                        &mut before_l,
+                        &mut total,
+                    );
                     evicted = Some(s);
                     break;
                 }
-                evicted?
+                match evicted {
+                    Some(s) => s,
+                    None => {
+                        state.undo_to(journal, mark);
+                        return None;
+                    }
+                }
             };
-            let atom = sim.atom_of_qubit(q);
-            moves.push(ChainMove {
+            let atom = state.atom_of_qubit(q);
+            let mv = ChainMove {
                 atom,
-                from: sim.site_of_atom(atom),
+                from: state.site_of_atom(atom),
                 to: target,
-            });
-            sim.apply_move(atom, target);
-            placed.push(target);
+            };
+            bufs.chain.push(mv);
+            self.account_move(
+                state,
+                journal,
+                &mut bufs.recent,
+                mv,
+                front,
+                lookahead,
+                &mut before_f,
+                &mut before_l,
+                &mut total,
+            );
+            bufs.placed.push(target);
         }
 
         // Chain must actually make the gate executable.
-        if !sim.qubits_mutually_connected(qubits, r_int) {
+        let ok = state.qubits_mutually_connected(qubits, r_int);
+        state.undo_to(journal, mark);
+        if !ok {
             return None;
         }
-        // Center-based chains respect the paper's 2(m−1) bound; the anchor
-        // fallback may additionally move the would-be center.
-        debug_assert!(moves.len() <= 2 * qubits.len());
-        Some(moves)
-    }
-
-    /// Total chain cost: Σ over moves of Eq. (4).
-    fn chain_cost(
-        &self,
-        state: &MappingState,
-        chain: &[ChainMove],
-        front: &[&FrontierGate],
-        lookahead: &[&FrontierGate],
-    ) -> f64 {
-        let r_int = self.cost.r_int;
-        let mut sim = state.clone();
-        let mut recent: Vec<Move> = self.recent_moves.iter().copied().collect();
-        let mut total = 0.0;
-        let remaining = |s: &MappingState, gates: &[&FrontierGate]| -> f64 {
-            gates
-                .iter()
-                .map(|g| crate::route::distance::gate_remaining_distance(s, &g.qubits, r_int))
-                .sum()
-        };
-        for mv in chain {
-            let before_f = remaining(&sim, front);
-            let before_l = remaining(&sim, lookahead);
-            sim.apply_move(mv.atom, mv.to);
-            let after_f = remaining(&sim, front);
-            let after_l = remaining(&sim, lookahead);
-
-            let c_parallel: f64 = recent
-                .iter()
-                .rev()
-                .take(self.cost.recency_window)
-                .map(|m| self.cost.shuttle_delta_t(&mv.as_move(), m))
-                .sum();
-
-            total += (after_f - before_f)
-                + self.cost.lookahead_weight * (after_l - before_l)
-                + self.cost.time_weight * c_parallel;
-            recent.push(mv.as_move());
-        }
-        total
+        // Center-based chains respect the paper's 2(m−1) bound; the
+        // anchor fallback may additionally move the would-be center.
+        debug_assert!(bufs.chain.len() <= 2 * qubits.len());
+        Some(total)
     }
 
     /// Records applied moves into the recency window.
@@ -293,6 +397,16 @@ impl ShuttleRouter {
     }
 }
 
+/// Sum of remaining routing distances over a gate layer — the Eq. (4)
+/// distance term, evaluated in layer order so the floating-point sum is
+/// reproducible.
+fn remaining(state: &MappingState, gates: &[&FrontierGate], r_int: f64) -> f64 {
+    gates
+        .iter()
+        .map(|g| crate::route::distance::gate_remaining_distance(state, &g.qubits, r_int))
+        .sum()
+}
+
 impl Router for ShuttleRouter {
     fn capability(&self) -> Capability {
         Capability::Shuttling
@@ -302,7 +416,7 @@ impl Router for ShuttleRouter {
     /// happens in the engine's shared comparator.
     fn propose(
         &self,
-        ctx: &RoutingContext<'_>,
+        ctx: &mut RoutingContext<'_>,
         frontier: &[&FrontierGate],
         lookahead: &[&FrontierGate],
         _fallback: bool,
@@ -344,7 +458,7 @@ mod tests {
     use super::*;
     use na_arch::Neighborhood;
 
-    use crate::route::DistanceCache;
+    use crate::route::RouteScratch;
 
     fn params(side: u32, atoms: u32, r: f64) -> HardwareParams {
         HardwareParams::shuttling()
@@ -368,7 +482,7 @@ mod tests {
         state: MappingState,
         hood: Neighborhood,
         r_int: f64,
-        cache: DistanceCache,
+        scratch: RouteScratch,
     }
 
     impl Fixture {
@@ -377,18 +491,22 @@ mod tests {
                 state: MappingState::identity(p, qubits).expect("fits"),
                 hood: Neighborhood::new(p.r_int),
                 r_int: p.r_int,
-                cache: DistanceCache::new(),
+                scratch: RouteScratch::new(),
             }
         }
 
-        fn ctx(&self) -> RoutingContext<'_> {
-            RoutingContext::new(&self.state, &self.hood, self.r_int, &self.cache)
+        fn ctx(&mut self) -> RoutingContext<'_> {
+            RoutingContext::new(&mut self.state, &self.hood, self.r_int, &mut self.scratch)
         }
     }
 
-    fn best_of(router: &ShuttleRouter, fx: &Fixture, front: &[&FrontierGate]) -> Option<MoveChain> {
+    fn best_of(
+        router: &ShuttleRouter,
+        fx: &mut Fixture,
+        front: &[&FrontierGate],
+    ) -> Option<MoveChain> {
         let mut best: Option<MoveChain> = None;
-        for chain in router.best_chains(&fx.ctx(), front, &[]) {
+        for chain in router.best_chains(&mut fx.ctx(), front, &[]) {
             if best.as_ref().is_none_or(|b| chain.cost < b.cost - 1e-12) {
                 best = Some(chain);
             }
@@ -410,12 +528,29 @@ mod tests {
         let router = ShuttleRouter::new(&p, &MapperConfig::shuttle_only());
         // q0 at (0,0), q9 at (4,1): distance > 1.
         let front = [&gate(&[0, 9])];
-        let chain = best_of(&router, &fx, &front).expect("chain");
+        let chain = best_of(&router, &mut fx, &front).expect("chain");
         assert_eq!(chain.moves.len(), 1, "one direct move suffices");
         apply(&mut fx.state, &chain);
         assert!(fx
             .state
             .qubits_mutually_connected(&[Qubit(0), Qubit(9)], p.r_int));
+        fx.state.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn candidate_simulation_leaves_state_untouched() {
+        // The journal invariant: evaluating chains must not mutate the
+        // committed state — positions, qubit map, or occupancy stamp.
+        let p = params(4, 15, 1.0);
+        let mut fx = Fixture::new(&p, 15);
+        let reference = fx.state.clone();
+        let stamp = fx.state.occupancy_stamp();
+        let router = ShuttleRouter::new(&p, &MapperConfig::shuttle_only());
+        let front = [&gate(&[0, 10])];
+        let _ = router.best_chains(&mut fx.ctx(), &front, &[]);
+        assert_eq!(fx.state, reference);
+        assert_eq!(fx.state.occupancy_stamp(), stamp);
+        assert!(!fx.scratch.speculation_in_flight());
         fx.state.check_invariants().unwrap();
     }
 
@@ -427,7 +562,7 @@ mod tests {
         let router = ShuttleRouter::new(&p, &MapperConfig::shuttle_only());
         // q0 at (0,0) and q10 at (2,2): all neighbours of both are occupied.
         let front = [&gate(&[0, 10])];
-        let chain = best_of(&router, &fx, &front).expect("chain");
+        let chain = best_of(&router, &mut fx, &front).expect("chain");
         assert!(
             chain.moves.len() >= 2,
             "crowded routing needs a move-away, got {:?}",
@@ -445,10 +580,10 @@ mod tests {
         // r_int = √2: three qubits fit an L-shaped arrangement (at r = 1
         // no three lattice sites are pairwise within range at all).
         let p = params(5, 20, std::f64::consts::SQRT_2);
-        let fx = Fixture::new(&p, 20);
+        let mut fx = Fixture::new(&p, 20);
         let router = ShuttleRouter::new(&p, &MapperConfig::shuttle_only());
         let front = [&gate(&[0, 12, 19])];
-        let chain = best_of(&router, &fx, &front).expect("chain");
+        let chain = best_of(&router, &mut fx, &front).expect("chain");
         // 2(m-1) for center-based chains; the anchor fallback may also
         // relocate the would-be center (<= 2m).
         assert!(chain.moves.len() <= 2 * 3, "bounded, got {:?}", chain.moves);
@@ -461,7 +596,7 @@ mod tests {
         let router = ShuttleRouter::new(&p, &MapperConfig::shuttle_only());
         let qubits = [Qubit(0), Qubit(7), Qubit(19)];
         let front = [&gate(&[0, 7, 19])];
-        let chain = best_of(&router, &fx, &front).expect("chain");
+        let chain = best_of(&router, &mut fx, &front).expect("chain");
         apply(&mut fx.state, &chain);
         assert!(fx.state.qubits_mutually_connected(&qubits, p.r_int));
     }
@@ -469,22 +604,22 @@ mod tests {
     #[test]
     fn executable_gate_needs_no_chain() {
         let p = params(5, 10, 2.0);
-        let fx = Fixture::new(&p, 10);
+        let mut fx = Fixture::new(&p, 10);
         let router = ShuttleRouter::new(&p, &MapperConfig::shuttle_only());
         let front = [&gate(&[0, 1])];
-        assert!(best_of(&router, &fx, &front).is_none());
+        assert!(best_of(&router, &mut fx, &front).is_none());
     }
 
     #[test]
     fn parallelizable_chains_preferred_with_recent_moves() {
         let p = params(6, 12, 1.0);
-        let fx = Fixture::new(&p, 12);
+        let mut fx = Fixture::new(&p, 12);
         let mut router =
             ShuttleRouter::new(&p, &MapperConfig::shuttle_only().with_time_weight(1.0));
         // Seed the recency window with a downward move.
         router.note_moves_applied(std::iter::once(Move::new(Site::new(5, 1), Site::new(5, 4))));
         let front = [&gate(&[0, 9])];
-        let chain = best_of(&router, &fx, &front).expect("chain");
+        let chain = best_of(&router, &mut fx, &front).expect("chain");
         // The chosen move should at least load-parallelize with the
         // recent one (distinct source).
         for mv in &chain.moves {
@@ -495,21 +630,41 @@ mod tests {
     #[test]
     fn chains_deterministic() {
         let p = params(5, 15, 1.0);
-        let fx = Fixture::new(&p, 15);
+        let mut fx = Fixture::new(&p, 15);
         let router = ShuttleRouter::new(&p, &MapperConfig::shuttle_only());
         let front = [&gate(&[0, 12])];
-        let a = best_of(&router, &fx, &front).expect("chain");
-        let b = best_of(&router, &fx, &front).expect("chain");
+        let a = best_of(&router, &mut fx, &front).expect("chain");
+        let b = best_of(&router, &mut fx, &front).expect("chain");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn warm_scratch_matches_fresh_clone_evaluation() {
+        // The clone-path equivalence at router granularity: proposing on
+        // the live state with a warm arena must match proposing on a
+        // pristine clone with a cold arena, candidate for candidate.
+        let p = params(5, 15, 1.0);
+        let mut fx = Fixture::new(&p, 15);
+        let router = ShuttleRouter::new(&p, &MapperConfig::shuttle_only());
+        let front_gates = [gate(&[0, 12]), gate(&[3, 14])];
+        let front: Vec<&FrontierGate> = front_gates.iter().collect();
+        // Warm the arena with one evaluation round first.
+        let _ = router.best_chains(&mut fx.ctx(), &front, &[]);
+        let live = router.best_chains(&mut fx.ctx(), &front, &[]);
+        let mut clone = fx.state.clone();
+        let mut cold = RouteScratch::new();
+        let mut clone_ctx = RoutingContext::new(&mut clone, &fx.hood, fx.r_int, &mut cold);
+        let from_clone = router.best_chains(&mut clone_ctx, &front, &[]);
+        assert_eq!(live, from_clone);
     }
 
     #[test]
     fn propose_converts_chains_to_candidates() {
         let p = params(5, 10, 1.0);
-        let fx = Fixture::new(&p, 10);
+        let mut fx = Fixture::new(&p, 10);
         let router = ShuttleRouter::new(&p, &MapperConfig::shuttle_only());
         let front = [&gate(&[0, 9])];
-        let proposal = router.propose(&fx.ctx(), &front, &[], false);
+        let proposal = router.propose(&mut fx.ctx(), &front, &[], false);
         assert_eq!(proposal.candidates.len(), 1);
         assert!(proposal.handoff.is_empty());
         let cand = &proposal.candidates[0];

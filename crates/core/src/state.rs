@@ -64,6 +64,80 @@ fn next_occupancy_stamp() -> u64 {
     NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
+/// One recorded mutation of a [`MappingState`], enough for exact revert.
+#[derive(Debug, Clone, Copy)]
+enum JournalEntry {
+    /// A qubit exchange (its own inverse).
+    Swap { a: AtomId, b: AtomId },
+    /// A shuttle move: where the atom came from, and the occupancy stamp
+    /// the state carried *before* the move — restored verbatim on undo so
+    /// distance fields cached against the pre-move occupancy become valid
+    /// again the moment the move is reverted.
+    Move {
+        atom: AtomId,
+        from: Site,
+        stamp_before: u64,
+    },
+}
+
+/// Position in a [`StateJournal`], as returned by [`StateJournal::mark`]
+/// and consumed by [`MappingState::undo_to`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct JournalMark(usize);
+
+/// An apply/undo log of [`MappingState`] mutations.
+///
+/// Routers speculate candidate routing operations **in place** on the
+/// live state — [`MappingState::apply_swap_journaled`] /
+/// [`MappingState::apply_move_journaled`] record each mutation here, and
+/// [`MappingState::undo_to`] reverts to any earlier [`JournalMark`]
+/// exactly: positions, the qubit map, *and* the occupancy stamp.
+///
+/// # Stamp semantics
+///
+/// Speculative moves mint fresh process-unique stamps (the same
+/// generator as committed moves), so a speculatively modified occupancy
+/// can never alias the committed one — or any other state — in a stamp-
+/// keyed distance cache. Undo restores the exact pre-move stamp, so
+/// every field cached against the committed occupancy is valid again
+/// once the speculation is rolled back: candidate evaluation no longer
+/// costs the cache anything.
+///
+/// The journal is plain storage and can be reused across rounds
+/// (rolling back to [`JournalMark`] 0 leaves an empty journal with its
+/// capacity intact).
+#[derive(Debug, Clone, Default)]
+pub struct StateJournal {
+    entries: Vec<JournalEntry>,
+}
+
+impl StateJournal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        StateJournal::default()
+    }
+
+    /// The current position; pass to [`MappingState::undo_to`] to revert
+    /// everything recorded after this point.
+    #[inline]
+    pub fn mark(&self) -> JournalMark {
+        JournalMark(self.entries.len())
+    }
+
+    /// Number of recorded, not-yet-undone mutations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is recorded — i.e. no speculation is in
+    /// flight.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 impl Clone for MappingState {
     /// Clones receive a fresh stamp: they start occupancy-identical but
     /// diverge independently, so sharing the original's stamp could
@@ -281,6 +355,69 @@ impl MappingState {
         self.atom_at_site[self.lattice.index(to)] = Some(atom);
         self.site_of_atom[atom.index()] = to;
         self.occupancy_stamp = next_occupancy_stamp();
+    }
+
+    /// [`MappingState::apply_swap`] with the mutation recorded in
+    /// `journal` for exact revert via [`MappingState::undo_to`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn apply_swap_journaled(&mut self, a: AtomId, b: AtomId, journal: &mut StateJournal) {
+        journal.entries.push(JournalEntry::Swap { a, b });
+        self.apply_swap(a, b);
+    }
+
+    /// [`MappingState::apply_move`] with the mutation recorded in
+    /// `journal` for exact revert via [`MappingState::undo_to`].
+    ///
+    /// The move mints a fresh process-unique occupancy stamp (like any
+    /// committed move), so the speculative occupancy never aliases the
+    /// committed one in a stamp-keyed cache; undo restores the exact
+    /// pre-move stamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of bounds or occupied.
+    pub fn apply_move_journaled(&mut self, atom: AtomId, to: Site, journal: &mut StateJournal) {
+        journal.entries.push(JournalEntry::Move {
+            atom,
+            from: self.site_of_atom[atom.index()],
+            stamp_before: self.occupancy_stamp,
+        });
+        self.apply_move(atom, to);
+    }
+
+    /// Reverts every mutation recorded after `mark`, newest first,
+    /// restoring positions, the qubit map and the occupancy stamp
+    /// exactly as they were when `mark` was taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mark` lies beyond the journal's current length (i.e.
+    /// it was taken from a different journal or already undone past).
+    pub fn undo_to(&mut self, journal: &mut StateJournal, mark: JournalMark) {
+        assert!(
+            mark.0 <= journal.entries.len(),
+            "journal mark {mark:?} beyond length {}",
+            journal.entries.len()
+        );
+        while journal.entries.len() > mark.0 {
+            match journal.entries.pop().expect("length checked") {
+                JournalEntry::Swap { a, b } => self.apply_swap(a, b),
+                JournalEntry::Move {
+                    atom,
+                    from,
+                    stamp_before,
+                } => {
+                    let here = self.site_of_atom[atom.index()];
+                    self.atom_at_site[self.lattice.index(here)] = None;
+                    self.atom_at_site[self.lattice.index(from)] = Some(atom);
+                    self.site_of_atom[atom.index()] = from;
+                    self.occupancy_stamp = stamp_before;
+                }
+            }
+        }
     }
 
     /// Occupied sites within `hood` of `center` (excluding `center`).
@@ -511,7 +648,97 @@ mod tests {
         assert_eq!(occ.len() + free.len(), total);
     }
 
+    #[test]
+    fn journaled_move_and_undo_restore_stamp_exactly() {
+        let mut s = state();
+        let stamp0 = s.occupancy_stamp();
+        let mut j = StateJournal::new();
+        let mark = j.mark();
+        s.apply_move_journaled(AtomId(2), Site::new(3, 3), &mut j);
+        assert_ne!(s.occupancy_stamp(), stamp0, "speculation must re-stamp");
+        assert_eq!(j.len(), 1);
+        s.undo_to(&mut j, mark);
+        assert!(j.is_empty());
+        assert_eq!(s.occupancy_stamp(), stamp0, "undo must restore the stamp");
+        assert_eq!(s, state());
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn journaled_swap_and_undo_are_involutive() {
+        let mut s = state();
+        let reference = state();
+        let mut j = StateJournal::new();
+        let mark = j.mark();
+        s.apply_swap_journaled(AtomId(0), AtomId(5), &mut j);
+        s.apply_swap_journaled(AtomId(5), AtomId(9), &mut j);
+        assert_ne!(s, reference);
+        s.undo_to(&mut j, mark);
+        assert_eq!(s, reference);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn nested_marks_undo_partially() {
+        let mut s = state();
+        let mut j = StateJournal::new();
+        let outer = j.mark();
+        s.apply_move_journaled(AtomId(0), Site::new(3, 3), &mut j);
+        let after_first = s.clone();
+        let inner_stamp = s.occupancy_stamp();
+        let inner = j.mark();
+        s.apply_swap_journaled(AtomId(1), AtomId(2), &mut j);
+        s.apply_move_journaled(AtomId(3), Site::new(2, 3), &mut j);
+        s.undo_to(&mut j, inner);
+        assert_eq!(s, after_first);
+        assert_eq!(s.occupancy_stamp(), inner_stamp);
+        s.undo_to(&mut j, outer);
+        assert_eq!(s, state());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond length")]
+    fn stale_mark_panics() {
+        let mut s = state();
+        let mut j = StateJournal::new();
+        s.apply_swap_journaled(AtomId(0), AtomId(1), &mut j);
+        let late = j.mark();
+        s.undo_to(&mut j, JournalMark(0));
+        s.undo_to(&mut j, late);
+    }
+
     proptest! {
+        /// Apply → undo restores the state exactly — positions, qubit
+        /// map, occupancy stamp, invariants — for arbitrary interleaved
+        /// journaled swap/move sequences.
+        #[test]
+        fn journal_apply_undo_roundtrip(ops in proptest::collection::vec(
+            (0u32..10, 0u32..10, 0i32..4, 0i32..4, proptest::bool::ANY), 0..60)
+        ) {
+            let mut s = state();
+            let reference = s.clone();
+            let stamp0 = s.occupancy_stamp();
+            let mut j = StateJournal::new();
+            let mark = j.mark();
+            for (a, b, x, y, is_swap) in ops {
+                if is_swap {
+                    if a != b {
+                        s.apply_swap_journaled(AtomId(a), AtomId(b), &mut j);
+                    }
+                } else {
+                    let target = Site::new(x, y);
+                    if s.is_free(target) {
+                        s.apply_move_journaled(AtomId(a), target, &mut j);
+                    }
+                }
+            }
+            s.undo_to(&mut j, mark);
+            prop_assert!(j.is_empty());
+            prop_assert_eq!(&s, &reference);
+            prop_assert_eq!(s.occupancy_stamp(), stamp0);
+            prop_assert!(s.check_invariants().is_ok());
+        }
+
         /// Random swap/move sequences preserve all invariants.
         #[test]
         fn invariants_under_random_ops(ops in proptest::collection::vec(

@@ -3,31 +3,37 @@
 //! [`Compiler::compile_batch`] (and the legacy
 //! [`Pipeline::compile_batch`]) fan a slice of circuits across scoped
 //! worker threads. All workers share the same read-only session
-//! (hardware parameters, cost model, configuration); work is handed out
-//! through an atomic cursor so long circuits don't serialize behind a
-//! static partition, and results always come back in input order.
+//! (hardware parameters, cost model, configuration) but own one
+//! [`CompileScratch`] each, so the routing arena (distance-cache pools,
+//! journal, dense router tables) stays warm across every circuit a
+//! worker compiles; work is handed out through an atomic cursor so long
+//! circuits don't serialize behind a static partition, and results
+//! always come back in input order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use na_circuit::Circuit;
 
+use crate::compiler::CompileScratch;
 use crate::error::CompileError;
 use crate::{CompiledProgram, Compiler, Pipeline, PipelineError};
 
 /// Compiles every circuit on up to `threads` workers through `compile`,
 /// returning one result per circuit in input order. Workers pull the
 /// next unclaimed circuit from a shared atomic cursor (dynamic
-/// scheduling); `threads <= 1` compiles inline with no spawning
+/// scheduling) and reuse one scratch arena for their whole run;
+/// `threads <= 1` compiles inline on one warm arena with no spawning
 /// overhead.
 fn run_batch<E: Send>(
     circuits: &[Circuit],
     threads: usize,
-    compile: impl Fn(&Circuit) -> Result<CompiledProgram, E> + Sync,
+    compile: impl Fn(&Circuit, &mut CompileScratch) -> Result<CompiledProgram, E> + Sync,
 ) -> Vec<Result<CompiledProgram, E>> {
     let workers = threads.clamp(1, circuits.len().max(1));
     if workers <= 1 {
-        return circuits.iter().map(compile).collect();
+        let mut scratch = CompileScratch::new();
+        return circuits.iter().map(|c| compile(c, &mut scratch)).collect();
     }
 
     let cursor = AtomicUsize::new(0);
@@ -36,13 +42,16 @@ fn run_batch<E: Send>(
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(circuit) = circuits.get(i) else {
-                    break;
-                };
-                let result = compile(circuit);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            scope.spawn(|| {
+                let mut scratch = CompileScratch::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(circuit) = circuits.get(i) else {
+                        break;
+                    };
+                    let result = compile(circuit, &mut scratch);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                }
             });
         }
     });
@@ -96,7 +105,9 @@ impl Compiler {
         circuits: &[Circuit],
         threads: usize,
     ) -> Vec<Result<CompiledProgram, CompileError>> {
-        run_batch(circuits, threads, |c| self.compile(c))
+        run_batch(circuits, threads, |c, scratch| {
+            self.compile_with(c, scratch)
+        })
     }
 }
 
@@ -109,7 +120,11 @@ impl Pipeline {
         circuits: &[Circuit],
         threads: usize,
     ) -> Vec<Result<CompiledProgram, PipelineError>> {
-        run_batch(circuits, threads, |c| self.compile(c))
+        run_batch(circuits, threads, |c, scratch| {
+            self.compiler()
+                .compile_with(c, scratch)
+                .map_err(crate::error::to_legacy)
+        })
     }
 }
 

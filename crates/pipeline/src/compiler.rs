@@ -22,7 +22,8 @@ use std::time::Instant;
 use na_arch::{AodConstraints, HardwareParams, Site, Target, TargetSpec};
 use na_circuit::Circuit;
 use na_mapper::{
-    ConfigError, HybridMapper, InitialLayout, MappedCircuit, MappedOp, MapperConfig, OpSink,
+    ConfigError, HybridMapper, InitialLayout, MapScratch, MappedCircuit, MappedOp, MapperConfig,
+    OpSink,
 };
 use na_schedule::aod_program::{lower_batch, validate_program};
 use na_schedule::{
@@ -272,6 +273,32 @@ pub struct Compiler {
     with_baseline: bool,
 }
 
+/// Reusable working memory of one compile thread: the mapper's routing
+/// arena (journal, distance-cache pools, dense router tables) plus room
+/// for future per-stage buffers.
+///
+/// [`Compiler::compile`] creates one per call;
+/// [`Compiler::compile_with`] lets a caller keep it alive so arenas
+/// stay warm across circuits — [`Compiler::compile_batch`] gives each
+/// worker thread exactly one. Scratch carries buffer capacity only,
+/// never decisions: results are identical either way.
+#[derive(Debug, Default)]
+pub struct CompileScratch {
+    map: MapScratch,
+}
+
+impl CompileScratch {
+    /// An empty scratch; buffers grow on first use and stay warm.
+    pub fn new() -> Self {
+        CompileScratch::default()
+    }
+
+    /// The mapper scratch (exposed for benchmarks/diagnostics).
+    pub fn map(&self) -> &MapScratch {
+        &self.map
+    }
+}
+
 /// Ops per scheduler block of the fused sink. Scheduling a block mid-map
 /// evicts the router's hot caches, so blocks are large: circuits below
 /// this size schedule in one drain right after routing (while the stream
@@ -358,6 +385,23 @@ impl Compiler {
     ///   shuttling protocol (library bug guard; surfaced instead of
     ///   silently accepted).
     pub fn compile(&self, circuit: &Circuit) -> Result<CompiledProgram, CompileError> {
+        self.compile_with(circuit, &mut CompileScratch::new())
+    }
+
+    /// [`Compiler::compile`] with caller-provided working memory: the
+    /// routing arena stays warm for the next circuit compiled with the
+    /// same scratch. This is the per-worker hot path of
+    /// [`Compiler::compile_batch`]; results are identical to
+    /// [`Compiler::compile`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Compiler::compile`].
+    pub fn compile_with(
+        &self,
+        circuit: &Circuit,
+        scratch: &mut CompileScratch,
+    ) -> Result<CompiledProgram, CompileError> {
         let total_start = Instant::now();
         let params = self.mapper.params();
         let config = self.mapper.config();
@@ -381,7 +425,7 @@ impl Compiler {
         };
         let run = self
             .mapper
-            .map_into(circuit, &mut sink)
+            .map_into_scratch(circuit, &mut sink, &mut scratch.map)
             .map_err(CompileError::Map)?;
         sink.drain_block();
         let FusedSink {
@@ -555,6 +599,29 @@ mod tests {
         let program = compiler.compile(&c).unwrap();
         verify_mapping_on(&c, &program.mapped, zoned.params(), zoned.lattice()).unwrap();
         assert_eq!(program.aod_programs.len(), program.schedule.batch_count());
+    }
+
+    #[test]
+    fn warm_scratch_reuse_is_artifact_identical() {
+        // One scratch across heterogeneous circuits must produce exactly
+        // the artifacts of per-call fresh scratch — arenas carry
+        // capacity, never decisions.
+        let t = small(HardwareParams::mixed(), 6, 25);
+        let compiler = Compiler::for_target(&t).build().unwrap();
+        let circuits = [
+            Qft::new(14).build(),
+            GraphState::new(18).edges(24).seed(7).build(),
+            Qft::new(10).build(),
+        ];
+        let mut scratch = CompileScratch::new();
+        for c in &circuits {
+            let warm = compiler.compile_with(c, &mut scratch).unwrap();
+            let cold = compiler.compile(c).unwrap();
+            assert_eq!(warm.mapped, cold.mapped);
+            assert_eq!(warm.schedule, cold.schedule);
+            assert_eq!(warm.metrics, cold.metrics);
+            assert_eq!(warm.aod_programs, cold.aod_programs);
+        }
     }
 
     #[test]

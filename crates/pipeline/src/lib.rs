@@ -72,7 +72,7 @@ pub mod error;
 pub mod job;
 pub mod program;
 
-pub use compiler::{Compiler, CompilerBuilder, MappingOptions, SchedulingOptions};
+pub use compiler::{CompileScratch, Compiler, CompilerBuilder, MappingOptions, SchedulingOptions};
 pub use error::{CompileError, PipelineError};
 pub use job::{handle_json, CompileRequest, CompileResponse, JobCircuit, JobOutcome, RequestError};
 pub use program::{CompileStats, CompiledProgram};

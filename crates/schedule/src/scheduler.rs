@@ -188,9 +188,12 @@ fn batch_accepts(batch: &[BatchedMove], mv: &BatchedMove) -> bool {
 
 /// Open batches of the current shuttle run: moves are placed into the
 /// earliest batch their dependencies and the AOD constraints permit.
+/// Flushed batch vectors recycle through `pool`, so a long stream of
+/// shuttle runs stops allocating once the high-water mark is reached.
 #[derive(Debug, Clone, Default)]
 struct BatchRun {
     batches: Vec<Vec<BatchedMove>>,
+    pool: Vec<Vec<BatchedMove>>,
 }
 
 impl BatchRun {
@@ -217,8 +220,23 @@ impl BatchRun {
                 return;
             }
         }
-        self.batches.push(vec![mv]);
+        let mut batch = self.pool.pop().unwrap_or_default();
+        batch.clear();
+        batch.push(mv);
+        self.batches.push(batch);
     }
+}
+
+/// Reusable working buffers of the streaming scheduler: the flush-wave
+/// accept/defer lists, the occupancy snapshot handed to the AOD
+/// validator, and a pool recycling the site vectors of retired
+/// restriction intervals. Capacity only — no semantic state.
+#[derive(Debug, Clone, Default)]
+struct SchedScratch {
+    occupied: Vec<Site>,
+    accepted: Vec<BatchedMove>,
+    deferred: Vec<BatchedMove>,
+    site_pool: Vec<Vec<Site>>,
 }
 
 /// Streaming ASAP scheduler: consumes a [`MappedOp`] stream one
@@ -283,6 +301,8 @@ pub struct IncrementalScheduler {
     busy_us: f64,
     /// Σ ln F_O so far (the gate-fidelity product of Eq. (1)).
     ln_fidelity: f64,
+    /// Reusable buffers (see [`SchedScratch`]).
+    scratch: SchedScratch,
 }
 
 impl IncrementalScheduler {
@@ -334,6 +354,7 @@ impl IncrementalScheduler {
             makespan: 0.0,
             busy_us: 0.0,
             ln_fidelity: 0.0,
+            scratch: SchedScratch::default(),
         }
     }
 
@@ -448,15 +469,26 @@ impl IncrementalScheduler {
     /// construction. A single move always validates (its 1×1 grid is
     /// its own source/target), so every wave makes progress.
     fn flush_run(&mut self) {
+        if self.run.batches.is_empty() {
+            return;
+        }
         let batch_cap = self.aod.max_batch_moves.unwrap_or(usize::MAX).max(1);
-        let batches = std::mem::take(&mut self.run.batches);
-        for batch in batches {
-            let mut pending = batch;
-            while !pending.is_empty() {
-                let occupied = self.occupied_sites();
-                let mut accepted: Vec<BatchedMove> = Vec::new();
-                let mut deferred: Vec<BatchedMove> = Vec::new();
-                for mv in pending {
+        // Take the reusable buffers out of `self` so the loop can borrow
+        // the scheduler mutably; all of them go back (with their
+        // capacity) at the end.
+        let mut batches = std::mem::take(&mut self.run.batches);
+        let mut accepted = std::mem::take(&mut self.scratch.accepted);
+        let mut deferred = std::mem::take(&mut self.scratch.deferred);
+        let mut occupied = std::mem::take(&mut self.scratch.occupied);
+        for batch in &mut batches {
+            // `batch` holds this wave's pending moves; rejected ones
+            // cycle back into it through `deferred`.
+            while !batch.is_empty() {
+                occupied.clear();
+                self.collect_occupied(&mut occupied);
+                accepted.clear();
+                deferred.clear();
+                for mv in batch.drain(..) {
                     // Backend batch cap (AodConstraints) before the
                     // protocol validator.
                     if accepted.len() >= batch_cap {
@@ -471,20 +503,26 @@ impl IncrementalScheduler {
                         deferred.push(accepted.pop().expect("just pushed"));
                     }
                 }
-                self.flush_batch(accepted);
-                pending = deferred;
+                self.flush_batch(&accepted);
+                std::mem::swap(batch, &mut deferred);
             }
         }
+        // Recycle the (now empty) batch vectors for the next run.
+        self.run.pool.append(&mut batches);
+        self.scratch.accepted = accepted;
+        self.scratch.deferred = deferred;
+        self.scratch.occupied = occupied;
     }
 
     /// Every currently occupied trap site (the validator's `occupied`
-    /// input). Deferred and not-yet-flushed moves still hold their
-    /// sources, which [`Self::site_free_at`] reflects.
-    fn occupied_sites(&self) -> Vec<Site> {
-        self.lattice
-            .iter()
-            .filter(|s| self.site_free_at[self.lattice.index(*s)].is_infinite())
-            .collect()
+    /// input), written into `out`. Deferred and not-yet-flushed moves
+    /// still hold their sources, which [`Self::site_free_at`] reflects.
+    fn collect_occupied(&self, out: &mut Vec<Site>) {
+        out.extend(
+            self.lattice
+                .iter()
+                .filter(|s| self.site_free_at[self.lattice.index(*s)].is_infinite()),
+        );
     }
 
     /// Records a finished item, folding its duration and fidelity terms
@@ -528,8 +566,20 @@ impl IncrementalScheduler {
         // dominates, the fix is a spatial index over intervals rather
         // than a tighter time bound (which cannot be correct: a gate on
         // two so-far-idle atoms may still legally start at t = 0).
+        // Order-preserving compaction; retired site vectors recycle
+        // through the scratch pool.
         let low_water = self.avail.iter().copied().fold(f64::INFINITY, f64::min);
-        self.active_rydberg.retain(|(_, end, _)| *end > low_water);
+        let mut kept = 0usize;
+        for i in 0..self.active_rydberg.len() {
+            if self.active_rydberg[i].1 > low_water {
+                self.active_rydberg.swap(i, kept);
+                kept += 1;
+            }
+        }
+        for (_, _, mut sites) in self.active_rydberg.drain(kept..) {
+            sites.clear();
+            self.scratch.site_pool.push(sites);
+        }
         loop {
             let mut moved = false;
             for (start, end, other) in &self.active_rydberg {
@@ -567,8 +617,10 @@ impl IncrementalScheduler {
         let t0 = self.earliest(&atoms);
         let start = self.respect_restriction(&sites, t0, dur);
         self.occupy(&atoms, start, dur);
+        let mut interval_sites = self.scratch.site_pool.pop().unwrap_or_default();
+        interval_sites.extend_from_slice(&sites);
         self.active_rydberg
-            .push((start, start + dur, sites.clone()));
+            .push((start, start + dur, interval_sites));
         self.record(ScheduledItem::Rydberg {
             atoms,
             sites,
@@ -583,8 +635,10 @@ impl IncrementalScheduler {
         let t0 = self.earliest(&atoms);
         let start = self.respect_restriction(&sites, t0, dur);
         self.occupy(&atoms, start, dur);
+        let mut interval_sites = self.scratch.site_pool.pop().unwrap_or_default();
+        interval_sites.extend_from_slice(&sites);
         self.active_rydberg
-            .push((start, start + dur, sites.to_vec()));
+            .push((start, start + dur, interval_sites));
         self.record(ScheduledItem::SwapComposite {
             atoms,
             sites,
@@ -593,7 +647,7 @@ impl IncrementalScheduler {
         });
     }
 
-    fn flush_batch(&mut self, moves: Vec<BatchedMove>) {
+    fn flush_batch(&mut self, moves: &[BatchedMove]) {
         if moves.is_empty() {
             return;
         }
@@ -615,12 +669,12 @@ impl IncrementalScheduler {
         let dur = self.params.shuttle_time_us(max_dist);
         self.occupy(&atoms, start, dur);
         self.aod_free_at = start + dur;
-        for m in &moves {
+        for m in moves {
             self.site_free_at[self.lattice.index(m.from)] = start + dur;
             self.site_free_at[self.lattice.index(m.to)] = f64::INFINITY;
         }
         self.record(ScheduledItem::AodBatch {
-            moves,
+            moves: moves.to_vec(),
             start_us: start,
             duration_us: dur,
         });
@@ -1036,18 +1090,15 @@ mod tests {
         let c = GraphState::new(18).edges(30).seed(8).build();
         let mapped = map_with(&p, MapperConfig::try_hybrid(1.0).expect("valid alpha"), &c);
         let schedule = s.schedule_mapped(&mapped);
-        // Per-atom intervals must be disjoint.
-        let mut per_atom: std::collections::HashMap<AtomId, Vec<(f64, f64)>> =
-            std::collections::HashMap::new();
+        // Per-atom intervals must be disjoint — dense busy-interval map
+        // indexed by atom id (same idiom as the scheduler's hot path).
+        let mut per_atom: Vec<Vec<(f64, f64)>> = vec![Vec::new(); schedule.num_atoms as usize];
         for item in &schedule.items {
             for a in item.atoms() {
-                per_atom
-                    .entry(a)
-                    .or_default()
-                    .push((item.start_us(), item.end_us()));
+                per_atom[a.index()].push((item.start_us(), item.end_us()));
             }
         }
-        for (atom, mut intervals) in per_atom {
+        for (atom, intervals) in per_atom.iter_mut().enumerate() {
             intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             for w in intervals.windows(2) {
                 assert!(w[0].1 <= w[1].0 + 1e-9, "atom {atom} double-booked: {w:?}");

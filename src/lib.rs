@@ -85,11 +85,11 @@ pub mod prelude {
     pub use na_circuit::{decompose_to_native, qasm, Circuit, GateKind, Operation, Qubit};
     pub use na_mapper::{
         verify_mapping, verify_mapping_on, ConfigError, HybridMapper, InitialLayout, MapError,
-        MappedCircuit, MappedOp, MapperConfig, MappingOutcome, OpSink,
+        MapScratch, MappedCircuit, MappedOp, MapperConfig, MappingOutcome, OpSink, StateJournal,
     };
     pub use na_pipeline::{
-        handle_json, CompileError, CompileRequest, CompileResponse, CompileStats, CompiledProgram,
-        Compiler, MappingOptions, Pipeline, PipelineError, SchedulingOptions,
+        handle_json, CompileError, CompileRequest, CompileResponse, CompileScratch, CompileStats,
+        CompiledProgram, Compiler, MappingOptions, Pipeline, PipelineError, SchedulingOptions,
     };
     pub use na_schedule::{
         ComparisonReport, IncrementalScheduler, Schedule, ScheduleError, ScheduleMetrics, Scheduler,

@@ -11,6 +11,7 @@ const EXPECTED: &[&str] = &[
     "CompileError",
     "CompileRequest",
     "CompileResponse",
+    "CompileScratch",
     "CompileStats",
     "CompiledProgram",
     "Compiler",
@@ -24,6 +25,7 @@ const EXPECTED: &[&str] = &[
     "Lattice",
     "LatticeKind",
     "MapError",
+    "MapScratch",
     "MappedCircuit",
     "MappedOp",
     "MapperConfig",
@@ -48,6 +50,7 @@ const EXPECTED: &[&str] = &[
     "Scheduler",
     "SchedulingOptions",
     "Site",
+    "StateJournal",
     "Statevector",
     "Target",
     "TargetSpec",
@@ -135,12 +138,12 @@ mod resolves {
     use hybrid_na::prelude::{
         cuccaro_adder, decompose_to_native, ghz, handle_json, qasm, verify_mapping,
         verify_mapping_on, AodConstraints, Circuit, ComparisonReport, CompileError, CompileRequest,
-        CompileResponse, CompileStats, CompiledProgram, Compiler, ConfigError, GateKind,
-        GraphState, HardwareParams, HybridMapper, IncrementalScheduler, InitialLayout, Lattice,
-        LatticeKind, MapError, MappedCircuit, MappedOp, MapperConfig, MappingOptions,
-        MappingOutcome, Move, NativeGateSet, Neighborhood, OpSink, Operation, Pipeline,
-        PipelineError, Qaoa, Qft, Qpe, Qubit, RandomCircuit, Reversible, Schedule, ScheduleError,
-        ScheduleMetrics, Scheduler, SchedulingOptions, Site, Statevector, Target, TargetSpec,
-        ZonedTarget,
+        CompileResponse, CompileScratch, CompileStats, CompiledProgram, Compiler, ConfigError,
+        GateKind, GraphState, HardwareParams, HybridMapper, IncrementalScheduler, InitialLayout,
+        Lattice, LatticeKind, MapError, MapScratch, MappedCircuit, MappedOp, MapperConfig,
+        MappingOptions, MappingOutcome, Move, NativeGateSet, Neighborhood, OpSink, Operation,
+        Pipeline, PipelineError, Qaoa, Qft, Qpe, Qubit, RandomCircuit, Reversible, Schedule,
+        ScheduleError, ScheduleMetrics, Scheduler, SchedulingOptions, Site, StateJournal,
+        Statevector, Target, TargetSpec, ZonedTarget,
     };
 }

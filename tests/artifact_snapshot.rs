@@ -1,0 +1,168 @@
+//! Compiled-artifact snapshot: pins an FNV-1a hash of the mapped op
+//! stream (and the item count of the resulting schedule) for a fixed set
+//! of circuits on the Table-1 hardware presets, over both trap
+//! topologies.
+//!
+//! The hashes were recorded immediately **before** the data-oriented
+//! routing-core refactor (journaled candidate simulation, scratch
+//! arenas), so a green run proves the refactor left every compiled
+//! artifact byte-for-byte identical. A deliberate algorithmic change to
+//! routing or scheduling must update `EXPECTED` in the same PR — the
+//! diff then documents the artifact change.
+
+use hybrid_na::prelude::*;
+
+/// FNV-1a 64-bit over the debug rendering of every mapped op plus the
+/// schedule shape. Debug formats are stable within this workspace, and
+/// every routing-relevant field (atoms, sites, op indices) participates.
+fn artifact_hash(program: &CompiledProgram) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for op in program.mapped.iter() {
+        eat(format!("{op:?}\n").as_bytes());
+    }
+    eat(format!(
+        "items={} makespan={:.9} batches={}",
+        program.schedule.len(),
+        program.schedule.makespan_us,
+        program.aod_programs.len()
+    )
+    .as_bytes());
+    h
+}
+
+fn square(preset: HardwareParams) -> HardwareParams {
+    preset
+        .to_builder()
+        .lattice(6, 3.0)
+        .num_atoms(30)
+        .build()
+        .expect("valid")
+}
+
+fn circuits() -> Vec<(&'static str, Circuit)> {
+    vec![
+        ("qft-16", Qft::new(16).build()),
+        ("graph-20", GraphState::new(20).edges(26).seed(9).build()),
+        ("qaoa-16", Qaoa::new(16).edges(20).layers(2).seed(5).build()),
+    ]
+}
+
+/// `(target, mode, circuit) -> artifact hash` recorded pre-refactor.
+const EXPECTED: &[(&str, &str, &str, u64)] = &[
+    ("square/mixed", "hybrid", "qft-16", 0xfe84b122ca740d50),
+    ("square/mixed", "hybrid", "graph-20", 0x3648e9ab433f4c8b),
+    ("square/mixed", "hybrid", "qaoa-16", 0xdc51785be10b8cfd),
+    ("square/gate_based", "gate", "qft-16", 0x68c48f141472f4e3),
+    ("square/gate_based", "gate", "graph-20", 0x60440d0368e3d885),
+    ("square/gate_based", "gate", "qaoa-16", 0x770a82797ae481ee),
+    ("square/shuttling", "shuttle", "qft-16", 0xb3863253d8652281),
+    (
+        "square/shuttling",
+        "shuttle",
+        "graph-20",
+        0x40ab351c2ef05ae2,
+    ),
+    ("square/shuttling", "shuttle", "qaoa-16", 0x19918b696a00efd3),
+    ("zoned/mixed", "hybrid", "qft-16", 0xbdafd78d86504a3c),
+    ("zoned/mixed", "hybrid", "graph-20", 0xcf7b0d6ca2309936),
+    ("zoned/mixed", "hybrid", "qaoa-16", 0x1a2c94d2bc6c49a3),
+];
+
+fn options(mode: &str) -> MappingOptions {
+    match mode {
+        "hybrid" => MappingOptions::hybrid(1.0),
+        "gate" => MappingOptions::gate_only(),
+        "shuttle" => MappingOptions::shuttle_only(),
+        other => panic!("unknown mode {other}"),
+    }
+}
+
+fn compile_all() -> Vec<(String, String, String, u64)> {
+    let mut rows = Vec::new();
+    let targets: Vec<(&str, &str, Box<dyn Target>)> = vec![
+        (
+            "square/mixed",
+            "hybrid",
+            Box::new(square(HardwareParams::mixed())),
+        ),
+        (
+            "square/gate_based",
+            "gate",
+            Box::new(square(HardwareParams::gate_based())),
+        ),
+        (
+            "square/shuttling",
+            "shuttle",
+            Box::new(square(HardwareParams::shuttling())),
+        ),
+        (
+            "zoned/mixed",
+            "hybrid",
+            Box::new(
+                ZonedTarget::new(
+                    HardwareParams::mixed()
+                        .to_builder()
+                        .lattice(8, 3.0)
+                        .num_atoms(30)
+                        .build()
+                        .expect("valid"),
+                    2,
+                    1,
+                )
+                .expect("fits"),
+            ),
+        ),
+    ];
+    for (tname, mode, target) in &targets {
+        let compiler = Compiler::for_target(target.as_ref())
+            .mapping(options(mode))
+            .build()
+            .expect("valid session");
+        for (cname, circuit) in circuits() {
+            let program = compiler.compile(&circuit).expect("compiles");
+            rows.push((
+                tname.to_string(),
+                mode.to_string(),
+                cname.to_string(),
+                artifact_hash(&program),
+            ));
+        }
+    }
+    rows
+}
+
+#[test]
+fn compiled_artifacts_match_pre_refactor_snapshot() {
+    let actual = compile_all();
+    let mut failures = Vec::new();
+    for (target, mode, circuit, hash) in &actual {
+        let expected = EXPECTED
+            .iter()
+            .find(|(t, m, c, _)| t == target && m == mode && c == circuit);
+        match expected {
+            Some((_, _, _, e)) if e == hash => {}
+            Some((_, _, _, e)) => failures.push(format!(
+                "{target} {mode} {circuit}: {hash:#018x} != {e:#018x}"
+            )),
+            None => failures.push(format!("{target} {mode} {circuit}: not in snapshot")),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "artifact drift vs pre-refactor snapshot:\n  {}\nfull actual table:\n{}",
+        failures.join("\n  "),
+        actual
+            .iter()
+            .map(|(t, m, c, h)| format!("    (\"{t}\", \"{m}\", \"{c}\", {h:#018x}),"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
