@@ -1,0 +1,220 @@
+//! CSR adjacency: precomputed in-bounds neighbor lists per
+//! `(Lattice, Neighborhood)` pair.
+//!
+//! Every hot loop of the routing core used to enumerate lattice
+//! neighbors geometrically — `hood.around(site)` offset arithmetic plus
+//! a `Lattice::contains` bounds check and a `Lattice::index` dense-index
+//! computation *per visited neighbor, per visit*. On the paper's
+//! near-full 15×15 arrays (and beyond) that geometry math dominates BFS
+//! and the routers' adjacency scans. [`NeighborTable`] resolves the
+//! whole product once into one dense `offsets`/`neighbors` CSR pair:
+//! the neighbors of dense site `i` are the slice
+//! `neighbors[offsets[i]..offsets[i + 1]]`, already bounds-filtered and
+//! already in dense-index form.
+//!
+//! The per-site neighbor order is exactly the order
+//! `hood.around(site).filter(|s| lattice.contains(*s))` yields — the
+//! disc's nearest-first `(d², dy, dx)` order — so consumers that switch
+//! from the iterator to the table enumerate candidates in the identical
+//! sequence (a load-bearing property for the routers' deterministic
+//! tie-breaking).
+//!
+//! # Example
+//!
+//! ```
+//! use na_arch::{Lattice, NeighborTable, Neighborhood, Site};
+//! let lattice = Lattice::new(15);
+//! let table = NeighborTable::build(&lattice, &Neighborhood::new(2.0));
+//! // Interior sites see the full 12-site disc of Fig. 1a ...
+//! let center = lattice.index(Site::new(7, 7));
+//! assert_eq!(table.neighbors(center).len(), 12);
+//! // ... corner sites only its in-bounds quarter.
+//! let corner = lattice.index(Site::new(0, 0));
+//! assert_eq!(table.neighbors(corner).len(), 5);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::Neighborhood;
+use crate::lattice::Lattice;
+
+/// Precomputed CSR neighbor table of a lattice under a Euclidean
+/// interaction radius: one `offsets`/`neighbors` pair over dense site
+/// indices, replacing per-visit `Neighborhood::around` geometry math in
+/// BFS, the routers' adjacency scans and the verifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeighborTable {
+    lattice: Lattice,
+    radius: f64,
+    /// `offsets[i]..offsets[i + 1]` delimits site `i`'s neighbor slice.
+    offsets: Vec<u32>,
+    /// Dense site indices, per site in the disc's nearest-first order.
+    neighbors: Vec<u32>,
+}
+
+impl NeighborTable {
+    /// Resolves the `(lattice, hood)` product into a CSR table.
+    ///
+    /// Cost is `O(num_sites × hood.len())` — run once per compiler
+    /// construction (or mapper call), never per routing round.
+    pub fn build(lattice: &Lattice, hood: &Neighborhood) -> Self {
+        let n = lattice.num_sites();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(n * hood.len());
+        offsets.push(0u32);
+        for idx in 0..n {
+            let center = lattice.site(idx);
+            for s in hood.around(center) {
+                if lattice.contains(s) {
+                    neighbors.push(lattice.index(s) as u32);
+                }
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+        NeighborTable {
+            lattice: *lattice,
+            radius: hood.radius(),
+            offsets,
+            neighbors,
+        }
+    }
+
+    /// [`NeighborTable::build`] constructing the disc internally.
+    pub fn for_radius(lattice: &Lattice, r: f64) -> Self {
+        NeighborTable::build(lattice, &Neighborhood::new(r))
+    }
+
+    /// The lattice this table was built over.
+    #[inline]
+    pub fn lattice(&self) -> &Lattice {
+        &self.lattice
+    }
+
+    /// The Euclidean radius this table was built for.
+    #[inline]
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Number of sites covered (rows of the CSR matrix).
+    #[inline]
+    pub fn num_sites(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of directed adjacency entries.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The in-bounds neighbors of dense site index `idx`, nearest
+    /// first — dense indices, already bounds-checked at build time.
+    #[inline]
+    pub fn neighbors(&self, idx: usize) -> &[u32] {
+        let lo = self.offsets[idx] as usize;
+        let hi = self.offsets[idx + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Returns `true` when this table describes exactly the given
+    /// `(lattice, radius)` pair — the staleness check for consumers that
+    /// cache a table across calls.
+    #[inline]
+    pub fn matches(&self, lattice: &Lattice, r: f64) -> bool {
+        self.lattice == *lattice && self.radius == r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::Site;
+    use proptest::prelude::*;
+
+    fn reference_neighbors(lattice: &Lattice, hood: &Neighborhood, center: Site) -> Vec<u32> {
+        hood.around(center)
+            .filter(|s| lattice.contains(*s))
+            .map(|s| lattice.index(s) as u32)
+            .collect()
+    }
+
+    #[test]
+    fn matches_reports_staleness() {
+        let lat = Lattice::new(6);
+        let table = NeighborTable::for_radius(&lat, 2.0);
+        assert!(table.matches(&lat, 2.0));
+        assert!(!table.matches(&lat, 2.5));
+        assert!(!table.matches(&Lattice::new(7), 2.0));
+        assert_eq!(table.num_sites(), 36);
+    }
+
+    #[test]
+    fn interior_degree_matches_disc_size() {
+        let lat = Lattice::new(9);
+        for r in [1.0, std::f64::consts::SQRT_2, 2.0, 2.5] {
+            let hood = Neighborhood::new(r);
+            let table = NeighborTable::build(&lat, &hood);
+            let center = lat.index(Site::new(4, 4));
+            assert_eq!(table.neighbors(center).len(), hood.len(), "r = {r}");
+        }
+    }
+
+    #[test]
+    fn zoned_tables_skip_lane_rows() {
+        let lat = Lattice::zoned(9, 2, 1).unwrap();
+        let table = NeighborTable::for_radius(&lat, 2.0);
+        for idx in 0..table.num_sites() {
+            for &n in table.neighbors(idx) {
+                let site = lat.site(n as usize);
+                assert!(lat.is_trap_row(site.y), "lane site {site} in table");
+            }
+        }
+    }
+
+    proptest! {
+        /// CSR slices equal the geometric enumeration — same sites, same
+        /// nearest-first order — on square lattices.
+        #[test]
+        fn csr_equals_hood_around_square(side in 2u32..12, r in 0.5f64..4.0) {
+            let lat = Lattice::new(side);
+            let hood = Neighborhood::new(r);
+            let table = NeighborTable::build(&lat, &hood);
+            prop_assert_eq!(table.num_sites(), lat.num_sites());
+            for idx in 0..lat.num_sites() {
+                let expect = reference_neighbors(&lat, &hood, lat.site(idx));
+                prop_assert_eq!(table.neighbors(idx), expect.as_slice());
+            }
+        }
+
+        /// Same equivalence over zoned (banded) lattices, where the
+        /// geometric path additionally filters lane rows.
+        #[test]
+        fn csr_equals_hood_around_zoned(side in 3u32..12, zone in 1u32..4,
+                                        gap in 1u32..3, r in 0.5f64..4.0) {
+            let lat = Lattice::zoned(side, zone, gap).unwrap();
+            let hood = Neighborhood::new(r);
+            let table = NeighborTable::build(&lat, &hood);
+            prop_assert_eq!(table.num_sites(), lat.num_sites());
+            for idx in 0..lat.num_sites() {
+                let expect = reference_neighbors(&lat, &hood, lat.site(idx));
+                prop_assert_eq!(table.neighbors(idx), expect.as_slice());
+            }
+        }
+
+        /// Every listed edge really lies within the radius, and edges
+        /// are symmetric (the interaction graph is undirected).
+        #[test]
+        fn csr_edges_within_radius_and_symmetric(side in 2u32..10, r in 0.5f64..3.5) {
+            let lat = Lattice::new(side);
+            let table = NeighborTable::for_radius(&lat, r);
+            for idx in 0..lat.num_sites() {
+                let here = lat.site(idx);
+                for &n in table.neighbors(idx) {
+                    prop_assert!(here.within(lat.site(n as usize), r));
+                    prop_assert!(table.neighbors(n as usize).contains(&(idx as u32)));
+                }
+            }
+        }
+    }
+}

@@ -81,8 +81,20 @@ impl Site {
     /// the boundary despite floating-point rounding.
     #[inline]
     pub fn within(self, other: Site, r: f64) -> bool {
+        self.distance_sq(other) <= Site::within_threshold_sq(r)
+    }
+
+    /// The largest squared lattice distance still counted as "within
+    /// radius `r`" by [`Site::within`] — the integer fast path for hot
+    /// range checks: hoist this once per loop and compare
+    /// [`Site::distance_sq`] against it. Decision-identical to `within`
+    /// (same epsilon'd boundary), with no per-pair float math.
+    #[inline]
+    pub fn within_threshold_sq(r: f64) -> i64 {
         const EPS: f64 = 1e-9;
-        (self.distance_sq(other) as f64) <= r * r + EPS
+        // Integer squared distances convert to f64 exactly (they are far
+        // below 2^53), so `d² ≤ ⌊r² + ε⌋  ⟺  (d² as f64) ≤ r² + ε`.
+        (r * r + EPS).floor() as i64
     }
 
     /// Component-wise displacement `other - self`.
@@ -172,6 +184,23 @@ mod tests {
             let b = Site::new(bx, by);
             prop_assert!(f64::from(a.chebyshev_distance(b)) <= a.distance(b) + 1e-9);
             prop_assert!(a.distance(b) <= a.rectilinear_distance(b) + 1e-9);
+        }
+
+        /// The integer threshold is decision-identical to the float
+        /// comparison `within` used before the fast path existed.
+        #[test]
+        fn threshold_matches_float_within(ax in -50i32..50, ay in -50i32..50,
+                                          bx in -50i32..50, by in -50i32..50,
+                                          r in 0.1f64..10.0) {
+            const EPS: f64 = 1e-9;
+            let a = Site::new(ax, ay);
+            let b = Site::new(bx, by);
+            let float_decision = (a.distance_sq(b) as f64) <= r * r + EPS;
+            prop_assert_eq!(a.within(b, r), float_decision);
+            prop_assert_eq!(
+                a.distance_sq(b) <= Site::within_threshold_sq(r),
+                float_decision
+            );
         }
     }
 }

@@ -30,6 +30,9 @@ use crate::coord::Site;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Neighborhood {
     radius: f64,
+    /// `Site::within_threshold_sq(radius)` — the integer squared-distance
+    /// bound of the disc, precomputed once.
+    max_dist_sq: i64,
     offsets: Vec<(i32, i32)>,
 }
 
@@ -62,13 +65,35 @@ impl Neighborhood {
                 dx,
             )
         });
-        Neighborhood { radius: r, offsets }
+        Neighborhood {
+            radius: r,
+            max_dist_sq: Site::within_threshold_sq(r),
+            offsets,
+        }
     }
 
     /// The radius this disc was built for, in units of `d`.
     #[inline]
     pub fn radius(&self) -> f64 {
         self.radius
+    }
+
+    /// The largest squared lattice distance inside the disc — the
+    /// integer bound behind [`Neighborhood::contains_sq`].
+    #[inline]
+    pub fn max_dist_sq(&self) -> i64 {
+        self.max_dist_sq
+    }
+
+    /// Returns `true` when a squared lattice distance `dist_sq` lies
+    /// within this disc's radius — decision-identical to
+    /// [`Site::within`] at the same radius, with no float math per
+    /// query. This is the hot-path form of the within-range check: the
+    /// `r²` threshold is computed once at disc construction, callers
+    /// compare exact integer [`Site::distance_sq`] values against it.
+    #[inline]
+    pub fn contains_sq(&self, dist_sq: i64) -> bool {
+        dist_sq <= self.max_dist_sq
     }
 
     /// Number of offsets in the disc.
@@ -104,9 +129,10 @@ impl Neighborhood {
 ///
 /// An empty or single-element slice is trivially compatible.
 pub fn mutually_within(sites: &[Site], r: f64) -> bool {
+    let r_sq = Site::within_threshold_sq(r);
     for (i, &a) in sites.iter().enumerate() {
         for &b in &sites[i + 1..] {
-            if !a.within(b, r) {
+            if a.distance_sq(b) > r_sq {
                 return false;
             }
         }
@@ -118,9 +144,10 @@ pub fn mutually_within(sites: &[Site], r: f64) -> bool {
 /// every site in `b` — the parallel-execution restriction between two
 /// simultaneous Rydberg gates (paper §2.1).
 pub fn sets_clear_of(a: &[Site], b: &[Site], r: f64) -> bool {
+    let r_sq = Site::within_threshold_sq(r);
     for &s in a {
         for &t in b {
-            if s.within(t, r) {
+            if s.distance_sq(t) <= r_sq {
                 return false;
             }
         }
@@ -223,6 +250,25 @@ mod tests {
         assert_eq!(Neighborhood::new(2.0).len(), 12);
         assert_eq!(Neighborhood::new(2.5).len(), 20);
         assert_eq!(Neighborhood::new(4.5).len(), 68);
+    }
+
+    #[test]
+    fn contains_sq_matches_within_decisions() {
+        for r in [1.0, std::f64::consts::SQRT_2, 2.0, 2.5, 4.5] {
+            let hood = Neighborhood::new(r);
+            assert_eq!(hood.max_dist_sq(), Site::within_threshold_sq(r));
+            let origin = Site::new(0, 0);
+            for dx in -6i32..=6 {
+                for dy in -6i32..=6 {
+                    let s = Site::new(dx, dy);
+                    assert_eq!(
+                        hood.contains_sq(origin.distance_sq(s)),
+                        origin.within(s, r),
+                        "r = {r}, offset ({dx}, {dy})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adjacency;
 pub mod aod;
 pub mod coord;
 pub mod error;
@@ -41,6 +42,7 @@ pub mod lattice;
 pub mod params;
 pub mod target;
 
+pub use adjacency::NeighborTable;
 pub use aod::{AodColumn, AodRow, Move, MoveBatch};
 pub use coord::Site;
 pub use error::ArchError;

@@ -40,6 +40,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::adjacency::NeighborTable;
 use crate::error::ArchError;
 use crate::lattice::Lattice;
 use crate::params::HardwareParams;
@@ -157,14 +158,19 @@ pub trait Target: fmt::Debug {
         Ok(())
     }
 
-    /// Resolves the target into a concrete snapshot.
+    /// Resolves the target into a concrete snapshot, including the CSR
+    /// interaction adjacency (`r_int` neighbor table) the routing hot
+    /// path consumes.
     fn spec(&self) -> TargetSpec {
+        let lattice = self.lattice();
+        let interaction_table = NeighborTable::for_radius(&lattice, self.params().r_int);
         TargetSpec {
             id: self.id(),
             params: self.params().clone(),
-            lattice: self.lattice(),
+            lattice,
             aod: self.aod_constraints(),
             gates: self.native_gates(),
+            interaction_table,
         }
     }
 }
@@ -183,6 +189,36 @@ pub struct TargetSpec {
     pub aod: AodConstraints,
     /// Native gate set.
     pub gates: NativeGateSet,
+    /// CSR adjacency of the topology at `params.r_int` — resolved once
+    /// here and consumed by `HybridMapper::for_target`, so the routing
+    /// hot path never recomputes `hood.around` geometry (see
+    /// [`NeighborTable`]). Derived data: a pure function of
+    /// `(lattice, params.r_int)`, rebuilt (never trusted) by
+    /// [`TargetSpec::resolve`] when a spec is assembled from parts.
+    pub interaction_table: NeighborTable,
+}
+
+impl TargetSpec {
+    /// Rebuilds a spec from its independent fields, deriving the CSR
+    /// interaction table — the constructor for callers assembling a
+    /// spec by hand (e.g. the JSON job layer).
+    pub fn resolve(
+        id: String,
+        params: HardwareParams,
+        lattice: Lattice,
+        aod: AodConstraints,
+        gates: NativeGateSet,
+    ) -> Self {
+        let interaction_table = NeighborTable::for_radius(&lattice, params.r_int);
+        TargetSpec {
+            id,
+            params,
+            lattice,
+            aod,
+            gates,
+            interaction_table,
+        }
+    }
 }
 
 impl Target for TargetSpec {

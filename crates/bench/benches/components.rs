@@ -3,11 +3,11 @@
 //! chain construction, and commutation-aware DAG building.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use na_arch::{HardwareParams, Neighborhood, Site};
+use na_arch::{HardwareParams, NeighborTable, Neighborhood, Site};
 use na_circuit::generators::Qft;
 use na_circuit::{CircuitDag, Qubit};
 use na_mapper::decision::Capability;
-use na_mapper::route::distance::bfs_occupied;
+use na_mapper::route::distance::{bfs_occupied, bfs_occupied_table_into};
 use na_mapper::route::gate::RoutedGate;
 use na_mapper::{
     FrontierGate, GateRouter, MapperConfig, MappingState, RouteScratch, RoutingContext,
@@ -23,14 +23,23 @@ fn paper_state() -> (HardwareParams, MappingState) {
 fn bench_bfs(c: &mut Criterion) {
     let (params, state) = paper_state();
     let hood = Neighborhood::new(params.r_int);
+    let table = NeighborTable::build(state.lattice(), &hood);
     c.bench_function("bfs_occupied_15x15", |b| {
         b.iter(|| bfs_occupied(&state, &[Site::new(0, 0)], &hood))
+    });
+    let mut dist = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    c.bench_function("bfs_occupied_csr_15x15", |b| {
+        b.iter(|| {
+            bfs_occupied_table_into(&state, &[Site::new(0, 0)], &table, &mut dist, &mut queue)
+        })
     });
 }
 
 fn bench_best_swap(c: &mut Criterion) {
     let (params, mut state) = paper_state();
     let hood = Neighborhood::new(params.r_int);
+    let table = NeighborTable::build(state.lattice(), &hood);
     let mut scratch = RouteScratch::new();
     let router = GateRouter::new(&params, &MapperConfig::gate_only());
     // A frontier of 8 distant 2-qubit gates.
@@ -43,7 +52,8 @@ fn bench_best_swap(c: &mut Criterion) {
         .collect();
     c.bench_function("best_swap_front8", |b| {
         b.iter(|| {
-            let mut ctx = RoutingContext::new(&mut state, &hood, params.r_int, &mut scratch);
+            let mut ctx =
+                RoutingContext::new(&mut state, &hood, &table, params.r_int, &mut scratch);
             router.best_swap(&mut ctx, &front, &[])
         })
     });
@@ -52,12 +62,14 @@ fn bench_best_swap(c: &mut Criterion) {
 fn bench_find_position(c: &mut Criterion) {
     let (params, mut state) = paper_state();
     let hood = Neighborhood::new(params.r_int);
+    let table = NeighborTable::build(state.lattice(), &hood);
     let mut scratch = RouteScratch::new();
     let router = GateRouter::new(&params, &MapperConfig::gate_only());
     let qubits = [Qubit(0), Qubit(100), Qubit(199)];
     c.bench_function("find_position_c2z", |b| {
         b.iter(|| {
-            let mut ctx = RoutingContext::new(&mut state, &hood, params.r_int, &mut scratch);
+            let mut ctx =
+                RoutingContext::new(&mut state, &hood, &table, params.r_int, &mut scratch);
             router.find_position(&mut ctx, &qubits)
         })
     });
@@ -66,6 +78,7 @@ fn bench_find_position(c: &mut Criterion) {
 fn bench_move_chains(c: &mut Criterion) {
     let (params, mut state) = paper_state();
     let hood = Neighborhood::new(params.r_int);
+    let table = NeighborTable::build(state.lattice(), &hood);
     let mut scratch = RouteScratch::new();
     let router = ShuttleRouter::new(&params, &MapperConfig::shuttle_only());
     let front: Vec<FrontierGate> = (0..8)
@@ -78,7 +91,8 @@ fn bench_move_chains(c: &mut Criterion) {
     let front_refs: Vec<&FrontierGate> = front.iter().collect();
     c.bench_function("best_chain_front8", |b| {
         b.iter(|| {
-            let mut ctx = RoutingContext::new(&mut state, &hood, params.r_int, &mut scratch);
+            let mut ctx =
+                RoutingContext::new(&mut state, &hood, &table, params.r_int, &mut scratch);
             router.best_chains(&mut ctx, &front_refs, &[])
         })
     });

@@ -1,19 +1,24 @@
 //! Routing-engine benchmarks: cold vs. cached `RoutingContext` distance
-//! queries, shuttle candidate-evaluation throughput, and end-to-end
-//! `HybridMapper::map` on QFT-24/QAOA-24 over a 6×6 lattice.
+//! queries, shuttle candidate-evaluation throughput, end-to-end
+//! `HybridMapper::map` on QFT-24/QAOA-24 over a 6×6 lattice, and the
+//! **paper-scale tier** — QFT-64/QAOA-80 on the paper's 15×15/200-atom
+//! machine plus a 30×30/800-atom extrapolation — with bounded-BFS
+//! settle counts showing how much lattice a targeted query touches.
 //!
 //! Besides the criterion output, this bench writes a machine-readable
 //! baseline to `BENCH_routing.json` at the workspace root so future PRs
 //! can compare against it (the CI bench-regression job consumes
-//! `map_hybrid_qft24_ms` and skips when `host_parallelism` differs).
+//! `map_hybrid_qft24_ms` and `map_hybrid_qft64_15x15_ms`, skipping when
+//! `host_parallelism` differs).
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use na_arch::{HardwareParams, Neighborhood};
+use na_arch::{HardwareParams, NeighborTable, Neighborhood};
 use na_circuit::generators::{Qaoa, Qft};
 use na_circuit::{Circuit, Qubit};
 use na_mapper::decision::Capability;
+use na_mapper::route::DistanceCache;
 use na_mapper::{
     FrontierGate, HybridMapper, MapperConfig, MappingState, RouteScratch, RoutingContext,
     ShuttleRouter,
@@ -29,6 +34,23 @@ fn small_mixed() -> HardwareParams {
         .expect("valid")
 }
 
+/// The paper's evaluation machine: 15×15 lattice, 200 atoms (mixed
+/// preset, Table 1c).
+fn paper_mixed() -> HardwareParams {
+    HardwareParams::mixed()
+}
+
+/// A 2× linear extrapolation of the paper machine: 30×30 lattice, 800
+/// atoms at the same fill fraction.
+fn huge_mixed() -> HardwareParams {
+    HardwareParams::mixed()
+        .to_builder()
+        .lattice(30, 3.0)
+        .num_atoms(800)
+        .build()
+        .expect("valid")
+}
+
 fn qft24() -> Circuit {
     Qft::new(24).build()
 }
@@ -37,12 +59,21 @@ fn qaoa24() -> Circuit {
     Qaoa::new(24).edges(30).layers(2).seed(5).build()
 }
 
+fn qft64() -> Circuit {
+    Qft::new(64).build()
+}
+
+fn qaoa80() -> Circuit {
+    Qaoa::new(80).edges(120).layers(2).seed(7).build()
+}
+
 /// One pass of distance queries from every occupied site through the
 /// scratch arena's cache — the identical workload for the cold and
 /// warm variants.
 fn query_pass(
     state: &mut MappingState,
     hood: &Neighborhood,
+    table: &NeighborTable,
     r_int: f64,
     scratch: &mut RouteScratch,
 ) -> u64 {
@@ -51,7 +82,7 @@ fn query_pass(
         .iter()
         .filter(|s| !state.is_free(*s))
         .collect();
-    let ctx = RoutingContext::new(state, hood, r_int, scratch);
+    let ctx = RoutingContext::new(state, hood, table, r_int, scratch);
     let mut acc = 0u64;
     for site in occupied {
         acc += u64::from(ctx.distances_from(site)[0]);
@@ -61,7 +92,12 @@ fn query_pass(
 
 /// One pass with a fresh arena per query = the old per-call BFS
 /// recomputation.
-fn query_cold(state: &mut MappingState, hood: &Neighborhood, r_int: f64) -> u64 {
+fn query_cold(
+    state: &mut MappingState,
+    hood: &Neighborhood,
+    table: &NeighborTable,
+    r_int: f64,
+) -> u64 {
     let occupied: Vec<_> = state
         .lattice()
         .iter()
@@ -70,7 +106,7 @@ fn query_cold(state: &mut MappingState, hood: &Neighborhood, r_int: f64) -> u64 
     let mut acc = 0u64;
     for site in occupied {
         let mut scratch = RouteScratch::new();
-        let ctx = RoutingContext::new(state, hood, r_int, &mut scratch);
+        let ctx = RoutingContext::new(state, hood, table, r_int, &mut scratch);
         acc += u64::from(ctx.distances_from(site)[0]);
     }
     acc
@@ -79,11 +115,11 @@ fn query_cold(state: &mut MappingState, hood: &Neighborhood, r_int: f64) -> u64 
 /// An 8-gate shuttle frontier over distant qubit pairs — the candidate
 /// evaluation workload (each 2-qubit gate evaluates one chain per
 /// center, i.e. two journaled simulate/undo rounds per gate).
-fn shuttle_frontier() -> Vec<FrontierGate> {
+fn shuttle_frontier(num_qubits: u32) -> Vec<FrontierGate> {
     (0..8)
         .map(|i| FrontierGate {
             op_index: i,
-            qubits: vec![Qubit(i as u32), Qubit((23 - i) as u32)],
+            qubits: vec![Qubit(i as u32), Qubit(num_qubits - 1 - i as u32)],
             capability: Capability::Shuttling,
         })
         .collect()
@@ -93,14 +129,15 @@ fn bench_distance_cache(c: &mut Criterion) {
     let params = small_mixed();
     let mut state = MappingState::identity(&params, 24).expect("fits");
     let hood = Neighborhood::new(params.r_int);
+    let table = NeighborTable::build(state.lattice(), &hood);
     let mut warm = RouteScratch::new();
-    query_pass(&mut state, &hood, params.r_int, &mut warm); // fill the cache
+    query_pass(&mut state, &hood, &table, params.r_int, &mut warm); // fill the cache
     let mut group = c.benchmark_group("distance_queries");
     group.bench_function("cold", |b| {
-        b.iter(|| query_cold(&mut state, &hood, params.r_int))
+        b.iter(|| query_cold(&mut state, &hood, &table, params.r_int))
     });
     group.bench_function("cached", |b| {
-        b.iter(|| query_pass(&mut state, &hood, params.r_int, &mut warm))
+        b.iter(|| query_pass(&mut state, &hood, &table, params.r_int, &mut warm))
     });
     group.finish();
 }
@@ -109,13 +146,15 @@ fn bench_candidate_eval(c: &mut Criterion) {
     let params = small_mixed();
     let mut state = MappingState::identity(&params, 24).expect("fits");
     let hood = Neighborhood::new(params.r_int);
+    let table = NeighborTable::build(state.lattice(), &hood);
     let mut scratch = RouteScratch::new();
     let router = ShuttleRouter::new(&params, &MapperConfig::shuttle_only());
-    let front = shuttle_frontier();
+    let front = shuttle_frontier(24);
     let refs: Vec<&FrontierGate> = front.iter().collect();
     c.bench_function("shuttle_candidates_front8", |b| {
         b.iter(|| {
-            let mut ctx = RoutingContext::new(&mut state, &hood, params.r_int, &mut scratch);
+            let mut ctx =
+                RoutingContext::new(&mut state, &hood, &table, params.r_int, &mut scratch);
             router.best_chains(&mut ctx, &refs, &[])
         })
     });
@@ -143,6 +182,21 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_paper_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map_scale");
+    group.sample_size(10);
+    for (name, params, circuit) in [
+        ("qft-64/15x15", paper_mixed(), qft64()),
+        ("qaoa-80/15x15", paper_mixed(), qaoa80()),
+        ("qft-64/30x30", huge_mixed(), qft64()),
+    ] {
+        let mapper = HybridMapper::new(params, MapperConfig::try_hybrid(1.0).expect("valid alpha"))
+            .expect("valid");
+        group.bench_function(name, |b| b.iter(|| mapper.map(&circuit).expect("mappable")));
+    }
+    group.finish();
+}
+
 /// Mean wall-clock seconds of `f` over `n` runs (after one warm-up).
 fn mean_secs<T>(n: u32, mut f: impl FnMut() -> T) -> f64 {
     f();
@@ -153,33 +207,71 @@ fn mean_secs<T>(n: u32, mut f: impl FnMut() -> T) -> f64 {
     start.elapsed().as_secs_f64() / f64::from(n)
 }
 
+/// Mean hybrid mapping time (ms) of `circuit` on `params`.
+fn map_ms(params: &HardwareParams, circuit: &Circuit, runs: u32) -> f64 {
+    let mapper = HybridMapper::new(
+        params.clone(),
+        MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+    )
+    .expect("valid");
+    mean_secs(runs, || mapper.map(circuit).expect("mappable")) * 1e3
+}
+
+/// `(settled_full, settled_bounded)` BFS site counts on the identity
+/// layout of `params`: a full field from qubit 0's site vs. a query
+/// bounded to the sites of its three nearest qubit neighbors. The gap
+/// is the point of bounded BFS — the targeted query touches a frontier,
+/// not the occupied graph.
+fn settle_counts(params: &HardwareParams) -> (u64, u64) {
+    let num_qubits = params.num_atoms.min(64);
+    let state = MappingState::identity(params, num_qubits).expect("fits");
+    let hood = Neighborhood::new(params.r_int);
+    let table = NeighborTable::build(state.lattice(), &hood);
+    let start = state.site_of_qubit(Qubit(0));
+    let targets = [
+        state.site_of_qubit(Qubit(1)),
+        state.site_of_qubit(Qubit(2)),
+        state.site_of_qubit(Qubit(3)),
+    ];
+    let full_cache = DistanceCache::new();
+    full_cache.field(&state, &table, start);
+    let full = full_cache.sites_settled();
+    let bounded_cache = DistanceCache::new();
+    let mut out = Vec::new();
+    bounded_cache.distances_at(&state, &table, start, &targets, &mut out);
+    assert!(out.iter().all(|&d| d != u32::MAX), "targets reachable");
+    let bounded = bounded_cache.sites_settled();
+    (full, bounded)
+}
+
 /// Writes the machine-readable baseline consumed by future PRs and the
 /// CI bench-regression job.
 fn write_baseline() {
     let params = small_mixed();
     let mut state = MappingState::identity(&params, 24).expect("fits");
     let hood = Neighborhood::new(params.r_int);
+    let table = NeighborTable::build(state.lattice(), &hood);
 
-    let cold = mean_secs(20, || query_cold(&mut state, &hood, params.r_int));
+    let cold = mean_secs(20, || query_cold(&mut state, &hood, &table, params.r_int));
     let mut warm = RouteScratch::new();
-    query_pass(&mut state, &hood, params.r_int, &mut warm);
+    query_pass(&mut state, &hood, &table, params.r_int, &mut warm);
     let cached = mean_secs(20, || {
-        query_pass(&mut state, &hood, params.r_int, &mut warm)
+        query_pass(&mut state, &hood, &table, params.r_int, &mut warm)
     });
 
     // Cache hit rates over one query pass: a cold arena misses every
     // query, the warm arena should serve (nearly) everything.
     let cold_rate = {
         let mut fresh = RouteScratch::new();
-        query_pass(&mut state, &hood, params.r_int, &mut fresh);
+        query_pass(&mut state, &hood, &table, params.r_int, &mut fresh);
         let (hits, misses) = fresh.distance_cache().stats();
         hits as f64 / (hits + misses).max(1) as f64
     };
     let warm_rate = {
         let mut arena = RouteScratch::new();
-        query_pass(&mut state, &hood, params.r_int, &mut arena);
+        query_pass(&mut state, &hood, &table, params.r_int, &mut arena);
         let (h0, m0) = arena.distance_cache().stats();
-        query_pass(&mut state, &hood, params.r_int, &mut arena);
+        query_pass(&mut state, &hood, &table, params.r_int, &mut arena);
         let (h1, m1) = arena.distance_cache().stats();
         // Only the second (warm) pass counts — the fill pass would
         // otherwise cap the reported rate at ~0.5.
@@ -189,27 +281,40 @@ fn write_baseline() {
     // Shuttle candidate-evaluation throughput: 8 two-qubit gates, one
     // chain build + cost replay per center => 16 candidate evaluations
     // per pass.
-    let router = ShuttleRouter::new(&params, &MapperConfig::shuttle_only());
-    let front = shuttle_frontier();
-    let refs: Vec<&FrontierGate> = front.iter().collect();
-    let mut scratch = RouteScratch::new();
-    let eval_pass = mean_secs(50, || {
-        let mut ctx = RoutingContext::new(&mut state, &hood, params.r_int, &mut scratch);
-        router.best_chains(&mut ctx, &refs, &[])
-    });
-    let candidate_eval_us = eval_pass * 1e6 / 16.0;
+    let eval_us = |params: &HardwareParams, qubits: u32, runs: u32| {
+        let mut state = MappingState::identity(params, qubits).expect("fits");
+        let hood = Neighborhood::new(params.r_int);
+        let table = NeighborTable::build(state.lattice(), &hood);
+        let router = ShuttleRouter::new(params, &MapperConfig::shuttle_only());
+        let front = shuttle_frontier(qubits);
+        let refs: Vec<&FrontierGate> = front.iter().collect();
+        let mut scratch = RouteScratch::new();
+        let eval_pass = mean_secs(runs, || {
+            let mut ctx =
+                RoutingContext::new(&mut state, &hood, &table, params.r_int, &mut scratch);
+            router.best_chains(&mut ctx, &refs, &[])
+        });
+        eval_pass * 1e6 / 16.0
+    };
+    let candidate_eval_us = eval_us(&params, 24, 50);
 
-    let hybrid = HybridMapper::new(
-        params.clone(),
-        MapperConfig::try_hybrid(1.0).expect("valid alpha"),
-    )
-    .expect("valid");
-    let map_qft = mean_secs(10, || hybrid.map(&qft24()).expect("mappable"));
-    let map_qaoa = mean_secs(10, || hybrid.map(&qaoa24()).expect("mappable"));
+    let map_qft = map_ms(&params, &qft24(), 10);
+    let map_qaoa = map_ms(&params, &qaoa24(), 10);
+
+    // ---- paper-scale tier -------------------------------------------
+    let p15 = paper_mixed();
+    let p30 = huge_mixed();
+    let map_qft64_15 = map_ms(&p15, &qft64(), 5);
+    let map_qaoa80_15 = map_ms(&p15, &qaoa80(), 5);
+    let map_qft64_30 = map_ms(&p30, &qft64(), 3);
+    let candidate_eval_us_15 = eval_us(&p15, 200, 20);
+    let (settled_full_15, settled_bounded_15) = settle_counts(&p15);
+    let (settled_full_30, settled_bounded_30) = settle_counts(&p30);
 
     let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \"bench\": \"routing\",\n  \"lattice\": \"6x6\",\n  \
+         \"scale_lattices\": \"15x15,30x30\",\n  \
          \"host_parallelism\": {host_parallelism},\n  \
          \"distance_query_cold_us\": {:.3},\n  \
          \"distance_query_cached_us\": {:.3},\n  \
@@ -218,15 +323,31 @@ fn write_baseline() {
          \"cache_hit_rate_warm\": {:.4},\n  \
          \"candidate_eval_us\": {:.3},\n  \
          \"map_hybrid_qft24_ms\": {:.3},\n  \
-         \"map_hybrid_qaoa24_ms\": {:.3}\n}}\n",
+         \"map_hybrid_qaoa24_ms\": {:.3},\n  \
+         \"map_hybrid_qft64_15x15_ms\": {:.3},\n  \
+         \"map_hybrid_qaoa80_15x15_ms\": {:.3},\n  \
+         \"map_hybrid_qft64_30x30_ms\": {:.3},\n  \
+         \"candidate_eval_us_15x15\": {:.3},\n  \
+         \"bfs_settled_full_15x15\": {},\n  \
+         \"bfs_settled_bounded_15x15\": {},\n  \
+         \"bfs_settled_full_30x30\": {},\n  \
+         \"bfs_settled_bounded_30x30\": {}\n}}\n",
         cold * 1e6,
         cached * 1e6,
         cold / cached,
         cold_rate,
         warm_rate,
         candidate_eval_us,
-        map_qft * 1e3,
-        map_qaoa * 1e3,
+        map_qft,
+        map_qaoa,
+        map_qft64_15,
+        map_qaoa80_15,
+        map_qft64_30,
+        candidate_eval_us_15,
+        settled_full_15,
+        settled_bounded_15,
+        settled_full_30,
+        settled_bounded_30,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_routing.json");
     std::fs::write(path, &json).expect("write BENCH_routing.json");
@@ -239,6 +360,12 @@ fn write_baseline() {
         warm_rate > cold_rate,
         "warm arena must out-hit a cold one ({warm_rate:.3} vs {cold_rate:.3})"
     );
+    assert!(
+        settled_bounded_15 < settled_full_15 && settled_bounded_30 < settled_full_30,
+        "bounded BFS must settle less than a full field \
+         (15x15: {settled_bounded_15}/{settled_full_15}, \
+         30x30: {settled_bounded_30}/{settled_full_30})"
+    );
 }
 
 fn bench_baseline(_c: &mut Criterion) {
@@ -250,6 +377,7 @@ criterion_group!(
     bench_distance_cache,
     bench_candidate_eval,
     bench_end_to_end,
+    bench_paper_scale,
     bench_baseline
 );
 criterion_main!(benches);

@@ -1,42 +1,114 @@
 //! Bench-regression guard for CI: compares a freshly produced
-//! `BENCH_routing.json` against the committed baseline and fails when a
-//! watched metric regressed beyond the allowed ratio.
+//! `BENCH_routing.json` against the committed baseline and fails when
+//! any watched metric regressed beyond its allowed ratio.
 //!
 //! ```text
-//! bench_guard <baseline.json> <fresh.json> <metric> <max_ratio>
+//! bench_guard <baseline.json> <fresh.json> <metric:max_ratio> [<metric:max_ratio>...]
+//! bench_guard <baseline.json> <fresh.json> <metric> <max_ratio>     # legacy form
 //! ```
 //!
 //! Exits 0 (with a message) **without comparing** when the two files
 //! disagree on `host_parallelism` — wall-clock numbers measured on
 //! hosts with different core counts are not comparable, and the
 //! committed baseline is refreshed from whatever machine last ran the
-//! bench. Exits 1 when `fresh[metric] > baseline[metric] * max_ratio`.
+//! bench. Exits 1 when `fresh[metric] > baseline[metric] * max_ratio`
+//! for any watched metric (every metric is evaluated and reported
+//! before the verdict). A metric recorded as an explicit `null` is
+//! skipped with a note (e.g. the thread-scaling fields a single-core
+//! host cannot measure); a metric *absent* from the fresh run fails
+//! the guard — a renamed or dropped key must not silently disarm it
+//! (absent from the baseline only is noted, so a brand-new metric can
+//! land its first baseline).
 //!
 //! The parser is deliberately tiny (flat `"key": number` documents
 //! only) so the guard has no dependency on a JSON library.
 
 use std::process::ExitCode;
 
-/// Extracts a `"key": <number>` value from a flat JSON document.
-fn metric(doc: &str, key: &str) -> Option<f64> {
+/// How a metric key reads out of a flat JSON document.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Reading {
+    /// The key does not appear at all — a renamed/mistyped metric.
+    Absent,
+    /// The key is present but holds no number (e.g. `null` — a run
+    /// that legitimately skipped the measurement).
+    Null,
+    /// A measured value.
+    Value(f64),
+}
+
+/// Extracts a `"key": <number>` entry from a flat JSON document,
+/// distinguishing a missing key from an explicit `null`.
+fn read_metric(doc: &str, key: &str) -> Reading {
     let needle = format!("\"{key}\"");
-    let at = doc.find(&needle)?;
-    let rest = doc[at + needle.len()..].trim_start().strip_prefix(':')?;
+    let Some(at) = doc.find(&needle) else {
+        return Reading::Absent;
+    };
+    let Some(rest) = doc[at + needle.len()..].trim_start().strip_prefix(':') else {
+        return Reading::Absent;
+    };
     let rest = rest.trim_start();
     let end = rest
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
         .unwrap_or(rest.len());
-    rest[..end].parse().ok()
+    match rest[..end].parse() {
+        Ok(v) => Reading::Value(v),
+        Err(_) => Reading::Null,
+    }
+}
+
+/// [`read_metric`] collapsed to the numeric value, when present.
+fn metric(doc: &str, key: &str) -> Option<f64> {
+    match read_metric(doc, key) {
+        Reading::Value(v) => Some(v),
+        _ => None,
+    }
+}
+
+/// One `metric:max_ratio` guard clause.
+struct Watch {
+    key: String,
+    max_ratio: f64,
+}
+
+fn parse_watches(args: &[String]) -> Result<Vec<Watch>, String> {
+    // Legacy positional form: `<metric> <max_ratio>`.
+    if args.len() == 2 && !args[0].contains(':') {
+        let max_ratio: f64 = args[1]
+            .parse()
+            .map_err(|e| format!("bad max_ratio {:?}: {e}", args[1]))?;
+        return Ok(vec![Watch {
+            key: args[0].clone(),
+            max_ratio,
+        }]);
+    }
+    args.iter()
+        .map(|spec| {
+            let (key, ratio) = spec
+                .split_once(':')
+                .ok_or_else(|| format!("bad metric spec {spec:?}: expected metric:max_ratio"))?;
+            let max_ratio: f64 = ratio
+                .parse()
+                .map_err(|e| format!("bad max_ratio in {spec:?}: {e}"))?;
+            Ok(Watch {
+                key: key.to_string(),
+                max_ratio,
+            })
+        })
+        .collect()
 }
 
 fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [baseline_path, fresh_path, key, max_ratio] = args.as_slice() else {
-        return Err("usage: bench_guard <baseline.json> <fresh.json> <metric> <max_ratio>".into());
-    };
-    let max_ratio: f64 = max_ratio
-        .parse()
-        .map_err(|e| format!("bad max_ratio {max_ratio:?}: {e}"))?;
+    if args.len() < 3 {
+        return Err(
+            "usage: bench_guard <baseline.json> <fresh.json> <metric:max_ratio>... \
+             (or the legacy <metric> <max_ratio> form)"
+                .into(),
+        );
+    }
+    let (baseline_path, fresh_path) = (&args[0], &args[1]);
+    let watches = parse_watches(&args[2..])?;
     let baseline =
         std::fs::read_to_string(baseline_path).map_err(|e| format!("read {baseline_path}: {e}"))?;
     let fresh =
@@ -56,17 +128,53 @@ fn run() -> Result<bool, String> {
         }
     }
 
-    let base = metric(&baseline, key).ok_or_else(|| format!("{key} missing in baseline"))?;
-    let new = metric(&fresh, key).ok_or_else(|| format!("{key} missing in fresh run"))?;
-    let limit = base * max_ratio;
-    if new > limit {
-        println!(
-            "bench_guard: FAIL — {key} regressed: {new:.3} > {base:.3} × {max_ratio} = {limit:.3}"
-        );
-        return Ok(false);
+    let mut ok = true;
+    for watch in &watches {
+        let key = &watch.key;
+        let (base, new) = (read_metric(&baseline, key), read_metric(&fresh, key));
+        match (base, new) {
+            (Reading::Value(base), Reading::Value(new)) => {
+                let limit = base * watch.max_ratio;
+                if new > limit {
+                    println!(
+                        "bench_guard: FAIL — {key} regressed: {new:.3} > {base:.3} × {} = \
+                         {limit:.3}",
+                        watch.max_ratio
+                    );
+                    ok = false;
+                } else {
+                    println!(
+                        "bench_guard: OK — {key} = {new:.3} (baseline {base:.3}, limit {limit:.3})"
+                    );
+                }
+            }
+            // A missing *fresh* key means the bench stopped emitting a
+            // watched metric (rename/typo) — that silently disarming
+            // the guard is exactly the failure mode to catch. A key
+            // missing from the *baseline* only happens on the
+            // transition commit that introduces the metric; note it
+            // and pass so the new baseline can land.
+            (_, Reading::Absent) => {
+                println!("bench_guard: FAIL — {key} missing from the fresh run");
+                ok = false;
+            }
+            (Reading::Absent, _) => {
+                println!(
+                    "bench_guard: note — {key} absent from the baseline \
+                     (new metric); will be guarded once this baseline lands"
+                );
+            }
+            // Explicit `null` on either side (e.g. thread-scaling
+            // fields on a 1-core host): legitimately not measured.
+            (base, new) => {
+                println!(
+                    "bench_guard: skip {key} — recorded as null \
+                     (baseline {base:?}, fresh {new:?})"
+                );
+            }
+        }
     }
-    println!("bench_guard: OK — {key} = {new:.3} (baseline {base:.3}, limit {limit:.3})");
-    Ok(true)
+    Ok(ok)
 }
 
 fn main() -> ExitCode {
@@ -82,10 +190,11 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::metric;
+    use super::{metric, parse_watches, read_metric};
 
     const DOC: &str = "{\n  \"bench\": \"routing\",\n  \"host_parallelism\": 4,\n  \
-                       \"map_hybrid_qft24_ms\": 3.125,\n  \"cache_speedup\": 31.61\n}\n";
+                       \"map_hybrid_qft24_ms\": 3.125,\n  \"cache_speedup\": 31.61,\n  \
+                       \"batch_throughput_4t_per_s\": null\n}\n";
 
     #[test]
     fn extracts_numeric_fields() {
@@ -98,5 +207,47 @@ mod tests {
     fn missing_field_is_none() {
         assert_eq!(metric(DOC, "absent"), None);
         assert_eq!(metric("{}", "host_parallelism"), None);
+    }
+
+    #[test]
+    fn null_field_is_none() {
+        assert_eq!(metric(DOC, "batch_throughput_4t_per_s"), None);
+    }
+
+    #[test]
+    fn readings_distinguish_absent_from_null() {
+        use super::Reading;
+        assert_eq!(read_metric(DOC, "cache_speedup"), Reading::Value(31.61));
+        assert_eq!(read_metric(DOC, "batch_throughput_4t_per_s"), Reading::Null);
+        assert_eq!(read_metric(DOC, "renamed_metric"), Reading::Absent);
+    }
+
+    #[test]
+    fn parses_multi_metric_specs() {
+        let watches = parse_watches(&[
+            "map_hybrid_qft24_ms:1.25".to_string(),
+            "map_hybrid_qft64_15x15_ms:1.25".to_string(),
+        ])
+        .expect("valid specs");
+        assert_eq!(watches.len(), 2);
+        assert_eq!(watches[0].key, "map_hybrid_qft24_ms");
+        assert_eq!(watches[1].max_ratio, 1.25);
+    }
+
+    #[test]
+    fn parses_legacy_positional_form() {
+        let watches = parse_watches(&["map_hybrid_qft24_ms".to_string(), "1.25".to_string()])
+            .expect("legacy form");
+        assert_eq!(watches.len(), 1);
+        assert_eq!(watches[0].key, "map_hybrid_qft24_ms");
+        assert_eq!(watches[0].max_ratio, 1.25);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(
+            parse_watches(&["no-ratio".to_string(), "x".to_string(), "y".to_string()]).is_err()
+        );
+        assert!(parse_watches(&["metric:not-a-number".to_string()]).is_err());
     }
 }

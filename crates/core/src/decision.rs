@@ -68,7 +68,20 @@ impl Decider {
 
     /// Estimates both routing options for a gate on `qubits`.
     pub fn estimate(&self, state: &MappingState, qubits: &[Qubit]) -> DecisionEstimate {
-        let sites: Vec<Site> = qubits.iter().map(|&q| state.site_of_qubit(q)).collect();
+        // Lookahead gates re-decide every routing round, so this runs
+        // hot: resolve operand sites into a stack buffer (gates beyond
+        // 8 operands fall back to the heap).
+        let mut site_buf = [Site::new(0, 0); 8];
+        let site_vec: Vec<Site>;
+        let sites: &[Site] = if qubits.len() <= site_buf.len() {
+            for (slot, &q) in site_buf.iter_mut().zip(qubits) {
+                *slot = state.site_of_qubit(q);
+            }
+            &site_buf[..qubits.len()]
+        } else {
+            site_vec = qubits.iter().map(|&q| state.site_of_qubit(q)).collect();
+            &site_vec
+        };
         let spectators = (state.num_qubits().saturating_sub(qubits.len())) as f64;
 
         // Gate-based: sum of pairwise SWAP-count estimates towards the
@@ -94,13 +107,14 @@ impl Decider {
         // Shuttling: every qubit outside the best center's vicinity moves
         // once; in a crowded region a fraction of moves needs a move-away
         // partner. We estimate distances to the chosen center.
+        let r_sq = Site::within_threshold_sq(r_int);
         let (n_moves, move_dist_units) = sites
             .iter()
             .map(|&center| {
                 let mut count = 0usize;
                 let mut dist = 0.0f64;
-                for &s in &sites {
-                    if s != center && !s.within(center, r_int) {
+                for &s in sites {
+                    if s != center && s.distance_sq(center) > r_sq {
                         count += 1;
                         dist += s.rectilinear_distance(center);
                     }

@@ -26,7 +26,7 @@
 
 use std::time::{Duration, Instant};
 
-use na_arch::{HardwareParams, Lattice, NativeGateSet, Target};
+use na_arch::{HardwareParams, Lattice, NativeGateSet, NeighborTable, Target};
 use na_circuit::{decompose_to_native, Circuit, CircuitDag, LayerTracker, Operation};
 
 use serde::{Deserialize, Serialize};
@@ -129,6 +129,11 @@ pub struct HybridMapper {
     config: MapperConfig,
     lattice: Lattice,
     gates: NativeGateSet,
+    /// CSR interaction adjacency of `(lattice, params.r_int)` — taken
+    /// from the resolved [`TargetSpec`](na_arch::TargetSpec) in
+    /// [`HybridMapper::for_target`] and handed to the routing engine on
+    /// every map call, so the hot path never rebuilds it.
+    table_int: NeighborTable,
 }
 
 impl HybridMapper {
@@ -146,11 +151,13 @@ impl HybridMapper {
         params.validate()?;
         config.validate()?;
         let lattice = Lattice::new(params.lattice_side);
+        let table_int = NeighborTable::for_radius(&lattice, params.r_int);
         Ok(HybridMapper {
             params,
             config,
             lattice,
             gates: NativeGateSet::default(),
+            table_int,
         })
     }
 
@@ -175,11 +182,15 @@ impl HybridMapper {
                 },
             ));
         }
+        // Resolve the target once: the spec snapshot carries the CSR
+        // interaction adjacency the routing hot path consumes.
+        let spec = target.spec();
         Ok(HybridMapper {
-            params: target.params().clone(),
+            params: spec.params,
             config,
-            lattice: target.lattice(),
+            lattice: spec.lattice,
             gates,
+            table_int: spec.interaction_table,
         })
     }
 
@@ -302,7 +313,8 @@ impl HybridMapper {
         let dag = CircuitDag::new(&native);
         let mut layers = LayerTracker::new(&dag);
         let decider = Decider::new(&self.params, &self.config);
-        let mut engine = RoutingEngine::from_config(&self.params, &self.config);
+        let mut engine =
+            RoutingEngine::with_table(&self.params, &self.config, self.table_int.clone());
 
         let mut stats = MapStats::default();
         // Sticky capability assignment: a gate keeps its first decision

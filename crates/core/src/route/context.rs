@@ -16,6 +16,14 @@
 //! steady-state routing performs BFS into warm buffers instead of
 //! allocating.
 //!
+//! Fields are **resumable**: a target-bounded query
+//! ([`DistanceCache::distances_at`]) settles only the frontier needed to
+//! answer it and parks the partial field (distances + live BFS queue) in
+//! the cache; a later full-field request — or a bounded request about
+//! farther targets — resumes the same search instead of starting over.
+//! BFS expansion runs through the CSR [`NeighborTable`] rather than
+//! per-visit `hood.around` geometry (see [`crate::route::distance`]).
+//!
 //! Speculative candidate simulation (see
 //! [`crate::state::StateJournal`]) deliberately never queries the cache:
 //! speculative moves re-stamp the state (so a query *would* be correct,
@@ -28,20 +36,22 @@
 //! geometry and the scratch arena ([`RouteScratch`]) and is handed to
 //! every [`crate::route::Router::propose`] call.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use na_arch::{Neighborhood, Site};
+use na_arch::{NeighborTable, Neighborhood, Site};
 use na_circuit::Qubit;
 
-use crate::route::distance::{bfs_occupied_into, gate_remaining_distance, swap_distance};
+use crate::route::distance::{
+    bfs_drain_resume, bfs_occupied_table_into, gate_remaining_distance, swap_distance, UNREACHABLE,
+};
 use crate::route::scratch::{GateBufs, RouteScratch, ShuttleBufs};
 use crate::state::{MappingState, StateJournal};
 
 /// Cache of single-source BFS distance fields over the occupied
 /// interaction graph, invalidated by occupancy stamp, with buffer
-/// pooling across invalidations.
+/// pooling across invalidations and resumable partially-settled fields.
 ///
 /// In the routing hot path the cache lives inside a thread-exclusive
 /// [`RouteScratch`], so the `Mutex` is always uncontended (its cost is
@@ -55,18 +65,62 @@ pub struct DistanceCache {
     fields: Mutex<StampedFields>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Total sites settled by BFS work through this cache — the
+    /// bench-visible measure of how much lattice each query touched.
+    settled: AtomicU64,
+}
+
+/// A cached BFS field in one of two lifecycles: fully drained (shared
+/// immutably), or partially settled with its live frontier queue parked
+/// for resumption.
+#[derive(Debug)]
+enum FieldEntry {
+    /// Completed field — every reachable site settled, `UNREACHABLE`
+    /// entries are final.
+    Full(Arc<Vec<u32>>),
+    /// Partially settled field: `UNREACHABLE` entries are merely *not
+    /// yet* settled while `queue` is non-empty.
+    Partial {
+        dist: Vec<u32>,
+        queue: VecDeque<u32>,
+    },
 }
 
 /// Start-site index → distance field, tagged with the occupancy stamp
 /// the fields were computed at (0 = nothing cached yet; real stamps are
-/// never zero). Retired field vectors and the BFS frontier queue are
-/// pooled for reuse.
+/// never zero). Retired field vectors and frontier queues are pooled
+/// for reuse.
 #[derive(Debug, Default)]
 struct StampedFields {
     stamp: u64,
-    by_start: HashMap<usize, Arc<Vec<u32>>>,
+    by_start: HashMap<usize, FieldEntry>,
     pool: Vec<Vec<u32>>,
-    queue: std::collections::VecDeque<Site>,
+    queue_pool: Vec<VecDeque<u32>>,
+}
+
+impl StampedFields {
+    /// Retires every field of a stale stamp generation into the pools.
+    fn retire_stale(&mut self, stamp: u64) {
+        if self.stamp == stamp {
+            return;
+        }
+        let (pool, queue_pool) = (&mut self.pool, &mut self.queue_pool);
+        for (_, entry) in self.by_start.drain() {
+            match entry {
+                FieldEntry::Full(field) => {
+                    if let Ok(v) = Arc::try_unwrap(field) {
+                        pool.push(v);
+                    }
+                }
+                FieldEntry::Partial { dist, mut queue } => {
+                    pool.push(dist);
+                    queue.clear();
+                    queue_pool.push(queue);
+                }
+            }
+        }
+        self.stamp = stamp;
+    }
 }
 
 impl DistanceCache {
@@ -75,43 +129,142 @@ impl DistanceCache {
         DistanceCache::default()
     }
 
-    /// The BFS distance field from `start` through occupied sites of
-    /// `state`, computing and caching it on first use per occupancy
-    /// stamp. Computation reuses pooled buffers from previously
-    /// invalidated generations.
-    pub fn field(&self, state: &MappingState, hood: &Neighborhood, start: Site) -> Arc<Vec<u32>> {
+    /// The complete BFS distance field from `start` through occupied
+    /// sites of `state`, computing — or *resuming* a partially settled
+    /// field — on first use per occupancy stamp. Computation reuses
+    /// pooled buffers from previously invalidated generations.
+    pub fn field(&self, state: &MappingState, table: &NeighborTable, start: Site) -> Arc<Vec<u32>> {
         let key = state.lattice().index(start);
-        let (mut buf, mut queue);
+        let (mut buf, mut queue, resume);
         {
             let mut guard = self.fields.lock().expect("cache lock");
             let inner = &mut *guard;
-            if inner.stamp != state.occupancy_stamp() {
-                // Retire the stale generation into the buffer pool.
-                for (_, field) in inner.by_start.drain() {
-                    if let Ok(v) = Arc::try_unwrap(field) {
-                        inner.pool.push(v);
-                    }
+            inner.retire_stale(state.occupancy_stamp());
+            match inner.by_start.remove(&key) {
+                Some(FieldEntry::Full(field)) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    let out = Arc::clone(&field);
+                    inner.by_start.insert(key, FieldEntry::Full(field));
+                    return out;
                 }
-                inner.stamp = state.occupancy_stamp();
-            } else if let Some(field) = inner.by_start.get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(field);
+                Some(FieldEntry::Partial { dist, queue: q }) => {
+                    buf = dist;
+                    queue = q;
+                    resume = true;
+                }
+                None => {
+                    buf = inner.pool.pop().unwrap_or_default();
+                    queue = inner.queue_pool.pop().unwrap_or_default();
+                    resume = false;
+                }
             }
-            buf = inner.pool.pop().unwrap_or_default();
-            queue = std::mem::take(&mut inner.queue);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        bfs_occupied_into(state, &[start], hood, &mut buf, &mut queue);
+        let settled = if resume {
+            bfs_drain_resume(state, table, &mut buf, &mut queue, &[])
+        } else {
+            bfs_occupied_table_into(state, &[start], table, &mut buf, &mut queue)
+        };
+        self.settled.fetch_add(settled as u64, Ordering::Relaxed);
         let field = Arc::new(buf);
         let mut guard = self.fields.lock().expect("cache lock");
         let inner = &mut *guard;
         // Another thread may have advanced the stamp while we computed;
         // only publish a field for the stamp it belongs to.
         if inner.stamp == state.occupancy_stamp() {
-            inner.by_start.insert(key, Arc::clone(&field));
+            inner
+                .by_start
+                .insert(key, FieldEntry::Full(Arc::clone(&field)));
         }
-        inner.queue = queue;
+        inner.queue_pool.push(queue);
         field
+    }
+
+    /// Target-bounded distance query: writes the hop distance from
+    /// `start` to each site of `targets` into `out` (parallel to
+    /// `targets`, `UNREACHABLE` for disconnected ones), running — or
+    /// resuming — only as much BFS as the targets require. The partially
+    /// settled field stays cached for later queries of the same
+    /// occupancy generation.
+    pub fn distances_at(
+        &self,
+        state: &MappingState,
+        table: &NeighborTable,
+        start: Site,
+        targets: &[Site],
+        out: &mut Vec<u32>,
+    ) {
+        let lattice = state.lattice();
+        let key = lattice.index(start);
+        out.clear();
+        let (mut buf, mut queue, fresh);
+        {
+            let mut guard = self.fields.lock().expect("cache lock");
+            let inner = &mut *guard;
+            inner.retire_stale(state.occupancy_stamp());
+            match inner.by_start.remove(&key) {
+                Some(FieldEntry::Full(field)) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    out.extend(targets.iter().map(|&t| field[lattice.index(t)]));
+                    inner.by_start.insert(key, FieldEntry::Full(field));
+                    return;
+                }
+                Some(FieldEntry::Partial { dist, queue: q }) => {
+                    // Already settled everywhere we need? Serve without
+                    // resuming (settled entries of a partial field are
+                    // final).
+                    if targets
+                        .iter()
+                        .all(|&t| dist[lattice.index(t)] != UNREACHABLE)
+                    {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        out.extend(targets.iter().map(|&t| dist[lattice.index(t)]));
+                        inner
+                            .by_start
+                            .insert(key, FieldEntry::Partial { dist, queue: q });
+                        return;
+                    }
+                    buf = dist;
+                    queue = q;
+                    fresh = false;
+                }
+                None => {
+                    buf = inner.pool.pop().unwrap_or_default();
+                    queue = inner.queue_pool.pop().unwrap_or_default();
+                    fresh = true;
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if fresh {
+            buf.clear();
+            buf.resize(lattice.num_sites(), UNREACHABLE);
+            queue.clear();
+            let idx = lattice.index(start);
+            buf[idx] = 0;
+            queue.push_back(idx as u32);
+            self.settled.fetch_add(1, Ordering::Relaxed);
+        }
+        let settled = bfs_drain_resume(state, table, &mut buf, &mut queue, targets);
+        self.settled.fetch_add(settled as u64, Ordering::Relaxed);
+        out.extend(targets.iter().map(|&t| buf[lattice.index(t)]));
+        let complete = queue.is_empty();
+        let mut guard = self.fields.lock().expect("cache lock");
+        let inner = &mut *guard;
+        if inner.stamp != state.occupancy_stamp() {
+            // The stamp advanced while we computed: the field belongs
+            // to a dead generation — recycle the buffers.
+            inner.pool.push(buf);
+            queue.clear();
+            inner.queue_pool.push(queue);
+        } else if complete {
+            inner.by_start.insert(key, FieldEntry::Full(Arc::new(buf)));
+            inner.queue_pool.push(queue);
+        } else {
+            inner
+                .by_start
+                .insert(key, FieldEntry::Partial { dist: buf, queue });
+        }
     }
 
     /// `(hits, misses)` counters since construction.
@@ -122,7 +275,14 @@ impl DistanceCache {
         )
     }
 
-    /// Number of fields currently cached.
+    /// Total sites settled by BFS work through this cache since
+    /// construction — bounded queries settle a frontier, full fields
+    /// settle every reachable site.
+    pub fn sites_settled(&self) -> u64 {
+        self.settled.load(Ordering::Relaxed)
+    }
+
+    /// Number of fields currently cached (full or partial).
     pub fn len(&self) -> usize {
         self.fields.lock().expect("cache lock").by_start.len()
     }
@@ -135,7 +295,8 @@ impl DistanceCache {
 
 /// Everything a [`crate::route::Router`] may consult while proposing
 /// candidates: the (mutable, journal-simulatable) mapping state, the
-/// interaction geometry, and the scratch arena with its distance cache.
+/// interaction geometry (disc + CSR table), and the scratch arena with
+/// its distance cache.
 ///
 /// Candidate simulation happens **in place** on the borrowed state via
 /// the [`StateJournal`]; the engine asserts the journal is fully rolled
@@ -145,6 +306,7 @@ impl DistanceCache {
 pub struct RoutingContext<'a> {
     state: &'a mut MappingState,
     hood_int: &'a Neighborhood,
+    table_int: &'a NeighborTable,
     r_int: f64,
     scratch: &'a mut RouteScratch,
 }
@@ -159,21 +321,28 @@ pub(crate) struct RouteParts<'b> {
     pub journal: &'b mut StateJournal,
     pub gate: &'b mut GateBufs,
     pub shuttle: &'b mut ShuttleBufs,
-    pub hood_int: &'b Neighborhood,
+    pub table_int: &'b NeighborTable,
 }
 
 impl<'a> RoutingContext<'a> {
     /// Bundles `state` with the engine's geometry and the scratch
-    /// arena.
+    /// arena. `table` must be the CSR adjacency of `state`'s lattice at
+    /// radius `r_int` (debug-asserted).
     pub fn new(
         state: &'a mut MappingState,
         hood_int: &'a Neighborhood,
+        table_int: &'a NeighborTable,
         r_int: f64,
         scratch: &'a mut RouteScratch,
     ) -> Self {
+        debug_assert!(
+            table_int.matches(state.lattice(), r_int),
+            "CSR table does not describe this lattice/radius"
+        );
         RoutingContext {
             state,
             hood_int,
+            table_int,
             r_int,
             scratch,
         }
@@ -189,6 +358,12 @@ impl<'a> RoutingContext<'a> {
     #[inline]
     pub fn interaction_neighborhood(&self) -> &Neighborhood {
         self.hood_int
+    }
+
+    /// The CSR adjacency of the lattice at `r_int`.
+    #[inline]
+    pub fn interaction_table(&self) -> &NeighborTable {
+        self.table_int
     }
 
     /// The interaction radius.
@@ -210,7 +385,7 @@ impl<'a> RoutingContext<'a> {
             journal: &mut self.scratch.journal,
             gate: &mut self.scratch.gate,
             shuttle: &mut self.scratch.shuttle,
-            hood_int: self.hood_int,
+            table_int: self.table_int,
         }
     }
 
@@ -223,12 +398,26 @@ impl<'a> RoutingContext<'a> {
             !self.speculation_in_flight(),
             "distance cache queried during speculative simulation"
         );
-        self.scratch.cache.field(self.state, self.hood_int, start)
+        self.scratch.cache.field(self.state, self.table_int, start)
     }
 
     /// Cached BFS distance field from the atom carrying `q`.
     pub fn distances_from_qubit(&self, q: Qubit) -> Arc<Vec<u32>> {
         self.distances_from(self.state.site_of_qubit(q))
+    }
+
+    /// Target-bounded hop distances from `start` to each of `targets`,
+    /// written into `out` — settles only the BFS frontier the targets
+    /// require (resumable; see [`DistanceCache::distances_at`]). Same
+    /// speculation contract as [`RoutingContext::distances_from`].
+    pub fn distances_to(&self, start: Site, targets: &[Site], out: &mut Vec<u32>) {
+        debug_assert!(
+            !self.speculation_in_flight(),
+            "distance cache queried during speculative simulation"
+        );
+        self.scratch
+            .cache
+            .distances_at(self.state, self.table_int, start, targets, out);
     }
 
     /// Fractional SWAP distance between the sites of two qubits.
@@ -282,7 +471,7 @@ mod tests {
     use crate::route::distance::bfs_occupied;
     use na_arch::HardwareParams;
 
-    fn setup() -> (MappingState, Neighborhood) {
+    fn setup() -> (MappingState, Neighborhood, NeighborTable) {
         let params = HardwareParams::mixed()
             .to_builder()
             .lattice(5, 3.0)
@@ -290,15 +479,17 @@ mod tests {
             .build()
             .expect("valid");
         let state = MappingState::identity(&params, 20).expect("fits");
-        (state, Neighborhood::new(params.r_int))
+        let hood = Neighborhood::new(params.r_int);
+        let table = NeighborTable::build(state.lattice(), &hood);
+        (state, hood, table)
     }
 
     #[test]
     fn repeated_queries_hit_the_cache() {
-        let (state, hood) = setup();
+        let (state, _, table) = setup();
         let cache = DistanceCache::new();
-        let a = cache.field(&state, &hood, Site::new(0, 0));
-        let b = cache.field(&state, &hood, Site::new(0, 0));
+        let a = cache.field(&state, &table, Site::new(0, 0));
+        let b = cache.field(&state, &table, Site::new(0, 0));
         assert_eq!(a, b);
         assert_eq!(cache.stats(), (1, 1));
         assert_eq!(cache.len(), 1);
@@ -306,24 +497,24 @@ mod tests {
 
     #[test]
     fn swaps_do_not_invalidate() {
-        let (mut state, hood) = setup();
+        let (mut state, _, table) = setup();
         let cache = DistanceCache::new();
-        cache.field(&state, &hood, Site::new(0, 0));
+        cache.field(&state, &table, Site::new(0, 0));
         state.apply_swap(AtomId(0), AtomId(5));
-        cache.field(&state, &hood, Site::new(0, 0));
+        cache.field(&state, &table, Site::new(0, 0));
         assert_eq!(cache.stats(), (1, 1), "swap must not clear the cache");
     }
 
     #[test]
     fn moves_invalidate() {
-        let (mut state, hood) = setup();
+        let (mut state, _, table) = setup();
         let cache = DistanceCache::new();
-        let before = cache.field(&state, &hood, Site::new(0, 0));
+        let before = cache.field(&state, &table, Site::new(0, 0));
         // Break the occupied path along row 0: move (1,0) far away.
         let target = Site::new(4, 4);
         assert!(state.is_free(target));
         state.apply_move(AtomId(1), target);
-        let after = cache.field(&state, &hood, Site::new(0, 0));
+        let after = cache.field(&state, &table, Site::new(0, 0));
         assert_eq!(cache.stats(), (0, 2), "move must recompute");
         assert_ne!(before, after);
     }
@@ -333,15 +524,15 @@ mod tests {
         // The cache-preserving invariant of the refactor: speculate,
         // undo, query again — the original field must still be served
         // from cache (no recompute, no clear).
-        let (mut state, hood) = setup();
+        let (mut state, _, table) = setup();
         let cache = DistanceCache::new();
-        let before = cache.field(&state, &hood, Site::new(0, 0));
+        let before = cache.field(&state, &table, Site::new(0, 0));
         let mut journal = StateJournal::new();
         let mark = journal.mark();
         state.apply_move_journaled(AtomId(1), Site::new(4, 4), &mut journal);
         state.apply_swap_journaled(AtomId(2), AtomId(3), &mut journal);
         state.undo_to(&mut journal, mark);
-        let after = cache.field(&state, &hood, Site::new(0, 0));
+        let after = cache.field(&state, &table, Site::new(0, 0));
         assert_eq!(before, after);
         assert_eq!(cache.stats(), (1, 1), "undo must leave the field warm");
     }
@@ -350,12 +541,12 @@ mod tests {
     fn distinct_states_never_alias() {
         // Two states that happen to have seen the same number of moves
         // must not share cached fields (stamps are process-unique).
-        let (state_a, hood) = setup();
+        let (state_a, _, table) = setup();
         let mut state_b = setup().0;
         state_b.apply_move(AtomId(1), Site::new(4, 4));
         let cache = DistanceCache::new();
-        let from_a = cache.field(&state_a, &hood, Site::new(0, 0));
-        let from_b = cache.field(&state_b, &hood, Site::new(0, 0));
+        let from_a = cache.field(&state_a, &table, Site::new(0, 0));
+        let from_b = cache.field(&state_b, &table, Site::new(0, 0));
         assert_eq!(cache.stats(), (0, 2), "state switch must recompute");
         assert_ne!(from_a, from_b);
         // Clones diverge independently, so they get fresh stamps too.
@@ -365,10 +556,10 @@ mod tests {
 
     #[test]
     fn cached_field_matches_direct_bfs() {
-        let (mut state, hood) = setup();
+        let (mut state, hood, table) = setup();
         let mut scratch = RouteScratch::new();
         let reference = state.clone();
-        let ctx = RoutingContext::new(&mut state, &hood, 1.0, &mut scratch);
+        let ctx = RoutingContext::new(&mut state, &hood, &table, hood.radius(), &mut scratch);
         for start in [Site::new(0, 0), Site::new(2, 1), Site::new(3, 3)] {
             let cached = ctx.distances_from(start);
             let direct = bfs_occupied(&reference, &[start], &hood);
@@ -377,10 +568,60 @@ mod tests {
     }
 
     #[test]
+    fn bounded_query_settles_frontier_then_resumes_to_full() {
+        let (state, hood, table) = setup();
+        let cache = DistanceCache::new();
+        // Nearby target: only a frontier around the start settles.
+        let mut out = Vec::new();
+        cache.distances_at(
+            &state,
+            &table,
+            Site::new(0, 0),
+            &[Site::new(1, 0)],
+            &mut out,
+        );
+        assert_eq!(out, vec![1]);
+        let after_bounded = cache.sites_settled();
+        assert!(
+            (after_bounded as usize) < state.num_atoms(),
+            "bounded query must not settle the whole occupied graph \
+             ({after_bounded} settled)"
+        );
+        // Upgrading to the full field resumes the same search ...
+        let full = cache.field(&state, &table, Site::new(0, 0));
+        let reference = bfs_occupied(&state, &[Site::new(0, 0)], &hood);
+        assert_eq!(*full, reference);
+        // ... and total settle work equals one full BFS (every occupied
+        // site settled exactly once across both calls).
+        assert_eq!(cache.sites_settled() as usize, state.num_atoms());
+    }
+
+    #[test]
+    fn bounded_query_served_from_partial_field_is_a_hit() {
+        let (state, _, table) = setup();
+        let cache = DistanceCache::new();
+        let mut out = Vec::new();
+        let far = Site::new(4, 3); // occupied (20 atoms on 5x5)
+        cache.distances_at(&state, &table, Site::new(0, 0), &[far], &mut out);
+        let (h0, m0) = cache.stats();
+        assert_eq!((h0, m0), (0, 1));
+        // A nearer target is already settled: no BFS, a hit.
+        cache.distances_at(
+            &state,
+            &table,
+            Site::new(0, 0),
+            &[Site::new(1, 0)],
+            &mut out,
+        );
+        assert_eq!(out, vec![1]);
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
     fn centroid_is_mean_of_sites() {
-        let (mut state, hood) = setup();
+        let (mut state, hood, table) = setup();
         let mut scratch = RouteScratch::new();
-        let ctx = RoutingContext::new(&mut state, &hood, 1.0, &mut scratch);
+        let ctx = RoutingContext::new(&mut state, &hood, &table, hood.radius(), &mut scratch);
         // Qubits 0 (0,0) and 2 (2,0).
         let (cx, cy) = ctx.centroid_of(&[Qubit(0), Qubit(2)]);
         assert_eq!((cx, cy), (1.0, 0.0));

@@ -26,6 +26,14 @@ use crate::config::MapperConfig;
 pub struct CostModel {
     /// Interaction radius `r_int` (lattice-constant units).
     pub r_int: f64,
+    /// Integer within-range bound: `Site::within_threshold_sq(r_int)`,
+    /// hoisted once so hot range checks compare exact squared
+    /// distances.
+    pub r_int_within_sq: i64,
+    /// Largest squared distance at which `swap_distance` is exactly
+    /// zero ([`crate::route::distance::swap_zero_threshold_sq`]) — the
+    /// sqrt-skipping fast path of the distance terms.
+    pub r_int_zero_sq: i64,
     /// `ln` of the decomposed SWAP fidelity `F_CZ³ · F_1q⁶`.
     pub ln_f_swap: f64,
     /// `ln` of the single-move shuttle fidelity `F_shuttle`.
@@ -59,6 +67,8 @@ impl CostModel {
     pub fn new(params: &HardwareParams, config: &MapperConfig) -> Self {
         CostModel {
             r_int: params.r_int,
+            r_int_within_sq: na_arch::Site::within_threshold_sq(params.r_int),
+            r_int_zero_sq: crate::route::distance::swap_zero_threshold_sq(params.r_int),
             ln_f_swap: params.swap_fidelity().ln(),
             ln_f_shuttle: params.f_shuttle.max(f64::MIN_POSITIVE).ln(),
             t_swap_us: params.swap_time_us(),

@@ -17,8 +17,25 @@
 //! These are the raw primitives; routers normally consume them through
 //! the caching [`crate::route::RoutingContext`], which reuses BFS fields
 //! across every round that leaves trap occupancy unchanged.
+//!
+//! Two scaling mechanisms keep the primitives sub-linear in lattice
+//! size on paper-sized arrays:
+//!
+//! * **CSR adjacency** — [`bfs_occupied_table_into`] expands the
+//!   frontier through a precomputed [`NeighborTable`] (dense neighbor
+//!   slices) instead of recomputing `hood.around(s)` offset geometry and
+//!   bounds checks at every visit,
+//! * **target-bounded early exit** — [`bfs_occupied_bounded_into`]
+//!   stops as soon as every *requested* target site is settled (BFS
+//!   assigns final distances at enqueue time), so a query about a small
+//!   target set touches a frontier, not the lattice. The partially
+//!   computed field (plus its live frontier queue) remains resumable —
+//!   the [`crate::route::DistanceCache`] exploits exactly that to
+//!   upgrade bounded fields to full ones without repeating work.
 
-use na_arch::{Neighborhood, Site};
+use std::collections::VecDeque;
+
+use na_arch::{NeighborTable, Neighborhood, Site};
 use na_circuit::Qubit;
 
 use crate::state::MappingState;
@@ -77,12 +94,177 @@ pub fn bfs_occupied_into(
     }
 }
 
+/// [`bfs_occupied_into`] over a precomputed CSR [`NeighborTable`]: the
+/// frontier queue holds dense site indices and each visit expands a
+/// neighbor *slice* — no offset arithmetic, no bounds check, no
+/// coordinate → index conversion per neighbor. Produces the identical
+/// distance field (the table lists neighbors in the disc's order, and
+/// BFS levels are order-independent). Returns the number of sites
+/// settled (= reachable occupied sites, starts included).
+pub fn bfs_occupied_table_into(
+    state: &MappingState,
+    starts: &[Site],
+    table: &NeighborTable,
+    dist: &mut Vec<u32>,
+    queue: &mut VecDeque<u32>,
+) -> usize {
+    let lattice = state.lattice();
+    dist.clear();
+    dist.resize(lattice.num_sites(), UNREACHABLE);
+    queue.clear();
+    let mut settled = 0usize;
+    for &s in starts {
+        debug_assert!(!state.is_free(s), "BFS start {s} must be occupied");
+        let idx = lattice.index(s);
+        if dist[idx] != 0 {
+            dist[idx] = 0;
+            queue.push_back(idx as u32);
+            settled += 1;
+        }
+    }
+    settled + bfs_drain_resume(state, table, dist, queue, &[])
+}
+
+/// Target-bounded early-exit BFS over the CSR table: identical to
+/// [`bfs_occupied_table_into`] on the *requested* target sites, but the
+/// search stops as soon as every target is settled (assigned its final
+/// hop distance — BFS settles a site the moment it is enqueued).
+/// Unreached targets force the search to exhaustion, so `UNREACHABLE`
+/// answers are exact too.
+///
+/// On return, `dist` holds final distances for every settled site and
+/// `queue` holds the still-live frontier — the pair is resumable: the
+/// internal drain continues the same BFS without repeating work (the
+/// [`crate::route::DistanceCache`] upgrades bounded fields to full
+/// ones exactly this way). Returns the number of sites settled, the
+/// bench-visible measure of how much of the lattice the query touched.
+pub fn bfs_occupied_bounded_into(
+    state: &MappingState,
+    starts: &[Site],
+    table: &NeighborTable,
+    targets: &[Site],
+    dist: &mut Vec<u32>,
+    queue: &mut VecDeque<u32>,
+) -> usize {
+    let lattice = state.lattice();
+    dist.clear();
+    dist.resize(lattice.num_sites(), UNREACHABLE);
+    queue.clear();
+    let mut settled = 0usize;
+    for &s in starts {
+        debug_assert!(!state.is_free(s), "BFS start {s} must be occupied");
+        let idx = lattice.index(s);
+        if dist[idx] != 0 {
+            dist[idx] = 0;
+            queue.push_back(idx as u32);
+            settled += 1;
+        }
+    }
+    settled + bfs_drain_resume(state, table, dist, queue, targets)
+}
+
+/// Continues a (possibly partial) BFS: drains `queue` until every site
+/// of `targets` is settled in `dist`, or — with an empty target list —
+/// until the frontier is exhausted (a full field). Returns the number of
+/// sites newly settled by this drain.
+///
+/// `dist`/`queue` must come from a previous
+/// [`bfs_occupied_table_into`]/[`bfs_occupied_bounded_into`] run (or
+/// drain) against the same state and table.
+pub(crate) fn bfs_drain_resume(
+    state: &MappingState,
+    table: &NeighborTable,
+    dist: &mut [u32],
+    queue: &mut VecDeque<u32>,
+    targets: &[Site],
+) -> usize {
+    let lattice = state.lattice();
+    let bounded = !targets.is_empty();
+    // Pending distinct targets not yet settled; duplicates counted once
+    // (target sets are tiny — gate operands or a hood — so the
+    // quadratic dedup is noise).
+    let mut pending = 0usize;
+    if bounded {
+        for (i, &t) in targets.iter().enumerate() {
+            let idx = lattice.index(t);
+            if dist[idx] != UNREACHABLE {
+                continue;
+            }
+            if targets[..i].iter().any(|&u| lattice.index(u) == idx) {
+                continue;
+            }
+            pending += 1;
+        }
+        if pending == 0 {
+            return 0;
+        }
+    }
+    let mut settled = 0usize;
+    while let Some(idx) = queue.pop_front() {
+        let d = dist[idx as usize];
+        for &n in table.neighbors(idx as usize) {
+            let n = n as usize;
+            if state.atom_at_site_index(n).is_none() || dist[n] != UNREACHABLE {
+                continue;
+            }
+            dist[n] = d + 1;
+            queue.push_back(n as u32);
+            settled += 1;
+            if bounded && targets.contains(&lattice.site(n)) {
+                pending -= 1;
+                if pending == 0 {
+                    // Early exit mid-slice: re-queue the node at the
+                    // *front* (it still carries the smallest depth) so a
+                    // later resume re-expands its remaining neighbors —
+                    // already-settled ones are skipped, nothing is lost.
+                    queue.push_front(idx);
+                    return settled;
+                }
+            }
+        }
+    }
+    settled
+}
+
 /// Fractional SWAP-distance estimate between two sites: how many SWAP
 /// steps (each covering at most `r_int`) separate them from
 /// interaction range. Zero when already within `r_int`.
 #[inline]
 pub fn swap_distance(a: Site, b: Site, r_int: f64) -> f64 {
     (a.distance(b) / r_int - 1.0).max(0.0)
+}
+
+/// The largest integer squared distance at which [`swap_distance`] is
+/// exactly `0.0` — determined against the original float expression
+/// itself (monotone in the squared distance), so the fast path of
+/// [`swap_distance_bounded`] is bit-identical by construction.
+/// Compute once per cost model, not per call.
+pub fn swap_zero_threshold_sq(r_int: f64) -> i64 {
+    let mut d2 = (r_int * r_int).floor() as i64;
+    if d2 < 0 {
+        return -1;
+    }
+    while d2 > 0 && ((d2 as f64).sqrt() / r_int - 1.0) > 0.0 {
+        d2 -= 1;
+    }
+    while (((d2 + 1) as f64).sqrt() / r_int - 1.0) <= 0.0 {
+        d2 += 1;
+    }
+    d2
+}
+
+/// [`swap_distance`] with the zero-region short-circuited on an exact
+/// integer compare against a precomputed [`swap_zero_threshold_sq`]:
+/// in-range pairs cost one integer comparison, the sqrt only runs when
+/// a real positive distance is consumed. Bit-identical results.
+#[inline]
+pub fn swap_distance_bounded(a: Site, b: Site, r_int: f64, zero_sq: i64) -> f64 {
+    let d2 = a.distance_sq(b);
+    if d2 <= zero_sq {
+        0.0
+    } else {
+        (d2 as f64).sqrt() / r_int - 1.0
+    }
 }
 
 /// Integer SWAP-count estimate (ceiling of [`swap_distance`]).
@@ -99,6 +281,24 @@ pub fn gate_remaining_distance(state: &MappingState, qubits: &[Qubit], r_int: f6
         let sa = state.site_of_qubit(a);
         for &b in &qubits[i + 1..] {
             total += swap_distance(sa, state.site_of_qubit(b), r_int);
+        }
+    }
+    total
+}
+
+/// [`gate_remaining_distance`] through [`swap_distance_bounded`]:
+/// bit-identical values, sqrt skipped for pairs already in range.
+pub fn gate_remaining_distance_bounded(
+    state: &MappingState,
+    qubits: &[Qubit],
+    r_int: f64,
+    zero_sq: i64,
+) -> f64 {
+    let mut total = 0.0;
+    for (i, &a) in qubits.iter().enumerate() {
+        let sa = state.site_of_qubit(a);
+        for &b in &qubits[i + 1..] {
+            total += swap_distance_bounded(sa, state.site_of_qubit(b), r_int, zero_sq);
         }
     }
     total

@@ -17,7 +17,7 @@
 //! ([`super::Proposal::handoff`]) are reported back so the mapper can
 //! persist the reassignment.
 
-use na_arch::{HardwareParams, Neighborhood};
+use na_arch::{HardwareParams, Lattice, NeighborTable, Neighborhood};
 
 use crate::config::MapperConfig;
 use crate::decision::Capability;
@@ -55,6 +55,11 @@ pub struct StepReport {
 pub struct RoutingEngine {
     routers: Vec<Box<dyn Router>>,
     hood_int: Neighborhood,
+    /// CSR adjacency of the lattice the engine routes on at `r_int`,
+    /// rebuilt lazily when a step arrives for a different lattice
+    /// (engines built via [`RoutingEngine::for_lattice`] resolve it
+    /// eagerly).
+    table_int: NeighborTable,
     r_int: f64,
 }
 
@@ -65,7 +70,30 @@ impl RoutingEngine {
     /// constructible by hand — the named constructors forbid it) gets
     /// the gate-based router, matching the decider's `GateBased`
     /// short-circuit for that degenerate case.
+    ///
+    /// Assumes the full square lattice of `params`; use
+    /// [`RoutingEngine::for_lattice`] for other topologies.
     pub fn from_config(params: &HardwareParams, config: &MapperConfig) -> Self {
+        RoutingEngine::for_lattice(params, config, &Lattice::new(params.lattice_side))
+    }
+
+    /// [`RoutingEngine::from_config`] on an explicit trap topology —
+    /// the CSR interaction adjacency is resolved once here, so routing
+    /// rounds never pay geometry math per neighbor visit.
+    pub fn for_lattice(params: &HardwareParams, config: &MapperConfig, lattice: &Lattice) -> Self {
+        let hood = Neighborhood::new(params.r_int);
+        let table = NeighborTable::build(lattice, &hood);
+        RoutingEngine::with_table(params, config, table)
+    }
+
+    /// [`RoutingEngine::for_lattice`] consuming an already-resolved CSR
+    /// table (e.g. the one a [`na_arch::TargetSpec`] carries), so
+    /// callers that hold one never pay the rebuild.
+    pub fn with_table(
+        params: &HardwareParams,
+        config: &MapperConfig,
+        table: NeighborTable,
+    ) -> Self {
         let mut routers: Vec<Box<dyn Router>> = Vec::new();
         if config.alpha_gate > 0.0 || config.alpha_shuttle <= 0.0 {
             routers.push(Box::new(GateRouter::new(params, config)));
@@ -73,16 +101,34 @@ impl RoutingEngine {
         if config.alpha_shuttle > 0.0 {
             routers.push(Box::new(ShuttleRouter::new(params, config)));
         }
-        RoutingEngine::with_routers(params, routers)
+        RoutingEngine {
+            routers,
+            hood_int: Neighborhood::new(params.r_int),
+            table_int: table,
+            r_int: params.r_int,
+        }
     }
 
     /// Builds an engine over an explicit router list (priority order =
     /// tier order). This is the extension point for additional
-    /// strategies: implement [`Router`] and register it here.
+    /// strategies: implement [`Router`] and register it here. Assumes
+    /// the full square lattice of `params`.
     pub fn with_routers(params: &HardwareParams, routers: Vec<Box<dyn Router>>) -> Self {
+        RoutingEngine::with_routers_on(params, routers, &Lattice::new(params.lattice_side))
+    }
+
+    /// [`RoutingEngine::with_routers`] on an explicit trap topology.
+    pub fn with_routers_on(
+        params: &HardwareParams,
+        routers: Vec<Box<dyn Router>>,
+        lattice: &Lattice,
+    ) -> Self {
+        let hood_int = Neighborhood::new(params.r_int);
+        let table_int = NeighborTable::build(lattice, &hood_int);
         RoutingEngine {
             routers,
-            hood_int: Neighborhood::new(params.r_int),
+            hood_int,
+            table_int,
             r_int: params.r_int,
         }
     }
@@ -92,14 +138,23 @@ impl RoutingEngine {
         &self.routers
     }
 
+    /// Rebuilds the CSR table when `state` routes on a different
+    /// lattice than the engine was constructed for.
+    fn ensure_table(&mut self, state: &MappingState) {
+        if !self.table_int.matches(state.lattice(), self.r_int) {
+            self.table_int = NeighborTable::build(state.lattice(), &self.hood_int);
+        }
+    }
+
     /// A routing context over `state` using the engine's geometry and
     /// the caller's scratch arena.
     pub fn context<'a>(
-        &'a self,
+        &'a mut self,
         state: &'a mut MappingState,
         scratch: &'a mut RouteScratch,
     ) -> RoutingContext<'a> {
-        RoutingContext::new(state, &self.hood_int, self.r_int, scratch)
+        self.ensure_table(state);
+        RoutingContext::new(state, &self.hood_int, &self.table_int, self.r_int, scratch)
     }
 
     /// The capability gates fall back to when their assigned router
@@ -135,8 +190,10 @@ impl RoutingEngine {
         out: &mut dyn OpSink,
     ) -> Result<StepReport, usize> {
         let mut report = StepReport::default();
+        self.ensure_table(state);
         let (winner, tier) = {
-            let mut ctx = RoutingContext::new(state, &self.hood_int, self.r_int, scratch);
+            let mut ctx =
+                RoutingContext::new(state, &self.hood_int, &self.table_int, self.r_int, scratch);
             Self::best_candidate(&self.routers, &mut ctx, frontier, lookahead, &mut report)?
         };
         self.apply(winner, tier, state, out, &mut report);

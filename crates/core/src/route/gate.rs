@@ -32,15 +32,17 @@
 //! in §3.3.1). The recency term is the shared
 //! [`CostModel::swap_recency_penalty`].
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use na_arch::{HardwareParams, Neighborhood, Site};
+use na_arch::{HardwareParams, NeighborTable, Neighborhood, Site};
 use na_circuit::Qubit;
 
 use crate::config::MapperConfig;
 use crate::decision::Capability;
 use crate::ops::AtomId;
-use crate::route::distance::{swap_distance, UNREACHABLE};
+use crate::route::distance::{swap_distance_bounded, UNREACHABLE};
 use crate::route::scratch::GateBufs;
 use crate::route::{
     Candidate, CostModel, FrontierGate, Proposal, Router, RoutingContext, RoutingOp,
@@ -73,7 +75,11 @@ pub struct RoutedGate {
 impl RoutedGate {
     /// Post-SWAP routing distance of this gate, with `site_of` resolving
     /// qubit locations (allowing hypothetical SWAP overrides).
-    fn distance_with(&self, site_of: &dyn Fn(Qubit) -> Site, r_int: f64) -> f64 {
+    /// `zero_sq` is the cost model's precomputed
+    /// [`crate::route::distance::swap_zero_threshold_sq`] — in-range
+    /// pairs short-circuit to exactly `0.0` on an integer compare, the
+    /// sqrt only runs when a real positive distance is consumed.
+    fn distance_with(&self, site_of: &dyn Fn(Qubit) -> Site, r_int: f64, zero_sq: i64) -> f64 {
         match &self.position {
             Some(pos) => self
                 .qubits
@@ -92,7 +98,7 @@ impl RoutedGate {
             None => {
                 let a = site_of(self.qubits[0]);
                 let b = site_of(self.qubits[1]);
-                swap_distance(a, b, r_int)
+                swap_distance_bounded(a, b, r_int, zero_sq)
             }
         }
     }
@@ -130,6 +136,10 @@ fn fill_routed(
 pub struct GateRouter {
     cost: CostModel,
     hood_restr: Neighborhood,
+    /// CSR adjacency at `r_restr`, built lazily for the lattice the
+    /// router actually routes on (the restricted-volume scan of
+    /// [`GateRouter::note_swap_applied`] runs once per applied SWAP).
+    restr_table: Option<NeighborTable>,
     /// Routing step at which each atom was last "used" by a SWAP.
     last_used: Vec<u64>,
     /// Monotone step counter.
@@ -144,6 +154,7 @@ impl GateRouter {
         GateRouter {
             cost: CostModel::new(params, config),
             hood_restr: Neighborhood::new(params.r_restr),
+            restr_table: None,
             last_used: vec![0; params.num_atoms as usize],
             step: 0,
             recent_swaps: std::collections::VecDeque::new(),
@@ -181,13 +192,16 @@ impl GateRouter {
             let lattice = state.lattice();
 
             // Anchor candidates: occupied sites reachable by every qubit,
-            // ordered by total gathering cost.
+            // keyed by total gathering cost. Enumerated over the atom
+            // array (O(atoms), not O(lattice sites)) and *heapified*
+            // instead of fully sorted: `(cost, site)` keys are unique
+            // per site, so popping the min-heap yields exactly the old
+            // sorted order while only the few anchors the early-exit
+            // loop actually examines pay a log-n pop.
             let anchors = &mut p.gate.anchors;
             anchors.clear();
-            for site in lattice.iter() {
-                if state.is_free(site) {
-                    continue;
-                }
+            for a in 0..state.num_atoms() {
+                let site = state.site_of_atom(AtomId(a as u32));
                 let idx = lattice.index(site);
                 let mut total = 0u64;
                 let mut reachable = true;
@@ -199,15 +213,15 @@ impl GateRouter {
                     total += u64::from(d[idx]);
                 }
                 if reachable {
-                    anchors.push((total, site));
+                    anchors.push(Reverse((total, site)));
                 }
             }
-            anchors.sort_unstable_by_key(|&(c, s)| (c, s));
+            let mut heap = BinaryHeap::from(std::mem::take(anchors));
 
             const ANCHOR_MARGIN: usize = 24;
             let mut best: Option<GatePosition> = None;
             let mut examined_since_best = 0usize;
-            for &(anchor_cost, anchor) in anchors.iter() {
+            while let Some(Reverse((anchor_cost, anchor))) = heap.pop() {
                 if let Some(b) = &best {
                     if anchor_cost >= u64::from(b.cost) || examined_since_best >= ANCHOR_MARGIN {
                         break;
@@ -216,7 +230,7 @@ impl GateRouter {
                 }
                 if let Some(pos) = self.position_at_anchor(
                     state,
-                    p.hood_int,
+                    p.table_int,
                     &mut p.gate.pos_candidates,
                     anchor,
                     &fields,
@@ -228,6 +242,8 @@ impl GateRouter {
                     }
                 }
             }
+            // Return the heap's storage to the arena.
+            *anchors = heap.into_vec();
             best
         };
 
@@ -245,24 +261,28 @@ impl GateRouter {
     fn position_at_anchor(
         &self,
         state: &MappingState,
-        hood_int: &Neighborhood,
+        table_int: &NeighborTable,
         candidates: &mut Vec<(u64, Site)>,
         anchor: Site,
         dists: &[Arc<Vec<u32>>],
         m: usize,
     ) -> Option<GatePosition> {
         let lattice = state.lattice();
-        // Occupied sites around (and including) the anchor, cheapest first.
+        // Occupied sites around (and including) the anchor, cheapest
+        // first. The CSR slice lists the hood's in-bounds sites in the
+        // identical nearest-first order.
         candidates.clear();
+        let anchor_idx = lattice.index(anchor);
         candidates.extend(
-            std::iter::once(anchor)
+            std::iter::once(anchor_idx)
                 .chain(
-                    hood_int
-                        .around(anchor)
-                        .filter(|s| lattice.contains(*s) && !state.is_free(*s)),
+                    table_int
+                        .neighbors(anchor_idx)
+                        .iter()
+                        .map(|&n| n as usize)
+                        .filter(|&n| !state.is_free_index(n)),
                 )
-                .filter_map(|s| {
-                    let idx = lattice.index(s);
+                .filter_map(|idx| {
                     let mut total = 0u64;
                     for d in dists {
                         if d[idx] == UNREACHABLE {
@@ -270,14 +290,15 @@ impl GateRouter {
                         }
                         total += u64::from(d[idx]);
                     }
-                    Some((total, s))
+                    Some((total, lattice.site(idx)))
                 }),
         );
         candidates.sort_unstable_by_key(|&(c, s)| (c, s));
 
+        let r_sq = self.cost.r_int_within_sq;
         let mut slots: Vec<Site> = Vec::with_capacity(m);
         for &(_, s) in candidates.iter() {
-            if slots.iter().all(|&t| t.within(s, self.cost.r_int)) {
+            if slots.iter().all(|&t| t.distance_sq(s) <= r_sq) {
                 slots.push(s);
                 if slots.len() == m {
                     break;
@@ -337,13 +358,20 @@ impl GateRouter {
         }
 
         // Pre-SWAP distances (constant part of the cost).
+        let zero_sq = self.cost.r_int_zero_sq;
         let site_now = |q: Qubit| state.site_of_qubit(q);
         bufs.d_before_front.clear();
-        bufs.d_before_front
-            .extend(front.iter().map(|g| g.distance_with(&site_now, r_int)));
+        bufs.d_before_front.extend(
+            front
+                .iter()
+                .map(|g| g.distance_with(&site_now, r_int, zero_sq)),
+        );
         bufs.d_before_la.clear();
-        bufs.d_before_la
-            .extend(lookahead.iter().map(|g| g.distance_with(&site_now, r_int)));
+        bufs.d_before_la.extend(
+            lookahead
+                .iter()
+                .map(|g| g.distance_with(&site_now, r_int, zero_sq)),
+        );
         let baseline: f64 = bufs.d_before_front.iter().sum::<f64>()
             + self.cost.lookahead_weight * bufs.d_before_la.iter().sum::<f64>();
 
@@ -359,11 +387,10 @@ impl GateRouter {
             for &q in &g.qubits {
                 let a = state.atom_of_qubit(q);
                 let sa = state.site_of_atom(a);
-                for sb in p.hood_int.around(sa) {
-                    if !lattice.contains(sb) {
-                        continue;
-                    }
-                    let Some(b) = state.atom_at_site(sb) else {
+                // CSR slice: the hood's in-bounds sites in identical
+                // order, as dense indices — no geometry per neighbor.
+                for &nb in p.table_int.neighbors(lattice.index(sa)) {
+                    let Some(b) = state.atom_at_site_index(nb as usize) else {
                         continue;
                     };
                     let pair = if a.0 < b.0 { (a, b) } else { (b, a) };
@@ -446,7 +473,8 @@ impl GateRouter {
                         self.cost.lookahead_weight,
                     )
                 };
-                let after = gate.distance_with(&site_after, self.cost.r_int);
+                let after =
+                    gate.distance_with(&site_after, self.cost.r_int, self.cost.r_int_zero_sq);
                 delta += weight * (after - before);
             }
         }
@@ -466,14 +494,19 @@ impl GateRouter {
     /// volume) as recently used, and updates the tabu window.
     fn note_swap_applied(&mut self, state: &MappingState, a: AtomId, b: AtomId) {
         self.step += 1;
+        let lattice = *state.lattice();
+        let r_restr = self.hood_restr.radius();
+        let stale = !matches!(&self.restr_table, Some(t) if t.matches(&lattice, r_restr));
+        if stale {
+            self.restr_table = Some(NeighborTable::build(&lattice, &self.hood_restr));
+        }
+        let table = self.restr_table.as_ref().expect("built above");
         for atom in [a, b] {
             self.last_used[atom.index()] = self.step;
             let site = state.site_of_atom(atom);
-            for s in self.hood_restr.around(site) {
-                if state.lattice().contains(s) {
-                    if let Some(other) = state.atom_at_site(s) {
-                        self.last_used[other.index()] = self.step;
-                    }
+            for &s in table.neighbors(lattice.index(site)) {
+                if let Some(other) = state.atom_at_site_index(s as usize) {
+                    self.last_used[other.index()] = self.step;
                 }
             }
         }
@@ -672,22 +705,33 @@ mod tests {
     struct Fixture {
         state: MappingState,
         hood: Neighborhood,
+        table: na_arch::NeighborTable,
         r_int: f64,
         scratch: RouteScratch,
     }
 
     impl Fixture {
         fn new(p: &HardwareParams, qubits: u32) -> Self {
+            let state = MappingState::identity(p, qubits).expect("fits");
+            let hood = Neighborhood::new(p.r_int);
+            let table = na_arch::NeighborTable::build(state.lattice(), &hood);
             Fixture {
-                state: MappingState::identity(p, qubits).expect("fits"),
-                hood: Neighborhood::new(p.r_int),
+                state,
+                hood,
+                table,
                 r_int: p.r_int,
                 scratch: RouteScratch::new(),
             }
         }
 
         fn ctx(&mut self) -> RoutingContext<'_> {
-            RoutingContext::new(&mut self.state, &self.hood, self.r_int, &mut self.scratch)
+            RoutingContext::new(
+                &mut self.state,
+                &self.hood,
+                &self.table,
+                self.r_int,
+                &mut self.scratch,
+            )
         }
     }
 
@@ -834,6 +878,33 @@ mod tests {
         assert_eq!(router.staleness((AtomId(11), AtomId(7))), 0.0);
         // A far-away pair is stale.
         assert!(router.staleness((AtomId(0), AtomId(23))) > 0.0);
+    }
+
+    /// The heapified anchor selection must examine anchors in exactly
+    /// the order the old full sort produced, including cost ties
+    /// (broken by `Site` order) — so the first feasible/cheapest anchor
+    /// (the winner) is identical.
+    #[test]
+    fn anchor_heap_pops_in_sorted_order_with_ties() {
+        let entries: Vec<(u64, Site)> = vec![
+            (5, Site::new(3, 1)),
+            (2, Site::new(4, 0)),
+            (5, Site::new(1, 2)),
+            (2, Site::new(0, 3)),
+            (7, Site::new(2, 2)),
+            (2, Site::new(4, 1)),
+            (0, Site::new(2, 0)),
+            (2, Site::new(0, 0)),
+        ];
+        let mut sorted = entries.clone();
+        sorted.sort_unstable_by_key(|&(c, s)| (c, s));
+        let mut heap: BinaryHeap<Reverse<(u64, Site)>> = entries.into_iter().map(Reverse).collect();
+        let mut popped: Vec<(u64, Site)> = Vec::new();
+        while let Some(Reverse(e)) = heap.pop() {
+            popped.push(e);
+        }
+        assert_eq!(popped, sorted);
+        assert_eq!(popped.first(), sorted.first(), "same winner under ties");
     }
 
     #[test]

@@ -66,8 +66,11 @@ pub(crate) struct GateBufs {
     pub d_before_la: Vec<f64>,
     /// Per-gate-qubit BFS fields for position finding.
     pub fields: Vec<Arc<Vec<u32>>>,
-    /// Anchor candidates of `find_position`, `(cost, site)`.
-    pub anchors: Vec<(u64, Site)>,
+    /// Anchor candidates of `find_position`, `Reverse((cost, site))` —
+    /// heapified into a lazy ascending selection instead of fully
+    /// sorted (`BinaryHeap::from` is O(n); only the few anchors
+    /// actually examined pay a log-n pop).
+    pub anchors: Vec<std::cmp::Reverse<(u64, Site)>>,
     /// Slot candidates of `position_at_anchor`, `(cost, site)`.
     pub pos_candidates: Vec<(u64, Site)>,
     /// Frontier gates resolved for SWAP routing (inner qubit vectors are
@@ -130,6 +133,38 @@ pub(crate) struct ShuttleBufs {
     pub recent: Vec<Move>,
     /// Anchor scan order of the fallback path.
     pub anchor_sites: Vec<Site>,
+    /// Generation counter bumped once per `best_chains` round; entries
+    /// of `touch_epoch` are live iff they equal it.
+    pub round_gen: u64,
+    /// Per-atom generation of `touch_lists` (atom id indexed).
+    pub touch_epoch: Vec<u64>,
+    /// Per-atom `(gate index, is_front)` incidence over the round's
+    /// frontier + lookahead layers — which Eq. (4) distance terms a
+    /// move of this atom can change. Stable for the whole round: chains
+    /// only move atoms, never permute `f_q`.
+    pub touch_lists: Vec<Vec<(u32, bool)>>,
+    /// Per-frontier-gate remaining routing distance at the currently
+    /// simulated state (committed values between sims; entries for
+    /// gates untouched by a move are *bit-identical* to a full
+    /// recompute, so summing this array in gate order reproduces the
+    /// old full `remaining()` sweep exactly — without its per-gate
+    /// sqrt work).
+    pub front_vals: Vec<f64>,
+    /// Per-lookahead-gate remaining routing distance (same contract).
+    pub la_vals: Vec<f64>,
+    /// Undo log of `front_vals`/`la_vals` mutations during one chain
+    /// simulation: `(gate index, is_front, previous value)`.
+    pub val_undo: Vec<(u32, bool, f64)>,
+}
+
+impl ShuttleBufs {
+    /// Grows the atom-indexed incidence tables to cover `num_atoms` ids.
+    pub fn ensure_atoms(&mut self, num_atoms: usize) {
+        if self.touch_epoch.len() < num_atoms {
+            self.touch_epoch.resize(num_atoms, 0);
+            self.touch_lists.resize_with(num_atoms, Vec::new);
+        }
+    }
 }
 
 /// The per-thread routing arena: journal, distance cache, and every

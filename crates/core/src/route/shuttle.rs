@@ -22,6 +22,24 @@
 //! exact undo) — the former per-candidate `MappingState::clone()` is
 //! gone, and because undo restores the committed occupancy stamp, the
 //! shared distance cache stays warm across the whole evaluation.
+//!
+//! # Scaling the Eq. (4) distance terms
+//!
+//! The cost of a move is a *difference of layer sums*
+//! (`Σ_g d_g` over frontier and lookahead gates, before vs. after).
+//! Re-deriving both sums from scratch after every simulated move made
+//! candidate evaluation `O(moves × gates × operands²)` with a sqrt per
+//! pair — the hot path at paper scale. Chains only move atoms (they
+//! never permute `f_q`), so a move can change `d_g` only for the gates
+//! touching the moved atom: the router keeps per-layer value arrays
+//! (`front_vals`/`la_vals`) plus a generation-stamped atom → gate
+//! incidence in the scratch arena, recomputes just the touched entries,
+//! and re-sums the arrays in layer order. Untouched entries hold the
+//! exact f64 a recompute would produce and the summation order is the
+//! old `remaining()` order, so every cost — and therefore every chosen
+//! chain — is **bit-identical** to the full-sweep implementation
+//! (pinned by `reference_cost_equivalence` below and the artifact
+//! snapshot suite).
 
 use std::collections::VecDeque;
 
@@ -31,6 +49,7 @@ use na_circuit::Qubit;
 use crate::config::MapperConfig;
 use crate::decision::Capability;
 use crate::ops::AtomId;
+use crate::route::distance::gate_remaining_distance_bounded;
 use crate::route::scratch::ShuttleBufs;
 use crate::route::{
     Candidate, CostModel, FrontierGate, Proposal, Router, RoutingContext, RoutingOp,
@@ -94,12 +113,50 @@ impl ShuttleRouter {
     ) -> Vec<MoveChain> {
         let mut result = Vec::new();
         let mut p = ctx.parts();
+        // Round tables: per-gate remaining-distance values (committed
+        // state) and the atom → gate incidence that tells a simulated
+        // move which entries it can change. Values and their layer-order
+        // summation replicate the old full `remaining()` sweep exactly.
+        let (r_int, zero_sq) = (self.cost.r_int, self.cost.r_int_zero_sq);
+        {
+            let bufs = &mut *p.shuttle;
+            bufs.ensure_atoms(p.state.num_atoms());
+            bufs.round_gen += 1;
+            let gen = bufs.round_gen;
+            let touch = |bufs: &mut ShuttleBufs, atom: crate::ops::AtomId, entry: (u32, bool)| {
+                let a = atom.index();
+                if bufs.touch_epoch[a] != gen {
+                    bufs.touch_epoch[a] = gen;
+                    bufs.touch_lists[a].clear();
+                }
+                bufs.touch_lists[a].push(entry);
+            };
+            bufs.front_vals.clear();
+            for (gi, g) in front.iter().enumerate() {
+                bufs.front_vals.push(gate_remaining_distance_bounded(
+                    p.state, &g.qubits, r_int, zero_sq,
+                ));
+                for &q in &g.qubits {
+                    touch(bufs, p.state.atom_of_qubit(q), (gi as u32, true));
+                }
+            }
+            bufs.la_vals.clear();
+            for (gi, g) in lookahead.iter().enumerate() {
+                bufs.la_vals.push(gate_remaining_distance_bounded(
+                    p.state, &g.qubits, r_int, zero_sq,
+                ));
+                for &q in &g.qubits {
+                    touch(bufs, p.state.atom_of_qubit(q), (gi as u32, false));
+                }
+            }
+            bufs.val_undo.clear();
+        }
         // The pre-chain distance sums are a property of the committed
         // state, identical for every candidate of this round — compute
         // them once and thread them through the simulations.
         let before = (
-            remaining(p.state, front, self.cost.r_int),
-            remaining(p.state, lookahead, self.cost.r_int),
+            p.shuttle.front_vals.iter().sum(),
+            p.shuttle.la_vals.iter().sum(),
         );
         for gate in front {
             if p.state
@@ -138,7 +195,7 @@ impl ShuttleRouter {
                 p.state,
                 p.journal,
                 p.shuttle,
-                p.hood_int,
+                p.table_int,
                 qubits,
                 anchor,
                 Some(ci),
@@ -153,22 +210,43 @@ impl ShuttleRouter {
             }
         }
         if best.is_none() {
-            // Fallback: scan anchors near the gate centroid.
+            // Fallback: scan anchors near the gate centroid. Only the
+            // first `SCAN` anchors are ever examined, so a partial
+            // selection (select the `SCAN` smallest, sort just those)
+            // replaces the full-lattice sort — the `(distance, site)`
+            // key is a total order, so the examined prefix is
+            // identical.
+            const SCAN: usize = 64;
             let state = &*p.state;
             let centroid = crate::route::context::centroid_of(state, qubits);
-            p.shuttle.anchor_sites.clear();
-            p.shuttle.anchor_sites.extend(state.lattice().iter());
-            p.shuttle.anchor_sites.sort_by(|a, b| {
+            let by_centroid = |a: &Site, b: &Site| {
                 RoutingContext::dist_sq_to(centroid, *a)
                     .partial_cmp(&RoutingContext::dist_sq_to(centroid, *b))
                     .expect("finite")
                     .then(a.cmp(b))
-            });
-            for i in 0..p.shuttle.anchor_sites.len().min(64) {
+            };
+            p.shuttle.anchor_sites.clear();
+            p.shuttle.anchor_sites.extend(state.lattice().iter());
+            let scan = p.shuttle.anchor_sites.len().min(SCAN);
+            if p.shuttle.anchor_sites.len() > scan {
+                p.shuttle
+                    .anchor_sites
+                    .select_nth_unstable_by(scan - 1, by_centroid);
+            }
+            p.shuttle.anchor_sites[..scan].sort_by(by_centroid);
+            for i in 0..scan {
                 let anchor = p.shuttle.anchor_sites[i];
                 if let Some(cost) = self.simulate_chain(
-                    p.state, p.journal, p.shuttle, p.hood_int, qubits, anchor, None, front,
-                    lookahead, before,
+                    p.state,
+                    p.journal,
+                    p.shuttle,
+                    p.table_int,
+                    qubits,
+                    anchor,
+                    None,
+                    front,
+                    lookahead,
+                    before,
                 ) {
                     best = Some(cost);
                     std::mem::swap(&mut p.shuttle.chain, &mut p.shuttle.best_chain);
@@ -179,18 +257,21 @@ impl ShuttleRouter {
         best
     }
 
-    /// One Eq. (4) cost term: applies `mv` through the journal,
-    /// folds its frontier/lookahead deltas and parallelism term into the
+    /// One Eq. (4) cost term: applies `mv` through the journal, updates
+    /// the per-gate value arrays for the gates the moved atom touches,
+    /// folds the frontier/lookahead deltas and parallelism term into the
     /// accumulators, and advances the replayed recency window. The
     /// carried `before_*` values equal a recomputation at the pre-move
-    /// state (nothing mutates the state between moves), so the fused
-    /// build+cost pass is bit-identical to a separate cost replay.
+    /// state (nothing mutates the state between moves) and the layer
+    /// sums are taken in the old full-sweep order over bit-identical
+    /// per-gate values, so the incremental pass is bit-identical to a
+    /// full cost replay.
     #[allow(clippy::too_many_arguments)]
     fn account_move(
         &self,
         state: &mut MappingState,
         journal: &mut StateJournal,
-        recent: &mut Vec<Move>,
+        bufs: &mut ShuttleBufs,
         mv: ChainMove,
         front: &[&FrontierGate],
         lookahead: &[&FrontierGate],
@@ -198,11 +279,33 @@ impl ShuttleRouter {
         before_l: &mut f64,
         total: &mut f64,
     ) {
-        let r_int = self.cost.r_int;
+        let (r_int, zero_sq) = (self.cost.r_int, self.cost.r_int_zero_sq);
         state.apply_move_journaled(mv.atom, mv.to, journal);
-        let after_f = remaining(state, front, r_int);
-        let after_l = remaining(state, lookahead, r_int);
-        let c_parallel: f64 = recent
+        // Only gates touching the moved atom can change value; every
+        // other entry is exactly what a recompute would produce.
+        let a = mv.atom.index();
+        if a < bufs.touch_epoch.len() && bufs.touch_epoch[a] == bufs.round_gen {
+            for ti in 0..bufs.touch_lists[a].len() {
+                let (gi, is_front) = bufs.touch_lists[a][ti];
+                let gate = if is_front {
+                    front[gi as usize]
+                } else {
+                    lookahead[gi as usize]
+                };
+                let val = gate_remaining_distance_bounded(state, &gate.qubits, r_int, zero_sq);
+                let slot = if is_front {
+                    &mut bufs.front_vals[gi as usize]
+                } else {
+                    &mut bufs.la_vals[gi as usize]
+                };
+                bufs.val_undo.push((gi, is_front, *slot));
+                *slot = val;
+            }
+        }
+        let after_f: f64 = bufs.front_vals.iter().sum();
+        let after_l: f64 = bufs.la_vals.iter().sum();
+        let c_parallel: f64 = bufs
+            .recent
             .iter()
             .rev()
             .take(self.cost.recency_window)
@@ -211,7 +314,7 @@ impl ShuttleRouter {
         *total += (after_f - *before_f)
             + self.cost.lookahead_weight * (after_l - *before_l)
             + self.cost.time_weight * c_parallel;
-        recent.push(mv.as_move());
+        bufs.recent.push(mv.as_move());
         *before_f = after_f;
         *before_l = after_l;
     }
@@ -229,7 +332,7 @@ impl ShuttleRouter {
         state: &mut MappingState,
         journal: &mut StateJournal,
         bufs: &mut ShuttleBufs,
-        hood_int: &na_arch::Neighborhood,
+        table_int: &na_arch::NeighborTable,
         qubits: &[Qubit],
         anchor: Site,
         center: Option<usize>,
@@ -238,7 +341,9 @@ impl ShuttleRouter {
         before: (f64, f64),
     ) -> Option<f64> {
         let r_int = self.cost.r_int;
+        let r_sq = self.cost.r_int_within_sq;
         let mark = journal.mark();
+        let val_mark = bufs.val_undo.len();
         bufs.chain.clear();
         bufs.placed.clear();
         bufs.recent.clear();
@@ -266,41 +371,51 @@ impl ShuttleRouter {
             let qi = bufs.order[oi];
             let q = qubits[qi];
             let here = state.site_of_qubit(q);
-            let stays = bufs.placed.iter().all(|&t| t.within(here, r_int))
-                && (center == Some(qi) || here.within(anchor, r_int));
+            let stays = bufs.placed.iter().all(|&t| t.distance_sq(here) <= r_sq)
+                && (center == Some(qi) || here.distance_sq(anchor) <= r_sq);
             if stays {
                 // Already compatible with everything placed so far.
                 bufs.placed.push(here);
                 continue;
             }
-            // Candidate targets around the anchor, nearest to the qubit
-            // first; must stay compatible with already-placed sites.
+            // Candidate targets around the anchor (the CSR slice lists
+            // the hood's in-bounds sites in identical order); must stay
+            // compatible with already-placed sites.
             bufs.site_candidates.clear();
             {
                 let lattice = state.lattice();
                 let placed = &bufs.placed;
+                let anchor_idx = lattice.index(anchor);
                 bufs.site_candidates.extend(
                     std::iter::once(anchor)
-                        .chain(hood_int.around(anchor))
+                        .chain(
+                            table_int
+                                .neighbors(anchor_idx)
+                                .iter()
+                                .map(|&n| lattice.site(n as usize)),
+                        )
                         .filter(|s| {
-                            lattice.contains(*s)
-                                && placed.iter().all(|&t| t.within(*s, r_int))
-                                && !placed.contains(s)
+                            placed.iter().all(|&t| t.distance_sq(*s) <= r_sq) && !placed.contains(s)
                         }),
                 );
             }
-            bufs.site_candidates
-                .sort_by_key(|s| (here.distance_sq(*s), *s));
 
-            // First preference: a free site (direct move).
+            // First preference: a free site (direct move) — a linear
+            // min-scan under the exact `(distance², site)` key the old
+            // sort used, so the winner is identical without the
+            // O(n log n) sort (which now only runs when the move-away
+            // path below actually needs ordered candidates).
             let direct = bufs
                 .site_candidates
                 .iter()
                 .copied()
-                .find(|&s| state.is_free(s));
+                .filter(|&s| state.is_free(s))
+                .min_by_key(|&s| (here.distance_sq(s), s));
             let target = if let Some(t) = direct {
                 t
             } else {
+                bufs.site_candidates
+                    .sort_by_key(|s| (here.distance_sq(*s), *s));
                 // Move-away: evict the blocking atom from the best
                 // occupied candidate that is not another gate qubit.
                 bufs.gate_sites.clear();
@@ -334,7 +449,7 @@ impl ShuttleRouter {
                     self.account_move(
                         state,
                         journal,
-                        &mut bufs.recent,
+                        bufs,
                         away,
                         front,
                         lookahead,
@@ -349,6 +464,7 @@ impl ShuttleRouter {
                     Some(s) => s,
                     None => {
                         state.undo_to(journal, mark);
+                        rollback_vals(bufs, val_mark);
                         return None;
                     }
                 }
@@ -363,7 +479,7 @@ impl ShuttleRouter {
             self.account_move(
                 state,
                 journal,
-                &mut bufs.recent,
+                bufs,
                 mv,
                 front,
                 lookahead,
@@ -377,6 +493,7 @@ impl ShuttleRouter {
         // Chain must actually make the gate executable.
         let ok = state.qubits_mutually_connected(qubits, r_int);
         state.undo_to(journal, mark);
+        rollback_vals(bufs, val_mark);
         if !ok {
             return None;
         }
@@ -397,9 +514,26 @@ impl ShuttleRouter {
     }
 }
 
+/// Reverts the per-gate value arrays to their state at `val_mark` —
+/// the array counterpart of [`MappingState::undo_to`], replayed newest
+/// first so repeated updates of the same gate restore correctly.
+fn rollback_vals(bufs: &mut ShuttleBufs, val_mark: usize) {
+    while bufs.val_undo.len() > val_mark {
+        let (gi, is_front, v) = bufs.val_undo.pop().expect("length checked");
+        if is_front {
+            bufs.front_vals[gi as usize] = v;
+        } else {
+            bufs.la_vals[gi as usize] = v;
+        }
+    }
+}
+
 /// Sum of remaining routing distances over a gate layer — the Eq. (4)
 /// distance term, evaluated in layer order so the floating-point sum is
-/// reproducible.
+/// reproducible. The hot path maintains this sum incrementally through
+/// the scratch value arrays; this full sweep remains as the reference
+/// implementation the equivalence tests compare against.
+#[cfg(test)]
 fn remaining(state: &MappingState, gates: &[&FrontierGate], r_int: f64) -> f64 {
     gates
         .iter()
@@ -481,22 +615,33 @@ mod tests {
     struct Fixture {
         state: MappingState,
         hood: Neighborhood,
+        table: na_arch::NeighborTable,
         r_int: f64,
         scratch: RouteScratch,
     }
 
     impl Fixture {
         fn new(p: &HardwareParams, qubits: u32) -> Self {
+            let state = MappingState::identity(p, qubits).expect("fits");
+            let hood = Neighborhood::new(p.r_int);
+            let table = na_arch::NeighborTable::build(state.lattice(), &hood);
             Fixture {
-                state: MappingState::identity(p, qubits).expect("fits"),
-                hood: Neighborhood::new(p.r_int),
+                state,
+                hood,
+                table,
                 r_int: p.r_int,
                 scratch: RouteScratch::new(),
             }
         }
 
         fn ctx(&mut self) -> RoutingContext<'_> {
-            RoutingContext::new(&mut self.state, &self.hood, self.r_int, &mut self.scratch)
+            RoutingContext::new(
+                &mut self.state,
+                &self.hood,
+                &self.table,
+                self.r_int,
+                &mut self.scratch,
+            )
         }
     }
 
@@ -638,6 +783,89 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    /// The incremental per-gate value arrays must reproduce the
+    /// pre-refactor full-sweep Eq. (4) cost **bit-for-bit**: replay every
+    /// returned chain with from-scratch `remaining()` sweeps after each
+    /// move and require exact f64 equality.
+    #[test]
+    fn reference_cost_equivalence() {
+        let p = params(4, 15, 1.0); // dense: exercises move-aways too
+        let mut fx = Fixture::new(&p, 15);
+        let router = ShuttleRouter::new(&p, &MapperConfig::shuttle_only().with_time_weight(0.7));
+        let front_gates = [gate(&[0, 12]), gate(&[3, 14]), gate(&[1, 10])];
+        let la_gates = [gate(&[2, 13])];
+        let front: Vec<&FrontierGate> = front_gates.iter().collect();
+        let la: Vec<&FrontierGate> = la_gates.iter().collect();
+        let chains = router.best_chains(&mut fx.ctx(), &front, &la);
+        assert!(!chains.is_empty(), "dense fixture must yield chains");
+        for chain in &chains {
+            let mut state = fx.state.clone();
+            let r_int = router.cost.r_int;
+            let mut before_f = remaining(&state, &front, r_int);
+            let mut before_l = remaining(&state, &la, r_int);
+            let mut recent: Vec<Move> = router.recent_moves.iter().copied().collect();
+            let mut total = 0.0;
+            for mv in &chain.moves {
+                state.apply_move(mv.atom, mv.to);
+                let after_f = remaining(&state, &front, r_int);
+                let after_l = remaining(&state, &la, r_int);
+                let m = Move::new(mv.from, mv.to);
+                let c_par: f64 = recent
+                    .iter()
+                    .rev()
+                    .take(router.cost.recency_window)
+                    .map(|r| router.cost.shuttle_delta_t(&m, r))
+                    .sum();
+                total += (after_f - before_f)
+                    + router.cost.lookahead_weight * (after_l - before_l)
+                    + router.cost.time_weight * c_par;
+                recent.push(m);
+                before_f = after_f;
+                before_l = after_l;
+            }
+            assert_eq!(
+                total, chain.cost,
+                "incremental cost must be bit-identical to the full sweep"
+            );
+        }
+    }
+
+    /// The direct-move linear min-scan must pick the same site the old
+    /// sort-then-first-free selection picked, including on distance
+    /// ties (broken by site order).
+    #[test]
+    fn direct_move_min_scan_matches_sorted_selection() {
+        let p = params(5, 10, 1.0);
+        let fx = Fixture::new(&p, 10);
+        let here = Site::new(2, 1);
+        // Free candidates at equal distance from `here`: the site-order
+        // tie-break decides.
+        let candidates = [
+            Site::new(2, 3),
+            Site::new(2, 2), // distance 1 — tied with (3,1)... no: d((2,2))=1
+            Site::new(4, 1),
+            Site::new(3, 2), // distance sq 2 — tied with (1,2)
+            Site::new(1, 2), // distance sq 2, smaller site order
+        ];
+        let free: Vec<Site> = candidates
+            .iter()
+            .copied()
+            .filter(|&s| fx.state.is_free(s))
+            .collect();
+        assert!(free.len() >= 2, "fixture must leave tied candidates free");
+        // Old selection: full sort by (d², site), then first free.
+        let mut sorted = candidates.to_vec();
+        sorted.sort_by_key(|s| (here.distance_sq(*s), *s));
+        let old = sorted.iter().copied().find(|&s| fx.state.is_free(s));
+        // New selection: linear min-scan over free candidates.
+        let new = candidates
+            .iter()
+            .copied()
+            .filter(|&s| fx.state.is_free(s))
+            .min_by_key(|&s| (here.distance_sq(s), s));
+        assert_eq!(new, old);
+    }
+
     #[test]
     fn warm_scratch_matches_fresh_clone_evaluation() {
         // The clone-path equivalence at router granularity: proposing on
@@ -653,7 +881,8 @@ mod tests {
         let live = router.best_chains(&mut fx.ctx(), &front, &[]);
         let mut clone = fx.state.clone();
         let mut cold = RouteScratch::new();
-        let mut clone_ctx = RoutingContext::new(&mut clone, &fx.hood, fx.r_int, &mut cold);
+        let mut clone_ctx =
+            RoutingContext::new(&mut clone, &fx.hood, &fx.table, fx.r_int, &mut cold);
         let from_clone = router.best_chains(&mut clone_ctx, &front, &[]);
         assert_eq!(live, from_clone);
     }

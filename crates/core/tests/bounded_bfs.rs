@@ -1,0 +1,159 @@
+//! Property tests for the scaling primitives of the routing hot path:
+//!
+//! * CSR-table BFS ≡ the geometric reference BFS (whole field),
+//! * target-bounded early-exit BFS ≡ the full field **on the requested
+//!   targets**, over random occupancy patterns, radii and topologies,
+//! * the resumable cache upgrade: bounded query → full field does not
+//!   change the answer and never repeats settle work.
+
+use proptest::prelude::*;
+
+use na_arch::{HardwareParams, Lattice, NeighborTable, Neighborhood, Site};
+use na_mapper::route::distance::{
+    bfs_occupied, bfs_occupied_bounded_into, bfs_occupied_table_into, UNREACHABLE,
+};
+use na_mapper::route::DistanceCache;
+use na_mapper::{AtomId, InitialLayout, MappingState};
+
+/// A mapping state with pseudo-random occupancy: `num_atoms` atoms on
+/// `lattice`, scattered by a deterministic walk driven by `seed`.
+fn scattered_state(lattice: Lattice, num_atoms: u32, seed: u64) -> MappingState {
+    let params = HardwareParams::mixed()
+        .to_builder()
+        .lattice(lattice.side(), 3.0)
+        .num_atoms(num_atoms)
+        .build()
+        .expect("valid");
+    let mut state = MappingState::on_lattice(&params, lattice, num_atoms, InitialLayout::Identity)
+        .expect("fits");
+    // Deterministic scatter: move atoms to pseudo-random free sites.
+    let mut rng = seed | 1;
+    for a in 0..num_atoms {
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let free = state.free_site_indices();
+        if free.is_empty() {
+            break;
+        }
+        let pick = free[(rng >> 33) as usize % free.len()] as usize;
+        let site = state.lattice().site(pick);
+        state.apply_move(AtomId(a), site);
+    }
+    state
+        .check_invariants()
+        .expect("scatter preserves invariants");
+    state
+}
+
+/// Occupied sites of `state`, used as starts/targets pools.
+fn occupied_sites(state: &MappingState) -> Vec<Site> {
+    state
+        .lattice()
+        .iter()
+        .filter(|s| !state.is_free(*s))
+        .collect()
+}
+
+proptest! {
+    /// CSR-table BFS produces the identical distance field to the
+    /// geometric `hood.around` reference on random occupancy.
+    #[test]
+    fn csr_bfs_equals_reference(side in 4u32..10, fill in 3u32..40,
+                                seed in 0u64..1000, r in 1.0f64..3.0) {
+        let lattice = Lattice::new(side);
+        let atoms = fill.min(lattice.num_sites() as u32 - 1);
+        let state = scattered_state(lattice, atoms, seed);
+        let hood = Neighborhood::new(r);
+        let table = NeighborTable::build(state.lattice(), &hood);
+        let occ = occupied_sites(&state);
+        let start = occ[seed as usize % occ.len()];
+        let reference = bfs_occupied(&state, &[start], &hood);
+        let mut dist = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        bfs_occupied_table_into(&state, &[start], &table, &mut dist, &mut queue);
+        prop_assert_eq!(&dist, &reference);
+    }
+
+    /// Same equivalence over zoned lattices (lane rows never carry
+    /// atoms, so the CSR table and the geometric filter must agree).
+    #[test]
+    fn csr_bfs_equals_reference_zoned(side in 5u32..10, zone in 1u32..3,
+                                      seed in 0u64..1000, r in 1.0f64..3.0) {
+        let lattice = Lattice::zoned(side, zone, 1).expect("valid");
+        let atoms = (lattice.num_sites() as u32 / 2).max(2);
+        let state = scattered_state(lattice, atoms, seed);
+        let hood = Neighborhood::new(r);
+        let table = NeighborTable::build(state.lattice(), &hood);
+        let occ = occupied_sites(&state);
+        let start = occ[seed as usize % occ.len()];
+        let reference = bfs_occupied(&state, &[start], &hood);
+        let mut dist = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        bfs_occupied_table_into(&state, &[start], &table, &mut dist, &mut queue);
+        prop_assert_eq!(&dist, &reference);
+    }
+
+    /// Bounded early-exit BFS answers exactly like the full field on
+    /// every requested target — including `UNREACHABLE` verdicts — over
+    /// random occupancy patterns, radii and target sets.
+    #[test]
+    fn bounded_bfs_equals_full_on_targets(side in 4u32..10, fill in 3u32..40,
+                                          seed in 0u64..1000, r in 1.0f64..3.0,
+                                          target_picks in proptest::collection::vec(0usize..1000, 1..6)) {
+        let lattice = Lattice::new(side);
+        let atoms = fill.min(lattice.num_sites() as u32 - 1);
+        let state = scattered_state(lattice, atoms, seed);
+        let hood = Neighborhood::new(r);
+        let table = NeighborTable::build(state.lattice(), &hood);
+        let occ = occupied_sites(&state);
+        let start = occ[seed as usize % occ.len()];
+        // Targets drawn from the whole lattice: occupied, free, and
+        // (often) unreachable sites all exercised.
+        let all: Vec<Site> = state.lattice().iter().collect();
+        let targets: Vec<Site> = target_picks.iter().map(|&p| all[p % all.len()]).collect();
+
+        let reference = bfs_occupied(&state, &[start], &hood);
+        let mut dist = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        let settled = bfs_occupied_bounded_into(
+            &state, &[start], &table, &targets, &mut dist, &mut queue,
+        );
+        for &t in &targets {
+            let idx = state.lattice().index(t);
+            prop_assert_eq!(dist[idx], reference[idx], "target {} disagrees", t);
+        }
+        // The bounded search never settles more than the full field.
+        let full_settled = reference.iter().filter(|&&d| d != UNREACHABLE).count();
+        prop_assert!(settled <= full_settled);
+    }
+
+    /// The cache's bounded query plus the full-field upgrade resumes the
+    /// same search: answers match the reference and total settle work
+    /// equals exactly one full BFS.
+    #[test]
+    fn cache_resume_is_exact_and_work_conserving(side in 4u32..9, fill in 4u32..30,
+                                                 seed in 0u64..1000, r in 1.0f64..2.6) {
+        let lattice = Lattice::new(side);
+        let atoms = fill.min(lattice.num_sites() as u32 - 1);
+        let state = scattered_state(lattice, atoms, seed);
+        let hood = Neighborhood::new(r);
+        let table = NeighborTable::build(state.lattice(), &hood);
+        let occ = occupied_sites(&state);
+        let start = occ[seed as usize % occ.len()];
+        let target = occ[(seed / 7) as usize % occ.len()];
+
+        let cache = DistanceCache::new();
+        let mut out = Vec::new();
+        cache.distances_at(&state, &table, start, &[target], &mut out);
+        let reference = bfs_occupied(&state, &[start], &hood);
+        prop_assert_eq!(out[0], reference[state.lattice().index(target)]);
+        // Upgrade to the full field: identical to the reference.
+        let full = cache.field(&state, &table, start);
+        prop_assert_eq!(&*full, &reference);
+        // Work conservation: bounded + resume settled each reachable
+        // site exactly once.
+        let full_settled = reference.iter().filter(|&&d| d != UNREACHABLE).count() as u64;
+        prop_assert_eq!(cache.sites_settled(), full_settled);
+    }
+}

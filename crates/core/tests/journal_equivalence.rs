@@ -128,7 +128,8 @@ impl<R: Router> Router for CloneCheck<R> {
         let mut clone = before;
         let mut cold = RouteScratch::new();
         let hood = Neighborhood::new(self.r_int);
-        let mut ctx2 = RoutingContext::new(&mut clone, &hood, self.r_int, &mut cold);
+        let table = na_arch::NeighborTable::build(clone.lattice(), &hood);
+        let mut ctx2 = RoutingContext::new(&mut clone, &hood, &table, self.r_int, &mut cold);
         let reference = self.inner.propose(&mut ctx2, frontier, lookahead, fallback);
 
         assert_eq!(

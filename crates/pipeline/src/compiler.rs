@@ -561,13 +561,14 @@ mod tests {
     /// rejection test: 200 atoms on a 150-trap zoned topology.
     fn overfull_zoned_spec() -> TargetSpec {
         let params = HardwareParams::mixed();
-        TargetSpec {
-            id: "zoned2+1/test".into(),
-            lattice: na_arch::Lattice::zoned(params.lattice_side, 2, 1).expect("valid banding"),
+        let lattice = na_arch::Lattice::zoned(params.lattice_side, 2, 1).expect("valid banding");
+        TargetSpec::resolve(
+            "zoned2+1/test".into(),
             params,
-            aod: AodConstraints::default(),
-            gates: na_arch::NativeGateSet::default(),
-        }
+            lattice,
+            AodConstraints::default(),
+            na_arch::NativeGateSet::default(),
+        )
     }
 
     #[test]

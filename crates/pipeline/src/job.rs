@@ -658,13 +658,7 @@ fn parse_target(value: Option<&Value>) -> Result<TargetSpec, RequestError> {
                 .ok_or_else(|| invalid("target.supports_shuttling", "expected a boolean"))?,
         },
     };
-    Ok(TargetSpec {
-        id,
-        params,
-        lattice,
-        aod,
-        gates,
-    })
+    Ok(TargetSpec::resolve(id, params, lattice, aod, gates))
 }
 
 fn parse_layout(value: &Value) -> Result<InitialLayout, RequestError> {

@@ -1,0 +1,61 @@
+//! Paper-scale compilation: QFT-64 on the paper's 15×15/200-atom mixed
+//! machine (Table 1c) through a `Compiler` session, printing the
+//! mapping statistics and Eq. (1) schedule metrics.
+//!
+//! ```text
+//! cargo run --release --example paper_scale
+//! ```
+
+use std::time::Instant;
+
+use hybrid_na::prelude::*;
+
+fn main() -> Result<(), CompileError> {
+    // The mixed preset IS the paper's evaluation machine: a 15×15
+    // lattice hosting 200 atoms at r_int = 2.5 d.
+    let target = HardwareParams::mixed();
+    println!(
+        "target {}: {}x{} lattice, {} atoms, r_int = {} d",
+        Target::id(&target),
+        target.lattice_side,
+        target.lattice_side,
+        target.num_atoms,
+        target.r_int,
+    );
+
+    let compiler = Compiler::for_target(&target)
+        .mapping(MappingOptions::hybrid(1.0))
+        .baseline(true)
+        .build()?;
+
+    let circuit = Qft::new(64).build();
+    println!(
+        "circuit: QFT-64 ({} ops, {} entangling)",
+        circuit.len(),
+        circuit.entangling_count()
+    );
+
+    let start = Instant::now();
+    let program = compiler.compile(&circuit)?;
+    let elapsed = start.elapsed();
+
+    println!(
+        "compiled in {elapsed:?}: {} swaps, {} shuttle moves, {} AOD batches",
+        program.mapped.swap_count(),
+        program.mapped.shuttle_count(),
+        program.stats.aod_batches,
+    );
+    println!(
+        "schedule: {} items, makespan {:.1} us, log10 success {:.4}",
+        program.schedule.len(),
+        program.metrics.makespan_us,
+        program.metrics.log10_success,
+    );
+    if let Some(report) = &program.comparison {
+        println!(
+            "vs ideal baseline: dCZ = {}, dT = {:.1} us, dF = {:.4}",
+            report.delta_cz, report.delta_t_us, report.delta_f,
+        );
+    }
+    Ok(())
+}

@@ -75,8 +75,8 @@ pub use na_schedule as schedule;
 /// Convenient single-import surface for applications.
 pub mod prelude {
     pub use na_arch::{
-        AodConstraints, HardwareParams, Lattice, LatticeKind, Move, NativeGateSet, Neighborhood,
-        Site, Target, TargetSpec, ZonedTarget,
+        AodConstraints, HardwareParams, Lattice, LatticeKind, Move, NativeGateSet, NeighborTable,
+        Neighborhood, Site, Target, TargetSpec, ZonedTarget,
     };
     pub use na_circuit::generators::{
         cuccaro_adder, ghz, GraphState, Qaoa, Qft, Qpe, RandomCircuit, Reversible,

@@ -33,6 +33,7 @@ const EXPECTED: &[&str] = &[
     "MappingOutcome",
     "Move",
     "NativeGateSet",
+    "NeighborTable",
     "Neighborhood",
     "OpSink",
     "Operation",

@@ -133,13 +133,13 @@ fn builder_rejections_are_typed() {
         Err(na_pipeline::RequestError::UnsupportedVersion { found: 99 })
     ));
     // Shuttling on a gate-only target.
-    let gate_only_target = TargetSpec {
-        id: "square/gate-only".into(),
-        lattice: Lattice::new(6),
-        params: target.clone(),
-        aod: AodConstraints::default(),
-        gates: NativeGateSet::default().without_shuttling(),
-    };
+    let gate_only_target = TargetSpec::resolve(
+        "square/gate-only".into(),
+        target.clone(),
+        Lattice::new(6),
+        AodConstraints::default(),
+        NativeGateSet::default().without_shuttling(),
+    );
     assert!(matches!(
         Compiler::for_target(&gate_only_target)
             .mapping(MappingOptions::hybrid(1.0))
