@@ -50,6 +50,10 @@ pub struct NeighborTable {
     offsets: Vec<u32>,
     /// Dense site indices, per site in the disc's nearest-first order.
     neighbors: Vec<u32>,
+    /// Coarse R×R clustering of this table (see [`RegionGrid`]),
+    /// derived from the fine CSR so every consumer of the table gets
+    /// the region hierarchy for free.
+    regions: RegionGrid,
 }
 
 impl NeighborTable {
@@ -71,11 +75,13 @@ impl NeighborTable {
             }
             offsets.push(neighbors.len() as u32);
         }
+        let regions = RegionGrid::from_csr(lattice, &offsets, &neighbors, RegionGrid::DEFAULT_SIDE);
         NeighborTable {
             lattice: *lattice,
             radius: hood.radius(),
             offsets,
             neighbors,
+            regions,
         }
     }
 
@@ -124,6 +130,257 @@ impl NeighborTable {
     pub fn matches(&self, lattice: &Lattice, r: f64) -> bool {
         self.lattice == *lattice && self.radius == r
     }
+
+    /// The coarse R×R region clustering of this table — region-level
+    /// adjacency plus per-region site slices, used by the routing core
+    /// for coarse-to-fine distance queries and ring-ordered scans.
+    #[inline]
+    pub fn regions(&self) -> &RegionGrid {
+        &self.regions
+    }
+}
+
+/// Coarse R×R clustering of a [`NeighborTable`]: the lattice bounding
+/// box is tiled into square regions of `side × side` geometric cells,
+/// and the fine CSR is projected onto them — a region-level adjacency
+/// graph (region `A` is adjacent to region `B` iff some fine edge
+/// crosses them) plus per-region dense-site slices.
+///
+/// Two properties make the grid useful to the routing core:
+///
+/// * **Admissibility** — any fine path makes at most one region
+///   transition per hop, so the region-graph BFS distance between two
+///   sites' regions is a lower bound on their fine BFS distance (over
+///   the full lattice *and* over any occupancy-restricted subgraph,
+///   since removing fine edges only grows fine distances). Region
+///   reachability is therefore a sound pruning criterion: a site whose
+///   region cannot reach any target's region in the region graph
+///   cannot reach the target at all.
+/// * **Ring ordering** — sites of a region at Chebyshev region
+///   distance `K ≥ 1` from a reference region are at least
+///   `(K - 1)·side + 1` cells away, so nearest-site scans can walk
+///   outward ring by ring and stop as soon as the best hit beats the
+///   next ring's lower bound.
+///
+/// The grid is a deterministic pure function of `(lattice, radius)`
+/// (via the fine CSR), so it participates in [`TargetSpec`] equality
+/// without breaking the re-spec round-trip.
+///
+/// [`TargetSpec`]: crate::target::TargetSpec
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionGrid {
+    /// Region edge length in lattice cells.
+    side: u32,
+    /// Regions per geometric row of the bounding box.
+    regions_x: u32,
+    /// Region rows covering the bounding box (zoned lattices count
+    /// lane rows in the box; lane-only regions simply hold no sites).
+    regions_y: u32,
+    /// Dense site index → region id (`ry * regions_x + rx`).
+    region_of: Vec<u32>,
+    /// CSR offsets into `sites`, one slice per region.
+    site_offsets: Vec<u32>,
+    /// Dense site indices grouped by region, ascending within each.
+    sites: Vec<u32>,
+    /// CSR offsets into `adj`, one slice per region.
+    adj_offsets: Vec<u32>,
+    /// Adjacent region ids (deduplicated, ascending, no self-loops).
+    adj: Vec<u32>,
+}
+
+impl RegionGrid {
+    /// Default region edge length in lattice cells. Large enough that
+    /// every interaction radius in use (≤ a few cells) only produces
+    /// edges between touching regions, small enough that a 100×100
+    /// lattice still resolves into a 13×13 region graph.
+    pub const DEFAULT_SIDE: u32 = 8;
+
+    /// The region partition of a lattice at the given region side,
+    /// without adjacency: `(regions_x, regions_y, region_of)` where
+    /// `region_of[dense site index] = ry * regions_x + rx`. This is the
+    /// single source of truth for the site→region mapping — the routing
+    /// core's occupancy buckets use it so they can never drift from the
+    /// grid resolved into the target spec.
+    pub fn partition(lattice: &Lattice, side: u32) -> (u32, u32, Vec<u32>) {
+        let side = side.max(1);
+        let (mut max_x, mut max_y) = (0u32, 0u32);
+        for s in lattice.iter() {
+            max_x = max_x.max(s.x as u32);
+            max_y = max_y.max(s.y as u32);
+        }
+        let regions_x = max_x / side + 1;
+        let regions_y = max_y / side + 1;
+        let region_of = (0..lattice.num_sites())
+            .map(|idx| {
+                let s = lattice.site(idx);
+                (s.y as u32 / side) * regions_x + s.x as u32 / side
+            })
+            .collect();
+        (regions_x, regions_y, region_of)
+    }
+
+    /// Clusters a fine CSR into regions of the given side length.
+    pub(crate) fn from_csr(
+        lattice: &Lattice,
+        offsets: &[u32],
+        neighbors: &[u32],
+        side: u32,
+    ) -> Self {
+        let (regions_x, regions_y, region_of) = Self::partition(lattice, side.max(1));
+        let num_regions = (regions_x * regions_y) as usize;
+        let n = lattice.num_sites();
+
+        // Per-region site slices: counting sort over dense indices, so
+        // each slice is ascending.
+        let mut site_offsets = vec![0u32; num_regions + 1];
+        for &r in &region_of {
+            site_offsets[r as usize + 1] += 1;
+        }
+        for r in 0..num_regions {
+            site_offsets[r + 1] += site_offsets[r];
+        }
+        let mut cursor: Vec<u32> = site_offsets[..num_regions].to_vec();
+        let mut sites = vec![0u32; n];
+        for (idx, &r) in region_of.iter().enumerate() {
+            sites[cursor[r as usize] as usize] = idx as u32;
+            cursor[r as usize] += 1;
+        }
+
+        // Region adjacency = projection of the fine edges.
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for i in 0..n {
+            let (lo, hi) = (offsets[i] as usize, offsets[i + 1] as usize);
+            let ri = region_of[i];
+            for &j in &neighbors[lo..hi] {
+                let rj = region_of[j as usize];
+                if ri != rj {
+                    pairs.push((ri, rj));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut adj_offsets = vec![0u32; num_regions + 1];
+        for &(a, _) in &pairs {
+            adj_offsets[a as usize + 1] += 1;
+        }
+        for r in 0..num_regions {
+            adj_offsets[r + 1] += adj_offsets[r];
+        }
+        let adj = pairs.iter().map(|&(_, b)| b).collect();
+
+        RegionGrid {
+            side: side.max(1),
+            regions_x,
+            regions_y,
+            region_of,
+            site_offsets,
+            sites,
+            adj_offsets,
+            adj,
+        }
+    }
+
+    /// Region edge length in lattice cells.
+    #[inline]
+    pub fn side(&self) -> u32 {
+        self.side
+    }
+
+    /// `(regions_x, regions_y)` — the region grid dimensions.
+    #[inline]
+    pub fn dims(&self) -> (u32, u32) {
+        (self.regions_x, self.regions_y)
+    }
+
+    /// Total number of regions (including empty lane-only regions on
+    /// zoned lattices).
+    #[inline]
+    pub fn num_regions(&self) -> usize {
+        (self.regions_x * self.regions_y) as usize
+    }
+
+    /// The region id of a dense site index.
+    #[inline]
+    pub fn region_of(&self, site_idx: usize) -> u32 {
+        self.region_of[site_idx]
+    }
+
+    /// `(rx, ry)` grid coordinates of a region id.
+    #[inline]
+    pub fn coords(&self, region: u32) -> (u32, u32) {
+        (region % self.regions_x, region / self.regions_x)
+    }
+
+    /// The dense site indices inside a region, ascending.
+    #[inline]
+    pub fn sites_in(&self, region: u32) -> &[u32] {
+        let lo = self.site_offsets[region as usize] as usize;
+        let hi = self.site_offsets[region as usize + 1] as usize;
+        &self.sites[lo..hi]
+    }
+
+    /// The regions adjacent to `region` in the projected fine graph
+    /// (deduplicated, ascending, no self-loop).
+    #[inline]
+    pub fn neighbors(&self, region: u32) -> &[u32] {
+        let lo = self.adj_offsets[region as usize] as usize;
+        let hi = self.adj_offsets[region as usize + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// Visits every region of a `regions_x × regions_y` grid whose
+    /// Chebyshev distance from `(cx, cy)` is exactly `k`, clipped to
+    /// the grid, in row-major order. `k = 0` visits only `(cx, cy)`.
+    ///
+    /// An associated function (no grid instance required) so occupancy
+    /// buckets built from [`RegionGrid::partition`] alone walk the
+    /// exact same ring geometry as consumers holding a full grid.
+    pub fn for_each_ring_region(
+        regions_x: u32,
+        regions_y: u32,
+        cx: u32,
+        cy: u32,
+        k: u32,
+        visit: &mut impl FnMut(u32, u32),
+    ) {
+        let x_lo = cx.saturating_sub(k);
+        let x_hi = (cx + k).min(regions_x - 1);
+        let y_lo = cy.saturating_sub(k);
+        let y_hi = (cy + k).min(regions_y - 1);
+        for ry in y_lo..=y_hi {
+            if cy.abs_diff(ry) == k {
+                // Top/bottom edge of the ring: the full row segment.
+                for rx in x_lo..=x_hi {
+                    visit(rx, ry);
+                }
+            } else {
+                // Interior row: only the two vertical edges.
+                if cx >= k {
+                    visit(cx - k, ry);
+                }
+                if k > 0 && cx + k < regions_x {
+                    visit(cx + k, ry);
+                }
+            }
+        }
+    }
+
+    /// Lower bound, in lattice cells, on the Euclidean (and Chebyshev)
+    /// distance from any point inside a region to any site of a region
+    /// at Chebyshev region distance `k`: `0` for `k = 0`, else
+    /// `(k − 1)·side + 1` (the rings share no cells, so at least one
+    /// full region of separation minus the reference point's own
+    /// region). Lets ring walks stop as soon as the best hit found so
+    /// far beats everything a farther ring could hold.
+    #[inline]
+    pub fn ring_min_cells(side: u32, k: u32) -> u32 {
+        if k == 0 {
+            0
+        } else {
+            (k - 1) * side + 1
+        }
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +427,112 @@ mod tests {
                 assert!(lat.is_trap_row(site.y), "lane site {site} in table");
             }
         }
+    }
+
+    #[test]
+    fn region_partition_covers_every_site_once() {
+        for lat in [Lattice::new(10), Lattice::zoned(9, 2, 1).unwrap()] {
+            let table = NeighborTable::for_radius(&lat, 2.0);
+            let grid = table.regions();
+            let mut seen = vec![false; lat.num_sites()];
+            for region in 0..grid.num_regions() as u32 {
+                for &s in grid.sites_in(region) {
+                    assert_eq!(grid.region_of(s as usize), region);
+                    assert!(!seen[s as usize], "site {s} in two regions");
+                    seen[s as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "every site bucketed");
+        }
+    }
+
+    #[test]
+    fn region_adjacency_projects_every_fine_edge() {
+        let lat = Lattice::new(20);
+        let table = NeighborTable::for_radius(&lat, 2.5);
+        let grid = table.regions();
+        for idx in 0..table.num_sites() {
+            let ri = grid.region_of(idx);
+            for &n in table.neighbors(idx) {
+                let rj = grid.region_of(n as usize);
+                assert!(
+                    ri == rj || grid.neighbors(ri).contains(&rj),
+                    "fine edge {idx}->{n} crosses regions {ri}->{rj} with no region edge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn region_adjacency_is_symmetric_and_self_free() {
+        let lat = Lattice::zoned(12, 3, 2).unwrap();
+        let table = NeighborTable::for_radius(&lat, 2.5);
+        let grid = table.regions();
+        for region in 0..grid.num_regions() as u32 {
+            for &other in grid.neighbors(region) {
+                assert_ne!(region, other, "self-loop at region {region}");
+                assert!(
+                    grid.neighbors(other).contains(&region),
+                    "region edge {region}->{other} not symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_lattices_collapse_to_one_region() {
+        let lat = Lattice::new(6);
+        let table = NeighborTable::for_radius(&lat, 2.5);
+        let grid = table.regions();
+        assert_eq!(grid.dims(), (1, 1));
+        assert_eq!(grid.sites_in(0).len(), 36);
+        assert!(grid.neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn mega_lattice_resolves_to_a_coarse_graph() {
+        let lat = Lattice::new(100);
+        let table = NeighborTable::for_radius(&lat, 2.5);
+        let grid = table.regions();
+        assert_eq!(grid.dims(), (13, 13));
+        // Interior regions touch their 8 Chebyshev neighbors (r = 2.5
+        // never skips a region at side 8).
+        let interior = 5 * 13 + 5;
+        assert_eq!(grid.neighbors(interior).len(), 8);
+    }
+
+    #[test]
+    fn ring_walk_partitions_the_grid_by_chebyshev_distance() {
+        let (rx, ry) = (5u32, 4u32);
+        for (cx, cy) in [(0, 0), (2, 1), (4, 3), (1, 3)] {
+            let mut seen = vec![0u32; (rx * ry) as usize];
+            let max_k = cx.max(rx - 1 - cx).max(cy.max(ry - 1 - cy));
+            for k in 0..=max_k {
+                RegionGrid::for_each_ring_region(rx, ry, cx, cy, k, &mut |x, y| {
+                    assert_eq!(
+                        x.abs_diff(cx).max(y.abs_diff(cy)),
+                        k,
+                        "ring {k} visited ({x},{y}) from ({cx},{cy})"
+                    );
+                    seen[(y * rx + x) as usize] += 1;
+                });
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "rings must cover every region exactly once: {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_min_cells_lower_bounds_site_distance() {
+        // Any site in a ring-k region is at least ring_min_cells away
+        // (Chebyshev, hence Euclidean) from any point of the center
+        // region.
+        assert_eq!(RegionGrid::ring_min_cells(8, 0), 0);
+        assert_eq!(RegionGrid::ring_min_cells(8, 1), 1);
+        assert_eq!(RegionGrid::ring_min_cells(8, 2), 9);
+        assert_eq!(RegionGrid::ring_min_cells(8, 3), 17);
     }
 
     proptest! {

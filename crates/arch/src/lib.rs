@@ -42,7 +42,7 @@ pub mod lattice;
 pub mod params;
 pub mod target;
 
-pub use adjacency::NeighborTable;
+pub use adjacency::{NeighborTable, RegionGrid};
 pub use aod::{AodColumn, AodRow, Move, MoveBatch};
 pub use coord::Site;
 pub use error::ArchError;

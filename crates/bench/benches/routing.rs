@@ -3,26 +3,32 @@
 //! `HybridMapper::map` on QFT-24/QAOA-24 over a 6×6 lattice, and the
 //! **paper-scale tier** — QFT-64/QAOA-80 on the paper's 15×15/200-atom
 //! machine plus a 30×30/800-atom extrapolation — with bounded-BFS
-//! settle counts showing how much lattice a targeted query touches.
+//! settle counts showing how much lattice a targeted query touches, and
+//! the **mega tier** — QFT-128/QAOA-256 on a 100×100/4500-atom machine
+//! exercising the hierarchical coarse-to-fine router (region corridors,
+//! ring-walk site scans, LRU-bounded distance cache).
 //!
 //! Besides the criterion output, this bench writes a machine-readable
 //! baseline to `BENCH_routing.json` at the workspace root so future PRs
 //! can compare against it (the CI bench-regression job consumes
-//! `map_hybrid_qft24_ms` and `map_hybrid_qft64_15x15_ms`, skipping when
-//! `host_parallelism` differs).
+//! `map_hybrid_qft24_ms`, `map_hybrid_qft64_15x15_ms` and
+//! `map_hybrid_qft128_100x100_ms`, skipping when `host_parallelism`
+//! differs). The mega tier lives only in the baseline writer, not the
+//! criterion groups, to keep `cargo bench` wall-clock bounded.
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use na_arch::{HardwareParams, NeighborTable, Neighborhood};
-use na_circuit::generators::{Qaoa, Qft};
+use na_circuit::generators::{Qaoa, Qft, RandomCircuit};
 use na_circuit::{Circuit, Qubit};
 use na_mapper::decision::Capability;
 use na_mapper::route::DistanceCache;
 use na_mapper::{
-    FrontierGate, HybridMapper, MapperConfig, MappingState, RouteScratch, RoutingContext,
-    ShuttleRouter,
+    CacheStats, FrontierGate, HybridMapper, MapScratch, MappedOp, MapperConfig, MappingState,
+    RouteScratch, RoutingContext, ShuttleRouter,
 };
+use na_schedule::export::cache_stats_to_json;
 
 /// 6×6-lattice scaled mixed hardware, 30 atoms (QFT-24 fits).
 fn small_mixed() -> HardwareParams {
@@ -51,6 +57,18 @@ fn huge_mixed() -> HardwareParams {
         .expect("valid")
 }
 
+/// The mega tier: a 100×100 lattice with 4500 atoms — an order of
+/// magnitude past the paper's machine, the scale the hierarchical
+/// region router exists for.
+fn mega_mixed() -> HardwareParams {
+    HardwareParams::mixed()
+        .to_builder()
+        .lattice(100, 3.0)
+        .num_atoms(4500)
+        .build()
+        .expect("valid")
+}
+
 fn qft24() -> Circuit {
     Qft::new(24).build()
 }
@@ -65,6 +83,28 @@ fn qft64() -> Circuit {
 
 fn qaoa80() -> Circuit {
     Qaoa::new(80).edges(120).layers(2).seed(7).build()
+}
+
+fn qft128() -> Circuit {
+    Qft::new(128).build()
+}
+
+fn qaoa256() -> Circuit {
+    Qaoa::new(256).edges(384).layers(2).seed(9).build()
+}
+
+/// A CCZ-heavy random circuit: arity-3 gates route through the gate
+/// router's `find_position`, the production consumer of the distance
+/// cache — this is the mega-tier workload whose cache counters are
+/// meaningful (QFT/QAOA decompose to 2-qubit natives, which route on
+/// closed-form swap distances without BFS).
+fn mega_random() -> Circuit {
+    RandomCircuit::new(192)
+        .layers(6)
+        .two_qubit_fraction(0.5)
+        .multi_qubit_fraction(0.5)
+        .seed(11)
+        .build()
 }
 
 /// One pass of distance queries from every occupied site through the
@@ -217,6 +257,60 @@ fn map_ms(params: &HardwareParams, circuit: &Circuit, runs: u32) -> f64 {
     mean_secs(runs, || mapper.map(circuit).expect("mappable")) * 1e3
 }
 
+/// Mean mapping time (ms) of `circuit` on `params` under `config`, plus
+/// the routing-layer cache counters of the last run. Each run maps
+/// through a fresh [`MapScratch`], so the counters are exactly one cold
+/// compile's worth — the same numbers a
+/// `na_pipeline::Compiler::compile` call reports in its
+/// `route_cache` stats.
+fn map_ms_with_cache(
+    params: &HardwareParams,
+    circuit: &Circuit,
+    config: MapperConfig,
+    runs: u32,
+) -> (f64, CacheStats) {
+    let mapper = HybridMapper::new(params.clone(), config).expect("valid");
+    let mut stats = CacheStats::default();
+    let ms = mean_secs(runs, || {
+        let mut scratch = MapScratch::new();
+        let mut ops: Vec<MappedOp> = Vec::new();
+        mapper
+            .map_into_scratch(circuit, &mut ops, &mut scratch)
+            .expect("mappable");
+        stats = scratch.route().distance_cache().snapshot();
+    }) * 1e3;
+    (ms, stats)
+}
+
+/// Floods the distance cache with one bounded (corridor-armed) query
+/// per atom of a mega-scale identity state: thousands of distinct
+/// sources on a single occupancy generation, so the LRU cap must evict
+/// while the region corridor keeps each fine BFS local. This is the
+/// workload that demonstrates the memory bound — resident entries never
+/// exceed [`DistanceCache::MAX_RESIDENT_FIELDS`] no matter how many
+/// sources query.
+fn mega_query_storm(params: &HardwareParams) -> CacheStats {
+    let num_qubits = params.num_atoms;
+    let state = MappingState::identity(params, num_qubits).expect("fits");
+    let hood = Neighborhood::new(params.r_int);
+    let table = NeighborTable::build(state.lattice(), &hood);
+    let cache = DistanceCache::new();
+    let mut out = Vec::new();
+    for q in 0..num_qubits {
+        let start = state.site_of_qubit(Qubit(q));
+        // Nearby targets (±3 layout neighbors): the realistic shape of a
+        // routing query, whose BFS ball should stay within a handful of
+        // 8×8 regions out of the grid's 169.
+        let targets = [
+            state.site_of_qubit(Qubit((q + 1) % num_qubits)),
+            state.site_of_qubit(Qubit((q + 2) % num_qubits)),
+            state.site_of_qubit(Qubit((q + 3) % num_qubits)),
+        ];
+        cache.distances_at(&state, &table, start, &targets, &mut out);
+    }
+    cache.snapshot()
+}
+
 /// `(settled_full, settled_bounded)` BFS site counts on the identity
 /// layout of `params`: a full field from qubit 0's site vs. a query
 /// bounded to the sites of its three nearest qubit neighbors. The gap
@@ -311,10 +405,25 @@ fn write_baseline() {
     let (settled_full_15, settled_bounded_15) = settle_counts(&p15);
     let (settled_full_30, settled_bounded_30) = settle_counts(&p30);
 
+    // ---- mega tier (hierarchical coarse-to-fine routing) ------------
+    let p100 = mega_mixed();
+    let hybrid = || MapperConfig::try_hybrid(1.0).expect("valid alpha");
+    let (map_qft128_100, _) = map_ms_with_cache(&p100, &qft128(), hybrid(), 2);
+    let (map_qaoa256_100, _) = map_ms_with_cache(&p100, &qaoa256(), hybrid(), 2);
+    // Gate-only on purpose: at mega-scale distances the hybrid decider
+    // (correctly, Eq. 4–5) sends long-range gates to the shuttle
+    // router, which routes on closed-form distances — only the gate
+    // router's anchor search consumes the BFS distance cache, so this
+    // run is the one whose cache counters measure the real mapping
+    // path.
+    let (map_megarand_100, cache_megarand) =
+        map_ms_with_cache(&p100, &mega_random(), MapperConfig::gate_only(), 2);
+    let storm = mega_query_storm(&p100);
+
     let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         "{{\n  \"bench\": \"routing\",\n  \"lattice\": \"6x6\",\n  \
-         \"scale_lattices\": \"15x15,30x30\",\n  \
+         \"scale_lattices\": \"15x15,30x30,100x100\",\n  \
          \"host_parallelism\": {host_parallelism},\n  \
          \"distance_query_cold_us\": {:.3},\n  \
          \"distance_query_cached_us\": {:.3},\n  \
@@ -331,7 +440,12 @@ fn write_baseline() {
          \"bfs_settled_full_15x15\": {},\n  \
          \"bfs_settled_bounded_15x15\": {},\n  \
          \"bfs_settled_full_30x30\": {},\n  \
-         \"bfs_settled_bounded_30x30\": {}\n}}\n",
+         \"bfs_settled_bounded_30x30\": {},\n  \
+         \"map_hybrid_qft128_100x100_ms\": {:.3},\n  \
+         \"map_hybrid_qaoa256_100x100_ms\": {:.3},\n  \
+         \"map_gate_megarand_100x100_ms\": {:.3},\n  \
+         \"route_cache_megarand_100x100\": {},\n  \
+         \"route_cache_storm_100x100\": {}\n}}\n",
         cold * 1e6,
         cached * 1e6,
         cold / cached,
@@ -348,6 +462,11 @@ fn write_baseline() {
         settled_bounded_15,
         settled_full_30,
         settled_bounded_30,
+        map_qft128_100,
+        map_qaoa256_100,
+        map_megarand_100,
+        cache_stats_to_json(&cache_megarand),
+        cache_stats_to_json(&storm),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_routing.json");
     std::fs::write(path, &json).expect("write BENCH_routing.json");
@@ -365,6 +484,34 @@ fn write_baseline() {
         "bounded BFS must settle less than a full field \
          (15x15: {settled_bounded_15}/{settled_full_15}, \
          30x30: {settled_bounded_30}/{settled_full_30})"
+    );
+    // The mega tier's whole point: cache memory stays bounded by the
+    // LRU cap no matter how many distinct sources query on the 100×100
+    // lattice — in the real CCZ mapping run and under a 4500-source
+    // query storm — and the region corridor actually engages.
+    let cap = DistanceCache::MAX_RESIDENT_FIELDS as u64;
+    assert!(
+        cache_megarand.misses > 0 && cache_megarand.peak_entries > 0,
+        "mega CCZ mapping must route through the distance cache"
+    );
+    assert!(
+        cache_megarand.peak_entries <= cap && storm.peak_entries <= cap,
+        "mega-tier peak resident fields must stay within the LRU cap \
+         (mapping {} / storm {} vs cap {cap})",
+        cache_megarand.peak_entries,
+        storm.peak_entries,
+    );
+    assert!(
+        storm.evictions > 0,
+        "a 4500-source storm must overflow the {cap}-entry cap"
+    );
+    assert!(
+        storm.corridor_queries > 0 && storm.regions_touched_per_query() < 8.0,
+        "corridor-armed local queries must stay region-local \
+         ({} queries, {:.2} regions/query out of {} regions)",
+        storm.corridor_queries,
+        storm.regions_touched_per_query(),
+        13 * 13,
     );
 }
 

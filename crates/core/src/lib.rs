@@ -66,8 +66,8 @@ pub use layout::InitialLayout;
 pub use mapper::{HybridMapper, MapScratch, MapStats, MappingOutcome, StreamOutcome};
 pub use ops::{AtomId, MappedCircuit, MappedOp};
 pub use route::{
-    Candidate, CostModel, DistanceCache, FrontierGate, GateRouter, RouteScratch, Router,
-    RoutingContext, RoutingEngine, RoutingOp, ShuttleRouter,
+    CacheStats, Candidate, CostModel, DistanceCache, FrontierGate, GateRouter, RouteScratch,
+    Router, RoutingContext, RoutingEngine, RoutingOp, ShuttleRouter,
 };
 pub use sink::OpSink;
 pub use state::{JournalMark, MappingState, StateJournal};

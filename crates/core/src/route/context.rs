@@ -44,7 +44,8 @@ use na_arch::{NeighborTable, Neighborhood, Site};
 use na_circuit::Qubit;
 
 use crate::route::distance::{
-    bfs_drain_resume, bfs_occupied_table_into, gate_remaining_distance, swap_distance, UNREACHABLE,
+    bfs_drain_resume, bfs_drain_resume_sparse, bfs_occupied_table_into, gate_remaining_distance,
+    region_bfs_into, swap_distance, CorridorMask, SparseDrain, UNREACHABLE,
 };
 use crate::route::scratch::{GateBufs, RouteScratch, ShuttleBufs};
 use crate::state::{MappingState, StateJournal};
@@ -72,30 +73,68 @@ pub struct DistanceCache {
 
 /// A cached BFS field in one of two lifecycles: fully drained (shared
 /// immutably), or partially settled with its live frontier queue parked
-/// for resumption.
+/// for resumption. Partial fields store a **sparse settled-map** keyed
+/// by dense site index — a bounded query that settles a dozen frontier
+/// sites on a 100×100 lattice costs a dozen map entries, not a
+/// 10,000-slot dense vector plus an `O(num_sites)` memset.
 #[derive(Debug)]
-enum FieldEntry {
+enum FieldKind {
     /// Completed field — every reachable site settled, `UNREACHABLE`
-    /// entries are final.
+    /// entries are final. Dense: full fields are indexed site-by-site
+    /// in the routers' hot loops.
     Full(Arc<Vec<u32>>),
-    /// Partially settled field: `UNREACHABLE` entries are merely *not
-    /// yet* settled while `queue` is non-empty.
+    /// Partially settled field: absent sites are merely *not yet*
+    /// settled while `queue` is non-empty.
     Partial {
-        dist: Vec<u32>,
+        dist: HashMap<u32, u32>,
         queue: VecDeque<u32>,
     },
 }
 
+/// A cached field plus its LRU clock reading (see
+/// [`DistanceCache::MAX_RESIDENT_FIELDS`]).
+#[derive(Debug)]
+struct FieldEntry {
+    kind: FieldKind,
+    last_used: u64,
+}
+
 /// Start-site index → distance field, tagged with the occupancy stamp
 /// the fields were computed at (0 = nothing cached yet; real stamps are
-/// never zero). Retired field vectors and frontier queues are pooled
-/// for reuse.
+/// never zero). Retired field vectors, settled-maps and frontier queues
+/// are pooled for reuse; the region-BFS scratch of corridor computation
+/// lives here too so bounded queries stay allocation-free.
 #[derive(Debug, Default)]
 struct StampedFields {
     stamp: u64,
     by_start: HashMap<usize, FieldEntry>,
     pool: Vec<Vec<u32>>,
+    sparse_pool: Vec<HashMap<u32, u32>>,
     queue_pool: Vec<VecDeque<u32>>,
+    /// Monotone LRU clock; bumped on every publish or cache hit.
+    use_clock: u64,
+    /// Peak `by_start.len()` ever observed — the memory-bound metric
+    /// guarded by the bench tier.
+    peak_entries: u64,
+    /// Entries evicted by the LRU cap.
+    evictions: u64,
+    /// Bounded queries that ran with a corridor mask.
+    corridor_queries: u64,
+    /// Bounded queries whose corridor actually pruned sites (or
+    /// short-circuited to `UNREACHABLE` without any fine BFS).
+    corridor_pruned: u64,
+    /// Total regions entered by corridor-masked drains (the
+    /// `regions_touched_per_query` numerator).
+    regions_touched: u64,
+    /// Region-BFS distance scratch of the current corridor.
+    region_dist: Vec<u32>,
+    region_queue: VecDeque<u32>,
+    /// Seed buffer: regions of the pending targets.
+    region_seeds: Vec<u32>,
+    /// Per-region "seen in query N" stamps for region-touch counting.
+    region_seen: Vec<u64>,
+    /// Current query stamp for `region_seen`.
+    qstamp: u64,
 }
 
 impl StampedFields {
@@ -104,26 +143,130 @@ impl StampedFields {
         if self.stamp == stamp {
             return;
         }
-        let (pool, queue_pool) = (&mut self.pool, &mut self.queue_pool);
         for (_, entry) in self.by_start.drain() {
-            match entry {
-                FieldEntry::Full(field) => {
-                    if let Ok(v) = Arc::try_unwrap(field) {
-                        pool.push(v);
-                    }
-                }
-                FieldEntry::Partial { dist, mut queue } => {
-                    pool.push(dist);
-                    queue.clear();
-                    queue_pool.push(queue);
-                }
-            }
+            Self::recycle(
+                entry.kind,
+                &mut self.pool,
+                &mut self.sparse_pool,
+                &mut self.queue_pool,
+            );
         }
         self.stamp = stamp;
+    }
+
+    /// Returns a retired field's buffers to the pools (a full field
+    /// only when no outstanding `Arc` still shares it).
+    fn recycle(
+        kind: FieldKind,
+        pool: &mut Vec<Vec<u32>>,
+        sparse_pool: &mut Vec<HashMap<u32, u32>>,
+        queue_pool: &mut Vec<VecDeque<u32>>,
+    ) {
+        match kind {
+            FieldKind::Full(field) => {
+                if let Ok(v) = Arc::try_unwrap(field) {
+                    pool.push(v);
+                }
+            }
+            FieldKind::Partial {
+                mut dist,
+                mut queue,
+            } => {
+                dist.clear();
+                sparse_pool.push(dist);
+                queue.clear();
+                queue_pool.push(queue);
+            }
+        }
+    }
+
+    /// Publishes an entry under the LRU clock and enforces
+    /// [`DistanceCache::MAX_RESIDENT_FIELDS`] by evicting the
+    /// least-recently-used entry while over the cap.
+    fn publish(&mut self, key: usize, kind: FieldKind) {
+        self.use_clock += 1;
+        self.by_start.insert(
+            key,
+            FieldEntry {
+                kind,
+                last_used: self.use_clock,
+            },
+        );
+        while self.by_start.len() > DistanceCache::MAX_RESIDENT_FIELDS {
+            let oldest = self
+                .by_start
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+                .expect("non-empty over cap");
+            if let Some(entry) = self.by_start.remove(&oldest) {
+                Self::recycle(
+                    entry.kind,
+                    &mut self.pool,
+                    &mut self.sparse_pool,
+                    &mut self.queue_pool,
+                );
+            }
+            self.evictions += 1;
+        }
+        self.peak_entries = self.peak_entries.max(self.by_start.len() as u64);
+    }
+}
+
+/// Point-in-time snapshot of every [`DistanceCache`] counter — the
+/// single struct the bench tier and the job layer serialize (see
+/// `na-schedule`'s export module), so new counters only have to be
+/// added in one place.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from a cached (full or sufficiently settled
+    /// partial) field.
+    pub hits: u64,
+    /// Queries that ran (or resumed) BFS work.
+    pub misses: u64,
+    /// Total sites settled by BFS work through the cache.
+    pub sites_settled: u64,
+    /// Entries evicted by the
+    /// [`DistanceCache::MAX_RESIDENT_FIELDS`] LRU cap.
+    pub evictions: u64,
+    /// Peak number of simultaneously resident field entries.
+    pub peak_entries: u64,
+    /// Bounded queries that armed a region corridor (had at least one
+    /// unsettled target).
+    pub corridor_queries: u64,
+    /// Corridor-armed queries whose corridor actually pruned — skipped
+    /// region-unreachable sites, or answered `UNREACHABLE` outright
+    /// from the region graph without any fine BFS.
+    pub corridor_pruned: u64,
+    /// Total distinct regions entered across all corridor-armed drains.
+    pub regions_touched: u64,
+}
+
+impl CacheStats {
+    /// Mean number of coarse regions a corridor-armed bounded query
+    /// entered (`0.0` before any corridor query ran). On paper-sized
+    /// lattices this stays near 1–2 while the region grid covers
+    /// hundreds of regions — the coarse-to-fine locality win.
+    pub fn regions_touched_per_query(&self) -> f64 {
+        if self.corridor_queries == 0 {
+            0.0
+        } else {
+            self.regions_touched as f64 / self.corridor_queries as f64
+        }
     }
 }
 
 impl DistanceCache {
+    /// The configured cap on resident field entries: publishing past
+    /// the cap evicts the least-recently-used entry (its buffers return
+    /// to the pools). Bounds cache memory at
+    /// `MAX_RESIDENT_FIELDS × num_sites × 4 B` worst case regardless of
+    /// how many distinct sources a mega-scale circuit queries —
+    /// ~10 MiB on a 100×100 lattice instead of one dense field per
+    /// atom. Peak residency is observable via
+    /// [`DistanceCache::snapshot`] and guarded by the bench tier.
+    pub const MAX_RESIDENT_FIELDS: usize = 256;
+
     /// An empty cache.
     pub fn new() -> Self {
         DistanceCache::default()
@@ -135,32 +278,53 @@ impl DistanceCache {
     /// pooled buffers from previously invalidated generations.
     pub fn field(&self, state: &MappingState, table: &NeighborTable, start: Site) -> Arc<Vec<u32>> {
         let key = state.lattice().index(start);
-        let (mut buf, mut queue, resume);
+        let (mut buf, mut queue, sparse);
         {
             let mut guard = self.fields.lock().expect("cache lock");
             let inner = &mut *guard;
             inner.retire_stale(state.occupancy_stamp());
             match inner.by_start.remove(&key) {
-                Some(FieldEntry::Full(field)) => {
+                Some(FieldEntry {
+                    kind: FieldKind::Full(field),
+                    ..
+                }) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     let out = Arc::clone(&field);
-                    inner.by_start.insert(key, FieldEntry::Full(field));
+                    inner.use_clock += 1;
+                    let last_used = inner.use_clock;
+                    inner.by_start.insert(
+                        key,
+                        FieldEntry {
+                            kind: FieldKind::Full(field),
+                            last_used,
+                        },
+                    );
                     return out;
                 }
-                Some(FieldEntry::Partial { dist, queue: q }) => {
-                    buf = dist;
+                Some(FieldEntry {
+                    kind: FieldKind::Partial { dist, queue: q },
+                    ..
+                }) => {
+                    buf = inner.pool.pop().unwrap_or_default();
                     queue = q;
-                    resume = true;
+                    sparse = Some(dist);
                 }
                 None => {
                     buf = inner.pool.pop().unwrap_or_default();
                     queue = inner.queue_pool.pop().unwrap_or_default();
-                    resume = false;
+                    sparse = None;
                 }
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let settled = if resume {
+        let settled = if let Some(map) = &sparse {
+            // Promote the sparse partial field to a dense one and
+            // resume its parked frontier to completion.
+            buf.clear();
+            buf.resize(state.lattice().num_sites(), UNREACHABLE);
+            for (&site, &d) in map {
+                buf[site as usize] = d;
+            }
             bfs_drain_resume(state, table, &mut buf, &mut queue, &[])
         } else {
             bfs_occupied_table_into(state, &[start], table, &mut buf, &mut queue)
@@ -172,11 +336,13 @@ impl DistanceCache {
         // Another thread may have advanced the stamp while we computed;
         // only publish a field for the stamp it belongs to.
         if inner.stamp == state.occupancy_stamp() {
-            inner
-                .by_start
-                .insert(key, FieldEntry::Full(Arc::clone(&field)));
+            inner.publish(key, FieldKind::Full(Arc::clone(&field)));
         }
         inner.queue_pool.push(queue);
+        if let Some(mut map) = sparse {
+            map.clear();
+            inner.sparse_pool.push(map);
+        }
         field
     }
 
@@ -186,6 +352,23 @@ impl DistanceCache {
     /// resuming — only as much BFS as the targets require. The partially
     /// settled field stays cached for later queries of the same
     /// occupancy generation.
+    ///
+    /// Queries are **coarse-to-fine**: a region-level BFS over the
+    /// lattice's [`na_arch::RegionGrid`] runs first (hundreds of
+    /// regions, not thousands of sites), and the fine BFS is restricted
+    /// to the corridor of regions that can lie on a path to a pending
+    /// target. Because region distance lower-bounds fine distance (see
+    /// [`region_bfs_into`]), the pruning is *admissible*: every
+    /// returned distance — including `UNREACHABLE` — is exactly what
+    /// the unpruned [`bfs_occupied_bounded_into`] would report. On a
+    /// connected lattice the corridor never prunes (every region
+    /// reaches every other), so results, settle counts and hit/miss
+    /// accounting are identical to the unpruned path; on disconnected
+    /// topologies (zoned lattices whose gap exceeds the interaction
+    /// radius) an unreachable-target query short-circuits at the region
+    /// level instead of flooding the start's whole component.
+    ///
+    /// [`bfs_occupied_bounded_into`]: crate::route::distance::bfs_occupied_bounded_into
     pub fn distances_at(
         &self,
         state: &MappingState,
@@ -197,73 +380,168 @@ impl DistanceCache {
         let lattice = state.lattice();
         let key = lattice.index(start);
         out.clear();
-        let (mut buf, mut queue, fresh);
+        let (mut dist, mut queue, fresh);
+        let (mut region_dist, mut region_queue, mut region_seeds, mut region_seen, qstamp);
         {
             let mut guard = self.fields.lock().expect("cache lock");
             let inner = &mut *guard;
             inner.retire_stale(state.occupancy_stamp());
             match inner.by_start.remove(&key) {
-                Some(FieldEntry::Full(field)) => {
+                Some(FieldEntry {
+                    kind: FieldKind::Full(field),
+                    ..
+                }) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     out.extend(targets.iter().map(|&t| field[lattice.index(t)]));
-                    inner.by_start.insert(key, FieldEntry::Full(field));
+                    inner.use_clock += 1;
+                    let last_used = inner.use_clock;
+                    inner.by_start.insert(
+                        key,
+                        FieldEntry {
+                            kind: FieldKind::Full(field),
+                            last_used,
+                        },
+                    );
                     return;
                 }
-                Some(FieldEntry::Partial { dist, queue: q }) => {
+                Some(FieldEntry {
+                    kind: FieldKind::Partial { dist: d, queue: q },
+                    ..
+                }) => {
                     // Already settled everywhere we need? Serve without
                     // resuming (settled entries of a partial field are
                     // final).
                     if targets
                         .iter()
-                        .all(|&t| dist[lattice.index(t)] != UNREACHABLE)
+                        .all(|&t| d.contains_key(&(lattice.index(t) as u32)))
                     {
                         self.hits.fetch_add(1, Ordering::Relaxed);
-                        out.extend(targets.iter().map(|&t| dist[lattice.index(t)]));
-                        inner
-                            .by_start
-                            .insert(key, FieldEntry::Partial { dist, queue: q });
+                        out.extend(targets.iter().map(|&t| d[&(lattice.index(t) as u32)]));
+                        inner.use_clock += 1;
+                        let last_used = inner.use_clock;
+                        inner.by_start.insert(
+                            key,
+                            FieldEntry {
+                                kind: FieldKind::Partial { dist: d, queue: q },
+                                last_used,
+                            },
+                        );
                         return;
                     }
-                    buf = dist;
+                    dist = d;
                     queue = q;
                     fresh = false;
                 }
                 None => {
-                    buf = inner.pool.pop().unwrap_or_default();
+                    dist = inner.sparse_pool.pop().unwrap_or_default();
                     queue = inner.queue_pool.pop().unwrap_or_default();
                     fresh = true;
                 }
             }
+            // Borrow the corridor scratch out of the lock for the
+            // drain; returned (and counters folded in) at publish time.
+            region_dist = std::mem::take(&mut inner.region_dist);
+            region_queue = std::mem::take(&mut inner.region_queue);
+            region_seeds = std::mem::take(&mut inner.region_seeds);
+            region_seen = std::mem::take(&mut inner.region_seen);
+            inner.qstamp += 1;
+            qstamp = inner.qstamp;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         if fresh {
-            buf.clear();
-            buf.resize(lattice.num_sites(), UNREACHABLE);
+            dist.clear();
             queue.clear();
-            let idx = lattice.index(start);
-            buf[idx] = 0;
-            queue.push_back(idx as u32);
+            dist.insert(key as u32, 0);
+            queue.push_back(key as u32);
             self.settled.fetch_add(1, Ordering::Relaxed);
         }
-        let settled = bfs_drain_resume(state, table, &mut buf, &mut queue, targets);
-        self.settled.fetch_add(settled as u64, Ordering::Relaxed);
-        out.extend(targets.iter().map(|&t| buf[lattice.index(t)]));
+        // Coarse pass: region-BFS from the pending targets' regions.
+        let grid = table.regions();
+        region_seeds.clear();
+        for &t in targets {
+            let idx = lattice.index(t);
+            if !dist.contains_key(&(idx as u32)) {
+                region_seeds.push(grid.region_of(idx));
+            }
+        }
+        let armed = !region_seeds.is_empty();
+        let mut drain = SparseDrain::default();
+        let mut region_shortcut = false;
+        if armed {
+            region_bfs_into(grid, &region_seeds, &mut region_dist, &mut region_queue);
+            if region_seen.len() < grid.num_regions() {
+                region_seen.resize(grid.num_regions(), 0);
+            }
+            if region_dist[grid.region_of(key) as usize] == UNREACHABLE {
+                // The start's region cannot reach any pending target's
+                // region, so no fine path exists either (admissible
+                // lower bound): answer UNREACHABLE without touching the
+                // fine lattice, leaving the parked field untouched.
+                region_shortcut = true;
+            } else {
+                let corridor = CorridorMask {
+                    grid,
+                    to_targets: &region_dist,
+                };
+                drain = bfs_drain_resume_sparse(
+                    state,
+                    table,
+                    &mut dist,
+                    &mut queue,
+                    targets,
+                    &corridor,
+                    &mut region_seen,
+                    qstamp,
+                );
+            }
+        }
+        self.settled
+            .fetch_add(drain.settled as u64, Ordering::Relaxed);
+        out.extend(targets.iter().map(|&t| {
+            dist.get(&(lattice.index(t) as u32))
+                .copied()
+                .unwrap_or(UNREACHABLE)
+        }));
         let complete = queue.is_empty();
         let mut guard = self.fields.lock().expect("cache lock");
         let inner = &mut *guard;
-        if inner.stamp != state.occupancy_stamp() {
-            // The stamp advanced while we computed: the field belongs
-            // to a dead generation — recycle the buffers.
-            inner.pool.push(buf);
+        inner.region_dist = region_dist;
+        inner.region_queue = region_queue;
+        inner.region_seeds = region_seeds;
+        inner.region_seen = region_seen;
+        if armed {
+            inner.corridor_queries += 1;
+            inner.regions_touched += u64::from(drain.regions_touched);
+            if drain.pruned || region_shortcut {
+                inner.corridor_pruned += 1;
+            }
+        }
+        if inner.stamp != state.occupancy_stamp() || drain.pruned {
+            // Recycle rather than park: either the stamp advanced while
+            // we computed (dead generation), or the corridor pruned —
+            // a pruned frontier is only exact for *this* query's
+            // targets and must not be resumed under different ones.
+            dist.clear();
+            inner.sparse_pool.push(dist);
             queue.clear();
             inner.queue_pool.push(queue);
         } else if complete {
-            inner.by_start.insert(key, FieldEntry::Full(Arc::new(buf)));
+            // The frontier is exhausted without pruning: every
+            // reachable site is settled — promote to a dense full
+            // field so later full-field requests hit outright.
+            let mut buf = inner.pool.pop().unwrap_or_default();
+            buf.clear();
+            buf.resize(lattice.num_sites(), UNREACHABLE);
+            for (&site, &d) in &dist {
+                buf[site as usize] = d;
+            }
+            inner.publish(key, FieldKind::Full(Arc::new(buf)));
+            dist.clear();
+            inner.sparse_pool.push(dist);
+            queue.clear();
             inner.queue_pool.push(queue);
         } else {
-            inner
-                .by_start
-                .insert(key, FieldEntry::Partial { dist: buf, queue });
+            inner.publish(key, FieldKind::Partial { dist, queue });
         }
     }
 
@@ -273,6 +551,23 @@ impl DistanceCache {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Snapshot of every cache counter — hit/miss/settle totals plus
+    /// the memory-bound (evictions, peak residency) and coarse-to-fine
+    /// (corridor) statistics.
+    pub fn snapshot(&self) -> CacheStats {
+        let inner = self.fields.lock().expect("cache lock");
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            sites_settled: self.settled.load(Ordering::Relaxed),
+            evictions: inner.evictions,
+            peak_entries: inner.peak_entries,
+            corridor_queries: inner.corridor_queries,
+            corridor_pruned: inner.corridor_pruned,
+            regions_touched: inner.regions_touched,
+        }
     }
 
     /// Total sites settled by BFS work through this cache since

@@ -33,15 +33,55 @@
 //!   the [`crate::route::DistanceCache`] exploits exactly that to
 //!   upgrade bounded fields to full ones without repeating work.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
-use na_arch::{NeighborTable, Neighborhood, Site};
+use na_arch::{NeighborTable, Neighborhood, RegionGrid, Site};
 use na_circuit::Qubit;
 
 use crate::state::MappingState;
 
 /// Hop distance marker for unreachable sites.
 pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Multi-source BFS over the coarse region adjacency graph of a
+/// [`RegionGrid`]: writes region-graph hop distances from the seed
+/// regions into `dist` (one entry per region, [`UNREACHABLE`] when no
+/// region path exists).
+///
+/// Because every fine edge projects onto a region self-loop or a region
+/// edge, the region distance between two sites' regions is an
+/// **admissible lower bound** on their fine BFS distance — over the
+/// full lattice and over any occupancy-restricted subgraph (occupancy
+/// only removes fine edges, which grows fine distances but never
+/// region distances). In particular, a region recorded `UNREACHABLE`
+/// here provably cannot lie on *any* fine path to a seed region's
+/// sites — the corridor-pruning criterion of the coarse-to-fine
+/// bounded BFS.
+pub fn region_bfs_into(
+    grid: &RegionGrid,
+    seeds: &[u32],
+    dist: &mut Vec<u32>,
+    queue: &mut VecDeque<u32>,
+) {
+    dist.clear();
+    dist.resize(grid.num_regions(), UNREACHABLE);
+    queue.clear();
+    for &r in seeds {
+        if dist[r as usize] != 0 {
+            dist[r as usize] = 0;
+            queue.push_back(r);
+        }
+    }
+    while let Some(r) = queue.pop_front() {
+        let d = dist[r as usize];
+        for &n in grid.neighbors(r) {
+            if dist[n as usize] == UNREACHABLE {
+                dist[n as usize] = d + 1;
+                queue.push_back(n);
+            }
+        }
+    }
+}
 
 /// BFS hop distances from `starts` through occupied sites, where two
 /// occupied sites are adjacent when within the neighborhood radius.
@@ -224,6 +264,106 @@ pub(crate) fn bfs_drain_resume(
         }
     }
     settled
+}
+
+/// Corridor mask of one coarse-to-fine bounded query: the region grid
+/// plus the region-BFS distance field seeded at the *pending target*
+/// regions ([`region_bfs_into`]). A fine site whose region reads
+/// [`UNREACHABLE`] here cannot lie on any fine path to a pending
+/// target (see the admissibility note on [`region_bfs_into`]), so the
+/// sparse drain skips it — pruning that is exact by construction.
+pub(crate) struct CorridorMask<'a> {
+    /// The coarse clustering of the fine table in use.
+    pub grid: &'a RegionGrid,
+    /// Region-graph distances from the pending targets' regions.
+    pub to_targets: &'a [u32],
+}
+
+/// Outcome of one [`bfs_drain_resume_sparse`] drain.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct SparseDrain {
+    /// Sites newly settled by this drain.
+    pub settled: usize,
+    /// Distinct regions entered by newly settled sites.
+    pub regions_touched: u32,
+    /// Whether the corridor mask skipped at least one site. A pruned
+    /// field must not be parked for resume under *different* targets —
+    /// the skipped sites are only provably irrelevant to this query's
+    /// pending targets.
+    pub pruned: bool,
+}
+
+/// The sparse, corridor-pruned sibling of [`bfs_drain_resume`]: the
+/// settled-distance map is a `HashMap` keyed by dense site index
+/// instead of a dense `num_sites` vector, so a bounded query that
+/// settles a handful of frontier sites costs memory (and clearing)
+/// proportional to what it touched — not an `O(num_sites)` memset per
+/// query. Identical BFS semantics: first enqueue settles a site at its
+/// final hop distance, early exit re-queues the interrupted node at the
+/// queue front, unreached targets force exhaustion (of the corridor).
+///
+/// `region_seen` is a per-region stamp buffer (stamp `qstamp` marks
+/// "seen this query") used to count `regions_touched` without clearing
+/// anything between queries.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bfs_drain_resume_sparse(
+    state: &MappingState,
+    table: &NeighborTable,
+    dist: &mut HashMap<u32, u32>,
+    queue: &mut VecDeque<u32>,
+    targets: &[Site],
+    corridor: &CorridorMask<'_>,
+    region_seen: &mut [u64],
+    qstamp: u64,
+) -> SparseDrain {
+    let lattice = state.lattice();
+    let bounded = !targets.is_empty();
+    let mut out = SparseDrain::default();
+    let mut pending = 0usize;
+    if bounded {
+        for (i, &t) in targets.iter().enumerate() {
+            let idx = lattice.index(t) as u32;
+            if dist.contains_key(&idx) {
+                continue;
+            }
+            if targets[..i].iter().any(|&u| lattice.index(u) as u32 == idx) {
+                continue;
+            }
+            pending += 1;
+        }
+        if pending == 0 {
+            return out;
+        }
+    }
+    while let Some(idx) = queue.pop_front() {
+        let d = dist[&idx];
+        for &n in table.neighbors(idx as usize) {
+            let nu = n as usize;
+            if state.atom_at_site_index(nu).is_none() || dist.contains_key(&n) {
+                continue;
+            }
+            let region = corridor.grid.region_of(nu) as usize;
+            if corridor.to_targets[region] == UNREACHABLE {
+                out.pruned = true;
+                continue;
+            }
+            dist.insert(n, d + 1);
+            if region_seen[region] != qstamp {
+                region_seen[region] = qstamp;
+                out.regions_touched += 1;
+            }
+            queue.push_back(n);
+            out.settled += 1;
+            if bounded && targets.contains(&lattice.site(nu)) {
+                pending -= 1;
+                if pending == 0 {
+                    queue.push_front(idx);
+                    return out;
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Fractional SWAP-distance estimate between two sites: how many SWAP

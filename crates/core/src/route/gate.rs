@@ -192,36 +192,83 @@ impl GateRouter {
             let lattice = state.lattice();
 
             // Anchor candidates: occupied sites reachable by every qubit,
-            // keyed by total gathering cost. Enumerated over the atom
-            // array (O(atoms), not O(lattice sites)) and *heapified*
-            // instead of fully sorted: `(cost, site)` keys are unique
-            // per site, so popping the min-heap yields exactly the old
-            // sorted order while only the few anchors the early-exit
-            // loop actually examines pay a log-n pop.
+            // keyed by total gathering cost, fed into a min-heap *ring by
+            // ring* around the gate centroid instead of enumerating every
+            // atom. Each anchor's cost lower-bounds as
+            // `m · euclid(site, centroid) / r_int` (each BFS hop spans at
+            // most `r_int`, and the site-to-qubit distances sum to at
+            // least `m` times the centroid distance), and every site in a
+            // Chebyshev ring-`k` region lies strictly more than
+            // `(k−1)·side` from the centroid — so once the heap top costs
+            // strictly less than the next ring's bound, no unfed atom can
+            // precede it. Integer costs never tie the real-valued bound,
+            // so pops arrive in exactly the (cost, site) order the full
+            // enumeration produced: same winner, same early exit, while a
+            // mega-lattice query feeds only the few rings near the gate.
             let anchors = &mut p.gate.anchors;
             anchors.clear();
-            for a in 0..state.num_atoms() {
-                let site = state.site_of_atom(AtomId(a as u32));
-                let idx = lattice.index(site);
-                let mut total = 0u64;
-                let mut reachable = true;
-                for d in &fields {
-                    if d[idx] == UNREACHABLE {
-                        reachable = false;
-                        break;
-                    }
-                    total += u64::from(d[idx]);
-                }
-                if reachable {
-                    anchors.push(Reverse((total, site)));
-                }
-            }
             let mut heap = BinaryHeap::from(std::mem::take(anchors));
+
+            let side = state.region_side();
+            let (regions_x, regions_y) = state.region_dims();
+            let centroid = crate::route::context::centroid_of(state, qubits);
+            let cx = ((centroid.0.max(0.0) as u32) / side).min(regions_x - 1);
+            let cy = ((centroid.1.max(0.0) as u32) / side).min(regions_y - 1);
+            let max_k = (cx.max(regions_x - 1 - cx)).max(cy.max(regions_y - 1 - cy));
+            let r_int = self.cost.r_int;
+            let lb_cost = |k: u32| -> f64 {
+                if k == 0 {
+                    0.0
+                } else {
+                    (m as f64) * f64::from((k - 1) * side) / r_int
+                }
+            };
+            let push_ring = |k: u32, heap: &mut BinaryHeap<Reverse<(u64, Site)>>| {
+                na_arch::RegionGrid::for_each_ring_region(
+                    regions_x,
+                    regions_y,
+                    cx,
+                    cy,
+                    k,
+                    &mut |rx, ry| {
+                        let region = (ry * regions_x + rx) as usize;
+                        for &a in state.atoms_in_region(region) {
+                            let site = state.site_of_atom(AtomId(a));
+                            let idx = lattice.index(site);
+                            let mut total = 0u64;
+                            let mut reachable = true;
+                            for d in &fields {
+                                if d[idx] == UNREACHABLE {
+                                    reachable = false;
+                                    break;
+                                }
+                                total += u64::from(d[idx]);
+                            }
+                            if reachable {
+                                heap.push(Reverse((total, site)));
+                            }
+                        }
+                    },
+                );
+            };
+            let mut next_k = 0u32;
 
             const ANCHOR_MARGIN: usize = 24;
             let mut best: Option<GatePosition> = None;
             let mut examined_since_best = 0usize;
-            while let Some(Reverse((anchor_cost, anchor))) = heap.pop() {
+            loop {
+                while next_k <= max_k {
+                    match heap.peek() {
+                        Some(&Reverse((c, _))) if (c as f64) < lb_cost(next_k) => break,
+                        _ => {
+                            push_ring(next_k, &mut heap);
+                            next_k += 1;
+                        }
+                    }
+                }
+                let Some(Reverse((anchor_cost, anchor))) = heap.pop() else {
+                    break;
+                };
                 if let Some(b) = &best {
                     if anchor_cost >= u64::from(b.cost) || examined_since_best >= ANCHOR_MARGIN {
                         break;

@@ -49,7 +49,7 @@ pub mod gate;
 pub mod scratch;
 pub mod shuttle;
 
-pub use context::{DistanceCache, RoutingContext};
+pub use context::{CacheStats, DistanceCache, RoutingContext};
 pub use cost::CostModel;
 pub use engine::{RoutingEngine, StepReport};
 pub use gate::{GatePosition, GateRouter};

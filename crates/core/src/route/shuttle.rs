@@ -215,9 +215,19 @@ impl ShuttleRouter {
             // selection (select the `SCAN` smallest, sort just those)
             // replaces the full-lattice sort — the `(distance, site)`
             // key is a total order, so the examined prefix is
-            // identical.
+            // identical. Candidate sites are gathered region ring by
+            // region ring around the centroid rather than from the whole
+            // lattice: every site in a Chebyshev ring-`k` region lies
+            // strictly farther than `(k−1)·side` from the centroid (whose
+            // fractional parts are multiples of `1/m`, so the slack dwarfs
+            // float rounding), so once that bound strictly exceeds the
+            // `SCAN`-th smallest collected distance no uncollected site
+            // can enter the examined prefix — the collected set provably
+            // contains the true top `SCAN` and the selection below is
+            // byte-identical to the full-lattice scan.
             const SCAN: usize = 64;
             let state = &*p.state;
+            let lattice = state.lattice();
             let centroid = crate::route::context::centroid_of(state, qubits);
             let by_centroid = |a: &Site, b: &Site| {
                 RoutingContext::dist_sq_to(centroid, *a)
@@ -225,8 +235,38 @@ impl ShuttleRouter {
                     .expect("finite")
                     .then(a.cmp(b))
             };
+            let grid = p.table_int.regions();
+            let (regions_x, regions_y) = grid.dims();
+            let side = grid.side();
+            let cx = ((centroid.0.max(0.0) as u32) / side).min(regions_x - 1);
+            let cy = ((centroid.1.max(0.0) as u32) / side).min(regions_y - 1);
+            let max_k = (cx.max(regions_x - 1 - cx)).max(cy.max(regions_y - 1 - cy));
             p.shuttle.anchor_sites.clear();
-            p.shuttle.anchor_sites.extend(state.lattice().iter());
+            {
+                let sites = &mut p.shuttle.anchor_sites;
+                for k in 0..=max_k {
+                    if k > 0 && sites.len() >= SCAN {
+                        let lb = f64::from((k - 1) * side);
+                        let (_, kth, _) = sites.select_nth_unstable_by(SCAN - 1, by_centroid);
+                        if lb * lb > RoutingContext::dist_sq_to(centroid, *kth) {
+                            break;
+                        }
+                    }
+                    na_arch::RegionGrid::for_each_ring_region(
+                        regions_x,
+                        regions_y,
+                        cx,
+                        cy,
+                        k,
+                        &mut |rx, ry| {
+                            let region = ry * regions_x + rx;
+                            for &idx in grid.sites_in(region) {
+                                sites.push(lattice.site(idx as usize));
+                            }
+                        },
+                    );
+                }
+            }
             let scan = p.shuttle.anchor_sites.len().min(SCAN);
             if p.shuttle.anchor_sites.len() > scan {
                 p.shuttle

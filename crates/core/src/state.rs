@@ -55,6 +55,33 @@ pub struct MappingState {
     /// Per site: position of that site inside `free_sites`, or
     /// `u32::MAX` when the site is occupied.
     free_pos: Vec<u32>,
+    /// Side length (in sites) of the coarse regions below — the same
+    /// [`na_arch::RegionGrid::DEFAULT_SIDE`] the neighbor table uses, so
+    /// the state's buckets and the router's region graph agree on what a
+    /// "region" is.
+    region_side: u32,
+    /// Region-grid width in regions.
+    regions_x: u32,
+    /// Region-grid height in regions.
+    regions_y: u32,
+    /// Per site: its coarse region, from [`na_arch::RegionGrid::partition`].
+    region_of_site: Vec<u32>,
+    /// Per region: dense indices of the free sites inside it, in no
+    /// particular order. Lets proximity queries walk outward region ring
+    /// by region ring instead of scanning the global free list — on a
+    /// 100×100 lattice with thousands of atoms, the global scan is four
+    /// orders of magnitude more work than the two or three rings a
+    /// typical query touches.
+    free_by_region: Vec<Vec<u32>>,
+    /// Per site: slot inside its region's `free_by_region` bucket, or
+    /// `u32::MAX` when occupied.
+    free_slot: Vec<u32>,
+    /// Per region: the atoms currently sitting inside it, in no
+    /// particular order — the same ring-walk accelerator for anchor
+    /// scans over atoms.
+    atoms_by_region: Vec<Vec<u32>>,
+    /// Per atom: slot inside its region's `atoms_by_region` bucket.
+    atom_region_slot: Vec<u32>,
     /// Process-unique stamp of this state's occupancy configuration:
     /// refreshed on construction, clone, and every shuttle move — but
     /// not by SWAPs, which permute `f_q` only. Two states never share a
@@ -159,6 +186,14 @@ impl Clone for MappingState {
             atom_of_qubit: self.atom_of_qubit.clone(),
             free_sites: self.free_sites.clone(),
             free_pos: self.free_pos.clone(),
+            region_side: self.region_side,
+            regions_x: self.regions_x,
+            regions_y: self.regions_y,
+            region_of_site: self.region_of_site.clone(),
+            free_by_region: self.free_by_region.clone(),
+            free_slot: self.free_slot.clone(),
+            atoms_by_region: self.atoms_by_region.clone(),
+            atom_region_slot: self.atom_region_slot.clone(),
             occupancy_stamp: next_occupancy_stamp(),
         }
     }
@@ -256,6 +291,11 @@ impl MappingState {
             })
             .collect();
         let atom_of_qubit = (0..num_qubits).map(AtomId).collect();
+        // The subtraction cannot underflow: the `num_atoms >= num_sites`
+        // guard above already rejected over- and exactly-full topologies
+        // with a typed `TooManyAtoms`, so `num_sites > num_atoms` holds
+        // here (the routers need at least one free site to shuttle
+        // through anyway).
         let mut free_sites = Vec::with_capacity(lattice.num_sites() - num_atoms);
         let mut free_pos = vec![u32::MAX; lattice.num_sites()];
         for (idx, occupant) in atom_at_site.iter().enumerate() {
@@ -263,6 +303,23 @@ impl MappingState {
                 free_pos[idx] = free_sites.len() as u32;
                 free_sites.push(idx as u32);
             }
+        }
+        let (regions_x, regions_y, region_of_site) =
+            na_arch::RegionGrid::partition(&lattice, na_arch::RegionGrid::DEFAULT_SIDE);
+        let num_regions = (regions_x * regions_y) as usize;
+        let mut free_by_region = vec![Vec::new(); num_regions];
+        let mut free_slot = vec![u32::MAX; lattice.num_sites()];
+        for &idx in &free_sites {
+            let r = region_of_site[idx as usize] as usize;
+            free_slot[idx as usize] = free_by_region[r].len() as u32;
+            free_by_region[r].push(idx);
+        }
+        let mut atoms_by_region = vec![Vec::new(); num_regions];
+        let mut atom_region_slot = vec![u32::MAX; num_atoms];
+        for (a, site) in site_of_atom.iter().enumerate() {
+            let r = region_of_site[lattice.index(*site)] as usize;
+            atom_region_slot[a] = atoms_by_region[r].len() as u32;
+            atoms_by_region[r].push(a as u32);
         }
         Ok(MappingState {
             lattice,
@@ -272,6 +329,14 @@ impl MappingState {
             atom_of_qubit,
             free_sites,
             free_pos,
+            region_side: na_arch::RegionGrid::DEFAULT_SIDE,
+            regions_x,
+            regions_y,
+            region_of_site,
+            free_by_region,
+            free_slot,
+            atoms_by_region,
+            atom_region_slot,
             occupancy_stamp: next_occupancy_stamp(),
         })
     }
@@ -361,7 +426,9 @@ impl MappingState {
     }
 
     /// Removes `idx` from / adds `idx` to the free-site list — the only
-    /// two places occupancy flips, shared by moves and their undo.
+    /// two places occupancy flips, shared by moves and their undo. Both
+    /// mirror the flip into the per-region free bucket, so the global
+    /// list and the region index can never disagree.
     #[inline]
     fn mark_occupied(&mut self, idx: usize) {
         let pos = self.free_pos[idx] as usize;
@@ -374,6 +441,17 @@ impl MappingState {
             debug_assert_eq!(last, idx as u32, "free list out of sync");
         }
         self.free_pos[idx] = u32::MAX;
+        let region = self.region_of_site[idx] as usize;
+        let slot = self.free_slot[idx] as usize;
+        let bucket = &mut self.free_by_region[region];
+        let last = bucket.pop().expect("region free bucket non-empty");
+        if slot < bucket.len() {
+            bucket[slot] = last;
+            self.free_slot[last as usize] = slot as u32;
+        } else {
+            debug_assert_eq!(last, idx as u32, "region free bucket out of sync");
+        }
+        self.free_slot[idx] = u32::MAX;
     }
 
     #[inline]
@@ -381,6 +459,32 @@ impl MappingState {
         debug_assert_eq!(self.free_pos[idx], u32::MAX, "site already free");
         self.free_pos[idx] = self.free_sites.len() as u32;
         self.free_sites.push(idx as u32);
+        let region = self.region_of_site[idx] as usize;
+        self.free_slot[idx] = self.free_by_region[region].len() as u32;
+        self.free_by_region[region].push(idx as u32);
+    }
+
+    /// Re-files `atom` from the region of `from_idx` into the region of
+    /// `to_idx` after a shuttle (or its undo). No-op when both sites
+    /// share a region.
+    #[inline]
+    fn relocate_atom_region(&mut self, atom: AtomId, from_idx: usize, to_idx: usize) {
+        let from_region = self.region_of_site[from_idx] as usize;
+        let to_region = self.region_of_site[to_idx] as usize;
+        if from_region == to_region {
+            return;
+        }
+        let slot = self.atom_region_slot[atom.index()] as usize;
+        let bucket = &mut self.atoms_by_region[from_region];
+        let last = bucket.pop().expect("region atom bucket non-empty");
+        if slot < bucket.len() {
+            bucket[slot] = last;
+            self.atom_region_slot[last as usize] = slot as u32;
+        } else {
+            debug_assert_eq!(last, atom.0, "region atom bucket out of sync");
+        }
+        self.atom_region_slot[atom.index()] = self.atoms_by_region[to_region].len() as u32;
+        self.atoms_by_region[to_region].push(atom.0);
     }
 
     /// Exchanges the circuit qubits of two atoms — the effect of a SWAP
@@ -420,6 +524,7 @@ impl MappingState {
         self.mark_free(from_idx);
         self.atom_at_site[to_idx] = Some(atom);
         self.mark_occupied(to_idx);
+        self.relocate_atom_region(atom, from_idx, to_idx);
         self.site_of_atom[atom.index()] = to;
         self.occupancy_stamp = next_occupancy_stamp();
     }
@@ -484,6 +589,7 @@ impl MappingState {
                     self.mark_free(here_idx);
                     self.atom_at_site[from_idx] = Some(atom);
                     self.mark_occupied(from_idx);
+                    self.relocate_atom_region(atom, here_idx, from_idx);
                     self.site_of_atom[atom.index()] = from;
                     self.occupancy_stamp = stamp_before;
                 }
@@ -505,25 +611,82 @@ impl MappingState {
             .collect()
     }
 
+    /// Side length (in sites) of the coarse regions the state's
+    /// occupancy buckets are filed under.
+    #[inline]
+    pub fn region_side(&self) -> u32 {
+        self.region_side
+    }
+
+    /// Region-grid dimensions `(regions_x, regions_y)`.
+    #[inline]
+    pub fn region_dims(&self) -> (u32, u32) {
+        (self.regions_x, self.regions_y)
+    }
+
+    /// The atoms currently inside `region` (row-major region index), in
+    /// unspecified order. Kept exact by every move and its undo; lets
+    /// anchor scans walk outward by region ring instead of touching all
+    /// atoms.
+    #[inline]
+    pub fn atoms_in_region(&self, region: usize) -> &[u32] {
+        &self.atoms_by_region[region]
+    }
+
+    /// Dense indices of the free sites currently inside `region`
+    /// (row-major region index), in unspecified order.
+    #[inline]
+    pub fn free_in_region(&self, region: usize) -> &[u32] {
+        &self.free_by_region[region]
+    }
+
     /// The nearest free site to `from` (Euclidean, ties by site order),
     /// excluding the sites in `excluded`. Returns `None` when the lattice
     /// has no free site outside `excluded`.
     ///
-    /// Scans the maintained free-site list — `O(free sites)` rather than
-    /// `O(lattice sites)`, which on the paper's near-full arrays (200
-    /// atoms on 225 traps) is an order of magnitude less work. The
-    /// minimum is taken under the same `(distance², site)` key the old
-    /// full-lattice scan used, so the winner is identical.
+    /// Walks the per-region free buckets outward ring by ring from
+    /// `from`'s region and stops at the first ring whose distance lower
+    /// bound ([`na_arch::RegionGrid::ring_min_cells`]) strictly exceeds
+    /// the best distance found — on a mega lattice a query touches a
+    /// handful of regions instead of every free site. The minimum is
+    /// taken under the same `(distance², site)` key the old full scans
+    /// used, and the stop condition is strict (a ring is still scanned
+    /// when its bound ties the incumbent), so the winner is identical.
     pub fn nearest_free_site(&self, from: Site, excluded: &[Site]) -> Option<Site> {
-        self.free_sites
-            .iter()
-            .map(|&idx| self.lattice.site(idx as usize))
-            .filter(|s| !excluded.contains(s))
-            .min_by(|a, b| {
-                from.distance_sq(*a)
-                    .cmp(&from.distance_sq(*b))
-                    .then(a.cmp(b))
-            })
+        let side = self.region_side;
+        let cx = ((from.x.max(0) as u32) / side).min(self.regions_x - 1);
+        let cy = ((from.y.max(0) as u32) / side).min(self.regions_y - 1);
+        let max_k = (cx.max(self.regions_x - 1 - cx)).max(cy.max(self.regions_y - 1 - cy));
+        let mut best: Option<(i64, Site)> = None;
+        for k in 0..=max_k {
+            if let Some((best_d2, _)) = best {
+                let lb = i64::from(na_arch::RegionGrid::ring_min_cells(side, k));
+                if lb * lb > best_d2 {
+                    break;
+                }
+            }
+            na_arch::RegionGrid::for_each_ring_region(
+                self.regions_x,
+                self.regions_y,
+                cx,
+                cy,
+                k,
+                &mut |rx, ry| {
+                    let region = (ry * self.regions_x + rx) as usize;
+                    for &idx in &self.free_by_region[region] {
+                        let s = self.lattice.site(idx as usize);
+                        if excluded.contains(&s) {
+                            continue;
+                        }
+                        let key = (from.distance_sq(s), s);
+                        if best.is_none_or(|b| key < b) {
+                            best = Some(key);
+                        }
+                    }
+                },
+            );
+        }
+        best.map(|(_, s)| s)
     }
 
     /// Returns `true` if all listed qubits sit on sites that are pairwise
@@ -590,6 +753,44 @@ impl MappingState {
             }
             if self.free_pos[idx as usize] != pos as u32 {
                 return Err(format!("free list position of site {idx} out of sync"));
+            }
+        }
+        let bucketed_free: usize = self.free_by_region.iter().map(Vec::len).sum();
+        if bucketed_free != self.free_sites.len() {
+            return Err(format!(
+                "region free buckets hold {bucketed_free} sites, free list holds {}",
+                self.free_sites.len()
+            ));
+        }
+        for (region, bucket) in self.free_by_region.iter().enumerate() {
+            for (slot, &idx) in bucket.iter().enumerate() {
+                if self.region_of_site[idx as usize] as usize != region {
+                    return Err(format!("site {idx} filed in wrong region {region}"));
+                }
+                if self.atom_at_site[idx as usize].is_some() {
+                    return Err(format!("region free bucket entry {idx} is occupied"));
+                }
+                if self.free_slot[idx as usize] != slot as u32 {
+                    return Err(format!("region free slot of site {idx} out of sync"));
+                }
+            }
+        }
+        let bucketed_atoms: usize = self.atoms_by_region.iter().map(Vec::len).sum();
+        if bucketed_atoms != self.num_atoms() {
+            return Err(format!(
+                "region atom buckets hold {bucketed_atoms} atoms, expected {}",
+                self.num_atoms()
+            ));
+        }
+        for (region, bucket) in self.atoms_by_region.iter().enumerate() {
+            for (slot, &a) in bucket.iter().enumerate() {
+                let site_idx = self.lattice.index(self.site_of_atom[a as usize]);
+                if self.region_of_site[site_idx] as usize != region {
+                    return Err(format!("atom {a} filed in wrong region {region}"));
+                }
+                if self.atom_region_slot[a as usize] != slot as u32 {
+                    return Err(format!("region slot of atom {a} out of sync"));
+                }
             }
         }
         Ok(())
@@ -667,6 +868,50 @@ mod tests {
     }
 
     #[test]
+    fn exactly_full_lattice_rejected_before_capacity_math() {
+        // 4x4 box zoned 1+1 → exactly 8 traps for 8 atoms. The `>=`
+        // guard must reject this as TooManyAtoms *before* the
+        // free-capacity subtraction `num_sites - num_atoms` runs (it
+        // would be 0, not an underflow — but an exactly-full register
+        // leaves shuttling nowhere to go, so it is a typed error, not a
+        // degenerate success).
+        let p = HardwareParams::mixed()
+            .to_builder()
+            .lattice(4, 3.0)
+            .num_atoms(8)
+            .build()
+            .expect("valid");
+        let lattice = Lattice::zoned(4, 1, 1).expect("valid");
+        let err = MappingState::on_lattice(&p, lattice, 4, InitialLayout::Identity).unwrap_err();
+        assert!(matches!(
+            err,
+            MapError::Arch(na_arch::ArchError::TooManyAtoms { atoms: 8, sites: 8 })
+        ));
+    }
+
+    #[test]
+    fn oversubscribed_lattice_rejected_with_typed_error() {
+        // 16 atoms on 8 traps: the same guard catches the `>` case, so
+        // `Vec::with_capacity(num_sites - num_atoms)` can never see
+        // `num_atoms > num_sites` (which would panic on underflow).
+        let p = HardwareParams::mixed()
+            .to_builder()
+            .lattice(4, 3.0)
+            .num_atoms(15)
+            .build()
+            .expect("valid");
+        let lattice = Lattice::zoned(4, 1, 1).expect("valid");
+        let err = MappingState::on_lattice(&p, lattice, 4, InitialLayout::Identity).unwrap_err();
+        assert!(matches!(
+            err,
+            MapError::Arch(na_arch::ArchError::TooManyAtoms {
+                atoms: 15,
+                sites: 8
+            })
+        ));
+    }
+
+    #[test]
     fn swap_exchanges_qubits_not_sites() {
         let mut s = state();
         let (a, b) = (AtomId(0), AtomId(1));
@@ -731,6 +976,83 @@ mod tests {
         assert_eq!(nearest, Site::new(2, 2));
         let second = s.nearest_free_site(from, &[nearest]).unwrap();
         assert_eq!(second, Site::new(3, 2));
+    }
+
+    #[test]
+    fn ring_walk_nearest_free_matches_exhaustive_scan_on_mega_lattice() {
+        // 40x40 lattice (5x5 regions at side 8), sparsely occupied: the
+        // ring walk must return exactly what a full free-list scan
+        // under the same (distance², site) key would.
+        let p = HardwareParams::mixed()
+            .to_builder()
+            .lattice(40, 3.0)
+            .num_atoms(700)
+            .build()
+            .expect("valid");
+        let mut s = MappingState::identity(&p, 64).expect("fits");
+        // Scatter some atoms so free sites are non-contiguous.
+        for (a, target) in [
+            (0u32, Site::new(39, 39)),
+            (1, Site::new(20, 25)),
+            (2, Site::new(0, 39)),
+            (3, Site::new(33, 30)),
+        ] {
+            s.apply_move(AtomId(a), target);
+        }
+        s.check_invariants().unwrap();
+        let excluded = [Site::new(0, 18), Site::new(1, 18)];
+        for from in [
+            Site::new(0, 0),
+            Site::new(5, 17),
+            Site::new(39, 0),
+            Site::new(20, 20),
+            Site::new(39, 39),
+        ] {
+            let reference = s
+                .free_site_indices()
+                .iter()
+                .map(|&idx| s.lattice().site(idx as usize))
+                .filter(|site| !excluded.contains(site))
+                .min_by(|a, b| {
+                    from.distance_sq(*a)
+                        .cmp(&from.distance_sq(*b))
+                        .then(a.cmp(b))
+                });
+            assert_eq!(s.nearest_free_site(from, &excluded), reference);
+        }
+    }
+
+    #[test]
+    fn region_buckets_track_moves_and_undo() {
+        let p = HardwareParams::mixed()
+            .to_builder()
+            .lattice(20, 3.0)
+            .num_atoms(30)
+            .build()
+            .expect("valid");
+        let mut s = MappingState::identity(&p, 10).expect("fits");
+        let reference = s.clone();
+        assert_eq!(s.region_side(), na_arch::RegionGrid::DEFAULT_SIDE);
+        assert_eq!(s.region_dims(), (3, 3));
+        // All 30 atoms start in rows 0-1 => region 0 (x<8) and 1 (x in 8..16)
+        // and 2 (x >= 16).
+        assert_eq!(
+            s.atoms_in_region(0).len() + s.atoms_in_region(1).len() + s.atoms_in_region(2).len(),
+            30
+        );
+        let mut j = StateJournal::new();
+        let mark = j.mark();
+        // Cross-region move: (row 0) -> (18, 18) = region 8.
+        s.apply_move_journaled(AtomId(0), Site::new(18, 18), &mut j);
+        assert!(s.atoms_in_region(8).contains(&0));
+        assert!(s
+            .free_in_region(8)
+            .iter()
+            .all(|&idx| { s.lattice().site(idx as usize) != Site::new(18, 18) }));
+        s.check_invariants().unwrap();
+        s.undo_to(&mut j, mark);
+        assert_eq!(s, reference);
+        s.check_invariants().unwrap();
     }
 
     #[test]

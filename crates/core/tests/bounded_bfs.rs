@@ -10,7 +10,7 @@ use proptest::prelude::*;
 
 use na_arch::{HardwareParams, Lattice, NeighborTable, Neighborhood, Site};
 use na_mapper::route::distance::{
-    bfs_occupied, bfs_occupied_bounded_into, bfs_occupied_table_into, UNREACHABLE,
+    bfs_occupied, bfs_occupied_bounded_into, bfs_occupied_table_into, region_bfs_into, UNREACHABLE,
 };
 use na_mapper::route::DistanceCache;
 use na_mapper::{AtomId, InitialLayout, MappingState};
@@ -126,6 +126,113 @@ proptest! {
         // The bounded search never settles more than the full field.
         let full_settled = reference.iter().filter(|&&d| d != UNREACHABLE).count();
         prop_assert!(settled <= full_settled);
+    }
+
+    /// The coarse region-BFS distance is an **admissible lower bound**
+    /// on the exact fine BFS distance: for every site the fine search
+    /// reaches, its region's hop distance (seeded at the start's
+    /// region) never exceeds the fine hop distance — and a region the
+    /// region graph cannot reach contains no fine-reachable site. This
+    /// is the invariant that makes corridor pruning exact.
+    #[test]
+    fn region_bfs_lower_bounds_fine_distance(side in 9u32..28, fill in 8u32..160,
+                                             seed in 0u64..1000, r in 1.0f64..3.0) {
+        let lattice = Lattice::new(side);
+        let atoms = fill.min(lattice.num_sites() as u32 - 1);
+        let state = scattered_state(lattice, atoms, seed);
+        let hood = Neighborhood::new(r);
+        let table = NeighborTable::build(state.lattice(), &hood);
+        let occ = occupied_sites(&state);
+        let start = occ[seed as usize % occ.len()];
+        let fine = bfs_occupied(&state, &[start], &hood);
+        let grid = table.regions();
+        let start_region = grid.region_of(state.lattice().index(start));
+        let mut rdist = Vec::new();
+        let mut rqueue = std::collections::VecDeque::new();
+        region_bfs_into(grid, &[start_region], &mut rdist, &mut rqueue);
+        for (idx, &d) in fine.iter().enumerate() {
+            if d == UNREACHABLE {
+                continue;
+            }
+            let region = grid.region_of(idx) as usize;
+            prop_assert_ne!(
+                rdist[region], UNREACHABLE,
+                "fine-reachable site {} sits in a region-unreachable region", idx
+            );
+            prop_assert!(
+                rdist[region] <= d,
+                "region distance {} exceeds fine distance {} at site {}",
+                rdist[region], d, idx
+            );
+        }
+    }
+
+    /// The cache's corridor-armed bounded query (region BFS from the
+    /// target regions restricting the fine drain) answers exactly like
+    /// the corridor-less [`bfs_occupied_bounded_into`] on every
+    /// requested target — corridor pruning is a pure accelerator.
+    #[test]
+    fn corridor_bounded_query_equals_full_bounded_bfs(side in 9u32..26, fill in 8u32..120,
+                                                      seed in 0u64..1000, r in 1.0f64..3.0,
+                                                      target_picks in proptest::collection::vec(0usize..1000, 1..6)) {
+        let lattice = Lattice::new(side);
+        let atoms = fill.min(lattice.num_sites() as u32 - 1);
+        let state = scattered_state(lattice, atoms, seed);
+        let hood = Neighborhood::new(r);
+        let table = NeighborTable::build(state.lattice(), &hood);
+        let occ = occupied_sites(&state);
+        let start = occ[seed as usize % occ.len()];
+        let all: Vec<Site> = state.lattice().iter().collect();
+        let targets: Vec<Site> = target_picks.iter().map(|&p| all[p % all.len()]).collect();
+
+        let mut dist = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        bfs_occupied_bounded_into(&state, &[start], &table, &targets, &mut dist, &mut queue);
+
+        let cache = DistanceCache::new();
+        let mut out = Vec::new();
+        cache.distances_at(&state, &table, start, &targets, &mut out);
+        for (i, &t) in targets.iter().enumerate() {
+            prop_assert_eq!(
+                out[i], dist[state.lattice().index(t)],
+                "corridor query disagrees on target {}", t
+            );
+        }
+    }
+
+    /// Corridor equivalence over zoned lattices, where a lane gap wider
+    /// than the interaction radius disconnects the bands outright: the
+    /// region graph proves cross-band targets unreachable and the
+    /// corridor may answer without any fine BFS — the verdicts must
+    /// still match the exhaustive bounded search exactly.
+    #[test]
+    fn corridor_bounded_query_equals_full_bounded_bfs_zoned(side in 9u32..20, zone in 1u32..4,
+                                                            gap in 1u32..4, seed in 0u64..1000,
+                                                            r in 1.0f64..3.0,
+                                                            target_picks in proptest::collection::vec(0usize..1000, 1..6)) {
+        let lattice = Lattice::zoned(side, zone, gap).expect("valid");
+        let atoms = (lattice.num_sites() as u32 / 2).max(2);
+        let state = scattered_state(lattice, atoms, seed);
+        let hood = Neighborhood::new(r);
+        let table = NeighborTable::build(state.lattice(), &hood);
+        let occ = occupied_sites(&state);
+        let start = occ[seed as usize % occ.len()];
+        let all: Vec<Site> = state.lattice().iter().collect();
+        let targets: Vec<Site> = target_picks.iter().map(|&p| all[p % all.len()]).collect();
+
+        let mut dist = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        bfs_occupied_bounded_into(&state, &[start], &table, &targets, &mut dist, &mut queue);
+
+        let cache = DistanceCache::new();
+        let mut out = Vec::new();
+        cache.distances_at(&state, &table, start, &targets, &mut out);
+        for (i, &t) in targets.iter().enumerate() {
+            prop_assert_eq!(
+                out[i], dist[state.lattice().index(t)],
+                "zoned corridor query disagrees on target {}", t
+            );
+        }
     }
 
     /// The cache's bounded query plus the full-field upgrade resumes the

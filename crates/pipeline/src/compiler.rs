@@ -453,6 +453,7 @@ impl Compiler {
             total_runtime: total_start.elapsed(),
             aod_batches: aod_programs.len(),
             aod_moves: aod_programs.iter().map(|p| p.moves.len()).sum(),
+            route_cache: scratch.map.route().distance_cache().snapshot(),
         };
         Ok(CompiledProgram {
             mapped,

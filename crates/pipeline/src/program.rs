@@ -2,10 +2,10 @@
 
 use std::time::Duration;
 
-use na_mapper::{MapStats, MappedCircuit};
+use na_mapper::{CacheStats, MapStats, MappedCircuit};
 use na_schedule::export::{
-    aod_program_to_json, comparison_to_json, json_f64, map_stats_to_json, metrics_to_json,
-    schedule_to_json,
+    aod_program_to_json, cache_stats_to_json, comparison_to_json, json_f64, map_stats_to_json,
+    metrics_to_json, schedule_to_json,
 };
 use na_schedule::{AodProgram, ComparisonReport, Schedule, ScheduleMetrics};
 use serde::{Deserialize, Serialize};
@@ -25,6 +25,13 @@ pub struct CompileStats {
     pub aod_batches: usize,
     /// Individual shuttle moves across all transactions.
     pub aod_moves: usize,
+    /// Distance-cache and region/corridor counters of the routing
+    /// layer. Counters are cumulative over the compile scratch's
+    /// lifetime: with [`Compiler::compile`](crate::Compiler::compile)
+    /// that is exactly this circuit, while a warm
+    /// [`Compiler::compile_with`](crate::Compiler::compile_with) loop
+    /// accumulates across the circuits sharing the scratch.
+    pub route_cache: CacheStats,
 }
 
 /// Everything one compile produces: the paper's full flow (map,
@@ -81,7 +88,7 @@ impl CompiledProgram {
         };
         format!(
             "{{\n  \"stats\": {{\"map\":{},\"map_runtime_ms\":{},\"total_runtime_ms\":{},\
-             \"aod_batches\":{},\"aod_moves\":{}}},\n  \"metrics\": {},\n  \
+             \"aod_batches\":{},\"aod_moves\":{},\"route_cache\":{}}},\n  \"metrics\": {},\n  \
              \"comparison\": {},\n  \"mapped\": {{\"num_qubits\":{},\"num_atoms\":{},\
              \"gates\":{},\"swaps\":{},\"shuttles\":{}}},\n  \"schedule\": {},\n  \
              \"aod_programs\": [{aod}]\n}}\n",
@@ -90,6 +97,7 @@ impl CompiledProgram {
             json_f64(self.stats.total_runtime.as_secs_f64() * 1e3),
             self.stats.aod_batches,
             self.stats.aod_moves,
+            cache_stats_to_json(&self.stats.route_cache),
             metrics_to_json(&self.metrics),
             comparison,
             self.mapped.num_qubits,

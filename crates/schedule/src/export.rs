@@ -13,7 +13,7 @@
 
 use std::fmt::Write as _;
 
-use na_mapper::{AtomId, MapStats};
+use na_mapper::{AtomId, CacheStats, MapStats};
 use serde::{Deserialize, Serialize};
 
 use crate::aod_program::{AodInstruction, AodProgram};
@@ -138,6 +138,33 @@ pub fn map_stats_to_json(s: &MapStats) -> String {
         "{{\"swaps_inserted\":{},\"shuttle_moves\":{},\
          \"gates_gate_routed\":{},\"gates_shuttle_routed\":{}}}",
         s.swaps_inserted, s.shuttle_moves, s.gates_gate_routed, s.gates_shuttle_routed,
+    )
+}
+
+/// Serializes the routing-layer [`CacheStats`] (distance-cache and
+/// region/corridor counters of the hierarchical router) as a JSON
+/// object.
+///
+/// Key names match the benchmark baseline (`BENCH_routing.json`) so the
+/// regression guard's flat key scanner finds them whether they come
+/// from a compiled program or a bench run: `cache_evictions`,
+/// `cache_peak_entries` and `regions_touched_per_query` are the
+/// watched names.
+pub fn cache_stats_to_json(s: &CacheStats) -> String {
+    format!(
+        "{{\"hits\":{},\"misses\":{},\"sites_settled\":{},\
+         \"cache_evictions\":{},\"cache_peak_entries\":{},\
+         \"corridor_queries\":{},\"corridor_pruned\":{},\
+         \"regions_touched\":{},\"regions_touched_per_query\":{}}}",
+        s.hits,
+        s.misses,
+        s.sites_settled,
+        s.evictions,
+        s.peak_entries,
+        s.corridor_queries,
+        s.corridor_pruned,
+        s.regions_touched,
+        json_f64(s.regions_touched_per_query()),
     )
 }
 
@@ -357,6 +384,26 @@ mod tests {
         let rj = comparison_to_json(&r);
         assert!(rj.contains("\"delta_cz\":0"));
         assert!(rj.contains("\"original\":{"));
+    }
+
+    #[test]
+    fn cache_stats_json_carries_guarded_keys() {
+        let stats = CacheStats {
+            hits: 10,
+            misses: 4,
+            sites_settled: 1200,
+            evictions: 3,
+            peak_entries: 96,
+            corridor_queries: 4,
+            corridor_pruned: 2,
+            regions_touched: 36,
+        };
+        let json = cache_stats_to_json(&stats);
+        assert!(json.contains("\"cache_evictions\":3"));
+        assert!(json.contains("\"cache_peak_entries\":96"));
+        assert!(json.contains("\"regions_touched_per_query\":9"));
+        let zero = cache_stats_to_json(&CacheStats::default());
+        assert!(zero.contains("\"regions_touched_per_query\":0"));
     }
 
     #[test]

@@ -76,7 +76,7 @@ pub use na_schedule as schedule;
 pub mod prelude {
     pub use na_arch::{
         AodConstraints, HardwareParams, Lattice, LatticeKind, Move, NativeGateSet, NeighborTable,
-        Neighborhood, Site, Target, TargetSpec, ZonedTarget,
+        Neighborhood, RegionGrid, Site, Target, TargetSpec, ZonedTarget,
     };
     pub use na_circuit::generators::{
         cuccaro_adder, ghz, GraphState, Qaoa, Qft, Qpe, RandomCircuit, Reversible,
@@ -84,8 +84,9 @@ pub mod prelude {
     pub use na_circuit::sim::Statevector;
     pub use na_circuit::{decompose_to_native, qasm, Circuit, GateKind, Operation, Qubit};
     pub use na_mapper::{
-        verify_mapping, verify_mapping_on, ConfigError, HybridMapper, InitialLayout, MapError,
-        MapScratch, MappedCircuit, MappedOp, MapperConfig, MappingOutcome, OpSink, StateJournal,
+        verify_mapping, verify_mapping_on, CacheStats, ConfigError, DistanceCache, HybridMapper,
+        InitialLayout, MapError, MapScratch, MappedCircuit, MappedOp, MapperConfig, MappingOutcome,
+        OpSink, StateJournal,
     };
     pub use na_pipeline::{
         handle_json, CompileError, CompileRequest, CompileResponse, CompileScratch, CompileStats,

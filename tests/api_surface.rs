@@ -6,6 +6,7 @@
 /// Every identifier `hybrid_na::prelude` must re-export, sorted.
 const EXPECTED: &[&str] = &[
     "AodConstraints",
+    "CacheStats",
     "Circuit",
     "ComparisonReport",
     "CompileError",
@@ -16,6 +17,7 @@ const EXPECTED: &[&str] = &[
     "CompiledProgram",
     "Compiler",
     "ConfigError",
+    "DistanceCache",
     "GateKind",
     "GraphState",
     "HardwareParams",
@@ -44,6 +46,7 @@ const EXPECTED: &[&str] = &[
     "Qpe",
     "Qubit",
     "RandomCircuit",
+    "RegionGrid",
     "Reversible",
     "Schedule",
     "ScheduleError",
