@@ -10,11 +10,15 @@
 //!
 //! Besides the criterion output, this bench writes a machine-readable
 //! baseline to `BENCH_routing.json` at the workspace root so future PRs
-//! can compare against it (the CI bench-regression job consumes
-//! `map_hybrid_qft24_ms`, `map_hybrid_qft64_15x15_ms` and
-//! `map_hybrid_qft128_100x100_ms`, skipping when `host_parallelism`
-//! differs). The mega tier lives only in the baseline writer, not the
-//! criterion groups, to keep `cargo bench` wall-clock bounded.
+//! can compare against it (the CI bench-regression job consumes the
+//! `map_hybrid_*`/`map_gate_*` timings and `candidate_eval_us`,
+//! skipping when `host_parallelism` differs). The round-mode tier
+//! records `rounds_total_*` / `commits_per_round_*` and per-candidate
+//! round evaluation cost under both [`RoundMode`]s, plus `_single_ms`
+//! twins of the headline map timings so the speculative default's
+//! payoff is visible inside one baseline file. The mega tier lives only
+//! in the baseline writer, not the criterion groups, to keep
+//! `cargo bench` wall-clock bounded.
 
 use std::time::Instant;
 
@@ -25,8 +29,9 @@ use na_circuit::{Circuit, Qubit};
 use na_mapper::decision::Capability;
 use na_mapper::route::DistanceCache;
 use na_mapper::{
-    CacheStats, FrontierGate, HybridMapper, MapScratch, MappedOp, MapperConfig, MappingState,
-    RouteScratch, RoutingContext, ShuttleRouter,
+    CacheStats, FrontierGate, HybridMapper, MapScratch, MapStats, MappedCircuit, MappedOp,
+    MapperConfig, MappingState, RoundMode, RouteScratch, RoutingContext, RoutingEngine,
+    ShuttleRouter,
 };
 use na_schedule::export::cache_stats_to_json;
 
@@ -257,6 +262,72 @@ fn map_ms(params: &HardwareParams, circuit: &Circuit, runs: u32) -> f64 {
     mean_secs(runs, || mapper.map(circuit).expect("mappable")) * 1e3
 }
 
+/// Mean hybrid mapping time (ms) of `circuit` on `params` under
+/// `mode`, plus the [`MapStats`] of one run — the per-mode round
+/// counters (`rounds_total`, `commits_total`) behind the baseline's
+/// `commits_per_round_*` fields.
+fn map_ms_with_stats(
+    params: &HardwareParams,
+    circuit: &Circuit,
+    mode: RoundMode,
+    runs: u32,
+) -> (f64, MapStats) {
+    let config = MapperConfig::try_hybrid(1.0)
+        .expect("valid alpha")
+        .with_round_mode(mode);
+    let mapper = HybridMapper::new(params.clone(), config).expect("valid");
+    let mut stats = MapStats::default();
+    let ms = mean_secs(runs, || {
+        stats = mapper.map(circuit).expect("mappable").stats;
+    }) * 1e3;
+    (ms, stats)
+}
+
+/// Per-candidate evaluation cost (µs) of one engine round under `mode`:
+/// a fixed four-gate qubit-disjoint frontier on the 6×6 machine, with
+/// the state cloned per iteration so every round scores the identical
+/// pre-round layout. Single mode reduces the candidate sweep to one
+/// winner and commits it; speculative mode additionally mints a
+/// conflict set per candidate and multi-commits — the delta between the
+/// two baseline fields is the per-candidate speculation overhead.
+fn round_eval_us(params: &HardwareParams, mode: RoundMode, runs: u32) -> f64 {
+    let config = MapperConfig::try_hybrid(1.0)
+        .expect("valid alpha")
+        .with_round_mode(mode);
+    let base = MappingState::identity(params, 24).expect("fits");
+    let frontier: Vec<FrontierGate> = (0..4)
+        .map(|g| FrontierGate {
+            op_index: g,
+            qubits: vec![Qubit(g as u32), Qubit(23 - g as u32)],
+            capability: Capability::GateBased,
+        })
+        .collect();
+    let eligible: Vec<usize> = (0..frontier.len()).collect();
+    let mut engine = RoutingEngine::from_config(params, &config);
+    let mut scratch = RouteScratch::new();
+    let secs = mean_secs(runs, || {
+        let mut state = base.clone();
+        let mut out = MappedCircuit::new(24, params.num_atoms);
+        match mode {
+            RoundMode::Single => engine
+                .step(&mut state, &frontier, &[], &mut scratch, &mut out)
+                .expect("routable"),
+            RoundMode::Speculative => engine
+                .step_speculative(
+                    &mut state,
+                    &frontier,
+                    &[],
+                    &eligible,
+                    1,
+                    &mut scratch,
+                    &mut out,
+                )
+                .expect("routable"),
+        }
+    });
+    secs * 1e6 / frontier.len() as f64
+}
+
 /// Mean mapping time (ms) of `circuit` on `params` under `config`, plus
 /// the routing-layer cache counters of the last run. Each run maps
 /// through a fresh [`MapScratch`], so the counters are exactly one cold
@@ -393,12 +464,26 @@ fn write_baseline() {
     let candidate_eval_us = eval_us(&params, 24, 50);
 
     let map_qft = map_ms(&params, &qft24(), 10);
-    let map_qaoa = map_ms(&params, &qaoa24(), 10);
+
+    // ---- round-mode tier: speculative multi-commit vs. single -------
+    // The default `map_*` fields above/below run the speculative
+    // default; the `_single_ms` twins and the round counters make the
+    // multi-commit payoff visible inside one baseline file.
+    let (map_qaoa, qaoa_spec) = map_ms_with_stats(&params, &qaoa24(), RoundMode::Speculative, 10);
+    let (map_qaoa_single, qaoa_single) =
+        map_ms_with_stats(&params, &qaoa24(), RoundMode::Single, 10);
+    let commits_per_round_single =
+        qaoa_single.commits_total as f64 / qaoa_single.rounds_total.max(1) as f64;
+    let commits_per_round_spec =
+        qaoa_spec.commits_total as f64 / qaoa_spec.rounds_total.max(1) as f64;
+    let candidate_eval_us_single = round_eval_us(&params, RoundMode::Single, 50);
+    let candidate_eval_us_spec = round_eval_us(&params, RoundMode::Speculative, 50);
 
     // ---- paper-scale tier -------------------------------------------
     let p15 = paper_mixed();
     let p30 = huge_mixed();
     let map_qft64_15 = map_ms(&p15, &qft64(), 5);
+    let map_qft64_15_single = map_ms_with_stats(&p15, &qft64(), RoundMode::Single, 5).0;
     let map_qaoa80_15 = map_ms(&p15, &qaoa80(), 5);
     let map_qft64_30 = map_ms(&p30, &qft64(), 3);
     let candidate_eval_us_15 = eval_us(&p15, 200, 20);
@@ -409,6 +494,12 @@ fn write_baseline() {
     let p100 = mega_mixed();
     let hybrid = || MapperConfig::try_hybrid(1.0).expect("valid alpha");
     let (map_qft128_100, _) = map_ms_with_cache(&p100, &qft128(), hybrid(), 2);
+    let (map_qft128_100_single, _) = map_ms_with_cache(
+        &p100,
+        &qft128(),
+        hybrid().with_round_mode(RoundMode::Single),
+        2,
+    );
     let (map_qaoa256_100, _) = map_ms_with_cache(&p100, &qaoa256(), hybrid(), 2);
     // Gate-only on purpose: at mega-scale distances the hybrid decider
     // (correctly, Eq. 4–5) sends long-range gates to the shuttle
@@ -431,9 +522,17 @@ fn write_baseline() {
          \"cache_hit_rate_cold\": {:.4},\n  \
          \"cache_hit_rate_warm\": {:.4},\n  \
          \"candidate_eval_us\": {:.3},\n  \
+         \"candidate_eval_us_single\": {:.3},\n  \
+         \"candidate_eval_us_speculative\": {:.3},\n  \
          \"map_hybrid_qft24_ms\": {:.3},\n  \
          \"map_hybrid_qaoa24_ms\": {:.3},\n  \
+         \"map_hybrid_qaoa24_single_ms\": {:.3},\n  \
+         \"rounds_total_single\": {},\n  \
+         \"rounds_total_speculative\": {},\n  \
+         \"commits_per_round_single\": {:.3},\n  \
+         \"commits_per_round_speculative\": {:.3},\n  \
          \"map_hybrid_qft64_15x15_ms\": {:.3},\n  \
+         \"map_hybrid_qft64_15x15_single_ms\": {:.3},\n  \
          \"map_hybrid_qaoa80_15x15_ms\": {:.3},\n  \
          \"map_hybrid_qft64_30x30_ms\": {:.3},\n  \
          \"candidate_eval_us_15x15\": {:.3},\n  \
@@ -442,6 +541,7 @@ fn write_baseline() {
          \"bfs_settled_full_30x30\": {},\n  \
          \"bfs_settled_bounded_30x30\": {},\n  \
          \"map_hybrid_qft128_100x100_ms\": {:.3},\n  \
+         \"map_hybrid_qft128_100x100_single_ms\": {:.3},\n  \
          \"map_hybrid_qaoa256_100x100_ms\": {:.3},\n  \
          \"map_gate_megarand_100x100_ms\": {:.3},\n  \
          \"route_cache_megarand_100x100\": {},\n  \
@@ -452,9 +552,17 @@ fn write_baseline() {
         cold_rate,
         warm_rate,
         candidate_eval_us,
+        candidate_eval_us_single,
+        candidate_eval_us_spec,
         map_qft,
         map_qaoa,
+        map_qaoa_single,
+        qaoa_single.rounds_total,
+        qaoa_spec.rounds_total,
+        commits_per_round_single,
+        commits_per_round_spec,
         map_qft64_15,
+        map_qft64_15_single,
         map_qaoa80_15,
         map_qft64_30,
         candidate_eval_us_15,
@@ -463,6 +571,7 @@ fn write_baseline() {
         settled_full_30,
         settled_bounded_30,
         map_qft128_100,
+        map_qft128_100_single,
         map_qaoa256_100,
         map_megarand_100,
         cache_stats_to_json(&cache_megarand),
@@ -512,6 +621,28 @@ fn write_baseline() {
         storm.corridor_queries,
         storm.regions_touched_per_query(),
         13 * 13,
+    );
+    // Round-mode invariants: single mode commits exactly one candidate
+    // per round; the speculative default must actually multi-commit on
+    // a frontier-rich QAOA workload and therefore finish in fewer
+    // rounds.
+    assert_eq!(
+        qaoa_single.commits_total, qaoa_single.rounds_total,
+        "single mode must commit exactly once per round"
+    );
+    assert!(
+        commits_per_round_spec > 1.0,
+        "speculative rounds must multi-commit on QAOA-24 \
+         ({:.3} commits/round over {} rounds)",
+        commits_per_round_spec,
+        qaoa_spec.rounds_total,
+    );
+    assert!(
+        qaoa_spec.rounds_total < qaoa_single.rounds_total,
+        "multi-commit rounds must reduce the round count \
+         (speculative {} vs single {})",
+        qaoa_spec.rounds_total,
+        qaoa_single.rounds_total,
     );
 }
 

@@ -227,6 +227,54 @@ impl LayerTracker {
         ready
     }
 
+    /// Partitions the current frontier into qubit-disjoint gate groups.
+    ///
+    /// Greedy first-fit over the frontier in sorted op-index order: each
+    /// gate lands in the earliest group in which none of its qubits is
+    /// already used. Group 0 is therefore the maximal greedy prefix of
+    /// mutually qubit-disjoint frontier gates — the commit-eligible set of
+    /// a speculative multi-commit routing round (every gate in it can be
+    /// serviced without touching another group-0 gate's logical qubits).
+    ///
+    /// The partition is deterministic and covers the whole frontier:
+    /// concatenating the groups yields `front()` reordered, and every
+    /// group is internally qubit-disjoint.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use na_circuit::{Circuit, CircuitDag, LayerTracker};
+    /// let mut c = Circuit::new(3);
+    /// c.cz(0, 1).cz(1, 2); // commute: both are frontier gates
+    /// let dag = CircuitDag::new(&c);
+    /// let layers = LayerTracker::new(&dag);
+    /// let groups = layers.front_disjoint_groups(&c);
+    /// // They share qubit 1, so they split into two groups.
+    /// assert_eq!(groups, vec![vec![0], vec![1]]);
+    /// ```
+    pub fn front_disjoint_groups(&self, circuit: &Circuit) -> Vec<Vec<usize>> {
+        // First group index in which each qubit is still unused.
+        let mut next_group = vec![0usize; circuit.num_qubits() as usize];
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let ops = circuit.ops();
+        for &i in &self.front {
+            let g = ops[i]
+                .qubits()
+                .iter()
+                .map(|q| next_group[q.index()])
+                .max()
+                .unwrap_or(0);
+            if g == groups.len() {
+                groups.push(Vec::new());
+            }
+            groups[g].push(i);
+            for q in ops[i].qubits() {
+                next_group[q.index()] = g + 1;
+            }
+        }
+        groups
+    }
+
     /// The lookahead layer: operations reachable from the frontier within
     /// `depth` dependency steps, capped at `max_gates`, in BFS order.
     ///
@@ -366,6 +414,76 @@ mod tests {
         let deep = layers.lookahead(&dag, 5, 10);
         assert!(deep.contains(&3) && deep.contains(&4));
         assert_eq!(layers.lookahead(&dag, 5, 2).len(), 2);
+    }
+
+    #[test]
+    fn disjoint_groups_split_shared_qubits() {
+        let mut c = Circuit::new(4);
+        // All four CZs commute; 0 and 1 share q1, 2 shares q2 with 1.
+        c.cz(0, 1).cz(1, 2).cz(2, 3).cz(0, 3);
+        let dag = CircuitDag::new(&c);
+        let layers = LayerTracker::new(&dag);
+        let groups = layers.front_disjoint_groups(&c);
+        // Greedy first-fit: op0 {0,1} → g0; op1 {1,2} → g1; op2 {2,3} → g2
+        // (q2 used in g1... next_group[2]=2), op3 {0,3} → g3? op3 qubits
+        // q0 (next 1) and q3 (next 3) → g3.
+        assert_eq!(groups[0], vec![0]);
+        let flat: Vec<usize> = groups.iter().flatten().copied().collect();
+        let mut sorted = flat.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, layers.front());
+        // Every group is internally qubit-disjoint.
+        for group in &groups {
+            let mut used = [false; 4];
+            for &i in group {
+                for q in c.ops()[i].qubits() {
+                    assert!(!used[q.index()], "group shares qubit {q:?}");
+                    used[q.index()] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_groups_keep_independent_gates_together() {
+        let mut c = Circuit::new(6);
+        c.cz(0, 1).cz(2, 3).cz(4, 5);
+        let dag = CircuitDag::new(&c);
+        let layers = LayerTracker::new(&dag);
+        let groups = layers.front_disjoint_groups(&c);
+        assert_eq!(groups, vec![vec![0, 1, 2]]);
+    }
+
+    proptest! {
+        /// The partition covers the frontier exactly and every group is
+        /// qubit-disjoint, for arbitrary circuits.
+        #[test]
+        fn disjoint_groups_partition_is_sound(ops in proptest::collection::vec((0u32..6, 0u32..6, 0u8..3), 1..40)) {
+            let mut c = Circuit::new(6);
+            for (a, b, kind) in ops {
+                match kind {
+                    0 => { c.h(a); }
+                    1 => { if a != b { c.cz(a, b); } }
+                    _ => { c.rz(0.25, a); }
+                }
+            }
+            let dag = CircuitDag::new(&c);
+            let layers = LayerTracker::new(&dag);
+            let groups = layers.front_disjoint_groups(&c);
+            let mut flat: Vec<usize> = groups.iter().flatten().copied().collect();
+            flat.sort_unstable();
+            prop_assert_eq!(flat, layers.front().to_vec());
+            for group in &groups {
+                prop_assert!(!group.is_empty());
+                let mut used = [false; 6];
+                for &i in group {
+                    for q in c.ops()[i].qubits() {
+                        prop_assert!(!used[q.index()]);
+                        used[q.index()] = true;
+                    }
+                }
+            }
+        }
     }
 
     #[test]

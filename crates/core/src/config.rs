@@ -5,6 +5,28 @@ use serde::{Deserialize, Serialize};
 use crate::error::ConfigError;
 use crate::layout::InitialLayout;
 
+/// How many routing candidates one engine round may commit.
+///
+/// * [`RoundMode::Single`] — the classic behaviour: every round evaluates
+///   the frontier and commits exactly the one globally best candidate.
+/// * [`RoundMode::Speculative`] — a round batch-evaluates candidates for
+///   all commit-eligible frontier gates (the first qubit-disjoint front
+///   group), tags each with its conflict set via journaled speculative
+///   application, and greedily commits a maximal non-conflicting subset
+///   in deterministic `(tier, cost, proposal order)` order.
+///
+/// Speculative mode changes how many routing ops land per round (and may
+/// therefore reorder the emitted op stream) but never produces an invalid
+/// mapping: committed candidates have pairwise-disjoint conflict sets, so
+/// each one is exactly as valid as it was when simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoundMode {
+    /// One commit per routing round.
+    Single,
+    /// Conflict-checked multi-commit rounds.
+    Speculative,
+}
+
 /// Tuning knobs of the hybrid mapping process.
 ///
 /// Defaults reproduce the paper's evaluation settings (§4.1):
@@ -51,6 +73,13 @@ pub struct MapperConfig {
     pub max_ops_per_gate: usize,
     /// Initial atom placement (the paper uses the identity layout).
     pub initial_layout: InitialLayout,
+    /// How many candidates one routing round may commit.
+    pub round_mode: RoundMode,
+    /// Worker threads for speculative candidate evaluation (`1` =
+    /// in-place evaluation on the caller thread). Only consulted in
+    /// [`RoundMode::Speculative`]; results are identical for any thread
+    /// count by construction.
+    pub eval_threads: usize,
 }
 
 impl MapperConfig {
@@ -66,6 +95,8 @@ impl MapperConfig {
             lookahead_max_gates: 20,
             max_ops_per_gate: 64,
             initial_layout: InitialLayout::Identity,
+            round_mode: RoundMode::Speculative,
+            eval_threads: 1,
         }
     }
 
@@ -85,21 +116,6 @@ impl MapperConfig {
             alpha_shuttle: 1.0,
             ..MapperConfig::base()
         })
-    }
-
-    /// Hybrid mode with decision ratio `α = α_g/α_s` (paper mode (C)).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `alpha_ratio` is not finite and positive.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `MapperConfig::try_hybrid` (or `MappingOptions::hybrid` \
-                on the pipeline's `Compiler` builder) for a typed error \
-                instead of a panic"
-    )]
-    pub fn hybrid(alpha_ratio: f64) -> Self {
-        MapperConfig::try_hybrid(alpha_ratio).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Validates the configuration: weights must be finite and
@@ -122,6 +138,9 @@ impl MapperConfig {
         }
         if self.alpha_gate == 0.0 && self.alpha_shuttle == 0.0 {
             return Err(ConfigError::NoCapability);
+        }
+        if self.eval_threads == 0 {
+            return Err(ConfigError::ZeroEvalThreads);
         }
         Ok(())
     }
@@ -200,6 +219,18 @@ impl MapperConfig {
         self.initial_layout = layout;
         self
     }
+
+    /// Sets the routing round mode.
+    pub fn with_round_mode(mut self, mode: RoundMode) -> Self {
+        self.round_mode = mode;
+        self
+    }
+
+    /// Sets the speculative evaluation thread count (`1` = caller thread).
+    pub fn with_eval_threads(mut self, threads: usize) -> Self {
+        self.eval_threads = threads;
+        self
+    }
 }
 
 impl Default for MapperConfig {
@@ -246,10 +277,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    #[allow(deprecated)]
-    fn deprecated_hybrid_wrapper_still_panics() {
-        MapperConfig::hybrid(0.0);
+    fn round_mode_knobs() {
+        let cfg = MapperConfig::default();
+        assert_eq!(cfg.round_mode, RoundMode::Speculative);
+        assert_eq!(cfg.eval_threads, 1);
+        let cfg = cfg.with_round_mode(RoundMode::Single).with_eval_threads(4);
+        assert_eq!(cfg.round_mode, RoundMode::Single);
+        assert_eq!(cfg.eval_threads, 4);
+        assert!(cfg.validate().is_ok());
+        assert!(matches!(
+            MapperConfig::default().with_eval_threads(0).validate(),
+            Err(ConfigError::ZeroEvalThreads)
+        ));
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub mod sink;
 pub mod state;
 pub mod verify;
 
-pub use config::MapperConfig;
+pub use config::{MapperConfig, RoundMode};
 pub use decision::Capability;
 pub use error::{ConfigError, MapError};
 pub use layout::InitialLayout;

@@ -31,7 +31,7 @@ use na_circuit::{decompose_to_native, Circuit, CircuitDag, LayerTracker, Operati
 
 use serde::{Deserialize, Serialize};
 
-use crate::config::MapperConfig;
+use crate::config::{MapperConfig, RoundMode};
 use crate::decision::{Capability, Decider};
 use crate::error::MapError;
 use crate::ops::{MappedCircuit, MappedOp};
@@ -79,6 +79,13 @@ pub struct MapStats {
     pub gates_gate_routed: usize,
     /// Entangling gates first assigned to shuttling-based routing.
     pub gates_shuttle_routed: usize,
+    /// Routing rounds executed (engine steps that applied operations).
+    pub rounds_total: usize,
+    /// Candidates committed across all rounds; exceeds `rounds_total`
+    /// exactly when speculative rounds multi-commit
+    /// ([`RoundMode::Speculative`]), equals it in
+    /// [`RoundMode::Single`].
+    pub commits_total: usize,
 }
 
 /// Result of a mapping run: the hardware op stream plus statistics and
@@ -379,20 +386,41 @@ impl HybridMapper {
             let la_live =
                 self.lookahead_gates(&native, &la, &state, &decider, &mut scratch.lookahead);
 
-            // (3)/(4) One engine round: propose, rank, apply.
-            match engine.step(
-                &mut state,
-                &scratch.frontier[..front_live],
-                &scratch.lookahead[..la_live],
-                &mut scratch.route,
-                sink,
-            ) {
+            // (3)/(4) One engine round: propose, rank, apply — one
+            // commit per round in Single mode, a conflict-checked batch
+            // of commits in Speculative mode (restricted beyond the
+            // best candidate to the first qubit-disjoint front group).
+            let round = match self.config.round_mode {
+                RoundMode::Single => engine.step(
+                    &mut state,
+                    &scratch.frontier[..front_live],
+                    &scratch.lookahead[..la_live],
+                    &mut scratch.route,
+                    sink,
+                ),
+                RoundMode::Speculative => {
+                    let groups = layers.front_disjoint_groups(&native);
+                    let eligible = groups.first().map(Vec::as_slice).unwrap_or(&[]);
+                    engine.step_speculative(
+                        &mut state,
+                        &scratch.frontier[..front_live],
+                        &scratch.lookahead[..la_live],
+                        eligible,
+                        self.config.eval_threads,
+                        &mut scratch.route,
+                        sink,
+                    )
+                }
+            };
+            match round {
                 Ok(report) => {
                     for (op_index, capability) in report.reassigned {
                         assigned[op_index] = Some(capability);
                     }
                     stats.swaps_inserted += report.swaps;
                     stats.shuttle_moves += report.moves;
+                    stats.rounds_total += 1;
+                    stats.commits_total += report.commits;
                     let applied = report.swaps + report.moves;
                     routing_ops += applied;
                     ops_since_progress += applied;
@@ -714,6 +742,49 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s), "every native op executed");
+    }
+
+    #[test]
+    fn speculative_rounds_multi_commit_on_disjoint_workloads() {
+        // A wide graph-state layer offers many qubit-disjoint frontier
+        // gates per round — speculative rounds must commit more than one
+        // candidate per round somewhere in the run.
+        let p = small(HardwareParams::mixed(), 10, 64);
+        let mapper = HybridMapper::new(
+            p.clone(),
+            MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+        )
+        .unwrap();
+        let c = GraphState::new(48).edges(80).seed(5).build();
+        let outcome = mapper.map(&c).unwrap();
+        verify_mapping(&c, &outcome.mapped, &p).unwrap();
+        assert!(outcome.stats.rounds_total > 0);
+        assert!(
+            outcome.stats.commits_total > outcome.stats.rounds_total,
+            "expected multi-commit rounds: {} commits over {} rounds",
+            outcome.stats.commits_total,
+            outcome.stats.rounds_total
+        );
+    }
+
+    #[test]
+    fn round_modes_agree_on_executed_gates() {
+        let p = small(HardwareParams::mixed(), 6, 25);
+        let c = GraphState::new(20).edges(30).seed(2).build();
+        let run = |mode: RoundMode| {
+            let cfg = MapperConfig::try_hybrid(1.0)
+                .expect("valid alpha")
+                .with_round_mode(mode);
+            let mapper = HybridMapper::new(p.clone(), cfg).unwrap();
+            let outcome = mapper.map(&c).unwrap();
+            verify_mapping(&c, &outcome.mapped, &p).unwrap();
+            outcome
+        };
+        let single = run(RoundMode::Single);
+        let speculative = run(RoundMode::Speculative);
+        assert_eq!(single.stats.commits_total, single.stats.rounds_total);
+        assert_eq!(single.mapped.gate_count(), speculative.mapped.gate_count());
+        assert!(speculative.stats.rounds_total <= single.stats.rounds_total);
     }
 
     #[test]

@@ -41,6 +41,10 @@ pub struct StepReport {
     /// to another router (e.g. multi-qubit gates without a geometric
     /// position, paper §3.2 (3)).
     pub reassigned: Vec<(usize, Capability)>,
+    /// Candidates committed this round: always `1` for
+    /// [`RoutingEngine::step`], `>= 1` for a successful
+    /// [`RoutingEngine::step_speculative`] round.
+    pub commits: usize,
 }
 
 /// The unified routing engine owning the registered routers.
@@ -196,8 +200,301 @@ impl RoutingEngine {
                 RoutingContext::new(state, &self.hood_int, &self.table_int, self.r_int, scratch);
             Self::best_candidate(&self.routers, &mut ctx, frontier, lookahead, &mut report)?
         };
-        self.apply(winner, tier, state, out, &mut report);
+        self.apply(&winner, tier, state, out, &mut report);
+        report.commits = 1;
         Ok(report)
+    }
+
+    /// Runs one speculative multi-commit round: batch-evaluate one best
+    /// candidate per serviceable *commit-eligible* gate of the winning
+    /// tier, mint each candidate's conflict set by journaled
+    /// apply/undo, then greedily commit a maximal non-conflicting
+    /// subset in deterministic `(cost, proposal order)` order.
+    ///
+    /// `eligible` is the sorted `op_index` list of commit-eligible gates
+    /// (the first qubit-disjoint group of the frontier,
+    /// [`na_circuit::dag::LayerTracker::front_disjoint_groups`]). The
+    /// evaluation sweep is restricted to those gates — the rest of a
+    /// wide front could never commit this round, so scoring it is
+    /// wasted work — and falls back to the full frontier whenever the
+    /// restricted sweep starves, so a speculative round is never weaker
+    /// than [`RoutingEngine::step`] at making progress or reporting a
+    /// stuck gate. The best evaluated candidate always commits
+    /// regardless of eligibility (progress guarantee).
+    /// `eval_threads > 1` mints conflict sets on scoped worker threads
+    /// over cloned states; results are identical for any thread count.
+    ///
+    /// Committed candidates have pairwise-disjoint conflict sets
+    /// (touched atoms + claimed/freed sites), so an earlier commit can
+    /// neither move a later winner's atoms nor occupy its target sites:
+    /// every committed candidate is exactly as valid as when it was
+    /// simulated against the pre-round state.
+    ///
+    /// Returns `Err(op_index)` of the first unroutable gate when no
+    /// router produced a candidate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_speculative(
+        &mut self,
+        state: &mut MappingState,
+        frontier: &[FrontierGate],
+        lookahead: &[FrontierGate],
+        eligible: &[usize],
+        eval_threads: usize,
+        scratch: &mut RouteScratch,
+        out: &mut dyn OpSink,
+    ) -> Result<StepReport, usize> {
+        let mut report = StepReport::default();
+        self.ensure_table(state);
+
+        // Phase 1 — batched proposal over the commit-eligible frontier:
+        // one best candidate per serviceable gate of the winning tier.
+        // Gates outside `eligible` could never commit this round, and on
+        // wide circuits the front dwarfs its first qubit-disjoint group
+        // — evaluating them would be almost entirely wasted work — so
+        // the sweep sees only eligible gates. If that restricted sweep
+        // starves (or `eligible` names no frontier gate), re-sweep the
+        // full frontier: a speculative round is never weaker than
+        // [`RoutingEngine::step`] at making progress or detecting a
+        // stuck gate.
+        let mut cands = std::mem::take(&mut scratch.spec.candidates);
+        cands.clear();
+        let restricted: Vec<&FrontierGate> = frontier
+            .iter()
+            .filter(|g| eligible.binary_search(&g.op_index).is_ok())
+            .collect();
+        let mut tier = None;
+        if !restricted.is_empty() {
+            let mut ctx =
+                RoutingContext::new(state, &self.hood_int, &self.table_int, self.r_int, scratch);
+            match Self::collect_tier_candidates(
+                &self.routers,
+                &mut ctx,
+                &restricted,
+                lookahead,
+                &mut report,
+                &mut cands,
+            ) {
+                Ok(t) => tier = Some(t),
+                Err(stuck) => {
+                    if restricted.len() == frontier.len() {
+                        scratch.spec.candidates = cands;
+                        return Err(stuck);
+                    }
+                }
+            }
+        }
+        let tier = match tier {
+            Some(t) => t,
+            None => {
+                cands.clear();
+                let full: Vec<&FrontierGate> = frontier.iter().collect();
+                let mut ctx = RoutingContext::new(
+                    state,
+                    &self.hood_int,
+                    &self.table_int,
+                    self.r_int,
+                    scratch,
+                );
+                match Self::collect_tier_candidates(
+                    &self.routers,
+                    &mut ctx,
+                    &full,
+                    lookahead,
+                    &mut report,
+                    &mut cands,
+                ) {
+                    Ok(t) => t,
+                    Err(stuck) => {
+                        scratch.spec.candidates = cands;
+                        return Err(stuck);
+                    }
+                }
+            }
+        };
+
+        // Phase 2 — conflict-set minting: journal-apply each candidate
+        // against the pre-round state (validating it) and record the
+        // atoms and dense site indices it touches, then roll back.
+        let mut atoms = std::mem::take(&mut scratch.spec.conflict_atoms);
+        let mut sites = std::mem::take(&mut scratch.spec.conflict_sites);
+        let mut ranges = std::mem::take(&mut scratch.spec.ranges);
+        atoms.clear();
+        sites.clear();
+        ranges.clear();
+        let threads = eval_threads.max(1).min(cands.len().max(1));
+        if threads > 1 {
+            // Scoped workers over deterministic contiguous chunks, each
+            // owning a cloned state (fresh stamp — workers never touch
+            // the distance cache) and its own journal; merging in
+            // candidate order makes results thread-count independent
+            // because minting is a pure function of (pre-round state,
+            // candidate).
+            let chunk = cands.len().div_ceil(threads);
+            let state_ref: &MappingState = state;
+            // (touched atoms, touched sites, per-candidate [a0,a1,s0,s1])
+            type MintedChunk = (Vec<u32>, Vec<u32>, Vec<[u32; 4]>);
+            let parts: Vec<MintedChunk> = std::thread::scope(|scope| {
+                let handles: Vec<_> = cands
+                    .chunks(chunk)
+                    .map(|chunk_cands| {
+                        scope.spawn(move || {
+                            let mut local = state_ref.clone();
+                            let mut journal = crate::state::StateJournal::new();
+                            let (mut a, mut s, mut r) = (Vec::new(), Vec::new(), Vec::new());
+                            for cand in chunk_cands {
+                                let (a0, s0) = (a.len() as u32, s.len() as u32);
+                                mint_conflict_set(&mut local, &mut journal, cand, &mut a, &mut s);
+                                r.push([a0, a.len() as u32, s0, s.len() as u32]);
+                            }
+                            (a, s, r)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("minting worker panicked"))
+                    .collect()
+            });
+            for (a, s, r) in parts {
+                let (ab, sb) = (atoms.len() as u32, sites.len() as u32);
+                for [a0, a1, s0, s1] in r {
+                    ranges.push([a0 + ab, a1 + ab, s0 + sb, s1 + sb]);
+                }
+                atoms.extend_from_slice(&a);
+                sites.extend_from_slice(&s);
+            }
+        } else {
+            for cand in &cands {
+                let (a0, s0) = (atoms.len() as u32, sites.len() as u32);
+                mint_conflict_set(state, &mut scratch.journal, cand, &mut atoms, &mut sites);
+                ranges.push([a0, atoms.len() as u32, s0, sites.len() as u32]);
+            }
+            debug_assert!(
+                scratch.journal.is_empty(),
+                "conflict minting must roll back"
+            );
+        }
+
+        // Phase 3 — deterministic greedy commit: rank by (cost, proposal
+        // order), commit every candidate whose conflict set is disjoint
+        // from all earlier commits. The best candidate commits
+        // unconditionally; later ones must also be commit-eligible
+        // (qubit-disjoint front group) so one round never services two
+        // gates that share a qubit.
+        let mut order = std::mem::take(&mut scratch.spec.order);
+        order.clear();
+        order.extend(0..cands.len() as u32);
+        order.sort_unstable_by(|&i, &j| {
+            let (a, b) = (&cands[i as usize], &cands[j as usize]);
+            a.cost
+                .partial_cmp(&b.cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(i.cmp(&j))
+        });
+        scratch
+            .spec
+            .ensure(state.num_atoms(), state.lattice().num_sites());
+        scratch.spec.round_gen += 1;
+        let round_gen = scratch.spec.round_gen;
+        for &i in &order {
+            let cand = &cands[i as usize];
+            if report.commits > 0 && eligible.binary_search(&cand.op_index).is_err() {
+                continue;
+            }
+            let [a0, a1, s0, s1] = ranges[i as usize];
+            let cand_atoms = &atoms[a0 as usize..a1 as usize];
+            let cand_sites = &sites[s0 as usize..s1 as usize];
+            let disjoint = report.commits == 0
+                || (cand_atoms
+                    .iter()
+                    .all(|&a| scratch.spec.atom_mark[a as usize] != round_gen)
+                    && cand_sites
+                        .iter()
+                        .all(|&s| scratch.spec.site_mark[s as usize] != round_gen));
+            if !disjoint {
+                continue;
+            }
+            for &a in cand_atoms {
+                scratch.spec.atom_mark[a as usize] = round_gen;
+            }
+            for &s in cand_sites {
+                scratch.spec.site_mark[s as usize] = round_gen;
+            }
+            self.apply(&cands[i as usize], tier, state, out, &mut report);
+            report.commits += 1;
+        }
+
+        scratch.spec.candidates = cands;
+        scratch.spec.order = order;
+        scratch.spec.conflict_atoms = atoms;
+        scratch.spec.conflict_sites = sites;
+        scratch.spec.ranges = ranges;
+        Ok(report)
+    }
+
+    /// [`RoutingEngine::best_candidate`]'s batched sibling: walks tiers
+    /// with the same starvation/handoff flow, but collects the *entire*
+    /// candidate list of the first tier that yields any (via
+    /// [`Router::propose_batch`]) instead of reducing to one winner.
+    /// Returns the winning tier; `Err(op_index)` when every tier
+    /// starves.
+    fn collect_tier_candidates(
+        routers: &[Box<dyn Router>],
+        ctx: &mut RoutingContext<'_>,
+        frontier: &[&FrontierGate],
+        lookahead: &[FrontierGate],
+        report: &mut StepReport,
+        out_cands: &mut Vec<Candidate>,
+    ) -> Result<usize, usize> {
+        let mut carried: Vec<&FrontierGate> = Vec::new();
+        let mut first_pending: Option<usize> = None;
+
+        for (tier, router) in routers.iter().enumerate() {
+            let cap = router.capability();
+            let mut gates: Vec<&FrontierGate> = frontier
+                .iter()
+                .copied()
+                .filter(|g| g.capability == cap)
+                .collect();
+            gates.append(&mut carried);
+            if gates.is_empty() {
+                continue;
+            }
+            first_pending.get_or_insert(gates[0].op_index);
+
+            let la: Vec<&FrontierGate> = lookahead.iter().filter(|g| g.capability == cap).collect();
+            let has_next = tier + 1 < routers.len();
+            let proposal = router.propose_batch(ctx, &gates, &la, has_next);
+            debug_assert!(
+                !ctx.speculation_in_flight(),
+                "router returned with un-rolled-back speculation"
+            );
+
+            if has_next && !proposal.handoff.is_empty() {
+                let next_cap = routers[tier + 1].capability();
+                for &op_index in &proposal.handoff {
+                    report.reassigned.push((op_index, next_cap));
+                    if let Some(pos) = gates.iter().position(|g| g.op_index == op_index) {
+                        carried.push(gates.remove(pos));
+                    }
+                }
+            }
+
+            if !proposal.candidates.is_empty() {
+                out_cands.extend(proposal.candidates.into_iter().map(|mut cand| {
+                    cand.tier = tier as u8;
+                    cand
+                }));
+                return Ok(tier);
+            }
+            carried.append(&mut gates);
+        }
+
+        Err(carried
+            .first()
+            .map(|g| g.op_index)
+            .or(first_pending)
+            .unwrap_or(0))
     }
 
     /// Propose-and-rank without applying. Fills `report.reassigned`.
@@ -272,7 +569,7 @@ impl RoutingEngine {
     /// state, and notifies the proposing router.
     fn apply(
         &mut self,
-        candidate: Candidate,
+        candidate: &Candidate,
         tier: usize,
         state: &mut MappingState,
         out: &mut dyn OpSink,
@@ -302,8 +599,49 @@ impl RoutingEngine {
                 }
             }
         }
-        self.routers[tier].note_applied(state, &candidate);
+        self.routers[tier].note_applied(state, candidate);
     }
+}
+
+/// Journal-applies `cand`'s operations on `state` — validating the
+/// candidate's sequential consistency against that state — while
+/// recording its conflict set (every touched atom id and every dense
+/// site index it frees or claims), then rolls everything back.
+fn mint_conflict_set(
+    state: &mut MappingState,
+    journal: &mut crate::state::StateJournal,
+    cand: &Candidate,
+    atoms: &mut Vec<u32>,
+    sites: &mut Vec<u32>,
+) {
+    let lattice = *state.lattice();
+    let mark = journal.mark();
+    for op in &cand.ops {
+        match *op {
+            RoutingOp::Swap {
+                a,
+                b,
+                site_a,
+                site_b,
+            } => {
+                debug_assert_eq!(state.site_of_atom(a), site_a);
+                debug_assert_eq!(state.site_of_atom(b), site_b);
+                state.apply_swap_journaled(a, b, journal);
+                atoms.push(a.0);
+                atoms.push(b.0);
+                sites.push(lattice.index(site_a) as u32);
+                sites.push(lattice.index(site_b) as u32);
+            }
+            RoutingOp::Move { atom, from, to } => {
+                debug_assert_eq!(state.site_of_atom(atom), from);
+                state.apply_move_journaled(atom, to, journal);
+                atoms.push(atom.0);
+                sites.push(lattice.index(from) as u32);
+                sites.push(lattice.index(to) as u32);
+            }
+        }
+    }
+    state.undo_to(journal, mark);
 }
 
 #[cfg(test)]
@@ -443,6 +781,105 @@ mod tests {
         let mut out = MappedCircuit::new(4, 4);
         let err = engine
             .step(&mut state, &frontier, &[], &mut scratch, &mut out)
+            .unwrap_err();
+        assert_eq!(err, 9);
+    }
+
+    #[test]
+    fn speculative_round_multi_commits_disjoint_gates() {
+        // Two far-apart gates touching disjoint atoms: one speculative
+        // round must service both (conflict sets cannot overlap).
+        let p = params(8, 40, 1.0);
+        let mut state = MappingState::identity(&p, 40).expect("fits");
+        let mut engine = RoutingEngine::from_config(&p, &MapperConfig::gate_only());
+        let frontier = [
+            gate(0, &[0, 18], Capability::GateBased),
+            gate(1, &[5, 30], Capability::GateBased),
+        ];
+        let mut scratch = RouteScratch::new();
+        let mut out = MappedCircuit::new(40, 40);
+        let report = engine
+            .step_speculative(
+                &mut state,
+                &frontier,
+                &[],
+                &[0, 1],
+                1,
+                &mut scratch,
+                &mut out,
+            )
+            .unwrap();
+        assert_eq!(report.commits, 2, "both disjoint gates must commit");
+        assert_eq!(report.swaps, out.swap_count());
+    }
+
+    #[test]
+    fn speculative_round_commits_best_even_without_eligible_set() {
+        // Progress guarantee: the globally best candidate commits even
+        // when the eligible set is empty, so a speculative round is
+        // never weaker than a single round.
+        let p = params(5, 24, 1.0);
+        let mut state = MappingState::identity(&p, 24).expect("fits");
+        let mut engine = RoutingEngine::from_config(&p, &MapperConfig::gate_only());
+        let frontier = [gate(0, &[0, 12], Capability::GateBased)];
+        let mut scratch = RouteScratch::new();
+        let mut out = MappedCircuit::new(24, 24);
+        let report = engine
+            .step_speculative(&mut state, &frontier, &[], &[], 1, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(report.commits, 1);
+        assert_eq!(report.swaps, 1);
+    }
+
+    #[test]
+    fn speculative_round_is_thread_count_independent() {
+        let p = params(8, 40, 1.0);
+        let frontier = [
+            gate(0, &[0, 18], Capability::GateBased),
+            gate(1, &[5, 30], Capability::GateBased),
+            gate(2, &[9, 33], Capability::GateBased),
+        ];
+        let run = |threads: usize| {
+            let mut state = MappingState::identity(&p, 40).expect("fits");
+            let mut engine = RoutingEngine::from_config(&p, &MapperConfig::gate_only());
+            let mut scratch = RouteScratch::new();
+            let mut out = MappedCircuit::new(40, 40);
+            let report = engine
+                .step_speculative(
+                    &mut state,
+                    &frontier,
+                    &[],
+                    &[0, 1, 2],
+                    threads,
+                    &mut scratch,
+                    &mut out,
+                )
+                .unwrap();
+            (
+                format!("{:?}", out.iter().collect::<Vec<_>>()),
+                report.commits,
+                state,
+            )
+        };
+        let (ops1, commits1, state1) = run(1);
+        for threads in [2, 4] {
+            let (ops, commits, state) = run(threads);
+            assert_eq!(ops, ops1, "{threads} threads diverged");
+            assert_eq!(commits, commits1);
+            assert_eq!(state, state1);
+        }
+    }
+
+    #[test]
+    fn speculative_round_reports_stuck_gate() {
+        let p = params(7, 4, 1.0);
+        let mut state = isolated_pair_state(&p);
+        let mut engine = RoutingEngine::from_config(&p, &MapperConfig::gate_only());
+        let frontier = [gate(9, &[0, 1], Capability::GateBased)];
+        let mut scratch = RouteScratch::new();
+        let mut out = MappedCircuit::new(4, 4);
+        let err = engine
+            .step_speculative(&mut state, &frontier, &[], &[9], 1, &mut scratch, &mut out)
             .unwrap_err();
         assert_eq!(err, 9);
     }

@@ -372,6 +372,37 @@ impl GateRouter {
         front: &[RoutedGate],
         lookahead: &[RoutedGate],
     ) -> Option<((AtomId, AtomId), f64)> {
+        let mut best: Option<((AtomId, AtomId), f64)> = None;
+        self.sweep_swaps(ctx, front, lookahead, &mut |_, pair, cost| {
+            let better = match &best {
+                None => true,
+                Some((bp, bc)) => cost < *bc - 1e-12 || ((cost - *bc).abs() <= 1e-12 && pair < *bp),
+            };
+            if better {
+                best = Some((pair, cost));
+            }
+        });
+        best
+    }
+
+    /// One pass over every deduplicated SWAP candidate of the round,
+    /// reporting `(front gate index, pair, cost)` to `visit` in the
+    /// exact enumeration order [`GateRouter::best_swap`] historically
+    /// scanned — the single-commit winner and the per-gate bests of
+    /// [`Router::propose_batch`] are both reductions over this stream.
+    /// A pair is attributed to the first frontier gate that generates
+    /// it (the dedup tables are shared across gates), and every cost
+    /// contains the same round-constant `baseline`, so costs are
+    /// mutually comparable across gates. Returns that baseline: a
+    /// candidate with `cost < baseline` strictly reduces the weighted
+    /// distance potential (its delta out-weighs its recency penalty).
+    fn sweep_swaps(
+        &self,
+        ctx: &mut RoutingContext<'_>,
+        front: &[RoutedGate],
+        lookahead: &[RoutedGate],
+        visit: &mut dyn FnMut(usize, (AtomId, AtomId), f64),
+    ) -> f64 {
         let p = ctx.parts();
         let state = &*p.state;
         let lattice = state.lattice();
@@ -429,8 +460,7 @@ impl GateRouter {
         if !dense_pairs {
             bufs.pair_sparse.clear();
         }
-        let mut best: Option<((AtomId, AtomId), f64)> = None;
-        for g in front {
+        for (gi, g) in front.iter().enumerate() {
             for &q in &g.qubits {
                 let a = state.atom_of_qubit(q);
                 let sa = state.site_of_atom(a);
@@ -459,19 +489,11 @@ impl GateRouter {
                     }
                     let cost =
                         (baseline + delta) + self.cost.swap_recency_penalty(self.staleness(pair));
-                    let better = match &best {
-                        None => true,
-                        Some((bp, bc)) => {
-                            cost < *bc - 1e-12 || ((cost - *bc).abs() <= 1e-12 && pair < *bp)
-                        }
-                    };
-                    if better {
-                        best = Some((pair, cost));
-                    }
+                    visit(gi, pair, cost);
                 }
             }
         }
-        best
+        baseline
     }
 
     /// Cost delta of swapping `pair`, restricted to gates touching either
@@ -565,22 +587,22 @@ impl GateRouter {
     }
 }
 
-impl Router for GateRouter {
-    fn capability(&self) -> Capability {
-        Capability::GateBased
-    }
-
-    /// Resolves positions for `m ≥ 3` gates (handing off position-less
-    /// ones when a fallback tier exists), then proposes the single best
-    /// SWAP over the remaining frontier. The resolved-gate lists live in
+impl GateRouter {
+    /// Shared body of [`Router::propose`] / [`Router::propose_batch`]:
+    /// resolves positions for `m ≥ 3` gates (handing off position-less
+    /// ones when a fallback tier exists), then proposes either the
+    /// single best SWAP over the remaining frontier or — batched — the
+    /// best SWAP *per frontier gate*, all from one
+    /// [`GateRouter::sweep_swaps`] pass. The resolved-gate lists live in
     /// reusable scratch buffers — no per-round allocation in steady
     /// state.
-    fn propose(
+    fn propose_impl(
         &self,
         ctx: &mut RoutingContext<'_>,
         frontier: &[&FrontierGate],
         lookahead: &[&FrontierGate],
         fallback: bool,
+        batched: bool,
     ) -> Proposal {
         // Take the buffers out of the arena so they can be filled while
         // the context is still queried (disjoint from the other scratch
@@ -616,7 +638,73 @@ impl Router for GateRouter {
         }
 
         let mut candidates = Vec::new();
-        if live > 0 {
+        if live > 0 && batched {
+            // Per-gate reduction over the shared sweep: each slot runs
+            // the identical comparator `best_swap` uses globally, so a
+            // gate's candidate is exactly what a single-gate round would
+            // have chosen for it (given the same shared dedup).
+            let mut per_gate = std::mem::take(&mut ctx.parts().gate.per_gate_best);
+            per_gate.clear();
+            per_gate.resize(live, None);
+            let baseline = self.sweep_swaps(
+                ctx,
+                &routed[..live],
+                &la[..la_live],
+                &mut |gi, pair, cost| {
+                    let slot = &mut per_gate[gi];
+                    let better = match slot {
+                        None => true,
+                        Some((bp, bc)) => {
+                            cost < *bc - 1e-12 || ((cost - *bc).abs() <= 1e-12 && pair < *bp)
+                        }
+                    };
+                    if better {
+                        *slot = Some((pair, cost));
+                    }
+                },
+            );
+            // Global winner by the identical comparator `best_swap`
+            // runs: earliest gate wins cost ties (slot order is sweep
+            // order).
+            let winner = per_gate
+                .iter()
+                .enumerate()
+                .filter_map(|(gi, s)| s.map(|(pair, cost)| (gi, pair, cost)))
+                .min_by(|a, b| {
+                    a.2.partial_cmp(&b.2)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.1.cmp(&b.1))
+                        .then(a.0.cmp(&b.0))
+                })
+                .map(|(gi, ..)| gi);
+            let state = ctx.state();
+            for (gi, slot) in per_gate.iter().enumerate() {
+                if let Some(((a, b), cost)) = *slot {
+                    // A non-winner best commits speculatively only if it
+                    // strictly improves the round's distance potential
+                    // (`cost < baseline`): committing a worsening swap
+                    // is only ever justified to escape a local minimum,
+                    // and that is the winner's job — batching worsening
+                    // side-swaps churns the tabu window and livelocks
+                    // congested workloads.
+                    if Some(gi) != winner && cost >= baseline - 1e-12 {
+                        continue;
+                    }
+                    candidates.push(Candidate {
+                        tier: 0, // reassigned by the engine
+                        cost,
+                        op_index: routed[gi].op_index,
+                        ops: vec![RoutingOp::Swap {
+                            a,
+                            b,
+                            site_a: state.site_of_atom(a),
+                            site_b: state.site_of_atom(b),
+                        }],
+                    });
+                }
+            }
+            ctx.parts().gate.per_gate_best = per_gate;
+        } else if live > 0 {
             if let Some(((a, b), cost)) = self.best_swap(ctx, &routed[..live], &la[..la_live]) {
                 let state = ctx.state();
                 candidates.push(Candidate {
@@ -639,6 +727,35 @@ impl Router for GateRouter {
             candidates,
             handoff,
         }
+    }
+}
+
+impl Router for GateRouter {
+    fn capability(&self) -> Capability {
+        Capability::GateBased
+    }
+
+    fn propose(
+        &self,
+        ctx: &mut RoutingContext<'_>,
+        frontier: &[&FrontierGate],
+        lookahead: &[&FrontierGate],
+        fallback: bool,
+    ) -> Proposal {
+        self.propose_impl(ctx, frontier, lookahead, fallback, false)
+    }
+
+    /// One best SWAP per serviceable frontier gate, mutually comparable
+    /// (every cost contains the same round-constant baseline), for the
+    /// engine's speculative multi-commit round.
+    fn propose_batch(
+        &self,
+        ctx: &mut RoutingContext<'_>,
+        frontier: &[&FrontierGate],
+        lookahead: &[&FrontierGate],
+        fallback: bool,
+    ) -> Proposal {
+        self.propose_impl(ctx, frontier, lookahead, fallback, true)
     }
 
     fn note_applied(&mut self, state: &MappingState, candidate: &Candidate) {

@@ -188,6 +188,26 @@ pub trait Router: std::fmt::Debug {
         fallback: bool,
     ) -> Proposal;
 
+    /// Batched variant of [`Router::propose`] for speculative
+    /// multi-commit rounds: returns (up to) one best candidate *per
+    /// serviceable frontier gate* in one sweep, instead of the single
+    /// globally best candidate. Costs must be mutually comparable (the
+    /// engine ranks all returned candidates through the shared
+    /// comparator) and evaluated against the same pre-round state.
+    ///
+    /// The default delegates to [`Router::propose`] — correct for
+    /// routers that already score per gate (the shuttle router), and a
+    /// safe single-candidate fallback for any other strategy.
+    fn propose_batch(
+        &self,
+        ctx: &mut RoutingContext<'_>,
+        frontier: &[&FrontierGate],
+        lookahead: &[&FrontierGate],
+        fallback: bool,
+    ) -> Proposal {
+        self.propose(ctx, frontier, lookahead, fallback)
+    }
+
     /// Notifies the router that `candidate` (one of its own proposals)
     /// was applied; `state` reflects the post-application mapping.
     fn note_applied(&mut self, state: &MappingState, candidate: &Candidate);

@@ -78,6 +78,9 @@ pub(crate) struct GateBufs {
     pub routed_front: Vec<RoutedGate>,
     /// Lookahead gates resolved for SWAP routing.
     pub routed_la: Vec<RoutedGate>,
+    /// Per-frontier-gate best `(pair, cost)` reduction of the batched
+    /// sweep (`Router::propose_batch`).
+    pub per_gate_best: Vec<Option<((crate::ops::AtomId, crate::ops::AtomId), f64)>>,
 }
 
 impl GateBufs {
@@ -167,6 +170,48 @@ impl ShuttleBufs {
     }
 }
 
+/// SoA buffers of one speculative multi-commit round (see
+/// [`crate::route::RoutingEngine::step_speculative`]): the winning
+/// tier's candidate list, the sorted commit order, and the per-candidate
+/// conflict sets stored as two concatenated arrays (atom ids / dense
+/// site indices) sliced by `ranges`. The stamped `atom_mark`/`site_mark`
+/// tables carry the committed union during the greedy commit pass —
+/// generation-bumped per round, never cleared.
+#[derive(Debug, Default)]
+pub(crate) struct SpecBufs {
+    /// The winning tier's candidates, in proposal order.
+    pub candidates: Vec<crate::route::Candidate>,
+    /// Candidate indices sorted by `(cost, proposal order)`.
+    pub order: Vec<u32>,
+    /// Concatenated conflict-set atom ids.
+    pub conflict_atoms: Vec<u32>,
+    /// Concatenated conflict-set dense site indices (claimed + freed).
+    pub conflict_sites: Vec<u32>,
+    /// Per-candidate `[atom_start, atom_end, site_start, site_end]`
+    /// slices into the two arrays above.
+    pub ranges: Vec<[u32; 4]>,
+    /// Generation counter bumped once per commit pass; mark entries are
+    /// live iff they equal it.
+    pub round_gen: u64,
+    /// Per-atom committed-conflict marks (atom id indexed).
+    pub atom_mark: Vec<u64>,
+    /// Per-site committed-conflict marks (dense site indexed).
+    pub site_mark: Vec<u64>,
+}
+
+impl SpecBufs {
+    /// Grows the mark tables to cover `num_atoms` ids and `num_sites`
+    /// dense indices.
+    pub fn ensure(&mut self, num_atoms: usize, num_sites: usize) {
+        if self.atom_mark.len() < num_atoms {
+            self.atom_mark.resize(num_atoms, 0);
+        }
+        if self.site_mark.len() < num_sites {
+            self.site_mark.resize(num_sites, 0);
+        }
+    }
+}
+
 /// The per-thread routing arena: journal, distance cache, and every
 /// router scratch table, reused across rounds — and across circuits
 /// when the caller keeps it alive (see
@@ -180,6 +225,7 @@ pub struct RouteScratch {
     pub(crate) cache: DistanceCache,
     pub(crate) gate: GateBufs,
     pub(crate) shuttle: ShuttleBufs,
+    pub(crate) spec: SpecBufs,
 }
 
 impl RouteScratch {

@@ -235,6 +235,41 @@ proptest! {
         }
     }
 
+    /// A zoned lattice whose lane gap exceeds the interaction radius
+    /// disconnects the bands — a query whose target band sits in a
+    /// different (region-graph-unreachable) coarse region must count as
+    /// pruned, never as a plain flood of the start's component. Note
+    /// the geometry: regions are 8 cells tall
+    /// ([`na_arch::RegionGrid::DEFAULT_SIDE`]), so start and target
+    /// must be more than one region row apart for region-level pruning
+    /// to be *observable* — intra-region disconnection is (correctly)
+    /// resolved by the fine BFS, not the corridor.
+    #[test]
+    fn cross_band_queries_always_trip_corridor_pruning(side in 18u32..28, seed in 0u64..1000) {
+        // Bands of 2 trap rows every 4 rows: band starts (multiples of
+        // 4) never straddle an 8-row region boundary, so with r = 1 <
+        // gap = 2 no fine edge ever crosses region rows.
+        let lattice = Lattice::zoned(side, 2, 2).expect("valid");
+        let state = scattered_state(lattice, 4, seed);
+        let hood = Neighborhood::new(1.0); // gap 2 > r 1: bands disconnected
+        let table = NeighborTable::build(state.lattice(), &hood);
+        let sites: Vec<Site> = state.lattice().iter().collect();
+        let start = sites[0];
+        let target = *sites.last().expect("non-empty lattice");
+        prop_assert!(target.y - start.y >= 16, "sites must span region rows");
+
+        let cache = DistanceCache::new();
+        let mut out = Vec::new();
+        cache.distances_at(&state, &table, start, &[target], &mut out);
+        prop_assert_eq!(out[0], UNREACHABLE, "cross-band target must be unreachable");
+        let stats = cache.snapshot();
+        prop_assert!(stats.corridor_queries > 0, "query must arm the corridor");
+        prop_assert!(
+            stats.corridor_pruned > 0,
+            "disconnected-band query must prune, not flood: {:?}", stats
+        );
+    }
+
     /// The cache's bounded query plus the full-field upgrade resumes the
     /// same search: answers match the reference and total settle work
     /// equals exactly one full BFS.

@@ -74,6 +74,69 @@ proptest! {
         prop_assert_eq!(s.occupancy_stamp(), stamp0);
         prop_assert!(s.check_invariants().is_ok());
     }
+
+    /// A speculative multi-commit round is exactly a sequential replay
+    /// of its emitted op stream: applying the stream to a clone of the
+    /// pre-round state reproduces the post-round state (positions,
+    /// qubit map, occupancy, invariants), and swap-only rounds leave
+    /// the live state's occupancy stamp untouched.
+    #[test]
+    fn speculative_round_equals_sequential_replay(seed in 0u64..500, pairs in 1usize..6) {
+        let p = scaled(HardwareParams::mixed(), 8, 40);
+        let mut state = MappingState::identity(&p, 40).expect("fits");
+        // Random qubit-disjoint frontier pairs (Fisher-Yates on an LCG),
+        // keeping only pairs that actually need routing.
+        let mut qubits: Vec<u32> = (0..40).collect();
+        let mut rng = seed | 1;
+        for i in (1..qubits.len()).rev() {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (rng >> 33) as usize % (i + 1);
+            qubits.swap(i, j);
+        }
+        let frontier: Vec<FrontierGate> = (0..pairs)
+            .map(|g| FrontierGate {
+                op_index: g,
+                qubits: vec![Qubit(qubits[2 * g]), Qubit(qubits[2 * g + 1])],
+                capability: na_mapper::Capability::GateBased,
+            })
+            .filter(|g| !state.qubits_mutually_connected(&g.qubits, p.r_int))
+            .collect();
+        // An empty frontier (every sampled pair already executable) is a
+        // vacuous round; skip the engine call.
+        if !frontier.is_empty() {
+            let eligible: Vec<usize> = frontier.iter().map(|g| g.op_index).collect();
+
+            let pre = state.clone();
+            let stamp0 = state.occupancy_stamp();
+            let mut engine = RoutingEngine::from_config(
+                &p,
+                &MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+            );
+            let mut scratch = RouteScratch::new();
+            let mut out = MappedCircuit::new(40, 40);
+            let report = engine
+                .step_speculative(&mut state, &frontier, &[], &eligible, 1, &mut scratch, &mut out)
+                .expect("identity layout is never stuck");
+            prop_assert!(report.commits >= 1);
+
+            let mut replay = pre;
+            for op in out.iter() {
+                match op {
+                    na_mapper::MappedOp::Swap { a, b, .. } => replay.apply_swap(*a, *b),
+                    na_mapper::MappedOp::Shuttle { atom, to, .. } => replay.apply_move(*atom, *to),
+                    _ => {}
+                }
+            }
+            prop_assert_eq!(&replay, &state, "replay diverged from the multi-commit round");
+            prop_assert!(replay.check_invariants().is_ok());
+            prop_assert!(state.check_invariants().is_ok());
+            if report.moves == 0 {
+                prop_assert_eq!(state.occupancy_stamp(), stamp0, "swap-only round bumped the stamp");
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------

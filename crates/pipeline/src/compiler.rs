@@ -23,7 +23,7 @@ use na_arch::{AodConstraints, HardwareParams, Site, Target, TargetSpec};
 use na_circuit::Circuit;
 use na_mapper::{
     ConfigError, HybridMapper, InitialLayout, MapScratch, MappedCircuit, MappedOp, MapperConfig,
-    OpSink,
+    OpSink, RoundMode,
 };
 use na_schedule::aod_program::{lower_batch, validate_program};
 use na_schedule::{
@@ -42,6 +42,8 @@ use crate::program::{CompileStats, CompiledProgram};
 pub struct MappingOptions {
     pub(crate) mode: MappingMode,
     pub(crate) initial_layout: Option<InitialLayout>,
+    pub(crate) round_mode: Option<RoundMode>,
+    pub(crate) eval_threads: Option<usize>,
 }
 
 /// The capability mode of a mapping session.
@@ -68,6 +70,8 @@ impl MappingOptions {
         MappingOptions {
             mode: MappingMode::Hybrid { alpha_ratio },
             initial_layout: None,
+            round_mode: None,
+            eval_threads: None,
         }
     }
 
@@ -76,6 +80,8 @@ impl MappingOptions {
         MappingOptions {
             mode: MappingMode::GateOnly,
             initial_layout: None,
+            round_mode: None,
+            eval_threads: None,
         }
     }
 
@@ -84,6 +90,8 @@ impl MappingOptions {
         MappingOptions {
             mode: MappingMode::ShuttleOnly,
             initial_layout: None,
+            round_mode: None,
+            eval_threads: None,
         }
     }
 
@@ -92,12 +100,28 @@ impl MappingOptions {
         MappingOptions {
             mode: MappingMode::Custom(config),
             initial_layout: None,
+            round_mode: None,
+            eval_threads: None,
         }
     }
 
     /// Overrides the initial atom placement.
     pub fn with_initial_layout(mut self, layout: InitialLayout) -> Self {
         self.initial_layout = Some(layout);
+        self
+    }
+
+    /// Overrides the routing round mode (single- vs multi-commit
+    /// rounds, see [`RoundMode`]).
+    pub fn with_round_mode(mut self, mode: RoundMode) -> Self {
+        self.round_mode = Some(mode);
+        self
+    }
+
+    /// Overrides the speculative evaluation thread count (`1` =
+    /// evaluate on the caller thread; validated at build time).
+    pub fn with_eval_threads(mut self, threads: usize) -> Self {
+        self.eval_threads = Some(threads);
         self
     }
 
@@ -114,6 +138,13 @@ impl MappingOptions {
         };
         if let Some(layout) = self.initial_layout {
             config.initial_layout = layout;
+        }
+        if let Some(mode) = self.round_mode {
+            config.round_mode = mode;
+        }
+        if let Some(threads) = self.eval_threads {
+            config = config.with_eval_threads(threads);
+            config.validate()?;
         }
         Ok(config)
     }

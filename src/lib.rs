@@ -86,7 +86,7 @@ pub mod prelude {
     pub use na_mapper::{
         verify_mapping, verify_mapping_on, CacheStats, ConfigError, DistanceCache, HybridMapper,
         InitialLayout, MapError, MapScratch, MappedCircuit, MappedOp, MapperConfig, MappingOutcome,
-        OpSink, StateJournal,
+        OpSink, RoundMode, StateJournal,
     };
     pub use na_pipeline::{
         handle_json, CompileError, CompileRequest, CompileResponse, CompileScratch, CompileStats,

@@ -48,6 +48,7 @@ const EXPECTED: &[&str] = &[
     "RandomCircuit",
     "RegionGrid",
     "Reversible",
+    "RoundMode",
     "Schedule",
     "ScheduleError",
     "ScheduleMetrics",
@@ -146,8 +147,8 @@ mod resolves {
         GateKind, GraphState, HardwareParams, HybridMapper, IncrementalScheduler, InitialLayout,
         Lattice, LatticeKind, MapError, MapScratch, MappedCircuit, MappedOp, MapperConfig,
         MappingOptions, MappingOutcome, Move, NativeGateSet, Neighborhood, OpSink, Operation,
-        Pipeline, PipelineError, Qaoa, Qft, Qpe, Qubit, RandomCircuit, Reversible, Schedule,
-        ScheduleError, ScheduleMetrics, Scheduler, SchedulingOptions, Site, StateJournal,
+        Pipeline, PipelineError, Qaoa, Qft, Qpe, Qubit, RandomCircuit, Reversible, RoundMode,
+        Schedule, ScheduleError, ScheduleMetrics, Scheduler, SchedulingOptions, Site, StateJournal,
         Statevector, Target, TargetSpec, ZonedTarget,
     };
 }

@@ -1,14 +1,24 @@
 //! Compiled-artifact snapshot: pins an FNV-1a hash of the mapped op
 //! stream (and the item count of the resulting schedule) for a fixed set
 //! of circuits on the Table-1 hardware presets, over both trap
-//! topologies.
+//! topologies — once per routing round mode.
 //!
-//! The hashes were recorded immediately **before** the data-oriented
-//! routing-core refactor (journaled candidate simulation, scratch
-//! arenas), so a green run proves the refactor left every compiled
-//! artifact byte-for-byte identical. A deliberate algorithmic change to
-//! routing or scheduling must update `EXPECTED` in the same PR — the
-//! diff then documents the artifact change.
+//! * `SINGLE_EXPECTED` was recorded immediately **before** the
+//!   data-oriented routing-core refactor (journaled candidate
+//!   simulation, scratch arenas) and has survived every refactor since:
+//!   a green run under [`RoundMode::Single`] proves the single-commit
+//!   path still produces byte-for-byte identical artifacts — including
+//!   through the batched-sweep refactor that speculative rounds are
+//!   built on.
+//! * `SPECULATIVE_EXPECTED` pins the artifacts of the
+//!   [`RoundMode::Speculative`] default (multi-commit rounds reorder
+//!   the routing-op stream where frontier gates are serviced in the
+//!   same round); quality parity with single mode is guarded separately
+//!   by `tests/hybrid_quality.rs`-style fidelity bounds.
+//!
+//! A deliberate algorithmic change to routing or scheduling must update
+//! the tables in the same PR — the diff then documents the artifact
+//! change.
 
 use hybrid_na::prelude::*;
 
@@ -55,8 +65,9 @@ fn circuits() -> Vec<(&'static str, Circuit)> {
     ]
 }
 
-/// `(target, mode, circuit) -> artifact hash` recorded pre-refactor.
-const EXPECTED: &[(&str, &str, &str, u64)] = &[
+/// `(target, mode, circuit) -> artifact hash` under [`RoundMode::Single`],
+/// recorded pre-refactor and unchanged since.
+const SINGLE_EXPECTED: &[(&str, &str, &str, u64)] = &[
     ("square/mixed", "hybrid", "qft-16", 0xfe84b122ca740d50),
     ("square/mixed", "hybrid", "graph-20", 0x3648e9ab433f4c8b),
     ("square/mixed", "hybrid", "qaoa-16", 0xdc51785be10b8cfd),
@@ -76,6 +87,32 @@ const EXPECTED: &[(&str, &str, &str, u64)] = &[
     ("zoned/mixed", "hybrid", "qaoa-16", 0x1a2c94d2bc6c49a3),
 ];
 
+/// `(target, mode, circuit) -> artifact hash` under the
+/// [`RoundMode::Speculative`] default. Two gate-based-preset rows
+/// (graph-20, qaoa-16) are identical to `SINGLE_EXPECTED` — those runs
+/// never found a second improving non-conflicting candidate. Every
+/// other row reflects multi-commit reordering of the routing-op stream
+/// produced by the eligible-restricted batched sweep.
+const SPECULATIVE_EXPECTED: &[(&str, &str, &str, u64)] = &[
+    ("square/mixed", "hybrid", "qft-16", 0x0051e23c324e04ec),
+    ("square/mixed", "hybrid", "graph-20", 0xde52b478f346d2e5),
+    ("square/mixed", "hybrid", "qaoa-16", 0x50a3e784c00e614e),
+    ("square/gate_based", "gate", "qft-16", 0xf76126f02e1f1baf),
+    ("square/gate_based", "gate", "graph-20", 0x60440d0368e3d885),
+    ("square/gate_based", "gate", "qaoa-16", 0x770a82797ae481ee),
+    ("square/shuttling", "shuttle", "qft-16", 0x6e90c433de4ed23e),
+    (
+        "square/shuttling",
+        "shuttle",
+        "graph-20",
+        0xfeefe369a166acc1,
+    ),
+    ("square/shuttling", "shuttle", "qaoa-16", 0x251631a45b39f11e),
+    ("zoned/mixed", "hybrid", "qft-16", 0x4c40af34b11fcde1),
+    ("zoned/mixed", "hybrid", "graph-20", 0x05dc447b7101b84f),
+    ("zoned/mixed", "hybrid", "qaoa-16", 0xdd2990970c69871e),
+];
+
 fn options(mode: &str) -> MappingOptions {
     match mode {
         "hybrid" => MappingOptions::hybrid(1.0),
@@ -85,7 +122,7 @@ fn options(mode: &str) -> MappingOptions {
     }
 }
 
-fn compile_all() -> Vec<(String, String, String, u64)> {
+fn compile_all(round_mode: RoundMode) -> Vec<(String, String, String, u64)> {
     let mut rows = Vec::new();
     let targets: Vec<(&str, &str, Box<dyn Target>)> = vec![
         (
@@ -123,7 +160,7 @@ fn compile_all() -> Vec<(String, String, String, u64)> {
     ];
     for (tname, mode, target) in &targets {
         let compiler = Compiler::for_target(target.as_ref())
-            .mapping(options(mode))
+            .mapping(options(mode).with_round_mode(round_mode))
             .build()
             .expect("valid session");
         for (cname, circuit) in circuits() {
@@ -139,15 +176,14 @@ fn compile_all() -> Vec<(String, String, String, u64)> {
     rows
 }
 
-#[test]
-fn compiled_artifacts_match_pre_refactor_snapshot() {
-    let actual = compile_all();
+fn assert_snapshot(round_mode: RoundMode, expected: &[(&str, &str, &str, u64)], label: &str) {
+    let actual = compile_all(round_mode);
     let mut failures = Vec::new();
     for (target, mode, circuit, hash) in &actual {
-        let expected = EXPECTED
+        let row = expected
             .iter()
             .find(|(t, m, c, _)| t == target && m == mode && c == circuit);
-        match expected {
+        match row {
             Some((_, _, _, e)) if e == hash => {}
             Some((_, _, _, e)) => failures.push(format!(
                 "{target} {mode} {circuit}: {hash:#018x} != {e:#018x}"
@@ -157,12 +193,30 @@ fn compiled_artifacts_match_pre_refactor_snapshot() {
     }
     assert!(
         failures.is_empty(),
-        "artifact drift vs pre-refactor snapshot:\n  {}\nfull actual table:\n{}",
+        "artifact drift vs {label} snapshot:\n  {}\nfull actual table:\n{}",
         failures.join("\n  "),
         actual
             .iter()
             .map(|(t, m, c, h)| format!("    (\"{t}\", \"{m}\", \"{c}\", {h:#018x}),"))
             .collect::<Vec<_>>()
             .join("\n")
+    );
+}
+
+#[test]
+fn compiled_artifacts_match_pre_refactor_snapshot() {
+    assert_snapshot(
+        RoundMode::Single,
+        SINGLE_EXPECTED,
+        "pre-refactor single-mode",
+    );
+}
+
+#[test]
+fn speculative_artifacts_match_pinned_snapshot() {
+    assert_snapshot(
+        RoundMode::Speculative,
+        SPECULATIVE_EXPECTED,
+        "speculative-mode",
     );
 }
