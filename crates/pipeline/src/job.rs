@@ -140,6 +140,10 @@ pub struct JobCircuit {
 /// JSON-facing mirror of a full [`Compiler`] session.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompileRequest {
+    /// Caller-chosen request identifier, echoed verbatim in the
+    /// response (`"request_id"`, optional). Transport bookkeeping
+    /// only: it never affects compilation or cache keys.
+    pub request_id: Option<String>,
     /// Resolved backend target.
     pub target: TargetSpec,
     /// Mapping options.
@@ -167,6 +171,8 @@ pub struct JobOutcome {
 /// request order.
 #[derive(Debug, Clone)]
 pub struct CompileResponse {
+    /// The request's `request_id`, echoed when it carried one.
+    pub request_id: Option<String>,
     /// Identifier of the target the job compiled for.
     pub target: String,
     /// Per-circuit outcomes in request order.
@@ -180,6 +186,8 @@ pub struct CompileResponse {
 pub struct ResponseSummary {
     /// Schema version of the document.
     pub version: u64,
+    /// The `request_id` echoed by the document, when present.
+    pub request_id: Option<String>,
     /// Target identifier.
     pub target: String,
     /// `(name, ok, error message)` per result, in document order.
@@ -197,6 +205,19 @@ impl CompileRequest {
     /// per-circuit in [`CompileRequest::run`] so one bad circuit cannot
     /// poison a batch.
     pub fn from_json(text: &str) -> Result<Self, RequestError> {
+        Self::from_json_with(text, &mut TargetResolver::new())
+    }
+
+    /// [`CompileRequest::from_json`] with a caller-owned
+    /// [`TargetResolver`]: repeated documents naming the same target
+    /// (by content, not by identity) reuse the resolved [`TargetSpec`]
+    /// snapshot instead of re-deriving the CSR interaction table and
+    /// region graph — the hot parse path of a long-running service.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CompileRequest::from_json`].
+    pub fn from_json_with(text: &str, resolver: &mut TargetResolver) -> Result<Self, RequestError> {
         let doc = json::parse(text)?;
         let version = doc.get("version").and_then(Value::as_u64);
         if version != Some(JOB_VERSION) {
@@ -204,7 +225,15 @@ impl CompileRequest {
                 found: doc.get("version").and_then(Value::as_i64).unwrap_or(-1),
             });
         }
-        let target = parse_target(doc.get("target"))?;
+        let request_id = match doc.get("request_id") {
+            None => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| invalid("request_id", "expected a string"))?
+                    .to_owned(),
+            ),
+        };
+        let target = resolver.resolve(parse_target_descriptor(doc.get("target"))?);
         let mapping = parse_mapping(doc.get("mapping"))?;
         let scheduling = parse_scheduling(doc.get("scheduling"))?;
         let baseline = match doc.get("baseline") {
@@ -241,6 +270,7 @@ impl CompileRequest {
             circuits.push(JobCircuit { name, qasm });
         }
         Ok(CompileRequest {
+            request_id,
             target,
             mapping,
             scheduling,
@@ -258,56 +288,16 @@ impl CompileRequest {
     /// reparse is semantically identical even where the in-memory
     /// representation normalizes.
     pub fn to_json(&self) -> String {
-        let p = &self.target.params;
-        let topology = match self.target.lattice.kind() {
-            na_arch::LatticeKind::Square => "{\"kind\":\"square\"}".to_string(),
-            na_arch::LatticeKind::Zoned {
-                zone_rows,
-                gap_rows,
-            } => {
-                format!("{{\"kind\":\"zoned\",\"zone_rows\":{zone_rows},\"gap_rows\":{gap_rows}}}")
-            }
-        };
-        let aod = match self.target.aod.max_batch_moves {
-            Some(n) => format!(",\"max_batch_moves\":{n}"),
+        let target = target_parts_to_json(
+            &self.target.params,
+            &self.target.lattice,
+            self.target.aod,
+            self.target.gates,
+        );
+        let request_id = match &self.request_id {
+            Some(id) => format!("\"request_id\": \"{}\",\n  ", json_escape(id)),
             None => String::new(),
         };
-        let arity = if self.target.gates.max_rydberg_arity == usize::MAX {
-            String::new()
-        } else {
-            format!(
-                ",\"max_rydberg_arity\":{}",
-                self.target.gates.max_rydberg_arity
-            )
-        };
-        let target = format!(
-            "{{\"preset\":\"{}\",\"name\":\"{}\",\"topology\":{topology},\
-             \"lattice_side\":{},\"lattice_constant_um\":{},\"num_atoms\":{},\
-             \"r_int\":{},\"r_restr\":{},\"f_cz\":{},\"f_single\":{},\"f_shuttle\":{},\
-             \"t_single_us\":{},\"t_cz_us\":{},\"t_ccz_us\":{},\"t_cccz_us\":{},\
-             \"shuttle_speed_um_per_us\":{},\"t_act_us\":{},\"t_deact_us\":{},\
-             \"t1_us\":{},\"t2_us\":{}{aod}{arity},\"supports_shuttling\":{}}}",
-            json_escape(preset_of(p)),
-            json_escape(&p.name),
-            p.lattice_side,
-            json_f64(p.lattice_constant_um),
-            p.num_atoms,
-            json_f64(p.r_int),
-            json_f64(p.r_restr),
-            json_f64(p.f_cz),
-            json_f64(p.f_single),
-            json_f64(p.f_shuttle),
-            json_f64(p.t_single_us),
-            json_f64(p.t_cz_us),
-            json_f64(p.t_ccz_us),
-            json_f64(p.t_cccz_us),
-            json_f64(p.shuttle_speed_um_per_us),
-            json_f64(p.t_act_us),
-            json_f64(p.t_deact_us),
-            json_f64(p.t1_us),
-            json_f64(p.t2_us),
-            self.target.gates.supports_shuttling,
-        );
         let mapping = mapping_to_json(&self.mapping);
         let scheduling = match self.scheduling.max_batch_moves {
             Some(n) => format!("{{\"max_batch_moves\":{n}}}"),
@@ -326,7 +316,7 @@ impl CompileRequest {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\n  \"version\": {JOB_VERSION},\n  \"target\": {target},\n  \
+            "{{\n  {request_id}\"version\": {JOB_VERSION},\n  \"target\": {target},\n  \
              \"mapping\": {mapping},\n  \"scheduling\": {scheduling},\n  \
              \"baseline\": {},\n  \"threads\": {},\n  \"circuits\": [{circuits}]\n}}\n",
             self.baseline, self.threads,
@@ -343,11 +333,41 @@ impl CompileRequest {
     /// stuck, …) land in the corresponding [`JobOutcome`] instead of
     /// failing the job.
     pub fn run(&self) -> Result<CompileResponse, CompileError> {
-        let compiler = Compiler::for_target(&self.target)
+        let compiler = self.build_session()?;
+        Ok(self.run_with(&compiler, &mut crate::CompileScratch::new()))
+    }
+
+    /// Builds the [`Compiler`] session this request describes (target,
+    /// mapping, scheduling, baseline) without compiling anything —
+    /// the seam a service uses to cache sessions across requests.
+    ///
+    /// # Errors
+    ///
+    /// The session-level [`CompileError`] cases of
+    /// [`CompileRequest::run`].
+    pub fn build_session(&self) -> Result<Compiler, CompileError> {
+        Compiler::for_target(&self.target)
             .mapping(self.mapping.clone())
             .scheduling(self.scheduling)
             .baseline(self.baseline)
-            .build()?;
+            .build()
+    }
+
+    /// Compiles every circuit of the request on an already-built
+    /// session, reusing the caller's warm scratch arena.
+    ///
+    /// `threads > 1` fans out through
+    /// [`Compiler::compile_batch`] exactly like [`CompileRequest::run`];
+    /// otherwise circuits compile inline on `scratch` so a service
+    /// worker keeps one arena warm across every request it serves.
+    /// Artifacts are identical either way. `compiler` must be the
+    /// session of [`CompileRequest::build_session`] (or an equivalent
+    /// one — e.g. a content-hash cached instance).
+    pub fn run_with(
+        &self,
+        compiler: &Compiler,
+        scratch: &mut crate::CompileScratch,
+    ) -> CompileResponse {
         // Parse QASM per circuit; parse failures stay in their slot
         // while the parsed circuits land (unduplicated) in the batch.
         let mut good: Vec<Circuit> = Vec::with_capacity(self.circuits.len());
@@ -364,7 +384,14 @@ impl CompileRequest {
                 }))),
             }
         }
-        let mut compiled = compiler.compile_batch(&good, self.threads).into_iter();
+        let compiled: Vec<Result<CompiledProgram, CompileError>> = if self.threads > 1 {
+            compiler.compile_batch(&good, self.threads)
+        } else {
+            good.iter()
+                .map(|c| compiler.compile_with(c, scratch))
+                .collect()
+        };
+        let mut compiled = compiled.into_iter();
         let results = self
             .circuits
             .iter()
@@ -377,10 +404,11 @@ impl CompileRequest {
                 },
             })
             .collect();
-        Ok(CompileResponse {
+        CompileResponse {
+            request_id: self.request_id.clone(),
             target: self.target.id.clone(),
             results,
-        })
+        }
     }
 }
 
@@ -405,8 +433,12 @@ impl CompileResponse {
             })
             .collect::<Vec<_>>()
             .join(",\n    ");
+        let request_id = match &self.request_id {
+            Some(id) => format!("\"request_id\": \"{}\",\n  ", json_escape(id)),
+            None => String::new(),
+        };
         format!(
-            "{{\n  \"version\": {JOB_VERSION},\n  \"target\": \"{}\",\n  \"results\": [\n    {results}\n  ]\n}}\n",
+            "{{\n  {request_id}\"version\": {JOB_VERSION},\n  \"target\": \"{}\",\n  \"results\": [\n    {results}\n  ]\n}}\n",
             json_escape(&self.target),
         )
     }
@@ -431,6 +463,10 @@ impl CompileResponse {
                 found: version as i64,
             });
         }
+        let request_id = doc
+            .get("request_id")
+            .and_then(Value::as_str)
+            .map(str::to_owned);
         let target = doc
             .get("target")
             .and_then(Value::as_str)
@@ -459,6 +495,7 @@ impl CompileResponse {
         }
         Ok(ResponseSummary {
             version,
+            request_id,
             target,
             results,
         })
@@ -475,6 +512,62 @@ impl CompileResponse {
 pub fn handle_json(request: &str) -> Result<String, CompileError> {
     let request = CompileRequest::from_json(request).map_err(CompileError::Request)?;
     Ok(request.run()?.to_json())
+}
+
+/// Serializes a [`CompileError`] as a well-formed v1 error document:
+///
+/// ```json
+/// {"version": 1, "ok": false,
+///  "error": {"kind": "request", "message": "..."}}
+/// ```
+///
+/// `kind` names the [`CompileError`] variant (`request`, `target`,
+/// `config`, `map`, `schedule`), so transports can map document
+/// classes to status codes without string-matching messages.
+pub fn error_to_json(error: &CompileError) -> String {
+    let kind = match error {
+        CompileError::Target(_) => "target",
+        CompileError::Config(_) => "config",
+        CompileError::Map(_) => "map",
+        CompileError::Schedule(_) => "schedule",
+        CompileError::Request(_) => "request",
+    };
+    format!(
+        "{{\n  \"version\": {JOB_VERSION},\n  \"ok\": false,\n  \
+         \"error\": {{\"kind\":\"{kind}\",\"message\":\"{}\"}}\n}}\n",
+        json_escape(&error.to_string()),
+    )
+}
+
+/// The infallible service entry point: one JSON document in, one JSON
+/// document out, **always**. Success returns the
+/// [`CompileResponse::to_json`] document of [`handle_json`]; any
+/// failure (malformed JSON, wrong `"version"`, invalid target or
+/// options) returns the [`error_to_json`] document instead — transport
+/// code never has to format errors ad hoc.
+pub fn handle_json_document(request: &str) -> String {
+    match handle_json(request) {
+        Ok(response) => response,
+        Err(e) => error_to_json(&e),
+    }
+}
+
+/// Splices a `request_id` echo into a response document serialized
+/// without one, producing exactly the bytes
+/// [`CompileResponse::to_json`] emits when `request_id` is set.
+///
+/// This is the seam that lets a response cache stay content-addressed:
+/// the cache stores the id-less canonical document once, and each
+/// submitter gets its own id spliced in —
+/// `with_request_id(resp_without_id.to_json(), id) ==
+/// resp_with_id.to_json()` (tested).
+pub fn with_request_id(response_json: &str, id: &str) -> String {
+    match response_json.strip_prefix("{\n  ") {
+        Some(rest) => format!("{{\n  \"request_id\": \"{}\",\n  {rest}", json_escape(id)),
+        // Not a canonical response document (e.g. already compacted):
+        // leave it untouched rather than corrupt it.
+        None => response_json.to_owned(),
+    }
 }
 
 fn invalid(field: &str, reason: &str) -> RequestError {
@@ -547,7 +640,150 @@ fn preset_of(p: &HardwareParams) -> &'static str {
     }
 }
 
-fn parse_target(value: Option<&Value>) -> Result<TargetSpec, RequestError> {
+/// Canonical JSON emission of a target description — the shared
+/// serialization behind both [`CompileRequest::to_json`] and the
+/// content fingerprints of [`crate::fingerprint`]. Every field that
+/// determines compilation output is written explicitly; derived data
+/// (CSR adjacency, region graph) is not part of the description.
+pub(crate) fn target_parts_to_json(
+    p: &HardwareParams,
+    lattice: &Lattice,
+    aod: AodConstraints,
+    gates: NativeGateSet,
+) -> String {
+    let topology = match lattice.kind() {
+        na_arch::LatticeKind::Square => "{\"kind\":\"square\"}".to_string(),
+        na_arch::LatticeKind::Zoned {
+            zone_rows,
+            gap_rows,
+        } => {
+            format!("{{\"kind\":\"zoned\",\"zone_rows\":{zone_rows},\"gap_rows\":{gap_rows}}}")
+        }
+    };
+    let aod = match aod.max_batch_moves {
+        Some(n) => format!(",\"max_batch_moves\":{n}"),
+        None => String::new(),
+    };
+    let arity = if gates.max_rydberg_arity == usize::MAX {
+        String::new()
+    } else {
+        format!(",\"max_rydberg_arity\":{}", gates.max_rydberg_arity)
+    };
+    format!(
+        "{{\"preset\":\"{}\",\"name\":\"{}\",\"topology\":{topology},\
+         \"lattice_side\":{},\"lattice_constant_um\":{},\"num_atoms\":{},\
+         \"r_int\":{},\"r_restr\":{},\"f_cz\":{},\"f_single\":{},\"f_shuttle\":{},\
+         \"t_single_us\":{},\"t_cz_us\":{},\"t_ccz_us\":{},\"t_cccz_us\":{},\
+         \"shuttle_speed_um_per_us\":{},\"t_act_us\":{},\"t_deact_us\":{},\
+         \"t1_us\":{},\"t2_us\":{}{aod}{arity},\"supports_shuttling\":{}}}",
+        json_escape(preset_of(p)),
+        json_escape(&p.name),
+        p.lattice_side,
+        json_f64(p.lattice_constant_um),
+        p.num_atoms,
+        json_f64(p.r_int),
+        json_f64(p.r_restr),
+        json_f64(p.f_cz),
+        json_f64(p.f_single),
+        json_f64(p.f_shuttle),
+        json_f64(p.t_single_us),
+        json_f64(p.t_cz_us),
+        json_f64(p.t_ccz_us),
+        json_f64(p.t_cccz_us),
+        json_f64(p.shuttle_speed_um_per_us),
+        json_f64(p.t_act_us),
+        json_f64(p.t_deact_us),
+        json_f64(p.t1_us),
+        json_f64(p.t2_us),
+        gates.supports_shuttling,
+    )
+}
+
+/// A parsed-but-unresolved target: every descriptive field of a
+/// [`TargetSpec`] *before* the (comparatively expensive) CSR
+/// interaction-table and region-graph derivation.
+#[derive(Debug, Clone)]
+struct TargetDescriptor {
+    id: String,
+    params: HardwareParams,
+    lattice: Lattice,
+    aod: AodConstraints,
+    gates: NativeGateSet,
+}
+
+impl TargetDescriptor {
+    /// Content hash over the canonical description (pre-resolution).
+    fn fingerprint(&self) -> u64 {
+        crate::fingerprint::target_parts_fingerprint(
+            &self.params,
+            &self.lattice,
+            self.aod,
+            self.gates,
+        )
+    }
+
+    /// Pays for CSR/region-graph derivation.
+    fn resolve(self) -> TargetSpec {
+        TargetSpec::resolve(self.id, self.params, self.lattice, self.aod, self.gates)
+    }
+}
+
+/// A content-hash cache of resolved [`TargetSpec`] snapshots.
+///
+/// Resolving a spec derives the CSR interaction table and region graph
+/// — `O(sites · hood)` work that a service would otherwise repeat on
+/// every request naming the same machine. The resolver hashes the
+/// *description* (FNV-1a over the canonical target JSON, see
+/// [`crate::fingerprint`]) and clones the previously resolved snapshot
+/// on a hit; requests describing the same target by content share one
+/// resolution no matter how their documents are formatted.
+#[derive(Debug, Default)]
+pub struct TargetResolver {
+    entries: std::collections::HashMap<u64, TargetSpec>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TargetResolver {
+    /// An empty resolver.
+    pub fn new() -> Self {
+        TargetResolver::default()
+    }
+
+    /// Cache hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (resolutions actually performed).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Distinct targets currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no target has been resolved yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn resolve(&mut self, descriptor: TargetDescriptor) -> TargetSpec {
+        let key = descriptor.fingerprint();
+        if let Some(spec) = self.entries.get(&key) {
+            self.hits += 1;
+            return spec.clone();
+        }
+        self.misses += 1;
+        let spec = descriptor.resolve();
+        self.entries.insert(key, spec.clone());
+        spec
+    }
+}
+
+fn parse_target_descriptor(value: Option<&Value>) -> Result<TargetDescriptor, RequestError> {
     let obj = match value {
         None => return Err(RequestError::MissingField { field: "target" }),
         Some(v) => v,
@@ -658,7 +894,13 @@ fn parse_target(value: Option<&Value>) -> Result<TargetSpec, RequestError> {
                 .ok_or_else(|| invalid("target.supports_shuttling", "expected a boolean"))?,
         },
     };
-    Ok(TargetSpec::resolve(id, params, lattice, aod, gates))
+    Ok(TargetDescriptor {
+        id,
+        params,
+        lattice,
+        aod,
+        gates,
+    })
 }
 
 fn parse_layout(value: &Value) -> Result<InitialLayout, RequestError> {
@@ -759,7 +1001,7 @@ fn layout_to_json(layout: InitialLayout) -> String {
     }
 }
 
-fn mapping_to_json(options: &MappingOptions) -> String {
+pub(crate) fn mapping_to_json(options: &MappingOptions) -> String {
     let layout = match options.initial_layout {
         None => String::new(),
         Some(layout) => layout_to_json(layout),
@@ -984,5 +1226,121 @@ mod tests {
         let out = handle_json(&minimal_request("")).expect("handles");
         assert!(out.contains("\"ok\":true"));
         assert!(out.contains("\"metrics\""));
+    }
+
+    #[test]
+    fn request_id_round_trips_and_is_echoed() {
+        let doc = minimal_request(", \"request_id\": \"job-42\"");
+        let req = CompileRequest::from_json(&doc).expect("parses");
+        assert_eq!(req.request_id.as_deref(), Some("job-42"));
+        let reparsed = CompileRequest::from_json(&req.to_json()).expect("re-parses");
+        assert_eq!(req, reparsed);
+
+        let response = req.run().expect("session builds");
+        assert_eq!(response.request_id.as_deref(), Some("job-42"));
+        let json = response.to_json();
+        let summary = CompileResponse::summary_from_json(&json).expect("parses back");
+        assert_eq!(summary.request_id.as_deref(), Some("job-42"));
+
+        // A non-string request_id is rejected, not coerced.
+        let bad = minimal_request(", \"request_id\": 7");
+        assert!(matches!(
+            CompileRequest::from_json(&bad),
+            Err(RequestError::InvalidField { .. })
+        ));
+    }
+
+    /// The splice helper is byte-exact: serializing with the id set
+    /// equals splicing the id into the id-less document. This is what
+    /// lets a response cache stay content-addressed.
+    #[test]
+    fn request_id_splice_matches_direct_emission() {
+        let req = CompileRequest::from_json(&minimal_request("")).expect("parses");
+        let mut response = req.run().expect("session builds");
+        let without_id = response.to_json();
+        response.request_id = Some("abc \"quoted\"".to_owned());
+        let direct = response.to_json();
+        assert_eq!(with_request_id(&without_id, "abc \"quoted\""), direct);
+        // Error documents splice the same way.
+        let err = error_to_json(&CompileError::Request(RequestError::MissingField {
+            field: "circuits",
+        }));
+        let spliced = with_request_id(&err, "e-1");
+        assert!(spliced.starts_with("{\n  \"request_id\": \"e-1\",\n  \"version\": 1"));
+    }
+
+    #[test]
+    fn target_resolver_caches_by_content() {
+        let mut resolver = TargetResolver::new();
+        let doc = minimal_request("");
+        let a = CompileRequest::from_json_with(&doc, &mut resolver).expect("parses");
+        assert_eq!((resolver.hits(), resolver.misses()), (0, 1));
+        // Same target written with different formatting/field order
+        // still hits by content.
+        let shuffled = "{\"version\": 1, \"target\": {\"num_atoms\": 16,   \
+             \"lattice_side\": 6, \"preset\": \"mixed\"}, \"circuits\": []}";
+        let b = CompileRequest::from_json_with(shuffled, &mut resolver).expect("parses");
+        assert_eq!((resolver.hits(), resolver.misses()), (1, 1));
+        assert_eq!(a.target, b.target);
+        // A different target misses.
+        let other = doc.replace("\"num_atoms\": 16", "\"num_atoms\": 18");
+        CompileRequest::from_json_with(&other, &mut resolver).expect("parses");
+        assert_eq!((resolver.hits(), resolver.misses()), (1, 2));
+        assert_eq!(resolver.len(), 2);
+    }
+
+    #[test]
+    fn error_documents_are_well_formed_json() {
+        for (doc, kind) in [
+            ("{not json", "request"),
+            ("{\"version\": 99, \"circuits\": []}", "request"),
+            (
+                &minimal_request("").replace("\"lattice_side\": 6", "\"lattice_side\": 0"),
+                "request",
+            ),
+        ] {
+            let out = handle_json_document(doc);
+            let parsed = json::parse(&out).expect("error document is valid JSON");
+            assert_eq!(parsed.get("version").and_then(Value::as_u64), Some(1));
+            assert_eq!(parsed.get("ok").and_then(Value::as_bool), Some(false));
+            let error = parsed.get("error").expect("has error object");
+            assert_eq!(error.get("kind").and_then(Value::as_str), Some(kind));
+            assert!(!error
+                .get("message")
+                .and_then(Value::as_str)
+                .expect("has message")
+                .is_empty());
+        }
+        // A session-level (non-request) failure keeps its kind: an
+        // invalid α is a config error.
+        let bad_alpha = minimal_request(", \"mapping\": {\"mode\": \"hybrid\", \"alpha\": -1.0}");
+        let out = handle_json_document(&bad_alpha);
+        let parsed = json::parse(&out).expect("valid JSON");
+        assert_eq!(
+            parsed
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Value::as_str),
+            Some("config")
+        );
+    }
+
+    /// `run_with` on a cached session + warm scratch produces the same
+    /// response as the self-contained `run` (runtime stamps aside).
+    #[test]
+    fn run_with_matches_run() {
+        let req = CompileRequest::from_json(&minimal_request("")).expect("parses");
+        let via_run = req.run().expect("session builds");
+        let compiler = req.build_session().expect("builds");
+        let mut scratch = crate::CompileScratch::new();
+        let via_run_with = req.run_with(&compiler, &mut scratch);
+        assert_eq!(via_run.target, via_run_with.target);
+        let a = via_run.results[0].result.as_ref().expect("compiles");
+        let b = via_run_with.results[0].result.as_ref().expect("compiles");
+        assert_eq!(a.mapped, b.mapped);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.aod_programs, b.aod_programs);
+        assert_eq!(a.comparison, b.comparison);
     }
 }

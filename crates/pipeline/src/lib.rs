@@ -69,12 +69,16 @@
 pub mod batch;
 pub mod compiler;
 pub mod error;
+pub mod fingerprint;
 pub mod job;
 pub mod program;
 
 pub use compiler::{CompileScratch, Compiler, CompilerBuilder, MappingOptions, SchedulingOptions};
 pub use error::{CompileError, PipelineError};
-pub use job::{handle_json, CompileRequest, CompileResponse, JobCircuit, JobOutcome, RequestError};
+pub use job::{
+    error_to_json, handle_json, handle_json_document, with_request_id, CompileRequest,
+    CompileResponse, JobCircuit, JobOutcome, RequestError, TargetResolver,
+};
 pub use program::{CompileStats, CompiledProgram};
 
 use na_arch::HardwareParams;

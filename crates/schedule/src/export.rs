@@ -103,6 +103,83 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// Incremental builder for a flat JSON object.
+///
+/// The hand-rolled `*_to_json` writers above each format one known
+/// result type; service-layer code (metrics endpoints, error documents)
+/// assembles objects field by field instead. This builder keeps that
+/// assembly from re-implementing comma/escape bookkeeping at every call
+/// site.
+///
+/// ```
+/// use na_schedule::export::JsonObject;
+/// let mut o = JsonObject::new();
+/// o.uint("jobs", 3).num("p50_ms", 1.5).str("state", "ok");
+/// assert_eq!(o.finish(), "{\"jobs\":3,\"p50_ms\":1.5,\"state\":\"ok\"}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct JsonObject {
+    body: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject {
+            body: String::from("{"),
+        }
+    }
+
+    fn key(&mut self, name: &str) -> &mut Self {
+        if self.body.len() > 1 {
+            self.body.push(',');
+        }
+        let _ = write!(self.body, "\"{}\":", json_escape(name));
+        self
+    }
+
+    /// Appends a floating-point field (`null` for non-finite values).
+    pub fn num(&mut self, name: &str, value: f64) -> &mut Self {
+        self.key(name);
+        self.body.push_str(&json_f64(value));
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn uint(&mut self, name: &str, value: u64) -> &mut Self {
+        self.key(name);
+        let _ = write!(self.body, "{value}");
+        self
+    }
+
+    /// Appends a string field, escaped.
+    pub fn str(&mut self, name: &str, value: &str) -> &mut Self {
+        self.key(name);
+        let _ = write!(self.body, "\"{}\"", json_escape(value));
+        self
+    }
+
+    /// Appends a pre-serialized JSON fragment verbatim (object, array,
+    /// or literal). The caller guarantees it is well-formed.
+    pub fn raw(&mut self, name: &str, fragment: &str) -> &mut Self {
+        self.key(name);
+        self.body.push_str(fragment);
+        self
+    }
+
+    /// Closes the object and returns the document.
+    pub fn finish(mut self) -> String {
+        self.body.push('}');
+        self.body
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Serializes [`ScheduleMetrics`] as a JSON object.
 pub fn metrics_to_json(m: &ScheduleMetrics) -> String {
     format!(
@@ -468,5 +545,21 @@ mod tests {
         };
         let util = Utilization::of(&schedule);
         assert_eq!(util.mean_fraction(), 0.0);
+    }
+
+    #[test]
+    fn json_object_builder_escapes_and_delimits() {
+        let mut o = JsonObject::new();
+        o.uint("count", 7)
+            .num("ratio", 0.5)
+            .num("bad", f64::NAN)
+            .str("note", "a \"b\"\n")
+            .raw("nested", "{\"x\":1}");
+        assert_eq!(
+            o.finish(),
+            "{\"count\":7,\"ratio\":0.5,\"bad\":null,\
+             \"note\":\"a \\\"b\\\"\\n\",\"nested\":{\"x\":1}}"
+        );
+        assert_eq!(JsonObject::new().finish(), "{}");
     }
 }

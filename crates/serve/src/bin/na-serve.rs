@@ -1,0 +1,112 @@
+//! The `na-serve` binary: the compile service behind a transport flag.
+//!
+//! ```text
+//! na-serve --stdio                 # line-delimited JSON over stdin/stdout
+//! na-serve --listen 127.0.0.1:8924 # hand-rolled HTTP/1.1
+//!   [--workers N] [--queue-cap N] [--cache-mb N]
+//! ```
+//!
+//! Stdio mode answers one compact response line per request line and
+//! exits (after a graceful drain) on EOF — the framing CI smoke-tests.
+//! Listen mode serves until the process is killed.
+
+use std::process::ExitCode;
+
+use na_serve::{serve_lines, CompileService, HttpServer, ServeConfig};
+
+struct Args {
+    stdio: bool,
+    listen: Option<String>,
+    config: ServeConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        stdio: false,
+        listen: None,
+        config: ServeConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--stdio" => args.stdio = true,
+            "--listen" => args.listen = Some(value("--listen")?),
+            "--workers" => {
+                args.config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue-cap" => {
+                args.config.queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?;
+            }
+            "--cache-mb" => {
+                let mb: usize = value("--cache-mb")?
+                    .parse()
+                    .map_err(|e| format!("--cache-mb: {e}"))?;
+                args.config.cache_budget_bytes = mb << 20;
+            }
+            "--help" | "-h" => {
+                return Err(String::from(
+                    "usage: na-serve (--stdio | --listen ADDR) \
+                     [--workers N] [--queue-cap N] [--cache-mb N]",
+                ))
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if args.stdio == args.listen.is_some() {
+        return Err(String::from(
+            "pick exactly one transport: --stdio or --listen ADDR",
+        ));
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = CompileService::start(args.config.clone());
+    if args.stdio {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let result = serve_lines(&service, stdin.lock(), stdout.lock());
+        service.shutdown();
+        return match result {
+            Ok(answered) => {
+                eprintln!("na-serve: answered {answered} request(s), drained, exiting");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("na-serve: stdio transport failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let addr = args.listen.expect("validated: listen xor stdio");
+    let server = match HttpServer::bind(service.clone(), addr.as_str()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("na-serve: cannot bind {addr}: {e}");
+            service.shutdown();
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(local) => eprintln!(
+            "na-serve: listening on http://{local} ({} workers, queue cap {})",
+            args.config.workers, args.config.queue_cap
+        ),
+        Err(_) => eprintln!("na-serve: listening on {addr}"),
+    }
+    server.serve();
+    service.shutdown();
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,208 @@
+//! The content-addressed artifact cache.
+//!
+//! Keys are [`na_pipeline::fingerprint::request_cache_key`] values —
+//! stable content hashes over the *canonical serialization* of a
+//! request's target, options and circuits, deliberately excluding
+//! transport fields (`request_id`, `threads`). Values are the id-less
+//! canonical response documents, so a hit is byte-identical to a cold
+//! compile of the same content and each submitter's `request_id` is
+//! spliced in per-response ([`na_pipeline::with_request_id`]).
+//!
+//! Eviction is LRU under a byte budget: every entry carries a
+//! last-used stamp from a monotonic tick, and inserts evict
+//! least-recently-used entries until the new body fits. The scan is
+//! O(entries) per eviction — entry counts are small (response bodies
+//! are kilobytes to megabytes against a multi-megabyte budget), so a
+//! heap would be bookkeeping without a win.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Counters describing cache behaviour since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArtifactCacheStats {
+    /// Lookups answered from a resident entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Bodies stored (re-insertions of the same key count too).
+    pub insertions: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Bodies refused because they alone exceed the budget.
+    pub oversized: u64,
+}
+
+struct Entry {
+    body: Arc<str>,
+    last_used: u64,
+}
+
+/// An LRU response cache bounded by total body bytes.
+pub struct ArtifactCache {
+    entries: HashMap<u64, Entry>,
+    budget_bytes: usize,
+    resident_bytes: usize,
+    tick: u64,
+    stats: ArtifactCacheStats,
+}
+
+impl std::fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactCache")
+            .field("entries", &self.entries.len())
+            .field("resident_bytes", &self.resident_bytes)
+            .field("budget_bytes", &self.budget_bytes)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl ArtifactCache {
+    /// Creates an empty cache holding at most `budget_bytes` of
+    /// response bodies.
+    pub fn new(budget_bytes: usize) -> Self {
+        ArtifactCache {
+            entries: HashMap::new(),
+            budget_bytes,
+            resident_bytes: 0,
+            tick: 0,
+            stats: ArtifactCacheStats::default(),
+        }
+    }
+
+    /// Looks up a response body by content key, refreshing its LRU
+    /// stamp on a hit. The `Arc<str>` clone is O(1), so hits never copy
+    /// the (potentially large) body.
+    pub fn get(&mut self, key: u64) -> Option<Arc<str>> {
+        self.tick += 1;
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(&entry.body))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a response body under its content key, evicting
+    /// least-recently-used entries until it fits. A body larger than
+    /// the whole budget is refused (counted in
+    /// [`ArtifactCacheStats::oversized`]) rather than flushing the
+    /// entire cache for one giant artifact.
+    pub fn insert(&mut self, key: u64, body: Arc<str>) {
+        if body.len() > self.budget_bytes {
+            self.stats.oversized += 1;
+            return;
+        }
+        self.tick += 1;
+        if let Some(old) = self.entries.remove(&key) {
+            self.resident_bytes -= old.body.len();
+        }
+        while self.resident_bytes + body.len() > self.budget_bytes {
+            let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, entry)| entry.last_used)
+            else {
+                break;
+            };
+            let evicted = self.entries.remove(&victim).expect("victim resident");
+            self.resident_bytes -= evicted.body.len();
+            self.stats.evictions += 1;
+        }
+        self.resident_bytes += body.len();
+        self.stats.insertions += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                body,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Counters since construction.
+    pub fn stats(&self) -> ArtifactCacheStats {
+        self.stats
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes of resident response bodies.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(text: &str) -> Arc<str> {
+        Arc::from(text)
+    }
+
+    #[test]
+    fn hit_returns_identical_bytes() {
+        let mut cache = ArtifactCache::new(1024);
+        assert!(cache.get(1).is_none());
+        cache.insert(1, body("{\"ok\":true}"));
+        let got = cache.get(1).expect("hit");
+        assert_eq!(&*got, "{\"ok\":true}");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        // Budget fits exactly two 4-byte bodies.
+        let mut cache = ArtifactCache::new(8);
+        cache.insert(1, body("aaaa"));
+        cache.insert(2, body("bbbb"));
+        // Touch 1 so 2 becomes the LRU victim.
+        cache.get(1);
+        cache.insert(3, body("cccc"));
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.resident_bytes(), 8);
+    }
+
+    #[test]
+    fn oversized_bodies_are_refused_not_flushing() {
+        let mut cache = ArtifactCache::new(8);
+        cache.insert(1, body("aaaa"));
+        cache.insert(2, body("way too large for the budget"));
+        assert_eq!(cache.stats().oversized, 1);
+        assert_eq!(cache.stats().evictions, 0);
+        // The resident entry survived.
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(2).is_none());
+    }
+
+    #[test]
+    fn reinsert_same_key_replaces_without_double_counting_bytes() {
+        let mut cache = ArtifactCache::new(16);
+        cache.insert(1, body("aaaa"));
+        cache.insert(1, body("bbbbbbbb"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.resident_bytes(), 8);
+        assert_eq!(&*cache.get(1).unwrap(), "bbbbbbbb");
+    }
+}

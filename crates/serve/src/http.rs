@@ -1,0 +1,199 @@
+//! A hand-rolled HTTP/1.1 transport over [`std::net::TcpListener`].
+//!
+//! Just enough of the protocol for a JSON job API — request line,
+//! headers, `Content-Length` bodies, `Connection: close` responses —
+//! framed by hand the same way `na-pipeline`'s job layer hand-rolls
+//! JSON (no registry access, so no hyper/axum). Routes:
+//!
+//! | method/path        | behaviour                                       |
+//! |--------------------|-------------------------------------------------|
+//! | `POST /v1/compile` | submit a job document; `X-Cache: hit\|miss`     |
+//! | `GET /v1/metrics`  | the service metrics document                    |
+//! | `GET /healthz`     | liveness probe                                  |
+//!
+//! Status mapping: invalid document → `400` (well-formed error doc in
+//! the body), queue full → `429`, shutting down → `503`, unknown route
+//! → `404`. Each connection is served on its own thread so slow
+//! compiles don't block the accept loop; concurrency control lives in
+//! the service's queue, not the transport.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::service::{CompileService, Submission, SubmitError};
+use crate::wire::service_error_doc;
+
+/// Largest accepted request body; guards the service against a
+/// misbehaving client streaming unbounded bytes.
+const MAX_BODY_BYTES: usize = 64 << 20;
+
+/// The HTTP front-end: owns the listener, serves connections against a
+/// [`CompileService`].
+#[derive(Debug)]
+pub struct HttpServer {
+    listener: TcpListener,
+    service: CompileService,
+    stop: Arc<AtomicBool>,
+}
+
+impl HttpServer {
+    /// Binds to `addr` (e.g. `127.0.0.1:0` for an ephemeral test
+    /// port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(service: CompileService, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(HttpServer {
+            listener,
+            service,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A flag that makes [`HttpServer::serve`] return; share it with
+    /// the thread that decides when to stop.
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Accepts connections until the stop flag is raised, spawning one
+    /// handler thread per connection. Does **not** shut the service
+    /// down — callers drain it via [`CompileService::shutdown`] after
+    /// this returns.
+    pub fn serve(&self) {
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let service = self.service.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("na-serve-conn".to_owned())
+                        .spawn(move || handle_connection(stream, &service));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, service: &CompileService) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut reader = BufReader::new(stream);
+    let Some((method, path, body)) = read_request(&mut reader) else {
+        let mut stream = reader.into_inner();
+        write_response(
+            &mut stream,
+            400,
+            "Bad Request",
+            &service_error_doc("request", "malformed HTTP request", None),
+            None,
+        );
+        return;
+    };
+    let (status, reason, body, cache_state) = route(service, &method, &path, &body);
+    let mut stream = reader.into_inner();
+    write_response(&mut stream, status, reason, &body, cache_state);
+}
+
+/// Dispatches one parsed request to the service. Returns
+/// `(status, reason, body, X-Cache value)`.
+fn route(
+    service: &CompileService,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, &'static str, String, Option<&'static str>) {
+    match (method, path) {
+        ("POST", "/v1/compile") => match service.submit(body) {
+            Ok(Submission::Invalid(doc)) => (400, "Bad Request", doc, None),
+            Ok(Submission::Cached(doc)) => (200, "OK", doc, Some("hit")),
+            Ok(Submission::Pending(rx)) => {
+                let doc = rx.recv().unwrap_or_else(|_| {
+                    service_error_doc("internal", "worker dropped the job without replying", None)
+                });
+                (200, "OK", doc, Some("miss"))
+            }
+            Err(e @ SubmitError::Busy { .. }) => (429, "Too Many Requests", e.to_json(None), None),
+            Err(e @ SubmitError::ShuttingDown) => {
+                (503, "Service Unavailable", e.to_json(None), None)
+            }
+        },
+        ("GET", "/v1/metrics") => (200, "OK", service.metrics_json(), None),
+        ("GET", "/healthz") => (200, "OK", "{\"ok\":true}".to_owned(), None),
+        _ => (
+            404,
+            "Not Found",
+            service_error_doc("request", &format!("no route for {method} {path}"), None),
+            None,
+        ),
+    }
+}
+
+/// Reads one HTTP/1.1 request: request line, headers, and a
+/// `Content-Length`-framed body. Returns `None` on framing errors.
+fn read_request(reader: &mut BufReader<TcpStream>) -> Option<(String, String, String)> {
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_owned();
+    let path = parts.next()?.to_owned();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).ok()?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().ok()?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return None;
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).ok()?;
+    Some((method, path, String::from_utf8(body).ok()?))
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &str,
+    cache_state: Option<&str>,
+) {
+    let cache_header = match cache_state {
+        Some(state) => format!("X-Cache: {state}\r\n"),
+        None => String::new(),
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n{cache_header}Connection: close\r\n\r\n",
+        body.len(),
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}

@@ -1,0 +1,67 @@
+//! Compile-as-a-service: a long-running job server over `na-pipeline`'s
+//! versioned JSON job layer.
+//!
+//! The pipeline answers one document at a time
+//! ([`na_pipeline::handle_json_document`]); this crate turns that into
+//! a service that survives heavy repeated traffic:
+//!
+//! ```text
+//! transport (HTTP/1.1 · stdio lines)
+//!      │
+//! admission control ── parse + artifact-cache probe, queue-depth cap
+//!      │
+//! BoundedQueue (MPMC, backpressure by typed rejection)
+//!      │
+//! worker pool ── warm CompileScratch per worker,
+//!      │         content-hashed Compiler session cache
+//!      ▼
+//! artifact cache (LRU byte budget) ──▶ response bytes
+//! ```
+//!
+//! Identity guarantees, all tested: a served response is byte-identical
+//! to [`na_pipeline::handle_json`] on the same document (runtime stamps
+//! aside), a cache hit is byte-identical to the cold compile it
+//! shortcuts, and every rejection (malformed document, queue full,
+//! shutdown) is a well-formed v1 error document — clients parse one
+//! schema for everything.
+//!
+//! # Quick start
+//!
+//! ```
+//! use na_serve::{CompileService, ServeConfig};
+//!
+//! let service = CompileService::start(ServeConfig {
+//!     workers: 1,
+//!     queue_cap: 8,
+//!     cache_budget_bytes: 16 << 20,
+//! });
+//! let doc = r#"{
+//!   "version": 1,
+//!   "target": {"preset": "mixed", "lattice_side": 4, "num_atoms": 8},
+//!   "mapping": {"mode": "hybrid", "alpha": 1.0},
+//!   "circuits": [{"name": "bell",
+//!     "qasm": "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n"}]
+//! }"#;
+//! let response = service.submit_wait(doc).expect("accepted");
+//! assert!(response.contains("\"ok\":true"));
+//! service.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod service;
+pub mod stdio;
+pub mod wire;
+
+pub use cache::{ArtifactCache, ArtifactCacheStats};
+pub use http::HttpServer;
+pub use metrics::{LatencyHistogram, ServiceMetrics};
+pub use queue::{BoundedQueue, PushError};
+pub use service::{CompileService, ServeConfig, Submission, SubmitError};
+pub use stdio::serve_lines;
+pub use wire::{compact_json, service_error_doc};

@@ -1,0 +1,204 @@
+//! The bounded MPMC work queue between admission control and the
+//! worker pool.
+//!
+//! A plain `Mutex<VecDeque>` + `Condvar` pair: producers never block
+//! ([`BoundedQueue::try_push`] rejects at capacity — that rejection *is*
+//! the service's backpressure signal), consumers block in
+//! [`BoundedQueue::pop`] until an item or shutdown arrives. Closing the
+//! queue lets already-queued items drain: `pop` keeps returning work
+//! until the queue is both closed **and** empty, which is exactly the
+//! graceful-shutdown contract the worker pool needs.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why [`BoundedQueue::try_push`] refused an item. The item is handed
+/// back so the caller can reply to the submitter instead of dropping
+/// the job on the floor.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue sits at capacity; admission control should surface a
+    /// typed "busy" rejection.
+    Full(T),
+    /// The queue was closed; the service is shutting down.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer FIFO queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> std::fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("capacity", &self.capacity)
+            .field("depth", &self.depth())
+            .finish()
+    }
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates an empty queue holding at most `capacity` items
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues without blocking. Returns the queue depth *after* the
+    /// push on success.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`]; both return the item.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        drop(state);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available and dequeues it. Returns
+    /// `None` only once the queue is closed **and** drained — the
+    /// worker-pool exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: future pushes fail, consumers drain the
+    /// backlog and then observe `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Removes and returns every queued item without blocking — the
+    /// shutdown path uses this to reply to jobs no worker will take.
+    pub fn drain(&self) -> Vec<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        state.items.drain(..).collect()
+    }
+
+    /// Items currently queued.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_depth() {
+        let q = BoundedQueue::new(3);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn rejects_at_capacity_with_item_back() {
+        let q = BoundedQueue::new(2);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        match q.try_push("c") {
+            Err(PushError::Full(item)) => assert_eq!(item, "c"),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Popping frees a slot again.
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.try_push("c").unwrap(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = BoundedQueue::new(4);
+        q.try_push(10).unwrap();
+        q.try_push(11).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(12), Err(PushError::Closed(12))));
+        // Backlog still drains after close...
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        // ...and only then does pop signal exit.
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_push_and_close() {
+        let q = Arc::new(BoundedQueue::new(2));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(item) = q.pop() {
+                    got.push(item);
+                }
+                got
+            })
+        };
+        q.try_push(7).unwrap();
+        q.try_push(8).unwrap();
+        q.close();
+        assert_eq!(consumer.join().unwrap(), vec![7, 8]);
+    }
+
+    #[test]
+    fn drain_empties_backlog() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.drain(), vec![1, 2]);
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,521 @@
+//! The compile service core: admission control, the worker pool, and
+//! the cache hierarchy.
+//!
+//! ```text
+//!               submit(document)
+//!                     │
+//!        parse (shared TargetResolver) ──▶ Invalid(error doc)
+//!                     │
+//!        artifact cache (content key) ──▶ Cached(response bytes)
+//!                     │ miss
+//!        admission: BoundedQueue ───────▶ Err(Busy / ShuttingDown)
+//!                     │ accepted
+//!            worker pool (N threads)
+//!          warm CompileScratch each,
+//!        session cache (Arc<Compiler>),
+//!          insert artifact, reply
+//! ```
+//!
+//! The cache is content-addressed by
+//! [`request_cache_key`],
+//! which excludes transport fields — so a cache hit returns bytes
+//! identical to a cold compile of the same content, with the
+//! submitter's `request_id` spliced per-response
+//! ([`na_pipeline::with_request_id`]). Workers keep one
+//! [`CompileScratch`] each across every job they serve (arena reuse:
+//! capacity, never decisions), and compiler sessions are shared across
+//! workers by content hash so one hot target/options combination
+//! validates once.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+use na_pipeline::fingerprint::{request_cache_key, session_fingerprint};
+use na_pipeline::{
+    error_to_json, with_request_id, CompileError, CompileRequest, CompileScratch, Compiler,
+    TargetResolver,
+};
+use na_schedule::export::{cache_stats_to_json, JsonObject};
+
+use crate::cache::ArtifactCache;
+use crate::metrics::ServiceMetrics;
+use crate::queue::{BoundedQueue, PushError};
+use crate::wire::service_error_doc;
+
+/// Sizing knobs for a [`CompileService`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads. `0` is allowed (tests use it to exercise
+    /// admission control deterministically); nothing compiles until
+    /// shutdown then.
+    pub workers: usize,
+    /// Queue-depth cap — submissions beyond it get a typed
+    /// [`SubmitError::Busy`] rejection instead of unbounded growth.
+    pub queue_cap: usize,
+    /// Artifact-cache byte budget.
+    pub cache_budget_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            queue_cap: 64,
+            cache_budget_bytes: 64 << 20,
+        }
+    }
+}
+
+/// How an accepted submission was answered.
+#[derive(Debug)]
+pub enum Submission {
+    /// The document failed parsing/validation; the payload is the
+    /// well-formed error document to send back.
+    Invalid(String),
+    /// Served from the artifact cache; the payload is the full
+    /// response document (request id already spliced).
+    Cached(String),
+    /// Queued for a worker; the receiver yields the response document
+    /// exactly once.
+    Pending(mpsc::Receiver<String>),
+}
+
+/// Why a submission was refused outright (backpressure, not failure —
+/// the document itself was never examined past admission).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The work queue sits at its depth cap; retry later.
+    Busy {
+        /// Queue depth observed at rejection.
+        depth: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// The service no longer accepts work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Busy { depth, cap } => {
+                write!(f, "queue full: {depth}/{cap} jobs queued")
+            }
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl SubmitError {
+    /// The rejection as a wire error document (`kind` `busy` or
+    /// `shutdown`), echoing `request_id` when the client sent one.
+    pub fn to_json(&self, request_id: Option<&str>) -> String {
+        let kind = match self {
+            SubmitError::Busy { .. } => "busy",
+            SubmitError::ShuttingDown => "shutdown",
+        };
+        service_error_doc(kind, &self.to_string(), request_id)
+    }
+}
+
+struct Job {
+    request: CompileRequest,
+    key: u64,
+    accepted: Instant,
+    reply: mpsc::Sender<String>,
+}
+
+/// A submitter coalesced onto an in-flight compile of the same
+/// content; answered with the leader's bytes (own id spliced).
+struct Waiter {
+    reply: mpsc::Sender<String>,
+    request_id: Option<String>,
+}
+
+struct Inner {
+    queue: BoundedQueue<Job>,
+    cache: Mutex<ArtifactCache>,
+    resolver: Mutex<TargetResolver>,
+    sessions: Mutex<HashMap<u64, Arc<Compiler>>>,
+    /// Single-flight table: content keys currently being compiled,
+    /// each with the submitters waiting on that compile. Guarantees
+    /// concurrent identical submissions share one compile — and
+    /// therefore receive byte-identical responses (wall-clock stamps
+    /// included), which a duplicate compile could not promise.
+    inflight: Mutex<HashMap<u64, Vec<Waiter>>>,
+    metrics: ServiceMetrics,
+    accepting: AtomicBool,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    configured_workers: usize,
+}
+
+/// A running compile service. Cloning shares the same queue, caches
+/// and worker pool — hand clones to transport threads freely.
+#[derive(Clone)]
+pub struct CompileService {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for CompileService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompileService")
+            .field("workers", &self.inner.configured_workers)
+            .field("queue_depth", &self.inner.queue.depth())
+            .field("accepting", &self.inner.accepting.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl CompileService {
+    /// Starts the service: spawns the worker pool and returns the
+    /// handle transports submit through. Call
+    /// [`CompileService::shutdown`] to drain and stop.
+    pub fn start(config: ServeConfig) -> Self {
+        let inner = Arc::new(Inner {
+            queue: BoundedQueue::new(config.queue_cap),
+            cache: Mutex::new(ArtifactCache::new(config.cache_budget_bytes)),
+            resolver: Mutex::new(TargetResolver::new()),
+            sessions: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+            metrics: ServiceMetrics::new(),
+            accepting: AtomicBool::new(true),
+            workers: Mutex::new(Vec::new()),
+            configured_workers: config.workers,
+        });
+        let handles = (0..config.workers)
+            .map(|i| {
+                let worker_inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("na-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&worker_inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        *inner.workers.lock().expect("workers lock") = handles;
+        CompileService { inner }
+    }
+
+    /// Submits one job document.
+    ///
+    /// Malformed documents are *answered*, not errored: they return
+    /// [`Submission::Invalid`] with a well-formed error document, so
+    /// transports map them to a client-error status without formatting
+    /// anything themselves.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Busy`] when the queue is at capacity,
+    /// [`SubmitError::ShuttingDown`] after
+    /// [`CompileService::shutdown`] began — backpressure only, never
+    /// compile failures.
+    pub fn submit(&self, document: &str) -> Result<Submission, SubmitError> {
+        let inner = &self.inner;
+        if !inner.accepting.load(Ordering::SeqCst) {
+            inner
+                .metrics
+                .rejected_shutdown
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::ShuttingDown);
+        }
+        let parsed = {
+            let mut resolver = inner.resolver.lock().expect("resolver lock");
+            CompileRequest::from_json_with(document, &mut resolver)
+        };
+        let request = match parsed {
+            Ok(request) => request,
+            Err(e) => {
+                inner.metrics.invalid.fetch_add(1, Ordering::Relaxed);
+                return Ok(Submission::Invalid(error_to_json(&CompileError::Request(
+                    e,
+                ))));
+            }
+        };
+        let key = request_cache_key(&request);
+        let accepted = Instant::now();
+        // Single-flight admission, serialized by the in-flight table
+        // lock: join an identical compile already in progress, else
+        // probe the artifact cache, else queue. A worker publishes to
+        // the cache *before* retiring its in-flight entry, so under
+        // this lock "not in flight and not cached" really means a cold
+        // compile is needed — concurrent identical submissions can
+        // never compile twice (which matters for byte-identity: a
+        // duplicate compile would carry different wall-clock stamps).
+        let (tx, rx) = mpsc::channel();
+        let mut inflight = inner.inflight.lock().expect("inflight lock");
+        if let Some(waiters) = inflight.get_mut(&key) {
+            waiters.push(Waiter {
+                reply: tx,
+                request_id: request.request_id,
+            });
+            inner.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+            return Ok(Submission::Pending(rx));
+        }
+        if let Some(body) = inner.cache.lock().expect("cache lock").get(key) {
+            inner.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            let reply = finalize(&body, request.request_id.as_deref());
+            record_latency(&inner.metrics, accepted);
+            return Ok(Submission::Cached(reply));
+        }
+        let job = Job {
+            request,
+            key,
+            accepted,
+            reply: tx,
+        };
+        match inner.queue.try_push(job) {
+            Ok(_) => {
+                inflight.insert(key, Vec::new());
+                inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(Submission::Pending(rx))
+            }
+            Err(PushError::Full(_)) => {
+                inner.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Busy {
+                    depth: inner.queue.depth(),
+                    cap: inner.queue.capacity(),
+                })
+            }
+            Err(PushError::Closed(_)) => {
+                inner
+                    .metrics
+                    .rejected_shutdown
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::ShuttingDown)
+            }
+        }
+    }
+
+    /// [`CompileService::submit`] plus blocking until the response
+    /// document is ready — the one-call path for synchronous
+    /// transports.
+    ///
+    /// # Errors
+    ///
+    /// The backpressure cases of [`CompileService::submit`].
+    pub fn submit_wait(&self, document: &str) -> Result<String, SubmitError> {
+        match self.submit(document)? {
+            Submission::Invalid(doc) | Submission::Cached(doc) => Ok(doc),
+            Submission::Pending(rx) => Ok(rx.recv().unwrap_or_else(|_| {
+                service_error_doc("internal", "worker dropped the job without replying", None)
+            })),
+        }
+    }
+
+    /// Stops accepting work, drains every queued job through the
+    /// worker pool, joins the workers, and answers any jobs no worker
+    /// will ever take (the `workers: 0` configuration) with a
+    /// `shutdown` error document. Idempotent.
+    pub fn shutdown(&self) {
+        let inner = &self.inner;
+        inner.accepting.store(false, Ordering::SeqCst);
+        inner.queue.close();
+        let handles = std::mem::take(&mut *inner.workers.lock().expect("workers lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        for job in inner.queue.drain() {
+            let doc = SubmitError::ShuttingDown.to_json(job.request.request_id.as_deref());
+            let _ = job.reply.send(doc);
+            let waiters = inner
+                .inflight
+                .lock()
+                .expect("inflight lock")
+                .remove(&job.key)
+                .unwrap_or_default();
+            for waiter in waiters {
+                let doc = SubmitError::ShuttingDown.to_json(waiter.request_id.as_deref());
+                let _ = waiter.reply.send(doc);
+            }
+        }
+    }
+
+    /// Whether the service still accepts submissions.
+    pub fn is_accepting(&self) -> bool {
+        self.inner.accepting.load(Ordering::SeqCst)
+    }
+
+    /// Current queue depth (for tests and transports).
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.depth()
+    }
+
+    /// The service counters.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.inner.metrics
+    }
+
+    /// A point-in-time metrics document: request counters, queue
+    /// state, worker utilization, latency quantiles, and every cache
+    /// layer (artifact, session, target-resolver, router
+    /// distance-cache aggregate via
+    /// [`cache_stats_to_json`]).
+    pub fn metrics_json(&self) -> String {
+        let inner = &self.inner;
+        let m = &inner.metrics;
+        let (artifact, artifact_entries, artifact_bytes, artifact_budget) = {
+            let cache = inner.cache.lock().expect("cache lock");
+            (
+                cache.stats(),
+                cache.len() as u64,
+                cache.resident_bytes() as u64,
+                cache.budget_bytes() as u64,
+            )
+        };
+        let (resolver_hits, resolver_misses, resolver_len) = {
+            let r = inner.resolver.lock().expect("resolver lock");
+            (r.hits(), r.misses(), r.len() as u64)
+        };
+        let sessions = inner.sessions.lock().expect("sessions lock").len() as u64;
+
+        let mut artifact_obj = JsonObject::new();
+        artifact_obj
+            .uint("hits", artifact.hits)
+            .uint("misses", artifact.misses)
+            .uint("insertions", artifact.insertions)
+            .uint("evictions", artifact.evictions)
+            .uint("oversized", artifact.oversized)
+            .uint("entries", artifact_entries)
+            .uint("resident_bytes", artifact_bytes)
+            .uint("budget_bytes", artifact_budget);
+        let mut latency = JsonObject::new();
+        latency
+            .uint("count", m.latency.count())
+            .num("mean_ms", m.latency.mean_ms())
+            .num("p50_ms", m.latency.p50_ms())
+            .num("p99_ms", m.latency.p99_ms());
+        let mut sessions_obj = JsonObject::new();
+        sessions_obj
+            .uint("hits", m.session_hits.load(Ordering::Relaxed))
+            .uint("misses", m.session_misses.load(Ordering::Relaxed))
+            .uint("entries", sessions);
+        let mut resolver_obj = JsonObject::new();
+        resolver_obj
+            .uint("hits", resolver_hits)
+            .uint("misses", resolver_misses)
+            .uint("entries", resolver_len);
+        let mut queue = JsonObject::new();
+        queue
+            .uint("depth", inner.queue.depth() as u64)
+            .uint("capacity", inner.queue.capacity() as u64);
+        let mut workers = JsonObject::new();
+        workers
+            .uint("configured", inner.configured_workers as u64)
+            .uint("busy", m.busy_workers.load(Ordering::Relaxed));
+
+        let mut doc = JsonObject::new();
+        doc.uint("version", crate::wire::WIRE_VERSION)
+            .uint("submitted", m.submitted.load(Ordering::Relaxed))
+            .uint("completed", m.completed.load(Ordering::Relaxed))
+            .uint("invalid", m.invalid.load(Ordering::Relaxed))
+            .uint("coalesced", m.coalesced.load(Ordering::Relaxed))
+            .uint("rejected_busy", m.rejected_busy.load(Ordering::Relaxed))
+            .uint(
+                "rejected_shutdown",
+                m.rejected_shutdown.load(Ordering::Relaxed),
+            )
+            .raw("queue", &queue.finish())
+            .raw("workers", &workers.finish())
+            .raw("latency", &latency.finish())
+            .raw("artifact_cache", &artifact_obj.finish())
+            .raw("session_cache", &sessions_obj.finish())
+            .raw("target_resolver", &resolver_obj.finish())
+            .raw("route_cache", &cache_stats_to_json(&m.route_cache()));
+        doc.finish()
+    }
+}
+
+/// Splices the submitter's `request_id` into the cached/compiled
+/// canonical (id-less) body.
+fn finalize(body: &str, request_id: Option<&str>) -> String {
+    match request_id {
+        Some(id) => with_request_id(body, id),
+        None => body.to_owned(),
+    }
+}
+
+fn record_latency(metrics: &ServiceMetrics, accepted: Instant) {
+    let us = accepted.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    metrics.latency.record_micros(us);
+}
+
+/// One worker: a warm scratch arena for life, jobs until the queue
+/// closes and drains.
+fn worker_loop(inner: &Inner) {
+    let mut scratch = CompileScratch::new();
+    while let Some(mut job) = inner.queue.pop() {
+        inner.metrics.busy_workers.fetch_add(1, Ordering::Relaxed);
+        // The canonical artifact is id-less; take the id out before
+        // compiling and splice it back into this submitter's reply.
+        let request_id = job.request.request_id.take();
+        let session_key = session_fingerprint(
+            &job.request.target,
+            &job.request.mapping,
+            &job.request.scheduling,
+            job.request.baseline,
+        );
+        let session = {
+            let sessions = inner.sessions.lock().expect("sessions lock");
+            sessions.get(&session_key).cloned()
+        };
+        let session = match session {
+            Some(compiler) => {
+                inner.metrics.session_hits.fetch_add(1, Ordering::Relaxed);
+                Ok(compiler)
+            }
+            None => match job.request.build_session() {
+                Ok(compiler) => {
+                    inner.metrics.session_misses.fetch_add(1, Ordering::Relaxed);
+                    let compiler = Arc::new(compiler);
+                    inner
+                        .sessions
+                        .lock()
+                        .expect("sessions lock")
+                        .insert(session_key, Arc::clone(&compiler));
+                    Ok(compiler)
+                }
+                Err(e) => Err(e),
+            },
+        };
+        let body: Arc<str> = match session {
+            Ok(compiler) => {
+                let before = scratch.map().route().distance_cache().snapshot();
+                let response = job.request.run_with(&compiler, &mut scratch);
+                let after = scratch.map().route().distance_cache().snapshot();
+                inner.metrics.add_route_delta(before, after);
+                let body: Arc<str> = Arc::from(response.to_json());
+                inner
+                    .cache
+                    .lock()
+                    .expect("cache lock")
+                    .insert(job.key, Arc::clone(&body));
+                body
+            }
+            // Session-level failures (invalid target/options reaching
+            // past parse validation) are answered but not cached.
+            Err(e) => Arc::from(error_to_json(&e)),
+        };
+        // Retire the single-flight entry *after* the cache insert but
+        // *before* replying: once a submitter holds its response, an
+        // immediate identical resubmission must find the artifact in
+        // the cache, not coalesce onto a ghost entry.
+        let waiters = inner
+            .inflight
+            .lock()
+            .expect("inflight lock")
+            .remove(&job.key)
+            .unwrap_or_default();
+        let _ = job.reply.send(finalize(&body, request_id.as_deref()));
+        for waiter in waiters {
+            let _ = waiter
+                .reply
+                .send(finalize(&body, waiter.request_id.as_deref()));
+        }
+        inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+        record_latency(&inner.metrics, job.accepted);
+        inner.metrics.busy_workers.fetch_sub(1, Ordering::Relaxed);
+    }
+}

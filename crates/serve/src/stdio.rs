@@ -1,0 +1,47 @@
+//! The line-delimited stdio transport: one JSON job document per input
+//! line, one compact JSON response document per output line.
+//!
+//! This is the framing CI and tests drive (`na-serve --stdio`): no
+//! sockets, fully deterministic, pipe a document in and read one line
+//! back. Responses are compacted with
+//! [`compact_json`] so a multi-line
+//! canonical document never breaks the one-line-per-response contract.
+//! Backpressure rejections become `busy`/`shutdown` error documents on
+//! the same line protocol — a stdio client sees exactly the error
+//! schema an HTTP client does, minus the status code.
+
+use std::io::{BufRead, Write};
+
+use crate::service::CompileService;
+use crate::wire::compact_json;
+
+/// Serves line-delimited requests from `input` until EOF, writing one
+/// compact response line per request line to `output`. Blank lines are
+/// skipped. Returns the number of requests answered.
+///
+/// # Errors
+///
+/// Propagates I/O failures on either side of the pipe.
+pub fn serve_lines(
+    service: &CompileService,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> std::io::Result<u64> {
+    let mut answered = 0u64;
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match service.submit_wait(&line) {
+            Ok(doc) => doc,
+            // submit_wait only fails on backpressure; the rejection is
+            // itself a well-formed document on the wire.
+            Err(e) => e.to_json(None),
+        };
+        writeln!(output, "{}", compact_json(&response))?;
+        output.flush()?;
+        answered += 1;
+    }
+    Ok(answered)
+}

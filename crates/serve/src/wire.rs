@@ -1,0 +1,100 @@
+//! Wire-format helpers shared by the transports.
+//!
+//! The job layer's canonical documents are pretty-printed; the stdio
+//! transport frames one document per line, so [`compact_json`] strips
+//! the insignificant whitespace without touching string contents.
+//! [`service_error_doc`] emits transport-level rejections (`busy`,
+//! `shutdown`, `internal`) in exactly the shape of
+//! [`na_pipeline::error_to_json`], so clients parse one error schema
+//! regardless of whether the compiler or the service refused them.
+
+use na_pipeline::with_request_id;
+use na_schedule::export::json_escape;
+
+/// The job-document version the service speaks, mirrored from the
+/// pipeline's v1 job layer.
+pub const WIRE_VERSION: u64 = 1;
+
+/// Removes all whitespace outside JSON string literals, turning a
+/// canonical multi-line document into a single line for line-delimited
+/// framing. Content inside strings (including escaped quotes) is
+/// preserved byte for byte.
+pub fn compact_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            c if c.is_ascii_whitespace() => {}
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds a service-level error document in the
+/// [`na_pipeline::error_to_json`] shape:
+///
+/// ```json
+/// {"version": 1, "ok": false,
+///  "error": {"kind": "busy", "message": "..."}}
+/// ```
+///
+/// `kind` is a transport-level class (`busy`, `shutdown`, `internal`)
+/// that extends the compiler's own kinds; when `request_id` is given it
+/// is echoed exactly like a compile response would.
+pub fn service_error_doc(kind: &str, message: &str, request_id: Option<&str>) -> String {
+    let doc = format!(
+        "{{\n  \"version\": {WIRE_VERSION},\n  \"ok\": false,\n  \
+         \"error\": {{\"kind\":\"{kind}\",\"message\":\"{}\"}}\n}}\n",
+        json_escape(message),
+    );
+    match request_id {
+        Some(id) => with_request_id(&doc, id),
+        None => doc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compaction_preserves_string_contents() {
+        let doc = "{\n  \"a\": \"x \\\" y\\n\",\n  \"b\": [1, 2]\n}\n";
+        assert_eq!(compact_json(doc), "{\"a\":\"x \\\" y\\n\",\"b\":[1,2]}");
+    }
+
+    #[test]
+    fn compaction_is_idempotent() {
+        let doc = "{\"a\":\"b c\",\"d\":1}";
+        assert_eq!(compact_json(doc), doc);
+    }
+
+    #[test]
+    fn error_doc_matches_pipeline_error_shape() {
+        let doc = service_error_doc("busy", "queue full: 4/4", None);
+        // Same framing the pipeline emits, so one client-side parser
+        // handles both.
+        assert!(doc.starts_with("{\n  \"version\": 1,\n  \"ok\": false,"));
+        assert!(doc.contains("\"kind\":\"busy\""));
+        assert!(doc.contains("queue full: 4/4"));
+        let with_id = service_error_doc("busy", "queue full", Some("req-9"));
+        assert!(with_id.starts_with("{\n  \"request_id\": \"req-9\",\n  \"version\": 1,"));
+    }
+}

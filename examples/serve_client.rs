@@ -1,0 +1,97 @@
+//! Round-trip a compile job through the `na-serve` service — both
+//! in-process and over its hand-rolled HTTP transport with a raw
+//! `TcpStream` client.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example serve_client
+//! ```
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+
+use na_serve::{CompileService, HttpServer, ServeConfig, Submission};
+
+const JOB: &str = r#"{
+  "request_id": "example-client-1",
+  "version": 1,
+  "target": {"preset": "mixed", "lattice_side": 6, "num_atoms": 20},
+  "mapping": {"mode": "hybrid", "alpha": 1.0},
+  "circuits": [
+    {"name": "ghz-6",
+     "qasm": "OPENQASM 2.0;\nqreg q[6];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\ncx q[2],q[3];\ncx q[3],q[4];\ncx q[4],q[5];\n"}
+  ]
+}"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let service = CompileService::start(ServeConfig {
+        workers: 2,
+        queue_cap: 16,
+        cache_budget_bytes: 32 << 20,
+    });
+
+    // --- In-process submission -------------------------------------
+    let response = service.submit_wait(JOB).expect("service accepts the job");
+    let summary = na_serve::compact_json(&response);
+    println!("in-process response ({} bytes):", response.len());
+    println!("  {}...\n", &summary[..summary.len().min(120)]);
+
+    // A second identical submission is answered from the artifact
+    // cache — same bytes, no compile.
+    match service.submit(JOB).expect("accepted") {
+        Submission::Cached(cached) => {
+            assert_eq!(cached, response);
+            println!("resubmission served from cache: bytes identical\n");
+        }
+        other => panic!("expected a cache hit, got {other:?}"),
+    }
+
+    // --- The same job over HTTP ------------------------------------
+    let server = HttpServer::bind(service.clone(), "127.0.0.1:0")?;
+    let addr = server.local_addr()?;
+    let stop = server.stop_handle();
+    let accept_loop = std::thread::spawn(move || server.serve());
+    println!("http server on {addr}");
+
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "POST /v1/compile HTTP/1.1\r\nHost: example\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{JOB}",
+        JOB.len(),
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw.split_once("\r\n\r\n").expect("http framing");
+    println!(
+        "  status: {}",
+        head.lines().next().expect("status line present")
+    );
+    println!(
+        "  x-cache: {}",
+        head.lines()
+            .find(|l| l.to_ascii_lowercase().starts_with("x-cache"))
+            .unwrap_or("(none)")
+    );
+    assert_eq!(body, response, "http bytes match the in-process bytes");
+    println!("  body matches the in-process response byte for byte\n");
+
+    // --- Service metrics -------------------------------------------
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "GET /v1/metrics HTTP/1.1\r\nHost: example\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let metrics = raw.split_once("\r\n\r\n").expect("http framing").1;
+    println!("metrics: {metrics}");
+
+    stop.store(true, Ordering::SeqCst);
+    accept_loop.join().expect("accept loop exits");
+    service.shutdown();
+    println!("\ndrained and shut down cleanly");
+    Ok(())
+}

@@ -62,7 +62,10 @@
 //! ```
 //!
 //! A service front-end drives the same session from one JSON document
-//! in and one out (`na_pipeline::handle_json`); the legacy
+//! in and one out (`na_pipeline::handle_json`), and [`serve`] turns
+//! that into a long-running job server — worker pool with warm scratch
+//! arenas, content-addressed artifact cache, queue-cap backpressure,
+//! HTTP/1.1 and stdio transports (`na-serve` binary). The legacy
 //! `Pipeline::new(params, config)` entry point remains as a deprecated
 //! shim.
 
@@ -71,6 +74,7 @@ pub use na_circuit as circuit;
 pub use na_mapper as mapper;
 pub use na_pipeline as pipeline;
 pub use na_schedule as schedule;
+pub use na_serve as serve;
 
 /// Convenient single-import surface for applications.
 pub mod prelude {
@@ -89,10 +93,12 @@ pub mod prelude {
         OpSink, RoundMode, StateJournal,
     };
     pub use na_pipeline::{
-        handle_json, CompileError, CompileRequest, CompileResponse, CompileScratch, CompileStats,
-        CompiledProgram, Compiler, MappingOptions, Pipeline, PipelineError, SchedulingOptions,
+        error_to_json, handle_json, handle_json_document, with_request_id, CompileError,
+        CompileRequest, CompileResponse, CompileScratch, CompileStats, CompiledProgram, Compiler,
+        MappingOptions, Pipeline, PipelineError, SchedulingOptions, TargetResolver,
     };
     pub use na_schedule::{
         ComparisonReport, IncrementalScheduler, Schedule, ScheduleError, ScheduleMetrics, Scheduler,
     };
+    pub use na_serve::{serve_lines, CompileService, HttpServer, ServeConfig, SubmitError};
 }

@@ -13,6 +13,7 @@ const EXPECTED: &[&str] = &[
     "CompileRequest",
     "CompileResponse",
     "CompileScratch",
+    "CompileService",
     "CompileStats",
     "CompiledProgram",
     "Compiler",
@@ -21,6 +22,7 @@ const EXPECTED: &[&str] = &[
     "GateKind",
     "GraphState",
     "HardwareParams",
+    "HttpServer",
     "HybridMapper",
     "IncrementalScheduler",
     "InitialLayout",
@@ -54,19 +56,26 @@ const EXPECTED: &[&str] = &[
     "ScheduleMetrics",
     "Scheduler",
     "SchedulingOptions",
+    "ServeConfig",
     "Site",
     "StateJournal",
     "Statevector",
+    "SubmitError",
     "Target",
+    "TargetResolver",
     "TargetSpec",
     "ZonedTarget",
     "cuccaro_adder",
     "decompose_to_native",
+    "error_to_json",
     "ghz",
     "handle_json",
+    "handle_json_document",
     "qasm",
+    "serve_lines",
     "verify_mapping",
     "verify_mapping_on",
+    "with_request_id",
 ];
 
 /// Extracts the identifiers re-exported by the `pub mod prelude` block
@@ -141,14 +150,15 @@ fn snapshot_contains_the_target_api() {
 #[allow(unused_imports)]
 mod resolves {
     use hybrid_na::prelude::{
-        cuccaro_adder, decompose_to_native, ghz, handle_json, qasm, verify_mapping,
-        verify_mapping_on, AodConstraints, Circuit, ComparisonReport, CompileError, CompileRequest,
-        CompileResponse, CompileScratch, CompileStats, CompiledProgram, Compiler, ConfigError,
-        GateKind, GraphState, HardwareParams, HybridMapper, IncrementalScheduler, InitialLayout,
-        Lattice, LatticeKind, MapError, MapScratch, MappedCircuit, MappedOp, MapperConfig,
-        MappingOptions, MappingOutcome, Move, NativeGateSet, Neighborhood, OpSink, Operation,
-        Pipeline, PipelineError, Qaoa, Qft, Qpe, Qubit, RandomCircuit, Reversible, RoundMode,
-        Schedule, ScheduleError, ScheduleMetrics, Scheduler, SchedulingOptions, Site, StateJournal,
-        Statevector, Target, TargetSpec, ZonedTarget,
+        cuccaro_adder, decompose_to_native, error_to_json, ghz, handle_json, handle_json_document,
+        qasm, serve_lines, verify_mapping, verify_mapping_on, with_request_id, AodConstraints,
+        Circuit, ComparisonReport, CompileError, CompileRequest, CompileResponse, CompileScratch,
+        CompileService, CompileStats, CompiledProgram, Compiler, ConfigError, GateKind, GraphState,
+        HardwareParams, HttpServer, HybridMapper, IncrementalScheduler, InitialLayout, Lattice,
+        LatticeKind, MapError, MapScratch, MappedCircuit, MappedOp, MapperConfig, MappingOptions,
+        MappingOutcome, Move, NativeGateSet, Neighborhood, OpSink, Operation, Pipeline,
+        PipelineError, Qaoa, Qft, Qpe, Qubit, RandomCircuit, Reversible, RoundMode, Schedule,
+        ScheduleError, ScheduleMetrics, Scheduler, SchedulingOptions, ServeConfig, Site,
+        StateJournal, Statevector, SubmitError, Target, TargetResolver, TargetSpec, ZonedTarget,
     };
 }
