@@ -45,6 +45,18 @@ fn builder_compiler(params: &HardwareParams, config: MapperConfig) -> Compiler {
         .expect("valid")
 }
 
+/// Mega-tier target: 100×100 lattice, 4000 atoms (QFT-128 fits with
+/// head-room) — the scale where the scheduler's hot loops, not the
+/// mapper, used to dominate the fused compile.
+fn mega_mixed() -> HardwareParams {
+    HardwareParams::mixed()
+        .to_builder()
+        .lattice(100, 3.0)
+        .num_atoms(4000)
+        .build()
+        .expect("valid")
+}
+
 fn qft24() -> Circuit {
     Qft::new(24).build()
 }
@@ -284,6 +296,31 @@ fn write_baseline() {
         (Some(throughput(2)), Some(throughput(4)))
     };
 
+    // Mega tier: one-shot fused compiles of QFT-128 on the 100×100/4000
+    // target — the scale where scheduling used to be ~55% of the
+    // compile before the restriction index and the delta batch
+    // validator. `schedule_share_qft128` reads the new per-phase stats
+    // (schedule phase over total runtime, averaged across the runs).
+    let mega = mega_mixed();
+    let mega_compiler = Compiler::for_target(&mega)
+        .mapping(MappingOptions::custom(
+            MapperConfig::try_hybrid(1.0).expect("valid alpha"),
+        ))
+        .build()
+        .expect("valid");
+    let qft128 = Qft::new(128).build();
+    let mega_runs = 3u32;
+    drop(mega_compiler.compile(&qft128).expect("compiles")); // warm-up
+    let mut schedule_share = 0.0f64;
+    let mega_start = Instant::now();
+    for _ in 0..mega_runs {
+        let program = mega_compiler.compile(&qft128).expect("compiles");
+        schedule_share +=
+            program.stats.schedule_phase.as_secs_f64() / program.stats.total_runtime.as_secs_f64();
+    }
+    let mega_s = mega_start.elapsed().as_secs_f64() / f64::from(mega_runs);
+    schedule_share /= f64::from(mega_runs);
+
     // Construction overhead of the redesigned builder session vs the
     // legacy `Pipeline::new` shim (which now delegates to the builder,
     // so the two should be within noise of each other). Paired and
@@ -317,6 +354,8 @@ fn write_baseline() {
          \"batch_throughput_2t_per_s\": {},\n  \
          \"batch_throughput_4t_per_s\": {},\n  \
          \"batch_speedup_4t\": {},\n  \
+         \"fused_qft128_100x100_ms\": {:.2},\n  \
+         \"schedule_share_qft128\": {:.4},\n  \
          \"builder_construct_us\": {:.3},\n  \
          \"legacy_construct_us\": {:.3},\n  \
          \"builder_vs_legacy_construct\": {:.3}\n}}\n",
@@ -331,6 +370,8 @@ fn write_baseline() {
         fmt_opt(t2),
         fmt_opt(t4),
         fmt_opt(t4.map(|t| t / t1)),
+        mega_s * 1e3,
+        schedule_share,
         builder_s * 1e6,
         legacy_s * 1e6,
         builder_s / legacy_s,
@@ -359,6 +400,13 @@ fn write_baseline() {
         "builder construction regressed: {:.2}us vs legacy {:.2}us",
         builder_s * 1e6,
         legacy_s * 1e6,
+    );
+    // The point of the scheduler hot-path rework: scheduling must no
+    // longer dominate the mega compile (it was ~55% of it before the
+    // restriction index and the delta batch validator).
+    assert!(
+        schedule_share < 0.35,
+        "schedule share regressed to {schedule_share:.2} of the mega compile"
     );
     // Thread scaling needs actual cores; on a single-core host the
     // 2t/4t runs are skipped entirely (recorded as `null`).

@@ -17,7 +17,7 @@
 //! [`Pipeline::new`](crate::Pipeline::new) shim delegates to this
 //! builder.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use na_arch::{AodConstraints, HardwareParams, Site, Target, TargetSpec};
 use na_circuit::Circuit;
@@ -25,7 +25,7 @@ use na_mapper::{
     ConfigError, HybridMapper, InitialLayout, MapScratch, MappedCircuit, MappedOp, MapperConfig,
     OpSink, RoundMode,
 };
-use na_schedule::aod_program::{lower_batch, validate_program};
+use na_schedule::aod_program::{lower_batch, validate_program_with};
 use na_schedule::{
     ComparisonReport, IncrementalScheduler, Schedule, ScheduleError, ScheduleMetrics,
     ScheduledItem, Scheduler,
@@ -347,14 +347,23 @@ struct FusedSink {
     mapped: MappedCircuit,
     scheduler: IncrementalScheduler,
     scheduled: usize,
+    /// Wall-clock spent inside scheduler drains — the scheduling share
+    /// of the fused pass, attributed separately from mapping in
+    /// [`CompileStats`].
+    sched_time: Duration,
 }
 
 impl FusedSink {
     fn drain_block(&mut self) {
+        if self.scheduled == self.mapped.ops.len() {
+            return;
+        }
+        let block_start = Instant::now();
         for op in &self.mapped.ops[self.scheduled..] {
             self.scheduler.push(op);
         }
         self.scheduled = self.mapped.ops.len();
+        self.sched_time += block_start.elapsed();
     }
 }
 
@@ -453,22 +462,34 @@ impl Compiler {
                 config.initial_layout,
             ),
             scheduled: 0,
+            sched_time: Duration::ZERO,
         };
         let run = self
             .mapper
             .map_into_scratch(circuit, &mut sink, &mut scratch.map)
             .map_err(CompileError::Map)?;
+        // Scheduler drains that ran *inside* the mapping pass count
+        // toward the schedule phase, not the map phase.
+        let sched_during_map = sink.sched_time;
         sink.drain_block();
         let FusedSink {
-            mapped, scheduler, ..
+            mapped,
+            scheduler,
+            sched_time,
+            ..
         } = sink;
+        let finish_start = Instant::now();
         let (schedule, metrics) = scheduler.finish_with_metrics();
+        let schedule_phase = sched_time + finish_start.elapsed();
+        let map_phase = run.runtime.saturating_sub(sched_during_map);
 
         // (3) Lower every AOD batch and validate against the replayed
         // occupancy.
+        let lower_start = Instant::now();
         let aod_programs = self
             .lower_and_validate(&schedule)
             .map_err(CompileError::Schedule)?;
+        let lower_phase = lower_start.elapsed();
 
         // (4) Optional ideal-baseline comparison (Table 1a).
         let comparison = if self.with_baseline {
@@ -482,6 +503,9 @@ impl Compiler {
             map: run.stats,
             map_runtime: run.runtime,
             total_runtime: total_start.elapsed(),
+            map_phase,
+            schedule_phase,
+            lower_phase,
             aod_batches: aod_programs.len(),
             aod_moves: aod_programs.iter().map(|p| p.moves.len()).sum(),
             route_cache: scratch.map.route().distance_cache().snapshot(),
@@ -498,18 +522,24 @@ impl Compiler {
 
     /// Lowers each AOD batch of `schedule` to native instructions and
     /// validates it against the lattice occupancy at its position in the
-    /// stream.
+    /// stream. Occupancy is replayed as a per-site bitmap updated on
+    /// each committed move, so every ghost-spot probe is an O(1) lookup
+    /// instead of a scan over all stored atoms.
     fn lower_and_validate(
         &self,
         schedule: &Schedule,
     ) -> Result<Vec<na_schedule::AodProgram>, ScheduleError> {
         let params = self.mapper.params();
         let lattice = self.mapper.lattice();
-        let mut site_of_atom: Vec<Site> = self
+        let site_of_atom: Vec<Site> = self
             .mapper
             .config()
             .initial_layout
             .place(&lattice, params.num_atoms);
+        let mut occupied = vec![false; lattice.num_sites()];
+        for site in &site_of_atom {
+            occupied[lattice.index(*site)] = true;
+        }
         let mut programs = Vec::new();
         for item in &schedule.items {
             if let ScheduledItem::AodBatch {
@@ -517,15 +547,15 @@ impl Compiler {
             } = item
             {
                 let program = lower_batch(moves);
-                validate_program(&program, &lattice, &site_of_atom).map_err(|source| {
-                    ScheduleError::InvalidAodBatch {
+                validate_program_with(&program, &lattice, |site| occupied[lattice.index(site)])
+                    .map_err(|source| ScheduleError::InvalidAodBatch {
                         batch_index: programs.len(),
                         start_us: *start_us,
                         source,
-                    }
-                })?;
+                    })?;
                 for m in moves {
-                    site_of_atom[m.atom.index()] = m.to;
+                    occupied[lattice.index(m.from)] = false;
+                    occupied[lattice.index(m.to)] = true;
                 }
                 programs.push(program);
             }

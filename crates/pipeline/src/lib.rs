@@ -278,6 +278,9 @@ mod tests {
         let normalize = |mut p: CompiledProgram| {
             p.stats.map_runtime = std::time::Duration::ZERO;
             p.stats.total_runtime = std::time::Duration::ZERO;
+            p.stats.map_phase = std::time::Duration::ZERO;
+            p.stats.schedule_phase = std::time::Duration::ZERO;
+            p.stats.lower_phase = std::time::Duration::ZERO;
             p.to_json()
         };
         assert_eq!(normalize(via_shim), normalize(via_builder));

@@ -21,6 +21,14 @@ pub struct CompileStats {
     /// Wall-clock time of the whole compile including AOD lowering,
     /// validation and (optionally) the baseline comparison.
     pub total_runtime: Duration,
+    /// Mapping share of the fused pass: `map_runtime` minus the
+    /// scheduler drains that ran inside it.
+    pub map_phase: Duration,
+    /// Scheduling share: incremental drains during the fused pass plus
+    /// sealing the schedule and folding the Eq. (1) metrics.
+    pub schedule_phase: Duration,
+    /// AOD lowering + per-batch validation against replayed occupancy.
+    pub lower_phase: Duration,
     /// AOD transactions lowered and validated.
     pub aod_batches: usize,
     /// Individual shuttle moves across all transactions.
@@ -74,7 +82,13 @@ impl CompiledProgram {
     ///
     /// Composes the hand-written writers of [`na_schedule::export`]
     /// (the vendored serde is a marker-only stub; see
-    /// `vendor/README.md`).
+    /// `vendor/README.md`). The document's `stats` object carries the
+    /// per-phase timings (`map_us`, `schedule_us`, `lower_us`). The
+    /// fourth phase — export — is deliberately *not* measured here:
+    /// serialization must be a pure function of the artifact (the serve
+    /// layer content-addresses and splices response bytes), so the
+    /// export clock runs on the service reply path instead and surfaces
+    /// through `GET /v1/metrics`.
     pub fn to_json(&self) -> String {
         let aod = self
             .aod_programs
@@ -86,26 +100,35 @@ impl CompiledProgram {
             Some(c) => comparison_to_json(c),
             None => "null".to_string(),
         };
+        let metrics = metrics_to_json(&self.metrics);
+        let schedule = schedule_to_json(&self.schedule);
+        let map_stats = map_stats_to_json(&self.stats.map);
+        let cache = cache_stats_to_json(&self.stats.route_cache);
+        let phase_us = |d: Duration| json_f64(d.as_secs_f64() * 1e6);
         format!(
             "{{\n  \"stats\": {{\"map\":{},\"map_runtime_ms\":{},\"total_runtime_ms\":{},\
+             \"map_us\":{},\"schedule_us\":{},\"lower_us\":{},\
              \"aod_batches\":{},\"aod_moves\":{},\"route_cache\":{}}},\n  \"metrics\": {},\n  \
              \"comparison\": {},\n  \"mapped\": {{\"num_qubits\":{},\"num_atoms\":{},\
              \"gates\":{},\"swaps\":{},\"shuttles\":{}}},\n  \"schedule\": {},\n  \
              \"aod_programs\": [{aod}]\n}}\n",
-            map_stats_to_json(&self.stats.map),
+            map_stats,
             json_f64(self.stats.map_runtime.as_secs_f64() * 1e3),
             json_f64(self.stats.total_runtime.as_secs_f64() * 1e3),
+            phase_us(self.stats.map_phase),
+            phase_us(self.stats.schedule_phase),
+            phase_us(self.stats.lower_phase),
             self.stats.aod_batches,
             self.stats.aod_moves,
-            cache_stats_to_json(&self.stats.route_cache),
-            metrics_to_json(&self.metrics),
+            cache,
+            metrics,
             comparison,
             self.mapped.num_qubits,
             self.mapped.num_atoms,
             self.mapped.gate_count(),
             self.mapped.swap_count(),
             self.mapped.shuttle_count(),
-            schedule_to_json(&self.schedule),
+            schedule,
         )
     }
 }

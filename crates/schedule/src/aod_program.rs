@@ -210,13 +210,30 @@ pub fn validate_program(
     lattice: &Lattice,
     occupied: &[Site],
 ) -> Result<(), AodProgramError> {
-    // Static atoms not participating in the batch.
+    validate_program_with(program, lattice, |site| occupied.contains(&site))
+}
+
+/// [`validate_program`] with occupancy supplied as a predicate instead of
+/// a materialized site list.
+///
+/// Callers that already maintain occupancy in an indexed structure (the
+/// scheduler's per-site free times, the pipeline's replay bitmap) pass an
+/// O(1) lookup here instead of collecting — and linearly re-scanning —
+/// every stored atom per ghost-spot probe. The predicate may be queried
+/// for any lattice site; sites outside the lattice are never queried.
+///
+/// # Errors
+///
+/// Returns the first violated constraint.
+pub fn validate_program_with(
+    program: &AodProgram,
+    lattice: &Lattice,
+    occupied: impl Fn(Site) -> bool,
+) -> Result<(), AodProgramError> {
+    // Static atoms not participating in the batch: occupied sites that
+    // are not batch sources.
     let sources: Vec<Site> = program.moves.iter().map(|m| m.from).collect();
-    let spectators: Vec<Site> = occupied
-        .iter()
-        .copied()
-        .filter(|s| !sources.contains(s))
-        .collect();
+    let is_spectator = |site: Site| occupied(site) && !sources.contains(&site);
 
     let mut active_rows: Vec<f64> = Vec::new();
     let mut active_cols: Vec<f64> = Vec::new();
@@ -234,7 +251,7 @@ pub fn validate_program(
                 active_cols.extend(cols.iter().copied());
                 active_cols.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                 active_cols.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
-                check_ghost_spots(&active_rows, &active_cols, lattice, &spectators, &sources)?;
+                check_ghost_spots(&active_rows, &active_cols, lattice, &is_spectator)?;
             }
             AodInstruction::Offset { dx, dy } => {
                 for r in &mut active_rows {
@@ -243,7 +260,7 @@ pub fn validate_program(
                 for c in &mut active_cols {
                     *c += dx;
                 }
-                check_ghost_spots(&active_rows, &active_cols, lattice, &spectators, &sources)?;
+                check_ghost_spots(&active_rows, &active_cols, lattice, &is_spectator)?;
             }
             AodInstruction::Translate { rows, cols } => {
                 // Order preservation: targets sorted iff sources sorted.
@@ -259,7 +276,7 @@ pub fn validate_program(
                 translated = true;
             }
             AodInstruction::Deactivate => {
-                check_ghost_spots(&active_rows, &active_cols, lattice, &spectators, &sources)?;
+                check_ghost_spots(&active_rows, &active_cols, lattice, &is_spectator)?;
             }
         }
     }
@@ -290,8 +307,7 @@ fn check_ghost_spots(
     rows: &[f64],
     cols: &[f64],
     lattice: &Lattice,
-    spectators: &[Site],
-    _sources: &[Site],
+    is_spectator: &impl Fn(Site) -> bool,
 ) -> Result<(), AodProgramError> {
     for &r in rows {
         for &c in cols {
@@ -300,7 +316,7 @@ fn check_ghost_spots(
                 continue;
             }
             let site = Site::new(c.round() as i32, r.round() as i32);
-            if lattice.contains(site) && spectators.contains(&site) {
+            if lattice.contains(site) && is_spectator(site) {
                 return Err(AodProgramError::GhostSpotCollision { site });
             }
         }

@@ -45,10 +45,14 @@ pub mod export;
 pub mod items;
 pub mod metrics;
 pub mod monte_carlo;
+pub mod restrict;
 pub mod scheduler;
 
-pub use aod_program::{lower_batch, validate_program, AodInstruction, AodProgram};
+pub use aod_program::{
+    lower_batch, validate_program, validate_program_with, AodInstruction, AodProgram,
+};
 pub use error::ScheduleError;
 pub use items::{Schedule, ScheduledItem};
 pub use metrics::{ComparisonReport, ScheduleMetrics};
+pub use restrict::RestrictIndex;
 pub use scheduler::{IncrementalScheduler, Scheduler};

@@ -13,13 +13,14 @@
 //! Both paths are item-for-item identical by construction:
 //! `schedule_mapped` is a loop over `IncrementalScheduler::push`.
 
-use na_arch::{aod, geometry, AodConstraints, HardwareParams, Lattice, Move, Site, Target};
+use na_arch::{aod, AodConstraints, HardwareParams, Lattice, Move, Site, Target};
 use na_circuit::{decompose_to_native, Circuit};
 use na_mapper::{AtomId, InitialLayout, MappedCircuit, MappedOp, OpSink};
 
-use crate::aod_program::{lower_batch, validate_program};
+use crate::aod_program::{lower_batch, validate_program_with};
 use crate::items::{BatchedMove, Schedule, ScheduledItem};
 use crate::metrics::{ComparisonReport, ScheduleMetrics};
+use crate::restrict::RestrictIndex;
 
 /// Schedules mapped circuits and original (unrouted) circuits under the
 /// hardware timing model.
@@ -228,15 +229,159 @@ impl BatchRun {
 }
 
 /// Reusable working buffers of the streaming scheduler: the flush-wave
-/// accept/defer lists, the occupancy snapshot handed to the AOD
-/// validator, and a pool recycling the site vectors of retired
-/// restriction intervals. Capacity only — no semantic state.
+/// accept/defer lists, the incremental target-grid validator state, and
+/// a pool recycling the site vectors of retired restriction intervals.
+/// Capacity only — no semantic state across calls.
 #[derive(Debug, Clone, Default)]
 struct SchedScratch {
-    occupied: Vec<Site>,
     accepted: Vec<BatchedMove>,
     deferred: Vec<BatchedMove>,
+    delta: DeltaGrid,
     site_pool: Vec<Vec<Site>>,
+}
+
+/// A batch spanning more distinct source rows than this accumulates a
+/// full lattice unit (4 × [`crate::aod_program::LOAD_OFFSET`]) of grid
+/// drift during sequential loading, so intermediate (load-phase) ghost
+/// spots can land back on-lattice over arbitrary sites. At or below it,
+/// every intermediate grid intersection is either off-lattice
+/// (fractional drift) or sits exactly on one of the batch's own source
+/// sites — an intended trap — so only the final target grid (the
+/// deactivation check) can reject a candidate. See
+/// [`DeltaGrid::admits`].
+const DELTA_MAX_SRC_ROWS: usize = 4;
+
+/// Incremental acceptance state for one flush wave: the accepted moves'
+/// target row/column grid, the prefix of that grid already proven
+/// ghost-spot free, and the accepted source sites.
+///
+/// [`IncrementalScheduler::flush_run`] accepts a candidate move only if
+/// the lowered transaction of `accepted + candidate` validates against
+/// the live occupancy. Re-lowering and re-validating the whole batch per
+/// candidate is O(batch²) per wave; this struct reduces the predicate to
+/// the candidate's *new* row × column intersections, which is exact:
+///
+/// * within a wave every accepted move is pairwise AOD-compatible
+///   ([`batch_accepts`] / [`na_arch::aod::moves_fully_parallel`]), so
+///   the lowered program's structural checks (`Malformed`,
+///   `LineCrossing`, `WrongTarget`) can never fire — axis compatibility
+///   makes the row/col maps strictly monotone by construction;
+/// * with at most [`DELTA_MAX_SRC_ROWS`] distinct source rows the
+///   load-phase ghost checks pass automatically (see the constant's
+///   docs), leaving the deactivation check over the full target grid
+///   `rows × cols`;
+/// * occupancy (`site_free_at`) is frozen for the duration of a wave —
+///   batches flush only after the wave's acceptance loop — and the
+///   source set only grows, so a grid point that passed once passes for
+///   every later candidate of the wave: the `verified_*` prefix never
+///   needs re-checking.
+///
+/// Batches that grow beyond [`DELTA_MAX_SRC_ROWS`] source rows fall back
+/// to lowering + [`validate_program_with`] on the whole candidate batch
+/// — bit-identical to the original predicate, just restricted to the
+/// rare deep-grid case. Equivalence is covered by the
+/// `delta_acceptance_matches_full_validation` property test and
+/// re-checked per emitted batch as a debug assertion.
+#[derive(Debug, Clone, Default)]
+struct DeltaGrid {
+    /// Distinct target rows (y) of the accepted moves, unsorted.
+    target_rows: Vec<i32>,
+    /// Distinct target columns (x) of the accepted moves, unsorted.
+    target_cols: Vec<i32>,
+    /// Rows of the already-validated grid product (subset of
+    /// `target_rows`); empty until a candidate has actually been
+    /// checked — the wave's first move is accepted unchecked, exactly
+    /// like the original `accepted.len() > 1` guard.
+    verified_rows: Vec<i32>,
+    /// Columns of the already-validated grid product.
+    verified_cols: Vec<i32>,
+    /// Distinct source rows (y) of the accepted moves.
+    src_rows: Vec<i32>,
+    /// Source sites of the accepted moves (the validator's non-spectator
+    /// exclusions).
+    sources: Vec<Site>,
+}
+
+impl DeltaGrid {
+    /// Resets for a new wave, keeping capacity.
+    fn clear(&mut self) {
+        self.target_rows.clear();
+        self.target_cols.clear();
+        self.verified_rows.clear();
+        self.verified_cols.clear();
+        self.src_rows.clear();
+        self.sources.clear();
+    }
+
+    /// Would the batch `accepted + mv` still pass [`validate_program_with`]
+    /// against the current occupancy? Exact, per the type-level proof
+    /// above. Does not modify the grid; `accepted` is borrowed mutably
+    /// only to lower the candidate batch in place on the fallback path.
+    fn admits(
+        &self,
+        mv: &BatchedMove,
+        accepted: &mut Vec<BatchedMove>,
+        lattice: &Lattice,
+        site_free_at: &[f64],
+    ) -> bool {
+        let new_src_rows = self.src_rows.len() + usize::from(!self.src_rows.contains(&mv.from.y));
+        if new_src_rows > DELTA_MAX_SRC_ROWS {
+            // Deep grid: load-phase drift can reach a full lattice unit,
+            // so run the full validator on the candidate batch.
+            accepted.push(*mv);
+            let ok = validate_program_with(&lower_batch(accepted), lattice, |site| {
+                site_free_at[lattice.index(site)].is_infinite()
+            })
+            .is_ok();
+            accepted.pop();
+            return ok;
+        }
+        // Deactivation check over the candidate target grid, skipping the
+        // verified prefix. Target coordinates are exact integers, so
+        // every intersection is "on-lattice" in the validator's sense;
+        // a point fails iff it covers a stored atom that is neither an
+        // accepted source nor the candidate's own.
+        let new_row = (!self.target_rows.contains(&mv.to.y)).then_some(mv.to.y);
+        let new_col = (!self.target_cols.contains(&mv.to.x)).then_some(mv.to.x);
+        for &row in self.target_rows.iter().chain(new_row.as_ref()) {
+            let row_verified = self.verified_rows.contains(&row);
+            for &col in self.target_cols.iter().chain(new_col.as_ref()) {
+                if row_verified && self.verified_cols.contains(&col) {
+                    continue;
+                }
+                let site = Site::new(col, row);
+                if !lattice.contains(site) || !site_free_at[lattice.index(site)].is_infinite() {
+                    continue;
+                }
+                if site != mv.from && !self.sources.contains(&site) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Folds an accepted move into the grid. `checked` records whether
+    /// the acceptance actually validated the grid (everything but the
+    /// wave's first move): if so, the whole current product becomes the
+    /// verified prefix — skipped points were verified before and only
+    /// stay valid as sources grow.
+    fn commit(&mut self, mv: &BatchedMove, checked: bool) {
+        if !self.target_rows.contains(&mv.to.y) {
+            self.target_rows.push(mv.to.y);
+        }
+        if !self.target_cols.contains(&mv.to.x) {
+            self.target_cols.push(mv.to.x);
+        }
+        if !self.src_rows.contains(&mv.from.y) {
+            self.src_rows.push(mv.from.y);
+        }
+        self.sources.push(mv.from);
+        if checked {
+            self.verified_rows.clone_from(&self.target_rows);
+            self.verified_cols.clone_from(&self.target_cols);
+        }
+    }
 }
 
 /// Streaming ASAP scheduler: consumes a [`MappedOp`] stream one
@@ -283,14 +428,25 @@ pub struct IncrementalScheduler {
     /// Open AOD batches of the current run of consecutive shuttles.
     run: BatchRun,
     avail: Vec<f64>,
+    /// Smallest entry of `avail` — maintained incrementally (see
+    /// [`Self::occupy`]), this is the pruning horizon for retired
+    /// restriction intervals.
+    low_water: f64,
+    /// How many atoms are known to sit exactly at `low_water`. May
+    /// undercount (never overcount); a rescan restores it when it hits
+    /// zero.
+    low_count: usize,
     /// Per trap site: the time from which the site is free (∞ while
-    /// occupied). Starts from the initial layout.
+    /// occupied). Starts from the initial layout. Within a flush wave
+    /// this doubles as the occupancy bitmap the AOD validator reads —
+    /// batches only commit (and sites only change) between waves.
     site_free_at: Vec<f64>,
     lattice: Lattice,
     /// Backend AOD constraint set (transaction batch caps).
     aod: AodConstraints,
-    /// Rydberg intervals still relevant for restriction checks.
-    active_rydberg: Vec<(f64, f64, Vec<Site>)>,
+    /// Rydberg intervals still relevant for restriction checks, bucketed
+    /// by coarse lattice region so a push only tests nearby intervals.
+    restrict: RestrictIndex,
     /// Time from which the (single) AOD device is free: there is one
     /// physical deflector grid, so transactions are mutually exclusive
     /// in time even when their atoms and sites are disjoint.
@@ -340,15 +496,25 @@ impl IncrementalScheduler {
         for site in layout.place(&lattice, num_atoms) {
             site_free_at[lattice.index(site)] = f64::INFINITY;
         }
+        let restrict = RestrictIndex::new(lattice, params.r_restr);
+        // An empty `avail` folds to +∞ — match that so the pruning
+        // horizon is identical to the old per-call fold.
+        let (low_water, low_count) = if num_atoms == 0 {
+            (f64::INFINITY, 0)
+        } else {
+            (0.0, num_atoms as usize)
+        };
         IncrementalScheduler {
             params: params.clone(),
             num_qubits,
             run: BatchRun::new(),
             avail: vec![0.0; num_atoms as usize],
+            low_water,
+            low_count,
             site_free_at,
             lattice,
             aod,
-            active_rydberg: Vec::new(),
+            restrict,
             aod_free_at: 0.0,
             items: Vec::new(),
             makespan: 0.0,
@@ -462,12 +628,16 @@ impl IncrementalScheduler {
     /// [`crate::aod_program::validate_program`] rejects. [`BatchRun`]
     /// groups moves by pairwise AOD compatibility only — it cannot see
     /// occupancy at execution time — so each wave here accepts a move
-    /// only if the *lowered candidate transaction validates* against the
-    /// current occupancy; rejected moves split off into follow-up
-    /// transactions. Using the validator itself as the acceptance
-    /// predicate makes "every emitted batch passes validation" true by
-    /// construction. A single move always validates (its 1×1 grid is
-    /// its own source/target), so every wave makes progress.
+    /// only if the *lowered candidate transaction would validate*
+    /// against the current occupancy; rejected moves split off into
+    /// follow-up transactions. The predicate is evaluated incrementally
+    /// by [`DeltaGrid`] (only the candidate's new grid intersections
+    /// are probed; deep grids fall back to the full validator), which
+    /// is exactly equivalent to lowering + validating the candidate
+    /// batch — so "every emitted batch passes validation" stays true by
+    /// construction, re-asserted here in debug builds. A single move
+    /// always validates (its 1×1 grid is its own source/target), so
+    /// every wave makes progress.
     fn flush_run(&mut self) {
         if self.run.batches.is_empty() {
             return;
@@ -479,15 +649,14 @@ impl IncrementalScheduler {
         let mut batches = std::mem::take(&mut self.run.batches);
         let mut accepted = std::mem::take(&mut self.scratch.accepted);
         let mut deferred = std::mem::take(&mut self.scratch.deferred);
-        let mut occupied = std::mem::take(&mut self.scratch.occupied);
+        let mut delta = std::mem::take(&mut self.scratch.delta);
         for batch in &mut batches {
             // `batch` holds this wave's pending moves; rejected ones
             // cycle back into it through `deferred`.
             while !batch.is_empty() {
-                occupied.clear();
-                self.collect_occupied(&mut occupied);
                 accepted.clear();
                 deferred.clear();
+                delta.clear();
                 for mv in batch.drain(..) {
                     // Backend batch cap (AodConstraints) before the
                     // protocol validator.
@@ -495,14 +664,26 @@ impl IncrementalScheduler {
                         deferred.push(mv);
                         continue;
                     }
-                    accepted.push(mv);
-                    if accepted.len() > 1
-                        && validate_program(&lower_batch(&accepted), &self.lattice, &occupied)
-                            .is_err()
+                    // The wave's opening move is accepted unchecked —
+                    // its 1×1 grid covers only its own source/target.
+                    let checked = !accepted.is_empty();
+                    if !checked
+                        || delta.admits(&mv, &mut accepted, &self.lattice, &self.site_free_at)
                     {
-                        deferred.push(accepted.pop().expect("just pushed"));
+                        delta.commit(&mv, checked);
+                        accepted.push(mv);
+                    } else {
+                        deferred.push(mv);
                     }
                 }
+                debug_assert!(
+                    accepted.len() <= 1
+                        || validate_program_with(&lower_batch(&accepted), &self.lattice, |site| {
+                            self.site_free_at[self.lattice.index(site)].is_infinite()
+                        })
+                        .is_ok(),
+                    "emitted batch must pass the full validator"
+                );
                 self.flush_batch(&accepted);
                 std::mem::swap(batch, &mut deferred);
             }
@@ -511,18 +692,7 @@ impl IncrementalScheduler {
         self.run.pool.append(&mut batches);
         self.scratch.accepted = accepted;
         self.scratch.deferred = deferred;
-        self.scratch.occupied = occupied;
-    }
-
-    /// Every currently occupied trap site (the validator's `occupied`
-    /// input), written into `out`. Deferred and not-yet-flushed moves
-    /// still hold their sources, which [`Self::site_free_at`] reflects.
-    fn collect_occupied(&self, out: &mut Vec<Site>) {
-        out.extend(
-            self.lattice
-                .iter()
-                .filter(|s| self.site_free_at[self.lattice.index(*s)].is_infinite()),
-        );
+        self.scratch.delta = delta;
     }
 
     /// Records a finished item, folding its duration and fidelity terms
@@ -543,56 +713,42 @@ impl IncrementalScheduler {
     }
 
     fn occupy(&mut self, atoms: &[AtomId], start: f64, dur: f64) {
+        // Maintain the `avail` low-water mark incrementally: an atom's
+        // availability never decreases (`start ≥ avail[a]`), so a write
+        // can only lift an atom off the mark, never drop one below it.
+        // `low_count` may undercount when a minimum atom is rewritten to
+        // the identical value, so a zero count triggers a full rescan —
+        // `low_water` itself is exact at every read.
         for a in atoms {
+            if self.avail[a.index()] <= self.low_water {
+                self.low_count = self.low_count.saturating_sub(1);
+            }
             self.avail[a.index()] = start + dur;
+        }
+        if self.low_count == 0 && !self.avail.is_empty() {
+            self.low_water = self.avail.iter().copied().fold(f64::INFINITY, f64::min);
+            self.low_count = self.avail.iter().filter(|&&a| a <= self.low_water).count();
         }
         self.makespan = self.makespan.max(start + dur);
     }
 
     /// Delays `t0` until no active Rydberg interval within `r_restr`
     /// overlaps `[t0, t0 + dur)`.
-    fn respect_restriction(&mut self, sites: &[Site], mut t0: f64, dur: f64) -> f64 {
-        let r = self.params.r_restr;
-        // Prune intervals no future operation can overlap. ASAP start
-        // times are NOT monotone in stream order — a later-streamed gate
-        // on long-idle atoms may start *earlier* than the current one —
-        // so pruning by the current `t0` would drop intervals that still
-        // constrain such gates (restriction violations; found by the
-        // pipeline property tests). Any future start is at least the
-        // minimum atom availability, which only ever grows. Note the
-        // bound is weak while any atom stays idle (its avail pins the
-        // low-water mark at 0), so on long streams this list grows with
-        // the circuit and each check scans it linearly; if that ever
-        // dominates, the fix is a spatial index over intervals rather
-        // than a tighter time bound (which cannot be correct: a gate on
-        // two so-far-idle atoms may still legally start at t = 0).
-        // Order-preserving compaction; retired site vectors recycle
-        // through the scratch pool.
-        let low_water = self.avail.iter().copied().fold(f64::INFINITY, f64::min);
-        let mut kept = 0usize;
-        for i in 0..self.active_rydberg.len() {
-            if self.active_rydberg[i].1 > low_water {
-                self.active_rydberg.swap(i, kept);
-                kept += 1;
-            }
-        }
-        for (_, _, mut sites) in self.active_rydberg.drain(kept..) {
-            sites.clear();
-            self.scratch.site_pool.push(sites);
-        }
-        loop {
-            let mut moved = false;
-            for (start, end, other) in &self.active_rydberg {
-                let overlaps = *start < t0 + dur && *end > t0;
-                if overlaps && !geometry::sets_clear_of(sites, other, r) {
-                    t0 = *end;
-                    moved = true;
-                }
-            }
-            if !moved {
-                return t0;
-            }
-        }
+    ///
+    /// ASAP start times are NOT monotone in stream order — a
+    /// later-streamed gate on long-idle atoms may start *earlier* than
+    /// the current one — so intervals stay live until they end at or
+    /// before the `avail` low-water mark (any future start is at least
+    /// the minimum atom availability, which only ever grows; a tighter
+    /// time bound cannot be correct, because a gate on two so-far-idle
+    /// atoms may still legally start at t = 0). The bound is weak while
+    /// any atom stays idle, so on long streams the live set grows with
+    /// the circuit — which is why the index buckets intervals by coarse
+    /// lattice region ([`RestrictIndex`]) and each check only tests
+    /// intervals with a site near the pushed gate, instead of the old
+    /// linear scan over every live interval.
+    fn respect_restriction(&mut self, sites: &[Site], t0: f64, dur: f64) -> f64 {
+        self.restrict.earliest_clear(sites, t0, dur)
     }
 
     fn push_single(&mut self, atom: AtomId, site: Site, dur: f64, op_index: Option<usize>) {
@@ -619,8 +775,13 @@ impl IncrementalScheduler {
         self.occupy(&atoms, start, dur);
         let mut interval_sites = self.scratch.site_pool.pop().unwrap_or_default();
         interval_sites.extend_from_slice(&sites);
-        self.active_rydberg
-            .push((start, start + dur, interval_sites));
+        self.restrict.insert(
+            start,
+            start + dur,
+            interval_sites,
+            self.low_water,
+            &mut self.scratch.site_pool,
+        );
         self.record(ScheduledItem::Rydberg {
             atoms,
             sites,
@@ -637,8 +798,13 @@ impl IncrementalScheduler {
         self.occupy(&atoms, start, dur);
         let mut interval_sites = self.scratch.site_pool.pop().unwrap_or_default();
         interval_sites.extend_from_slice(&sites);
-        self.active_rydberg
-            .push((start, start + dur, interval_sites));
+        self.restrict.insert(
+            start,
+            start + dur,
+            interval_sites,
+            self.low_water,
+            &mut self.scratch.site_pool,
+        );
         self.record(ScheduledItem::SwapComposite {
             atoms,
             sites,
@@ -1103,6 +1269,200 @@ mod tests {
             for w in intervals.windows(2) {
                 assert!(w[0].1 <= w[1].0 + 1e-9, "atom {atom} double-booked: {w:?}");
             }
+        }
+    }
+
+    /// Builds a random-but-valid shuttle stream from proptest choices:
+    /// every move picks a currently stored atom and a currently free
+    /// target trap (tracked against the identity layout), so the stream
+    /// is feasible by construction. An occasional single-qubit gate seals
+    /// the open run, exercising multiple flush waves against evolved
+    /// occupancy.
+    fn shuttle_stream(
+        lattice: &Lattice,
+        num_atoms: u32,
+        choices: &[(usize, usize, u8)],
+    ) -> MappedCircuit {
+        use na_circuit::{GateKind, Operation, Qubit};
+        let mut mapped = MappedCircuit::new(num_atoms, num_atoms);
+        let mut pos: Vec<Site> = InitialLayout::Identity.place(lattice, num_atoms);
+        let mut occupied = vec![false; lattice.num_sites()];
+        for s in &pos {
+            occupied[lattice.index(*s)] = true;
+        }
+        let mut free: Vec<Site> = (0..lattice.num_sites())
+            .map(|i| lattice.site(i))
+            .filter(|s| !occupied[lattice.index(*s)])
+            .collect();
+        for &(ai, fi, kind) in choices {
+            if kind % 5 == 0 {
+                mapped.ops.push(MappedOp::Gate {
+                    op_index: 0,
+                    op: Operation::new(GateKind::H, vec![Qubit(0)]).unwrap(),
+                    atoms: vec![AtomId(0)],
+                    sites: vec![pos[0]],
+                });
+                continue;
+            }
+            if free.is_empty() {
+                break;
+            }
+            let a = ai % pos.len();
+            let from = pos[a];
+            let to = free.swap_remove(fi % free.len());
+            occupied[lattice.index(from)] = false;
+            occupied[lattice.index(to)] = true;
+            free.push(from);
+            pos[a] = to;
+            mapped.ops.push(MappedOp::Shuttle {
+                atom: AtomId(a as u32),
+                from,
+                to,
+            });
+        }
+        mapped
+    }
+
+    /// The seed's flush partition: per wave, collect the occupied sites,
+    /// then accept each pending move iff lowering the whole candidate
+    /// batch passes the full `validate_program` (first move of a wave
+    /// unchecked, exactly like the original `accepted.len() > 1` guard).
+    fn reference_flush(
+        lattice: &Lattice,
+        occupancy: &mut [bool],
+        run: &mut BatchRun,
+        emitted: &mut Vec<Vec<BatchedMove>>,
+    ) {
+        for mut batch in std::mem::take(&mut run.batches) {
+            while !batch.is_empty() {
+                let occupied: Vec<Site> = (0..lattice.num_sites())
+                    .map(|i| lattice.site(i))
+                    .filter(|s| occupancy[lattice.index(*s)])
+                    .collect();
+                let mut accepted: Vec<BatchedMove> = Vec::new();
+                let mut deferred: Vec<BatchedMove> = Vec::new();
+                for mv in batch.drain(..) {
+                    accepted.push(mv);
+                    let ok = accepted.len() == 1
+                        || crate::aod_program::validate_program(
+                            &lower_batch(&accepted),
+                            lattice,
+                            &occupied,
+                        )
+                        .is_ok();
+                    if !ok {
+                        deferred.push(accepted.pop().unwrap());
+                    }
+                }
+                for m in &accepted {
+                    occupancy[lattice.index(m.from)] = false;
+                    occupancy[lattice.index(m.to)] = true;
+                }
+                emitted.push(accepted);
+                std::mem::swap(&mut batch, &mut deferred);
+            }
+        }
+    }
+
+    /// Schedules the stream through the production `IncrementalScheduler`
+    /// (DeltaGrid partition) and through the seed's full-validation
+    /// partition, asserting batch-for-batch identical transactions.
+    fn assert_delta_matches_full_validation(
+        lattice: Lattice,
+        num_atoms: u32,
+        choices: &[(usize, usize, u8)],
+    ) {
+        let mapped = shuttle_stream(&lattice, num_atoms, choices);
+        let p = HardwareParams::shuttling()
+            .to_builder()
+            .lattice(lattice.side(), 3.0)
+            .num_atoms(num_atoms)
+            .build()
+            .expect("valid");
+        let mut inc = IncrementalScheduler::with_topology(
+            &p,
+            lattice,
+            AodConstraints::default(),
+            num_atoms,
+            num_atoms,
+            InitialLayout::Identity,
+        );
+        for op in mapped.iter() {
+            inc.push(op);
+        }
+        let schedule = inc.finish();
+        let actual: Vec<Vec<BatchedMove>> = schedule
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                ScheduledItem::AodBatch { moves, .. } => Some(moves.clone()),
+                _ => None,
+            })
+            .collect();
+
+        let mut occupancy = vec![false; lattice.num_sites()];
+        for s in InitialLayout::Identity.place(&lattice, num_atoms) {
+            occupancy[lattice.index(s)] = true;
+        }
+        let mut run = BatchRun::new();
+        let mut expected: Vec<Vec<BatchedMove>> = Vec::new();
+        for op in mapped.iter() {
+            if let MappedOp::Shuttle { atom, from, to } = op {
+                run.push(BatchedMove {
+                    atom: *atom,
+                    from: *from,
+                    to: *to,
+                });
+            } else {
+                reference_flush(&lattice, &mut occupancy, &mut run, &mut expected);
+            }
+        }
+        reference_flush(&lattice, &mut occupancy, &mut run, &mut expected);
+        assert_eq!(
+            actual, expected,
+            "partitions must be batch-for-batch identical"
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(24))]
+
+        /// ISSUE equivalence property: DeltaGrid batch acceptance ≡ full
+        /// `validate_program` replay on random move batches (square
+        /// lattice). Sides up to 8 span both the ≤4-source-row delta
+        /// path and the deep-grid full-validator fallback.
+        #[test]
+        fn delta_acceptance_matches_full_validation(
+            side in 3u32..9,
+            atoms_frac in 0.2f64..0.9,
+            choices in proptest::collection::vec(
+                (0usize..100_000, 0usize..100_000, 0u8..10),
+                1..60,
+            ),
+        ) {
+            let lattice = Lattice::new(side);
+            let max = lattice.num_sites() as u32 - 1;
+            let num_atoms = ((lattice.num_sites() as f64 * atoms_frac) as u32).clamp(1, max);
+            assert_delta_matches_full_validation(lattice, num_atoms, &choices);
+        }
+
+        /// Same property over a zoned lattice: identity layout packs the
+        /// storage band, so flush waves cross the gap rows.
+        #[test]
+        fn delta_acceptance_matches_full_validation_zoned(
+            side in 4u32..9,
+            zone in 1u32..3,
+            gap in 1u32..3,
+            atoms_frac in 0.2f64..0.9,
+            choices in proptest::collection::vec(
+                (0usize..100_000, 0usize..100_000, 0u8..10),
+                1..60,
+            ),
+        ) {
+            let lattice = Lattice::zoned(side, zone, gap).expect("valid banding");
+            let max = lattice.num_sites() as u32 - 1;
+            let num_atoms = ((lattice.num_sites() as f64 * atoms_frac) as u32).clamp(1, max);
+            assert_delta_matches_full_validation(lattice, num_atoms, &choices);
         }
     }
 }

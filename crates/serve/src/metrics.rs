@@ -135,6 +135,17 @@ pub struct ServiceMetrics {
     pub busy_workers: AtomicU64,
     /// End-to-end latency (submission → reply) of answered requests.
     pub latency: LatencyHistogram,
+    /// Cumulative mapping-phase wall clock (µs) across all compiled
+    /// programs (one entry per successful job result).
+    pub map_phase_us: AtomicU64,
+    /// Cumulative scheduling-phase wall clock (µs).
+    pub schedule_phase_us: AtomicU64,
+    /// Cumulative AOD lowering + validation wall clock (µs).
+    pub lower_phase_us: AtomicU64,
+    /// Cumulative response-serialization wall clock (µs), measured
+    /// around [`CompileResponse::to_json`](na_pipeline::CompileResponse)
+    /// on the worker reply path.
+    pub export_us: AtomicU64,
     route_cache: Mutex<CacheStats>,
 }
 
@@ -163,6 +174,16 @@ impl ServiceMetrics {
     /// The service-wide router distance-cache aggregate.
     pub fn route_cache(&self) -> CacheStats {
         *self.route_cache.lock().expect("metrics lock")
+    }
+
+    /// Folds one compiled program's per-phase timings (already in
+    /// microseconds via `Duration::as_micros`) into the cumulative
+    /// phase counters.
+    pub fn add_phases(&self, map_us: u64, schedule_us: u64, lower_us: u64) {
+        self.map_phase_us.fetch_add(map_us, Ordering::Relaxed);
+        self.schedule_phase_us
+            .fetch_add(schedule_us, Ordering::Relaxed);
+        self.lower_phase_us.fetch_add(lower_us, Ordering::Relaxed);
     }
 }
 

@@ -405,6 +405,15 @@ impl CompileService {
         workers
             .uint("configured", inner.configured_workers as u64)
             .uint("busy", m.busy_workers.load(Ordering::Relaxed));
+        // Cumulative compile-phase attribution across completed jobs —
+        // the same `map/schedule/lower/export` split each artifact's
+        // own `stats` object reports per compile.
+        let mut phases = JsonObject::new();
+        phases
+            .uint("map_us", m.map_phase_us.load(Ordering::Relaxed))
+            .uint("schedule_us", m.schedule_phase_us.load(Ordering::Relaxed))
+            .uint("lower_us", m.lower_phase_us.load(Ordering::Relaxed))
+            .uint("export_us", m.export_us.load(Ordering::Relaxed));
 
         let mut doc = JsonObject::new();
         doc.uint("version", crate::wire::WIRE_VERSION)
@@ -419,6 +428,7 @@ impl CompileService {
             )
             .raw("queue", &queue.finish())
             .raw("workers", &workers.finish())
+            .raw("phases", &phases.finish())
             .raw("latency", &latency.finish())
             .raw("artifact_cache", &artifact_obj.finish())
             .raw("session_cache", &sessions_obj.finish())
@@ -486,7 +496,24 @@ fn worker_loop(inner: &Inner) {
                 let response = job.request.run_with(&compiler, &mut scratch);
                 let after = scratch.map().route().distance_cache().snapshot();
                 inner.metrics.add_route_delta(before, after);
+                // Fold each compiled program's phase attribution into
+                // the service-wide counters, then time the reply
+                // serialization itself — the export phase.
+                for outcome in &response.results {
+                    if let Ok(program) = &outcome.result {
+                        inner.metrics.add_phases(
+                            program.stats.map_phase.as_micros() as u64,
+                            program.stats.schedule_phase.as_micros() as u64,
+                            program.stats.lower_phase.as_micros() as u64,
+                        );
+                    }
+                }
+                let export_start = Instant::now();
                 let body: Arc<str> = Arc::from(response.to_json());
+                inner
+                    .metrics
+                    .export_us
+                    .fetch_add(export_start.elapsed().as_micros() as u64, Ordering::Relaxed);
                 inner
                     .cache
                     .lock()

@@ -49,7 +49,13 @@ fn chain_qasm(extra_h: usize) -> String {
 /// content, not timing.
 fn normalize(response: &str) -> String {
     let mut out = response.to_owned();
-    for key in ["\"map_runtime_ms\":", "\"total_runtime_ms\":"] {
+    for key in [
+        "\"map_runtime_ms\":",
+        "\"total_runtime_ms\":",
+        "\"map_us\":",
+        "\"schedule_us\":",
+        "\"lower_us\":",
+    ] {
         let mut from = 0;
         while let Some(at) = out[from..].find(key) {
             let start = from + at + key.len();
