@@ -1,7 +1,9 @@
 //! Compile-service benchmarks: end-to-end request latency through
 //! `na-serve` (cold compile vs. artifact-cache hit), worker-pool
-//! throughput at 1/2/4 workers, and the cache hit rate on repeated
-//! submissions.
+//! throughput at 1/2/4 workers, the cache hit rate on repeated
+//! submissions, tail latency under scripted worker deaths
+//! (`p99_under_faults_ms`), and the turnaround of an expired-deadline
+//! abort (`serve_cancel_p50_ms`).
 //!
 //! Besides the criterion output, this bench writes a machine-readable
 //! baseline to `BENCH_serve.json` at the workspace root;
@@ -11,18 +13,30 @@
 //! single-core runners (the guard treats `null` as "legitimately not
 //! measured").
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use na_circuit::generators::{GraphState, Qft};
 use na_circuit::qasm::to_qasm;
 use na_schedule::export::json_escape;
-use na_serve::{CompileService, ServeConfig, Submission};
+use na_serve::{error_kind_of, CompileService, FaultPlan, ServeConfig, Submission};
 
 /// A v1 job document on the 6×6 mixed preset (20 atoms).
 fn job_doc(name: &str, qasm: &str) -> String {
     format!(
         "{{\"version\": 1, \
+         \"target\": {{\"preset\": \"mixed\", \"lattice_side\": 6, \"num_atoms\": 20}}, \
+         \"mapping\": {{\"mode\": \"hybrid\", \"alpha\": 1.0}}, \
+         \"circuits\": [{{\"name\": \"{name}\", \"qasm\": \"{}\"}}]}}",
+        json_escape(qasm),
+    )
+}
+
+/// The same document with a request deadline attached.
+fn job_doc_deadline(name: &str, qasm: &str, deadline_ms: u64) -> String {
+    format!(
+        "{{\"version\": 1, \"deadline_ms\": {deadline_ms}, \
          \"target\": {{\"preset\": \"mixed\", \"lattice_side\": 6, \"num_atoms\": 20}}, \
          \"mapping\": {{\"mode\": \"hybrid\", \"alpha\": 1.0}}, \
          \"circuits\": [{{\"name\": \"{name}\", \"qasm\": \"{}\"}}]}}",
@@ -50,6 +64,7 @@ fn service(workers: usize, queue_cap: usize) -> CompileService {
         workers,
         queue_cap,
         cache_budget_bytes: 64 << 20,
+        ..ServeConfig::default()
     })
 }
 
@@ -156,6 +171,74 @@ fn write_baseline() {
         (Some(throughput(2)), Some(throughput(4)))
     };
 
+    // --- Latency under faults: the same cold stream served by a worker
+    // pool that is scripted to die three times mid-run. Every request
+    // still gets exactly one typed reply; clients retry the "internal"
+    // replies once, and the recorded latency is the full client-observed
+    // time including that retry. The seeded `FaultPlan` makes the run
+    // reproducible.
+    let mut fault_s: Vec<f64> = {
+        let plan = FaultPlan::parse("kill@2,kill@9,kill@16").expect("valid fault spec");
+        let svc = CompileService::start(ServeConfig {
+            workers: 1,
+            queue_cap: docs.len(),
+            cache_budget_bytes: 64 << 20,
+            fault: Some(Arc::new(plan)),
+        });
+        let samples = docs
+            .iter()
+            .map(|doc| {
+                let t = Instant::now();
+                let mut response = svc.submit_wait(doc).expect("accepted");
+                if error_kind_of(&response) == Some("internal") {
+                    // The scripted worker death consumed this job; one
+                    // retry lands on the respawned worker.
+                    response = svc.submit_wait(doc).expect("accepted on retry");
+                }
+                assert!(
+                    response.contains("\"ok\":true"),
+                    "compile failed under faults"
+                );
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        let m = svc.metrics_json();
+        svc.shutdown();
+        assert_eq!(
+            read_uint(&m, "\"worker_panics\":"),
+            3,
+            "all three kills fired"
+        );
+        samples
+    };
+    let fault_p99 = percentile_ms(&mut fault_s, 0.99);
+
+    // --- Cancellation latency: how quickly an already-expired deadline
+    // (`deadline_ms: 0`) is answered. The request clears admission, is
+    // dequeued by a worker, fails the expiry check before compiling, and
+    // gets the typed deadline reply — the recorded latency is the abort
+    // turnaround, never a full compile.
+    let mut cancel_s: Vec<f64> = {
+        let svc = service(1, 8);
+        let samples = (0..12)
+            .map(|i| {
+                let doc =
+                    job_doc_deadline(&format!("cancel-{i}"), &to_qasm(&Qft::new(16).build()), 0);
+                let t = Instant::now();
+                let response = svc.submit_wait(&doc).expect("accepted");
+                assert_eq!(
+                    error_kind_of(&response),
+                    Some("deadline"),
+                    "expired deadline must produce a typed deadline reply"
+                );
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        svc.shutdown();
+        samples
+    };
+    let cancel_p50 = percentile_ms(&mut cancel_s, 0.50);
+
     let fmt_opt = |v: Option<f64>| match v {
         Some(v) => format!("{v:.2}"),
         None => "null".to_string(),
@@ -171,7 +254,9 @@ fn write_baseline() {
          \"serve_throughput_1w_per_s\": {t1:.2},\n  \
          \"serve_throughput_2w_per_s\": {},\n  \
          \"serve_throughput_4w_per_s\": {},\n  \
-         \"serve_speedup_4w\": {}\n}}\n",
+         \"serve_speedup_4w\": {},\n  \
+         \"p99_under_faults_ms\": {fault_p99:.3},\n  \
+         \"serve_cancel_p50_ms\": {cancel_p50:.3}\n}}\n",
         docs.len(),
         fmt_opt(t2),
         fmt_opt(t4),
@@ -192,6 +277,14 @@ fn write_baseline() {
     assert!(
         hit_p50 <= p50 * 2.0,
         "cache-hit path slower than cold compiles: {hit_p50:.3}ms vs {p50:.3}ms"
+    );
+    // Answering an expired deadline aborts at the first cancellation
+    // checkpoint instead of finishing the compile; it must not cost
+    // more than a regular cold request (generous 2x bound against
+    // timer noise).
+    assert!(
+        cancel_p50 <= p50 * 2.0,
+        "deadline abort slower than a full compile: {cancel_p50:.3}ms vs {p50:.3}ms"
     );
     // Worker scaling sanity on real multi-core hosts.
     match t4 {

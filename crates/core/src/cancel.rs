@@ -1,0 +1,147 @@
+//! Cooperative cancellation for long-running mapping passes.
+//!
+//! A [`CancelToken`] is a hand-rolled, dependency-free stop signal: an
+//! atomic flag (settable from any thread) combined with an optional
+//! absolute deadline. Hot loops poll it at coarse checkpoints — once
+//! per mapper round, once per scheduler flush wave, once per lowered
+//! AOD batch — so the poll cost is a relaxed atomic load plus (when a
+//! deadline is set) one monotonic clock read, far below the work of a
+//! single routing round. Polls are pure reads: they never perturb
+//! routing decisions, so artifacts stay byte-identical whether or not
+//! a token is attached.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a cancelled computation stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called explicitly.
+    Explicit,
+    /// The token's deadline passed.
+    DeadlineExceeded,
+}
+
+/// A cloneable stop signal: explicit cancellation plus an optional
+/// deadline.
+///
+/// Clones share the same flag, so cancelling any clone cancels all of
+/// them. The token never unblocks non-cooperative code — computations
+/// observe it only at their own checkpoints.
+///
+/// ```
+/// use na_mapper::{CancelReason, CancelToken};
+///
+/// let token = CancelToken::never();
+/// assert!(token.check().is_ok());
+/// token.cancel();
+/// assert_eq!(token.check(), Err(CancelReason::Explicit));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only trips on an explicit [`cancel`](Self::cancel).
+    pub fn never() -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: None,
+        }
+    }
+
+    /// A token that trips `budget` from now (or on explicit cancel).
+    pub fn with_deadline(budget: Duration) -> Self {
+        Self::with_deadline_at(Instant::now() + budget)
+    }
+
+    /// A token that trips at the absolute instant `deadline`.
+    ///
+    /// Used by service layers that fix the deadline at admission time
+    /// so queue wait counts against the budget.
+    pub fn with_deadline_at(deadline: Instant) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Trips the token; every clone observes it on its next poll.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has tripped (explicitly or by deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.check().is_err()
+    }
+
+    /// The checkpoint poll: `Ok(())` to keep going, or the reason to
+    /// stop.
+    ///
+    /// Explicit cancellation wins over a simultaneously-expired
+    /// deadline so callers that abort a request see the reason they
+    /// asked for.
+    pub fn check(&self) -> Result<(), CancelReason> {
+        if self.flag.load(Ordering::Acquire) {
+            return Err(CancelReason::Explicit);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(CancelReason::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// The absolute deadline, if one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_stays_ok_until_cancelled() {
+        let t = CancelToken::never();
+        assert!(t.check().is_ok());
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert_eq!(t.check(), Err(CancelReason::Explicit));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::never();
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_trips_without_explicit_cancel() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert_eq!(t.check(), Err(CancelReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn explicit_cancel_wins_over_expired_deadline() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        t.cancel();
+        assert_eq!(t.check(), Err(CancelReason::Explicit));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(t.check().is_ok());
+        assert!(t.deadline().is_some());
+    }
+}

@@ -121,6 +121,13 @@ pub enum MapError {
         /// Sites available within a mutual-interaction disc.
         capacity: usize,
     },
+    /// Mapping was stopped at a checkpoint by a [`CancelToken`].
+    ///
+    /// [`CancelToken`]: crate::CancelToken
+    Cancelled {
+        /// Whether the token tripped explicitly or by deadline.
+        reason: crate::CancelReason,
+    },
 }
 
 impl fmt::Display for MapError {
@@ -151,6 +158,12 @@ impl fmt::Display for MapError {
                 "operation {op_index} acts on {arity} qubits but at most {capacity} \
                  sites fit within the interaction radius"
             ),
+            MapError::Cancelled { reason } => match reason {
+                crate::CancelReason::Explicit => write!(f, "mapping cancelled"),
+                crate::CancelReason::DeadlineExceeded => {
+                    write!(f, "mapping deadline exceeded")
+                }
+            },
         }
     }
 }

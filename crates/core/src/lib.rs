@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cancel;
 pub mod config;
 pub mod decision;
 pub mod error;
@@ -59,6 +60,7 @@ pub mod sink;
 pub mod state;
 pub mod verify;
 
+pub use cancel::{CancelReason, CancelToken};
 pub use config::{MapperConfig, RoundMode};
 pub use decision::Capability;
 pub use error::{ConfigError, MapError};

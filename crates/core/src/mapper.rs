@@ -31,6 +31,7 @@ use na_circuit::{decompose_to_native, Circuit, CircuitDag, LayerTracker, Operati
 
 use serde::{Deserialize, Serialize};
 
+use crate::cancel::CancelToken;
 use crate::config::{MapperConfig, RoundMode};
 use crate::decision::{Capability, Decider};
 use crate::error::MapError;
@@ -287,6 +288,38 @@ impl HybridMapper {
         sink: &mut dyn OpSink,
         scratch: &mut MapScratch,
     ) -> Result<StreamOutcome, MapError> {
+        self.map_impl(circuit, sink, scratch, None)
+    }
+
+    /// [`HybridMapper::map_into_scratch`] with a cooperative
+    /// [`CancelToken`], polled once per routing round.
+    ///
+    /// The poll is a pure read — routing decisions are identical to the
+    /// token-free entry points, so artifacts stay byte-for-byte the
+    /// same when the token never trips.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HybridMapper::map`], plus
+    /// [`MapError::Cancelled`] when the token trips at a checkpoint. On
+    /// cancellation the sink may have received a prefix of the stream.
+    pub fn map_into_cancel(
+        &self,
+        circuit: &Circuit,
+        sink: &mut dyn OpSink,
+        scratch: &mut MapScratch,
+        cancel: &CancelToken,
+    ) -> Result<StreamOutcome, MapError> {
+        self.map_impl(circuit, sink, scratch, Some(cancel))
+    }
+
+    fn map_impl(
+        &self,
+        circuit: &Circuit,
+        sink: &mut dyn OpSink,
+        scratch: &mut MapScratch,
+        cancel: Option<&CancelToken>,
+    ) -> Result<StreamOutcome, MapError> {
         let start = Instant::now();
         let native = if circuit.is_native() {
             circuit.clone()
@@ -340,6 +373,14 @@ impl HybridMapper {
         let mut ops_since_progress = 0usize;
 
         while !layers.is_done() {
+            // Cancellation checkpoint: one relaxed load (plus a clock
+            // read when a deadline is set) per routing round.
+            if let Some(token) = cancel {
+                if let Err(reason) = token.check() {
+                    return Err(MapError::Cancelled { reason });
+                }
+            }
+
             // (1) Execute everything currently executable.
             if self.execute_ready(&native, &dag, &mut layers, &mut state, sink) {
                 ops_since_progress = 0;
@@ -785,6 +826,44 @@ mod tests {
         assert_eq!(single.stats.commits_total, single.stats.rounds_total);
         assert_eq!(single.mapped.gate_count(), speculative.mapped.gate_count());
         assert!(speculative.stats.rounds_total <= single.stats.rounds_total);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_mapping_at_first_round() {
+        let p = small(HardwareParams::mixed(), 6, 25);
+        let mapper =
+            HybridMapper::new(p, MapperConfig::try_hybrid(1.0).expect("valid alpha")).unwrap();
+        let c = Qft::new(14).build();
+        let token = crate::CancelToken::never();
+        token.cancel();
+        let mut sink =
+            MappedCircuit::with_layout(c.num_qubits(), 25, mapper.config().initial_layout);
+        let err = mapper
+            .map_into_cancel(&c, &mut sink, &mut MapScratch::new(), &token)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MapError::Cancelled {
+                reason: crate::CancelReason::Explicit
+            }
+        ));
+    }
+
+    #[test]
+    fn untripped_token_yields_identical_artifacts() {
+        let p = small(HardwareParams::mixed(), 6, 25);
+        let mapper =
+            HybridMapper::new(p, MapperConfig::try_hybrid(1.0).expect("valid alpha")).unwrap();
+        let c = Qft::new(14).build();
+        let plain = mapper.map(&c).unwrap();
+        let token = crate::CancelToken::with_deadline(Duration::from_secs(3600));
+        let mut sink =
+            MappedCircuit::with_layout(c.num_qubits(), 25, mapper.config().initial_layout);
+        let run = mapper
+            .map_into_cancel(&c, &mut sink, &mut MapScratch::new(), &token)
+            .unwrap();
+        assert_eq!(plain.mapped, sink, "checkpoint polls perturbed routing");
+        assert_eq!(plain.stats, run.stats);
     }
 
     #[test]

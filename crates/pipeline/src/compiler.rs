@@ -22,8 +22,8 @@ use std::time::{Duration, Instant};
 use na_arch::{AodConstraints, HardwareParams, Site, Target, TargetSpec};
 use na_circuit::Circuit;
 use na_mapper::{
-    ConfigError, HybridMapper, InitialLayout, MapScratch, MappedCircuit, MappedOp, MapperConfig,
-    OpSink, RoundMode,
+    CancelReason, CancelToken, ConfigError, HybridMapper, InitialLayout, MapError, MapScratch,
+    MappedCircuit, MappedOp, MapperConfig, OpSink, RoundMode,
 };
 use na_schedule::aod_program::{lower_batch, validate_program_with};
 use na_schedule::{
@@ -442,6 +442,39 @@ impl Compiler {
         circuit: &Circuit,
         scratch: &mut CompileScratch,
     ) -> Result<CompiledProgram, CompileError> {
+        self.compile_impl(circuit, scratch, None)
+    }
+
+    /// [`Compiler::compile_with`] under a cooperative [`CancelToken`]:
+    /// the token threads into the mapper round loop, the scheduler's
+    /// flush waves and the per-batch lowering loop as cheap checkpoint
+    /// polls (a relaxed atomic load each), so multi-second compiles
+    /// observe a tripped token within one routing round.
+    ///
+    /// Polls are pure reads: with an untripped token the artifact is
+    /// byte-identical to [`Compiler::compile_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Compiler::compile`], plus
+    /// [`CompileError::DeadlineExceeded`] when the token's deadline
+    /// passes and [`CompileError::Cancelled`] when it is cancelled
+    /// explicitly.
+    pub fn compile_with_cancel(
+        &self,
+        circuit: &Circuit,
+        scratch: &mut CompileScratch,
+        cancel: &CancelToken,
+    ) -> Result<CompiledProgram, CompileError> {
+        self.compile_impl(circuit, scratch, Some(cancel))
+    }
+
+    fn compile_impl(
+        &self,
+        circuit: &Circuit,
+        scratch: &mut CompileScratch,
+        cancel: Option<&CancelToken>,
+    ) -> Result<CompiledProgram, CompileError> {
         let total_start = Instant::now();
         let params = self.mapper.params();
         let config = self.mapper.config();
@@ -464,10 +497,21 @@ impl Compiler {
             scheduled: 0,
             sched_time: Duration::ZERO,
         };
-        let run = self
-            .mapper
-            .map_into_scratch(circuit, &mut sink, &mut scratch.map)
-            .map_err(CompileError::Map)?;
+        if let Some(token) = cancel {
+            sink.scheduler.set_cancel(token.clone());
+        }
+        let run = match cancel {
+            Some(token) => self
+                .mapper
+                .map_into_cancel(circuit, &mut sink, &mut scratch.map, token),
+            None => self
+                .mapper
+                .map_into_scratch(circuit, &mut sink, &mut scratch.map),
+        }
+        .map_err(|e| match e {
+            MapError::Cancelled { reason } => cancel_error(reason),
+            other => CompileError::Map(other),
+        })?;
         // Scheduler drains that ran *inside* the mapping pass count
         // toward the schedule phase, not the map phase.
         let sched_during_map = sink.sched_time;
@@ -478,20 +522,36 @@ impl Compiler {
             sched_time,
             ..
         } = sink;
+        // A tripped token can latch inside the scheduler between mapper
+        // polls, turning later flushes into no-ops — the schedule is
+        // then incomplete and must be discarded, never returned.
+        if let Some(reason) = scheduler.cancelled() {
+            return Err(cancel_error(reason));
+        }
         let finish_start = Instant::now();
         let (schedule, metrics) = scheduler.finish_with_metrics();
         let schedule_phase = sched_time + finish_start.elapsed();
         let map_phase = run.runtime.saturating_sub(sched_during_map);
 
         // (3) Lower every AOD batch and validate against the replayed
-        // occupancy.
+        // occupancy, polling the token once per batch.
         let lower_start = Instant::now();
-        let aod_programs = self
-            .lower_and_validate(&schedule)
-            .map_err(CompileError::Schedule)?;
+        let aod_programs =
+            self.lower_and_validate_cancel(&schedule, cancel)
+                .map_err(|e| match e {
+                    LowerStop::Schedule(e) => CompileError::Schedule(e),
+                    LowerStop::Cancelled(reason) => cancel_error(reason),
+                })?;
         let lower_phase = lower_start.elapsed();
 
-        // (4) Optional ideal-baseline comparison (Table 1a).
+        // (4) Optional ideal-baseline comparison (Table 1a), preceded by
+        // one last checkpoint — the baseline pass is a full scheduling
+        // run of the original circuit.
+        if let Some(token) = cancel {
+            if let Err(reason) = token.check() {
+                return Err(cancel_error(reason));
+            }
+        }
         let comparison = if self.with_baseline {
             let original = ScheduleMetrics::of(&self.scheduler.schedule_original(circuit), params);
             Some(ComparisonReport::between(&original, &metrics))
@@ -524,11 +584,13 @@ impl Compiler {
     /// validates it against the lattice occupancy at its position in the
     /// stream. Occupancy is replayed as a per-site bitmap updated on
     /// each committed move, so every ghost-spot probe is an O(1) lookup
-    /// instead of a scan over all stored atoms.
-    fn lower_and_validate(
+    /// instead of a scan over all stored atoms. Polls the optional
+    /// token once per batch.
+    fn lower_and_validate_cancel(
         &self,
         schedule: &Schedule,
-    ) -> Result<Vec<na_schedule::AodProgram>, ScheduleError> {
+        cancel: Option<&CancelToken>,
+    ) -> Result<Vec<na_schedule::AodProgram>, LowerStop> {
         let params = self.mapper.params();
         let lattice = self.mapper.lattice();
         let site_of_atom: Vec<Site> = self
@@ -546,12 +608,19 @@ impl Compiler {
                 moves, start_us, ..
             } = item
             {
+                if let Some(token) = cancel {
+                    if let Err(reason) = token.check() {
+                        return Err(LowerStop::Cancelled(reason));
+                    }
+                }
                 let program = lower_batch(moves);
                 validate_program_with(&program, &lattice, |site| occupied[lattice.index(site)])
-                    .map_err(|source| ScheduleError::InvalidAodBatch {
-                        batch_index: programs.len(),
-                        start_us: *start_us,
-                        source,
+                    .map_err(|source| {
+                        LowerStop::Schedule(ScheduleError::InvalidAodBatch {
+                            batch_index: programs.len(),
+                            start_us: *start_us,
+                            source,
+                        })
                     })?;
                 for m in moves {
                     occupied[lattice.index(m.from)] = false;
@@ -561,6 +630,20 @@ impl Compiler {
             }
         }
         Ok(programs)
+    }
+}
+
+/// Why the lowering loop stopped early (internal to `compile_impl`).
+enum LowerStop {
+    Schedule(ScheduleError),
+    Cancelled(CancelReason),
+}
+
+/// Maps a checkpoint trip to the typed compile error.
+fn cancel_error(reason: CancelReason) -> CompileError {
+    match reason {
+        CancelReason::Explicit => CompileError::Cancelled,
+        CancelReason::DeadlineExceeded => CompileError::DeadlineExceeded,
     }
 }
 
@@ -685,6 +768,43 @@ mod tests {
             assert_eq!(warm.metrics, cold.metrics);
             assert_eq!(warm.aod_programs, cold.aod_programs);
         }
+    }
+
+    #[test]
+    fn cancelled_token_surfaces_typed_compile_errors() {
+        let t = small(HardwareParams::mixed(), 6, 25);
+        let compiler = Compiler::for_target(&t).build().unwrap();
+        let c = Qft::new(14).build();
+        // Explicit cancellation.
+        let token = CancelToken::never();
+        token.cancel();
+        let err = compiler
+            .compile_with_cancel(&c, &mut CompileScratch::new(), &token)
+            .unwrap_err();
+        assert!(matches!(err, CompileError::Cancelled), "got {err:?}");
+        // Expired deadline.
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        let err = compiler
+            .compile_with_cancel(&c, &mut CompileScratch::new(), &token)
+            .unwrap_err();
+        assert!(matches!(err, CompileError::DeadlineExceeded), "got {err:?}");
+    }
+
+    #[test]
+    fn untripped_token_is_artifact_identical() {
+        let t = small(HardwareParams::mixed(), 6, 25);
+        let compiler = Compiler::for_target(&t).build().unwrap();
+        let c = GraphState::new(18).edges(24).seed(7).build();
+        let plain = compiler.compile(&c).unwrap();
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        let watched = compiler
+            .compile_with_cancel(&c, &mut CompileScratch::new(), &token)
+            .unwrap();
+        assert_eq!(plain.mapped, watched.mapped);
+        assert_eq!(plain.schedule, watched.schedule);
+        assert_eq!(plain.metrics, watched.metrics);
+        assert_eq!(plain.aod_programs, watched.aod_programs);
+        assert_eq!(plain.comparison, watched.comparison);
     }
 
     #[test]

@@ -95,6 +95,13 @@ pub enum CompileError {
     Schedule(ScheduleError),
     /// The JSON job document is malformed ([`RequestError`]).
     Request(RequestError),
+    /// The request's `deadline_ms` budget ran out at a cancellation
+    /// checkpoint (the wire layer maps this to `"kind":"deadline"`,
+    /// HTTP 504-style).
+    DeadlineExceeded,
+    /// The compile was cancelled explicitly through its
+    /// [`na_mapper::CancelToken`].
+    Cancelled,
 }
 
 impl fmt::Display for CompileError {
@@ -105,6 +112,10 @@ impl fmt::Display for CompileError {
             CompileError::Map(e) => write!(f, "mapping failed: {e}"),
             CompileError::Schedule(e) => write!(f, "scheduling failed: {e}"),
             CompileError::Request(e) => write!(f, "invalid compile request: {e}"),
+            CompileError::DeadlineExceeded => {
+                write!(f, "compile deadline exceeded before completion")
+            }
+            CompileError::Cancelled => write!(f, "compile cancelled"),
         }
     }
 }
@@ -117,6 +128,7 @@ impl std::error::Error for CompileError {
             CompileError::Map(e) => Some(e),
             CompileError::Schedule(e) => Some(e),
             CompileError::Request(e) => Some(e),
+            CompileError::DeadlineExceeded | CompileError::Cancelled => None,
         }
     }
 }
@@ -204,6 +216,14 @@ pub(crate) fn to_legacy(e: CompileError) -> PipelineError {
             PipelineError::Map(MapError::Arch(ArchError::InvalidParameter {
                 name: "request",
                 reason: e.to_string(),
+            }))
+        }
+        // The legacy shim offers no cancellation entry point, so these
+        // cannot occur through it; map defensively instead of panicking.
+        other @ (CompileError::DeadlineExceeded | CompileError::Cancelled) => {
+            PipelineError::Map(MapError::Arch(ArchError::InvalidParameter {
+                name: "cancel",
+                reason: other.to_string(),
             }))
         }
     }

@@ -212,8 +212,11 @@ pub fn circuit_fingerprint(circuit: &Circuit) -> u64 {
 ///
 /// Deliberately **excluded**: `threads` (worker fan-out does not change
 /// response content — batch results are input-ordered and artifacts
-/// are thread-count independent) and `request_id` (an echo field; the
-/// service splices it into the cached document per response).
+/// are thread-count independent), `request_id` (an echo field; the
+/// service splices it into the cached document per response) and
+/// `deadline_ms` (a wall-clock budget: a compile that finishes within
+/// it produces bytes identical to one without it, and one that does
+/// not never reaches the cache).
 pub fn request_cache_key(request: &CompileRequest) -> u64 {
     let mut h = Fnv1a::new();
     h.write_u64(session_fingerprint(
@@ -317,10 +320,12 @@ mod tests {
         let base = bell_request();
         let key = request_cache_key(&base);
 
-        // threads and request_id are transport concerns: same key.
+        // threads, request_id and deadline_ms are transport concerns:
+        // same key.
         let mut threaded = base.clone();
         threaded.threads = 4;
         threaded.request_id = Some("r-1".to_owned());
+        threaded.deadline_ms = Some(5000);
         assert_eq!(request_cache_key(&threaded), key);
 
         // Whitespace-only QASM difference: same key.

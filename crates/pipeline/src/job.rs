@@ -33,7 +33,7 @@ use std::fmt;
 use na_arch::{AodConstraints, HardwareParams, Lattice, NativeGateSet, TargetSpec};
 use na_circuit::qasm::{from_qasm, QasmError};
 use na_circuit::Circuit;
-use na_mapper::{InitialLayout, MapperConfig};
+use na_mapper::{CancelToken, InitialLayout, MapperConfig};
 use na_schedule::export::{json_escape, json_f64};
 
 use crate::compiler::{Compiler, MappingMode, MappingOptions, SchedulingOptions};
@@ -154,6 +154,14 @@ pub struct CompileRequest {
     pub baseline: bool,
     /// Worker threads for the batch (1 = inline).
     pub threads: usize,
+    /// Optional wall-clock budget in milliseconds (`"deadline_ms"`).
+    ///
+    /// Transport bookkeeping like `request_id`: a service turns it into
+    /// a [`na_mapper::CancelToken`] deadline at admission
+    /// time. It never affects compilation output or cache keys — a
+    /// request that finishes within its budget produces bytes identical
+    /// to the same request without one.
+    pub deadline_ms: Option<u64>,
     /// The circuits to compile.
     pub circuits: Vec<JobCircuit>,
 }
@@ -249,6 +257,13 @@ impl CompileRequest {
                 .ok_or_else(|| invalid("threads", "expected a non-negative integer"))?
                 .max(1) as usize,
         };
+        let deadline_ms = match doc.get("deadline_ms") {
+            None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| invalid("deadline_ms", "expected a non-negative integer"))?,
+            ),
+        };
         let circuits_value = doc
             .get("circuits")
             .ok_or(RequestError::MissingField { field: "circuits" })?;
@@ -276,6 +291,7 @@ impl CompileRequest {
             scheduling,
             baseline,
             threads,
+            deadline_ms,
             circuits,
         })
     }
@@ -315,10 +331,14 @@ impl CompileRequest {
             })
             .collect::<Vec<_>>()
             .join(",");
+        let deadline = match self.deadline_ms {
+            Some(ms) => format!("\"deadline_ms\": {ms},\n  "),
+            None => String::new(),
+        };
         format!(
             "{{\n  {request_id}\"version\": {JOB_VERSION},\n  \"target\": {target},\n  \
              \"mapping\": {mapping},\n  \"scheduling\": {scheduling},\n  \
-             \"baseline\": {},\n  \"threads\": {},\n  \"circuits\": [{circuits}]\n}}\n",
+             \"baseline\": {},\n  \"threads\": {},\n  {deadline}\"circuits\": [{circuits}]\n}}\n",
             self.baseline, self.threads,
         )
     }
@@ -409,6 +429,56 @@ impl CompileRequest {
             target: self.target.id.clone(),
             results,
         }
+    }
+
+    /// [`CompileRequest::run_with`] under a cooperative
+    /// [`CancelToken`]: every circuit compiles through
+    /// [`Compiler::compile_with_cancel`], and the first checkpoint trip
+    /// aborts the *whole request* — a deadline covers the request, not
+    /// each circuit, so the caller replies with exactly one typed
+    /// deadline/cancellation document instead of a partial response.
+    ///
+    /// Circuits compile inline on `scratch` regardless of `threads`
+    /// (artifacts are identical to the fan-out path; a request racing
+    /// its deadline has no business amplifying onto more cores).
+    ///
+    /// # Errors
+    ///
+    /// * [`CompileError::DeadlineExceeded`] / [`CompileError::Cancelled`]
+    ///   — the token tripped mid-compile.
+    ///
+    /// Other per-circuit failures stay in their [`JobOutcome`] slot
+    /// exactly like [`CompileRequest::run_with`].
+    pub fn run_with_cancel(
+        &self,
+        compiler: &Compiler,
+        scratch: &mut crate::CompileScratch,
+        cancel: &CancelToken,
+    ) -> Result<CompileResponse, CompileError> {
+        let mut results = Vec::with_capacity(self.circuits.len());
+        for job in &self.circuits {
+            let result = match from_qasm(&job.qasm) {
+                Ok(circuit) => match compiler.compile_with_cancel(&circuit, scratch, cancel) {
+                    Err(e @ (CompileError::DeadlineExceeded | CompileError::Cancelled)) => {
+                        return Err(e)
+                    }
+                    other => other,
+                },
+                Err(source) => Err(CompileError::Request(RequestError::Qasm {
+                    circuit: job.name.clone(),
+                    source,
+                })),
+            };
+            results.push(JobOutcome {
+                name: job.name.clone(),
+                result,
+            });
+        }
+        Ok(CompileResponse {
+            request_id: self.request_id.clone(),
+            target: self.target.id.clone(),
+            results,
+        })
     }
 }
 
@@ -522,8 +592,9 @@ pub fn handle_json(request: &str) -> Result<String, CompileError> {
 /// ```
 ///
 /// `kind` names the [`CompileError`] variant (`request`, `target`,
-/// `config`, `map`, `schedule`), so transports can map document
-/// classes to status codes without string-matching messages.
+/// `config`, `map`, `schedule`, `deadline`, `cancelled`), so transports
+/// can map document classes to status codes without string-matching
+/// messages.
 pub fn error_to_json(error: &CompileError) -> String {
     let kind = match error {
         CompileError::Target(_) => "target",
@@ -531,6 +602,8 @@ pub fn error_to_json(error: &CompileError) -> String {
         CompileError::Map(_) => "map",
         CompileError::Schedule(_) => "schedule",
         CompileError::Request(_) => "request",
+        CompileError::DeadlineExceeded => "deadline",
+        CompileError::Cancelled => "cancelled",
     };
     format!(
         "{{\n  \"version\": {JOB_VERSION},\n  \"ok\": false,\n  \
@@ -1142,6 +1215,23 @@ mod tests {
         let emitted = req.to_json();
         let reparsed = CompileRequest::from_json(&emitted).expect("re-parses");
         assert_eq!(req, reparsed);
+    }
+
+    #[test]
+    fn deadline_ms_parses_and_round_trips() {
+        let doc = minimal_request(", \"deadline_ms\": 250");
+        let req = CompileRequest::from_json(&doc).expect("parses");
+        assert_eq!(req.deadline_ms, Some(250));
+        let reparsed = CompileRequest::from_json(&req.to_json()).expect("re-parses");
+        assert_eq!(req, reparsed);
+        // Absent by default; malformed values are rejected typed.
+        let req = CompileRequest::from_json(&minimal_request("")).expect("parses");
+        assert_eq!(req.deadline_ms, None);
+        let bad = minimal_request(", \"deadline_ms\": \"soon\"");
+        assert!(matches!(
+            CompileRequest::from_json(&bad),
+            Err(RequestError::InvalidField { .. })
+        ));
     }
 
     #[test]

@@ -459,6 +459,13 @@ pub struct IncrementalScheduler {
     ln_fidelity: f64,
     /// Reusable buffers (see [`SchedScratch`]).
     scratch: SchedScratch,
+    /// Optional cooperative stop signal, polled once per flush wave.
+    cancel: Option<na_mapper::CancelToken>,
+    /// Latched once the token trips: subsequent flushes become no-ops
+    /// so a doomed compile stops paying for batch validation. The
+    /// schedule is unusable from then on — callers observe the latch
+    /// via [`IncrementalScheduler::cancelled`] and must discard it.
+    cancelled: Option<na_mapper::CancelReason>,
 }
 
 impl IncrementalScheduler {
@@ -521,7 +528,41 @@ impl IncrementalScheduler {
             busy_us: 0.0,
             ln_fidelity: 0.0,
             scratch: SchedScratch::default(),
+            cancel: None,
+            cancelled: None,
         }
+    }
+
+    /// Attaches a cooperative [`na_mapper::CancelToken`],
+    /// polled once per flush wave.
+    ///
+    /// Once the token trips, every later flush is a no-op and the
+    /// in-progress schedule is abandoned — check
+    /// [`IncrementalScheduler::cancelled`] before trusting
+    /// [`IncrementalScheduler::finish`] output. Polls are pure reads:
+    /// with an untripped token the schedule is byte-identical to a
+    /// token-free run.
+    pub fn set_cancel(&mut self, token: na_mapper::CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Why the attached token tripped, if it did.
+    pub fn cancelled(&self) -> Option<na_mapper::CancelReason> {
+        self.cancelled
+    }
+
+    /// Polls the attached token (latching a trip); `true` means stop.
+    fn poll_cancel(&mut self) -> bool {
+        if self.cancelled.is_some() {
+            return true;
+        }
+        if let Some(token) = &self.cancel {
+            if let Err(reason) = token.check() {
+                self.cancelled = Some(reason);
+                return true;
+            }
+        }
+        false
     }
 
     /// Consumes the next operation of the mapped stream.
@@ -640,6 +681,13 @@ impl IncrementalScheduler {
     /// every wave makes progress.
     fn flush_run(&mut self) {
         if self.run.batches.is_empty() {
+            return;
+        }
+        // Cancellation checkpoint: one wave of batch validation is the
+        // scheduler's unit of work between polls. A tripped token
+        // abandons the run — the whole schedule is discarded upstream.
+        if self.poll_cancel() {
+            self.run.batches.clear();
             return;
         }
         let batch_cap = self.aod.max_batch_moves.unwrap_or(usize::MAX).max(1);

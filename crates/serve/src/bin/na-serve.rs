@@ -4,20 +4,27 @@
 //! na-serve --stdio                 # line-delimited JSON over stdin/stdout
 //! na-serve --listen 127.0.0.1:8924 # hand-rolled HTTP/1.1
 //!   [--workers N] [--queue-cap N] [--cache-mb N]
+//!   [--read-timeout-ms MS] [--write-timeout-ms MS] [--max-body-kb N]
+//!   [--fault SPEC]                 # e.g. --fault "panic@2,kill@5,delay=3"
 //! ```
 //!
 //! Stdio mode answers one compact response line per request line and
 //! exits (after a graceful drain) on EOF — the framing CI smoke-tests.
-//! Listen mode serves until the process is killed.
+//! Listen mode serves until the process is killed. `--fault` arms the
+//! deterministic chaos script ([`na_serve::FaultPlan`]) — test/CI use
+//! only.
 
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
-use na_serve::{serve_lines, CompileService, HttpServer, ServeConfig};
+use na_serve::{serve_lines, CompileService, FaultPlan, HttpOptions, HttpServer, ServeConfig};
 
 struct Args {
     stdio: bool,
     listen: Option<String>,
     config: ServeConfig,
+    http: HttpOptions,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -25,6 +32,7 @@ fn parse_args() -> Result<Args, String> {
         stdio: false,
         listen: None,
         config: ServeConfig::default(),
+        http: HttpOptions::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -48,10 +56,35 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--cache-mb: {e}"))?;
                 args.config.cache_budget_bytes = mb << 20;
             }
+            "--read-timeout-ms" => {
+                let ms: u64 = value("--read-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--read-timeout-ms: {e}"))?;
+                args.http.read_timeout = Duration::from_millis(ms);
+            }
+            "--write-timeout-ms" => {
+                let ms: u64 = value("--write-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--write-timeout-ms: {e}"))?;
+                args.http.write_timeout = Duration::from_millis(ms);
+            }
+            "--max-body-kb" => {
+                let kb: usize = value("--max-body-kb")?
+                    .parse()
+                    .map_err(|e| format!("--max-body-kb: {e}"))?;
+                args.http.max_body_bytes = kb << 10;
+            }
+            "--fault" => {
+                let plan =
+                    FaultPlan::parse(&value("--fault")?).map_err(|e| format!("--fault: {e}"))?;
+                args.config.fault = Some(Arc::new(plan));
+            }
             "--help" | "-h" => {
                 return Err(String::from(
                     "usage: na-serve (--stdio | --listen ADDR) \
-                     [--workers N] [--queue-cap N] [--cache-mb N]",
+                     [--workers N] [--queue-cap N] [--cache-mb N] \
+                     [--read-timeout-ms MS] [--write-timeout-ms MS] \
+                     [--max-body-kb N] [--fault SPEC]",
                 ))
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -91,7 +124,7 @@ fn main() -> ExitCode {
         };
     }
     let addr = args.listen.expect("validated: listen xor stdio");
-    let server = match HttpServer::bind(service.clone(), addr.as_str()) {
+    let server = match HttpServer::bind_with(service.clone(), addr.as_str(), args.http.clone()) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("na-serve: cannot bind {addr}: {e}");

@@ -1,0 +1,203 @@
+//! Deterministic fault injection for chaos-testing the service.
+//!
+//! A [`FaultPlan`] is a fixed script keyed on the service-wide compile
+//! sequence number (the Nth compile a worker *attempts*, counted
+//! atomically across the pool): compile #2 panics, compile #5 kills its
+//! worker, every compile is delayed 3 ms. Because the script is data —
+//! not random draws at runtime — a chaos run is reproducible: the same
+//! plan against the same request stream injects the same faults, so
+//! tests can assert byte-identical artifacts across worker deaths.
+//!
+//! Faults fire *inside* the worker's `catch_unwind` region:
+//!
+//! - [`FaultAction::Panic`] raises an ordinary string panic. The worker
+//!   catches it, replies with a typed `internal` error, rebuilds its
+//!   scratch arena, and keeps serving — this exercises panic isolation.
+//! - [`FaultAction::KillWorker`] panics with the private `FatalFault`
+//!   payload. The worker recognizes the payload, replies, and then
+//!   *re-raises* so the thread actually dies — this exercises the
+//!   supervisor's respawn path.
+//!
+//! Plans parse from a compact spec (`--fault "panic@2,kill@5,delay=3"`)
+//! so the CLI and CI smoke steps can script chaos without code.
+
+use std::panic::panic_any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The fault scripted for one compile sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic inside the compile; the worker survives via
+    /// `catch_unwind`.
+    Panic,
+    /// Panic with a fatal payload; the worker replies, then dies, and
+    /// the supervisor respawns it.
+    KillWorker,
+}
+
+/// Panic payload marking a scripted worker death. Workers re-raise
+/// panics carrying this payload after replying, so the thread dies and
+/// the supervisor observes it.
+#[derive(Debug)]
+pub(crate) struct FatalFault {
+    /// The compile sequence number that triggered the death.
+    pub seq: u64,
+}
+
+/// A deterministic fault script, shared by the worker pool.
+///
+/// The plan owns the service-wide compile sequence counter; each worker
+/// claims the next number with [`FaultPlan::next_seq`] as it dequeues a
+/// job and then asks [`FaultPlan::action_for`] whether that compile is
+/// scripted to fail. Delays and stalls apply uniformly.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Compile sequence numbers (0-based) that panic but leave the
+    /// worker alive.
+    pub panic_at: Vec<u64>,
+    /// Compile sequence numbers (0-based) that kill the worker thread.
+    pub kill_at: Vec<u64>,
+    /// Artificial delay inserted before every compile (per-phase delay
+    /// proxy), in milliseconds.
+    pub delay_ms: u64,
+    /// Artificial stall inserted at dequeue, before the deadline check,
+    /// in milliseconds — simulates a backed-up queue so deadline-expiry
+    /// paths fire deterministically.
+    pub stall_ms: u64,
+    seq: AtomicU64,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses the `--fault` spec: comma-separated terms of the forms
+    /// `panic@N`, `kill@N`, `delay=MS`, `stall=MS`. Repeating `panic@`
+    /// / `kill@` terms accumulates sequence numbers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed term.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new();
+        for term in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            if let Some(n) = term.strip_prefix("panic@") {
+                plan.panic_at.push(parse_num(term, n)?);
+            } else if let Some(n) = term.strip_prefix("kill@") {
+                plan.kill_at.push(parse_num(term, n)?);
+            } else if let Some(n) = term.strip_prefix("delay=") {
+                plan.delay_ms = parse_num(term, n)?;
+            } else if let Some(n) = term.strip_prefix("stall=") {
+                plan.stall_ms = parse_num(term, n)?;
+            } else {
+                return Err(format!(
+                    "unknown fault term {term:?} (expected panic@N, kill@N, delay=MS or stall=MS)"
+                ));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Claims the next compile sequence number (0-based, service-wide).
+    pub fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The fault scripted for `seq`, if any. A number listed in both
+    /// lists kills (the stronger fault wins).
+    pub fn action_for(&self, seq: u64) -> Option<FaultAction> {
+        if self.kill_at.contains(&seq) {
+            Some(FaultAction::KillWorker)
+        } else if self.panic_at.contains(&seq) {
+            Some(FaultAction::Panic)
+        } else {
+            None
+        }
+    }
+
+    /// Sleeps for the scripted dequeue stall, if any.
+    pub(crate) fn stall(&self) {
+        if self.stall_ms > 0 {
+            std::thread::sleep(Duration::from_millis(self.stall_ms));
+        }
+    }
+
+    /// Runs the scripted fault for `seq` inside the worker's
+    /// `catch_unwind` region: sleeps the per-compile delay, then
+    /// panics if `seq` is scripted to fail.
+    pub(crate) fn inject(&self, seq: u64) {
+        if self.delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(self.delay_ms));
+        }
+        match self.action_for(seq) {
+            Some(FaultAction::KillWorker) => panic_any(FatalFault { seq }),
+            Some(FaultAction::Panic) => panic!("injected fault: scripted panic at compile #{seq}"),
+            None => {}
+        }
+    }
+}
+
+fn parse_num(term: &str, digits: &str) -> Result<u64, String> {
+    digits
+        .parse::<u64>()
+        .map_err(|_| format!("fault term {term:?}: {digits:?} is not a non-negative integer"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_spec_grammar() {
+        let plan = FaultPlan::parse("panic@2, kill@5,panic@7,delay=3,stall=10").unwrap();
+        assert_eq!(plan.panic_at, vec![2, 7]);
+        assert_eq!(plan.kill_at, vec![5]);
+        assert_eq!(plan.delay_ms, 3);
+        assert_eq!(plan.stall_ms, 10);
+        assert_eq!(plan.action_for(2), Some(FaultAction::Panic));
+        assert_eq!(plan.action_for(5), Some(FaultAction::KillWorker));
+        assert_eq!(plan.action_for(3), None);
+    }
+
+    #[test]
+    fn rejects_malformed_terms() {
+        assert!(FaultPlan::parse("explode@3").is_err());
+        assert!(FaultPlan::parse("panic@x").is_err());
+        assert!(FaultPlan::parse("delay=-1").is_err());
+    }
+
+    #[test]
+    fn empty_spec_is_the_empty_plan() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert!(plan.panic_at.is_empty() && plan.kill_at.is_empty());
+        assert_eq!(plan.delay_ms, 0);
+    }
+
+    #[test]
+    fn sequence_numbers_are_claimed_in_order() {
+        let plan = FaultPlan::new();
+        assert_eq!(plan.next_seq(), 0);
+        assert_eq!(plan.next_seq(), 1);
+        assert_eq!(plan.next_seq(), 2);
+    }
+
+    #[test]
+    fn kill_wins_when_a_seq_is_listed_twice() {
+        let plan = FaultPlan::parse("panic@4,kill@4").unwrap();
+        assert_eq!(plan.action_for(4), Some(FaultAction::KillWorker));
+    }
+
+    #[test]
+    fn injected_panics_carry_the_right_payloads() {
+        let plan = FaultPlan::parse("panic@0,kill@1").unwrap();
+        let p = std::panic::catch_unwind(|| plan.inject(0)).unwrap_err();
+        assert!(p.downcast_ref::<FatalFault>().is_none());
+        let k = std::panic::catch_unwind(|| plan.inject(1)).unwrap_err();
+        assert_eq!(k.downcast_ref::<FatalFault>().map(|f| f.seq), Some(1));
+        // Unscripted sequence numbers are a no-op.
+        plan.inject(2);
+    }
+}

@@ -12,10 +12,13 @@
 //! | `GET /healthz`     | liveness probe                                  |
 //!
 //! Status mapping: invalid document → `400` (well-formed error doc in
-//! the body), queue full → `429`, shutting down → `503`, unknown route
-//! → `404`. Each connection is served on its own thread so slow
-//! compiles don't block the accept loop; concurrency control lives in
-//! the service's queue, not the transport.
+//! the body), body over the cap → `413`, queue full or deadline
+//! unmeetable → `429`, shutting down → `503`, deadline exceeded →
+//! `504`, worker panic → `500`, unknown route → `404`. Each connection
+//! is served on its own thread so slow compiles don't block the accept
+//! loop; concurrency control lives in the service's queue, not the
+//! transport. Socket read/write timeouts and the body cap are
+//! configurable per server via [`HttpOptions`].
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -24,11 +27,32 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::service::{CompileService, Submission, SubmitError};
-use crate::wire::service_error_doc;
+use crate::wire::{error_kind_of, service_error_doc};
 
-/// Largest accepted request body; guards the service against a
-/// misbehaving client streaming unbounded bytes.
-const MAX_BODY_BYTES: usize = 64 << 20;
+/// Socket-level knobs for an [`HttpServer`].
+#[derive(Debug, Clone)]
+pub struct HttpOptions {
+    /// Per-connection socket read timeout — a client that stops
+    /// sending mid-request is dropped instead of pinning a handler
+    /// thread.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout — a client that stops
+    /// reading its response is likewise dropped.
+    pub write_timeout: Duration,
+    /// Largest accepted request body; larger `Content-Length`s are
+    /// refused with `413` before any body byte is read.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpOptions {
+    fn default() -> Self {
+        HttpOptions {
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            max_body_bytes: 64 << 20,
+        }
+    }
+}
 
 /// The HTTP front-end: owns the listener, serves connections against a
 /// [`CompileService`].
@@ -36,22 +60,37 @@ const MAX_BODY_BYTES: usize = 64 << 20;
 pub struct HttpServer {
     listener: TcpListener,
     service: CompileService,
+    options: HttpOptions,
     stop: Arc<AtomicBool>,
 }
 
 impl HttpServer {
     /// Binds to `addr` (e.g. `127.0.0.1:0` for an ephemeral test
-    /// port).
+    /// port) with default [`HttpOptions`].
     ///
     /// # Errors
     ///
     /// Propagates bind failures.
     pub fn bind(service: CompileService, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::bind_with(service, addr, HttpOptions::default())
+    }
+
+    /// [`HttpServer::bind`] with explicit socket options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_with(
+        service: CompileService,
+        addr: impl ToSocketAddrs,
+        options: HttpOptions,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         Ok(HttpServer {
             listener,
             service,
+            options,
             stop: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -80,9 +119,10 @@ impl HttpServer {
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     let service = self.service.clone();
+                    let options = self.options.clone();
                     let _ = std::thread::Builder::new()
                         .name("na-serve-conn".to_owned())
-                        .spawn(move || handle_connection(stream, &service));
+                        .spawn(move || handle_connection(stream, &service, &options));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(5));
@@ -93,19 +133,44 @@ impl HttpServer {
     }
 }
 
-fn handle_connection(stream: TcpStream, service: &CompileService) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+/// Why a request could not be read off the socket.
+enum ReadError {
+    /// Framing failure (bad request line, I/O error, invalid UTF-8).
+    Malformed,
+    /// `Content-Length` exceeded the configured body cap.
+    TooLarge { length: usize },
+}
+
+fn handle_connection(stream: TcpStream, service: &CompileService, options: &HttpOptions) {
+    let _ = stream.set_read_timeout(Some(options.read_timeout));
+    let _ = stream.set_write_timeout(Some(options.write_timeout));
     let mut reader = BufReader::new(stream);
-    let Some((method, path, body)) = read_request(&mut reader) else {
-        let mut stream = reader.into_inner();
-        write_response(
-            &mut stream,
-            400,
-            "Bad Request",
-            &service_error_doc("request", "malformed HTTP request", None),
-            None,
-        );
-        return;
+    let (method, path, body) = match read_request(&mut reader, options.max_body_bytes) {
+        Ok(request) => request,
+        Err(e) => {
+            let (status, reason, doc) = match e {
+                ReadError::Malformed => (
+                    400,
+                    "Bad Request",
+                    service_error_doc("request", "malformed HTTP request", None),
+                ),
+                ReadError::TooLarge { length } => (
+                    413,
+                    "Payload Too Large",
+                    service_error_doc(
+                        "request",
+                        &format!(
+                            "request body of {length} bytes exceeds the {} byte limit",
+                            options.max_body_bytes
+                        ),
+                        None,
+                    ),
+                ),
+            };
+            let mut stream = reader.into_inner();
+            write_response(&mut stream, status, reason, &doc, None);
+            return;
+        }
     };
     let (status, reason, body, cache_state) = route(service, &method, &path, &body);
     let mut stream = reader.into_inner();
@@ -128,9 +193,22 @@ fn route(
                 let doc = rx.recv().unwrap_or_else(|_| {
                     service_error_doc("internal", "worker dropped the job without replying", None)
                 });
-                (200, "OK", doc, Some("miss"))
+                // Worker-produced error documents pick their own
+                // status: an exhausted deadline is the gateway-timeout
+                // case, a panic-isolated compile the internal one.
+                // Compile-level errors (bad QASM etc.) live inside an
+                // `ok` response document and stay 200.
+                let (status, reason) = match error_kind_of(&doc) {
+                    Some("deadline") => (504, "Gateway Timeout"),
+                    Some("internal") => (500, "Internal Server Error"),
+                    _ => (200, "OK"),
+                };
+                (status, reason, doc, Some("miss"))
             }
             Err(e @ SubmitError::Busy { .. }) => (429, "Too Many Requests", e.to_json(None), None),
+            Err(e @ SubmitError::DeadlineUnmeetable { .. }) => {
+                (429, "Too Many Requests", e.to_json(None), None)
+            }
             Err(e @ SubmitError::ShuttingDown) => {
                 (503, "Service Unavailable", e.to_json(None), None)
             }
@@ -147,17 +225,24 @@ fn route(
 }
 
 /// Reads one HTTP/1.1 request: request line, headers, and a
-/// `Content-Length`-framed body. Returns `None` on framing errors.
-fn read_request(reader: &mut BufReader<TcpStream>) -> Option<(String, String, String)> {
+/// `Content-Length`-framed body.
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body_bytes: usize,
+) -> Result<(String, String, String), ReadError> {
     let mut line = String::new();
-    reader.read_line(&mut line).ok()?;
+    reader
+        .read_line(&mut line)
+        .map_err(|_| ReadError::Malformed)?;
     let mut parts = line.split_whitespace();
-    let method = parts.next()?.to_owned();
-    let path = parts.next()?.to_owned();
+    let method = parts.next().ok_or(ReadError::Malformed)?.to_owned();
+    let path = parts.next().ok_or(ReadError::Malformed)?.to_owned();
     let mut content_length = 0usize;
     loop {
         let mut header = String::new();
-        reader.read_line(&mut header).ok()?;
+        reader
+            .read_line(&mut header)
+            .map_err(|_| ReadError::Malformed)?;
         let header = header.trim_end();
         if header.is_empty() {
             break;
@@ -166,15 +251,20 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Option<(String, String, St
             continue;
         };
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value.trim().parse().ok()?;
+            content_length = value.trim().parse().map_err(|_| ReadError::Malformed)?;
         }
     }
-    if content_length > MAX_BODY_BYTES {
-        return None;
+    if content_length > max_body_bytes {
+        return Err(ReadError::TooLarge {
+            length: content_length,
+        });
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).ok()?;
-    Some((method, path, String::from_utf8(body).ok()?))
+    reader
+        .read_exact(&mut body)
+        .map_err(|_| ReadError::Malformed)?;
+    let body = String::from_utf8(body).map_err(|_| ReadError::Malformed)?;
+    Ok((method, path, body))
 }
 
 fn write_response(

@@ -22,8 +22,16 @@
 //! to [`na_pipeline::handle_json`] on the same document (runtime stamps
 //! aside), a cache hit is byte-identical to the cold compile it
 //! shortcuts, and every rejection (malformed document, queue full,
-//! shutdown) is a well-formed v1 error document — clients parse one
-//! schema for everything.
+//! deadline unmeetable, shutdown) is a well-formed v1 error document —
+//! clients parse one schema for everything.
+//!
+//! Resilience guarantees, also tested: requests carrying `deadline_ms`
+//! are cancelled cooperatively at compile checkpoints (typed
+//! `deadline` error, never a partial artifact in the cache), a panic
+//! mid-compile is isolated to its job (typed `internal` error, worker
+//! survives), dead worker threads are respawned by a supervisor, and a
+//! deterministic [`FaultPlan`] scripts all of the above for chaos
+//! tests.
 //!
 //! # Quick start
 //!
@@ -34,6 +42,7 @@
 //!     workers: 1,
 //!     queue_cap: 8,
 //!     cache_budget_bytes: 16 << 20,
+//!     ..ServeConfig::default()
 //! });
 //! let doc = r#"{
 //!   "version": 1,
@@ -51,17 +60,21 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod fault;
 pub mod http;
 pub mod metrics;
 pub mod queue;
+pub mod retry;
 pub mod service;
 pub mod stdio;
 pub mod wire;
 
 pub use cache::{ArtifactCache, ArtifactCacheStats};
-pub use http::HttpServer;
+pub use fault::{FaultAction, FaultPlan};
+pub use http::{HttpOptions, HttpServer};
 pub use metrics::{LatencyHistogram, ServiceMetrics};
 pub use queue::{BoundedQueue, PushError};
+pub use retry::RetryPolicy;
 pub use service::{CompileService, ServeConfig, Submission, SubmitError};
 pub use stdio::serve_lines;
-pub use wire::{compact_json, service_error_doc};
+pub use wire::{compact_json, error_kind_of, service_error_doc, service_error_doc_retry};

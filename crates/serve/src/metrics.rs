@@ -146,6 +146,18 @@ pub struct ServiceMetrics {
     /// around [`CompileResponse::to_json`](na_pipeline::CompileResponse)
     /// on the worker reply path.
     pub export_us: AtomicU64,
+    /// Compiles that panicked inside a worker and were isolated by
+    /// `catch_unwind` (the job still receives a typed `internal` reply).
+    pub worker_panics: AtomicU64,
+    /// Workers respawned by the supervisor after dying mid-compile.
+    pub worker_restarts: AtomicU64,
+    /// Requests answered with a typed `deadline` error because their
+    /// `deadline_ms` budget ran out (in queue or at a compile
+    /// checkpoint).
+    pub deadline_exceeded: AtomicU64,
+    /// Requests shed at admission because their deadline could not
+    /// survive the estimated queue wait (typed `unmeetable` rejection).
+    pub shed_unmeetable: AtomicU64,
     route_cache: Mutex<CacheStats>,
 }
 

@@ -1,0 +1,164 @@
+//! Client-side retry with deterministic jittered exponential backoff.
+//!
+//! When admission control sheds a request (`busy`, `unmeetable`), the
+//! right client response is to wait and resubmit — but a fleet of
+//! clients retrying on the same schedule just reproduces the original
+//! stampede. [`RetryPolicy`] spreads them out with exponential backoff
+//! plus jitter, and keeps the jitter *deterministic* (a seeded xorshift
+//! generator, no clock or OS entropy) so tests and CI replay identical
+//! schedules.
+
+use std::time::Duration;
+
+/// A bounded retry schedule: exponential backoff from `base_delay`,
+/// capped at `max_delay`, with ±50% deterministic jitter.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (0 means "try once, never
+    /// retry" — treated as 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_delay: Duration,
+    /// Ceiling applied to the un-jittered backoff.
+    pub max_delay: Duration,
+    /// Seed of the jitter stream. Two clients with different seeds
+    /// retry on different schedules; the same seed replays exactly.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before retry number `retry` (0-based: the
+    /// delay between the first attempt and the second). Deterministic
+    /// in (`seed`, `retry`).
+    pub fn delay_for(&self, retry: u32) -> Duration {
+        let exp = self.base_delay.saturating_mul(1u32 << retry.min(20));
+        let capped = exp.min(self.max_delay).as_micros() as u64;
+        // ±50% jitter: scale by a factor in [0.5, 1.5) drawn from a
+        // seeded xorshift stream keyed on the retry number.
+        let draw =
+            xorshift64(self.seed ^ (u64::from(retry) + 1).wrapping_mul(0xa076_1d64_78bd_642f));
+        let jittered = capped / 2 + draw % capped.max(1);
+        Duration::from_micros(jittered)
+    }
+
+    /// Runs `op` until it succeeds, returns a non-retryable error, or
+    /// the attempt budget is spent; sleeps the jittered backoff between
+    /// attempts. The final error is returned as-is.
+    ///
+    /// # Errors
+    ///
+    /// The last error `op` produced.
+    pub fn run<T, E>(
+        &self,
+        mut op: impl FnMut() -> Result<T, E>,
+        retryable: impl Fn(&E) -> bool,
+    ) -> Result<T, E> {
+        let attempts = self.max_attempts.max(1);
+        let last_try = attempts - 1;
+        for retry in 0..attempts {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if retry < last_try && retryable(&e) => {
+                    std::thread::sleep(self.delay_for(retry));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("loop returns on the last attempt");
+    }
+}
+
+/// One step of the xorshift64 generator — small, fast, and plenty for
+/// decorrelating retry schedules.
+fn xorshift64(mut x: u64) -> u64 {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(4),
+            max_delay: Duration::from_millis(20),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn delays_are_deterministic_and_jittered_within_bounds() {
+        let p = policy();
+        for retry in 0..4 {
+            let d = p.delay_for(retry);
+            assert_eq!(d, p.delay_for(retry), "same (seed, retry) replays");
+            let capped = (p.base_delay * (1 << retry)).min(p.max_delay);
+            assert!(d >= capped / 2, "retry {retry}: {d:?} below jitter floor");
+            assert!(d < capped * 3 / 2, "retry {retry}: {d:?} above ceiling");
+        }
+        let other = RetryPolicy {
+            seed: 43,
+            ..policy()
+        };
+        assert_ne!(other.delay_for(0), p.delay_for(0), "seeds decorrelate");
+    }
+
+    #[test]
+    fn run_retries_until_success() {
+        let calls = Cell::new(0u32);
+        let out: Result<u32, &str> = policy().run(
+            || {
+                calls.set(calls.get() + 1);
+                if calls.get() < 3 {
+                    Err("busy")
+                } else {
+                    Ok(7)
+                }
+            },
+            |_| true,
+        );
+        assert_eq!(out, Ok(7));
+        assert_eq!(calls.get(), 3);
+    }
+
+    #[test]
+    fn run_stops_on_non_retryable_and_exhausts_budget() {
+        let calls = Cell::new(0u32);
+        let out: Result<(), &str> = policy().run(
+            || {
+                calls.set(calls.get() + 1);
+                Err("fatal")
+            },
+            |e| *e != "fatal",
+        );
+        assert_eq!(out, Err("fatal"));
+        assert_eq!(calls.get(), 1, "non-retryable errors return immediately");
+
+        calls.set(0);
+        let out: Result<(), &str> = policy().run(
+            || {
+                calls.set(calls.get() + 1);
+                Err("busy")
+            },
+            |_| true,
+        );
+        assert_eq!(out, Err("busy"));
+        assert_eq!(calls.get(), 4, "budget caps the attempts");
+    }
+}

@@ -8,12 +8,18 @@
 //!                     │
 //!        artifact cache (content key) ──▶ Cached(response bytes)
 //!                     │ miss
+//!        deadline-aware shedding ────────▶ Err(DeadlineUnmeetable)
+//!                     │ admissible
 //!        admission: BoundedQueue ───────▶ Err(Busy / ShuttingDown)
 //!                     │ accepted
 //!            worker pool (N threads)
 //!          warm CompileScratch each,
 //!        session cache (Arc<Compiler>),
+//!        catch_unwind per job, deadline
+//!         CancelToken into the compile,
 //!          insert artifact, reply
+//!                     │ (worker death)
+//!            supervisor respawns slot
 //! ```
 //!
 //! The cache is content-addressed by
@@ -26,12 +32,28 @@
 //! capacity, never decisions), and compiler sessions are shared across
 //! workers by content hash so one hot target/options combination
 //! validates once.
+//!
+//! # Resilience
+//!
+//! Every job runs inside `catch_unwind`: a panic mid-compile answers
+//! the submitter (and any coalesced waiters) with a typed `internal`
+//! error, discards the possibly-corrupt scratch arena, and keeps the
+//! worker alive. If the worker thread itself dies (scripted by a
+//! [`FaultPlan`] kill, or a non-unwinding failure), a `DeathGuard`
+//! notifies the supervisor thread, which reaps and respawns the slot —
+//! the pool self-heals without dropping queued work. Requests carrying
+//! `deadline_ms` get a [`na_mapper::CancelToken`] fixed at
+//! admission time (queue wait counts against the budget); expired jobs
+//! answer with a typed `deadline` error, and admission sheds requests
+//! whose deadline cannot survive the estimated queue wait.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use na_mapper::CancelToken;
 use na_pipeline::fingerprint::{request_cache_key, session_fingerprint};
 use na_pipeline::{
     error_to_json, with_request_id, CompileError, CompileRequest, CompileScratch, Compiler,
@@ -40,9 +62,10 @@ use na_pipeline::{
 use na_schedule::export::{cache_stats_to_json, JsonObject};
 
 use crate::cache::ArtifactCache;
+use crate::fault::{FatalFault, FaultPlan};
 use crate::metrics::ServiceMetrics;
 use crate::queue::{BoundedQueue, PushError};
-use crate::wire::service_error_doc;
+use crate::wire::{service_error_doc, service_error_doc_retry};
 
 /// Sizing knobs for a [`CompileService`].
 #[derive(Debug, Clone)]
@@ -56,6 +79,9 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Artifact-cache byte budget.
     pub cache_budget_bytes: usize,
+    /// Deterministic fault script for chaos testing; `None` (the
+    /// default) injects nothing and costs one branch per job.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +92,7 @@ impl Default for ServeConfig {
                 .unwrap_or(1),
             queue_cap: 64,
             cache_budget_bytes: 64 << 20,
+            fault: None,
         }
     }
 }
@@ -97,6 +124,18 @@ pub enum SubmitError {
     },
     /// The service no longer accepts work.
     ShuttingDown,
+    /// The request's `deadline_ms` cannot survive the estimated queue
+    /// wait — shed at admission instead of compiling work the client
+    /// has already given up on (HTTP 429-style, with a retry hint).
+    DeadlineUnmeetable {
+        /// The deadline the client asked for.
+        deadline_ms: u64,
+        /// The estimated queue wait it could not survive.
+        estimated_wait_ms: u64,
+        /// When the queue is expected to have drained enough to admit
+        /// this deadline.
+        retry_after_ms: u64,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -106,19 +145,43 @@ impl std::fmt::Display for SubmitError {
                 write!(f, "queue full: {depth}/{cap} jobs queued")
             }
             SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+            SubmitError::DeadlineUnmeetable {
+                deadline_ms,
+                estimated_wait_ms,
+                ..
+            } => write!(
+                f,
+                "deadline {deadline_ms} ms cannot survive the estimated \
+                 queue wait of {estimated_wait_ms} ms"
+            ),
         }
     }
 }
 
 impl SubmitError {
-    /// The rejection as a wire error document (`kind` `busy` or
-    /// `shutdown`), echoing `request_id` when the client sent one.
+    /// The rejection as a wire error document (`kind` `busy`,
+    /// `shutdown` or `unmeetable`), echoing `request_id` when the
+    /// client sent one. `unmeetable` documents carry a
+    /// `retry_after_ms` hint inside the error object.
     pub fn to_json(&self, request_id: Option<&str>) -> String {
-        let kind = match self {
-            SubmitError::Busy { .. } => "busy",
-            SubmitError::ShuttingDown => "shutdown",
-        };
-        service_error_doc(kind, &self.to_string(), request_id)
+        match self {
+            SubmitError::Busy { .. } => service_error_doc("busy", &self.to_string(), request_id),
+            SubmitError::ShuttingDown => {
+                service_error_doc("shutdown", &self.to_string(), request_id)
+            }
+            SubmitError::DeadlineUnmeetable { retry_after_ms, .. } => service_error_doc_retry(
+                "unmeetable",
+                &self.to_string(),
+                *retry_after_ms,
+                request_id,
+            ),
+        }
+    }
+
+    /// Whether a client should retry this rejection after a backoff
+    /// (`busy` and `unmeetable` are transient; `shutdown` is not).
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, SubmitError::ShuttingDown)
     }
 }
 
@@ -126,6 +189,9 @@ struct Job {
     request: CompileRequest,
     key: u64,
     accepted: Instant,
+    /// Absolute deadline fixed at admission (`accepted` +
+    /// `deadline_ms`), so queue wait counts against the budget.
+    deadline: Option<Instant>,
     reply: mpsc::Sender<String>,
 }
 
@@ -149,7 +215,16 @@ struct Inner {
     inflight: Mutex<HashMap<u64, Vec<Waiter>>>,
     metrics: ServiceMetrics,
     accepting: AtomicBool,
-    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Worker slots; `None` marks a slot whose handle was taken for
+    /// joining (by the supervisor reaping a dead worker, or by
+    /// shutdown).
+    workers: Mutex<Vec<Option<std::thread::JoinHandle<()>>>>,
+    supervisor: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// The death-notification sender respawned workers clone their
+    /// guard from; dropped (set to `None`) at shutdown so the
+    /// supervisor's receiver disconnects once the last worker exits.
+    death_tx: Mutex<Option<mpsc::Sender<usize>>>,
+    fault: Option<Arc<FaultPlan>>,
     configured_workers: usize,
 }
 
@@ -171,10 +246,11 @@ impl std::fmt::Debug for CompileService {
 }
 
 impl CompileService {
-    /// Starts the service: spawns the worker pool and returns the
-    /// handle transports submit through. Call
+    /// Starts the service: spawns the worker pool and its supervisor
+    /// and returns the handle transports submit through. Call
     /// [`CompileService::shutdown`] to drain and stop.
     pub fn start(config: ServeConfig) -> Self {
+        let (death_tx, death_rx) = mpsc::channel();
         let inner = Arc::new(Inner {
             queue: BoundedQueue::new(config.queue_cap),
             cache: Mutex::new(ArtifactCache::new(config.cache_budget_bytes)),
@@ -184,18 +260,24 @@ impl CompileService {
             metrics: ServiceMetrics::new(),
             accepting: AtomicBool::new(true),
             workers: Mutex::new(Vec::new()),
+            supervisor: Mutex::new(None),
+            death_tx: Mutex::new(Some(death_tx.clone())),
+            fault: config.fault,
             configured_workers: config.workers,
         });
         let handles = (0..config.workers)
-            .map(|i| {
-                let worker_inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("na-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&worker_inner))
-                    .expect("spawn worker")
-            })
+            .map(|i| Some(spawn_worker(&inner, i, death_tx.clone())))
             .collect();
         *inner.workers.lock().expect("workers lock") = handles;
+        drop(death_tx);
+        let supervisor = {
+            let sup_inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("na-serve-supervisor".into())
+                .spawn(move || supervisor_loop(&sup_inner, &death_rx))
+                .expect("spawn supervisor")
+        };
+        *inner.supervisor.lock().expect("supervisor lock") = Some(supervisor);
         CompileService { inner }
     }
 
@@ -210,8 +292,10 @@ impl CompileService {
     ///
     /// [`SubmitError::Busy`] when the queue is at capacity,
     /// [`SubmitError::ShuttingDown`] after
-    /// [`CompileService::shutdown`] began — backpressure only, never
-    /// compile failures.
+    /// [`CompileService::shutdown`] began, and
+    /// [`SubmitError::DeadlineUnmeetable`] when the request's
+    /// `deadline_ms` cannot survive the estimated queue wait —
+    /// backpressure only, never compile failures.
     pub fn submit(&self, document: &str) -> Result<Submission, SubmitError> {
         let inner = &self.inner;
         if !inner.accepting.load(Ordering::SeqCst) {
@@ -260,10 +344,40 @@ impl CompileService {
             record_latency(&inner.metrics, accepted);
             return Ok(Submission::Cached(reply));
         }
+        // Deadline-aware shedding: once the latency histogram has
+        // warmed up, estimate the queue wait ahead of this request
+        // (depth × p50 ÷ workers) and refuse deadlines that cannot
+        // survive it — a typed 429-style rejection now beats a
+        // guaranteed `deadline` error after the client stopped caring.
+        // An empty queue never sheds: the estimate covers waiting, not
+        // the compile itself.
+        if let Some(deadline_ms) = request.deadline_ms {
+            let p50 = inner.metrics.latency.p50_ms();
+            if inner.metrics.latency.count() >= SHED_WARMUP_SAMPLES && p50.is_finite() {
+                let depth = inner.queue.depth();
+                let lanes = inner.configured_workers.max(1) as f64;
+                let estimated_wait_ms = (depth as f64 * p50 / lanes).ceil() as u64;
+                if estimated_wait_ms > deadline_ms {
+                    inner
+                        .metrics
+                        .shed_unmeetable
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::DeadlineUnmeetable {
+                        deadline_ms,
+                        estimated_wait_ms,
+                        retry_after_ms: (estimated_wait_ms - deadline_ms).max(1),
+                    });
+                }
+            }
+        }
+        let deadline = request
+            .deadline_ms
+            .map(|ms| accepted + Duration::from_millis(ms));
         let job = Job {
             request,
             key,
             accepted,
+            deadline,
             reply: tx,
         };
         match inner.queue.try_push(job) {
@@ -306,17 +420,22 @@ impl CompileService {
     }
 
     /// Stops accepting work, drains every queued job through the
-    /// worker pool, joins the workers, and answers any jobs no worker
-    /// will ever take (the `workers: 0` configuration) with a
-    /// `shutdown` error document. Idempotent.
+    /// worker pool, joins the workers and the supervisor, and answers
+    /// any jobs no worker will ever take (the `workers: 0`
+    /// configuration) with a `shutdown` error document. Idempotent.
     pub fn shutdown(&self) {
         let inner = &self.inner;
         inner.accepting.store(false, Ordering::SeqCst);
         inner.queue.close();
-        let handles = std::mem::take(&mut *inner.workers.lock().expect("workers lock"));
-        for handle in handles {
-            let _ = handle.join();
+        // First sweep: join the current pool (waits for the backlog to
+        // drain). The supervisor may be respawning a slot concurrently,
+        // so sweep again once it has exited.
+        join_workers(inner);
+        *inner.death_tx.lock().expect("death-tx lock") = None;
+        if let Some(supervisor) = inner.supervisor.lock().expect("supervisor lock").take() {
+            let _ = supervisor.join();
         }
+        join_workers(inner);
         for job in inner.queue.drain() {
             let doc = SubmitError::ShuttingDown.to_json(job.request.request_id.as_deref());
             let _ = job.reply.send(doc);
@@ -343,16 +462,30 @@ impl CompileService {
         self.inner.queue.depth()
     }
 
+    /// Live (spawned and not reaped) worker threads — drops below the
+    /// configured count while the supervisor is respawning a dead
+    /// slot, and recovers once it has.
+    pub fn live_workers(&self) -> usize {
+        self.inner
+            .workers
+            .lock()
+            .expect("workers lock")
+            .iter()
+            .filter(|slot| slot.is_some())
+            .count()
+    }
+
     /// The service counters.
     pub fn metrics(&self) -> &ServiceMetrics {
         &self.inner.metrics
     }
 
     /// A point-in-time metrics document: request counters, queue
-    /// state, worker utilization, latency quantiles, and every cache
-    /// layer (artifact, session, target-resolver, router
-    /// distance-cache aggregate via
-    /// [`cache_stats_to_json`]).
+    /// state, worker utilization, resilience counters
+    /// (`worker_panics`, `worker_restarts`, `deadline_exceeded`,
+    /// `shed_unmeetable`), latency quantiles, and every cache layer
+    /// (artifact, session, target-resolver, router distance-cache
+    /// aggregate via [`cache_stats_to_json`]).
     pub fn metrics_json(&self) -> String {
         let inner = &self.inner;
         let m = &inner.metrics;
@@ -426,6 +559,13 @@ impl CompileService {
                 "rejected_shutdown",
                 m.rejected_shutdown.load(Ordering::Relaxed),
             )
+            .uint("worker_panics", m.worker_panics.load(Ordering::Relaxed))
+            .uint("worker_restarts", m.worker_restarts.load(Ordering::Relaxed))
+            .uint(
+                "deadline_exceeded",
+                m.deadline_exceeded.load(Ordering::Relaxed),
+            )
+            .uint("shed_unmeetable", m.shed_unmeetable.load(Ordering::Relaxed))
             .raw("queue", &queue.finish())
             .raw("workers", &workers.finish())
             .raw("phases", &phases.finish())
@@ -437,6 +577,10 @@ impl CompileService {
         doc.finish()
     }
 }
+
+/// Latency samples required before deadline-aware shedding arms — a
+/// cold service never sheds on one unrepresentative first compile.
+const SHED_WARMUP_SAMPLES: u64 = 8;
 
 /// Splices the submitter's `request_id` into the cached/compiled
 /// canonical (id-less) body.
@@ -452,8 +596,82 @@ fn record_latency(metrics: &ServiceMetrics, accepted: Instant) {
     metrics.latency.record_micros(us);
 }
 
+/// Takes and joins every live worker handle (panicked threads join to
+/// `Err`, which is expected and ignored).
+fn join_workers(inner: &Inner) {
+    let handles: Vec<_> = inner
+        .workers
+        .lock()
+        .expect("workers lock")
+        .iter_mut()
+        .map(Option::take)
+        .collect();
+    for handle in handles.into_iter().flatten() {
+        let _ = handle.join();
+    }
+}
+
+fn spawn_worker(
+    inner: &Arc<Inner>,
+    index: usize,
+    death_tx: mpsc::Sender<usize>,
+) -> std::thread::JoinHandle<()> {
+    let worker_inner = Arc::clone(inner);
+    std::thread::Builder::new()
+        .name(format!("na-serve-worker-{index}"))
+        .spawn(move || {
+            // Dropped on every exit path; only notifies the supervisor
+            // when the thread is dying of a panic.
+            let _guard = DeathGuard { index, death_tx };
+            worker_loop(&worker_inner);
+        })
+        .expect("spawn worker")
+}
+
+/// Notifies the supervisor when a worker thread dies unwinding. Normal
+/// exits (queue closed and drained) drop the guard without signalling.
+struct DeathGuard {
+    index: usize,
+    death_tx: mpsc::Sender<usize>,
+}
+
+impl Drop for DeathGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let _ = self.death_tx.send(self.index);
+        }
+    }
+}
+
+/// The supervisor: reaps dead workers and respawns their slots while
+/// the service is running. Exits when every death-notification sender
+/// is gone — the service's own (dropped at shutdown) and one per live
+/// worker guard.
+fn supervisor_loop(inner: &Arc<Inner>, death_rx: &mpsc::Receiver<usize>) {
+    while let Ok(index) = death_rx.recv() {
+        if let Some(handle) = inner.workers.lock().expect("workers lock")[index].take() {
+            let _ = handle.join();
+        }
+        if inner.queue.is_closed() {
+            continue;
+        }
+        let death_tx = inner.death_tx.lock().expect("death-tx lock").clone();
+        let Some(death_tx) = death_tx else { continue };
+        inner
+            .metrics
+            .worker_restarts
+            .fetch_add(1, Ordering::Relaxed);
+        let replacement = spawn_worker(inner, index, death_tx);
+        inner.workers.lock().expect("workers lock")[index] = Some(replacement);
+    }
+}
+
 /// One worker: a warm scratch arena for life, jobs until the queue
-/// closes and drains.
+/// closes and drains. Each job runs inside `catch_unwind`; a panic
+/// answers the submitter with a typed `internal` error and rebuilds
+/// the scratch arena (its contents may be mid-mutation). Scripted
+/// [`FatalFault`] panics re-raise after replying so the thread dies
+/// and the supervisor respawns the slot.
 fn worker_loop(inner: &Inner) {
     let mut scratch = CompileScratch::new();
     while let Some(mut job) = inner.queue.pop() {
@@ -461,88 +679,179 @@ fn worker_loop(inner: &Inner) {
         // The canonical artifact is id-less; take the id out before
         // compiling and splice it back into this submitter's reply.
         let request_id = job.request.request_id.take();
-        let session_key = session_fingerprint(
-            &job.request.target,
-            &job.request.mapping,
-            &job.request.scheduling,
-            job.request.baseline,
-        );
-        let session = {
-            let sessions = inner.sessions.lock().expect("sessions lock");
-            sessions.get(&session_key).cloned()
-        };
-        let session = match session {
-            Some(compiler) => {
-                inner.metrics.session_hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(plan) = &inner.fault {
+            plan.stall();
+        }
+        // A deadline that already expired in the queue is answered
+        // without compiling — the client has given up; don't spend a
+        // worker proving it.
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            inner
+                .metrics
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            let body = error_to_json(&CompileError::DeadlineExceeded);
+            retire_and_reply(inner, &job, &body, request_id.as_deref());
+            finish_job(inner, &job);
+            continue;
+        }
+        match catch_unwind(AssertUnwindSafe(|| compile_job(inner, &job, &mut scratch))) {
+            Ok(body) => {
+                retire_and_reply(inner, &job, &body, request_id.as_deref());
+                finish_job(inner, &job);
+            }
+            Err(payload) => {
+                inner.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                // The arena may hold a half-built compile; discard it
+                // rather than reuse corrupt capacity.
+                scratch = CompileScratch::new();
+                let body = service_error_doc("internal", &panic_message(payload.as_ref()), None);
+                retire_and_reply(inner, &job, &body, request_id.as_deref());
+                finish_job(inner, &job);
+                if payload.downcast_ref::<FatalFault>().is_some() {
+                    // Scripted worker death: the job is answered; now
+                    // actually die so the supervisor path is exercised.
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// Books one answered job: completion count, end-to-end latency, and
+/// the busy-worker gauge.
+fn finish_job(inner: &Inner, job: &Job) {
+    inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+    record_latency(&inner.metrics, job.accepted);
+    inner.metrics.busy_workers.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Retires the single-flight entry *after* any cache insert but
+/// *before* replying: once a submitter holds its response, an
+/// immediate identical resubmission must find the artifact in the
+/// cache, not coalesce onto a ghost entry. Error bodies (deadline,
+/// cancelled, internal, session failures) are never cached, so their
+/// resubmissions compile fresh.
+fn retire_and_reply(inner: &Inner, job: &Job, body: &str, request_id: Option<&str>) {
+    let waiters = inner
+        .inflight
+        .lock()
+        .expect("inflight lock")
+        .remove(&job.key)
+        .unwrap_or_default();
+    let _ = job.reply.send(finalize(body, request_id));
+    for waiter in waiters {
+        let _ = waiter
+            .reply
+            .send(finalize(body, waiter.request_id.as_deref()));
+    }
+}
+
+/// Compiles one job and returns the reply body. Successful responses
+/// are published to the artifact cache; error documents (session
+/// failures, deadline, cancelled) are not. Runs inside the worker's
+/// `catch_unwind` region — scripted faults inject here.
+fn compile_job(inner: &Inner, job: &Job, scratch: &mut CompileScratch) -> String {
+    if let Some(plan) = &inner.fault {
+        plan.inject(plan.next_seq());
+    }
+    let session_key = session_fingerprint(
+        &job.request.target,
+        &job.request.mapping,
+        &job.request.scheduling,
+        job.request.baseline,
+    );
+    let session = {
+        let sessions = inner.sessions.lock().expect("sessions lock");
+        sessions.get(&session_key).cloned()
+    };
+    let session = match session {
+        Some(compiler) => {
+            inner.metrics.session_hits.fetch_add(1, Ordering::Relaxed);
+            Ok(compiler)
+        }
+        None => match job.request.build_session() {
+            Ok(compiler) => {
+                inner.metrics.session_misses.fetch_add(1, Ordering::Relaxed);
+                let compiler = Arc::new(compiler);
+                inner
+                    .sessions
+                    .lock()
+                    .expect("sessions lock")
+                    .insert(session_key, Arc::clone(&compiler));
                 Ok(compiler)
             }
-            None => match job.request.build_session() {
-                Ok(compiler) => {
-                    inner.metrics.session_misses.fetch_add(1, Ordering::Relaxed);
-                    let compiler = Arc::new(compiler);
-                    inner
-                        .sessions
-                        .lock()
-                        .expect("sessions lock")
-                        .insert(session_key, Arc::clone(&compiler));
-                    Ok(compiler)
-                }
-                Err(e) => Err(e),
-            },
-        };
-        let body: Arc<str> = match session {
-            Ok(compiler) => {
-                let before = scratch.map().route().distance_cache().snapshot();
-                let response = job.request.run_with(&compiler, &mut scratch);
-                let after = scratch.map().route().distance_cache().snapshot();
-                inner.metrics.add_route_delta(before, after);
-                // Fold each compiled program's phase attribution into
-                // the service-wide counters, then time the reply
-                // serialization itself — the export phase.
-                for outcome in &response.results {
-                    if let Ok(program) = &outcome.result {
-                        inner.metrics.add_phases(
-                            program.stats.map_phase.as_micros() as u64,
-                            program.stats.schedule_phase.as_micros() as u64,
-                            program.stats.lower_phase.as_micros() as u64,
-                        );
+            Err(e) => Err(e),
+        },
+    };
+    match session {
+        Ok(compiler) => {
+            let cancel = job.deadline.map(CancelToken::with_deadline_at);
+            let before = scratch.map().route().distance_cache().snapshot();
+            let outcome = match &cancel {
+                Some(token) => job.request.run_with_cancel(&compiler, scratch, token),
+                None => Ok(job.request.run_with(&compiler, scratch)),
+            };
+            let after = scratch.map().route().distance_cache().snapshot();
+            inner.metrics.add_route_delta(before, after);
+            match outcome {
+                Ok(response) => {
+                    // Fold each compiled program's phase attribution
+                    // into the service-wide counters, then time the
+                    // reply serialization itself — the export phase.
+                    for compiled in &response.results {
+                        if let Ok(program) = &compiled.result {
+                            inner.metrics.add_phases(
+                                program.stats.map_phase.as_micros() as u64,
+                                program.stats.schedule_phase.as_micros() as u64,
+                                program.stats.lower_phase.as_micros() as u64,
+                            );
+                        }
                     }
+                    let export_start = Instant::now();
+                    let body: Arc<str> = Arc::from(response.to_json());
+                    inner
+                        .metrics
+                        .export_us
+                        .fetch_add(export_start.elapsed().as_micros() as u64, Ordering::Relaxed);
+                    inner
+                        .cache
+                        .lock()
+                        .expect("cache lock")
+                        .insert(job.key, Arc::clone(&body));
+                    body.to_string()
                 }
-                let export_start = Instant::now();
-                let body: Arc<str> = Arc::from(response.to_json());
-                inner
-                    .metrics
-                    .export_us
-                    .fetch_add(export_start.elapsed().as_micros() as u64, Ordering::Relaxed);
-                inner
-                    .cache
-                    .lock()
-                    .expect("cache lock")
-                    .insert(job.key, Arc::clone(&body));
-                body
+                Err(e) => {
+                    // Only deadline/cancellation stops escape
+                    // `run_with_cancel`; either way the partial
+                    // artifact never reaches the cache.
+                    if matches!(e, CompileError::DeadlineExceeded) {
+                        inner
+                            .metrics
+                            .deadline_exceeded
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    error_to_json(&e)
+                }
             }
-            // Session-level failures (invalid target/options reaching
-            // past parse validation) are answered but not cached.
-            Err(e) => Arc::from(error_to_json(&e)),
-        };
-        // Retire the single-flight entry *after* the cache insert but
-        // *before* replying: once a submitter holds its response, an
-        // immediate identical resubmission must find the artifact in
-        // the cache, not coalesce onto a ghost entry.
-        let waiters = inner
-            .inflight
-            .lock()
-            .expect("inflight lock")
-            .remove(&job.key)
-            .unwrap_or_default();
-        let _ = job.reply.send(finalize(&body, request_id.as_deref()));
-        for waiter in waiters {
-            let _ = waiter
-                .reply
-                .send(finalize(&body, waiter.request_id.as_deref()));
         }
-        inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
-        record_latency(&inner.metrics, job.accepted);
-        inner.metrics.busy_workers.fetch_sub(1, Ordering::Relaxed);
+        // Session-level failures (invalid target/options reaching
+        // past parse validation) are answered but not cached.
+        Err(e) => error_to_json(&e),
     }
+}
+
+/// A human-readable line for a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    let detail = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .or_else(|| {
+            payload
+                .downcast_ref::<FatalFault>()
+                .map(|f| format!("scripted worker death at compile #{}", f.seq))
+        })
+        .unwrap_or_else(|| "opaque panic payload".to_owned());
+    format!("compile panicked ({detail}); worker state was discarded")
 }

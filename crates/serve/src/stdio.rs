@@ -6,13 +6,19 @@
 //! back. Responses are compacted with
 //! [`compact_json`] so a multi-line
 //! canonical document never breaks the one-line-per-response contract.
-//! Backpressure rejections become `busy`/`shutdown` error documents on
-//! the same line protocol — a stdio client sees exactly the error
-//! schema an HTTP client does, minus the status code.
+//! Backpressure rejections become `busy`/`shutdown`/`unmeetable`
+//! error documents on the same line protocol — a stdio client sees
+//! exactly the error schema an HTTP client does, minus the status
+//! code. Transient rejections (`busy`, `unmeetable`) are retried a
+//! bounded number of times with deterministic jittered backoff
+//! ([`RetryPolicy`]) before the rejection goes on the wire, since a
+//! line-delimited pipe has no out-of-band way to ask the client to
+//! back off.
 
 use std::io::{BufRead, Write};
 
-use crate::service::CompileService;
+use crate::retry::RetryPolicy;
+use crate::service::{CompileService, SubmitError};
 use crate::wire::compact_json;
 
 /// Serves line-delimited requests from `input` until EOF, writing one
@@ -27,16 +33,18 @@ pub fn serve_lines(
     input: impl BufRead,
     mut output: impl Write,
 ) -> std::io::Result<u64> {
+    let retry = RetryPolicy::default();
     let mut answered = 0u64;
     for line in input.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let response = match service.submit_wait(&line) {
+        let response = match retry.run(|| service.submit_wait(&line), SubmitError::is_retryable) {
             Ok(doc) => doc,
-            // submit_wait only fails on backpressure; the rejection is
-            // itself a well-formed document on the wire.
+            // submit_wait only fails on backpressure; after the retry
+            // budget, the rejection is itself a well-formed document
+            // on the wire.
             Err(e) => e.to_json(None),
         };
         writeln!(output, "{}", compact_json(&response))?;

@@ -70,6 +70,43 @@ pub fn service_error_doc(kind: &str, message: &str, request_id: Option<&str>) ->
     }
 }
 
+/// Like [`service_error_doc`] but carries a `retry_after_ms` hint
+/// inside the error object — the shape of the `unmeetable` shedding
+/// rejection (HTTP 429-style), telling the client when the queue is
+/// expected to have drained enough for the deadline to fit.
+pub fn service_error_doc_retry(
+    kind: &str,
+    message: &str,
+    retry_after_ms: u64,
+    request_id: Option<&str>,
+) -> String {
+    let doc = format!(
+        "{{\n  \"version\": {WIRE_VERSION},\n  \"ok\": false,\n  \
+         \"error\": {{\"kind\":\"{kind}\",\"message\":\"{}\",\
+         \"retry_after_ms\":{retry_after_ms}}}\n}}\n",
+        json_escape(message),
+    );
+    match request_id {
+        Some(id) => with_request_id(&doc, id),
+        None => doc,
+    }
+}
+
+/// Extracts the `"kind"` of an error document produced by
+/// [`service_error_doc`] or the pipeline's `error_to_json`, or `None`
+/// for success documents. Transports use this to pick status codes
+/// (e.g. `deadline` → 504, `internal` → 500) without a full JSON parse:
+/// the service only ever inspects documents it produced itself, where
+/// `"error":{"kind":"` appears verbatim.
+pub fn error_kind_of(doc: &str) -> Option<&str> {
+    let err = doc.find("\"error\":")? + "\"error\":".len();
+    let rest = &doc[err..];
+    let kind = rest.find("\"kind\":\"")? + "\"kind\":\"".len();
+    let rest = &rest[kind..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +133,21 @@ mod tests {
         assert!(doc.contains("queue full: 4/4"));
         let with_id = service_error_doc("busy", "queue full", Some("req-9"));
         assert!(with_id.starts_with("{\n  \"request_id\": \"req-9\",\n  \"version\": 1,"));
+    }
+
+    #[test]
+    fn retry_doc_carries_the_hint_inside_the_error_object() {
+        let doc = service_error_doc_retry("unmeetable", "deadline 5 ms < wait 40 ms", 35, None);
+        assert!(doc.contains("\"kind\":\"unmeetable\""));
+        assert!(doc.contains("\"retry_after_ms\":35}"));
+        assert_eq!(error_kind_of(&doc), Some("unmeetable"));
+    }
+
+    #[test]
+    fn error_kind_is_extracted_from_canonical_and_compact_docs() {
+        let doc = service_error_doc("shutdown", "draining", None);
+        assert_eq!(error_kind_of(&doc), Some("shutdown"));
+        assert_eq!(error_kind_of(&compact_json(&doc)), Some("shutdown"));
+        assert_eq!(error_kind_of("{\"version\":1,\"ok\":true}"), None);
     }
 }

@@ -54,6 +54,7 @@ fn http_server_end_to_end() {
         workers: 1,
         queue_cap: 8,
         cache_budget_bytes: 32 << 20,
+        ..ServeConfig::default()
     });
     let server = HttpServer::bind(service.clone(), "127.0.0.1:0").expect("bind");
     let addr = server.local_addr().expect("bound");

@@ -1,0 +1,347 @@
+//! Fault-tolerance guarantees of the compile service.
+//!
+//! The acceptance bar for the resilience layer: a deterministic
+//! [`FaultPlan`] killing workers mid-run still yields one typed reply
+//! per request and a self-healed pool whose artifacts are
+//! byte-identical to a fault-free run; panics are isolated to their
+//! job; deadlines trip both in the queue and inside long compiles with
+//! a typed `deadline` reply; unmeetable deadlines are shed at
+//! admission; and no cancelled compile ever publishes a partial
+//! artifact to the cache.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use na_serve::{CompileService, FaultPlan, ServeConfig, Submission, SubmitError};
+use proptest::prelude::*;
+
+fn config(workers: usize, queue_cap: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        queue_cap,
+        cache_budget_bytes: 32 << 20,
+        ..ServeConfig::default()
+    }
+}
+
+fn config_with_fault(workers: usize, queue_cap: usize, spec: &str) -> ServeConfig {
+    ServeConfig {
+        fault: Some(Arc::new(FaultPlan::parse(spec).expect("valid spec"))),
+        ..config(workers, queue_cap)
+    }
+}
+
+/// A v1 job document compiling one circuit on the small mixed preset.
+fn job_doc(circuit_name: &str, qasm_body: &str, deadline_ms: Option<u64>) -> String {
+    let deadline = match deadline_ms {
+        Some(ms) => format!("\"deadline_ms\": {ms},\n  "),
+        None => String::new(),
+    };
+    format!(
+        "{{\n  \"version\": 1,\n  \
+         \"target\": {{\"preset\": \"mixed\", \"lattice_side\": 5, \"num_atoms\": 12}},\n  \
+         \"mapping\": {{\"mode\": \"hybrid\", \"alpha\": 1.0}},\n  \
+         {deadline}\"circuits\": [{{\"name\": \"{circuit_name}\", \"qasm\": \"{qasm_body}\"}}]\n}}\n",
+    )
+}
+
+fn bell_qasm() -> &'static str {
+    "OPENQASM 2.0;\\nqreg q[2];\\nh q[0];\\ncx q[0],q[1];\\n"
+}
+
+fn chain_qasm(extra_h: usize) -> String {
+    let mut body = String::from("OPENQASM 2.0;\\nqreg q[3];\\n");
+    for _ in 0..extra_h {
+        body.push_str("h q[0];\\n");
+    }
+    body.push_str("cx q[0],q[1];\\ncx q[1],q[2];\\n");
+    body
+}
+
+/// A mega-scale document: a 128-qubit layered entangling circuit on a
+/// 100×100 lattice — seconds of fault-free compile time, so a
+/// millisecond deadline must trip a checkpoint long before completion.
+fn mega_doc(deadline_ms: u64) -> String {
+    let mut qasm = String::from("OPENQASM 2.0;\\nqreg q[128];\\n");
+    for q in 0..128 {
+        qasm.push_str(&format!("h q[{q}];\\n"));
+    }
+    for layer in 0..4 {
+        for q in 0..127 {
+            qasm.push_str(&format!("cx q[{q}],q[{}];\\n", q + 1));
+        }
+        qasm.push_str(&format!("h q[{layer}];\\n"));
+    }
+    format!(
+        "{{\n  \"version\": 1,\n  \
+         \"target\": {{\"preset\": \"mixed\", \"lattice_side\": 100, \"num_atoms\": 128}},\n  \
+         \"mapping\": {{\"mode\": \"hybrid\", \"alpha\": 1.0}},\n  \
+         \"deadline_ms\": {deadline_ms},\n  \
+         \"circuits\": [{{\"name\": \"qft-scale-128\", \"qasm\": \"{qasm}\"}}]\n}}\n",
+    )
+}
+
+/// Blanks the wall-clock stamps a response embeds so byte comparisons
+/// test content, not timing.
+fn normalize(response: &str) -> String {
+    let mut out = response.to_owned();
+    for key in [
+        "\"map_runtime_ms\":",
+        "\"total_runtime_ms\":",
+        "\"map_us\":",
+        "\"schedule_us\":",
+        "\"lower_us\":",
+    ] {
+        let mut from = 0;
+        while let Some(at) = out[from..].find(key) {
+            let start = from + at + key.len();
+            let end = start + out[start..].find([',', '}']).expect("number terminates");
+            out.replace_range(start..end, "0");
+            from = start;
+        }
+    }
+    out
+}
+
+/// Polls `probe` until it returns true or the timeout elapses.
+fn wait_for(timeout: Duration, mut probe: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < timeout {
+        if probe() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    probe()
+}
+
+/// The headline chaos test: a seeded plan kills three workers at fixed
+/// points in the compile sequence. Every request still gets exactly
+/// one typed reply, the supervisor heals the pool back to strength,
+/// and the artifacts the healed service produces are byte-identical to
+/// a fault-free run of the same documents.
+#[test]
+fn scripted_worker_deaths_self_heal_with_identical_artifacts() {
+    let docs: Vec<String> = (0..9)
+        .map(|i| job_doc(&format!("chaos-{i}"), &chain_qasm(i + 1), None))
+        .collect();
+
+    let chaotic = CompileService::start(config_with_fault(2, 32, "kill@1,kill@4,kill@7"));
+    let mut killed = Vec::new();
+    for (i, doc) in docs.iter().enumerate() {
+        let reply = chaotic.submit_wait(doc).expect("admitted");
+        // 100% typed replies: success or a typed internal error —
+        // never a hang, never a malformed document.
+        let ok = reply.contains("\"ok\":true");
+        let internal = reply.contains("\"kind\":\"internal\"");
+        assert!(ok || internal, "untyped reply for doc {i}: {reply}");
+        if internal {
+            killed.push(i);
+        }
+    }
+    // Sequential submissions make the compile sequence deterministic:
+    // exactly the scripted compiles died.
+    assert_eq!(killed, vec![1, 4, 7]);
+    let metrics = chaotic.metrics();
+    assert_eq!(metrics.worker_panics.load(Ordering::Relaxed), 3);
+    assert!(
+        wait_for(Duration::from_secs(5), || chaotic.live_workers() == 2),
+        "supervisor did not restore the pool: {} live workers",
+        chaotic.live_workers()
+    );
+    assert!(
+        wait_for(Duration::from_secs(5), || {
+            metrics.worker_restarts.load(Ordering::Relaxed) == 3
+        }),
+        "expected 3 respawns, saw {}",
+        metrics.worker_restarts.load(Ordering::Relaxed)
+    );
+
+    // The healed pool answers everything; failed compiles were never
+    // cached, so resubmissions compile fresh and succeed.
+    let healed: Vec<String> = docs
+        .iter()
+        .map(|doc| {
+            let reply = chaotic.submit_wait(doc).expect("admitted");
+            assert!(reply.contains("\"ok\":true"), "after heal: {reply}");
+            reply
+        })
+        .collect();
+    chaotic.shutdown();
+
+    let calm = CompileService::start(config(2, 32));
+    for (doc, chaotic_reply) in docs.iter().zip(&healed) {
+        let calm_reply = calm.submit_wait(doc).expect("admitted");
+        assert_eq!(
+            normalize(&calm_reply),
+            normalize(chaotic_reply),
+            "artifact diverged after worker deaths"
+        );
+    }
+    calm.shutdown();
+}
+
+#[test]
+fn panics_are_isolated_to_their_job_and_the_worker_survives() {
+    let service = CompileService::start(config_with_fault(1, 8, "panic@0"));
+    let doc = job_doc("isolated", bell_qasm(), None);
+
+    let first = service.submit_wait(&doc).expect("admitted");
+    assert!(first.contains("\"kind\":\"internal\""), "got {first}");
+    assert!(first.contains("injected fault"), "got {first}");
+
+    // Same single worker, same scratch slot: the pool never restarted,
+    // and the panicked compile was not cached, so the retry compiles
+    // fresh and succeeds.
+    let second = service.submit_wait(&doc).expect("admitted");
+    assert!(second.contains("\"ok\":true"), "got {second}");
+    let metrics = service.metrics();
+    assert_eq!(metrics.worker_panics.load(Ordering::Relaxed), 1);
+    assert_eq!(metrics.worker_restarts.load(Ordering::Relaxed), 0);
+    assert_eq!(service.live_workers(), 1);
+    service.shutdown();
+}
+
+/// A 1 ms deadline on a mega-scale compile (128 qubits, 100×100
+/// lattice) is answered with a typed `deadline` error at a compile
+/// checkpoint — well under the seconds a fault-free compile takes —
+/// and nothing partial reaches the artifact cache.
+#[test]
+fn deadline_trips_inside_a_mega_scale_compile() {
+    let service = CompileService::start(config(1, 4));
+    let start = Instant::now();
+    let reply = service.submit_wait(&mega_doc(1)).expect("admitted");
+    let elapsed = start.elapsed();
+    assert!(reply.contains("\"kind\":\"deadline\""), "got {reply}");
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "cancellation took {elapsed:?}; checkpoints are not firing"
+    );
+    assert_eq!(
+        service.metrics().deadline_exceeded.load(Ordering::Relaxed),
+        1
+    );
+    // The partial compile never became an artifact.
+    let metrics = service.metrics_json();
+    assert!(
+        metrics.contains("\"insertions\":0"),
+        "partial artifact cached: {metrics}"
+    );
+    service.shutdown();
+}
+
+/// A scripted dequeue stall longer than the request's deadline makes
+/// the expiry fire *in the queue*: the worker answers with `deadline`
+/// without ever building a session or compiling.
+#[test]
+fn queued_deadline_expires_before_compiling() {
+    let service = CompileService::start(config_with_fault(1, 4, "stall=50"));
+    let doc = job_doc("expired-in-queue", bell_qasm(), Some(5));
+    let reply = service.submit_wait(&doc).expect("admitted");
+    assert!(reply.contains("\"kind\":\"deadline\""), "got {reply}");
+    let metrics = service.metrics();
+    assert_eq!(metrics.deadline_exceeded.load(Ordering::Relaxed), 1);
+    // The compile never started: no session was looked up or built.
+    assert_eq!(metrics.session_hits.load(Ordering::Relaxed), 0);
+    assert_eq!(metrics.session_misses.load(Ordering::Relaxed), 0);
+    service.shutdown();
+}
+
+/// Deadline-aware admission: once the latency histogram is warm, a
+/// deadline that cannot survive the estimated queue wait is shed with
+/// a typed `unmeetable` rejection carrying a `retry_after_ms` hint.
+#[test]
+fn unmeetable_deadlines_are_shed_at_admission() {
+    // No workers: the queue holds its depth deterministically.
+    let service = CompileService::start(config(0, 4));
+    // Warm the histogram: eight observed requests at ~100 ms each.
+    for _ in 0..8 {
+        service.metrics().latency.record_micros(100_000);
+    }
+    // One queued job ahead of us.
+    let blocker = match service
+        .submit(&job_doc("blocker", bell_qasm(), None))
+        .expect("admitted")
+    {
+        Submission::Pending(rx) => rx,
+        other => panic!("expected Pending, got {other:?}"),
+    };
+
+    let hopeless = job_doc("hopeless", bell_qasm(), Some(10));
+    match service.submit(&hopeless) {
+        Err(SubmitError::DeadlineUnmeetable {
+            deadline_ms,
+            estimated_wait_ms,
+            retry_after_ms,
+        }) => {
+            assert_eq!(deadline_ms, 10);
+            assert!(estimated_wait_ms > deadline_ms);
+            assert_eq!(retry_after_ms, estimated_wait_ms - deadline_ms);
+            let doc = SubmitError::DeadlineUnmeetable {
+                deadline_ms,
+                estimated_wait_ms,
+                retry_after_ms,
+            }
+            .to_json(Some("shed-1"));
+            assert!(doc.contains("\"kind\":\"unmeetable\""), "got {doc}");
+            assert!(
+                doc.contains(&format!("\"retry_after_ms\":{retry_after_ms}")),
+                "got {doc}"
+            );
+            assert!(doc.contains("\"request_id\": \"shed-1\""), "got {doc}");
+        }
+        other => panic!("expected DeadlineUnmeetable, got {other:?}"),
+    }
+    assert_eq!(service.metrics().shed_unmeetable.load(Ordering::Relaxed), 1);
+
+    // A generous deadline on the same content is admitted: shedding
+    // compares the deadline against the wait, it is not a blanket
+    // refusal of deadlines under load.
+    let patient = job_doc("patient", bell_qasm(), Some(600_000));
+    assert!(matches!(
+        service.submit(&patient).expect("admitted"),
+        Submission::Pending(_)
+    ));
+
+    service.shutdown();
+    // Queued-but-never-compiled jobs still get typed shutdown replies.
+    let doc = blocker.recv().expect("answered at shutdown");
+    assert!(doc.contains("\"kind\":\"shutdown\""), "got {doc}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any circuit shape: an expired deadline yields a typed
+    /// `deadline` reply and never publishes to the artifact cache
+    /// (resubmission misses), while the same content without a
+    /// deadline compiles, caches, and round-trips byte-identically.
+    #[test]
+    fn cancelled_compiles_never_publish_partial_artifacts(
+        layers in 1usize..6,
+        expire in proptest::bool::ANY,
+    ) {
+        let service = CompileService::start(config(1, 8));
+        let deadline = if expire { Some(0) } else { Some(600_000) };
+        let doc = job_doc(&format!("prop-{layers}"), &chain_qasm(layers), deadline);
+
+        let reply = service.submit_wait(&doc).expect("admitted");
+        let resubmitted = service.submit(&doc).expect("admitted");
+        if expire {
+            prop_assert!(reply.contains("\"kind\":\"deadline\""), "got {}", reply);
+            // Nothing was cached: the resubmission is not a hit.
+            prop_assert!(
+                !matches!(resubmitted, Submission::Cached(_)),
+                "expired compile published an artifact"
+            );
+        } else {
+            prop_assert!(reply.contains("\"ok\":true"), "got {}", reply);
+            match resubmitted {
+                Submission::Cached(cached) => prop_assert_eq!(cached, reply),
+                other => prop_assert!(false, "expected a cache hit, got {:?}", other),
+            }
+        }
+        service.shutdown();
+    }
+}

@@ -14,6 +14,7 @@ fn config(workers: usize, queue_cap: usize) -> ServeConfig {
         workers,
         queue_cap,
         cache_budget_bytes: 32 << 20,
+        ..ServeConfig::default()
     }
 }
 

@@ -12,7 +12,7 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 
-use na_serve::{CompileService, HttpServer, ServeConfig, Submission};
+use na_serve::{CompileService, HttpServer, RetryPolicy, ServeConfig, Submission, SubmitError};
 
 const JOB: &str = r#"{
   "request_id": "example-client-1",
@@ -30,10 +30,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         workers: 2,
         queue_cap: 16,
         cache_budget_bytes: 32 << 20,
+        ..ServeConfig::default()
     });
 
     // --- In-process submission -------------------------------------
-    let response = service.submit_wait(JOB).expect("service accepts the job");
+    // Transient rejections (queue full, deadline shedding) are worth a
+    // few jittered-backoff retries before giving up; the deterministic
+    // seed keeps the schedule reproducible.
+    let retry = RetryPolicy::default();
+    let response = retry
+        .run(|| service.submit_wait(JOB), SubmitError::is_retryable)
+        .expect("service accepts the job");
     let summary = na_serve::compact_json(&response);
     println!("in-process response ({} bytes):", response.len());
     println!("  {}...\n", &summary[..summary.len().min(120)]);

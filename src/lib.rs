@@ -65,9 +65,13 @@
 //! in and one out (`na_pipeline::handle_json`), and [`serve`] turns
 //! that into a long-running job server — worker pool with warm scratch
 //! arenas, content-addressed artifact cache, queue-cap backpressure,
-//! HTTP/1.1 and stdio transports (`na-serve` binary). The legacy
-//! `Pipeline::new(params, config)` entry point remains as a deprecated
-//! shim.
+//! HTTP/1.1 and stdio transports (`na-serve` binary), plus a
+//! resilience layer: request deadlines with cooperative cancellation
+//! ([`na_mapper::CancelToken`]), per-job panic isolation with a
+//! self-healing worker pool, deadline-aware admission shedding, and a
+//! deterministic fault-injection harness
+//! ([`na_serve::FaultPlan`]). The legacy `Pipeline::new(params,
+//! config)` entry point remains as a deprecated shim.
 
 pub use na_arch as arch;
 pub use na_circuit as circuit;
@@ -88,9 +92,9 @@ pub mod prelude {
     pub use na_circuit::sim::Statevector;
     pub use na_circuit::{decompose_to_native, qasm, Circuit, GateKind, Operation, Qubit};
     pub use na_mapper::{
-        verify_mapping, verify_mapping_on, CacheStats, ConfigError, DistanceCache, HybridMapper,
-        InitialLayout, MapError, MapScratch, MappedCircuit, MappedOp, MapperConfig, MappingOutcome,
-        OpSink, RoundMode, StateJournal,
+        verify_mapping, verify_mapping_on, CacheStats, CancelReason, CancelToken, ConfigError,
+        DistanceCache, HybridMapper, InitialLayout, MapError, MapScratch, MappedCircuit, MappedOp,
+        MapperConfig, MappingOutcome, OpSink, RoundMode, StateJournal,
     };
     pub use na_pipeline::{
         error_to_json, handle_json, handle_json_document, with_request_id, CompileError,
@@ -100,5 +104,8 @@ pub mod prelude {
     pub use na_schedule::{
         ComparisonReport, IncrementalScheduler, Schedule, ScheduleError, ScheduleMetrics, Scheduler,
     };
-    pub use na_serve::{serve_lines, CompileService, HttpServer, ServeConfig, SubmitError};
+    pub use na_serve::{
+        serve_lines, CompileService, FaultPlan, HttpOptions, HttpServer, RetryPolicy, ServeConfig,
+        SubmitError,
+    };
 }

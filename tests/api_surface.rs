@@ -7,6 +7,8 @@
 const EXPECTED: &[&str] = &[
     "AodConstraints",
     "CacheStats",
+    "CancelReason",
+    "CancelToken",
     "Circuit",
     "ComparisonReport",
     "CompileError",
@@ -19,9 +21,11 @@ const EXPECTED: &[&str] = &[
     "Compiler",
     "ConfigError",
     "DistanceCache",
+    "FaultPlan",
     "GateKind",
     "GraphState",
     "HardwareParams",
+    "HttpOptions",
     "HttpServer",
     "HybridMapper",
     "IncrementalScheduler",
@@ -49,6 +53,7 @@ const EXPECTED: &[&str] = &[
     "Qubit",
     "RandomCircuit",
     "RegionGrid",
+    "RetryPolicy",
     "Reversible",
     "RoundMode",
     "Schedule",
@@ -152,13 +157,14 @@ mod resolves {
     use hybrid_na::prelude::{
         cuccaro_adder, decompose_to_native, error_to_json, ghz, handle_json, handle_json_document,
         qasm, serve_lines, verify_mapping, verify_mapping_on, with_request_id, AodConstraints,
-        Circuit, ComparisonReport, CompileError, CompileRequest, CompileResponse, CompileScratch,
-        CompileService, CompileStats, CompiledProgram, Compiler, ConfigError, GateKind, GraphState,
-        HardwareParams, HttpServer, HybridMapper, IncrementalScheduler, InitialLayout, Lattice,
-        LatticeKind, MapError, MapScratch, MappedCircuit, MappedOp, MapperConfig, MappingOptions,
-        MappingOutcome, Move, NativeGateSet, Neighborhood, OpSink, Operation, Pipeline,
-        PipelineError, Qaoa, Qft, Qpe, Qubit, RandomCircuit, Reversible, RoundMode, Schedule,
-        ScheduleError, ScheduleMetrics, Scheduler, SchedulingOptions, ServeConfig, Site,
-        StateJournal, Statevector, SubmitError, Target, TargetResolver, TargetSpec, ZonedTarget,
+        CancelReason, CancelToken, Circuit, ComparisonReport, CompileError, CompileRequest,
+        CompileResponse, CompileScratch, CompileService, CompileStats, CompiledProgram, Compiler,
+        ConfigError, FaultPlan, GateKind, GraphState, HardwareParams, HttpOptions, HttpServer,
+        HybridMapper, IncrementalScheduler, InitialLayout, Lattice, LatticeKind, MapError,
+        MapScratch, MappedCircuit, MappedOp, MapperConfig, MappingOptions, MappingOutcome, Move,
+        NativeGateSet, Neighborhood, OpSink, Operation, Pipeline, PipelineError, Qaoa, Qft, Qpe,
+        Qubit, RandomCircuit, RetryPolicy, Reversible, RoundMode, Schedule, ScheduleError,
+        ScheduleMetrics, Scheduler, SchedulingOptions, ServeConfig, Site, StateJournal,
+        Statevector, SubmitError, Target, TargetResolver, TargetSpec, ZonedTarget,
     };
 }
